@@ -1,0 +1,146 @@
+// Ablation: range-based vs quantile (distribution-aware) normalization
+// for the '+' sharing operator (paper §3.2 rank-normalization and §5
+// runtime optimization). Two tenants share a band; their DECLARED rank
+// bounds are identical but their real distributions differ in shape.
+// Range normalization hands the band to whichever tenant's ranks
+// concentrate lower; quantile normalization equalizes the split.
+//
+// Fairness metric: Jain's index over the two tenants' dequeue shares
+// while both are continuously backlogged (1.0 = perfectly fair).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "qvisor/backend.hpp"
+#include "qvisor/preprocessor.hpp"
+#include "qvisor/quantile_transform.hpp"
+#include "sched/pifo.hpp"
+#include "util/random.hpp"
+
+using namespace qv;
+using namespace qv::qvisor;
+
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {0, 9999};
+  return spec;
+}
+
+double jain(double a, double b) {
+  const double sum = a + b;
+  const double sq = a * a + b * b;
+  return sq == 0 ? 1.0 : sum * sum / (2.0 * sq);
+}
+
+/// Draw a rank from a distribution shape.
+Rank draw(Rng& rng, const std::string& shape) {
+  if (shape == "uniform") {
+    return static_cast<Rank>(rng.next_below(10000));
+  }
+  if (shape == "low-heavy") {  // 90% of ranks in the bottom 2%
+    return rng.next_bool(0.9)
+               ? static_cast<Rank>(rng.next_below(200))
+               : static_cast<Rank>(rng.next_below(10000));
+  }
+  if (shape == "high-heavy") {
+    return rng.next_bool(0.9)
+               ? 9800 + static_cast<Rank>(rng.next_below(200))
+               : static_cast<Rank>(rng.next_below(10000));
+  }
+  return 5000;  // point mass
+}
+
+struct Outcome {
+  double share_a = 0;
+  double share_b = 0;
+  double fairness = 1.0;
+};
+
+Outcome measure(const SynthesisPlan& plan, const std::string& shape_a,
+                const std::string& shape_b, std::uint64_t seed) {
+  Preprocessor pre;
+  pre.install(plan);
+  sched::PifoQueue q;
+  Rng rng(seed);
+  std::map<TenantId, int> share;
+  // Keep both tenants backlogged: enqueue 2 (one each), dequeue 1.
+  int dequeues = 0;
+  for (int i = 0; i < 6000; ++i) {
+    Packet pa;
+    pa.tenant = 1;
+    pa.original_rank = pa.rank = draw(rng, shape_a);
+    pa.size_bytes = 1500;
+    pre.process(pa);
+    q.enqueue(pa, 0);
+    Packet pb;
+    pb.tenant = 2;
+    pb.original_rank = pb.rank = draw(rng, shape_b);
+    pb.size_bytes = 1500;
+    pre.process(pb);
+    q.enqueue(pb, 0);
+    if (auto p = q.dequeue(0)) {
+      ++share[p->tenant];
+      ++dequeues;
+    }
+  }
+  Outcome out;
+  out.share_a = 100.0 * share[1] / dequeues;
+  out.share_b = 100.0 * share[2] / dequeues;
+  out.fairness = jain(share[1], share[2]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, std::string>> scenarios = {
+      {"uniform", "uniform"},
+      {"low-heavy", "uniform"},
+      {"low-heavy", "high-heavy"},
+      {"point", "uniform"},
+  };
+
+  std::printf("normalization ablation: policy 'a + b', identical declared "
+              "bounds, different real rank distributions\n\n");
+  std::printf("%-26s | %-28s | %s\n", "distributions (a vs b)",
+              "range norm (a% / b% / Jain)",
+              "quantile norm (a% / b% / Jain)");
+
+  for (const auto& [shape_a, shape_b] : scenarios) {
+    const std::vector<TenantSpec> tenants = {tenant(1, "a"),
+                                             tenant(2, "b")};
+    Synthesizer synth;
+    auto parsed = parse_policy("a + b");
+    auto plan = *synth.synthesize(tenants, *parsed.policy).plan;
+
+    const Outcome range = measure(plan, shape_a, shape_b, 42);
+
+    // Observe each tenant's real distribution, then refine.
+    RankDistEstimator est_a(4096);
+    RankDistEstimator est_b(4096);
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+      est_a.observe(draw(rng, shape_a), i);
+      est_b.observe(draw(rng, shape_b), i);
+    }
+    std::unordered_map<TenantId, const RankDistEstimator*> estimators{
+        {1, &est_a}, {2, &est_b}};
+    const auto refined = refine_with_quantiles(plan, estimators);
+    const Outcome quant = measure(refined, shape_a, shape_b, 42);
+
+    std::printf("%-26s | %6.1f / %5.1f / %5.3f      | %6.1f / %5.1f / %5.3f\n",
+                (shape_a + " vs " + shape_b).c_str(), range.share_a,
+                range.share_b, range.fairness, quant.share_a,
+                quant.share_b, quant.fairness);
+  }
+
+  std::printf("\nRange normalization is fair only when tenants actually "
+              "use their declared range uniformly;\nquantile "
+              "normalization (built from live observations, paper §5) "
+              "restores Jain ~= 1 in every case.\n");
+  return 0;
+}

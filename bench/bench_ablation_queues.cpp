@@ -1,0 +1,56 @@
+// Ablation: deploying QVISOR on commodity queue banks (paper §3.4).
+// The Fig. 4 scenario under 'pfabric >> edf', with the PIFO backend
+// replaced by SP-PIFO and strict-priority banks of varying queue
+// counts. Shows how many physical queues the approximations need
+// before pFabric's FCT approaches the true-PIFO deployment, and that
+// the strict-priority backend preserves '>>' isolation with as few as
+// two queues (dedicated queue sets), while its intra-tier order
+// coarsens.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "experiments/fig4.hpp"
+#include "experiments/fig4_backend.hpp"
+
+using namespace qv;
+using namespace qv::experiments;
+
+int main() {
+  std::printf("queue-count ablation: QVISOR 'pfabric >> edf', load 0.6, "
+              "scaled topology\n\n");
+
+  Fig4Config base = fig4_scaled_config();
+  base.scheme = Fig4Scheme::kQvisorPfabricOverEdf;
+  base.load = 0.6;
+
+  // Reference: true PIFO backend.
+  const Fig4Result pifo = run_fig4(base);
+  std::printf("%-24s | %-20s | %-20s | %s\n", "backend",
+              "small-flow mean (ms)", "big-flow mean (ms)",
+              "EDF deadlines met");
+  std::printf("%-24s | %20.3f | %20.2f | %16.3f\n", "pifo (reference)",
+              pifo.mean_small_lb_ms, pifo.mean_large_lb_ms,
+              pifo.edf_deadline_met);
+
+  const std::vector<std::size_t> queue_counts = {1, 2, 4, 8, 32};
+  for (const auto kind : {Fig4BackendKind::kSpPifo,
+                          Fig4BackendKind::kStrictPriority}) {
+    for (const std::size_t q : queue_counts) {
+      Fig4Config cfg = base;
+      const Fig4Result r = run_fig4_with_backend(cfg, kind, q);
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s(%zu queues)",
+                    kind == Fig4BackendKind::kSpPifo ? "sp-pifo"
+                                                     : "strict-prio",
+                    q);
+      std::printf("%-24s | %20.3f | %20.2f | %16.3f\n", name,
+                  r.mean_small_lb_ms, r.mean_large_lb_ms,
+                  r.edf_deadline_met);
+    }
+  }
+  std::printf("\nMore queues -> closer to the PIFO reference; dedicated\n"
+              "queues keep '>>' isolation exact even when intra-tier\n"
+              "ordering degrades (paper §3.4's worked example).\n");
+  return 0;
+}

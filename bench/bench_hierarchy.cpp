@@ -1,0 +1,131 @@
+// Ablation: exact PIFO-tree deployment vs single-PIFO flattening for
+// hierarchical policies (paper §5). Measures (a) the bandwidth share
+// each sharer receives under "(a >> b) + c" — where flattening is
+// semantically lossy — and (b) the micro-cost of a PIFO tree vs a flat
+// PIFO, quantifying what the extra expressivity costs per packet.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "qvisor/hierarchy.hpp"
+#include "qvisor/preprocessor.hpp"
+#include "sched/pifo.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace qv;
+using namespace qv::qvisor;
+
+TenantSpec tenant(TenantId id, const std::string& name) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {0, 99};
+  return spec;
+}
+
+const std::vector<TenantSpec>& three_tenants() {
+  static const std::vector<TenantSpec> tenants = {
+      tenant(1, "a"), tenant(2, "b"), tenant(3, "c")};
+  return tenants;
+}
+
+Packet labeled(TenantId t, Rank rank, Rng& rng) {
+  Packet p;
+  p.tenant = t;
+  p.rank = rank + static_cast<Rank>(rng.next_below(10));
+  p.original_rank = p.rank;
+  p.size_bytes = 1500;
+  return p;
+}
+
+void BM_TreeEnqueueDequeue(benchmark::State& state) {
+  const auto parsed = parse_policy_expr("(a >> b) + c");
+  TreeCompiler compiler;
+  const auto compiled = compiler.compile(*parsed.expr, three_tenants());
+  auto q = make_tree_scheduler(compiled, three_tenants());
+  Rng rng(1);
+  for (int i = 0; i < 256; ++i) {
+    q->enqueue(labeled(1 + static_cast<TenantId>(i % 3), 0, rng), 0);
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    q->enqueue(labeled(1 + static_cast<TenantId>(ops % 3), 0, rng), 0);
+    benchmark::DoNotOptimize(q->dequeue(0));
+    ops += 2;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_TreeEnqueueDequeue);
+
+void BM_FlattenedEnqueueDequeue(benchmark::State& state) {
+  const auto parsed = parse_policy_expr("(a >> b) + c");
+  const auto flat = flatten_to_plan(*parsed.expr, three_tenants());
+  Preprocessor pre;
+  pre.install(*flat.plan);
+  sched::PifoQueue q;
+  Rng rng(1);
+  for (int i = 0; i < 256; ++i) {
+    Packet p = labeled(1 + static_cast<TenantId>(i % 3), 0, rng);
+    pre.process(p);
+    q.enqueue(p, 0);
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    Packet p = labeled(1 + static_cast<TenantId>(ops % 3), 0, rng);
+    pre.process(p);
+    q.enqueue(p, 0);
+    benchmark::DoNotOptimize(q.dequeue(0));
+    ops += 2;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_FlattenedEnqueueDequeue);
+
+/// Not a timing benchmark: report the semantic gap as counters.
+void BM_ShareFidelity(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto parsed = parse_policy_expr("(a >> b) + c");
+    TreeCompiler compiler;
+    const auto compiled = compiler.compile(*parsed.expr, three_tenants());
+    auto tree = make_tree_scheduler(compiled, three_tenants());
+    const auto flat_plan = flatten_to_plan(*parsed.expr, three_tenants());
+    Preprocessor pre;
+    pre.install(*flat_plan.plan);
+    sched::PifoQueue flat;
+
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+      for (TenantId t : {1u, 2u, 3u}) {
+        Packet p = labeled(t, t == 1 ? 50 : 0, rng);
+        tree->enqueue(p, 0);
+        Packet f = p;
+        pre.process(f);
+        flat.enqueue(f, 0);
+      }
+    }
+    std::map<TenantId, int> tree_share;
+    std::map<TenantId, int> flat_share;
+    for (int i = 0; i < 300; ++i) {
+      if (auto p = tree->dequeue(0)) ++tree_share[p->tenant];
+      if (auto p = flat.dequeue(0)) ++flat_share[p->tenant];
+    }
+    // The '+' contract: c should get ~half. Report each deployment's
+    // deviation from the contract as a counter (percent of dequeues).
+    state.counters["tree_c_share_pct"] =
+        100.0 * tree_share[3] / 300.0;
+    state.counters["flat_c_share_pct"] =
+        100.0 * flat_share[3] / 300.0;
+    state.counters["tree_a_share_pct"] =
+        100.0 * tree_share[1] / 300.0;
+    state.counters["flat_a_share_pct"] =
+        100.0 * flat_share[1] / 300.0;
+  }
+}
+BENCHMARK(BM_ShareFidelity)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

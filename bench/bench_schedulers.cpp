@@ -1,0 +1,98 @@
+// Micro-benchmarks for the scheduler substrate: enqueue+dequeue
+// throughput of every queueing discipline under a steady randomized
+// rank stream (ablation "scheduler micro-costs" in DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sched/aifo.hpp"
+#include "sched/calendar_queue.hpp"
+#include "sched/drr.hpp"
+#include "sched/fifo.hpp"
+#include "sched/pifo.hpp"
+#include "sched/sp_pifo.hpp"
+#include "sched/strict_priority.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace qv;
+
+Packet make_packet(Rng& rng, Rank rank_space) {
+  Packet p;
+  p.rank = static_cast<Rank>(rng.next_below(rank_space));
+  p.tenant = static_cast<TenantId>(rng.next_below(8));
+  p.flow = rng.next_below(64);
+  p.size_bytes = 1500;
+  return p;
+}
+
+/// Steady-state: keep ~`depth` packets buffered, alternating bursts.
+void run_steady_state(benchmark::State& state, sched::Scheduler& q,
+                      Rank rank_space) {
+  Rng rng(7);
+  constexpr int kDepth = 256;
+  for (int i = 0; i < kDepth; ++i) q.enqueue(make_packet(rng, rank_space), 0);
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    q.enqueue(make_packet(rng, rank_space), 0);
+    benchmark::DoNotOptimize(q.dequeue(0));
+    ops += 2;
+  }
+  state.SetItemsProcessed(ops);
+}
+
+void BM_Fifo(benchmark::State& state) {
+  sched::FifoQueue q;
+  run_steady_state(state, q, 1 << 20);
+}
+BENCHMARK(BM_Fifo);
+
+void BM_Pifo(benchmark::State& state) {
+  sched::PifoQueue q;
+  run_steady_state(state, q, 1 << 20);
+}
+BENCHMARK(BM_Pifo);
+
+void BM_PifoNarrowRanks(benchmark::State& state) {
+  // Quantized ranks (post-QVISOR): many ties, different tree shape.
+  sched::PifoQueue q;
+  run_steady_state(state, q, 256);
+}
+BENCHMARK(BM_PifoNarrowRanks);
+
+void BM_SpPifo(benchmark::State& state) {
+  sched::SpPifoQueue q(static_cast<std::size_t>(state.range(0)));
+  run_steady_state(state, q, 1 << 20);
+}
+BENCHMARK(BM_SpPifo)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_StrictPriority(benchmark::State& state) {
+  sched::StrictPriorityBank q(static_cast<std::size_t>(state.range(0)), 0,
+                              1 << 20);
+  run_steady_state(state, q, 1 << 20);
+}
+BENCHMARK(BM_StrictPriority)->Arg(8)->Arg(32);
+
+void BM_Aifo(benchmark::State& state) {
+  sched::AifoQueue q(10'000'000, /*window=*/64);
+  run_steady_state(state, q, 1 << 20);
+}
+BENCHMARK(BM_Aifo);
+
+void BM_Drr(benchmark::State& state) {
+  sched::DrrQueue q(1500);
+  run_steady_state(state, q, 1 << 20);
+}
+BENCHMARK(BM_Drr);
+
+void BM_Calendar(benchmark::State& state) {
+  sched::CalendarQueue q(static_cast<std::size_t>(state.range(0)),
+                         (1 << 20) / static_cast<Rank>(state.range(0)));
+  run_steady_state(state, q, 1 << 20);
+}
+BENCHMARK(BM_Calendar)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

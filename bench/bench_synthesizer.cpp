@@ -1,0 +1,94 @@
+// Control-plane latency: how long synthesis, static analysis and full
+// re-compilation take as tenant count and policy complexity grow. This
+// bounds how fast the runtime controller can react to tenant churn
+// (paper §2 Idea 2 / §5 "optimizing configurations at runtime").
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qvisor/backend.hpp"
+#include "qvisor/qvisor.hpp"
+#include "qvisor/static_analysis.hpp"
+
+namespace {
+
+using namespace qv;
+using namespace qv::qvisor;
+
+std::vector<TenantSpec> make_tenants(int n) {
+  std::vector<TenantSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    TenantSpec spec;
+    spec.id = static_cast<TenantId>(i);
+    spec.name = "t" + std::to_string(i);
+    spec.declared_bounds = {0, 1 << 16};
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Mixed policy exercising all three operators.
+OperatorPolicy make_policy(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += (i % 3 == 0) ? " >> " : (i % 3 == 1 ? " + " : " > ");
+    text += "t" + std::to_string(i);
+  }
+  return *parse_policy(text).policy;
+}
+
+void BM_Synthesize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tenants = make_tenants(n);
+  const auto policy = make_policy(n);
+  Synthesizer synth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.synthesize(tenants, policy));
+  }
+}
+BENCHMARK(BM_Synthesize)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_StaticAnalysis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tenants = make_tenants(n);
+  Synthesizer synth;
+  const auto plan = *synth.synthesize(tenants, make_policy(n)).plan;
+  StaticAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(plan, tenants));
+  }
+}
+BENCHMARK(BM_StaticAnalysis)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PolicyParse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += (i % 3 == 0) ? " >> " : (i % 3 == 1 ? " + " : " > ");
+    text += "t" + std::to_string(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_policy(text));
+  }
+}
+BENCHMARK(BM_PolicyParse)->Arg(8)->Arg(128);
+
+void BM_FullRecompileAndInstall(benchmark::State& state) {
+  // The complete runtime-adaptation step: synthesize + verify + push
+  // the plan to 64 attached data-plane ports.
+  const int n = static_cast<int>(state.range(0));
+  Hypervisor hv(make_tenants(n), make_policy(n),
+                std::make_shared<PifoBackend>());
+  std::vector<std::unique_ptr<sched::Scheduler>> ports;
+  for (int i = 0; i < 64; ++i) ports.push_back(hv.make_port_scheduler());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.compile());
+  }
+}
+BENCHMARK(BM_FullRecompileAndInstall)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

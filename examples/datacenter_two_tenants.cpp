@@ -1,0 +1,88 @@
+// The paper's evaluation scenario (§4) at a single operating point: a
+// leaf-spine data center where a data-mining tenant (pFabric) and a
+// CBR tenant (EDF) share the fabric under a chosen configuration.
+//
+//   $ ./datacenter_two_tenants --scheme=qvisor-pfabric-first --load=0.6
+//   $ ./datacenter_two_tenants --scheme=fifo --load=0.6 --full
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "experiments/fig4.hpp"
+#include "util/flags.hpp"
+
+using namespace qv;
+using namespace qv::experiments;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_string(
+      "scheme", "qvisor-pfabric-first",
+      "one of: fifo, pifo-naive, pifo-ideal, qvisor-edf-first, "
+      "qvisor-share, qvisor-pfabric-first");
+  flags.define_double("load", 0.6, "pFabric tenant load on access links");
+  flags.define_int("seed", 1, "rng seed");
+  flags.define_bool("full", false,
+                    "paper-scale topology (144 hosts) instead of the "
+                    "scaled-down default (16 hosts)");
+  flags.define_bool("reliable", false,
+                    "pFabric transport with small priority-drop buffers, "
+                    "ACKs and retransmissions (the paper's Netbench "
+                    "setup) instead of generous buffers");
+  if (!flags.parse(argc, argv)) return 2;
+  if (flags.help_requested()) return 0;
+
+  const std::map<std::string, Fig4Scheme> schemes = {
+      {"fifo", Fig4Scheme::kFifoBoth},
+      {"pifo-naive", Fig4Scheme::kPifoNaive},
+      {"pifo-ideal", Fig4Scheme::kPifoIdeal},
+      {"qvisor-edf-first", Fig4Scheme::kQvisorEdfOverPfabric},
+      {"qvisor-share", Fig4Scheme::kQvisorShare},
+      {"qvisor-pfabric-first", Fig4Scheme::kQvisorPfabricOverEdf},
+  };
+  const auto it = schemes.find(flags.get_string("scheme"));
+  if (it == schemes.end()) {
+    std::fprintf(stderr, "unknown scheme '%s'\n",
+                 flags.get_string("scheme").c_str());
+    return 2;
+  }
+
+  Fig4Config cfg =
+      flags.get_bool("full") ? fig4_paper_config() : fig4_scaled_config();
+  cfg.scheme = it->second;
+  cfg.load = flags.get_double("load");
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.reliable = flags.get_bool("reliable");
+
+  std::printf("scenario : %s\n", fig4_scheme_name(cfg.scheme));
+  std::printf("topology : %zu leaves x %zu spines, %zu hosts, "
+              "%.0f/%.0f Gb/s\n",
+              cfg.topo.leaves, cfg.topo.spines, cfg.topo.total_hosts(),
+              static_cast<double>(cfg.topo.access_rate) / 1e9,
+              static_cast<double>(cfg.topo.fabric_rate) / 1e9);
+  std::printf("load     : %.2f (+ %zu CBR flows at %.1f Gb/s under EDF)\n\n",
+              cfg.load, cfg.cbr_flows,
+              static_cast<double>(cfg.cbr_rate) / 1e9);
+
+  const Fig4Result r = run_fig4(cfg);
+
+  std::printf("pFabric tenant, flows started in the measurement window:\n");
+  std::printf("  small flows (0, 100 KB): mean FCT %8.3f ms  "
+              "(n=%zu completed, %zu censored; censoring-aware mean "
+              "%.3f ms, p99 %.3f ms)\n",
+              r.mean_small_ms, r.small_flows, r.small_incomplete,
+              r.mean_small_lb_ms, r.p99_small_ms);
+  std::printf("  big flows  [1 MB, inf) : mean FCT %8.2f ms  "
+              "(n=%zu completed, %zu censored; censoring-aware mean "
+              "%.2f ms)\n",
+              r.mean_large_ms, r.large_flows, r.large_incomplete,
+              r.mean_large_lb_ms);
+  std::printf("  all sizes              : mean FCT %8.3f ms (n=%zu)\n",
+              r.mean_all_ms, r.all_flows);
+  std::printf("\nEDF tenant: %.1f%% of packet deadlines met\n",
+              100.0 * r.edf_deadline_met);
+  std::printf("drops: %llu   simulator events: %llu\n",
+              static_cast<unsigned long long>(r.drops),
+              static_cast<unsigned long long>(r.events));
+  return 0;
+}

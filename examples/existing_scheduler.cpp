@@ -1,0 +1,124 @@
+// QVISOR on existing schedulers (paper §3.4): the same tenant policies
+// and operator specification deployed onto five different hardware
+// targets, from an ideal PIFO down to a plain FIFO.
+//
+// For each backend the example prints the capability descriptor, the
+// guarantees report, and a measured ordering-quality score (fraction of
+// adjacent dequeue pairs in correct plan order) for an identical
+// arrival trace — showing how the guarantees degrade with the hardware.
+//
+//   $ ./existing_scheduler
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "qvisor/backend.hpp"
+#include "qvisor/qvisor.hpp"
+#include "util/random.hpp"
+
+using namespace qv;
+using namespace qv::qvisor;
+
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo, Rank hi) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+struct Quality {
+  double ordered_pairs = 0;   ///< adjacent dequeues in rank order
+  double tier_violations = 0; ///< lower-tier packet before higher-tier
+};
+
+Quality measure(Hypervisor& hv) {
+  auto port = hv.make_port_scheduler();
+  Rng rng(42);
+
+  // Identical arrival trace across backends: bursts of 64, drain 32.
+  std::vector<Packet> out;
+  for (int round = 0; round < 64; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      Packet p;
+      p.tenant = 1 + static_cast<TenantId>(rng.next_below(3));
+      p.rank = static_cast<Rank>(rng.next_below(100));
+      p.original_rank = p.rank;
+      p.size_bytes = 1500;
+      port->enqueue(p, round);
+    }
+    for (int i = 0; i < 32; ++i) {
+      if (auto p = port->dequeue(round)) out.push_back(*p);
+    }
+  }
+  while (auto p = port->dequeue(0)) out.push_back(*p);
+
+  Quality q;
+  std::size_t ordered = 0;
+  std::size_t tier_bad = 0;
+  const auto tier_of = [&](const Packet& p) {
+    const auto* tp = hv.plan().find(p.tenant);
+    return tp != nullptr ? tp->tier : std::size_t{99};
+  };
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i].rank <= out[i + 1].rank) ++ordered;
+  }
+  // Tier violations: count dequeues of a lower tier while a higher tier
+  // packet arrived earlier and is still buffered — approximated here by
+  // adjacent-pair tier inversions.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (tier_of(out[i]) > tier_of(out[i + 1])) ++tier_bad;
+  }
+  q.ordered_pairs = static_cast<double>(ordered) /
+                    static_cast<double>(out.size() - 1);
+  q.tier_violations = static_cast<double>(tier_bad) /
+                      static_cast<double>(out.size() - 1);
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<TenantSpec> tenants = {
+      tenant(1, "gold", 0, 99),
+      tenant(2, "silver", 0, 99),
+      tenant(3, "bronze", 0, 99),
+  };
+  const auto parsed = parse_policy("gold >> silver > bronze");
+  std::printf("policy: %s\n\n", parsed.policy->to_string().c_str());
+
+  const std::vector<BackendPtr> backends = {
+      std::make_shared<PifoBackend>(),
+      std::make_shared<SpPifoBackend>(8),
+      std::make_shared<StrictPriorityBackend>(8),
+      std::make_shared<AifoBackend>(4 * 1500 * 64),
+      std::make_shared<FifoBackend>(),
+  };
+
+  for (const auto& backend : backends) {
+    Hypervisor hv(tenants, *parsed.policy, backend);
+    const auto compiled = hv.compile();
+    std::printf("=== backend: %-16s %s\n", backend->name().c_str(),
+                backend->capabilities().describe().c_str());
+    if (!compiled.ok) {
+      std::printf("    compile failed: %s\n", compiled.error.c_str());
+      continue;
+    }
+    for (const auto& g : compiled.guarantees) {
+      std::printf("    guarantee: %s\n", g.c_str());
+    }
+    const Quality q = measure(hv);
+    std::printf("    measured : %.1f%% adjacent pairs in rank order, "
+                "%.2f%% tier inversions\n\n",
+                100.0 * q.ordered_pairs, 100.0 * q.tier_violations);
+  }
+
+  std::printf(
+      "The PIFO backend is exact; SP-PIFO approximates it; the strict-\n"
+      "priority backend keeps '>>' exact through dedicated queues but\n"
+      "coarsens intra-tier order; AIFO only biases admission; FIFO\n"
+      "enforces nothing — matching each backend's printed guarantees.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Hierarchical operator policies (paper §5, "Increasing specification
+// expressivity"): the extended policy language with parentheses and
+// weights, deployed EXACTLY on a PIFO tree and APPROXIMATELY flattened
+// onto a single PIFO — with QVISOR reporting what the flattening loses.
+//
+//   $ ./hierarchical_policies
+//   $ ./hierarchical_policies --policy="(gold >> silver) * 2 + bronze"
+#include <cstdio>
+#include <map>
+
+#include "qvisor/hierarchy.hpp"
+#include "qvisor/preprocessor.hpp"
+#include "sched/pifo.hpp"
+#include "util/flags.hpp"
+
+using namespace qv;
+using namespace qv::qvisor;
+
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {0, 99};
+  return spec;
+}
+
+Packet labeled(TenantId t, Rank rank) {
+  Packet p;
+  p.tenant = t;
+  p.rank = rank;
+  p.original_rank = rank;
+  p.size_bytes = 100;
+  return p;
+}
+
+/// Feed an identical backlog through a scheduler and report the share
+/// of the first N dequeues per tenant.
+void drain_report(sched::Scheduler& q, const char* label) {
+  for (int i = 0; i < 60; ++i) {
+    q.enqueue(labeled(1, 5), 0);
+    q.enqueue(labeled(2, 0), 0);
+    q.enqueue(labeled(3, 0), 0);
+  }
+  std::map<TenantId, int> share;
+  for (int i = 0; i < 90; ++i) {
+    if (auto p = q.dequeue(0)) ++share[p->tenant];
+  }
+  std::printf("  %-28s first 90 dequeues: gold=%d silver=%d bronze=%d\n",
+              label, share[1], share[2], share[3]);
+  while (q.dequeue(0)) {
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_string("policy", "(gold >> silver) + bronze",
+                      "hierarchical policy expression");
+  if (!flags.parse(argc, argv)) return 2;
+  if (flags.help_requested()) return 0;
+
+  const auto parsed = parse_policy_expr(flags.get_string("policy"));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error at %zu: %s\n", parsed.error_pos,
+                 parsed.error.c_str());
+    return 1;
+  }
+  std::printf("policy      : %s\n", parsed.expr->to_string().c_str());
+  std::printf("flat form   : %s\n",
+              to_flat_policy(*parsed.expr)
+                  ? to_flat_policy(*parsed.expr)->to_string().c_str()
+                  : "(none — truly hierarchical)");
+
+  const std::vector<TenantSpec> tenants = {tenant(1, "gold"),
+                                           tenant(2, "silver"),
+                                           tenant(3, "bronze")};
+
+  // --- exact: PIFO tree -------------------------------------------------
+  TreeCompiler compiler;
+  const auto tree = compiler.compile(*parsed.expr, tenants);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "tree compile error: %s\n", tree.error.c_str());
+    return 1;
+  }
+  std::printf("\nPIFO tree (exact deployment):\n%s",
+              tree.spec->to_string().c_str());
+  for (const auto& note : tree.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+
+  // --- approximate: flattened single PIFO --------------------------------
+  const auto flat = flatten_to_plan(*parsed.expr, tenants);
+  if (!flat.ok()) {
+    std::fprintf(stderr, "flatten error: %s\n", flat.error.c_str());
+    return 1;
+  }
+  std::printf("\nflattened bands (single-PIFO deployment):\n");
+  for (const auto& tp : flat.plan->tenants) {
+    std::printf("  %-8s -> ranks [%u, %u]\n", tp.name.c_str(),
+                tp.transform.out_min(), tp.transform.out_max());
+  }
+  for (const auto& note : flat.approximations) {
+    std::printf("  approximation: %s\n", note.c_str());
+  }
+
+  // --- behaviour comparison ------------------------------------------------
+  std::printf("\nidentical backlog through both deployments (gold ranks 5, "
+              "silver/bronze ranks 0):\n");
+  auto tree_q = make_tree_scheduler(tree, tenants);
+  drain_report(*tree_q, "pifo-tree (exact):");
+
+  Preprocessor pre;
+  pre.install(*flat.plan);
+  sched::PifoQueue pifo;
+  struct FlatQ final : sched::Scheduler {
+    Preprocessor& pre;
+    sched::PifoQueue& q;
+    FlatQ(Preprocessor& p, sched::PifoQueue& pq) : pre(p), q(pq) {}
+    bool enqueue(const Packet& p, TimeNs now) override {
+      Packet copy = p;
+      pre.process(copy);
+      return q.enqueue(copy, now);
+    }
+    std::optional<Packet> dequeue(TimeNs now) override {
+      return q.dequeue(now);
+    }
+    std::size_t size() const override { return q.size(); }
+    std::int64_t buffered_bytes() const override {
+      return q.buffered_bytes();
+    }
+    std::string name() const override { return "flat"; }
+  } flat_q(pre, pifo);
+  drain_report(flat_q, "flattened single PIFO:");
+
+  std::printf("\nOn the tree, the (gold >> silver) pair is ONE sharer and\n"
+              "splits the link 50/50 with bronze; flattened, bronze's rank-0\n"
+              "packets overtake gold's rank-5 packets inside the shared\n"
+              "band — exactly the approximation QVISOR reported above.\n");
+  return 0;
+}

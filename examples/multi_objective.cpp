@@ -1,0 +1,133 @@
+// Multi-objective scheduling (paper §5): one tenant's traffic has BOTH
+// an FCT objective and per-packet deadlines. Three rank functions
+// compete on the same workload behind one bottleneck:
+//
+//   pfabric               — pure SRPT (best FCT, deadline-blind)
+//   edf                   — pure earliest-deadline (meets deadlines,
+//                           poor FCT)
+//   lex(urgency, srpt)    — coarse deadline classes decided first,
+//                           SRPT inside each class (beats pure EDF on
+//                           BOTH axes)
+//   blend 30/70           — weighted mix: an intermediate Pareto point
+//
+//   $ ./multi_objective
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "netsim/network.hpp"
+#include "netsim/topology.hpp"
+#include "sched/pifo.hpp"
+#include "sched/rank/composite.hpp"
+#include "sched/rank/edf.hpp"
+#include "sched/rank/pfabric.hpp"
+#include "telemetry/fct_tracker.hpp"
+#include "trafficgen/host_source.hpp"
+#include "util/random.hpp"
+#include "workload/cdf.hpp"
+
+using namespace qv;
+
+namespace {
+
+struct Outcome {
+  double mean_fct_ms = 0;
+  double deadline_met = 0;
+  std::size_t flows = 0;
+};
+
+Outcome run(const sched::RankerPtr& ranker, std::uint64_t seed) {
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+  auto topo = netsim::build_single_switch(
+      net, 8, gbps(1), microseconds(1), [](const netsim::PortContext&) {
+        return std::make_unique<sched::PifoQueue>();
+      });
+
+  telemetry::FctTracker fct;
+  telemetry::DeadlineTracker deadlines;
+  for (auto* h : topo.hosts) {
+    h->set_sink([&](const Packet& p) {
+      fct.on_packet_delivered(p, sim.now());
+      deadlines.on_packet_delivered(p, sim.now());
+    });
+  }
+
+  // Every flow must fully arrive within 30 ms of its START: big flows
+  // have TIGHT deadlines relative to their size, so SRPT (which starves
+  // them) misses exactly where EDF delivers — a real objective conflict.
+  std::unordered_map<FlowId, TimeNs> flow_deadline;
+  std::vector<std::unique_ptr<trafficgen::HostSource>> sources;
+  for (auto* h : topo.hosts) {
+    sources.push_back(std::make_unique<trafficgen::HostSource>(
+        sim, *h, 1, ranker, gbps(1)));
+    sources.back()->set_decorator([&flow_deadline](Packet& p, TimeNs) {
+      p.deadline = flow_deadline.at(p.flow);
+    });
+  }
+
+  // All hosts send flows with sizes from the web-search distribution
+  // and a per-flow deadline proportional to its size, converging on
+  // host 0 (incast bottleneck).
+  const workload::Cdf cdf = workload::web_search_cdf(2e6);
+  Rng rng(seed);
+  FlowId next_flow = 1;
+  for (TimeNs t = 0; t < milliseconds(50); t += microseconds(2000)) {
+    const auto src = 1 + rng.next_below(7);
+    const auto size = static_cast<std::int64_t>(cdf.sample(rng));
+    const FlowId flow = next_flow++;
+    sim.at(t, [&, src, size, flow] {
+      fct.on_flow_start(flow, 1, size, sim.now());
+      flow_deadline[flow] = sim.now() + milliseconds(30);
+      sources[src]->start_flow(flow, topo.hosts[0]->id(), size);
+    });
+  }
+  sim.run_until(milliseconds(250));
+
+  Outcome out;
+  telemetry::FlowFilter all;
+  const auto sample = fct.fct_ms(all);
+  out.mean_fct_ms = sample.mean();
+  out.flows = sample.count();
+  out.deadline_met = deadlines.met_fraction();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Bounds tight to the actual workload (2 MB flows, 30 ms deadlines)
+  // so composition weights are meaningful.
+  auto pfabric = std::make_shared<sched::PFabricRanker>(1, 2'000'001);
+  auto edf = std::make_shared<sched::EdfRanker>(microseconds(10), 3001);
+  // Coarse deadline classes (5 ms buckets) decided first; SRPT breaks
+  // ties inside each urgency class.
+  auto coarse_edf =
+      std::make_shared<sched::EdfRanker>(milliseconds(5), 7);
+
+  const std::vector<std::pair<std::string, sched::RankerPtr>> contenders = {
+      {"pfabric (pure SRPT)", pfabric},
+      {"edf (pure deadline)", edf},
+      {"lex(urgency class, srpt)",
+       std::make_shared<sched::LexicographicRanker>(coarse_edf, pfabric,
+                                                    4096)},
+      {"blend 30% srpt, 70% edf",
+       std::make_shared<sched::WeightedRanker>(
+           std::vector<sched::WeightedRanker::Component>{{pfabric, 0.3},
+                                                         {edf, 0.7}},
+           1u << 16)},
+  };
+
+  std::printf("%-26s | %-14s | %s\n", "rank function", "mean FCT (ms)",
+              "deadlines met");
+  for (const auto& [name, ranker] : contenders) {
+    const Outcome out = run(ranker, 11);
+    std::printf("%-26s | %14.3f | %12.1f%%  (n=%zu flows)\n", name.c_str(),
+                out.mean_fct_ms, 100.0 * out.deadline_met, out.flows);
+  }
+  std::printf(
+      "\nComposite rank functions trade the two objectives against each\n"
+      "other without touching the scheduler — §5's multi-objective\n"
+      "direction expressed inside QVISOR's existing rank abstraction.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Compile a QVISOR plan into a P4_16 program (paper §3.4 / §5
+// "Compiling scheduling policies into hardware").
+//
+//   $ ./p4_export                              # print to stdout
+//   $ ./p4_export --policy="gold >> silver + bronze" --out=qvisor.p4
+#include <cstdio>
+#include <fstream>
+
+#include "qvisor/p4gen.hpp"
+#include "util/flags.hpp"
+
+using namespace qv;
+using namespace qv::qvisor;
+
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo, Rank hi) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_string("policy", "gold >> silver + bronze",
+                      "operator policy (flat grammar)");
+  flags.define_string("out", "", "output file (empty = stdout)");
+  flags.define_int("levels", 64, "quantization levels per band");
+  flags.define_int("table-budget", 1024, "max table entries per tenant");
+  if (!flags.parse(argc, argv)) return 2;
+  if (flags.help_requested()) return 0;
+
+  const auto parsed = parse_policy(flags.get_string("policy"));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "policy error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  std::vector<TenantSpec> tenants;
+  TenantId next_id = 1;
+  for (const auto& name : parsed.policy->tenant_names()) {
+    tenants.push_back(tenant(next_id, name, 0, 1 << 16));
+    ++next_id;
+  }
+
+  SynthesizerConfig cfg;
+  cfg.levels_per_group =
+      static_cast<std::uint32_t>(flags.get_int("levels"));
+  Synthesizer synth(cfg);
+  auto plan = synth.synthesize(tenants, *parsed.policy);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "synthesis error: %s\n", plan.error.c_str());
+    return 1;
+  }
+
+  P4GenOptions options;
+  options.max_entries_per_tenant =
+      static_cast<std::size_t>(flags.get_int("table-budget"));
+  const auto result = generate_p4(*plan.plan, options);
+
+  std::fprintf(stderr, "policy   : %s\n",
+               parsed.policy->to_string().c_str());
+  std::fprintf(stderr, "entries  : %zu range-match rules across %zu "
+               "tenants\n", result.entries.size(), tenants.size());
+  for (const auto& note : result.notes) {
+    std::fprintf(stderr, "note     : %s\n", note.c_str());
+  }
+
+  const std::string out_path = flags.get_string("out");
+  if (out_path.empty()) {
+    std::fwrite(result.program.data(), 1, result.program.size(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << result.program;
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", out_path.c_str(),
+                 result.program.size());
+  }
+  return 0;
+}

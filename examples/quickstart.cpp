@@ -1,0 +1,102 @@
+// Quickstart: the paper's Fig. 3 example, end to end.
+//
+// Three tenants program their scheduling policies (pFabric, EDF, Fair
+// Queuing) as rank functions; the operator writes "T1 >> T2 + T3";
+// QVISOR synthesizes rank transformations, verifies them statically,
+// and the pre-processor + PIFO reproduce the figure's output sequence.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "qvisor/backend.hpp"
+#include "qvisor/qvisor.hpp"
+
+using namespace qv;
+using namespace qv::qvisor;
+
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo, Rank hi) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+Packet labeled(TenantId t, Rank rank) {
+  Packet p;
+  p.tenant = t;
+  p.rank = rank;
+  p.original_rank = rank;
+  p.size_bytes = 1500;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  // --- inputs (paper §3.1) --------------------------------------------
+  // Tenants: the tuple {traffic subset, scheduling algorithm}; here the
+  // algorithms are represented by the rank ranges of Fig. 3.
+  std::vector<TenantSpec> tenants = {
+      tenant(1, "T1", 7, 9),  // pFabric ranks {7,8,9}
+      tenant(2, "T2", 1, 3),  // EDF ranks {1,3}
+      tenant(3, "T3", 3, 5),  // Fair Queuing ranks {3,5}
+  };
+
+  // Operator policy: T1 strictly above; T2 and T3 share.
+  const auto parsed = parse_policy("T1 >> T2 + T3");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "policy error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  std::printf("operator policy : %s\n", parsed.policy->to_string().c_str());
+
+  // --- synthesize + verify (paper §3.2 + §2 Idea 2) ---------------------
+  SynthesizerConfig cfg;
+  cfg.levels_per_group = 3;  // Fig. 3 uses 3-level bands
+  cfg.share_stagger = 1;     // and staggers the sharing tenants
+
+  Hypervisor hv(tenants, *parsed.policy,
+                std::make_shared<PifoBackend>(), cfg);
+  const auto compiled = hv.compile();
+  if (!compiled.ok) {
+    std::fprintf(stderr, "compile error: %s\n", compiled.error.c_str());
+    return 1;
+  }
+
+  std::printf("\nsynthesized transforms:\n");
+  for (const auto& tp : hv.plan().tenants) {
+    std::printf("  %-3s tier %zu: %s\n", tp.name.c_str(), tp.tier,
+                tp.transform.to_string().c_str());
+  }
+
+  std::printf("\nstatic analysis:\n%s", compiled.report.to_string().c_str());
+  std::printf("backend guarantees:\n");
+  for (const auto& g : compiled.guarantees) {
+    std::printf("  - %s\n", g.c_str());
+  }
+
+  // --- data plane (paper §3.3) -----------------------------------------
+  auto port = hv.make_port_scheduler();
+
+  // The figure's arrival sequence.
+  const std::vector<std::pair<TenantId, Rank>> arrivals = {
+      {2, 1}, {3, 3}, {1, 8}, {2, 3}, {3, 5}, {1, 7}, {1, 9},
+  };
+  std::printf("\narrivals (tenant:rank) : ");
+  for (const auto& [t, r] : arrivals) {
+    std::printf("T%u:%u ", t, r);
+    port->enqueue(labeled(t, r), 0);
+  }
+
+  std::printf("\npifo output            : ");
+  while (auto p = port->dequeue(0)) {
+    std::printf("T%u:%u(->%u) ", p->tenant, p->original_rank, p->rank);
+  }
+  std::printf("\n\nT1 drains first in rank order; T2 and T3 interleave "
+              "fairly — exactly Fig. 3.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The paper's motivating scenario (§2, Fig. 2), quantified: three
+// tenants share one congested egress —
+//
+//   interactive  (T1): Poisson short flows under pFabric, active
+//                      only before t1;
+//   deadline     (T2): CBR stream under EDF, active only before t1;
+//   background   (T3): continuous bulk transfer under fair queuing,
+//                      active the WHOLE run.
+//
+// Operator policy: "interactive + deadline >> background".
+//
+// The experiment measures, per phase, exactly the properties the
+// paper's story needs:
+//   * phase 1 — T1's small-flow FCT and T2's deadline-met fraction
+//     must be near-ideal DESPITE the backlogged bulk tenant ('>>'
+//     isolation), while T3 still gets the leftover bandwidth (work
+//     conservation);
+//   * phase 2 — after T1/T2 go quiet, T3's throughput must rise to
+//     line rate (multiplexing the scheduling resources over time, §1),
+//     with the runtime controller re-synthesizing at the shift.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qv::experiments {
+
+enum class Fig2Scheme {
+  kFifo,        ///< single FIFO (no isolation at all)
+  kPifoNaive,   ///< raw tenant ranks on one PIFO (§2 Problem 1)
+  kQvisor,      ///< QVISOR, static plan
+  kQvisorAdapt, ///< QVISOR + runtime controller (re-synthesis at t1)
+};
+
+const char* fig2_scheme_name(Fig2Scheme scheme);
+
+struct Fig2Config {
+  Fig2Scheme scheme = Fig2Scheme::kQvisorAdapt;
+  std::size_t hosts = 8;
+  BitsPerSec rate = gbps(1);
+
+  TimeNs warmup = milliseconds(5);
+  TimeNs t1 = milliseconds(50);   ///< T1/T2 deactivate here
+  TimeNs end = milliseconds(110); ///< T3-only phase ends here
+
+  double interactive_load = 0.3;  ///< of the egress link
+  BitsPerSec cbr_rate = mbps(300);
+  TimeNs cbr_deadline_slack = milliseconds(2);
+  std::int64_t bulk_flow_bytes = 2'000'000;
+
+  std::uint64_t seed = 1;
+};
+
+struct Fig2Result {
+  // Phase 1 (warmup .. t1):
+  double interactive_mean_fct_ms = 0;
+  double interactive_p99_fct_ms = 0;
+  std::size_t interactive_flows = 0;
+  double deadline_met = 0;
+  double background_phase1_gbps = 0;  ///< leftover bandwidth
+
+  // Phase 2 (t1 .. end):
+  double background_phase2_gbps = 0;  ///< should approach line rate
+
+  std::uint64_t adaptations = 0;  ///< runtime re-syntheses (kQvisorAdapt)
+};
+
+Fig2Result run_fig2(const Fig2Config& config);
+
+}  // namespace qv::experiments

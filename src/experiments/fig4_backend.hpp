@@ -1,0 +1,21 @@
+// Backend-override variant of the Fig. 4 runner, used by the
+// queue-count ablation: the same experiment with QVISOR deployed on an
+// SP-PIFO or strict-priority bank instead of an ideal PIFO (§3.4).
+#pragma once
+
+#include <cstddef>
+
+#include "experiments/fig4.hpp"
+
+namespace qv::experiments {
+
+enum class Fig4BackendKind { kPifo, kSpPifo, kStrictPriority };
+
+/// Run a QVISOR scheme from `config` with the given hardware backend.
+/// `num_queues` applies to the queue-bank kinds; ignored for kPifo.
+/// The scheme must be one of the QVISOR schemes.
+Fig4Result run_fig4_with_backend(const Fig4Config& config,
+                                 Fig4BackendKind kind,
+                                 std::size_t num_queues);
+
+}  // namespace qv::experiments

@@ -1,0 +1,45 @@
+#include "netsim/event.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace qv::netsim {
+
+EventId EventQueue::schedule(TimeNs at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  if (cancelled_.insert(id).second && live_ > 0) --live_;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+TimeNs EventQueue::next_time() {
+  skim();
+  return heap_.empty() ? kTimeMax : heap_.top().at;
+}
+
+TimeNs EventQueue::run_next() {
+  skim();
+  assert(!heap_.empty());
+  const TimeNs at = heap_.top().at;
+  EventFn fn = std::move(heap_.top().fn);
+  heap_.pop();
+  --live_;
+  fn();
+  return at;
+}
+
+}  // namespace qv::netsim

@@ -1,0 +1,65 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Ties on timestamp are broken by insertion order (a monotone sequence
+// number), which makes every run fully deterministic. Cancellation is
+// lazy: cancelled ids are skipped when they surface at the top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace qv::netsim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedule `fn` at absolute time `at`. Returns an id for cancel().
+  EventId schedule(TimeNs at, EventFn fn);
+
+  /// Lazily cancel a scheduled event. Cancelling an already-run or
+  /// unknown id is a no-op.
+  void cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the next live event; kTimeMax if none.
+  TimeNs next_time();
+
+  /// Pop and run the next live event; returns its timestamp. Requires
+  /// !empty().
+  TimeNs run_next();
+
+ private:
+  struct Entry {
+    TimeNs at;
+    EventId id;
+    mutable EventFn fn;  ///< moved out when run (heap top is const)
+
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drop cancelled entries from the top of the heap.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace qv::netsim

@@ -1,0 +1,71 @@
+#include "netsim/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace qv::netsim {
+
+Link::Link(Simulator& sim, BitsPerSec rate, TimeNs propagation_delay,
+           std::unique_ptr<sched::Scheduler> queue, Deliver deliver)
+    : sim_(sim), rate_(rate), prop_delay_(propagation_delay),
+      queue_(std::move(queue)), deliver_(std::move(deliver)) {
+  assert(rate_ > 0);
+  assert(queue_ != nullptr);
+  assert(deliver_ != nullptr);
+}
+
+void Link::account_queue(TimeNs now) {
+  backlog_integral_ +=
+      static_cast<double>(queue_->buffered_bytes()) *
+      static_cast<double>(now - backlog_updated_at_);
+  backlog_updated_at_ = now;
+}
+
+void Link::transmit(const Packet& p) {
+  account_queue(sim_.now());
+  queue_->enqueue(p, sim_.now());
+  if (!busy_) start_next();
+}
+
+void Link::start_next() {
+  account_queue(sim_.now());
+  auto next = queue_->dequeue(sim_.now());
+  if (!next) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  busy_since_ = sim_.now();
+  const TimeNs ser = serialization_delay(next->size_bytes, rate_);
+  const Packet pkt = *next;
+  // Last bit leaves at now+ser; it arrives prop_delay later.
+  sim_.after(ser, [this, pkt, ser] {
+    busy_accum_ += ser;
+    bytes_transmitted_ += pkt.size_bytes;
+    sim_.after(prop_delay_, [this, pkt] { deliver_(pkt); });
+    start_next();
+  });
+}
+
+double Link::utilization(TimeNs now) const {
+  if (now <= 0) return 0.0;
+  TimeNs busy_time = busy_accum_;
+  if (busy_) busy_time += now - busy_since_;
+  return static_cast<double>(busy_time) / static_cast<double>(now);
+}
+
+double Link::mean_queue_bytes(TimeNs now) const {
+  if (now <= 0) return 0.0;
+  double integral = backlog_integral_;
+  integral += static_cast<double>(queue_->buffered_bytes()) *
+              static_cast<double>(now - backlog_updated_at_);
+  return integral / static_cast<double>(now);
+}
+
+void Link::replace_queue(std::unique_ptr<sched::Scheduler> queue) {
+  assert(queue_->empty());
+  assert(queue != nullptr);
+  queue_ = std::move(queue);
+}
+
+}  // namespace qv::netsim

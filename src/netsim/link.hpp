@@ -1,0 +1,73 @@
+// Link: a unidirectional wire with an output queue (the scheduler under
+// test), a serialization rate, and a propagation delay.
+//
+// Model: transmit() offers the packet to the scheduler. While packets
+// are buffered, the link drains them one at a time — each occupies the
+// wire for its serialization delay, then arrives at the destination
+// after the propagation delay. This is the standard output-queued
+// switch model (same as Netbench's).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "netsim/packet.hpp"
+#include "netsim/simulator.hpp"
+#include "sched/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace qv::netsim {
+
+class Link {
+ public:
+  using Deliver = std::function<void(const Packet&)>;
+
+  /// `deliver` is invoked when a packet's last bit reaches the far end.
+  Link(Simulator& sim, BitsPerSec rate, TimeNs propagation_delay,
+       std::unique_ptr<sched::Scheduler> queue, Deliver deliver);
+
+  /// Offer a packet for transmission (may be dropped by the queue).
+  void transmit(const Packet& p);
+
+  /// True while a packet is being serialized onto the wire.
+  bool busy() const { return busy_; }
+
+  const sched::Scheduler& queue() const { return *queue_; }
+  sched::Scheduler& queue() { return *queue_; }
+  BitsPerSec rate() const { return rate_; }
+
+  /// Bytes whose serialization onto the wire has completed.
+  std::int64_t bytes_transmitted() const { return bytes_transmitted_; }
+
+  /// Fraction of [0, now] the wire spent serializing (0..1). The
+  /// in-progress packet counts up to `now`.
+  double utilization(TimeNs now) const;
+
+  /// Time-averaged queue depth in bytes over [0, now] (the backlog the
+  /// scheduler held, integrated over time).
+  double mean_queue_bytes(TimeNs now) const;
+
+  /// Swap the queueing discipline. Only legal while the queue is empty
+  /// (the runtime controller re-deploys between bursts; see paper §2
+  /// Idea 2 on buffer-emptying challenges).
+  void replace_queue(std::unique_ptr<sched::Scheduler> queue);
+
+ private:
+  void start_next();
+  void account_queue(TimeNs now);
+
+  Simulator& sim_;
+  BitsPerSec rate_;
+  TimeNs prop_delay_;
+  std::unique_ptr<sched::Scheduler> queue_;
+  Deliver deliver_;
+  bool busy_ = false;
+  TimeNs busy_since_ = 0;          ///< start of the current serialization
+  TimeNs busy_accum_ = 0;          ///< completed serialization time
+  std::int64_t bytes_transmitted_ = 0;
+  // Backlog integral: sum of bytes x time, updated on every change.
+  TimeNs backlog_updated_at_ = 0;
+  double backlog_integral_ = 0;  ///< byte-nanoseconds
+};
+
+}  // namespace qv::netsim

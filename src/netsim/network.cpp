@@ -1,0 +1,103 @@
+#include "netsim/network.hpp"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace qv::netsim {
+
+Host& Network::add_host(const std::string& name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(id, name);
+  Host& ref = *host;
+  nodes_.push_back(std::move(host));
+  links_from_.emplace_back();
+  hosts_.push_back(&ref);
+  return ref;
+}
+
+Switch& Network::add_switch(const std::string& name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  auto sw = std::make_unique<Switch>(id, name);
+  Switch& ref = *sw;
+  nodes_.push_back(std::move(sw));
+  links_from_.emplace_back();
+  switches_.push_back(&ref);
+  return ref;
+}
+
+Link& Network::connect(Node& from, Node& to, BitsPerSec rate,
+                       TimeNs prop_delay,
+                       std::unique_ptr<sched::Scheduler> queue) {
+  Node* to_ptr = &to;
+  auto link = std::make_unique<Link>(
+      sim_, rate, prop_delay, std::move(queue),
+      [to_ptr](const Packet& p) { to_ptr->receive(p); });
+  Link& ref = *link;
+  links_from_[from.id()].emplace_back(links_.size(), to.id());
+  links_.push_back(std::move(link));
+  from.add_port(&ref);
+  return ref;
+}
+
+void Network::connect_bidir(Node& a, Node& b, BitsPerSec rate,
+                            TimeNs prop_delay,
+                            const SchedulerFactory& factory) {
+  const bool a_is_host = dynamic_cast<Host*>(&a) != nullptr;
+  const bool b_is_host = dynamic_cast<Host*>(&b) != nullptr;
+  PortContext ab{a.id(), a.name(), a_is_host, b_is_host, rate};
+  PortContext ba{b.id(), b.name(), b_is_host, a_is_host, rate};
+  connect(a, b, rate, prop_delay, factory(ab));
+  connect(b, a, rate, prop_delay, factory(ba));
+}
+
+void Network::compute_routes() {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  // Reverse adjacency: in_edges[n] = nodes with a link INTO n.
+  std::vector<std::vector<NodeId>> in_edges(nodes_.size());
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    for (const auto& [link_idx, dst] : links_from_[n]) {
+      (void)link_idx;
+      in_edges[dst].push_back(n);
+    }
+  }
+  for (Host* dst_host : hosts_) {
+    const NodeId dst = dst_host->id();
+    // BFS on the reverse graph: dist[n] = hops from n to dst.
+    std::vector<std::uint32_t> dist(nodes_.size(), kInf);
+    dist[dst] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(dst);
+    while (!frontier.empty()) {
+      const NodeId n = frontier.front();
+      frontier.pop();
+      for (NodeId prev : in_edges[n]) {
+        if (dist[prev] == kInf) {
+          dist[prev] = dist[n] + 1;
+          frontier.push(prev);
+        }
+      }
+    }
+    // Install ECMP port sets: every port whose far end is one hop closer.
+    for (Switch* sw : switches_) {
+      std::vector<std::uint16_t> ecmp;
+      const auto& out = links_from_[sw->id()];
+      for (std::size_t port = 0; port < out.size(); ++port) {
+        const NodeId far = out[port].second;
+        if (dist[sw->id()] != kInf && dist[far] != kInf &&
+            dist[far] + 1 == dist[sw->id()]) {
+          ecmp.push_back(static_cast<std::uint16_t>(port));
+        }
+      }
+      if (!ecmp.empty()) sw->set_route(dst, std::move(ecmp));
+    }
+  }
+}
+
+std::uint64_t Network::total_drops() const {
+  std::uint64_t drops = 0;
+  for (const auto& link : links_) drops += link->queue().counters().dropped;
+  return drops;
+}
+
+}  // namespace qv::netsim

@@ -1,0 +1,73 @@
+// Network: owns nodes and links, wires them together, and computes
+// shortest-path ECMP routes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/node.hpp"
+#include "netsim/simulator.hpp"
+
+namespace qv::netsim {
+
+/// Everything a scheduler factory may want to know about the port it is
+/// instantiating for.
+struct PortContext {
+  NodeId node = kInvalidNode;
+  std::string node_name;
+  bool from_host = false;  ///< true for host NIC uplinks
+  bool to_host = false;    ///< true for switch→host access downlinks
+  BitsPerSec rate = 0;
+};
+
+/// Builds one scheduler per port. QVISOR experiments pass a factory that
+/// wraps the port scheduler in the hypervisor's pre-processor.
+using SchedulerFactory =
+    std::function<std::unique_ptr<sched::Scheduler>(const PortContext&)>;
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  Host& add_host(const std::string& name);
+  Switch& add_switch(const std::string& name);
+
+  /// Create a unidirectional link from→to and register it as `from`'s
+  /// next port.
+  Link& connect(Node& from, Node& to, BitsPerSec rate, TimeNs prop_delay,
+                std::unique_ptr<sched::Scheduler> queue);
+
+  /// Convenience: connect both directions with the same parameters,
+  /// using `factory` to build each direction's queue.
+  void connect_bidir(Node& a, Node& b, BitsPerSec rate, TimeNs prop_delay,
+                     const SchedulerFactory& factory);
+
+  /// Recompute ECMP shortest-path routes for all host destinations.
+  /// Call after the topology is fully built.
+  void compute_routes();
+
+  Simulator& sim() { return sim_; }
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  Node& node(NodeId id) { return *nodes_[id]; }
+  std::size_t host_count() const { return hosts_.size(); }
+  Host& host(std::size_t i) { return *hosts_[i]; }
+  const std::vector<Host*>& hosts() const { return hosts_; }
+
+  /// Aggregate drop count across every link queue.
+  std::uint64_t total_drops() const;
+
+ private:
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // links_from_[n] = (link index, destination node) pairs for node n.
+  std::vector<std::vector<std::pair<std::size_t, NodeId>>> links_from_;
+  std::vector<Host*> hosts_;
+  std::vector<Switch*> switches_;
+};
+
+}  // namespace qv::netsim

@@ -1,0 +1,45 @@
+#include "netsim/node.hpp"
+
+namespace qv::netsim {
+
+namespace {
+const std::vector<std::uint16_t> kNoRoute;
+}
+
+std::uint64_t ecmp_hash(FlowId flow, NodeId node) {
+  // 64-bit finalizer (Murmur3 fmix64) over flow and node so different
+  // switches spread the same flow set differently.
+  std::uint64_t h = flow * 0x9e3779b97f4a7c15ULL + node;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void Switch::set_route(NodeId dst, std::vector<std::uint16_t> out_ports) {
+  if (routes_.size() <= dst) routes_.resize(dst + 1);
+  routes_[dst] = std::move(out_ports);
+}
+
+const std::vector<std::uint16_t>& Switch::route(NodeId dst) const {
+  if (dst >= routes_.size()) return kNoRoute;
+  return routes_[dst];
+}
+
+void Switch::receive(const Packet& p) {
+  const auto& candidates = route(p.dst);
+  if (candidates.empty()) {
+    ++unrouted_;
+    return;
+  }
+  const std::size_t pick =
+      candidates.size() == 1
+          ? 0
+          : static_cast<std::size_t>(ecmp_hash(p.flow, id()) %
+                                     candidates.size());
+  ports()[candidates[pick]]->transmit(p);
+}
+
+}  // namespace qv::netsim

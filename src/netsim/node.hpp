@@ -1,0 +1,82 @@
+// Nodes: hosts terminate traffic, switches forward it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/packet.hpp"
+
+namespace qv::netsim {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// A packet's last bit arrived at this node.
+  virtual void receive(const Packet& p) = 0;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Outgoing links, in port order.
+  const std::vector<Link*>& ports() const { return ports_; }
+  void add_port(Link* link) { ports_.push_back(link); }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  std::vector<Link*> ports_;
+};
+
+/// End host: one uplink; delivers received packets to a sink callback.
+class Host final : public Node {
+ public:
+  using Sink = std::function<void(const Packet&)>;
+
+  using Node::Node;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Inject a packet into the network through the uplink queue.
+  void send(const Packet& p) { ports().front()->transmit(p); }
+
+  void receive(const Packet& p) override {
+    if (sink_) sink_(p);
+  }
+
+ private:
+  Sink sink_;
+};
+
+/// Output-queued switch with ECMP over equal-cost next hops.
+class Switch final : public Node {
+ public:
+  using Node::Node;
+
+  void receive(const Packet& p) override;
+
+  /// Install the ECMP port set toward destination `dst` (replaces any
+  /// previous entry).
+  void set_route(NodeId dst, std::vector<std::uint16_t> out_ports);
+
+  const std::vector<std::uint16_t>& route(NodeId dst) const;
+
+  /// Packets that arrived with no route installed (counted, dropped).
+  std::uint64_t unrouted() const { return unrouted_; }
+
+ private:
+  // Indexed by destination node id; empty vector = no route.
+  std::vector<std::vector<std::uint16_t>> routes_;
+  std::uint64_t unrouted_ = 0;
+};
+
+/// Flow-consistent ECMP hash: same flow always picks the same path.
+std::uint64_t ecmp_hash(FlowId flow, NodeId node);
+
+}  // namespace qv::netsim

@@ -1,0 +1,59 @@
+// Packet: the unit every queue, link, and scheduler operates on.
+//
+// Packets are small value types copied into and out of queues; no
+// payload bytes are simulated, only sizes and metadata. The `rank` field
+// follows the PIFO convention of the paper: LOWER rank = HIGHER priority
+// (scheduled first).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace qv {
+
+using FlowId = std::uint64_t;
+using NodeId = std::uint32_t;
+using TenantId = std::uint32_t;
+
+/// Scheduling rank. Lower is scheduled first (paper Fig. 3 convention).
+using Rank = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+inline constexpr TenantId kInvalidTenant = 0xffffffff;
+inline constexpr Rank kMaxRank = 0xffffffff;
+
+enum class PacketKind : std::uint8_t {
+  kData = 0,
+  kAck = 1,  ///< reliability acknowledgement (reliable_source.hpp)
+};
+
+struct Packet {
+  FlowId flow = 0;
+  std::uint32_t seq = 0;  ///< index of this packet within its flow
+  PacketKind kind = PacketKind::kData;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::int32_t size_bytes = 0;  ///< wire size including headers
+
+  TenantId tenant = kInvalidTenant;
+  /// Current scheduling rank. QVISOR's pre-processor rewrites this at
+  /// every hop it manages.
+  Rank rank = 0;
+  /// The tenant-assigned rank label (paper §3.1). Set once at the
+  /// source, never modified in the network: each pre-processor derives
+  /// `rank` from it, so traversing several QVISOR hops is idempotent.
+  Rank original_rank = 0;
+
+  TimeNs created_at = 0;   ///< flow-source emission time
+  TimeNs deadline = kTimeMax;  ///< absolute deadline (EDF tenants)
+
+  /// Total flow size and bytes remaining *including this packet* at send
+  /// time; used by size-aware rank functions (pFabric/SRPT, LSTF).
+  std::int64_t flow_size_bytes = 0;
+  std::int64_t remaining_bytes = 0;
+
+  bool last_of_flow = false;
+};
+
+}  // namespace qv

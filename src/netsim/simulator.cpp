@@ -1,0 +1,36 @@
+#include "netsim/simulator.hpp"
+
+#include <cassert>
+
+namespace qv::netsim {
+
+EventId Simulator::at(TimeNs when, EventFn fn) {
+  assert(when >= now_);
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::after(TimeNs delay, EventFn fn) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::run_until(TimeNs deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    // Advance the clock BEFORE dispatching so the event's callback
+    // observes its own timestamp through now().
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++processed_;
+  }
+  now_ = deadline;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++processed_;
+  }
+}
+
+}  // namespace qv::netsim

@@ -1,0 +1,40 @@
+// Simulator: the clock plus the event queue, with run-until helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/event.hpp"
+#include "util/time.hpp"
+
+namespace qv::netsim {
+
+class Simulator {
+ public:
+  TimeNs now() const { return now_; }
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventId at(TimeNs when, EventFn fn);
+
+  /// Schedule after a relative delay (must be >= 0).
+  EventId after(TimeNs delay, EventFn fn);
+
+  /// Cancel a pending (not yet run) event.
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run every event up to and including `deadline`; the clock stops at
+  /// `deadline` even if the queue empties earlier.
+  void run_until(TimeNs deadline);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool idle() { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace qv::netsim

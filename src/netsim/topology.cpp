@@ -1,0 +1,49 @@
+#include "netsim/topology.hpp"
+
+#include <string>
+
+namespace qv::netsim {
+
+LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& config,
+                           const SchedulerFactory& factory) {
+  LeafSpine out;
+  out.config = config;
+  for (std::size_t l = 0; l < config.leaves; ++l) {
+    out.leaves.push_back(&net.add_switch("leaf" + std::to_string(l)));
+  }
+  for (std::size_t s = 0; s < config.spines; ++s) {
+    out.spines.push_back(&net.add_switch("spine" + std::to_string(s)));
+  }
+  for (std::size_t l = 0; l < config.leaves; ++l) {
+    for (std::size_t h = 0; h < config.hosts_per_leaf; ++h) {
+      Host& host = net.add_host("host" + std::to_string(out.hosts.size()));
+      out.hosts.push_back(&host);
+      net.connect_bidir(host, *out.leaves[l], config.access_rate,
+                        config.link_delay, factory);
+    }
+  }
+  for (auto* leaf : out.leaves) {
+    for (auto* spine : out.spines) {
+      net.connect_bidir(*leaf, *spine, config.fabric_rate,
+                        config.link_delay, factory);
+    }
+  }
+  net.compute_routes();
+  return out;
+}
+
+SingleSwitch build_single_switch(Network& net, std::size_t num_hosts,
+                                 BitsPerSec rate, TimeNs link_delay,
+                                 const SchedulerFactory& factory) {
+  SingleSwitch out;
+  out.sw = &net.add_switch("sw0");
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    Host& host = net.add_host("host" + std::to_string(h));
+    out.hosts.push_back(&host);
+    net.connect_bidir(host, *out.sw, rate, link_delay, factory);
+  }
+  net.compute_routes();
+  return out;
+}
+
+}  // namespace qv::netsim

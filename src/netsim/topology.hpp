@@ -1,0 +1,54 @@
+// Topology builders. The paper's evaluation topology is a leaf-spine
+// fabric: 9 leaves × 4 spines, 16 hosts per leaf (144 servers), 1 Gb/s
+// access links and 4 Gb/s leaf-spine links (§4).
+#pragma once
+
+#include <cstddef>
+
+#include "netsim/network.hpp"
+#include "util/units.hpp"
+
+namespace qv::netsim {
+
+struct LeafSpineConfig {
+  std::size_t leaves = 9;
+  std::size_t spines = 4;
+  std::size_t hosts_per_leaf = 16;
+  BitsPerSec access_rate = gbps(1);
+  BitsPerSec fabric_rate = gbps(4);
+  TimeNs link_delay = microseconds(1);
+
+  std::size_t total_hosts() const { return leaves * hosts_per_leaf; }
+};
+
+/// Handles to the nodes of a built leaf-spine fabric; host index h lives
+/// under leaf h / hosts_per_leaf.
+struct LeafSpine {
+  LeafSpineConfig config;
+  std::vector<Host*> hosts;
+  std::vector<Switch*> leaves;
+  std::vector<Switch*> spines;
+
+  std::size_t leaf_of(std::size_t host) const {
+    return host / config.hosts_per_leaf;
+  }
+};
+
+/// Build the fabric into `net` (which may already contain other nodes)
+/// and compute routes. Every port's queue comes from `factory`.
+LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& config,
+                           const SchedulerFactory& factory);
+
+/// Minimal topology for focused experiments: `n` hosts on one switch
+/// (single shared output queue per downlink — the classic single-
+/// bottleneck dumbbell when paired with one receiver).
+struct SingleSwitch {
+  std::vector<Host*> hosts;
+  Switch* sw = nullptr;
+};
+
+SingleSwitch build_single_switch(Network& net, std::size_t num_hosts,
+                                 BitsPerSec rate, TimeNs link_delay,
+                                 const SchedulerFactory& factory);
+
+}  // namespace qv::netsim

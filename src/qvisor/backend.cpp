@@ -1,0 +1,284 @@
+#include "qvisor/backend.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "sched/aifo.hpp"
+#include "sched/fifo.hpp"
+#include "sched/pifo.hpp"
+#include "sched/sp_pifo.hpp"
+#include "sched/strict_priority.hpp"
+
+namespace qv::qvisor {
+
+std::string SchedulerCapabilities::describe() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kPifo:
+      out << "PIFO";
+      break;
+    case Kind::kSpPifo:
+      out << "SP-PIFO(" << num_queues << " queues)";
+      break;
+    case Kind::kStrictPriority:
+      out << "strict-priority(" << num_queues << " queues)";
+      break;
+    case Kind::kAifo:
+      out << "AIFO";
+      break;
+    case Kind::kFifo:
+      out << "FIFO";
+      break;
+  }
+  out << ", rank space " << rank_space << ", "
+      << (perfect_ordering ? "perfect" : "approximate") << " ordering";
+  return out.str();
+}
+
+std::vector<std::string> Backend::guarantees(
+    const SynthesisPlan& plan) const {
+  std::vector<std::string> out;
+  const auto caps = capabilities();
+  if (caps.perfect_ordering) {
+    out.push_back(
+        "perfect rank ordering: the full plan semantics hold exactly");
+  }
+  if (plan.degraded) {
+    out.push_back("plan itself is degraded (reduced quantization)");
+  }
+  return out;
+}
+
+// --- PIFO --------------------------------------------------------------
+
+PifoBackend::PifoBackend(std::int64_t buffer_bytes, Rank rank_space)
+    : buffer_bytes_(buffer_bytes), rank_space_(rank_space) {}
+
+SchedulerCapabilities PifoBackend::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.kind = SchedulerCapabilities::Kind::kPifo;
+  caps.rank_space = rank_space_;
+  caps.buffer_bytes = buffer_bytes_;
+  caps.perfect_ordering = true;
+  return caps;
+}
+
+std::unique_ptr<sched::Scheduler> PifoBackend::instantiate(
+    const SynthesisPlan& /*plan*/) const {
+  return std::make_unique<sched::PifoQueue>(buffer_bytes_);
+}
+
+// --- SP-PIFO -----------------------------------------------------------
+
+SpPifoBackend::SpPifoBackend(std::size_t num_queues,
+                             std::int64_t buffer_bytes, Rank rank_space)
+    : num_queues_(num_queues), buffer_bytes_(buffer_bytes),
+      rank_space_(rank_space) {
+  assert(num_queues > 0);
+}
+
+SchedulerCapabilities SpPifoBackend::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.kind = SchedulerCapabilities::Kind::kSpPifo;
+  caps.num_queues = num_queues_;
+  caps.rank_space = rank_space_;
+  caps.buffer_bytes = buffer_bytes_;
+  caps.perfect_ordering = false;
+  return caps;
+}
+
+std::unique_ptr<sched::Scheduler> SpPifoBackend::instantiate(
+    const SynthesisPlan& /*plan*/) const {
+  return std::make_unique<sched::SpPifoQueue>(num_queues_, buffer_bytes_);
+}
+
+std::vector<std::string> SpPifoBackend::guarantees(
+    const SynthesisPlan& plan) const {
+  auto out = Backend::guarantees(plan);
+  out.push_back("rank ordering approximated by " +
+                std::to_string(num_queues_) +
+                " adaptive queues; bounded per-queue inversions, no "
+                "strict isolation guarantee under adversarial ranks");
+  return out;
+}
+
+// --- strict priority -----------------------------------------------------
+
+StrictPriorityBackend::StrictPriorityBackend(std::size_t num_queues,
+                                             std::int64_t buffer_bytes,
+                                             Rank rank_space)
+    : num_queues_(num_queues), buffer_bytes_(buffer_bytes),
+      rank_space_(rank_space) {
+  assert(num_queues > 0);
+}
+
+SchedulerCapabilities StrictPriorityBackend::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.kind = SchedulerCapabilities::Kind::kStrictPriority;
+  caps.num_queues = num_queues_;
+  caps.rank_space = rank_space_;
+  caps.buffer_bytes = buffer_bytes_;
+  caps.perfect_ordering = false;
+  return caps;
+}
+
+std::vector<std::size_t> StrictPriorityBackend::tier_queue_split(
+    const SynthesisPlan& plan, std::size_t num_queues) {
+  const std::size_t tiers = std::max<std::size_t>(plan.tier_bands.size(), 1);
+  // Every tier gets at least one queue; leftover queues go to tiers in
+  // proportion to their band widths (wider band = more distinct ranks
+  // worth separating).
+  std::vector<std::size_t> queues_per_tier(tiers, tiers <= num_queues ? 1 : 0);
+  if (tiers > num_queues) {
+    // More tiers than queues: the last queues absorb multiple tiers.
+    // Assign one queue per tier until we run out; the rest share the
+    // final queue. Expressed as a split for uniformity.
+    std::vector<std::size_t> split(tiers + 1, 0);
+    for (std::size_t t = 0; t <= tiers; ++t) {
+      split[t] = std::min(t, num_queues - 1);
+    }
+    split[tiers] = num_queues;
+    return split;
+  }
+  std::size_t leftover = num_queues - tiers;
+  std::uint64_t total_width = 0;
+  for (const auto& band : plan.tier_bands) {
+    total_width += static_cast<std::uint64_t>(band.hi) - band.lo + 1;
+  }
+  if (total_width == 0) total_width = 1;
+  std::size_t assigned = 0;
+  for (std::size_t t = 0; t < tiers && leftover > 0; ++t) {
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(plan.tier_bands[t].hi) -
+        plan.tier_bands[t].lo + 1;
+    const auto extra = static_cast<std::size_t>(
+        static_cast<std::uint64_t>(leftover) * width / total_width);
+    queues_per_tier[t] += extra;
+    assigned += extra;
+  }
+  // Rounding remainder goes to the first (highest-priority) tier.
+  queues_per_tier[0] += leftover - assigned;
+
+  std::vector<std::size_t> split(tiers + 1, 0);
+  for (std::size_t t = 0; t < tiers; ++t) {
+    split[t + 1] = split[t] + queues_per_tier[t];
+  }
+  return split;
+}
+
+std::size_t StrictPriorityBackend::queue_for(const SynthesisPlan& plan,
+                                             std::size_t num_queues,
+                                             Rank rank) {
+  const auto split = tier_queue_split(plan, num_queues);
+  for (std::size_t t = 0; t < plan.tier_bands.size(); ++t) {
+    const auto& band = plan.tier_bands[t];
+    if (rank < band.lo || rank > band.hi) continue;
+    const std::size_t first = split[t];
+    const std::size_t count = std::max<std::size_t>(split[t + 1] - first, 1);
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(band.hi) - band.lo + 1;
+    const std::uint64_t offset = rank - band.lo;
+    return first + static_cast<std::size_t>(offset * count / width);
+  }
+  return num_queues - 1;  // outside every band: best effort
+}
+
+std::unique_ptr<sched::Scheduler> StrictPriorityBackend::instantiate(
+    const SynthesisPlan& plan) const {
+  auto bank = std::make_unique<sched::StrictPriorityBank>(
+      num_queues_, buffer_bytes_, rank_space_);
+  // Capture the pieces of the plan the map needs by value so the
+  // scheduler outlives the plan object.
+  const auto bands = plan.tier_bands;
+  const auto split = tier_queue_split(plan, num_queues_);
+  const std::size_t nq = num_queues_;
+  bank->set_queue_map([bands, split, nq](const Packet& p) -> std::size_t {
+    for (std::size_t t = 0; t < bands.size(); ++t) {
+      if (p.rank < bands[t].lo || p.rank > bands[t].hi) continue;
+      const std::size_t first = split[t];
+      const std::size_t count =
+          std::max<std::size_t>(split[t + 1] - first, 1);
+      const std::uint64_t width =
+          static_cast<std::uint64_t>(bands[t].hi) - bands[t].lo + 1;
+      const std::uint64_t offset = p.rank - bands[t].lo;
+      return first + static_cast<std::size_t>(offset * count / width);
+    }
+    return nq - 1;
+  });
+  return bank;
+}
+
+std::vector<std::string> StrictPriorityBackend::guarantees(
+    const SynthesisPlan& plan) const {
+  auto out = Backend::guarantees(plan);
+  const auto split = tier_queue_split(plan, num_queues_);
+  for (std::size_t t = 0; t + 1 < split.size(); ++t) {
+    std::ostringstream msg;
+    msg << "tier " << t << " owns dedicated queues [" << split[t] << ", "
+        << split[t + 1] << "): '>>' isolation holds exactly";
+    if (split[t + 1] - split[t] <= 1 && plan.tier_bands.size() > t) {
+      msg << "; intra-tier order collapses to FIFO (1 queue)";
+    }
+    out.push_back(msg.str());
+  }
+  return out;
+}
+
+// --- AIFO ----------------------------------------------------------------
+
+AifoBackend::AifoBackend(std::int64_t buffer_bytes, std::size_t window,
+                         double k, Rank rank_space)
+    : buffer_bytes_(buffer_bytes), window_(window), k_(k),
+      rank_space_(rank_space) {}
+
+SchedulerCapabilities AifoBackend::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.kind = SchedulerCapabilities::Kind::kAifo;
+  caps.rank_space = rank_space_;
+  caps.buffer_bytes = buffer_bytes_;
+  caps.perfect_ordering = false;
+  return caps;
+}
+
+std::unique_ptr<sched::Scheduler> AifoBackend::instantiate(
+    const SynthesisPlan& /*plan*/) const {
+  return std::make_unique<sched::AifoQueue>(buffer_bytes_, window_, k_);
+}
+
+std::vector<std::string> AifoBackend::guarantees(
+    const SynthesisPlan& plan) const {
+  auto out = Backend::guarantees(plan);
+  out.push_back(
+      "single-queue admission control: low ranks favored by admission, "
+      "FIFO order inside the buffer; no in-buffer reordering");
+  return out;
+}
+
+// --- FIFO ------------------------------------------------------------------
+
+FifoBackend::FifoBackend(std::int64_t buffer_bytes)
+    : buffer_bytes_(buffer_bytes) {}
+
+SchedulerCapabilities FifoBackend::capabilities() const {
+  SchedulerCapabilities caps;
+  caps.kind = SchedulerCapabilities::Kind::kFifo;
+  caps.rank_space = 1;
+  caps.buffer_bytes = buffer_bytes_;
+  caps.perfect_ordering = false;
+  return caps;
+}
+
+std::unique_ptr<sched::Scheduler> FifoBackend::instantiate(
+    const SynthesisPlan& /*plan*/) const {
+  return std::make_unique<sched::FifoQueue>(buffer_bytes_);
+}
+
+std::vector<std::string> FifoBackend::guarantees(
+    const SynthesisPlan& plan) const {
+  auto out = Backend::guarantees(plan);
+  out.push_back("ranks are ignored: no part of the policy is enforced");
+  return out;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,158 @@
+// Deployment backends (paper §3.4): QVISOR must run on whatever the
+// switch actually has. A Backend abstracts one scheduler type behind a
+// capability descriptor ("what packet-processing operations it supports
+// and what guarantees it provides") and knows how to instantiate the
+// scheduler configured for a given synthesis plan.
+//
+// The strict-priority backend reproduces the paper's worked example: a
+// bank of priority queues where whole queue SETS are dedicated to
+// isolation tiers ("map traffic from T1 to the three highest-priority
+// queues, and traffic from T2 and T3 to the two lowest-priority
+// queues"), with each tier's rank band spread across its queues.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qvisor/synthesizer.hpp"
+#include "sched/scheduler.hpp"
+
+namespace qv::qvisor {
+
+struct SchedulerCapabilities {
+  enum class Kind { kPifo, kSpPifo, kStrictPriority, kAifo, kFifo };
+
+  Kind kind = Kind::kPifo;
+  std::size_t num_queues = 1;  ///< for queue-bank kinds
+  Rank rank_space = 1u << 20;  ///< ranks the hardware can represent
+  std::int64_t buffer_bytes = 0;  ///< 0 = unbounded
+
+  /// True iff dequeue order is exactly rank order (a real PIFO). When
+  /// false, QVISOR can only promise approximate ordering and must lean
+  /// on dedicated queues for strict isolation.
+  bool perfect_ordering = false;
+
+  std::string describe() const;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual SchedulerCapabilities capabilities() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Build one hardware-scheduler instance configured for `plan`
+  /// (queue maps installed, buffers sized). Called once per port.
+  virtual std::unique_ptr<sched::Scheduler> instantiate(
+      const SynthesisPlan& plan) const = 0;
+
+  /// The guarantees this backend offers for `plan`, human-readable
+  /// (paper §5: output "the supported specifications and the offered
+  /// guarantees").
+  virtual std::vector<std::string> guarantees(
+      const SynthesisPlan& plan) const;
+};
+
+using BackendPtr = std::shared_ptr<Backend>;
+
+/// Ideal PIFO: perfect rank ordering (the abstraction of §2 Problem 3).
+class PifoBackend final : public Backend {
+ public:
+  explicit PifoBackend(std::int64_t buffer_bytes = 0,
+                       Rank rank_space = 1u << 20);
+  SchedulerCapabilities capabilities() const override;
+  std::string name() const override { return "pifo"; }
+  std::unique_ptr<sched::Scheduler> instantiate(
+      const SynthesisPlan& plan) const override;
+
+ private:
+  std::int64_t buffer_bytes_;
+  Rank rank_space_;
+};
+
+/// SP-PIFO on N strict-priority queues (adaptive queue bounds).
+class SpPifoBackend final : public Backend {
+ public:
+  SpPifoBackend(std::size_t num_queues, std::int64_t buffer_bytes = 0,
+                Rank rank_space = 1u << 20);
+  SchedulerCapabilities capabilities() const override;
+  std::string name() const override { return "sp-pifo"; }
+  std::unique_ptr<sched::Scheduler> instantiate(
+      const SynthesisPlan& plan) const override;
+  std::vector<std::string> guarantees(
+      const SynthesisPlan& plan) const override;
+
+ private:
+  std::size_t num_queues_;
+  std::int64_t buffer_bytes_;
+  Rank rank_space_;
+};
+
+/// Fixed strict-priority queues with a plan-derived rank→queue map:
+/// queues are DEDICATED to isolation tiers (≥1 per tier, remainder
+/// spread by band width), so '>>' holds exactly even without a PIFO.
+class StrictPriorityBackend final : public Backend {
+ public:
+  StrictPriorityBackend(std::size_t num_queues,
+                        std::int64_t buffer_bytes = 0,
+                        Rank rank_space = 1u << 20);
+  SchedulerCapabilities capabilities() const override;
+  std::string name() const override { return "strict-priority"; }
+  std::unique_ptr<sched::Scheduler> instantiate(
+      const SynthesisPlan& plan) const override;
+  std::vector<std::string> guarantees(
+      const SynthesisPlan& plan) const override;
+
+  /// The queue index a given transformed rank maps to under `plan`
+  /// (exposed for tests and for the example binaries to print).
+  static std::size_t queue_for(const SynthesisPlan& plan,
+                               std::size_t num_queues, Rank rank);
+
+  /// Queues assigned to each tier: tier i owns
+  /// [assignment[i], assignment[i+1]).
+  static std::vector<std::size_t> tier_queue_split(
+      const SynthesisPlan& plan, std::size_t num_queues);
+
+ private:
+  std::size_t num_queues_;
+  std::int64_t buffer_bytes_;
+  Rank rank_space_;
+};
+
+/// AIFO: single FIFO + rank-aware admission.
+class AifoBackend final : public Backend {
+ public:
+  explicit AifoBackend(std::int64_t buffer_bytes, std::size_t window = 64,
+                       double k = 0.1, Rank rank_space = 1u << 20);
+  SchedulerCapabilities capabilities() const override;
+  std::string name() const override { return "aifo"; }
+  std::unique_ptr<sched::Scheduler> instantiate(
+      const SynthesisPlan& plan) const override;
+  std::vector<std::string> guarantees(
+      const SynthesisPlan& plan) const override;
+
+ private:
+  std::int64_t buffer_bytes_;
+  std::size_t window_;
+  double k_;
+  Rank rank_space_;
+};
+
+/// Plain FIFO: the degenerate baseline (ranks ignored entirely).
+class FifoBackend final : public Backend {
+ public:
+  explicit FifoBackend(std::int64_t buffer_bytes = 0);
+  SchedulerCapabilities capabilities() const override;
+  std::string name() const override { return "fifo"; }
+  std::unique_ptr<sched::Scheduler> instantiate(
+      const SynthesisPlan& plan) const override;
+  std::vector<std::string> guarantees(
+      const SynthesisPlan& plan) const override;
+
+ private:
+  std::int64_t buffer_bytes_;
+};
+
+}  // namespace qv::qvisor

@@ -1,0 +1,176 @@
+#include "qvisor/fleet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace qv::qvisor {
+
+Fleet::Fleet(std::vector<TenantSpec> tenants, OperatorPolicy policy,
+             BackendPtr backend, SynthesizerConfig config)
+    : tenants_(std::move(tenants)), policy_(std::move(policy)),
+      backend_(std::move(backend)), config_(config) {
+  assert(backend_ != nullptr);
+}
+
+std::size_t Fleet::add_switch(const std::string& name) {
+  Member member;
+  member.name = name;
+  member.hv = std::make_unique<Hypervisor>(tenants_, policy_, backend_,
+                                           config_);
+  switches_.push_back(std::move(member));
+  return switches_.size() - 1;
+}
+
+Hypervisor& Fleet::hypervisor(std::size_t switch_index) {
+  return *switches_.at(switch_index).hv;
+}
+
+const std::string& Fleet::switch_name(std::size_t switch_index) const {
+  return switches_.at(switch_index).name;
+}
+
+Hypervisor::CompileResult Fleet::compile() {
+  std::vector<std::string> names;
+  for (const auto& t : tenants_) names.push_back(t.name);
+  return compile_for(names);
+}
+
+Hypervisor::CompileResult Fleet::compile_for(
+    const std::vector<std::string>& active_names) {
+  assert(!switches_.empty());
+  // Fleet-level validation: the shared policy must only name registered
+  // tenants. (Hypervisor::compile_for restricts silently — correct for
+  // the runtime path, but a misconfigured fleet policy must not deploy.)
+  for (const auto& name : policy_.tenant_names()) {
+    const bool known =
+        std::any_of(tenants_.begin(), tenants_.end(),
+                    [&](const TenantSpec& t) { return t.name == name; });
+    if (!known) {
+      Hypervisor::CompileResult result;
+      result.error = "fleet policy mentions unknown tenant: " + name;
+      return result;
+    }
+  }
+  // All switches share one configuration, so one dry run decides for
+  // the whole fleet: validate on the first switch WITHOUT installing,
+  // then deploy everywhere only on success.
+  // (Hypervisor::compile_for installs on success, so run it on a
+  // scratch hypervisor first.)
+  Hypervisor scratch(tenants_, policy_, backend_, config_);
+  auto result = scratch.compile_for(active_names);
+  if (!result.ok) return result;
+
+  for (auto& member : switches_) {
+    member.hv->set_policy(policy_);
+    for (const auto& spec : tenants_) member.hv->upsert_tenant(spec);
+    const auto deployed = member.hv->compile_for(active_names);
+    // The configuration is identical, so this cannot fail differently.
+    assert(deployed.ok);
+    (void)deployed;
+  }
+  return result;
+}
+
+std::unique_ptr<sched::Scheduler> Fleet::make_port_scheduler(
+    std::size_t switch_index) {
+  return switches_.at(switch_index).hv->make_port_scheduler();
+}
+
+std::unordered_map<TenantId, std::uint64_t> Fleet::per_tenant_packets()
+    const {
+  std::unordered_map<TenantId, std::uint64_t> out;
+  for (const auto& member : switches_) {
+    for (const auto& [tenant, count] : member.hv->per_tenant_packets()) {
+      out[tenant] += count;
+    }
+  }
+  return out;
+}
+
+std::optional<TimeNs> Fleet::last_seen(TenantId tenant) const {
+  std::optional<TimeNs> latest;
+  for (const auto& member : switches_) {
+    const RankDistEstimator* est = member.hv->find_estimator(tenant);
+    if (est == nullptr || est->empty()) continue;
+    if (!latest || est->last_observation() > *latest) {
+      latest = est->last_observation();
+    }
+  }
+  return latest;
+}
+
+std::vector<TenantId> Fleet::adversarial() const {
+  std::vector<TenantId> out;
+  for (const auto& member : switches_) {
+    for (const TenantId id : member.hv->monitor().adversarial()) {
+      if (std::find(out.begin(), out.end(), id) == out.end()) {
+        out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Fleet::set_policy(OperatorPolicy policy) {
+  policy_ = std::move(policy);
+}
+
+void Fleet::upsert_tenant(TenantSpec spec) {
+  for (auto& existing : tenants_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  tenants_.push_back(std::move(spec));
+}
+
+// --- FleetController --------------------------------------------------------
+
+FleetController::FleetController(Fleet& fleet, RuntimeConfig config)
+    : fleet_(fleet), config_(config) {
+  for (const auto& spec : fleet_.tenants()) active_.push_back(spec.name);
+}
+
+std::vector<std::string> FleetController::compute_active(TimeNs now) const {
+  std::vector<std::string> active;
+  bool any_seen = false;
+  for (const auto& spec : fleet_.tenants()) {
+    const auto seen = fleet_.last_seen(spec.id);
+    if (!seen) continue;
+    any_seen = true;
+    if (now - *seen <= config_.activity_window) {
+      active.push_back(spec.name);
+    }
+  }
+  if (!any_seen || active.empty()) {
+    active.clear();
+    for (const auto& spec : fleet_.tenants()) active.push_back(spec.name);
+  }
+  return active;
+}
+
+bool FleetController::tick(TimeNs now) {
+  if (last_reconfig_ >= 0 &&
+      now - last_reconfig_ < config_.min_reconfig_interval) {
+    return false;
+  }
+  std::vector<std::string> active = compute_active(now);
+  std::sort(active.begin(), active.end());
+  if (active == active_) return false;
+
+  const auto result = fleet_.compile_for(active);
+  if (!result.ok) {
+    QV_WARN << "fleet adaptation failed: " << result.error;
+    return false;
+  }
+  active_ = std::move(active);
+  ++adaptations_;
+  last_reconfig_ = now;
+  return true;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,100 @@
+// Network-wide scheduling virtualization (paper §5, "Cross-device
+// virtualization": "mechanisms to orchestrate the scheduling
+// virtualization from a network-wide perspective").
+//
+// A Fleet owns one Hypervisor per switch and keeps them configured
+// identically: tenants and the operator policy are fleet-level state;
+// compile() is all-or-nothing (a plan that fails static analysis on
+// the common configuration deploys nowhere); per-tenant observations
+// aggregate across every switch so the fleet-level runtime controller
+// reacts to a tenant that is active ANYWHERE in the network.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qvisor/qvisor.hpp"
+#include "qvisor/runtime.hpp"
+
+namespace qv::qvisor {
+
+class Fleet {
+ public:
+  /// All switches share the tenant set, policy, backend and config.
+  Fleet(std::vector<TenantSpec> tenants, OperatorPolicy policy,
+        BackendPtr backend, SynthesizerConfig config = {});
+
+  /// Register a switch; returns its index. Must be called before
+  /// compile() deploys anything to it.
+  std::size_t add_switch(const std::string& name);
+
+  std::size_t switch_count() const { return switches_.size(); }
+  Hypervisor& hypervisor(std::size_t switch_index);
+  const std::string& switch_name(std::size_t switch_index) const;
+
+  /// Compile the shared configuration and deploy to EVERY switch.
+  /// All-or-nothing: on any failure no switch's plan changes.
+  Hypervisor::CompileResult compile();
+
+  /// Compile for a subset of tenants on every switch (runtime path).
+  Hypervisor::CompileResult compile_for(
+      const std::vector<std::string>& active_names);
+
+  /// Make a port scheduler on a given switch.
+  std::unique_ptr<sched::Scheduler> make_port_scheduler(
+      std::size_t switch_index);
+
+  /// Fleet-wide per-tenant packet counts.
+  std::unordered_map<TenantId, std::uint64_t> per_tenant_packets() const;
+
+  /// Most recent observation time of `tenant` on ANY switch; nullopt if
+  /// never seen.
+  std::optional<TimeNs> last_seen(TenantId tenant) const;
+
+  /// Tenants judged adversarial on at least one switch.
+  std::vector<TenantId> adversarial() const;
+
+  /// Update the shared policy / tenant set (applies on next compile).
+  void set_policy(OperatorPolicy policy);
+  void upsert_tenant(TenantSpec spec);
+
+  const std::vector<TenantSpec>& tenants() const { return tenants_; }
+  const OperatorPolicy& policy() const { return policy_; }
+
+ private:
+  struct Member {
+    std::string name;
+    std::unique_ptr<Hypervisor> hv;
+  };
+
+  std::vector<TenantSpec> tenants_;
+  OperatorPolicy policy_;
+  BackendPtr backend_;
+  SynthesizerConfig config_;
+  std::vector<Member> switches_;
+};
+
+/// Fleet-level runtime controller: like RuntimeController, but the
+/// active set is "seen recently on ANY switch" and re-synthesis
+/// deploys fleet-wide.
+class FleetController {
+ public:
+  FleetController(Fleet& fleet, RuntimeConfig config = {});
+
+  bool tick(TimeNs now);
+
+  const std::vector<std::string>& active_tenants() const { return active_; }
+  std::uint64_t adaptations() const { return adaptations_; }
+
+ private:
+  std::vector<std::string> compute_active(TimeNs now) const;
+
+  Fleet& fleet_;
+  RuntimeConfig config_;
+  std::vector<std::string> active_;
+  TimeNs last_reconfig_ = -1;
+  std::uint64_t adaptations_ = 0;
+};
+
+}  // namespace qv::qvisor

@@ -1,0 +1,269 @@
+#include "qvisor/hierarchy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace qv::qvisor {
+
+// --- tree compilation -----------------------------------------------------
+
+TreeCompiler::TreeCompiler(double prefer_weight_ratio)
+    : prefer_ratio_(prefer_weight_ratio) {
+  assert(prefer_weight_ratio > 1.0);
+}
+
+namespace {
+
+/// Recursively lower a PolicyExpr into a PifoTreeSpec node, assigning
+/// leaf indices left to right.
+sched::PifoTreeSpec::Node lower(const PolicyExpr& expr,
+                                double prefer_ratio,
+                                std::map<std::string, std::size_t>& leaf_of,
+                                std::size_t& next_leaf,
+                                std::vector<std::string>& notes) {
+  sched::PifoTreeSpec::Node node;
+  node.weight = expr.weight;
+  switch (expr.kind) {
+    case PolicyExpr::Kind::kTenant:
+      node.policy = sched::PifoTreeSpec::NodePolicy::kLeaf;
+      node.label = expr.tenant;
+      leaf_of[expr.tenant] = next_leaf++;
+      return node;
+    case PolicyExpr::Kind::kIsolate:
+      node.policy = sched::PifoTreeSpec::NodePolicy::kStrict;
+      node.label = "isolate";
+      break;
+    case PolicyExpr::Kind::kShare:
+      node.policy = sched::PifoTreeSpec::NodePolicy::kWfq;
+      node.label = "share";
+      break;
+    case PolicyExpr::Kind::kPrefer: {
+      node.policy = sched::PifoTreeSpec::NodePolicy::kWfq;
+      node.label = "prefer";
+      std::ostringstream note;
+      note << "'>' realized as weighted sharing with ratio "
+           << prefer_ratio << " per step (best-effort preference)";
+      notes.push_back(note.str());
+      break;
+    }
+  }
+  for (const auto& child : expr.children) {
+    node.children.push_back(
+        lower(child, prefer_ratio, leaf_of, next_leaf, notes));
+  }
+  if (expr.kind == PolicyExpr::Kind::kPrefer) {
+    // Geometric weights: earlier children preferred.
+    const std::size_t n = node.children.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      node.children[i].weight *=
+          std::pow(prefer_ratio, static_cast<double>(n - 1 - i));
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+TreeCompileResult TreeCompiler::compile(
+    const PolicyExpr& expr, const std::vector<TenantSpec>& tenants) const {
+  TreeCompileResult result;
+
+  const auto names = expr.tenant_names();
+  std::set<std::string> in_expr(names.begin(), names.end());
+  std::set<std::string> in_specs;
+  for (const auto& spec : tenants) in_specs.insert(spec.name);
+  for (const auto& name : names) {
+    if (!in_specs.count(name)) {
+      result.error = "policy mentions unknown tenant: " + name;
+      return result;
+    }
+  }
+  for (const auto& spec : tenants) {
+    if (!in_expr.count(spec.name)) {
+      result.error = "tenant not mentioned in policy: " + spec.name;
+      return result;
+    }
+  }
+
+  sched::PifoTreeSpec spec;
+  std::size_t next_leaf = 0;
+  spec.root =
+      lower(expr, prefer_ratio_, result.leaf_of, next_leaf, result.notes);
+  result.notes.push_back("hierarchy deployed exactly on a PIFO tree with " +
+                         std::to_string(next_leaf) + " leaves");
+  result.spec = std::move(spec);
+  return result;
+}
+
+std::unique_ptr<sched::Scheduler> make_tree_scheduler(
+    const TreeCompileResult& compiled,
+    const std::vector<TenantSpec>& tenants, std::int64_t buffer_bytes) {
+  assert(compiled.ok());
+  // Dense tenant-id -> leaf map for the per-packet classifier.
+  std::unordered_map<TenantId, std::size_t> leaf_by_id;
+  for (const auto& spec : tenants) {
+    const auto it = compiled.leaf_of.find(spec.name);
+    if (it != compiled.leaf_of.end()) leaf_by_id[spec.id] = it->second;
+  }
+  const std::size_t fallback = compiled.spec->leaf_count() - 1;
+  auto classify = [leaf_by_id, fallback](const Packet& p) -> std::size_t {
+    const auto it = leaf_by_id.find(p.tenant);
+    return it == leaf_by_id.end() ? fallback : it->second;
+  };
+  return std::make_unique<sched::PifoTreeQueue>(*compiled.spec,
+                                                std::move(classify),
+                                                buffer_bytes);
+}
+
+// --- flattening -------------------------------------------------------------
+
+namespace {
+
+struct FlattenContext {
+  const std::unordered_map<std::string, const TenantSpec*>& specs;
+  std::uint32_t levels;
+  std::uint32_t bias;
+  std::vector<TenantPlan>& out;
+  std::vector<std::string>& approximations;
+};
+
+/// Allocate `expr` into the band starting at `base`; returns the band
+/// width consumed. `depth_tier` tracks the top-level isolate child the
+/// subtree belongs to (for TenantPlan::tier / tier_bands).
+Rank allocate(const PolicyExpr& expr, Rank base, std::size_t tier,
+              FlattenContext& ctx) {
+  switch (expr.kind) {
+    case PolicyExpr::Kind::kTenant: {
+      const TenantSpec& spec = *ctx.specs.at(expr.tenant);
+      TenantPlan plan;
+      plan.tenant = spec.id;
+      plan.name = spec.name;
+      plan.tier = tier;
+      plan.transform =
+          RankTransform(spec.declared_bounds, ctx.levels, base);
+      ctx.out.push_back(std::move(plan));
+      if (expr.weight != 1.0) {
+        ctx.approximations.push_back(
+            "weight of tenant '" + expr.tenant +
+            "' ignored by flattening (single PIFO cannot weight shares; "
+            "deploy on a PIFO tree to honour it)");
+      }
+      return ctx.levels;
+    }
+    case PolicyExpr::Kind::kIsolate: {
+      Rank offset = 0;
+      for (const auto& child : expr.children) {
+        offset += allocate(child, base + offset, tier, ctx);
+      }
+      return offset;
+    }
+    case PolicyExpr::Kind::kPrefer: {
+      Rank width = 0;
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        const Rank child_base =
+            base + ctx.bias * static_cast<Rank>(i);
+        const Rank child_width =
+            allocate(expr.children[i], child_base, tier, ctx);
+        width = std::max(width,
+                         ctx.bias * static_cast<Rank>(i) + child_width);
+      }
+      return width;
+    }
+    case PolicyExpr::Kind::kShare: {
+      Rank width = 0;
+      bool nested = false;
+      for (const auto& child : expr.children) {
+        width = std::max(width, allocate(child, base, tier, ctx));
+        if (!child.is_leaf()) nested = true;
+      }
+      if (nested) {
+        ctx.approximations.push_back(
+            "nested structure inside a '+' group flattened onto one "
+            "shared band: its internal ordering now competes with the "
+            "other sharers' ranks instead of being served as a unit");
+      }
+      return width;
+    }
+  }
+  return 0;
+}
+
+/// Width the allocation would take, without emitting plans.
+Rank dry_run_width(const PolicyExpr& expr, std::uint32_t levels,
+                   std::uint32_t bias,
+                   const std::unordered_map<std::string, const TenantSpec*>&
+                       specs) {
+  std::vector<TenantPlan> scratch;
+  std::vector<std::string> notes;
+  FlattenContext ctx{specs, levels, bias, scratch, notes};
+  return allocate(expr, 0, 0, ctx);
+}
+
+}  // namespace
+
+FlattenResult flatten_to_plan(const PolicyExpr& expr,
+                              const std::vector<TenantSpec>& tenants,
+                              const SynthesizerConfig& config) {
+  FlattenResult result;
+
+  std::unordered_map<std::string, const TenantSpec*> specs;
+  for (const auto& spec : tenants) specs[spec.name] = &spec;
+  for (const auto& name : expr.tenant_names()) {
+    if (!specs.count(name)) {
+      result.error = "policy mentions unknown tenant: " + name;
+      return result;
+    }
+  }
+
+  std::uint32_t levels = std::max<std::uint32_t>(config.levels_per_group, 1);
+  const auto bias_for = [&](std::uint32_t lv) {
+    return config.pref_bias != 0 ? config.pref_bias
+                                 : std::max<std::uint32_t>(lv / 4, 1);
+  };
+  // Shrink quantization until the layout fits the rank space.
+  while (levels > 1 &&
+         dry_run_width(expr, levels, bias_for(levels), specs) >
+             config.rank_space) {
+    levels /= 2;
+  }
+  if (dry_run_width(expr, levels, bias_for(levels), specs) >
+      config.rank_space) {
+    result.error = "hierarchical policy does not fit the rank space";
+    return result;
+  }
+  if (levels != std::max<std::uint32_t>(config.levels_per_group, 1)) {
+    result.approximations.push_back(
+        "quantization degraded to " + std::to_string(levels) +
+        " levels per band to fit the rank space");
+  }
+
+  SynthesisPlan plan;
+  plan.rank_space = config.rank_space;
+
+  // Top-level isolate children become the plan's tiers (used by the
+  // strict-priority backend's dedicated-queue split).
+  std::vector<const PolicyExpr*> tiers;
+  if (expr.kind == PolicyExpr::Kind::kIsolate) {
+    for (const auto& child : expr.children) tiers.push_back(&child);
+  } else {
+    tiers.push_back(&expr);
+  }
+  Rank base = 0;
+  FlattenContext ctx{specs, levels, bias_for(levels), plan.tenants,
+                     result.approximations};
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    const Rank width = allocate(*tiers[t], base, t, ctx);
+    plan.tier_bands.push_back(TierBand{base, base + width - 1});
+    base += width;
+  }
+  plan.degraded = !result.approximations.empty();
+  plan.notes = result.approximations;
+  result.plan = std::move(plan);
+  return result;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,99 @@
+#include "qvisor/monitor.hpp"
+
+#include <algorithm>
+
+namespace qv::qvisor {
+
+namespace {
+const TenantObservation kEmptyObservation;
+}
+
+Monitor::Monitor(double suspect_threshold, double adversarial_threshold,
+                 std::uint64_t min_packets)
+    : suspect_threshold_(suspect_threshold),
+      adversarial_threshold_(adversarial_threshold),
+      min_packets_(min_packets) {}
+
+void Monitor::set_contract(const TenantContract& contract) {
+  State& s = tenants_[contract.tenant];
+  s.contract = contract;
+  s.tokens = static_cast<double>(contract.burst_bytes);
+}
+
+void Monitor::observe(TenantId tenant, Rank original_rank,
+                      std::int32_t bytes, TimeNs now) {
+  State& s = tenants_[tenant];
+  ++s.obs.packets;
+  s.obs.bytes += static_cast<std::uint64_t>(bytes);
+
+  if (original_rank < s.contract.rank_min ||
+      original_rank > s.contract.rank_max) {
+    ++s.obs.bounds_violations;
+  }
+
+  if (s.contract.max_rate > 0) {
+    // Token bucket: refill at the contracted rate, spend per packet.
+    const TimeNs elapsed = now - s.last_refill;
+    if (elapsed > 0) {
+      s.tokens += to_seconds(elapsed) *
+                  static_cast<double>(s.contract.max_rate) / 8.0;
+      s.tokens = std::min(
+          s.tokens, static_cast<double>(s.contract.burst_bytes));
+      s.last_refill = now;
+    }
+    if (s.tokens >= static_cast<double>(bytes)) {
+      s.tokens -= static_cast<double>(bytes);
+    } else {
+      ++s.obs.rate_violations;
+    }
+  }
+  refresh_verdict(s);
+}
+
+void Monitor::refresh_verdict(State& s) const {
+  if (s.obs.packets < min_packets_) {
+    s.obs.verdict = Verdict::kClean;
+    return;
+  }
+  const double packets = static_cast<double>(s.obs.packets);
+  const double violation_frac =
+      static_cast<double>(s.obs.bounds_violations + s.obs.rate_violations) /
+      packets;
+  if (violation_frac >= adversarial_threshold_) {
+    s.obs.verdict = Verdict::kAdversarial;
+  } else if (violation_frac >= suspect_threshold_) {
+    s.obs.verdict = Verdict::kSuspect;
+  } else {
+    s.obs.verdict = Verdict::kClean;
+  }
+}
+
+Verdict Monitor::verdict(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? Verdict::kClean : it->second.obs.verdict;
+}
+
+const TenantObservation& Monitor::observation(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? kEmptyObservation : it->second.obs;
+}
+
+std::vector<TenantId> Monitor::adversarial() const {
+  std::vector<TenantId> out;
+  for (const auto& [id, s] : tenants_) {
+    if (s.obs.verdict == Verdict::kAdversarial) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Monitor::reset(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  const TenantContract contract = it->second.contract;
+  it->second = State{};
+  it->second.contract = contract;
+  it->second.tokens = static_cast<double>(contract.burst_bytes);
+}
+
+}  // namespace qv::qvisor

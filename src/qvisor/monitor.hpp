@@ -1,0 +1,84 @@
+// Adversarial-workload monitoring (paper §2, Idea 2: "develop
+// monitoring techniques to identify such adversarial workloads in the
+// network and automatically stop them").
+//
+// Two independent detectors per tenant:
+//  * bounds violations — ranks outside the declared bounds. The
+//    transform clamps them (so scheduling stays safe), but a tenant
+//    that persistently lies about its rank distribution is flagged.
+//  * rate policing — a token bucket per tenant; sustained transmission
+//    above the contracted rate is flagged.
+//
+// Verdicts are advisory: the runtime controller decides whether to
+// quarantine (demote the tenant to the bottom tier and re-synthesize).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qv::qvisor {
+
+struct TenantContract {
+  TenantId tenant = kInvalidTenant;
+  Rank rank_min = 0;
+  Rank rank_max = kMaxRank;
+  BitsPerSec max_rate = 0;       ///< 0 = unpoliced
+  std::int64_t burst_bytes = 150'000;  ///< token-bucket depth
+};
+
+enum class Verdict { kClean, kSuspect, kAdversarial };
+
+struct TenantObservation {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t bounds_violations = 0;
+  std::uint64_t rate_violations = 0;
+  Verdict verdict = Verdict::kClean;
+};
+
+class Monitor {
+ public:
+  /// Violation fractions above `suspect_threshold` mark a tenant
+  /// suspect; above `adversarial_threshold`, adversarial. Both over a
+  /// minimum sample count so one early packet cannot condemn a tenant.
+  Monitor(double suspect_threshold = 0.01,
+          double adversarial_threshold = 0.05,
+          std::uint64_t min_packets = 100);
+
+  void set_contract(const TenantContract& contract);
+
+  /// Feed one packet (pre-transform rank) at time `now`.
+  void observe(TenantId tenant, Rank original_rank, std::int32_t bytes,
+               TimeNs now);
+
+  Verdict verdict(TenantId tenant) const;
+  const TenantObservation& observation(TenantId tenant) const;
+
+  /// Tenants currently judged adversarial.
+  std::vector<TenantId> adversarial() const;
+
+  void reset(TenantId tenant);
+
+ private:
+  struct State {
+    TenantContract contract;
+    TenantObservation obs;
+    double tokens = 0;  ///< token bucket, bytes
+    TimeNs last_refill = 0;
+  };
+
+  void refresh_verdict(State& s) const;
+
+  double suspect_threshold_;
+  double adversarial_threshold_;
+  std::uint64_t min_packets_;
+  std::unordered_map<TenantId, State> tenants_;
+};
+
+}  // namespace qv::qvisor

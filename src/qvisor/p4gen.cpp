@@ -1,0 +1,186 @@
+#include "qvisor/p4gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace qv::qvisor {
+
+namespace {
+
+/// Entries for a range-quantized transform: level l covers input
+/// offsets [ceil(l*W/L), ceil((l+1)*W/L) - 1] (the exact preimage of
+/// the closed-form map), merged `group` levels at a time when the
+/// budget requires coarsening.
+void range_transform_entries(const TenantPlan& plan, std::size_t group,
+                             std::vector<RangeEntry>& out) {
+  const RankTransform& t = plan.transform;
+  const auto bounds = t.input_bounds();
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(bounds.max) - bounds.min + 1;
+  const std::uint64_t levels = t.levels() == 0 ? 1 : t.levels();
+
+  // Clamp region below the declared range.
+  if (bounds.min > 0) {
+    out.push_back(RangeEntry{plan.tenant, 0, bounds.min - 1,
+                             t.apply(bounds.min)});
+  }
+  for (std::uint64_t l = 0; l < levels; l += group) {
+    const std::uint64_t lo_off = (l * width + levels - 1) / levels;
+    const std::uint64_t next = std::min<std::uint64_t>(l + group, levels);
+    const std::uint64_t hi_off =
+        (next * width + levels - 1) / levels;  // exclusive
+    if (lo_off >= width || hi_off <= lo_off) continue;  // empty preimage
+    const Rank lo = bounds.min + static_cast<Rank>(lo_off);
+    const Rank hi = bounds.min +
+                    static_cast<Rank>(std::min<std::uint64_t>(hi_off, width) -
+                                      1);
+    // Coarsened groups all emit the group's FIRST level output.
+    out.push_back(RangeEntry{plan.tenant, lo, hi, t.apply(lo)});
+  }
+  // Clamp region above the declared range.
+  if (bounds.max < kMaxRank) {
+    out.push_back(RangeEntry{plan.tenant, bounds.max + 1, kMaxRank,
+                             t.apply(bounds.max)});
+  }
+}
+
+/// Entries for a quantile transform: one entry per breakpoint step.
+void quantile_transform_entries(const TenantPlan& plan,
+                                std::vector<RangeEntry>& out) {
+  const BreakpointTransform& q = *plan.quantile;
+  // Probe the step boundaries through apply(): steps() gives the count;
+  // boundaries are recovered by scanning apply() changes... the
+  // transform exposes exactly what we need via apply on the interval
+  // edges, so reconstruct entries from the public interface.
+  //
+  // Simpler and exact: walk the input space at step boundaries. The
+  // class stores (from, level) pairs; re-derive them by binary probing
+  // is wasteful — instead extend the interface minimally: we use
+  // steps() plus apply() over the plan's declared input bounds at
+  // every boundary via the transform's own resolution. Since the
+  // number of steps is small (<= levels), probing is cheap.
+  const auto bounds = plan.transform.input_bounds();
+  Rank cursor = 0;
+  Rank current = q.apply(cursor);
+  Rank start = cursor;
+  // Scan candidate boundaries: the declared bounds plus the full range
+  // in coarse strides refined by binary search for each step edge.
+  while (true) {
+    // Find the first rank > cursor where apply() changes, by galloping
+    // + binary search within [cursor, kMaxRank].
+    Rank lo = cursor;
+    Rank hi = kMaxRank;
+    if (q.apply(hi) == current) {
+      out.push_back(RangeEntry{plan.tenant, start, kMaxRank, current});
+      break;
+    }
+    // Binary search the boundary: smallest r with apply(r) != current.
+    while (lo < hi) {
+      const Rank mid = lo + (hi - lo) / 2;
+      if (q.apply(mid) == current) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out.push_back(RangeEntry{plan.tenant, start, lo - 1, current});
+    start = lo;
+    cursor = lo;
+    current = q.apply(lo);
+  }
+  (void)bounds;
+}
+
+}  // namespace
+
+std::vector<RangeEntry> compile_entries(const TenantPlan& plan,
+                                        std::size_t max_entries) {
+  assert(max_entries >= 4);
+  std::vector<RangeEntry> out;
+  if (plan.quantile.has_value()) {
+    quantile_transform_entries(plan, out);
+    return out;
+  }
+  // +2 for the two clamp entries.
+  std::size_t group = 1;
+  const std::size_t levels = plan.transform.levels() == 0
+                                 ? 1
+                                 : plan.transform.levels();
+  while (levels / group + 2 > max_entries) group *= 2;
+  range_transform_entries(plan, group, out);
+  return out;
+}
+
+Rank apply_entries(const std::vector<RangeEntry>& entries, TenantId tenant,
+                   Rank label, Rank fallback) {
+  for (const auto& e : entries) {
+    if (e.tenant == tenant && label >= e.lo && label <= e.hi) return e.out;
+  }
+  return fallback;
+}
+
+P4GenResult generate_p4(const SynthesisPlan& plan,
+                        const P4GenOptions& options) {
+  P4GenResult result;
+  for (const auto& tp : plan.tenants) {
+    const auto before = result.entries.size();
+    auto entries = compile_entries(tp, options.max_entries_per_tenant);
+    result.entries.insert(result.entries.end(), entries.begin(),
+                          entries.end());
+    const std::size_t count = result.entries.size() - before;
+    const std::size_t levels =
+        tp.quantile ? tp.quantile->levels() : tp.transform.levels();
+    if (!tp.quantile && levels + 2 > options.max_entries_per_tenant) {
+      result.notes.push_back(
+          "tenant '" + tp.name + "': " + std::to_string(levels) +
+          " levels coarsened into " + std::to_string(count) +
+          " table entries to fit the hardware budget");
+    }
+  }
+
+  std::ostringstream p4;
+  p4 << "// Auto-generated by QVISOR's synthesizer — do not edit.\n"
+     << "// Joint scheduling policy: " << plan.policy.to_string() << "\n";
+  for (const auto& note : plan.notes) p4 << "// note: " << note << "\n";
+  for (const auto& note : result.notes) p4 << "// note: " << note << "\n";
+  p4 << "#include <core.p4>\n#include <v1model.p4>\n\n"
+     << "header qvisor_t {\n"
+     << "    bit<32> tenant_id;\n"
+     << "    bit<32> rank;\n"
+     << "}\n\n"
+     << "struct headers_t { qvisor_t qvisor; }\n"
+     << "struct metadata_t {}\n\n"
+     << "parser QvisorParser(packet_in pkt, out headers_t hdr,\n"
+     << "                    inout metadata_t meta,\n"
+     << "                    inout standard_metadata_t std) {\n"
+     << "    state start { pkt.extract(hdr.qvisor); transition accept; }\n"
+     << "}\n\n"
+     << "control " << options.program_name << "(inout headers_t hdr,\n"
+     << "        inout metadata_t meta, inout standard_metadata_t std) {\n"
+     << "    action set_rank(bit<32> r) { hdr.qvisor.rank = r; }\n"
+     << "    action best_effort() { hdr.qvisor.rank = 32w"
+     << (plan.rank_space == 0 ? kMaxRank : plan.rank_space - 1) << "; }\n"
+     << "    table rank_transform {\n"
+     << "        key = {\n"
+     << "            hdr.qvisor.tenant_id : exact;\n"
+     << "            hdr.qvisor.rank      : range;\n"
+     << "        }\n"
+     << "        actions = { set_rank; best_effort; }\n"
+     << "        default_action = best_effort();\n"
+     << "        const entries = {\n";
+  for (const auto& e : result.entries) {
+    p4 << "            (32w" << e.tenant << ", 32w" << e.lo << " .. 32w"
+       << e.hi << ") : set_rank(32w" << e.out << ");\n";
+  }
+  p4 << "        }\n"
+     << "    }\n"
+     << "    apply { rank_transform.apply(); }\n"
+     << "}\n\n"
+     << "// Checksum/deparser boilerplate elided: the pre-processor is\n"
+     << "// meant to be spliced into the target's existing pipeline.\n";
+  result.program = p4.str();
+  return result;
+}
+
+}  // namespace qv::qvisor

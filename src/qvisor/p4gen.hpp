@@ -1,0 +1,62 @@
+// Compiling the joint scheduling policy into a hardware DSL (paper
+// §3.4 / §5 "Compiling scheduling policies into hardware"): emit a
+// P4_16 program whose match-action tables implement the pre-processor.
+//
+// Rank transformations become RANGE-match entries — programmable
+// ASICs have no divider, so the affine-quantized map is materialized
+// as one (tenant, rank-range) -> set_rank(constant) entry per output
+// level, exactly how SP-PIFO-era prototypes program Tofino. Quantile
+// transforms map 1:1 onto their breakpoint steps.
+//
+// When a transform needs more entries than the table budget, adjacent
+// levels are merged (granularity coarsens) and the degradation is
+// recorded — the §5 "partial specification" behaviour, at the hardware
+// boundary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qvisor/synthesizer.hpp"
+
+namespace qv::qvisor {
+
+/// One range-match table entry: packets of `tenant` whose rank label is
+/// in [lo, hi] get scheduling rank `out`.
+struct RangeEntry {
+  TenantId tenant = kInvalidTenant;
+  Rank lo = 0;
+  Rank hi = 0;
+  Rank out = 0;
+};
+
+struct P4GenOptions {
+  std::string program_name = "qvisor_preprocessor";
+  /// Hardware table budget per tenant; transforms with more output
+  /// levels are coarsened to fit.
+  std::size_t max_entries_per_tenant = 1024;
+};
+
+struct P4GenResult {
+  std::string program;              ///< complete P4_16 source
+  std::vector<RangeEntry> entries;  ///< all table entries, tenant-major
+  std::vector<std::string> notes;   ///< degradations (coarsening, ...)
+};
+
+/// Compile one tenant's transform into range entries. Exposed for
+/// testing: applying the entries must agree with the plan's transform
+/// on every input.
+std::vector<RangeEntry> compile_entries(const TenantPlan& plan,
+                                        std::size_t max_entries);
+
+/// Emit the full program for a plan.
+P4GenResult generate_p4(const SynthesisPlan& plan,
+                        const P4GenOptions& options = {});
+
+/// Evaluate a set of entries the way the hardware would (first match in
+/// tenant-filtered order). Returns `fallback` when nothing matches.
+Rank apply_entries(const std::vector<RangeEntry>& entries, TenantId tenant,
+                   Rank label, Rank fallback);
+
+}  // namespace qv::qvisor

@@ -1,0 +1,208 @@
+#include "qvisor/policy.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace qv::qvisor {
+
+std::vector<std::string> OperatorPolicy::tenant_names() const {
+  std::vector<std::string> out;
+  for (const auto& tier : tiers_) {
+    for (const auto& group : tier.groups) {
+      for (const auto& t : group.tenants) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+bool OperatorPolicy::mentions(const std::string& name) const {
+  return tier_of(name).has_value();
+}
+
+std::optional<std::size_t> OperatorPolicy::tier_of(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    for (const auto& group : tiers_[i].groups) {
+      for (const auto& t : group.tenants) {
+        if (t == name) return i;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string OperatorPolicy::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (i > 0) out << " >> ";
+    const auto& tier = tiers_[i];
+    for (std::size_t g = 0; g < tier.groups.size(); ++g) {
+      if (g > 0) out << " > ";
+      const auto& group = tier.groups[g];
+      for (std::size_t t = 0; t < group.tenants.size(); ++t) {
+        if (t > 0) out << " + ";
+        out << group.tenants[t];
+      }
+    }
+  }
+  return out.str();
+}
+
+OperatorPolicy OperatorPolicy::restricted_to(
+    const std::vector<std::string>& names) const {
+  const std::set<std::string> keep(names.begin(), names.end());
+  std::vector<PriorityTier> tiers;
+  for (const auto& tier : tiers_) {
+    PriorityTier new_tier;
+    for (const auto& group : tier.groups) {
+      SharingGroup new_group;
+      for (const auto& t : group.tenants) {
+        if (keep.count(t)) new_group.tenants.push_back(t);
+      }
+      if (!new_group.tenants.empty()) {
+        new_tier.groups.push_back(std::move(new_group));
+      }
+    }
+    if (!new_tier.groups.empty()) tiers.push_back(std::move(new_tier));
+  }
+  return OperatorPolicy(std::move(tiers));
+}
+
+bool operator==(const OperatorPolicy& a, const OperatorPolicy& b) {
+  if (a.tiers_.size() != b.tiers_.size()) return false;
+  for (std::size_t i = 0; i < a.tiers_.size(); ++i) {
+    const auto& ta = a.tiers_[i];
+    const auto& tb = b.tiers_[i];
+    if (ta.groups.size() != tb.groups.size()) return false;
+    for (std::size_t g = 0; g < ta.groups.size(); ++g) {
+      if (ta.groups[g].tenants != tb.groups[g].tenants) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct Lexer {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  /// Token kinds: ">>", ">", "+", identifier, or error (empty string).
+  std::string next() {
+    skip_ws();
+    if (pos >= text.size()) return "";
+    const char c = text[pos];
+    if (c == '>') {
+      if (pos + 1 < text.size() && text[pos + 1] == '>') {
+        pos += 2;
+        return ">>";
+      }
+      ++pos;
+      return ">";
+    }
+    if (c == '+') {
+      ++pos;
+      return "+";
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos;
+      while (pos < text.size()) {
+        const char d = text[pos];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '-') {
+          ++pos;
+        } else {
+          break;
+        }
+      }
+      return text.substr(start, pos - start);
+    }
+    return "";  // unexpected character
+  }
+
+  std::string peek() {
+    const std::size_t saved = pos;
+    std::string tok = next();
+    pos = saved;
+    return tok;
+  }
+};
+
+bool is_operator(const std::string& tok) {
+  return tok == ">>" || tok == ">" || tok == "+";
+}
+
+PolicyParseResult fail(std::string message, std::size_t pos) {
+  PolicyParseResult r;
+  r.error = std::move(message);
+  r.error_pos = pos;
+  return r;
+}
+
+}  // namespace
+
+PolicyParseResult parse_policy(const std::string& text) {
+  Lexer lex{text};
+  if (lex.eof()) return fail("empty policy", 0);
+
+  std::vector<PriorityTier> tiers;
+  PriorityTier tier;
+  SharingGroup group;
+  std::set<std::string> seen;
+
+  // The grammar alternates identifier, operator, identifier, ... so we
+  // consume an identifier, then decide from the following operator
+  // whether to extend the group, start a new group, or start a new tier.
+  while (true) {
+    const std::size_t id_pos = lex.pos;
+    const std::string ident = lex.next();
+    if (ident.empty() || is_operator(ident)) {
+      return fail("expected tenant name", id_pos);
+    }
+    if (!seen.insert(ident).second) {
+      return fail("tenant '" + ident + "' appears more than once", id_pos);
+    }
+    group.tenants.push_back(ident);
+
+    if (lex.eof()) break;
+    const std::size_t op_pos = lex.pos;
+    const std::string op = lex.next();
+    if (op == "+") {
+      continue;  // same group
+    }
+    if (op == ">") {
+      tier.groups.push_back(std::move(group));
+      group = SharingGroup{};
+      continue;
+    }
+    if (op == ">>") {
+      tier.groups.push_back(std::move(group));
+      tiers.push_back(std::move(tier));
+      group = SharingGroup{};
+      tier = PriorityTier{};
+      continue;
+    }
+    return fail("expected '>>', '>' or '+' after tenant", op_pos);
+  }
+  tier.groups.push_back(std::move(group));
+  tiers.push_back(std::move(tier));
+
+  PolicyParseResult r;
+  r.policy = OperatorPolicy(std::move(tiers));
+  return r;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,399 @@
+#include "qvisor/policy_ast.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace qv::qvisor {
+
+PolicyExpr PolicyExpr::leaf(std::string name, double weight) {
+  PolicyExpr e;
+  e.kind = Kind::kTenant;
+  e.tenant = std::move(name);
+  e.weight = weight;
+  return e;
+}
+
+PolicyExpr PolicyExpr::make(Kind kind, std::vector<PolicyExpr> children) {
+  PolicyExpr e;
+  e.kind = kind;
+  e.children = std::move(children);
+  return e;
+}
+
+std::vector<std::string> PolicyExpr::tenant_names() const {
+  std::vector<std::string> out;
+  if (is_leaf()) {
+    out.push_back(tenant);
+    return out;
+  }
+  for (const auto& child : children) {
+    for (auto& name : child.tenant_names()) out.push_back(std::move(name));
+  }
+  return out;
+}
+
+std::size_t PolicyExpr::depth() const {
+  if (is_leaf()) return 1;
+  std::size_t deepest = 0;
+  for (const auto& child : children) {
+    deepest = std::max(deepest, child.depth());
+  }
+  return deepest + 1;
+}
+
+namespace {
+
+int precedence(PolicyExpr::Kind kind) {
+  switch (kind) {
+    case PolicyExpr::Kind::kIsolate:
+      return 0;
+    case PolicyExpr::Kind::kPrefer:
+      return 1;
+    case PolicyExpr::Kind::kShare:
+      return 2;
+    case PolicyExpr::Kind::kTenant:
+      return 3;
+  }
+  return 3;
+}
+
+const char* op_text(PolicyExpr::Kind kind) {
+  switch (kind) {
+    case PolicyExpr::Kind::kIsolate:
+      return " >> ";
+    case PolicyExpr::Kind::kPrefer:
+      return " > ";
+    case PolicyExpr::Kind::kShare:
+      return " + ";
+    case PolicyExpr::Kind::kTenant:
+      return "";
+  }
+  return "";
+}
+
+std::string weight_suffix(double weight) {
+  if (weight == 1.0) return "";
+  std::ostringstream out;
+  out << " * " << weight;
+  return out.str();
+}
+
+}  // namespace
+
+std::string PolicyExpr::to_string_prec(int parent_prec) const {
+  if (is_leaf()) return tenant + weight_suffix(weight);
+  std::string body;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) body += op_text(kind);
+    body += children[i].to_string_prec(precedence(kind));
+  }
+  const bool needs_parens =
+      precedence(kind) < parent_prec || weight != 1.0;
+  if (needs_parens) return "(" + body + ")" + weight_suffix(weight);
+  return body;
+}
+
+std::string PolicyExpr::to_string() const { return to_string_prec(-1); }
+
+bool operator==(const PolicyExpr& a, const PolicyExpr& b) {
+  return a.kind == b.kind && a.tenant == b.tenant &&
+         a.weight == b.weight && a.children == b.children;
+}
+
+// --- parser -----------------------------------------------------------
+
+namespace {
+
+struct ExprLexer {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  char peek_char() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  /// Returns ">>", ">", "+", "*", "(", ")", an identifier, a number, or
+  /// "" on error.
+  std::string next() {
+    skip_ws();
+    if (pos >= text.size()) return "";
+    const char c = text[pos];
+    if (c == '>') {
+      if (pos + 1 < text.size() && text[pos + 1] == '>') {
+        pos += 2;
+        return ">>";
+      }
+      ++pos;
+      return ">";
+    }
+    if (c == '+' || c == '*' || c == '(' || c == ')') {
+      ++pos;
+      return std::string(1, c);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      const std::size_t start = pos;
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '.')) {
+        ++pos;
+      }
+      return text.substr(start, pos - start);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos;
+      while (pos < text.size()) {
+        const char d = text[pos];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '-') {
+          ++pos;
+        } else {
+          break;
+        }
+      }
+      return text.substr(start, pos - start);
+    }
+    return "";
+  }
+
+  std::string peek() {
+    const std::size_t saved = pos;
+    std::string tok = next();
+    pos = saved;
+    return tok;
+  }
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : lex_{text} {}
+
+  ExprParseResult parse() {
+    if (lex_.eof()) return fail("empty policy expression");
+    auto expr = parse_isolate();
+    if (!expr) return result_;
+    if (!lex_.eof()) return fail("unexpected trailing input");
+    ExprParseResult r;
+    r.expr = std::move(expr);
+    return r;
+  }
+
+ private:
+  ExprParseResult fail(std::string message) {
+    result_.expr.reset();
+    result_.error = std::move(message);
+    result_.error_pos = lex_.pos;
+    failed_ = true;
+    return result_;
+  }
+
+  /// Collapse single-child inner nodes.
+  static PolicyExpr collapse(PolicyExpr::Kind kind,
+                             std::vector<PolicyExpr> children) {
+    if (children.size() == 1) return std::move(children[0]);
+    return PolicyExpr::make(kind, std::move(children));
+  }
+
+  std::optional<PolicyExpr> parse_isolate() {
+    std::vector<PolicyExpr> children;
+    auto first = parse_prefer();
+    if (!first) return std::nullopt;
+    children.push_back(std::move(*first));
+    while (lex_.peek() == ">>") {
+      lex_.next();
+      auto next = parse_prefer();
+      if (!next) return std::nullopt;
+      children.push_back(std::move(*next));
+    }
+    return collapse(PolicyExpr::Kind::kIsolate, std::move(children));
+  }
+
+  std::optional<PolicyExpr> parse_prefer() {
+    std::vector<PolicyExpr> children;
+    auto first = parse_share();
+    if (!first) return std::nullopt;
+    children.push_back(std::move(*first));
+    while (lex_.peek() == ">") {
+      lex_.next();
+      auto next = parse_share();
+      if (!next) return std::nullopt;
+      children.push_back(std::move(*next));
+    }
+    return collapse(PolicyExpr::Kind::kPrefer, std::move(children));
+  }
+
+  std::optional<PolicyExpr> parse_share() {
+    std::vector<PolicyExpr> children;
+    auto first = parse_term();
+    if (!first) return std::nullopt;
+    children.push_back(std::move(*first));
+    while (lex_.peek() == "+") {
+      lex_.next();
+      auto next = parse_term();
+      if (!next) return std::nullopt;
+      children.push_back(std::move(*next));
+    }
+    return collapse(PolicyExpr::Kind::kShare, std::move(children));
+  }
+
+  std::optional<PolicyExpr> parse_term() {
+    auto atom = parse_atom();
+    if (!atom) return std::nullopt;
+    if (lex_.peek() == "*") {
+      lex_.next();
+      const std::size_t num_pos = lex_.pos;
+      const std::string num = lex_.next();
+      char* end = nullptr;
+      const double w = std::strtod(num.c_str(), &end);
+      if (num.empty() || end != num.c_str() + num.size() || w <= 0 ||
+          !std::isfinite(w)) {
+        fail("expected positive weight after '*'");
+        result_.error_pos = num_pos;
+        return std::nullopt;
+      }
+      atom->weight = w;
+    }
+    return atom;
+  }
+
+  std::optional<PolicyExpr> parse_atom() {
+    const std::size_t tok_pos = lex_.pos;
+    const std::string tok = lex_.next();
+    if (tok == "(") {
+      auto inner = parse_isolate();
+      if (!inner) return std::nullopt;
+      if (lex_.next() != ")") {
+        fail("expected ')'");
+        return std::nullopt;
+      }
+      return inner;
+    }
+    if (tok.empty() || tok == ">" || tok == ">>" || tok == "+" ||
+        tok == "*" || tok == ")" ||
+        std::isdigit(static_cast<unsigned char>(tok[0]))) {
+      fail("expected tenant name or '('");
+      result_.error_pos = tok_pos;
+      return std::nullopt;
+    }
+    if (!seen_.insert(tok).second) {
+      fail("tenant '" + tok + "' appears more than once");
+      result_.error_pos = tok_pos;
+      return std::nullopt;
+    }
+    return PolicyExpr::leaf(tok);
+  }
+
+  ExprLexer lex_;
+  ExprParseResult result_;
+  std::set<std::string> seen_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+ExprParseResult parse_policy_expr(const std::string& text) {
+  return ExprParser(text).parse();
+}
+
+// --- flat conversions ----------------------------------------------------
+
+namespace {
+
+bool default_weights(const PolicyExpr& e) {
+  if (e.weight != 1.0) return false;
+  for (const auto& child : e.children) {
+    if (!default_weights(child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<OperatorPolicy> to_flat_policy(const PolicyExpr& expr) {
+  if (!default_weights(expr)) return std::nullopt;
+
+  // Normalize the expression into the three fixed strata of the flat
+  // grammar: isolate over prefer over share over tenants.
+  const auto as_group =
+      [](const PolicyExpr& e) -> std::optional<SharingGroup> {
+    SharingGroup group;
+    if (e.is_leaf()) {
+      group.tenants.push_back(e.tenant);
+      return group;
+    }
+    if (e.kind != PolicyExpr::Kind::kShare) return std::nullopt;
+    for (const auto& child : e.children) {
+      if (!child.is_leaf()) return std::nullopt;
+      group.tenants.push_back(child.tenant);
+    }
+    return group;
+  };
+  const auto as_tier =
+      [&](const PolicyExpr& e) -> std::optional<PriorityTier> {
+    PriorityTier tier;
+    if (auto group = as_group(e)) {
+      tier.groups.push_back(std::move(*group));
+      return tier;
+    }
+    if (e.kind != PolicyExpr::Kind::kPrefer) return std::nullopt;
+    for (const auto& child : e.children) {
+      auto group = as_group(child);
+      if (!group) return std::nullopt;
+      tier.groups.push_back(std::move(*group));
+    }
+    return tier;
+  };
+
+  std::vector<PriorityTier> tiers;
+  if (auto tier = as_tier(expr)) {
+    tiers.push_back(std::move(*tier));
+    return OperatorPolicy(std::move(tiers));
+  }
+  if (expr.kind != PolicyExpr::Kind::kIsolate) return std::nullopt;
+  for (const auto& child : expr.children) {
+    auto tier = as_tier(child);
+    if (!tier) return std::nullopt;
+    tiers.push_back(std::move(*tier));
+  }
+  return OperatorPolicy(std::move(tiers));
+}
+
+PolicyExpr from_flat_policy(const OperatorPolicy& policy) {
+  std::vector<PolicyExpr> tiers;
+  for (const auto& tier : policy.tiers()) {
+    std::vector<PolicyExpr> groups;
+    for (const auto& group : tier.groups) {
+      std::vector<PolicyExpr> tenants;
+      for (const auto& name : group.tenants) {
+        tenants.push_back(PolicyExpr::leaf(name));
+      }
+      groups.push_back(tenants.size() == 1
+                           ? std::move(tenants[0])
+                           : PolicyExpr::make(PolicyExpr::Kind::kShare,
+                                              std::move(tenants)));
+    }
+    tiers.push_back(groups.size() == 1
+                        ? std::move(groups[0])
+                        : PolicyExpr::make(PolicyExpr::Kind::kPrefer,
+                                           std::move(groups)));
+  }
+  return tiers.size() == 1 ? std::move(tiers[0])
+                           : PolicyExpr::make(PolicyExpr::Kind::kIsolate,
+                                              std::move(tiers));
+}
+
+}  // namespace qv::qvisor

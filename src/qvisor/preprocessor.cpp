@@ -1,0 +1,54 @@
+#include "qvisor/preprocessor.hpp"
+
+namespace qv::qvisor {
+
+Preprocessor::Preprocessor(UnknownTenantAction unknown) : unknown_(unknown) {}
+
+void Preprocessor::install(const SynthesisPlan& plan) {
+  std::unordered_map<TenantId, Installed> next;
+  next.reserve(plan.tenants.size());
+  for (const auto& tp : plan.tenants) {
+    next.emplace(tp.tenant, Installed{tp.transform, tp.quantile});
+  }
+  transforms_ = std::move(next);
+  rank_space_ = plan.rank_space;
+}
+
+bool Preprocessor::process(Packet& p) {
+  ++counters_.processed;
+  ++per_tenant_[p.tenant];
+
+  // The input is always the tenant-assigned label, NOT the current
+  // scheduling rank: an upstream QVISOR hop may already have rewritten
+  // `p.rank`, and transforming a transformed rank would collapse the
+  // rank space (each pre-processor derives its scheduling rank from the
+  // label the tenant stamped at the source, §3.1/§3.3).
+  const Rank label = p.original_rank;
+
+  const auto it = transforms_.find(p.tenant);
+  if (it == transforms_.end()) {
+    ++counters_.unknown_tenant;
+    switch (unknown_) {
+      case UnknownTenantAction::kPassThrough:
+        return true;
+      case UnknownTenantAction::kBestEffort:
+        p.rank = rank_space_ == 0 ? kMaxRank : rank_space_ - 1;
+        return true;
+      case UnknownTenantAction::kDrop:
+        return false;
+    }
+    return true;
+  }
+  const Installed& installed = it->second;
+  const auto bounds = installed.range.input_bounds();
+  if (label < bounds.min || label > bounds.max) {
+    // The transform clamps, so scheduling stays safe; count it so the
+    // monitor can flag tenants that violate their declared bounds.
+    ++counters_.out_of_bounds;
+  }
+  p.rank = installed.quantile ? installed.quantile->apply(label)
+                              : installed.range.apply(label);
+  return true;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,70 @@
+// The QVISOR pre-processor (paper §3.3): the data-plane half. For each
+// incoming packet it extracts the tenant identifier and rank, looks up
+// the tenant's transformation function, rewrites the rank, and hands
+// the packet to the hardware scheduler.
+//
+// Plans install atomically (a swap of the lookup table), which is what
+// lets the runtime controller re-synthesize between packets (§2 Idea 2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "qvisor/synthesizer.hpp"
+
+namespace qv::qvisor {
+
+/// What to do with packets whose tenant has no installed transform.
+enum class UnknownTenantAction {
+  kPassThrough,  ///< keep the original rank (useful for debugging)
+  kBestEffort,   ///< send to the very bottom of the rank space
+  kDrop,         ///< reject (the caller drops the packet)
+};
+
+struct PreprocessorCounters {
+  std::uint64_t processed = 0;
+  std::uint64_t unknown_tenant = 0;
+  std::uint64_t out_of_bounds = 0;  ///< input rank outside declared bounds
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(
+      UnknownTenantAction unknown = UnknownTenantAction::kBestEffort);
+
+  /// Install (replace) the active plan. O(#tenants); never observed
+  /// mid-packet.
+  void install(const SynthesisPlan& plan);
+
+  /// Rewrite `p.rank` in place. Returns false only when the packet must
+  /// be dropped (unknown tenant under kDrop). `p.original_rank` keeps
+  /// the tenant-assigned rank for telemetry.
+  bool process(Packet& p);
+
+  const PreprocessorCounters& counters() const { return counters_; }
+  PreprocessorCounters& mutable_counters() { return counters_; }
+
+  /// Per-tenant processed-packet counts (runtime controller input).
+  const std::unordered_map<TenantId, std::uint64_t>& per_tenant() const {
+    return per_tenant_;
+  }
+
+  bool has_plan() const { return !transforms_.empty(); }
+  Rank rank_space() const { return rank_space_; }
+
+ private:
+  struct Installed {
+    RankTransform range;
+    std::optional<BreakpointTransform> quantile;
+  };
+
+  UnknownTenantAction unknown_;
+  std::unordered_map<TenantId, Installed> transforms_;
+  std::unordered_map<TenantId, std::uint64_t> per_tenant_;
+  Rank rank_space_ = kMaxRank;
+  PreprocessorCounters counters_;
+};
+
+}  // namespace qv::qvisor

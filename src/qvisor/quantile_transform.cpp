@@ -1,0 +1,47 @@
+#include "qvisor/quantile_transform.hpp"
+
+#include <vector>
+
+namespace qv::qvisor {
+
+BreakpointTransform quantile_transform_from_estimator(
+    const RankDistEstimator& estimator, std::uint32_t levels, Rank base) {
+  std::vector<Rank> samples;
+  samples.reserve(estimator.samples());
+  // Pull the window through the quantile accessor at fine granularity:
+  // the estimator exposes order statistics, which is all we need.
+  const std::size_t n = estimator.samples();
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(estimator.quantile(
+        n == 1 ? 0.0
+               : static_cast<double>(i) / static_cast<double>(n - 1)));
+  }
+  return BreakpointTransform::from_samples(std::move(samples), levels,
+                                           base);
+}
+
+SynthesisPlan refine_with_quantiles(
+    const SynthesisPlan& plan,
+    const std::unordered_map<TenantId, const RankDistEstimator*>& estimators,
+    std::size_t min_samples, std::size_t* refined_count) {
+  SynthesisPlan refined = plan;
+  std::size_t count = 0;
+  for (auto& tp : refined.tenants) {
+    const auto it = estimators.find(tp.tenant);
+    if (it == estimators.end() || it->second == nullptr) continue;
+    const RankDistEstimator& est = *it->second;
+    if (est.samples() < min_samples) continue;
+    tp.quantile = quantile_transform_from_estimator(
+        est, tp.transform.levels(), tp.transform.base());
+    ++count;
+  }
+  if (refined_count != nullptr) *refined_count = count;
+  if (count > 0) {
+    refined.notes.push_back(
+        "quantile refinement applied to " + std::to_string(count) +
+        " tenant(s) from live rank distributions");
+  }
+  return refined;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,31 @@
+// Runtime quantile refinement (paper §5, "Optimizing configurations at
+// runtime"): replace range-based normalization with quantile
+// normalization built from each tenant's live rank observations, while
+// keeping the synthesizer's band placement intact.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "qvisor/rank_distribution.hpp"
+#include "qvisor/synthesizer.hpp"
+
+namespace qv::qvisor {
+
+/// Build a quantile transform from an estimator window, targeting the
+/// given level count and band base.
+BreakpointTransform quantile_transform_from_estimator(
+    const RankDistEstimator& estimator, std::uint32_t levels, Rank base);
+
+/// Rewrite the normalization of every tenant in `plan` that has at
+/// least `min_samples` observations: keep the band (base, level count)
+/// chosen by the synthesizer, but quantize by empirical quantiles
+/// instead of by declared range. Tenants with too few samples keep
+/// their range transform. Returns the refined plan; `refined_count`
+/// (optional) reports how many tenants were switched.
+SynthesisPlan refine_with_quantiles(
+    const SynthesisPlan& plan,
+    const std::unordered_map<TenantId, const RankDistEstimator*>& estimators,
+    std::size_t min_samples = 128, std::size_t* refined_count = nullptr);
+
+}  // namespace qv::qvisor

@@ -1,0 +1,211 @@
+#include "qvisor/qvisor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::qvisor {
+
+// --- QvisorPort ----------------------------------------------------------
+
+QvisorPort::QvisorPort(Hypervisor& hv,
+                       std::unique_ptr<sched::Scheduler> inner)
+    : hv_(hv), inner_(std::move(inner)) {
+  assert(inner_ != nullptr);
+  hv_.attach(this);
+  if (hv_.has_plan()) pre_.install(hv_.plan());
+}
+
+QvisorPort::~QvisorPort() { hv_.detach(this); }
+
+bool QvisorPort::enqueue(const Packet& p, TimeNs now) {
+  Packet q = p;
+  hv_.observe(q, now);
+  if (!pre_.process(q)) {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(q.size_bytes);
+    return false;
+  }
+  const bool accepted = inner_->enqueue(q, now);
+  if (accepted) {
+    ++counters_.enqueued;
+  } else {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(q.size_bytes);
+  }
+  return accepted;
+}
+
+std::optional<Packet> QvisorPort::dequeue(TimeNs now) {
+  auto p = inner_->dequeue(now);
+  if (p) ++counters_.dequeued;
+  return p;
+}
+
+std::string QvisorPort::name() const {
+  return "qvisor(" + inner_->name() + ")";
+}
+
+void QvisorPort::install(const SynthesisPlan& plan) { pre_.install(plan); }
+
+void QvisorPort::replace_inner(std::unique_ptr<sched::Scheduler> inner) {
+  assert(inner_->empty());
+  assert(inner != nullptr);
+  inner_ = std::move(inner);
+}
+
+// --- Hypervisor ------------------------------------------------------------
+
+Hypervisor::Hypervisor(std::vector<TenantSpec> tenants,
+                       OperatorPolicy policy, BackendPtr backend,
+                       SynthesizerConfig config)
+    : tenants_(std::move(tenants)), policy_(std::move(policy)),
+      backend_(std::move(backend)), synthesizer_([&] {
+        SynthesizerConfig c = config;
+        // The backend's rank space is authoritative unless the caller
+        // asked for something smaller.
+        c.rank_space = std::min(c.rank_space,
+                                this->backend_->capabilities().rank_space);
+        return c;
+      }()) {
+  assert(backend_ != nullptr);
+  // Default contracts: police declared rank bounds, no rate limit.
+  for (const auto& spec : tenants_) {
+    TenantContract contract;
+    contract.tenant = spec.id;
+    contract.rank_min = spec.declared_bounds.min;
+    contract.rank_max = spec.declared_bounds.max;
+    monitor_.set_contract(contract);
+  }
+}
+
+Hypervisor::~Hypervisor() {
+  // Ports must not outlive the hypervisor; this assert documents it.
+  assert(ports_.empty() &&
+         "destroy QVISOR ports (the Network) before the Hypervisor");
+}
+
+Hypervisor::CompileResult Hypervisor::compile() {
+  // Strict full-configuration compile: the policy and the tenant set
+  // must match exactly (a misspelled policy name must NOT silently
+  // drop a tenant — the synthesizer reports it).
+  return compile_impl(tenants_, policy_);
+}
+
+Hypervisor::CompileResult Hypervisor::compile_for(
+    const std::vector<std::string>& active_names) {
+  CompileResult result;
+  const OperatorPolicy restricted = policy_.restricted_to(active_names);
+  if (restricted.empty()) {
+    result.error = "no active tenant appears in the policy";
+    return result;
+  }
+  std::vector<TenantSpec> active;
+  for (const auto& spec : tenants_) {
+    if (restricted.mentions(spec.name)) active.push_back(spec);
+  }
+  return compile_impl(active, restricted);
+}
+
+Hypervisor::CompileResult Hypervisor::compile_impl(
+    const std::vector<TenantSpec>& specs, const OperatorPolicy& policy) {
+  CompileResult result;
+  auto synth = synthesizer_.synthesize(specs, policy);
+  if (!synth.ok()) {
+    result.error = synth.error;
+    return result;
+  }
+  result.report = analyzer_.analyze(*synth.plan, specs);
+  if (result.report.has_violations()) {
+    result.error = "static analysis rejected the plan:\n" +
+                   result.report.to_string();
+    return result;
+  }
+  result.guarantees = backend_->guarantees(*synth.plan);
+  plan_ = std::move(*synth.plan);
+  ++compile_count_;
+  for (QvisorPort* port : ports_) port->install(*plan_);
+  result.ok = true;
+  return result;
+}
+
+std::unique_ptr<sched::Scheduler> Hypervisor::make_port_scheduler() {
+  // Instantiate the backend's hardware scheduler for the current plan
+  // (or an unconfigured one pre-compile; install() reprograms later).
+  static const SynthesisPlan kEmptyPlan;
+  auto inner = backend_->instantiate(plan_ ? *plan_ : kEmptyPlan);
+  return std::make_unique<QvisorPort>(*this, std::move(inner));
+}
+
+void Hypervisor::upsert_tenant(TenantSpec spec) {
+  for (auto& existing : tenants_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  TenantContract contract;
+  contract.tenant = spec.id;
+  contract.rank_min = spec.declared_bounds.min;
+  contract.rank_max = spec.declared_bounds.max;
+  monitor_.set_contract(contract);
+  tenants_.push_back(std::move(spec));
+}
+
+void Hypervisor::remove_tenant(const std::string& name) {
+  tenants_.erase(
+      std::remove_if(tenants_.begin(), tenants_.end(),
+                     [&](const TenantSpec& t) { return t.name == name; }),
+      tenants_.end());
+}
+
+std::unordered_map<TenantId, std::uint64_t>
+Hypervisor::per_tenant_packets() const {
+  std::unordered_map<TenantId, std::uint64_t> out;
+  for (const QvisorPort* port : ports_) {
+    for (const auto& [tenant, count] : port->preprocessor().per_tenant()) {
+      out[tenant] += count;
+    }
+  }
+  return out;
+}
+
+RankDistEstimator& Hypervisor::estimator(TenantId tenant) {
+  auto it = estimators_.find(tenant);
+  if (it == estimators_.end()) {
+    it = estimators_.emplace(tenant, RankDistEstimator{}).first;
+  }
+  return it->second;
+}
+
+bool Hypervisor::install_refined(SynthesisPlan plan) {
+  for (const auto& tp : plan.tenants) {
+    const Rank worst =
+        tp.quantile ? tp.quantile->out_max() : tp.transform.out_max();
+    if (worst >= plan.rank_space) return false;
+  }
+  plan_ = std::move(plan);
+  for (QvisorPort* port : ports_) port->install(*plan_);
+  return true;
+}
+
+const RankDistEstimator* Hypervisor::find_estimator(
+    TenantId tenant) const {
+  const auto it = estimators_.find(tenant);
+  return it == estimators_.end() ? nullptr : &it->second;
+}
+
+void Hypervisor::attach(QvisorPort* port) { ports_.push_back(port); }
+
+void Hypervisor::detach(QvisorPort* port) {
+  ports_.erase(std::remove(ports_.begin(), ports_.end(), port),
+               ports_.end());
+}
+
+void Hypervisor::observe(const Packet& p, TimeNs now) {
+  // Always observe the tenant's own label, not a possibly-transformed
+  // scheduling rank from an upstream QVISOR hop.
+  monitor_.observe(p.tenant, p.original_rank, p.size_bytes, now);
+  estimator(p.tenant).observe(p.original_rank, now);
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,149 @@
+// The QVISOR facade: the control-plane Hypervisor object plus the
+// per-port data-plane scheduler it hands out.
+//
+// A Hypervisor holds the tenant specs, the operator policy, the
+// synthesizer, the static analyzer and the chosen backend. compile()
+// produces and verifies the joint scheduling plan; make_port_scheduler()
+// returns a sched::Scheduler (pre-processor + hardware scheduler) that
+// drops into any switch port of the simulator — or, conceptually, any
+// real pipeline. Installing a new plan atomically re-programs every
+// attached port, which is what the runtime controller uses to adapt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qvisor/backend.hpp"
+#include "qvisor/monitor.hpp"
+#include "qvisor/preprocessor.hpp"
+#include "qvisor/rank_distribution.hpp"
+#include "qvisor/static_analysis.hpp"
+#include "qvisor/synthesizer.hpp"
+#include "qvisor/tenant.hpp"
+
+namespace qv::qvisor {
+
+class Hypervisor;
+
+/// Data-plane port scheduler: pre-processor in front of the backend's
+/// hardware scheduler. Created by Hypervisor::make_port_scheduler().
+class QvisorPort final : public sched::Scheduler {
+ public:
+  QvisorPort(Hypervisor& hv, std::unique_ptr<sched::Scheduler> inner);
+  ~QvisorPort() override;
+  QvisorPort(const QvisorPort&) = delete;
+  QvisorPort& operator=(const QvisorPort&) = delete;
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+  std::size_t size() const override { return inner_->size(); }
+  std::int64_t buffered_bytes() const override {
+    return inner_->buffered_bytes();
+  }
+  std::string name() const override;
+
+  const Preprocessor& preprocessor() const { return pre_; }
+  const sched::Scheduler& inner() const { return *inner_; }
+
+  /// Re-program this port with a new plan (called by the Hypervisor).
+  void install(const SynthesisPlan& plan);
+
+  /// Swap the hardware scheduler (runtime backend change). Only legal
+  /// while empty.
+  void replace_inner(std::unique_ptr<sched::Scheduler> inner);
+
+ private:
+  Hypervisor& hv_;
+  Preprocessor pre_;
+  std::unique_ptr<sched::Scheduler> inner_;
+};
+
+class Hypervisor {
+ public:
+  struct CompileResult {
+    bool ok = false;
+    std::string error;
+    AnalysisReport report;
+    std::vector<std::string> guarantees;
+  };
+
+  Hypervisor(std::vector<TenantSpec> tenants, OperatorPolicy policy,
+             BackendPtr backend, SynthesizerConfig config = {});
+  ~Hypervisor();
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  /// Synthesize the joint plan, statically verify it, and push it to
+  /// every attached port. Fails (without touching the installed plan)
+  /// if synthesis errors or the analyzer finds a violation.
+  CompileResult compile();
+
+  /// Compile against a subset of tenants (runtime adaptation path): the
+  /// policy is restricted to the named tenants first.
+  CompileResult compile_for(const std::vector<std::string>& active_names);
+
+  /// Create a port scheduler wired to this hypervisor. The Hypervisor
+  /// must outlive the port.
+  std::unique_ptr<sched::Scheduler> make_port_scheduler();
+
+  bool has_plan() const { return plan_.has_value(); }
+  const SynthesisPlan& plan() const { return *plan_; }
+  const std::vector<TenantSpec>& tenants() const { return tenants_; }
+  const OperatorPolicy& policy() const { return policy_; }
+  const Backend& backend() const { return *backend_; }
+  Monitor& monitor() { return monitor_; }
+
+  /// Update/replace the operator policy (takes effect on next compile).
+  void set_policy(OperatorPolicy policy) { policy_ = std::move(policy); }
+
+  /// Add or replace a tenant spec (takes effect on next compile).
+  void upsert_tenant(TenantSpec spec);
+  void remove_tenant(const std::string& name);
+
+  /// Aggregate per-tenant packet counts across every attached port
+  /// (runtime controller input).
+  std::unordered_map<TenantId, std::uint64_t> per_tenant_packets() const;
+
+  /// Per-tenant online rank estimators, fed by every attached port.
+  RankDistEstimator& estimator(TenantId tenant);
+
+  /// Read-only lookup; nullptr when the tenant was never observed.
+  const RankDistEstimator* find_estimator(TenantId tenant) const;
+
+  /// All live estimators (tenant id -> estimator).
+  const std::unordered_map<TenantId, RankDistEstimator>& estimators()
+      const {
+    return estimators_;
+  }
+
+  /// Replace the installed plan with a refined variant of the current
+  /// one (e.g. quantile refinement, quantile_transform.hpp). Rejects
+  /// plans whose bands leave the backend rank space; otherwise pushes
+  /// to every attached port. Does NOT count as a compile.
+  bool install_refined(SynthesisPlan plan);
+
+  std::uint64_t compile_count() const { return compile_count_; }
+
+ private:
+  friend class QvisorPort;
+  CompileResult compile_impl(const std::vector<TenantSpec>& specs,
+                             const OperatorPolicy& policy);
+  void attach(QvisorPort* port);
+  void detach(QvisorPort* port);
+  void observe(const Packet& pre_transform, TimeNs now);
+
+  std::vector<TenantSpec> tenants_;
+  OperatorPolicy policy_;
+  BackendPtr backend_;
+  Synthesizer synthesizer_;
+  StaticAnalyzer analyzer_;
+  Monitor monitor_;
+  std::optional<SynthesisPlan> plan_;
+  std::vector<QvisorPort*> ports_;
+  std::unordered_map<TenantId, RankDistEstimator> estimators_;
+  std::uint64_t compile_count_ = 0;
+};
+
+}  // namespace qv::qvisor

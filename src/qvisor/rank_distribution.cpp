@@ -1,0 +1,58 @@
+#include "qvisor/rank_distribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::qvisor {
+
+RankDistEstimator::RankDistEstimator(std::size_t window) : ring_(window) {
+  assert(window > 0);
+}
+
+void RankDistEstimator::observe(Rank r, TimeNs now) {
+  ring_[head_] = Entry{r, now};
+  head_ = (head_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+  last_seen_ = now;
+}
+
+sched::RankBounds RankDistEstimator::bounds() const {
+  sched::RankBounds b{kMaxRank, 0};
+  for (std::size_t i = 0; i < count_; ++i) {
+    b.min = std::min(b.min, ring_[i].rank);
+    b.max = std::max(b.max, ring_[i].rank);
+  }
+  if (count_ == 0) return {0, 0};
+  return b;
+}
+
+Rank RankDistEstimator::quantile(double q) const {
+  if (count_ == 0) return 0;
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<Rank> ranks;
+  ranks.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) ranks.push_back(ring_[i].rank);
+  std::sort(ranks.begin(), ranks.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(ranks.size() - 1));
+  return ranks[idx];
+}
+
+double RankDistEstimator::rate_pps(TimeNs now) const {
+  if (count_ == 0) return 0.0;
+  TimeNs oldest = kTimeMax;
+  for (std::size_t i = 0; i < count_; ++i) {
+    oldest = std::min(oldest, ring_[i].at);
+  }
+  const TimeNs span = now - oldest;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(count_) / to_seconds(span);
+}
+
+void RankDistEstimator::reset() {
+  head_ = 0;
+  count_ = 0;
+  last_seen_ = 0;
+}
+
+}  // namespace qv::qvisor

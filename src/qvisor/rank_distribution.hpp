@@ -1,0 +1,57 @@
+// Online rank-distribution estimation (paper §2 Idea 2 "react upon
+// [traffic shifts] ... based on the latest packets received", and §5
+// "computing transformation functions at line rate, based on the
+// distribution of the latest packets").
+//
+// A sliding window of recent ranks per tenant yields empirical bounds
+// and quantiles that the runtime controller feeds back into the
+// synthesizer to tighten bands, and that the monitor compares against
+// the tenant's declared bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "sched/rank/ranker.hpp"
+#include "util/time.hpp"
+
+namespace qv::qvisor {
+
+class RankDistEstimator {
+ public:
+  explicit RankDistEstimator(std::size_t window = 1024);
+
+  void observe(Rank r, TimeNs now);
+
+  std::size_t samples() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Empirical bounds over the current window. Meaningless when empty.
+  sched::RankBounds bounds() const;
+
+  /// Empirical quantile (0 <= q <= 1) over the window.
+  Rank quantile(double q) const;
+
+  /// Arrival rate over the window, packets/second. 0 until the window
+  /// spans a positive time interval.
+  double rate_pps(TimeNs now) const;
+
+  TimeNs last_observation() const { return last_seen_; }
+
+  void reset();
+
+ private:
+  struct Entry {
+    Rank rank;
+    TimeNs at;
+  };
+
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;   ///< next slot to overwrite
+  std::size_t count_ = 0;  ///< filled slots (<= ring_.size())
+  TimeNs last_seen_ = 0;
+};
+
+}  // namespace qv::qvisor

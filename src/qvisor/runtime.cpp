@@ -1,0 +1,142 @@
+#include "qvisor/runtime.hpp"
+
+#include <algorithm>
+
+#include "qvisor/quantile_transform.hpp"
+#include "util/logging.hpp"
+
+namespace qv::qvisor {
+
+bool RuntimeController::refine_quantiles() {
+  std::unordered_map<TenantId, const RankDistEstimator*> estimators;
+  for (const auto& [id, est] : hv_.estimators()) {
+    estimators.emplace(id, &est);
+  }
+  std::size_t refined = 0;
+  SynthesisPlan plan = refine_with_quantiles(
+      hv_.plan(), estimators, config_.quantile_min_samples, &refined);
+  if (refined == 0) return false;
+  if (!hv_.install_refined(std::move(plan))) return false;
+  ++refinements_;
+  return true;
+}
+
+RuntimeController::RuntimeController(Hypervisor& hv, RuntimeConfig config)
+    : hv_(hv), config_(config) {
+  for (const auto& spec : hv_.tenants()) active_.push_back(spec.name);
+}
+
+std::vector<std::string> RuntimeController::compute_active(
+    TimeNs now) const {
+  std::vector<std::string> active;
+  bool any_seen = false;
+  for (const auto& spec : hv_.tenants()) {
+    const RankDistEstimator* est = hv_.find_estimator(spec.id);
+    if (est == nullptr || est->empty()) continue;
+    any_seen = true;
+    if (now - est->last_observation() <= config_.activity_window) {
+      active.push_back(spec.name);
+    }
+  }
+  if (!any_seen || active.empty()) {
+    // Nothing observed yet (startup) or a global lull: keep every
+    // tenant provisioned rather than tearing the plan down.
+    active.clear();
+    for (const auto& spec : hv_.tenants()) active.push_back(spec.name);
+  }
+  return active;
+}
+
+bool RuntimeController::tick(TimeNs now) {
+  if (last_reconfig_ >= 0 &&
+      now - last_reconfig_ < config_.min_reconfig_interval) {
+    return false;
+  }
+
+  std::vector<std::string> active = compute_active(now);
+  std::sort(active.begin(), active.end());
+
+  std::vector<std::string> quarantined;
+  if (config_.quarantine_adversarial) {
+    for (const TenantId id : hv_.monitor().adversarial()) {
+      for (const auto& spec : hv_.tenants()) {
+        if (spec.id == id &&
+            std::find(active.begin(), active.end(), spec.name) !=
+                active.end()) {
+          quarantined.push_back(spec.name);
+        }
+      }
+    }
+    std::sort(quarantined.begin(), quarantined.end());
+  }
+
+  const bool changed = active != active_ || quarantined != quarantined_ ||
+                       !hv_.has_plan();
+  if (!changed) {
+    // Even with a stable tenant set, live distributions drift: refresh
+    // the quantile normalization if it is enabled.
+    if (config_.quantile_normalization && hv_.has_plan() &&
+        refine_quantiles()) {
+      last_reconfig_ = now;
+      return true;
+    }
+    return false;
+  }
+
+  // Build the effective policy: the operator policy restricted to the
+  // clean active tenants, with quarantined tenants appended as one
+  // strictly-lowest tier.
+  std::vector<std::string> clean;
+  for (const auto& name : active) {
+    if (std::find(quarantined.begin(), quarantined.end(), name) ==
+        quarantined.end()) {
+      clean.push_back(name);
+    }
+  }
+  OperatorPolicy base = hv_.policy();
+  OperatorPolicy effective = base.restricted_to(clean);
+  if (!quarantined.empty()) {
+    auto tiers = effective.tiers();
+    PriorityTier jail;
+    SharingGroup cell;
+    cell.tenants = quarantined;
+    jail.groups.push_back(std::move(cell));
+    tiers.push_back(std::move(jail));
+    effective = OperatorPolicy(std::move(tiers));
+  }
+
+  // Optionally tighten declared bounds from live observations before
+  // synthesizing.
+  if (config_.tighten_bounds) {
+    for (const auto& spec : hv_.tenants()) {
+      auto& est = hv_.estimator(spec.id);
+      if (est.samples() >= config_.tighten_min_samples) {
+        TenantSpec tightened = spec;
+        tightened.declared_bounds = est.bounds();
+        hv_.upsert_tenant(std::move(tightened));
+      }
+    }
+  }
+
+  const OperatorPolicy saved = hv_.policy();
+  hv_.set_policy(effective);
+  auto result = hv_.compile_for(effective.tenant_names());
+  hv_.set_policy(saved);  // the operator's intent is permanent
+  if (!result.ok) {
+    QV_WARN << "runtime adaptation failed: " << result.error;
+    return false;
+  }
+  if (config_.quantile_normalization) refine_quantiles();
+  active_ = std::move(active);
+  if (quarantined != quarantined_) {
+    quarantines_ += quarantined.size() > quarantined_.size()
+                        ? quarantined.size() - quarantined_.size()
+                        : 0;
+    quarantined_ = std::move(quarantined);
+  }
+  ++adaptations_;
+  last_reconfig_ = now;
+  return true;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,79 @@
+// Runtime adaptation (paper §2, Idea 2): "an event-driven controller
+// could synthesize a new scheduling policy after the first packets of a
+// new workload arrived, and deploy it into the data plane".
+//
+// The RuntimeController polls the hypervisor's per-tenant observations
+// (driven by a simulator timer in experiments), derives the set of
+// ACTIVE tenants, and re-compiles whenever that set changes — so when
+// T1/T2 go quiet at the paper's t1 and T3 lights up (Fig. 2), T3's band
+// expands to the full rank space automatically. Tenants the monitor
+// judges adversarial are quarantined: demoted to a strictly-lowest
+// tier before synthesis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qvisor/qvisor.hpp"
+#include "util/time.hpp"
+
+namespace qv::qvisor {
+
+struct RuntimeConfig {
+  /// A tenant is active if it sent a packet within this window.
+  TimeNs activity_window = milliseconds(10);
+
+  /// Do not re-compile more often than this (data-plane churn guard).
+  TimeNs min_reconfig_interval = milliseconds(1);
+
+  /// Demote tenants the monitor flags as adversarial to a bottom tier.
+  bool quarantine_adversarial = true;
+
+  /// Replace declared rank bounds with observed ones when enough
+  /// samples exist (paper §5 "optimizing configurations at runtime").
+  bool tighten_bounds = false;
+  std::size_t tighten_min_samples = 256;
+
+  /// After each re-synthesis, replace range normalization with
+  /// quantile normalization from live rank distributions (§5: compute
+  /// transforms from "the distribution of the latest packets").
+  bool quantile_normalization = false;
+  std::size_t quantile_min_samples = 128;
+};
+
+class RuntimeController {
+ public:
+  RuntimeController(Hypervisor& hv, RuntimeConfig config = {});
+
+  /// Evaluate activity and (if needed) re-synthesize + install.
+  /// Returns true when a new plan was deployed.
+  bool tick(TimeNs now);
+
+  const std::vector<std::string>& active_tenants() const { return active_; }
+  std::uint64_t adaptations() const { return adaptations_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  /// Quantile-refinement installs (including refresh-only ticks).
+  std::uint64_t refinements() const { return refinements_; }
+  const RuntimeConfig& config() const { return config_; }
+
+ private:
+  /// Active = observed within the window. Before any traffic at all,
+  /// every tenant counts as active (the initial full plan).
+  std::vector<std::string> compute_active(TimeNs now) const;
+
+  /// Apply quantile refinement to the currently installed plan.
+  /// Returns true if any tenant's normalization changed.
+  bool refine_quantiles();
+
+  Hypervisor& hv_;
+  RuntimeConfig config_;
+  std::vector<std::string> active_;
+  std::vector<std::string> quarantined_;
+  TimeNs last_reconfig_ = -1;
+  std::uint64_t adaptations_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t refinements_ = 0;
+};
+
+}  // namespace qv::qvisor

@@ -1,0 +1,226 @@
+#include "qvisor/static_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace qv::qvisor {
+
+bool AnalysisReport::has_violations() const {
+  return std::any_of(findings.begin(), findings.end(), [](const auto& f) {
+    return f.severity == CheckSeverity::kViolation;
+  });
+}
+
+bool AnalysisReport::has_warnings() const {
+  return std::any_of(findings.begin(), findings.end(), [](const auto& f) {
+    return f.severity == CheckSeverity::kWarning;
+  });
+}
+
+std::string AnalysisReport::to_string() const {
+  std::ostringstream out;
+  for (const auto& f : findings) {
+    const char* sev = f.severity == CheckSeverity::kOk ? "OK"
+                      : f.severity == CheckSeverity::kWarning ? "WARN"
+                                                              : "FAIL";
+    out << "[" << sev << "] " << f.check << ": " << f.message << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void add(AnalysisReport& report, CheckSeverity sev, std::string check,
+         std::string message) {
+  report.findings.push_back(
+      AnalysisFinding{sev, std::move(check), std::move(message)});
+}
+
+/// Iterate representative input ranks: exhaustive when the declared
+/// range is small, edge-plus-samples otherwise.
+std::vector<Rank> probe_points(const sched::RankBounds& b) {
+  std::vector<Rank> points;
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(b.max) - b.min + 1;
+  if (width <= 4096) {
+    points.reserve(width);
+    for (std::uint64_t i = 0; i < width; ++i) {
+      points.push_back(b.min + static_cast<Rank>(i));
+    }
+    return points;
+  }
+  constexpr std::uint64_t kSamples = 4096;
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    points.push_back(b.min + static_cast<Rank>(i * (width - 1) /
+                                               (kSamples - 1)));
+  }
+  return points;
+}
+
+}  // namespace
+
+AnalysisReport StaticAnalyzer::analyze(
+    const SynthesisPlan& plan,
+    const std::vector<TenantSpec>& tenants) const {
+  AnalysisReport report;
+  std::map<TenantId, const TenantSpec*> by_id;
+  for (const auto& spec : tenants) by_id[spec.id] = &spec;
+
+  // --- tier-isolation ------------------------------------------------
+  // Worst-case max output rank per tier vs min of the next tier.
+  std::map<std::size_t, Rank> tier_max;
+  std::map<std::size_t, Rank> tier_min;
+  for (const auto& tp : plan.tenants) {
+    const Rank lo = tp.transform.out_min();
+    const Rank hi = tp.transform.out_max();
+    auto [it_min, inserted_min] = tier_min.emplace(tp.tier, lo);
+    if (!inserted_min) it_min->second = std::min(it_min->second, lo);
+    auto [it_max, inserted_max] = tier_max.emplace(tp.tier, hi);
+    if (!inserted_max) it_max->second = std::max(it_max->second, hi);
+  }
+  bool isolation_ok = true;
+  for (const auto& [tier, hi] : tier_max) {
+    const auto next = tier_min.find(tier + 1);
+    if (next == tier_min.end()) continue;
+    if (hi >= next->second) {
+      isolation_ok = false;
+      std::ostringstream msg;
+      msg << "tier " << tier << " worst-case rank " << hi
+          << " >= tier " << tier + 1 << " best-case rank "
+          << next->second;
+      add(report, CheckSeverity::kViolation, "tier-isolation", msg.str());
+    }
+  }
+  if (isolation_ok && tier_max.size() > 1) {
+    add(report, CheckSeverity::kOk, "tier-isolation",
+        "all '>>' tiers occupy disjoint, ordered bands");
+  }
+
+  // --- range ----------------------------------------------------------
+  bool range_ok = true;
+  for (const auto& tp : plan.tenants) {
+    if (tp.transform.out_max() >= plan.rank_space) {
+      range_ok = false;
+      std::ostringstream msg;
+      msg << "tenant " << tp.name << " worst-case rank "
+          << tp.transform.out_max() << " exceeds rank space "
+          << plan.rank_space;
+      add(report, CheckSeverity::kViolation, "range", msg.str());
+    }
+  }
+  if (range_ok) {
+    add(report, CheckSeverity::kOk, "range",
+        "all transforms stay within the backend rank space");
+  }
+
+  // --- monotonicity ---------------------------------------------------
+  bool mono_ok = true;
+  for (const auto& tp : plan.tenants) {
+    const auto spec_it = by_id.find(tp.tenant);
+    const sched::RankBounds bounds = spec_it != by_id.end()
+                                         ? spec_it->second->declared_bounds
+                                         : tp.transform.input_bounds();
+    const auto points = probe_points(bounds);
+    Rank prev_out = 0;
+    bool first = true;
+    for (const Rank r : points) {
+      const Rank out = tp.transform.apply(r);
+      if (!first && out < prev_out) {
+        mono_ok = false;
+        std::ostringstream msg;
+        msg << "tenant " << tp.name << ": transform not monotone at input "
+            << r;
+        add(report, CheckSeverity::kViolation, "monotonicity", msg.str());
+        break;
+      }
+      prev_out = out;
+      first = false;
+    }
+  }
+  if (mono_ok) {
+    add(report, CheckSeverity::kOk, "monotonicity",
+        "every transform preserves intra-tenant scheduling order");
+  }
+
+  // --- preference (within-tier '>' ordering) --------------------------
+  // Compare group band bases and report overlap.
+  std::map<std::pair<std::size_t, std::size_t>, std::pair<Rank, Rank>>
+      group_band;  // (tier, group) -> (min base, max out)
+  for (const auto& tp : plan.tenants) {
+    auto key = std::make_pair(tp.tier, tp.group);
+    auto it = group_band.find(key);
+    if (it == group_band.end()) {
+      group_band.emplace(key, std::make_pair(tp.transform.out_min(),
+                                             tp.transform.out_max()));
+    } else {
+      it->second.first = std::min(it->second.first, tp.transform.out_min());
+      it->second.second = std::max(it->second.second, tp.transform.out_max());
+    }
+  }
+  for (const auto& [key, band] : group_band) {
+    const auto next = group_band.find({key.first, key.second + 1});
+    if (next == group_band.end()) continue;
+    if (band.first >= next->second.first) {
+      std::ostringstream msg;
+      msg << "tier " << key.first << ": group " << key.second
+          << " base " << band.first << " not below group "
+          << key.second + 1 << " base " << next->second.first;
+      add(report, CheckSeverity::kViolation, "preference", msg.str());
+    } else if (band.second >= next->second.first) {
+      // Overlap is expected for '>' — report its size as information.
+      std::ostringstream msg;
+      msg << "tier " << key.first << ": groups " << key.second << " and "
+          << key.second + 1 << " overlap by "
+          << band.second - next->second.first + 1
+          << " levels (best-effort preference, by design)";
+      add(report, CheckSeverity::kWarning, "preference", msg.str());
+    }
+  }
+
+  // --- sharing-alignment ----------------------------------------------
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<Rank>>
+      group_widths;
+  for (const auto& tp : plan.tenants) {
+    group_widths[{tp.tier, tp.group}].push_back(
+        tp.transform.out_max() - tp.transform.out_min());
+  }
+  bool share_ok = true;
+  for (const auto& [key, widths] : group_widths) {
+    if (widths.size() < 2) continue;
+    const Rank first = widths.front();
+    for (const Rank w : widths) {
+      if (w != first) {
+        share_ok = false;
+        std::ostringstream msg;
+        msg << "tier " << key.first << " group " << key.second
+            << ": sharing tenants cover bands of different widths";
+        add(report, CheckSeverity::kViolation, "sharing-alignment",
+            msg.str());
+        break;
+      }
+    }
+  }
+  if (share_ok) {
+    add(report, CheckSeverity::kOk, "sharing-alignment",
+        "all '+' groups normalize onto equal-width bands");
+  }
+
+  return report;
+}
+
+std::int64_t StaticAnalyzer::worst_case_overtake(
+    const SynthesisPlan& plan, const std::string& upper_name,
+    const std::string& lower_name) {
+  const TenantPlan* upper = plan.find(upper_name);
+  const TenantPlan* lower = plan.find(lower_name);
+  if (upper == nullptr || lower == nullptr) return 0;
+  // The lower tenant overtakes when its best (smallest) output rank
+  // beats the upper tenant's worst (largest) output rank.
+  const std::int64_t gap =
+      static_cast<std::int64_t>(upper->transform.out_max()) -
+      static_cast<std::int64_t>(lower->transform.out_min());
+  return std::max<std::int64_t>(gap, 0);
+}
+
+}  // namespace qv::qvisor

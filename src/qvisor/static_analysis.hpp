@@ -1,0 +1,58 @@
+// Static worst-case analysis of a synthesis plan (paper §2, Idea 2:
+// "develop static analysis techniques to reason about the worst-case
+// scenario for the combined workloads").
+//
+// Every check reasons only over declared rank bounds and the plan's
+// transforms — no traffic is needed — and therefore holds for ANY
+// workload the tenants can legally emit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qvisor/synthesizer.hpp"
+
+namespace qv::qvisor {
+
+enum class CheckSeverity { kOk, kWarning, kViolation };
+
+struct AnalysisFinding {
+  CheckSeverity severity = CheckSeverity::kOk;
+  std::string check;    ///< short id, e.g. "tier-isolation"
+  std::string message;  ///< human-readable detail
+};
+
+struct AnalysisReport {
+  std::vector<AnalysisFinding> findings;
+
+  bool has_violations() const;
+  bool has_warnings() const;
+  std::string to_string() const;
+};
+
+class StaticAnalyzer {
+ public:
+  /// Run all checks:
+  ///  * tier-isolation: worst-case max rank of tier i < min of tier i+1
+  ///    (the ">>" guarantee);
+  ///  * monotonicity: each transform preserves intra-tenant rank order
+  ///    over its declared input bounds (spot-checked exhaustively for
+  ///    small ranges, at sampled points for large ones);
+  ///  * range: every transform's output fits in the plan's rank space;
+  ///  * preference: inside a tier, group g's band base is strictly
+  ///    below group g+1's (the ">" ordering), with a warning describing
+  ///    the overlap fraction (best-effort semantics);
+  ///  * sharing-alignment: tenants of one "+" group cover bands of
+  ///    equal width (fair comparability after normalization).
+  AnalysisReport analyze(const SynthesisPlan& plan,
+                         const std::vector<TenantSpec>& tenants) const;
+
+  /// Worst-case number of rank levels by which a packet of `lower_name`
+  /// can overtake a packet of `upper_name` (0 if it never can). A
+  /// measure of how "best-effort" the '>' operator is between them.
+  static std::int64_t worst_case_overtake(const SynthesisPlan& plan,
+                                          const std::string& upper_name,
+                                          const std::string& lower_name);
+};
+
+}  // namespace qv::qvisor

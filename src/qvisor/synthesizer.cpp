@@ -1,0 +1,198 @@
+#include "qvisor/synthesizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace qv::qvisor {
+
+const TenantPlan* SynthesisPlan::find(TenantId id) const {
+  for (const auto& t : tenants) {
+    if (t.tenant == id) return &t;
+  }
+  return nullptr;
+}
+
+const TenantPlan* SynthesisPlan::find(const std::string& name) const {
+  for (const auto& t : tenants) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+Synthesizer::Synthesizer(SynthesizerConfig config) : config_(config) {}
+
+namespace {
+
+Synthesizer::Result fail(std::string message) {
+  Synthesizer::Result r;
+  r.error = std::move(message);
+  return r;
+}
+
+/// Width (in rank levels) one tier occupies for a given quantization.
+std::uint64_t tier_width(const PriorityTier& tier, std::uint32_t levels,
+                         std::uint32_t bias, std::uint32_t stagger) {
+  std::uint64_t width = 0;
+  for (std::size_t g = 0; g < tier.groups.size(); ++g) {
+    const auto n = static_cast<std::uint64_t>(tier.groups[g].tenants.size());
+    const std::uint64_t group_width =
+        levels + stagger * (n > 0 ? n - 1 : 0);
+    width = std::max(width, static_cast<std::uint64_t>(bias) * g +
+                                group_width);
+  }
+  return width;
+}
+
+std::uint64_t total_width(const OperatorPolicy& policy, std::uint32_t levels,
+                          std::uint32_t bias, std::uint32_t stagger) {
+  std::uint64_t total = 0;
+  for (const auto& tier : policy.tiers()) {
+    total += tier_width(tier, levels, bias, stagger);
+  }
+  return total;
+}
+
+}  // namespace
+
+Synthesizer::Result Synthesizer::synthesize(
+    const std::vector<TenantSpec>& tenants,
+    const OperatorPolicy& policy) const {
+  if (policy.empty()) return fail("empty operator policy");
+  if (config_.rank_space == 0) return fail("rank space is empty");
+
+  // Match policy names to specs, both ways.
+  std::map<std::string, const TenantSpec*> by_name;
+  for (const auto& spec : tenants) {
+    if (spec.name.empty()) return fail("tenant with empty name");
+    if (!by_name.emplace(spec.name, &spec).second) {
+      return fail("duplicate tenant spec: " + spec.name);
+    }
+  }
+  const auto names = policy.tenant_names();
+  const std::set<std::string> in_policy(names.begin(), names.end());
+  for (const auto& name : names) {
+    if (!by_name.count(name)) {
+      return fail("policy mentions unknown tenant: " + name);
+    }
+  }
+  for (const auto& spec : tenants) {
+    if (!in_policy.count(spec.name)) {
+      return fail("tenant not mentioned in policy: " + spec.name +
+                  " (restrict the spec set or extend the policy)");
+    }
+  }
+
+  SynthesisPlan plan;
+  plan.policy = policy;
+  plan.rank_space = config_.rank_space;
+
+  // Pick the quantization. Start from the configured target; shrink if
+  // the layout overflows the rank space and degradation is allowed.
+  std::uint32_t levels = std::max<std::uint32_t>(config_.levels_per_group, 1);
+  auto bias_for = [&](std::uint32_t lv) {
+    return config_.pref_bias != 0 ? config_.pref_bias
+                                  : std::max<std::uint32_t>(lv / 4, 1);
+  };
+  const std::uint32_t stagger = config_.share_stagger;
+
+  std::uint64_t need =
+      total_width(policy, levels, bias_for(levels), stagger);
+  if (need > config_.rank_space) {
+    if (!config_.allow_degraded) {
+      return fail("policy needs " + std::to_string(need) +
+                  " rank levels but the backend offers " +
+                  std::to_string(config_.rank_space));
+    }
+    // Binary-search the largest quantization that fits.
+    std::uint32_t lo = 1;
+    std::uint32_t hi = levels;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+      if (total_width(policy, mid, bias_for(mid), stagger) <=
+          config_.rank_space) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    if (total_width(policy, lo, bias_for(lo), stagger) >
+        config_.rank_space) {
+      return fail("rank space too small even at 1 level per group (" +
+                  std::to_string(config_.rank_space) + " available)");
+    }
+    plan.degraded = true;
+    std::ostringstream note;
+    note << "degraded: quantization reduced from "
+         << config_.levels_per_group << " to " << lo
+         << " levels per group to fit rank space "
+         << config_.rank_space;
+    plan.notes.push_back(note.str());
+    levels = lo;
+  }
+  const std::uint32_t bias = bias_for(levels);
+
+  // Lay out tiers bottom-up in rank value (tier 0 = lowest ranks =
+  // highest priority) and emit per-tenant transforms.
+  Rank tier_base = 0;
+  const auto& tiers = policy.tiers();
+  for (std::size_t ti = 0; ti < tiers.size(); ++ti) {
+    const auto& tier = tiers[ti];
+    const auto width = static_cast<Rank>(
+        tier_width(tier, levels, bias, stagger));
+    plan.tier_bands.push_back(TierBand{tier_base, tier_base + width - 1});
+
+    for (std::size_t gi = 0; gi < tier.groups.size(); ++gi) {
+      const auto& group = tier.groups[gi];
+      const Rank group_base = tier_base + static_cast<Rank>(bias) *
+                                              static_cast<Rank>(gi);
+      for (std::size_t mi = 0; mi < group.tenants.size(); ++mi) {
+        const TenantSpec& spec = *by_name.at(group.tenants[mi]);
+        TenantPlan tp;
+        tp.tenant = spec.id;
+        tp.name = spec.name;
+        tp.tier = ti;
+        tp.group = gi;
+        tp.index_in_group = mi;
+        tp.transform = RankTransform(
+            spec.declared_bounds, levels,
+            group_base + static_cast<Rank>(stagger) * static_cast<Rank>(mi),
+            /*stride=*/1);
+        plan.tenants.push_back(std::move(tp));
+      }
+      if (group.tenants.size() > 1) {
+        std::ostringstream note;
+        note << "tier " << ti << " group " << gi << ": ";
+        for (std::size_t mi = 0; mi < group.tenants.size(); ++mi) {
+          if (mi > 0) note << " + ";
+          note << group.tenants[mi];
+        }
+        note << " share a " << levels << "-level band fairly";
+        plan.notes.push_back(note.str());
+      }
+      if (gi + 1 < tier.groups.size()) {
+        std::ostringstream note;
+        note << "tier " << ti << ": group " << gi
+             << " preferred over group " << gi + 1 << " (bias " << bias
+             << " of " << levels << " levels, best-effort)";
+        plan.notes.push_back(note.str());
+      }
+    }
+
+    if (ti + 1 < tiers.size()) {
+      std::ostringstream note;
+      note << "tier " << ti << " strictly isolated above tier " << ti + 1
+           << " (bands [" << tier_base << "," << tier_base + width - 1
+           << "] < [" << tier_base + width << ", ...])";
+      plan.notes.push_back(note.str());
+    }
+    tier_base += width;
+  }
+
+  Result r;
+  r.plan = std::move(plan);
+  return r;
+}
+
+}  // namespace qv::qvisor

@@ -1,0 +1,45 @@
+// Tenant specification (paper §3.1): a tenant is the tuple
+// {traffic subset, scheduling algorithm}. The traffic subset is carried
+// on packets as the tenant identifier label; the algorithm is the rank
+// function the tenant uses to tag its packets (computed at the end host
+// or an upstream switch, before QVISOR's pre-processor).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "netsim/packet.hpp"
+#include "sched/rank/ranker.hpp"
+
+namespace qv::qvisor {
+
+struct TenantSpec {
+  TenantId id = kInvalidTenant;
+  std::string name;  ///< the identifier used in the operator's policy
+
+  /// The tenant's rank function. May be null when the tenant computes
+  /// ranks externally — `declared_bounds` is authoritative either way.
+  sched::RankerPtr ranker;
+
+  /// Bounds within which the tenant promises its ranks fall. The
+  /// synthesizer's worst-case analysis (§2 Idea 2) reasons over these;
+  /// the monitor polices them at runtime.
+  sched::RankBounds declared_bounds;
+
+  /// Relative weight used when sharing (`+`) tenants are normalized
+  /// onto a common band. 1.0 = equal share.
+  double weight = 1.0;
+
+  static TenantSpec make(TenantId id, std::string name,
+                         sched::RankerPtr ranker, double weight = 1.0) {
+    TenantSpec spec;
+    spec.id = id;
+    spec.name = std::move(name);
+    spec.declared_bounds = ranker ? ranker->bounds() : sched::RankBounds{};
+    spec.ranker = std::move(ranker);
+    spec.weight = weight;
+    return spec;
+  }
+};
+
+}  // namespace qv::qvisor

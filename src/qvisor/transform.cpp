@@ -1,0 +1,133 @@
+#include "qvisor/transform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace qv::qvisor {
+
+RankTransform::RankTransform(sched::RankBounds in, std::uint32_t levels,
+                             Rank base, std::uint32_t stride)
+    : in_(in), levels_(levels), base_(base), stride_(stride) {
+  assert(in.min <= in.max);
+  assert(levels >= 1);
+  assert(stride >= 1);
+}
+
+Rank RankTransform::apply(Rank r) const {
+  if (levels_ == 0) return r;  // identity
+  const Rank clamped = std::clamp(r, in_.min, in_.max);
+  const std::uint64_t offset = clamped - in_.min;
+  const std::uint64_t width = static_cast<std::uint64_t>(in_.max) - in_.min + 1;
+  // Scale [0, width) onto [0, levels): level = offset * levels / width.
+  const std::uint64_t level =
+      std::min<std::uint64_t>(offset * levels_ / width, levels_ - 1);
+  return base_ + static_cast<Rank>(level) * stride_;
+}
+
+std::string RankTransform::to_string() const {
+  if (levels_ == 0) return "identity";
+  std::ostringstream out;
+  out << "[" << in_.min << "," << in_.max << "] -> " << levels_
+      << " levels @ base " << base_;
+  if (stride_ != 1) out << " stride " << stride_;
+  return out.str();
+}
+
+BreakpointTransform::BreakpointTransform(std::vector<Rank> thresholds,
+                                         Rank base)
+    : base_(base) {
+  assert(std::is_sorted(thresholds.begin(), thresholds.end()));
+  from_.reserve(thresholds.size() + 1);
+  level_.reserve(thresholds.size() + 1);
+  from_.push_back(0);
+  level_.push_back(0);
+  Rank level = 1;
+  for (const Rank t : thresholds) {
+    assert(t >= from_.back());
+    from_.push_back(t);
+    level_.push_back(level++);
+  }
+  levels_ = static_cast<std::uint32_t>(thresholds.size()) + 1;
+}
+
+BreakpointTransform BreakpointTransform::from_samples(
+    std::vector<Rank> samples, std::uint32_t levels, Rank base) {
+  assert(!samples.empty());
+  assert(levels >= 1);
+  std::sort(samples.begin(), samples.end());
+  BreakpointTransform out;
+  out.base_ = base;
+  out.levels_ = levels;
+  const std::size_t n = samples.size();
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && samples[j + 1] == samples[i]) ++j;
+    // Midpoint CDF position of this distinct value.
+    const double mid =
+        (static_cast<double>(i) + static_cast<double>(j) + 1.0) / 2.0;
+    const auto level = static_cast<Rank>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(mid / static_cast<double>(n) *
+                                   static_cast<double>(levels)),
+        levels - 1));
+    if (out.level_.empty() || level != out.level_.back()) {
+      out.from_.push_back(samples[i]);
+      out.level_.push_back(level);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+Rank BreakpointTransform::apply(Rank r) const {
+  if (from_.empty()) return base_;
+  // Last step with from_ <= r; ranks below the first step share its
+  // level (unseen small ranks are at least as urgent as the smallest
+  // observed one).
+  const auto it = std::upper_bound(from_.begin(), from_.end(), r);
+  const auto idx = it == from_.begin()
+                       ? std::size_t{0}
+                       : static_cast<std::size_t>(
+                             std::distance(from_.begin(), it) - 1);
+  return base_ + level_[idx];
+}
+
+Rank BreakpointTransform::out_min() const {
+  return base_ + (level_.empty() ? 0 : level_.front());
+}
+
+Rank BreakpointTransform::out_max() const {
+  return base_ + (level_.empty() ? 0 : level_.back());
+}
+
+TableTransform TableTransform::compile(const RankTransform& t,
+                                       std::size_t max_entries) {
+  const auto bounds = t.input_bounds();
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(bounds.max) - bounds.min + 1;
+  if (width > max_entries) {
+    throw std::invalid_argument(
+        "TableTransform: input range (" + std::to_string(width) +
+        ") exceeds table capacity (" + std::to_string(max_entries) + ")");
+  }
+  TableTransform out;
+  out.in_min_ = bounds.min;
+  out.table_.resize(width);
+  for (std::uint64_t i = 0; i < width; ++i) {
+    out.table_[i] = t.apply(bounds.min + static_cast<Rank>(i));
+  }
+  return out;
+}
+
+Rank TableTransform::apply(Rank r) const {
+  // Out-of-range inputs clamp to the edge entries, mirroring the
+  // closed-form transform's clamp.
+  if (r < in_min_) return table_.front();
+  const std::uint64_t idx = static_cast<std::uint64_t>(r) - in_min_;
+  if (idx >= table_.size()) return table_.back();
+  return table_[idx];
+}
+
+}  // namespace qv::qvisor

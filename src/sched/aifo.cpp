@@ -1,0 +1,57 @@
+#include "sched/aifo.hpp"
+
+#include <cassert>
+
+namespace qv::sched {
+
+AifoQueue::AifoQueue(std::int64_t buffer_bytes, std::size_t window, double k)
+    : window_size_(window), k_(k), buffer_bytes_(buffer_bytes) {
+  assert(buffer_bytes > 0);  // admission control needs a finite buffer
+  assert(window > 0);
+  assert(k >= 0.0 && k < 1.0);
+}
+
+double AifoQueue::quantile_of(Rank r) const {
+  if (window_.empty()) return 0.0;
+  std::size_t smaller = 0;
+  for (Rank w : window_) {
+    if (w < r) ++smaller;
+  }
+  return static_cast<double>(smaller) / static_cast<double>(window_.size());
+}
+
+bool AifoQueue::enqueue(const Packet& p, TimeNs /*now*/) {
+  // AIFO admission condition:  quantile(r) <= (1/(1-k)) * (C - c) / C
+  // where C is buffer capacity and c current occupancy.
+  const double headroom =
+      static_cast<double>(buffer_bytes_ - bytes_) /
+      static_cast<double>(buffer_bytes_);
+  const double threshold = headroom / (1.0 - k_);
+  const bool admit = bytes_ + p.size_bytes <= buffer_bytes_ &&
+                     quantile_of(p.rank) <= threshold;
+
+  // The window samples ALL arrivals (admitted or not), per the paper.
+  window_.push_back(p.rank);
+  if (window_.size() > window_size_) window_.pop_front();
+
+  if (!admit) {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  queue_.push_back(p);
+  bytes_ += p.size_bytes;
+  ++counters_.enqueued;
+  return true;
+}
+
+std::optional<Packet> AifoQueue::dequeue(TimeNs /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  Packet p = queue_.front();
+  queue_.pop_front();
+  bytes_ -= p.size_bytes;
+  ++counters_.dequeued;
+  return p;
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,45 @@
+// AIFO: Admission-In First-Out (Yu et al., SIGCOMM'21) — approximates
+// PIFO with a SINGLE FIFO queue plus rank-aware admission control, the
+// other commodity deployment target the paper cites [41].
+//
+// A sliding window of recent ranks estimates the rank distribution; an
+// arriving packet is admitted only if its rank's quantile is below the
+// fraction of buffer space still available (scaled by a burst-tolerance
+// parameter k). Admitted packets drain in FIFO order.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+class AifoQueue final : public Scheduler {
+ public:
+  /// `window` is the number of recent ranks used for the quantile
+  /// estimate; `k` is the burst-tolerance knob from the AIFO paper
+  /// (0 <= k < 1; larger admits more aggressively).
+  AifoQueue(std::int64_t buffer_bytes, std::size_t window = 64,
+            double k = 0.1);
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return queue_.size(); }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "aifo"; }
+
+  /// Fraction of window ranks strictly smaller than `r`.
+  double quantile_of(Rank r) const;
+
+ private:
+  std::deque<Packet> queue_;
+  std::deque<Rank> window_;
+  std::size_t window_size_;
+  double k_;
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,51 @@
+// Calendar queue (Sharma et al., "Programmable Calendar Queues for
+// High-speed Packet Scheduling", NSDI'20 — the paper's reference [28]):
+// a ring of FIFO buckets, each covering a fixed rank interval; the
+// scheduler drains the current bucket and rotates. Approximates PIFO
+// with O(1) operations; packets whose rank falls into an
+// already-rotated bucket join the current one (bounded inversion).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+class CalendarQueue final : public Scheduler {
+ public:
+  /// `num_buckets` days of `bucket_width` ranks each. Ranks beyond the
+  /// calendar horizon (current_base + num_buckets * width) land in the
+  /// last bucket.
+  CalendarQueue(std::size_t num_buckets, Rank bucket_width,
+                std::int64_t buffer_bytes = 0);
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return total_packets_; }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "calendar"; }
+
+  std::size_t num_buckets() const { return buckets_.size(); }
+  Rank current_base() const { return base_; }
+
+  /// Packets that arrived for an already-rotated (past) bucket.
+  std::uint64_t late_arrivals() const { return late_arrivals_; }
+
+ private:
+  std::size_t bucket_for(Rank rank) const;
+  void rotate_to_nonempty();
+
+  std::vector<std::deque<Packet>> buckets_;
+  Rank bucket_width_;
+  Rank base_ = 0;           ///< rank at the start of the current bucket
+  std::size_t current_ = 0; ///< index of the current bucket
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+  std::size_t total_packets_ = 0;
+  std::uint64_t late_arrivals_ = 0;
+};
+
+}  // namespace qv::sched

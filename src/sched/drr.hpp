@@ -1,0 +1,49 @@
+// Deficit Round Robin (Shreedhar & Varghese, SIGCOMM'95): the classic
+// O(1) fair-queuing approximation, used here as the per-class fairness
+// baseline and as a reference point for the STFQ rank function.
+//
+// Packets are classified by a key function (default: tenant id); each
+// class gets a quantum of bytes per round.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+class DrrQueue final : public Scheduler {
+ public:
+  using ClassOf = std::function<std::uint64_t(const Packet&)>;
+
+  explicit DrrQueue(std::int64_t quantum_bytes = 1500,
+                    std::int64_t buffer_bytes = 0, ClassOf class_of = {});
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return total_packets_; }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "drr"; }
+
+ private:
+  struct ClassState {
+    std::deque<Packet> queue;
+    std::int64_t deficit = 0;
+    bool active = false;  ///< present in the active list
+  };
+
+  std::int64_t quantum_;
+  std::int64_t buffer_bytes_;
+  ClassOf class_of_;
+  std::unordered_map<std::uint64_t, ClassState> classes_;
+  std::list<std::uint64_t> active_;  ///< round-robin order of active classes
+  std::size_t total_packets_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,26 @@
+#include "sched/fifo.hpp"
+
+namespace qv::sched {
+
+bool FifoQueue::enqueue(const Packet& p, TimeNs /*now*/) {
+  if (buffer_bytes_ > 0 && bytes_ + p.size_bytes > buffer_bytes_) {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  queue_.push_back(p);
+  bytes_ += p.size_bytes;
+  ++counters_.enqueued;
+  return true;
+}
+
+std::optional<Packet> FifoQueue::dequeue(TimeNs /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  Packet p = queue_.front();
+  queue_.pop_front();
+  bytes_ -= p.size_bytes;
+  ++counters_.dequeued;
+  return p;
+}
+
+}  // namespace qv::sched

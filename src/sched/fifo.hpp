@@ -1,0 +1,30 @@
+// FIFO queue with drop-tail — the baseline "commodity" discipline in the
+// paper's Fig. 4 ("FIFO: pFabric and EDF").
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+class FifoQueue final : public Scheduler {
+ public:
+  /// `buffer_bytes` caps the queue; <= 0 means unbounded.
+  explicit FifoQueue(std::int64_t buffer_bytes = 0)
+      : buffer_bytes_(buffer_bytes) {}
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return queue_.size(); }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "fifo"; }
+
+ private:
+  std::deque<Packet> queue_;
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,52 @@
+// PIFO (Push-In First-Out) queue: the scheduling abstraction tenants
+// program against (paper §2 Problem 3, Sivaraman et al. SIGCOMM'16).
+//
+// Packets are kept sorted by rank; dequeue always pops the lowest rank.
+// Ties break FIFO (by enqueue order) so equal-rank tenants interleave —
+// exactly the behaviour the paper's "+" operator relies on (§3.2).
+//
+// When the buffer is full, the HIGHEST-rank (lowest-priority) buffered
+// packet is evicted, matching pFabric-style priority dropping; if the
+// arriving packet is itself the worst, it is rejected.
+#pragma once
+
+#include <set>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+class PifoQueue final : public Scheduler {
+ public:
+  explicit PifoQueue(std::int64_t buffer_bytes = 0)
+      : buffer_bytes_(buffer_bytes) {}
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return entries_.size(); }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "pifo"; }
+
+  /// Rank of the head (next dequeued) packet; kMaxRank when empty.
+  Rank head_rank() const;
+
+ private:
+  struct Entry {
+    Rank rank;
+    std::uint64_t order;  ///< monotone enqueue counter: FIFO tie-break
+    Packet packet;
+
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.order < b.order;
+    }
+  };
+
+  std::set<Entry> entries_;
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,188 @@
+#include "sched/pifo_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace qv::sched {
+
+namespace {
+
+std::size_t count_leaves(const PifoTreeSpec::Node& node) {
+  if (node.children.empty()) return 1;
+  std::size_t n = 0;
+  for (const auto& child : node.children) n += count_leaves(child);
+  return n;
+}
+
+void render(const PifoTreeSpec::Node& node, int depth,
+            std::ostringstream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  switch (node.policy) {
+    case PifoTreeSpec::NodePolicy::kStrict:
+      out << "strict";
+      break;
+    case PifoTreeSpec::NodePolicy::kWfq:
+      out << "wfq";
+      break;
+    case PifoTreeSpec::NodePolicy::kLeaf:
+      out << "leaf";
+      break;
+  }
+  if (!node.label.empty()) out << " [" << node.label << "]";
+  if (node.weight != 1.0) out << " w=" << node.weight;
+  out << "\n";
+  for (const auto& child : node.children) render(child, depth + 1, out);
+}
+
+}  // namespace
+
+std::size_t PifoTreeSpec::leaf_count() const { return count_leaves(root); }
+
+std::string PifoTreeSpec::to_string() const {
+  std::ostringstream out;
+  render(root, 0, out);
+  return out.str();
+}
+
+PifoTreeQueue::PifoTreeQueue(PifoTreeSpec spec, Classifier classify,
+                             std::int64_t buffer_bytes)
+    : spec_(std::move(spec)), classify_(std::move(classify)),
+      buffer_bytes_(buffer_bytes) {
+  assert(classify_ != nullptr);
+  build(spec_.root);
+  assert(!leaves_.empty());
+  // Record each leaf's path to the root for buffered-count updates.
+  leaf_path_.resize(leaves_.size());
+  for (std::size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    // Walk up by scanning parents (small trees: linear scan is fine).
+    std::vector<std::size_t> path;
+    std::size_t current = leaf_owner_[leaf];
+    path.push_back(current);
+    bool found = true;
+    while (found && current != 0) {
+      found = false;
+      for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        const auto& kids = nodes_[n].children;
+        if (std::find(kids.begin(), kids.end(), current) != kids.end()) {
+          current = n;
+          path.push_back(n);
+          found = true;
+          break;
+        }
+      }
+    }
+    leaf_path_[leaf] = std::move(path);
+  }
+}
+
+std::size_t PifoTreeQueue::build(const PifoTreeSpec::Node& node) {
+  const std::size_t index = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[index].policy = node.children.empty()
+                             ? PifoTreeSpec::NodePolicy::kLeaf
+                             : node.policy;
+  nodes_[index].weight = node.weight > 0 ? node.weight : 1.0;
+  if (node.children.empty()) {
+    nodes_[index].leaf_index = leaves_.size();
+    leaves_.emplace_back();
+    leaf_owner_.push_back(index);
+    return index;
+  }
+  std::vector<std::size_t> children;
+  for (const auto& child : node.children) {
+    children.push_back(build(child));
+  }
+  nodes_[index].children = std::move(children);
+  nodes_[index].child_finish.assign(nodes_[index].children.size(), 0);
+  return index;
+}
+
+bool PifoTreeQueue::enqueue(const Packet& p, TimeNs /*now*/) {
+  if (buffer_bytes_ > 0 && bytes_ + p.size_bytes > buffer_bytes_) {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  std::size_t leaf = classify_(p);
+  if (leaf >= leaves_.size()) leaf = leaves_.size() - 1;
+  leaves_[leaf].insert(Entry{p.rank, next_order_++, p});
+  for (const std::size_t n : leaf_path_[leaf]) ++nodes_[n].buffered;
+  bytes_ += p.size_bytes;
+  ++total_packets_;
+  ++counters_.enqueued;
+  return true;
+}
+
+std::optional<Packet> PifoTreeQueue::dequeue_from(std::size_t node_index,
+                                                  std::size_t& popped_leaf) {
+  RuntimeNode& node = nodes_[node_index];
+  if (node.buffered == 0) return std::nullopt;
+
+  if (node.policy == PifoTreeSpec::NodePolicy::kLeaf) {
+    auto& leaf = leaves_[node.leaf_index];
+    assert(!leaf.empty());
+    auto best = leaf.begin();
+    Packet p = best->packet;
+    leaf.erase(best);
+    popped_leaf = node.leaf_index;
+    return p;
+  }
+
+  if (node.policy == PifoTreeSpec::NodePolicy::kStrict) {
+    for (const std::size_t child : node.children) {
+      if (nodes_[child].buffered > 0) {
+        return dequeue_from(child, popped_leaf);
+      }
+    }
+    return std::nullopt;
+  }
+
+  // WFQ: pick the backlogged child with the smallest virtual finish
+  // time; lazily reset a newly-backlogged child's tag to the node's
+  // virtual clock (start-time fairness: idle children bank no credit).
+  std::size_t pick = node.children.size();
+  std::int64_t best_tag = 0;
+  for (std::size_t ci = 0; ci < node.children.size(); ++ci) {
+    const std::size_t child = node.children[ci];
+    if (nodes_[child].buffered == 0) continue;
+    std::int64_t tag = node.child_finish[ci];
+    if (tag < node.virtual_time) tag = node.virtual_time;
+    if (pick == node.children.size() || tag < best_tag) {
+      pick = ci;
+      best_tag = tag;
+    }
+  }
+  if (pick == node.children.size()) return std::nullopt;
+
+  auto packet = dequeue_from(node.children[pick], popped_leaf);
+  if (packet) {
+    node.virtual_time = best_tag;
+    const double w = nodes_[node.children[pick]].weight;
+    node.child_finish[pick] =
+        best_tag + static_cast<std::int64_t>(
+                       static_cast<double>(packet->size_bytes) / w);
+  }
+  return packet;
+}
+
+std::optional<Packet> PifoTreeQueue::dequeue(TimeNs /*now*/) {
+  std::size_t leaf = 0;
+  auto packet = dequeue_from(0, leaf);
+  if (!packet) return std::nullopt;
+  // Update buffered counts along the packet's leaf path.
+  for (const std::size_t n : leaf_path_[leaf]) {
+    assert(nodes_[n].buffered > 0);
+    --nodes_[n].buffered;
+  }
+  bytes_ -= packet->size_bytes;
+  --total_packets_;
+  ++counters_.dequeued;
+  return packet;
+}
+
+std::size_t PifoTreeQueue::leaf_size(std::size_t leaf) const {
+  return leaves_[leaf].size();
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,112 @@
+// PIFO tree: the hierarchical scheduling abstraction of Sivaraman et
+// al. (SIGCOMM'16), cited by the paper (§5) as the way to support
+// hierarchical and weighted multi-tenant specifications exactly.
+//
+// The tree is described by PifoTreeSpec: internal nodes arbitrate
+// among their children with either STRICT priority or WEIGHTED fair
+// queuing (virtual-time STFQ over child byte counts); leaves order
+// packets by packet rank (a per-leaf PIFO). A classifier maps each
+// packet to a leaf.
+//
+// Dequeue walks from the root, at each node picking the child its
+// policy selects among the non-empty ones, until it reaches a leaf and
+// pops that leaf's minimum-rank packet. WFQ virtual times advance on
+// dequeue by packet_bytes / weight, giving weighted byte-level
+// fairness among backlogged children.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+struct PifoTreeSpec {
+  enum class NodePolicy {
+    kStrict,  ///< children in fixed priority order (index 0 first)
+    kWfq,     ///< weighted fair sharing across children
+    kLeaf,    ///< orders packets by rank
+  };
+
+  struct Node {
+    NodePolicy policy = NodePolicy::kLeaf;
+    double weight = 1.0;  ///< this node's share at its parent (kWfq)
+    std::vector<Node> children;
+    std::string label;  ///< for printing / debugging
+  };
+
+  Node root;
+
+  /// Number of leaves, in left-to-right order (= classifier codomain).
+  std::size_t leaf_count() const;
+
+  /// Human-readable rendering of the tree.
+  std::string to_string() const;
+};
+
+class PifoTreeQueue final : public Scheduler {
+ public:
+  /// `classify` maps a packet to a leaf index in [0, spec.leaf_count()).
+  /// Out-of-range results are clamped to the last leaf.
+  using Classifier = std::function<std::size_t(const Packet&)>;
+
+  PifoTreeQueue(PifoTreeSpec spec, Classifier classify,
+                std::int64_t buffer_bytes = 0);
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return total_packets_; }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "pifo-tree"; }
+
+  std::size_t leaf_count() const { return leaves_.size(); }
+  std::size_t leaf_size(std::size_t leaf) const;
+
+ private:
+  struct Entry {
+    Rank rank;
+    std::uint64_t order;
+    Packet packet;
+
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.order < b.order;
+    }
+  };
+
+  struct RuntimeNode {
+    PifoTreeSpec::NodePolicy policy;
+    double weight = 1.0;
+    std::vector<std::size_t> children;  ///< indices into nodes_
+    std::size_t leaf_index = 0;         ///< kLeaf only
+    std::size_t buffered = 0;           ///< packets below this node
+    // WFQ state (kWfq): per-child virtual finish times share the
+    // node-local virtual clock.
+    std::int64_t virtual_time = 0;
+    std::vector<std::int64_t> child_finish;
+  };
+
+  std::size_t build(const PifoTreeSpec::Node& node);
+  /// Pops from the subtree under `node_index`; sets `popped_leaf` to
+  /// the leaf the packet came from.
+  std::optional<Packet> dequeue_from(std::size_t node_index,
+                                     std::size_t& popped_leaf);
+
+  PifoTreeSpec spec_;
+  Classifier classify_;
+  std::vector<RuntimeNode> nodes_;  ///< nodes_[0] = root
+  std::vector<std::multiset<Entry>> leaves_;
+  std::vector<std::size_t> leaf_owner_;  ///< leaf -> node index
+  std::vector<std::vector<std::size_t>> leaf_path_;  ///< leaf -> root path
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+  std::size_t total_packets_ = 0;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,89 @@
+#include "sched/rank/composite.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qv::sched {
+
+LexicographicRanker::LexicographicRanker(RankerPtr primary,
+                                         RankerPtr secondary,
+                                         std::uint32_t secondary_levels)
+    : primary_(std::move(primary)), secondary_(std::move(secondary)),
+      secondary_levels_(secondary_levels) {
+  assert(primary_ != nullptr);
+  assert(secondary_ != nullptr);
+  assert(secondary_levels >= 2);
+}
+
+Rank LexicographicRanker::rank(const Packet& p, TimeNs now) {
+  const Rank prim = primary_->rank(p, now);
+  const Rank sec = secondary_->rank(p, now);
+  // Scale the secondary onto its level budget using declared bounds.
+  const RankBounds sb = secondary_->bounds();
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(sb.max) - sb.min + 1;
+  const std::uint64_t offset =
+      std::clamp(sec, sb.min, sb.max) - sb.min;
+  const auto sec_level = static_cast<Rank>(
+      std::min<std::uint64_t>(offset * secondary_levels_ / width,
+                              secondary_levels_ - 1));
+  // Saturating combine: primary beyond the representable range clamps.
+  const std::uint64_t combined =
+      static_cast<std::uint64_t>(prim) * secondary_levels_ + sec_level;
+  return static_cast<Rank>(
+      std::min<std::uint64_t>(combined, kMaxRank));
+}
+
+RankBounds LexicographicRanker::bounds() const {
+  const RankBounds pb = primary_->bounds();
+  const std::uint64_t max =
+      static_cast<std::uint64_t>(pb.max) * secondary_levels_ +
+      (secondary_levels_ - 1);
+  return {0, static_cast<Rank>(std::min<std::uint64_t>(max, kMaxRank))};
+}
+
+std::string LexicographicRanker::name() const {
+  return "lex(" + primary_->name() + ", " + secondary_->name() + ")";
+}
+
+WeightedRanker::WeightedRanker(std::vector<Component> components,
+                               Rank resolution)
+    : components_(std::move(components)), resolution_(resolution) {
+  assert(!components_.empty());
+  assert(resolution >= 2);
+  for (const auto& c : components_) {
+    assert(c.ranker != nullptr);
+    assert(c.weight > 0);
+    total_weight_ += c.weight;
+  }
+}
+
+Rank WeightedRanker::rank(const Packet& p, TimeNs now) {
+  double blended = 0;
+  for (const auto& c : components_) {
+    const Rank r = c.ranker->rank(p, now);
+    const RankBounds b = c.ranker->bounds();
+    const double width =
+        static_cast<double>(b.max) - static_cast<double>(b.min) + 1.0;
+    const double normalized =
+        (static_cast<double>(std::clamp(r, b.min, b.max)) -
+         static_cast<double>(b.min)) /
+        width;
+    blended += c.weight / total_weight_ * normalized;
+  }
+  const double scaled = blended * static_cast<double>(resolution_);
+  return static_cast<Rank>(std::min<double>(
+      std::floor(scaled), static_cast<double>(resolution_ - 1)));
+}
+
+std::string WeightedRanker::name() const {
+  std::string out = "blend(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += components_[i].ranker->name();
+  }
+  return out + ")";
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,65 @@
+// Multi-objective rank functions (paper §5, "Multi-objective scheduling
+// algorithms": "whether we can achieve multiple objectives
+// simultaneously on the same traffic").
+//
+// Two composition operators over existing rankers:
+//
+//  * LexicographicRanker — a primary objective decides; a secondary
+//    objective breaks ties within each primary level. E.g. "minimize
+//    FCT, and among equal-remaining flows, prefer closer deadlines".
+//
+//  * WeightedRanker — a normalized weighted sum of the component
+//    objectives. E.g. "70% SRPT + 30% deadline urgency", the Fair
+//    Queuing observation of §5 (fairness also reduces FCT) expressed
+//    as an explicit blend.
+//
+// Both compose Rankers, so any combination — including further
+// composites — drops into a TenantSpec unchanged.
+#pragma once
+
+#include <vector>
+
+#include "sched/rank/ranker.hpp"
+
+namespace qv::sched {
+
+class LexicographicRanker final : public Ranker {
+ public:
+  /// `secondary_levels` bounds how many distinct secondary values fit
+  /// inside one primary level.
+  LexicographicRanker(RankerPtr primary, RankerPtr secondary,
+                      std::uint32_t secondary_levels = 64);
+
+  Rank rank(const Packet& p, TimeNs now) override;
+  RankBounds bounds() const override;
+  std::string name() const override;
+
+ private:
+  RankerPtr primary_;
+  RankerPtr secondary_;
+  std::uint32_t secondary_levels_;
+};
+
+class WeightedRanker final : public Ranker {
+ public:
+  struct Component {
+    RankerPtr ranker;
+    double weight = 1.0;  ///< > 0; normalized internally
+  };
+
+  /// Each component's output is normalized onto [0, resolution) using
+  /// its declared bounds before blending.
+  explicit WeightedRanker(std::vector<Component> components,
+                          Rank resolution = 1u << 16);
+
+  Rank rank(const Packet& p, TimeNs now) override;
+  RankBounds bounds() const override { return {0, resolution_ - 1}; }
+  std::string name() const override;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_ = 0;
+  Rank resolution_;
+};
+
+}  // namespace qv::sched

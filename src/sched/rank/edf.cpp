@@ -1,0 +1,22 @@
+#include "sched/rank/edf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::sched {
+
+EdfRanker::EdfRanker(TimeNs granularity, Rank max_rank)
+    : granularity_(granularity), max_rank_(max_rank) {
+  assert(granularity > 0);
+}
+
+Rank EdfRanker::rank(const Packet& p, TimeNs now) {
+  if (p.deadline == kTimeMax) return max_rank_;  // no deadline: least urgent
+  const TimeNs slack = p.deadline - now;
+  if (slack <= 0) return 0;  // past deadline: most urgent
+  const TimeNs level = slack / granularity_;
+  return static_cast<Rank>(std::min<TimeNs>(
+      level, static_cast<TimeNs>(max_rank_)));
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,30 @@
+// Earliest-Deadline-First rank function (paper tenant T2): packets with
+// closer deadlines get lower ranks.
+//
+// Ranks are finite, so the unbounded "absolute deadline" is mapped to
+// *time-to-deadline at ranking time*, quantized to a configurable
+// granularity. Packets ranked at nearly the same instant therefore
+// preserve EDF order; already-late packets rank 0 (most urgent).
+#pragma once
+
+#include "sched/rank/ranker.hpp"
+
+namespace qv::sched {
+
+class EdfRanker final : public Ranker {
+ public:
+  /// `granularity` is the slack quantum per rank level (default 100 us);
+  /// `max_rank` caps the rank space (slack beyond it saturates).
+  explicit EdfRanker(TimeNs granularity = microseconds(100),
+                     Rank max_rank = 1 << 16);
+
+  Rank rank(const Packet& p, TimeNs now) override;
+  RankBounds bounds() const override { return {0, max_rank_}; }
+  std::string name() const override { return "edf"; }
+
+ private:
+  TimeNs granularity_;
+  Rank max_rank_;
+};
+
+}  // namespace qv::sched

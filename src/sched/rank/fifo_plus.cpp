@@ -1,0 +1,23 @@
+#include "sched/rank/fifo_plus.hpp"
+
+#include <algorithm>
+
+namespace qv::sched {
+
+FifoPlusRanker::FifoPlusRanker(TimeNs granularity, Rank max_rank)
+    : granularity_(granularity), max_rank_(max_rank) {}
+
+Rank FifoPlusRanker::rank(const Packet& p, TimeNs now) {
+  // Slide the epoch so "now" maps to the middle of the rank space; the
+  // slide is monotone (only forward) to preserve relative order.
+  const TimeNs half_span =
+      granularity_ * static_cast<TimeNs>(max_rank_ / 2);
+  if (now - epoch_ > half_span) epoch_ = now - half_span;
+
+  const TimeNs age_base = std::max<TimeNs>(p.created_at - epoch_, 0);
+  const TimeNs level = age_base / granularity_;
+  return static_cast<Rank>(
+      std::min<TimeNs>(level, static_cast<TimeNs>(max_rank_)));
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,30 @@
+// FIFO+ rank function (Clark, Shenker, Zhang, SIGCOMM'92): schedule
+// packets in order of their *origin* emission time rather than local
+// arrival time, so packets that already waited at upstream hops catch
+// up. Cited by the paper as the tail-latency-minimizing policy.
+//
+// rank = (created_at - epoch) / granularity. The epoch slides forward to
+// keep the emitted rank space bounded; a monotone slide never reorders
+// packets ranked close together in time.
+#pragma once
+
+#include "sched/rank/ranker.hpp"
+
+namespace qv::sched {
+
+class FifoPlusRanker final : public Ranker {
+ public:
+  explicit FifoPlusRanker(TimeNs granularity = microseconds(10),
+                          Rank max_rank = 1 << 16);
+
+  Rank rank(const Packet& p, TimeNs now) override;
+  RankBounds bounds() const override { return {0, max_rank_}; }
+  std::string name() const override { return "fifo+"; }
+
+ private:
+  TimeNs granularity_;
+  Rank max_rank_;
+  TimeNs epoch_ = 0;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,24 @@
+#include "sched/rank/lstf.hpp"
+
+#include <algorithm>
+
+namespace qv::sched {
+
+LstfRanker::LstfRanker(BitsPerSec drain_rate, TimeNs granularity,
+                       Rank max_rank)
+    : drain_rate_(drain_rate), granularity_(granularity),
+      max_rank_(max_rank) {}
+
+Rank LstfRanker::rank(const Packet& p, TimeNs now) {
+  if (p.deadline == kTimeMax) return max_rank_;
+  const TimeNs remaining_tx =
+      serialization_delay(std::max<std::int64_t>(p.remaining_bytes, 0),
+                          drain_rate_);
+  const TimeNs slack = p.deadline - now - remaining_tx;
+  if (slack <= 0) return 0;
+  const TimeNs level = slack / granularity_;
+  return static_cast<Rank>(
+      std::min<TimeNs>(level, static_cast<TimeNs>(max_rank_)));
+}
+
+}  // namespace qv::sched

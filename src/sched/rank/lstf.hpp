@@ -1,0 +1,30 @@
+// Least-Slack-Time-First rank function (Mittal et al., "Universal Packet
+// Scheduling", NSDI'16 — cited by the paper as the closest thing to a
+// universal scheduler). rank = deadline - now - remaining transmission
+// time: how little slack the packet has left.
+#pragma once
+
+#include "sched/rank/ranker.hpp"
+#include "util/units.hpp"
+
+namespace qv::sched {
+
+class LstfRanker final : public Ranker {
+ public:
+  /// `drain_rate` estimates remaining transmission time from remaining
+  /// bytes; `granularity` quantizes slack into rank levels.
+  explicit LstfRanker(BitsPerSec drain_rate = gbps(1),
+                      TimeNs granularity = microseconds(100),
+                      Rank max_rank = 1 << 16);
+
+  Rank rank(const Packet& p, TimeNs now) override;
+  RankBounds bounds() const override { return {0, max_rank_}; }
+  std::string name() const override { return "lstf"; }
+
+ private:
+  BitsPerSec drain_rate_;
+  TimeNs granularity_;
+  Rank max_rank_;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,21 @@
+#include "sched/rank/pfabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::sched {
+
+PFabricRanker::PFabricRanker(std::int64_t bytes_per_level, Rank max_rank)
+    : bytes_per_level_(bytes_per_level), max_rank_(max_rank) {
+  assert(bytes_per_level > 0);
+  assert(max_rank > 0);
+}
+
+Rank PFabricRanker::rank(const Packet& p, TimeNs /*now*/) {
+  const std::int64_t remaining = std::max<std::int64_t>(p.remaining_bytes, 0);
+  const std::int64_t level = remaining / bytes_per_level_;
+  return static_cast<Rank>(
+      std::min<std::int64_t>(level, static_cast<std::int64_t>(max_rank_)));
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,27 @@
+// pFabric rank function (Alizadeh et al., SIGCOMM'13): rank = remaining
+// flow size, so shorter-remaining flows dequeue first (SRPT in the
+// network). The paper's tenant T1 uses this for interactive traffic.
+#pragma once
+
+#include "sched/rank/ranker.hpp"
+
+namespace qv::sched {
+
+class PFabricRanker final : public Ranker {
+ public:
+  /// Remaining bytes are divided by `bytes_per_level` before clamping to
+  /// `max_rank`; one level per MTU keeps the rank space compact while
+  /// preserving SRPT order at packet granularity.
+  explicit PFabricRanker(std::int64_t bytes_per_level = 1500,
+                         Rank max_rank = 1 << 20);
+
+  Rank rank(const Packet& p, TimeNs now) override;
+  RankBounds bounds() const override { return {0, max_rank_}; }
+  std::string name() const override { return "pfabric"; }
+
+ private:
+  std::int64_t bytes_per_level_;
+  Rank max_rank_;
+};
+
+}  // namespace qv::sched

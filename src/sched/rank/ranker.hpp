@@ -1,0 +1,43 @@
+// Ranker: a tenant's scheduling algorithm expressed as a rank function
+// over packets (paper §3.1: "tenants define the scheduling policy ...
+// [and] identify their packets with ... the packet rank").
+//
+// A Ranker is stateful when the algorithm needs it (STFQ keeps per-flow
+// virtual start times); stateless rankers are pure functions of the
+// packet and the clock. Lower rank = scheduled first.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netsim/packet.hpp"
+
+namespace qv::sched {
+
+/// Declared bounds of the ranks a Ranker emits. The synthesizer's
+/// worst-case analysis (paper §2 Idea 2) reasons over these.
+struct RankBounds {
+  Rank min = 0;
+  Rank max = kMaxRank;
+
+  Rank width() const { return max - min + 1; }
+};
+
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Compute the rank this packet should carry, given the current time.
+  /// Called once, at the packet's source (paper §3.1: ranks are set
+  /// before reaching the pre-processor).
+  virtual Rank rank(const Packet& p, TimeNs now) = 0;
+
+  /// Bounds within which every emitted rank falls.
+  virtual RankBounds bounds() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using RankerPtr = std::shared_ptr<Ranker>;
+
+}  // namespace qv::sched

@@ -1,0 +1,39 @@
+#include "sched/rank/stfq.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::sched {
+
+StfqRanker::StfqRanker(std::int64_t bytes_per_tick, Rank max_rank)
+    : bytes_per_tick_(bytes_per_tick), max_rank_(max_rank) {
+  assert(bytes_per_tick > 0);
+}
+
+void StfqRanker::set_weight(FlowId flow, double weight) {
+  assert(weight > 0);
+  flows_[flow].weight = weight;
+}
+
+void StfqRanker::forget(FlowId flow) { flows_.erase(flow); }
+
+Rank StfqRanker::rank(const Packet& p, TimeNs /*now*/) {
+  FlowState& fs = flows_[p.flow];
+  const std::int64_t start = std::max(virtual_time_, fs.finish);
+  fs.finish =
+      start + static_cast<std::int64_t>(
+                  static_cast<double>(p.size_bytes) / fs.weight);
+  // Rank = how far the start tag sits ahead of the current virtual time.
+  // A newly active flow starts at V (rank 0, immediate service); a
+  // backlogged flow's tags run ahead of V in proportion to the bytes it
+  // has already sent, which is exactly the fair-queueing spacing.
+  const std::int64_t relative = (start - virtual_time_) / bytes_per_tick_;
+  // Practical STFQ: V advances to the start tag of the packet just
+  // ranked, keeping subsequent ranks windowed near zero.
+  virtual_time_ = start;
+  return static_cast<Rank>(std::min<std::int64_t>(
+      std::max<std::int64_t>(relative, 0),
+      static_cast<std::int64_t>(max_rank_)));
+}
+
+}  // namespace qv::sched

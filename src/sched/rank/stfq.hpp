@@ -1,0 +1,50 @@
+// Start-Time Fair Queueing rank function (Goyal et al., SIGCOMM'96, as
+// cast into the PIFO model by Sivaraman et al., SIGCOMM'16). The
+// paper's tenant T3 ("Fair Queuing") uses this.
+//
+// rank(p) = virtual start time = max(V, F[flow]), F[flow] += len/weight,
+// where V advances with the start time of the last ranked packet (the
+// practical STFQ variant that needs no per-dequeue feedback and is what
+// the PIFO paper deploys at line rate).
+#pragma once
+
+#include <unordered_map>
+
+#include "sched/rank/ranker.hpp"
+
+namespace qv::sched {
+
+class StfqRanker final : public Ranker {
+ public:
+  /// `bytes_per_tick` converts virtual-time bytes into rank levels;
+  /// `max_rank` bounds the emitted rank space by windowing: ranks are
+  /// emitted relative to the current virtual time, which keeps them
+  /// bounded even though virtual time itself grows without bound.
+  explicit StfqRanker(std::int64_t bytes_per_tick = 1500,
+                      Rank max_rank = 1 << 16);
+
+  Rank rank(const Packet& p, TimeNs now) override;
+  RankBounds bounds() const override { return {0, max_rank_}; }
+  std::string name() const override { return "stfq"; }
+
+  /// Per-flow weight (default 1.0). Higher weight = more bandwidth.
+  void set_weight(FlowId flow, double weight);
+
+  /// Drop per-flow state for finished flows (runtime hygiene).
+  void forget(FlowId flow);
+
+  std::int64_t virtual_time() const { return virtual_time_; }
+
+ private:
+  struct FlowState {
+    std::int64_t finish = 0;  ///< virtual finish time of last packet, bytes
+    double weight = 1.0;
+  };
+
+  std::int64_t bytes_per_tick_;
+  Rank max_rank_;
+  std::int64_t virtual_time_ = 0;  ///< in virtual bytes
+  std::unordered_map<FlowId, FlowState> flows_;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,51 @@
+// Scheduler: the queueing discipline attached to every switch output
+// port (and to QVISOR's facade).
+//
+// A Scheduler owns buffered packets between enqueue() and dequeue().
+// Buffer accounting is in bytes; enqueue() returning false means the
+// packet (or a lower-priority victim, for disciplines that drop from the
+// middle) was dropped — the caller observes drops through counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netsim/packet.hpp"
+
+namespace qv::sched {
+
+struct SchedulerCounters {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Offer a packet at time `now`. Returns false if the buffer rejected
+  /// it (the packet itself was dropped). Disciplines that evict a
+  /// buffered victim instead return true and count the victim's drop.
+  virtual bool enqueue(const Packet& p, TimeNs now) = 0;
+
+  /// Remove the next packet to transmit, or nullopt when empty.
+  virtual std::optional<Packet> dequeue(TimeNs now) = 0;
+
+  /// Buffered packets / bytes.
+  virtual std::size_t size() const = 0;
+  virtual std::int64_t buffered_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+
+  bool empty() const { return size() == 0; }
+  const SchedulerCounters& counters() const { return counters_; }
+
+ protected:
+  SchedulerCounters counters_;
+};
+
+}  // namespace qv::sched

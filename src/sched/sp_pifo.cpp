@@ -1,0 +1,64 @@
+#include "sched/sp_pifo.hpp"
+
+#include <cassert>
+
+namespace qv::sched {
+
+SpPifoQueue::SpPifoQueue(std::size_t num_queues, std::int64_t buffer_bytes)
+    : queues_(num_queues), bounds_(num_queues, 0),
+      buffer_bytes_(buffer_bytes) {
+  assert(num_queues > 0);
+}
+
+bool SpPifoQueue::enqueue(const Packet& p, TimeNs /*now*/) {
+  if (buffer_bytes_ > 0 && bytes_ + p.size_bytes > buffer_bytes_) {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  // Scan from the lowest-priority queue (largest bounds) toward the
+  // highest-priority queue; stop at the first queue whose bound the rank
+  // satisfies. This is the SP-PIFO mapping loop.
+  const std::size_t n = queues_.size();
+  std::size_t target = 0;
+  bool placed = false;
+  for (std::size_t i = n; i-- > 0;) {
+    if (p.rank >= bounds_[i]) {
+      target = i;
+      placed = true;
+      break;
+    }
+  }
+  if (!placed) {
+    // Inversion at the head queue: the packet ranks better than every
+    // bound. Push-up: lower all bounds by the inversion cost.
+    const Rank cost = bounds_[0] - p.rank;
+    for (auto& b : bounds_) b = (b >= cost) ? b - cost : 0;
+    ++inversions_;
+    target = 0;
+  } else {
+    // Push-down: the chosen queue's bound adapts to the admitted rank.
+    bounds_[target] = p.rank;
+  }
+  queues_[target].push_back(p);
+  bytes_ += p.size_bytes;
+  ++total_packets_;
+  ++counters_.enqueued;
+  return true;
+}
+
+std::optional<Packet> SpPifoQueue::dequeue(TimeNs /*now*/) {
+  for (auto& q : queues_) {
+    if (!q.empty()) {
+      Packet p = q.front();
+      q.pop_front();
+      bytes_ -= p.size_bytes;
+      --total_packets_;
+      ++counters_.dequeued;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,54 @@
+// SP-PIFO: approximating PIFO behaviour on strict-priority queues
+// (Alcoz et al., NSDI'20) — the mechanism the paper's authors use to run
+// programmable scheduling on commodity hardware, and the natural
+// deployment target for QVISOR on "existing schedulers" (§3.4).
+//
+// Each queue i holds a bound b_i. Enqueue scans bottom-up and pushes the
+// packet into the first queue whose bound it satisfies (rank >= bound:
+// queue bounds grow with queue index; queue 0 is highest priority and
+// dequeues first — note ranks are "lower = better", so queue 0 holds the
+// LOWEST ranks).
+//
+//  - push-down: on enqueue into queue i, set b_i = rank (bound adapts up
+//    toward recent ranks).
+//  - push-up: if the packet's rank is smaller than the bound of the
+//    highest-priority queue (an inversion at queue 0), decrease all
+//    bounds by the inversion magnitude (the "blame shifting" variant of
+//    the original paper).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+class SpPifoQueue final : public Scheduler {
+ public:
+  SpPifoQueue(std::size_t num_queues, std::int64_t buffer_bytes = 0);
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return total_packets_; }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "sp-pifo"; }
+
+  std::size_t num_queues() const { return queues_.size(); }
+  Rank bound(std::size_t q) const { return bounds_[q]; }
+
+  /// Packets that experienced an inversion at the head queue (a smaller
+  /// rank arrived while larger ranks were already queued ahead of it).
+  std::uint64_t inversions() const { return inversions_; }
+
+ private:
+  std::vector<std::deque<Packet>> queues_;
+  std::vector<Rank> bounds_;
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+  std::size_t total_packets_ = 0;
+  std::uint64_t inversions_ = 0;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,47 @@
+#include "sched/strict_priority.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::sched {
+
+StrictPriorityBank::StrictPriorityBank(std::size_t num_queues,
+                                       std::int64_t buffer_bytes,
+                                       Rank rank_space)
+    : queues_(num_queues), buffer_bytes_(buffer_bytes) {
+  assert(num_queues > 0);
+  const Rank per_queue = std::max<Rank>(1, rank_space / num_queues);
+  map_ = [num_queues, per_queue](const Packet& p) {
+    return std::min<std::size_t>(p.rank / per_queue, num_queues - 1);
+  };
+}
+
+bool StrictPriorityBank::enqueue(const Packet& p, TimeNs /*now*/) {
+  if (buffer_bytes_ > 0 && bytes_ + p.size_bytes > buffer_bytes_) {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  std::size_t q = std::min(map_(p), queues_.size() - 1);
+  queues_[q].push_back(p);
+  bytes_ += p.size_bytes;
+  ++total_packets_;
+  ++counters_.enqueued;
+  return true;
+}
+
+std::optional<Packet> StrictPriorityBank::dequeue(TimeNs /*now*/) {
+  for (auto& q : queues_) {
+    if (!q.empty()) {
+      Packet p = q.front();
+      q.pop_front();
+      bytes_ -= p.size_bytes;
+      --total_packets_;
+      ++counters_.dequeued;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qv::sched

@@ -1,0 +1,49 @@
+// Strict-priority queue bank: what commodity switch ASICs actually ship
+// (paper §3.4). N FIFO queues; queue 0 drains first; a rank→queue map
+// decides where arrivals land.
+//
+// The default map partitions the rank space evenly; QVISOR's backends
+// install custom maps (e.g. dedicated queue sets per tenant).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+/// Maps a packet to a queue index in [0, num_queues).
+using QueueMap = std::function<std::size_t(const Packet&)>;
+
+class StrictPriorityBank final : public Scheduler {
+ public:
+  /// `buffer_bytes` is the shared buffer across all queues (<= 0 =
+  /// unbounded). `rank_space` bounds the ranks the default map expects.
+  StrictPriorityBank(std::size_t num_queues, std::int64_t buffer_bytes = 0,
+                     Rank rank_space = 256);
+
+  /// Replace the rank→queue mapping (QVISOR backend hook). The map must
+  /// return indices < num_queues; out-of-range results are clamped.
+  void set_queue_map(QueueMap map) { map_ = std::move(map); }
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  std::size_t size() const override { return total_packets_; }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "strict-priority"; }
+
+  std::size_t num_queues() const { return queues_.size(); }
+  std::size_t queue_length(std::size_t q) const { return queues_[q].size(); }
+
+ private:
+  std::vector<std::deque<Packet>> queues_;
+  QueueMap map_;
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+  std::size_t total_packets_ = 0;
+};
+
+}  // namespace qv::sched

@@ -1,0 +1,113 @@
+#include "telemetry/fct_tracker.hpp"
+
+#include <algorithm>
+
+namespace qv::telemetry {
+
+void FctTracker::on_flow_start(FlowId flow, TenantId tenant,
+                               std::int64_t size_bytes, TimeNs now) {
+  FlowRecord r;
+  r.flow = flow;
+  r.tenant = tenant;
+  r.size_bytes = size_bytes;
+  r.started_at = now;
+  flows_.emplace(flow, r);
+}
+
+void FctTracker::on_packet_delivered(const Packet& p, TimeNs now) {
+  auto it = flows_.find(p.flow);
+  if (it == flows_.end()) return;  // unregistered flow (e.g. CBR stream)
+  FlowRecord& r = it->second;
+  if (r.complete()) return;
+  if (dedup_by_seq_) {
+    const std::uint64_t key = p.flow * 0x100000000ULL + p.seq;
+    if (!seen_.insert(key).second) return;  // retransmitted duplicate
+  }
+  r.received_bytes += p.size_bytes;
+  if (r.received_bytes >= r.size_bytes) {
+    r.completed_at = now;
+    ++completed_;
+  }
+}
+
+const FlowRecord* FctTracker::find(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+bool FctTracker::matches(const FlowRecord& r, const FlowFilter& f) const {
+  if (f.tenant != kInvalidTenant && r.tenant != f.tenant) return false;
+  if (r.size_bytes < f.min_bytes) return false;
+  if (f.max_bytes > 0 && r.size_bytes >= f.max_bytes) return false;
+  if (r.started_at < f.started_from || r.started_at >= f.started_to) {
+    return false;
+  }
+  return true;
+}
+
+Sample FctTracker::fct_ms(const FlowFilter& filter) const {
+  Sample out;
+  for (const auto& [id, r] : flows_) {
+    (void)id;
+    if (r.complete() && matches(r, filter)) {
+      out.add(to_milliseconds(r.fct()));
+    }
+  }
+  return out;
+}
+
+Sample FctTracker::fct_lower_bound_ms(const FlowFilter& filter,
+                                      TimeNs horizon) const {
+  Sample out;
+  for (const auto& [id, r] : flows_) {
+    (void)id;
+    if (!matches(r, filter)) continue;
+    if (r.complete()) {
+      out.add(to_milliseconds(r.fct()));
+    } else {
+      out.add(to_milliseconds(horizon - r.started_at));
+    }
+  }
+  return out;
+}
+
+std::size_t FctTracker::incomplete(const FlowFilter& filter) const {
+  std::size_t n = 0;
+  for (const auto& [id, r] : flows_) {
+    (void)id;
+    if (!r.complete() && matches(r, filter)) ++n;
+  }
+  return n;
+}
+
+std::vector<const FlowRecord*> FctTracker::select(
+    const FlowFilter& filter) const {
+  std::vector<const FlowRecord*> out;
+  for (const auto& [id, r] : flows_) {
+    (void)id;
+    if (matches(r, filter)) out.push_back(&r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowRecord* a, const FlowRecord* b) {
+              return a->flow < b->flow;
+            });
+  return out;
+}
+
+void DeadlineTracker::on_packet_delivered(const Packet& p, TimeNs now) {
+  if (p.deadline == kTimeMax) return;
+  if (now <= p.deadline) {
+    ++met_;
+  } else {
+    ++missed_;
+    lateness_ms_.add(to_milliseconds(now - p.deadline));
+  }
+}
+
+double DeadlineTracker::met_fraction() const {
+  const std::uint64_t total = met_ + missed_;
+  return total == 0 ? 1.0
+                    : static_cast<double>(met_) / static_cast<double>(total);
+}
+
+}  // namespace qv::telemetry

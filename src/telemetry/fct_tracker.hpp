@@ -1,0 +1,105 @@
+// Flow-completion-time tracking, size-bucketed the way the paper's
+// Fig. 4 reports it: small flows (0, 100 KB) and big flows [1 MB, inf),
+// plus overall stats.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace qv::telemetry {
+
+struct FlowRecord {
+  FlowId flow = 0;
+  TenantId tenant = kInvalidTenant;
+  std::int64_t size_bytes = 0;
+  TimeNs started_at = 0;
+  TimeNs completed_at = -1;  ///< -1 = still in flight
+  std::int64_t received_bytes = 0;
+
+  bool complete() const { return completed_at >= 0; }
+  TimeNs fct() const { return completed_at - started_at; }
+};
+
+/// Filter for selecting which completed flows enter a statistic.
+struct FlowFilter {
+  TenantId tenant = kInvalidTenant;  ///< kInvalidTenant = any tenant
+  std::int64_t min_bytes = 0;
+  std::int64_t max_bytes = 0;  ///< 0 = unbounded
+  TimeNs started_from = 0;
+  TimeNs started_to = kTimeMax;  ///< exclusive
+};
+
+class FctTracker {
+ public:
+  /// With `dedup_by_seq`, retransmitted packets (same flow, same seq)
+  /// count once toward completion — required with reliable transports.
+  explicit FctTracker(bool dedup_by_seq = false)
+      : dedup_by_seq_(dedup_by_seq) {}
+
+  /// Register a flow when its first packet is emitted.
+  void on_flow_start(FlowId flow, TenantId tenant, std::int64_t size_bytes,
+                     TimeNs now);
+
+  /// Feed every packet delivered to its destination host. Marks the
+  /// flow complete once its registered size has fully arrived.
+  void on_packet_delivered(const Packet& p, TimeNs now);
+
+  std::size_t flows_started() const { return flows_.size(); }
+  std::size_t flows_completed() const { return completed_; }
+
+  const FlowRecord* find(FlowId flow) const;
+
+  /// FCTs (in milliseconds) of completed flows matching `filter`.
+  Sample fct_ms(const FlowFilter& filter) const;
+
+  /// Censoring-aware FCT sample: incomplete flows contribute their age
+  /// at `horizon` (a strict lower bound on their true FCT). Avoids the
+  /// survivorship bias where a starved tenant looks GOOD because only
+  /// its lucky flows ever finish.
+  Sample fct_lower_bound_ms(const FlowFilter& filter, TimeNs horizon) const;
+
+  /// Flows matching the filter that did NOT complete (censored by the
+  /// simulation horizon) — reported next to every statistic so
+  /// survivorship bias is visible.
+  std::size_t incomplete(const FlowFilter& filter) const;
+
+  /// All records matching `filter` (complete or not), sorted by flow id
+  /// (deterministic export order).
+  std::vector<const FlowRecord*> select(const FlowFilter& filter) const;
+
+ private:
+  bool matches(const FlowRecord& r, const FlowFilter& f) const;
+
+  bool dedup_by_seq_;
+  std::unordered_map<FlowId, FlowRecord> flows_;
+  /// (flow, seq) pairs already counted (dedup mode only).
+  std::unordered_set<std::uint64_t> seen_;
+  std::size_t completed_ = 0;
+};
+
+/// Deadline-met accounting for EDF-style tenants.
+class DeadlineTracker {
+ public:
+  /// Feed every delivered packet that carries a deadline.
+  void on_packet_delivered(const Packet& p, TimeNs now);
+
+  std::uint64_t met() const { return met_; }
+  std::uint64_t missed() const { return missed_; }
+  double met_fraction() const;
+
+  /// Lateness (ms) of packets that missed; 0-mean when everything met.
+  const Sample& lateness_ms() const { return lateness_ms_; }
+
+ private:
+  std::uint64_t met_ = 0;
+  std::uint64_t missed_ = 0;
+  Sample lateness_ms_;
+};
+
+}  // namespace qv::telemetry

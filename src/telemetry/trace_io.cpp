@@ -1,0 +1,30 @@
+#include "telemetry/trace_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace qv::telemetry {
+
+void write_flow_csv(std::ostream& out, const FctTracker& tracker,
+                    const FlowFilter& filter) {
+  out << "flow,tenant,size_bytes,started_ns,completed_ns,fct_ms\n";
+  for (const FlowRecord* r : tracker.select(filter)) {
+    out << r->flow << "," << r->tenant << "," << r->size_bytes << ","
+        << r->started_at << ",";
+    if (r->complete()) {
+      out << r->completed_at << "," << to_milliseconds(r->fct());
+    } else {
+      out << ",";
+    }
+    out << "\n";
+  }
+}
+
+void save_flow_csv(const std::string& path, const FctTracker& tracker,
+                   const FlowFilter& filter) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write csv file: " + path);
+  write_flow_csv(out, tracker, filter);
+}
+
+}  // namespace qv::telemetry

@@ -1,0 +1,21 @@
+// Result export: flow records as CSV, for offline plotting of the
+// reproduced figures (same role as Netbench's run-folder CSV output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/fct_tracker.hpp"
+
+namespace qv::telemetry {
+
+/// Write "flow,tenant,size_bytes,started_ns,completed_ns,fct_ms" rows
+/// for every flow matching `filter` (incomplete flows get empty
+/// completion fields). Rows are sorted by flow id for determinism.
+void write_flow_csv(std::ostream& out, const FctTracker& tracker,
+                    const FlowFilter& filter = {});
+
+void save_flow_csv(const std::string& path, const FctTracker& tracker,
+                   const FlowFilter& filter = {});
+
+}  // namespace qv::telemetry

@@ -1,0 +1,45 @@
+#include "trafficgen/cbr_source.hpp"
+
+#include <cassert>
+
+namespace qv::trafficgen {
+
+CbrSource::CbrSource(netsim::Simulator& sim, netsim::Host& host, NodeId dst,
+                     FlowId flow, TenantId tenant, sched::RankerPtr ranker,
+                     BitsPerSec rate, TimeNs deadline_slack, TimeNs start,
+                     TimeNs stop, std::int32_t packet_bytes)
+    : sim_(sim), host_(host), dst_(dst), flow_(flow), tenant_(tenant),
+      ranker_(std::move(ranker)),
+      interval_(serialization_delay(packet_bytes, rate)),
+      deadline_slack_(deadline_slack), stop_(stop),
+      packet_bytes_(packet_bytes) {
+  assert(ranker_ != nullptr);
+  assert(rate > 0);
+  assert(stop > start);
+  sim_.at(start, [this] { emit(); });
+}
+
+void CbrSource::emit() {
+  if (sim_.now() >= stop_) return;
+
+  Packet p;
+  p.flow = flow_;
+  p.seq = next_seq_++;
+  p.src = host_.id();
+  p.dst = dst_;
+  p.size_bytes = packet_bytes_;
+  p.tenant = tenant_;
+  p.created_at = sim_.now();
+  p.deadline = sim_.now() + deadline_slack_;
+  // A CBR stream has no meaningful "remaining size"; leave the size
+  // fields zero (size-based rankers would rank it most urgent, but CBR
+  // tenants use deadline-based rankers).
+  p.rank = ranker_->rank(p, sim_.now());
+  p.original_rank = p.rank;
+
+  host_.send(p);
+  ++packets_sent_;
+  sim_.after(interval_, [this] { emit(); });
+}
+
+}  // namespace qv::trafficgen

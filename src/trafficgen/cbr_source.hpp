@@ -1,0 +1,46 @@
+// Constant-bit-rate source with per-packet deadlines: the paper's
+// tenant T2 ("100 flows that transmit at a constant bit-rate of
+// 0.5 Gbps between pairs of servers picked uniformly at random, which
+// have to be scheduled following the EDF algorithm", §4).
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/node.hpp"
+#include "netsim/simulator.hpp"
+#include "sched/rank/ranker.hpp"
+#include "util/units.hpp"
+
+namespace qv::trafficgen {
+
+class CbrSource {
+ public:
+  /// Emits `packet_bytes`-sized packets from `host` to `dst` at `rate`
+  /// between `start` and `stop`; each packet's deadline is its emission
+  /// time plus `deadline_slack`.
+  CbrSource(netsim::Simulator& sim, netsim::Host& host, NodeId dst,
+            FlowId flow, TenantId tenant, sched::RankerPtr ranker,
+            BitsPerSec rate, TimeNs deadline_slack, TimeNs start,
+            TimeNs stop, std::int32_t packet_bytes = 1500);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  FlowId flow() const { return flow_; }
+
+ private:
+  void emit();
+
+  netsim::Simulator& sim_;
+  netsim::Host& host_;
+  NodeId dst_;
+  FlowId flow_;
+  TenantId tenant_;
+  sched::RankerPtr ranker_;
+  TimeNs interval_;
+  TimeNs deadline_slack_;
+  TimeNs stop_;
+  std::int32_t packet_bytes_;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace qv::trafficgen

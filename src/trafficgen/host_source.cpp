@@ -1,0 +1,79 @@
+#include "trafficgen/host_source.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qv::trafficgen {
+
+HostSource::HostSource(netsim::Simulator& sim, netsim::Host& host,
+                       TenantId tenant, sched::RankerPtr ranker,
+                       BitsPerSec pace_rate, std::int32_t mtu_bytes)
+    : sim_(sim), host_(host), tenant_(tenant), ranker_(std::move(ranker)),
+      pace_rate_(pace_rate), mtu_(mtu_bytes) {
+  assert(ranker_ != nullptr);
+  assert(pace_rate_ > 0);
+  assert(mtu_ > 0);
+}
+
+void HostSource::start_flow(FlowId flow, NodeId dst,
+                            std::int64_t size_bytes) {
+  assert(size_bytes > 0);
+  ActiveFlow f;
+  f.id = flow;
+  f.dst = dst;
+  f.size = size_bytes;
+  f.remaining = size_bytes;
+  f.started_at = sim_.now();
+  flows_.push_back(f);
+  if (!pumping_) pump();
+}
+
+void HostSource::pump() {
+  if (flows_.empty()) {
+    pumping_ = false;
+    return;
+  }
+  pumping_ = true;
+
+  // SRPT at the NIC: transmit from the flow with the least remaining
+  // bytes (matches pFabric end-host behaviour; for non-size-based
+  // tenants this only decides local emission order, not network rank).
+  auto best = std::min_element(
+      flows_.begin(), flows_.end(),
+      [](const ActiveFlow& a, const ActiveFlow& b) {
+        if (a.remaining != b.remaining) return a.remaining < b.remaining;
+        return a.id < b.id;
+      });
+
+  Packet p;
+  p.flow = best->id;
+  p.seq = best->next_seq++;
+  p.src = host_.id();
+  p.dst = best->dst;
+  p.size_bytes =
+      static_cast<std::int32_t>(std::min<std::int64_t>(mtu_, best->remaining));
+  p.tenant = tenant_;
+  p.created_at = sim_.now();
+  p.flow_size_bytes = best->size;
+  p.remaining_bytes = best->remaining;
+  p.last_of_flow = best->remaining <= mtu_;
+  if (decorator_) decorator_(p, sim_.now());
+  p.rank = ranker_->rank(p, sim_.now());
+  p.original_rank = p.rank;
+
+  host_.send(p);
+  ++packets_sent_;
+  best->remaining -= p.size_bytes;
+
+  if (best->remaining <= 0) {
+    const FlowId done = best->id;
+    flows_.erase(best);
+    if (on_flow_sent_) on_flow_sent_(done, sim_.now());
+  }
+
+  // Next emission when this packet's serialization at the NIC finishes.
+  sim_.after(serialization_delay(p.size_bytes, pace_rate_),
+             [this] { pump(); });
+}
+
+}  // namespace qv::trafficgen

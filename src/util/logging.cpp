@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace qv {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_message(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace qv

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Simulation code logs rarely (setup, warnings, errors); per-packet paths
+// never log. The level check happens before message formatting.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace qv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit a log record (already formatted). Thread-compatible: the
+/// simulator is single-threaded; benches set the level once up front.
+void log_message(LogLevel level, std::string_view msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define QV_LOG(level)                                  \
+  if (::qv::LogLevel::level < ::qv::log_level()) {     \
+  } else                                               \
+    ::qv::detail::LogLine(::qv::LogLevel::level)
+
+#define QV_DEBUG QV_LOG(kDebug)
+#define QV_INFO QV_LOG(kInfo)
+#define QV_WARN QV_LOG(kWarn)
+#define QV_ERROR QV_LOG(kError)
+
+}  // namespace qv

@@ -1,0 +1,99 @@
+// Streaming summary statistics and exact-percentile samples.
+//
+// RunningStats keeps O(1) state (Welford) for mean/variance/min/max.
+// Sample keeps every value for exact percentiles; experiment runs record
+// at most a few hundred thousand flows, which fits comfortably.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qv {
+
+/// O(1)-memory mean / variance / min / max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; supports exact quantiles.
+class Sample {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+    stats_.add(x);
+  }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double stddev() const { return stats_.stddev(); }
+
+  /// Exact quantile by linear interpolation, q in [0, 1]. 0 if empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<double>& values() const { return values_; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void clear();
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  RunningStats stats_;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Render as a fixed-width ASCII bar chart (for example binaries).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace qv

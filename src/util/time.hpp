@@ -1,0 +1,30 @@
+// Simulation time: a strongly-typed nanosecond tick count.
+//
+// The whole simulator runs on integer nanoseconds to keep event ordering
+// exact and reproducible (no floating-point drift between runs).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qv {
+
+/// Simulation timestamp / duration in nanoseconds.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kTimeMax = std::numeric_limits<TimeNs>::max();
+
+constexpr TimeNs nanoseconds(std::int64_t n) { return n; }
+constexpr TimeNs microseconds(std::int64_t us) { return us * 1'000; }
+constexpr TimeNs milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr TimeNs seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_milliseconds(TimeNs t) {
+  return static_cast<double>(t) * 1e-6;
+}
+constexpr double to_microseconds(TimeNs t) {
+  return static_cast<double>(t) * 1e-3;
+}
+
+}  // namespace qv

@@ -1,0 +1,44 @@
+// Bandwidth and size units.
+//
+// Link rates are stored as bits-per-second (int64) and converted to
+// per-byte serialization delays in integer nanoseconds. All conversions
+// round up so a link never transmits faster than its configured rate.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace qv {
+
+/// Link rate in bits per second.
+using BitsPerSec = std::int64_t;
+
+constexpr BitsPerSec kbps(std::int64_t v) { return v * 1'000; }
+constexpr BitsPerSec mbps(std::int64_t v) { return v * 1'000'000; }
+constexpr BitsPerSec gbps(std::int64_t v) { return v * 1'000'000'000; }
+
+constexpr std::int64_t kilobytes(std::int64_t v) { return v * 1'000; }
+constexpr std::int64_t megabytes(std::int64_t v) { return v * 1'000'000; }
+
+/// Time to serialize `bytes` onto a link of rate `rate`, rounded up.
+constexpr TimeNs serialization_delay(std::int64_t bytes, BitsPerSec rate) {
+  assert(rate > 0);
+  const std::int64_t bits = bytes * 8;
+  // ns = bits * 1e9 / rate, computed without overflow for realistic sizes
+  // (bits < 2^43 for a 1 TB flow; 1e9 fits in 2^30; product < 2^73 would
+  // overflow, so split into whole seconds + remainder).
+  const std::int64_t whole = bits / rate;
+  const std::int64_t rem = bits % rate;
+  const std::int64_t frac = (rem * 1'000'000'000 + rate - 1) / rate;
+  return whole * 1'000'000'000 + frac;
+}
+
+/// Bytes fully serializable in `t` at `rate` (rounded down).
+constexpr std::int64_t bytes_in(TimeNs t, BitsPerSec rate) {
+  return (t / 8) * rate / 1'000'000'000 +
+         ((t % 8) * rate / 8) / 1'000'000'000;
+}
+
+}  // namespace qv

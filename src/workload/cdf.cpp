@@ -1,0 +1,128 @@
+#include "workload/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace qv::workload {
+
+Cdf::Cdf(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("Cdf needs at least two points");
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].probability < 0.0 || points_[i].probability > 1.0) {
+      throw std::invalid_argument("Cdf probability outside [0, 1]");
+    }
+    if (i > 0) {
+      if (points_[i].probability < points_[i - 1].probability) {
+        throw std::invalid_argument("Cdf probabilities must not decrease");
+      }
+      if (points_[i].value < points_[i - 1].value) {
+        throw std::invalid_argument("Cdf values must not decrease");
+      }
+    }
+  }
+  if (points_.back().probability != 1.0) {
+    throw std::invalid_argument("Cdf must end at probability 1.0");
+  }
+}
+
+double Cdf::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (q <= points_.front().probability) return points_.front().value;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (q <= points_[i].probability) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double span = b.probability - a.probability;
+      if (span <= 0.0) return b.value;
+      const double frac = (q - a.probability) / span;
+      return a.value + frac * (b.value - a.value);
+    }
+  }
+  return points_.back().value;
+}
+
+double Cdf::sample(Rng& rng) const { return quantile(rng.next_double()); }
+
+double Cdf::mean() const {
+  // Each linear segment contributes (p_b - p_a) * (v_a + v_b) / 2.
+  double m = points_.front().probability * points_.front().value;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const auto& a = points_[i - 1];
+    const auto& b = points_[i];
+    m += (b.probability - a.probability) * (a.value + b.value) / 2.0;
+  }
+  return m;
+}
+
+namespace {
+
+/// Truncate a CDF at `max_bytes` and renormalize the tail mass onto the
+/// truncation point.
+Cdf truncate(std::vector<Cdf::Point> points, double max_bytes) {
+  if (max_bytes <= 0) return Cdf(std::move(points));
+  std::vector<Cdf::Point> out;
+  for (const auto& p : points) {
+    if (p.value < max_bytes) {
+      out.push_back(p);
+    } else {
+      break;
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("Cdf truncation below the smallest value");
+  }
+  out.push_back(Cdf::Point{max_bytes, 1.0});
+  return Cdf(std::move(out));
+}
+
+}  // namespace
+
+Cdf data_mining_cdf(double max_bytes) {
+  // Tabulation of the pFabric data-mining distribution as published in
+  // reproduction repositories (PIAS / SP-PIFO / AIFO); sizes in bytes.
+  return truncate(
+      {
+          {100, 0.0},
+          {300, 0.1},
+          {500, 0.2},
+          {700, 0.3},
+          {1000, 0.35},
+          {2000, 0.40},
+          {7000, 0.50},
+          {30000, 0.60},
+          {50000, 0.70},
+          {80000, 0.80},
+          {200000, 0.90},
+          {1000000, 0.95},
+          {2000000, 0.98},
+          {5000000, 0.99},
+          {10000000, 0.999},
+          {30000000, 1.0},
+      },
+      max_bytes);
+}
+
+Cdf web_search_cdf(double max_bytes) {
+  // DCTCP web-search distribution tabulation; sizes in bytes.
+  return truncate(
+      {
+          {6000, 0.0},
+          {10000, 0.15},
+          {13000, 0.20},
+          {19000, 0.30},
+          {33000, 0.40},
+          {53000, 0.53},
+          {133000, 0.60},
+          {667000, 0.70},
+          {1333000, 0.80},
+          {3333000, 0.90},
+          {6667000, 0.95},
+          {20000000, 1.0},
+      },
+      max_bytes);
+}
+
+}  // namespace qv::workload

@@ -1,0 +1,58 @@
+// Empirical CDFs with inverse-transform sampling.
+//
+// A Cdf is a piecewise-linear distribution over flow sizes given as
+// (value, cumulative probability) points — the format every data-center
+// scheduling paper (pFabric, PIAS, SP-PIFO, AIFO, ...) publishes its
+// workloads in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace qv::workload {
+
+class Cdf {
+ public:
+  struct Point {
+    double value;
+    double probability;  ///< cumulative, non-decreasing, last == 1.0
+  };
+
+  /// Points must be sorted by probability, start at p >= 0, end at
+  /// p == 1.0, and have non-decreasing values. Throws
+  /// std::invalid_argument otherwise.
+  explicit Cdf(std::vector<Point> points);
+
+  /// Inverse-transform sample.
+  double sample(Rng& rng) const;
+
+  /// Linear-interpolated quantile, q in [0, 1].
+  double quantile(double q) const;
+
+  /// Analytic mean of the piecewise-linear distribution.
+  double mean() const;
+
+  double min() const { return points_.front().value; }
+  double max() const { return points_.back().value; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// The pFabric data-mining workload (Alizadeh et al. SIGCOMM'13, from
+/// the VL2 measurement study): ~80% of flows under 10 KB, heavy tail to
+/// tens of MB. Used by the paper's tenant T1 (§4: "a data-mining
+/// workload that needs to be scheduled with the pFabric algorithm").
+/// `max_bytes` truncates the tail (0 = untruncated) so scaled-down
+/// experiments finish within their horizon; truncation is re-normalized.
+Cdf data_mining_cdf(double max_bytes = 0);
+
+/// The pFabric web-search workload (DCTCP measurement study): less
+/// extreme tail; used by additional examples and ablations.
+Cdf web_search_cdf(double max_bytes = 0);
+
+}  // namespace qv::workload

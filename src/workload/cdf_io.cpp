@@ -1,0 +1,54 @@
+#include "workload/cdf_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qv::workload {
+
+Cdf read_cdf(std::istream& in) {
+  std::vector<Cdf::Point> points;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    double value = 0;
+    double probability = 0;
+    if (!(fields >> value)) continue;  // blank / comment-only line
+    if (!(fields >> probability)) {
+      throw std::invalid_argument("cdf line " + std::to_string(line_no) +
+                                  ": expected '<value> <probability>'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::invalid_argument("cdf line " + std::to_string(line_no) +
+                                  ": trailing tokens");
+    }
+    points.push_back(Cdf::Point{value, probability});
+  }
+  return Cdf(std::move(points));  // Cdf validates monotonicity etc.
+}
+
+Cdf load_cdf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open cdf file: " + path);
+  return read_cdf(in);
+}
+
+void write_cdf(std::ostream& out, const Cdf& cdf) {
+  out << "# <value> <cumulative probability>\n";
+  for (const auto& p : cdf.points()) {
+    out << p.value << " " << p.probability << "\n";
+  }
+}
+
+void save_cdf_file(const std::string& path, const Cdf& cdf) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write cdf file: " + path);
+  write_cdf(out, cdf);
+}
+
+}  // namespace qv::workload

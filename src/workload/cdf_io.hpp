@@ -1,0 +1,27 @@
+// CDF file I/O in the Netbench / pFabric format the paper's evaluation
+// pipeline uses: one "<value> <cumulative-probability>" pair per line,
+// '#' comments and blank lines ignored.
+//
+// Lets users drop in their own measured flow-size distributions instead
+// of the built-in data-mining / web-search tabulations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/cdf.hpp"
+
+namespace qv::workload {
+
+/// Parse a CDF from a stream. Throws std::invalid_argument on malformed
+/// input (bad numbers, decreasing probabilities, missing terminal 1.0).
+Cdf read_cdf(std::istream& in);
+
+/// Load from a file path. Throws std::runtime_error if unreadable.
+Cdf load_cdf_file(const std::string& path);
+
+/// Serialize in the same format (round-trips through read_cdf).
+void write_cdf(std::ostream& out, const Cdf& cdf);
+void save_cdf_file(const std::string& path, const Cdf& cdf);
+
+}  // namespace qv::workload

@@ -1,0 +1,95 @@
+// End-to-end integration: scaled-down versions of the paper's Fig. 4
+// experiment asserting the QUALITATIVE claims of §4 — who wins, who
+// loses — rather than absolute numbers.
+#include <gtest/gtest.h>
+
+#include "experiments/fig4.hpp"
+
+namespace qv::experiments {
+namespace {
+
+Fig4Config tiny_config(Fig4Scheme scheme, double load) {
+  Fig4Config cfg = fig4_scaled_config();
+  cfg.scheme = scheme;
+  cfg.load = load;
+  // Trim the horizon so the whole suite stays fast.
+  cfg.warmup = milliseconds(10);
+  cfg.measure_window = milliseconds(40);
+  cfg.drain = milliseconds(100);
+  cfg.max_flow_bytes = 3e6;
+  return cfg;
+}
+
+Fig4Result run(Fig4Scheme scheme, double load) {
+  return run_fig4(tiny_config(scheme, load));
+}
+
+TEST(Fig4EndToEnd, QvisorWithPfabricPriorityMatchesIdeal) {
+  const auto ideal = run(Fig4Scheme::kPifoIdeal, 0.5);
+  const auto qvisor = run(Fig4Scheme::kQvisorPfabricOverEdf, 0.5);
+  ASSERT_GT(ideal.small_flows, 20u);
+  // "a performance that is either ideal ... or very close to ideal".
+  EXPECT_LT(qvisor.mean_small_lb_ms, ideal.mean_small_lb_ms * 1.5);
+  EXPECT_LT(qvisor.mean_large_lb_ms, ideal.mean_large_lb_ms * 1.5);
+}
+
+TEST(Fig4EndToEnd, SharingStaysCloseToIdeal) {
+  const auto ideal = run(Fig4Scheme::kPifoIdeal, 0.5);
+  const auto share = run(Fig4Scheme::kQvisorShare, 0.5);
+  EXPECT_LT(share.mean_small_lb_ms, ideal.mean_small_lb_ms * 2.0);
+}
+
+TEST(Fig4EndToEnd, FifoIsDetrimentalForSmallFlows) {
+  const auto ideal = run(Fig4Scheme::kPifoIdeal, 0.5);
+  const auto fifo = run(Fig4Scheme::kFifoBoth, 0.5);
+  EXPECT_GT(fifo.mean_small_lb_ms, ideal.mean_small_lb_ms * 5.0);
+}
+
+TEST(Fig4EndToEnd, EdfPriorityHurtsPfabricLargeFlows) {
+  const auto good = run(Fig4Scheme::kQvisorPfabricOverEdf, 0.6);
+  const auto bad = run(Fig4Scheme::kQvisorEdfOverPfabric, 0.6);
+  EXPECT_GT(bad.mean_large_lb_ms, good.mean_large_lb_ms * 1.5);
+  EXPECT_GT(bad.mean_small_lb_ms, good.mean_small_lb_ms);
+}
+
+TEST(Fig4EndToEnd, NaivePifoClashesLikeThePaperSays) {
+  // §2 Problem 1: naively mixing EDF and pFabric ranks lets EDF
+  // dominate; pFabric's big flows suffer vs QVISOR's normalization.
+  const auto naive = run(Fig4Scheme::kPifoNaive, 0.6);
+  const auto qvisor = run(Fig4Scheme::kQvisorShare, 0.6);
+  EXPECT_GT(naive.mean_large_lb_ms, qvisor.mean_large_lb_ms * 1.5);
+}
+
+TEST(Fig4EndToEnd, IdealDeadlinesPerfectWithoutCompetition) {
+  const auto ideal = run(Fig4Scheme::kPifoIdeal, 0.5);
+  EXPECT_DOUBLE_EQ(ideal.edf_deadline_met, 1.0);  // no EDF traffic at all
+}
+
+TEST(Fig4EndToEnd, EdfPriorityProtectsDeadlines) {
+  const auto edf_first = run(Fig4Scheme::kQvisorEdfOverPfabric, 0.6);
+  const auto pfabric_first = run(Fig4Scheme::kQvisorPfabricOverEdf, 0.6);
+  EXPECT_GT(edf_first.edf_deadline_met, 0.95);
+  EXPECT_LT(pfabric_first.edf_deadline_met, edf_first.edf_deadline_met);
+}
+
+TEST(Fig4EndToEnd, FctGrowsWithLoad) {
+  const auto low = run(Fig4Scheme::kQvisorPfabricOverEdf, 0.2);
+  const auto high = run(Fig4Scheme::kQvisorPfabricOverEdf, 0.8);
+  EXPECT_GT(high.mean_all_ms, low.mean_all_ms);
+}
+
+TEST(Fig4EndToEnd, NoDropsWithUnboundedBuffers) {
+  const auto r = run(Fig4Scheme::kFifoBoth, 0.7);
+  EXPECT_EQ(r.drops, 0u);
+}
+
+TEST(Fig4EndToEnd, DeterministicForSeed) {
+  const auto a = run(Fig4Scheme::kQvisorShare, 0.4);
+  const auto b = run(Fig4Scheme::kQvisorShare, 0.4);
+  EXPECT_DOUBLE_EQ(a.mean_small_lb_ms, b.mean_small_lb_ms);
+  EXPECT_DOUBLE_EQ(a.mean_large_lb_ms, b.mean_large_lb_ms);
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace qv::experiments

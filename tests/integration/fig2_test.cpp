@@ -1,0 +1,58 @@
+// Integration assertions for the quantified Fig. 2 scenario (§2).
+#include <gtest/gtest.h>
+
+#include "experiments/fig2.hpp"
+
+namespace qv::experiments {
+namespace {
+
+Fig2Result run(Fig2Scheme scheme) {
+  Fig2Config cfg;
+  cfg.scheme = scheme;
+  return run_fig2(cfg);
+}
+
+TEST(Fig2, QvisorIsolatesInteractiveFromBulk) {
+  const auto qvisor = run(Fig2Scheme::kQvisor);
+  const auto naive = run(Fig2Scheme::kPifoNaive);
+  const auto fifo = run(Fig2Scheme::kFifo);
+  ASSERT_GT(qvisor.interactive_flows, 5u);
+  // Interactive flows complete in ~ms under QVISOR despite the
+  // backlogged bulk tenant; naive mixing and FIFO are 10x+ worse.
+  EXPECT_LT(qvisor.interactive_mean_fct_ms, 2.0);
+  EXPECT_GT(naive.interactive_mean_fct_ms,
+            qvisor.interactive_mean_fct_ms * 10);
+  EXPECT_GT(fifo.interactive_mean_fct_ms,
+            qvisor.interactive_mean_fct_ms * 10);
+}
+
+TEST(Fig2, QvisorMeetsDeadlinesFifoDoesNot) {
+  const auto qvisor = run(Fig2Scheme::kQvisor);
+  const auto fifo = run(Fig2Scheme::kFifo);
+  EXPECT_GT(qvisor.deadline_met, 0.99);
+  EXPECT_LT(fifo.deadline_met, 0.5);
+}
+
+TEST(Fig2, BackgroundGetsLeftoverThenLineRate) {
+  const auto r = run(Fig2Scheme::kQvisor);
+  // Phase 1: interactive (0.3) + CBR (0.3) leave roughly 0.4 Gb/s.
+  EXPECT_GT(r.background_phase1_gbps, 0.25);
+  EXPECT_LT(r.background_phase1_gbps, 0.65);
+  // Phase 2: alone on the wire, essentially line rate.
+  EXPECT_GT(r.background_phase2_gbps, 0.95);
+}
+
+TEST(Fig2, RuntimeControllerAdaptsWithoutHurtingTenants) {
+  const auto adaptive = run(Fig2Scheme::kQvisorAdapt);
+  const auto fixed = run(Fig2Scheme::kQvisor);
+  EXPECT_GE(adaptive.adaptations, 1u);
+  EXPECT_LE(adaptive.adaptations, 5u);  // no thrashing
+  // Adaptation must not degrade the tenants relative to the static plan.
+  EXPECT_NEAR(adaptive.interactive_mean_fct_ms,
+              fixed.interactive_mean_fct_ms, 0.5);
+  EXPECT_GT(adaptive.deadline_met, 0.99);
+  EXPECT_GT(adaptive.background_phase2_gbps, 0.95);
+}
+
+}  // namespace
+}  // namespace qv::experiments

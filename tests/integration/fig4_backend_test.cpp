@@ -1,0 +1,77 @@
+// Coverage for the backend-override experiment path used by the
+// queue-count ablation (run_fig4_with_backend) and for the experiment
+// configuration helpers.
+#include <gtest/gtest.h>
+
+#include "experiments/fig4.hpp"
+#include "experiments/fig4_backend.hpp"
+
+namespace qv::experiments {
+namespace {
+
+Fig4Config quick() {
+  Fig4Config cfg = fig4_scaled_config();
+  cfg.scheme = Fig4Scheme::kQvisorPfabricOverEdf;
+  cfg.load = 0.5;
+  cfg.warmup = milliseconds(5);
+  cfg.measure_window = milliseconds(25);
+  cfg.drain = milliseconds(60);
+  cfg.max_flow_bytes = 2e6;
+  return cfg;
+}
+
+TEST(Fig4Configs, ScaledKeepsPaperProportions) {
+  const Fig4Config cfg = fig4_scaled_config();
+  // CBR intensity ~0.35 of access capacity, like 100x0.5G over 144x1G.
+  const double cbr_load =
+      static_cast<double>(cfg.cbr_flows) *
+      static_cast<double>(cfg.cbr_rate) /
+      (static_cast<double>(cfg.topo.total_hosts()) *
+       static_cast<double>(cfg.topo.access_rate));
+  EXPECT_NEAR(cbr_load, 0.35, 0.05);
+  EXPECT_EQ(cfg.topo.fabric_rate, gbps(4));
+}
+
+TEST(Fig4Configs, PaperConfigIsPaperTopology) {
+  const Fig4Config cfg = fig4_paper_config();
+  EXPECT_EQ(cfg.topo.total_hosts(), 144u);
+  EXPECT_EQ(cfg.topo.leaves, 9u);
+  EXPECT_EQ(cfg.topo.spines, 4u);
+  EXPECT_EQ(cfg.cbr_flows, 100u);
+  EXPECT_EQ(cfg.max_flow_bytes, 0);  // full data-mining tail
+}
+
+TEST(Fig4Backend, SpPifoApproachesPifoWithMoreQueues) {
+  const Fig4Config cfg = quick();
+  const auto pifo = run_fig4(cfg);
+  const auto two =
+      run_fig4_with_backend(cfg, Fig4BackendKind::kSpPifo, 2);
+  const auto many =
+      run_fig4_with_backend(cfg, Fig4BackendKind::kSpPifo, 32);
+  EXPECT_GT(two.mean_small_lb_ms, pifo.mean_small_lb_ms);
+  EXPECT_LT(many.mean_small_lb_ms, two.mean_small_lb_ms);
+}
+
+TEST(Fig4Backend, StrictPriorityKeepsIsolationAtAnyQueueCount) {
+  // Even with only 2 queues, '>>' isolation holds exactly, so EDF's
+  // deadline-met fraction matches the PIFO deployment's behaviour of
+  // being starved under pfabric >> edf (low met fraction), and pFabric
+  // small flows complete (no incompletes).
+  const Fig4Config cfg = quick();
+  const auto sp =
+      run_fig4_with_backend(cfg, Fig4BackendKind::kStrictPriority, 2);
+  EXPECT_EQ(sp.small_incomplete, 0u);
+  EXPECT_GT(sp.small_flows, 20u);
+}
+
+TEST(Fig4Backend, PifoKindMatchesDefaultRunner) {
+  const Fig4Config cfg = quick();
+  const auto direct = run_fig4(cfg);
+  const auto via_kind =
+      run_fig4_with_backend(cfg, Fig4BackendKind::kPifo, 0);
+  EXPECT_DOUBLE_EQ(via_kind.mean_small_lb_ms, direct.mean_small_lb_ms);
+  EXPECT_EQ(via_kind.events, direct.events);
+}
+
+}  // namespace
+}  // namespace qv::experiments

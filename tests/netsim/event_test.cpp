@@ -1,0 +1,99 @@
+#include "netsim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qv::netsim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(5, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeMax);
+  q.schedule(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+  q.run_next();
+  EXPECT_EQ(q.next_time(), kTimeMax);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(10, [&] { ran = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeMax);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2, [&] { order.push_back(2); });
+  q.schedule(3, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.cancel(9999);  // never issued
+  q.cancel(0);     // invalid
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(17, [] {});
+  EXPECT_EQ(q.run_next(), 17);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] {
+    order.push_back(1);
+    q.schedule(5, [&] { order.push_back(99); });  // in the past of head? no: absolute 5 < 10 but already popped
+    q.schedule(20, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  // The t=5 event runs immediately after (queue is purely ordered by time).
+  EXPECT_EQ(order, (std::vector<int>{1, 99, 2}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace qv::netsim

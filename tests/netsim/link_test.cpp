@@ -1,0 +1,155 @@
+#include "netsim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/fifo.hpp"
+#include "sched/pifo.hpp"
+
+namespace qv::netsim {
+namespace {
+
+Packet make_packet(std::int32_t bytes, Rank rank = 0, FlowId flow = 1) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  p.rank = rank;
+  return p;
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  std::vector<std::pair<TimeNs, Packet>> delivered;
+
+  Link make_link(BitsPerSec rate, TimeNs prop,
+                 std::unique_ptr<sched::Scheduler> q) {
+    return Link(sim, rate, prop, std::move(q), [this](const Packet& p) {
+      delivered.emplace_back(sim.now(), p);
+    });
+  }
+};
+
+TEST_F(LinkTest, DeliversAfterSerializationPlusPropagation) {
+  auto link = make_link(gbps(1), microseconds(2),
+                        std::make_unique<sched::FifoQueue>());
+  link.transmit(make_packet(1500));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  // 12 us serialization + 2 us propagation.
+  EXPECT_EQ(delivered[0].first, microseconds(14));
+}
+
+TEST_F(LinkTest, BackToBackPacketsSpacedBySerialization) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  link.transmit(make_packet(1500));
+  link.transmit(make_packet(1500));
+  link.transmit(make_packet(1500));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0].first, microseconds(12));
+  EXPECT_EQ(delivered[1].first, microseconds(24));
+  EXPECT_EQ(delivered[2].first, microseconds(36));
+}
+
+TEST_F(LinkTest, BusyWhileSerializing) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  EXPECT_FALSE(link.busy());
+  link.transmit(make_packet(1500));
+  EXPECT_TRUE(link.busy());
+  sim.run();
+  EXPECT_FALSE(link.busy());
+}
+
+TEST_F(LinkTest, PifoQueueReordersWaitingPackets) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::PifoQueue>());
+  // First packet seizes the wire; the next three queue and re-sort.
+  link.transmit(make_packet(1500, 5, 1));
+  link.transmit(make_packet(1500, 30, 2));
+  link.transmit(make_packet(1500, 10, 3));
+  link.transmit(make_packet(1500, 20, 4));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 4u);
+  EXPECT_EQ(delivered[0].second.flow, 1u);
+  EXPECT_EQ(delivered[1].second.flow, 3u);  // rank 10
+  EXPECT_EQ(delivered[2].second.flow, 4u);  // rank 20
+  EXPECT_EQ(delivered[3].second.flow, 2u);  // rank 30
+}
+
+TEST_F(LinkTest, WorkConservingAfterIdlePeriod) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  link.transmit(make_packet(1500));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  // Transmit again much later; serialization restarts immediately.
+  sim.at(milliseconds(1), [&] { link.transmit(make_packet(1500)); });
+  sim.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[1].first, milliseconds(1) + microseconds(12));
+}
+
+TEST_F(LinkTest, DropsWhenQueueFull) {
+  auto link = make_link(gbps(1), 0,
+                        std::make_unique<sched::FifoQueue>(3000));
+  // One seizes the wire, two fill the 3000-byte buffer, fourth drops.
+  for (int i = 0; i < 4; ++i) link.transmit(make_packet(1500));
+  sim.run();
+  EXPECT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(link.queue().counters().dropped, 1u);
+}
+
+TEST_F(LinkTest, ReplaceQueueWhileEmpty) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  link.transmit(make_packet(1500));
+  sim.run();
+  link.replace_queue(std::make_unique<sched::PifoQueue>());
+  EXPECT_EQ(link.queue().name(), "pifo");
+  link.transmit(make_packet(1500));
+  sim.run();
+  EXPECT_EQ(delivered.size(), 2u);
+}
+
+TEST_F(LinkTest, RateScalesSerialization) {
+  auto link = make_link(gbps(4), 0, std::make_unique<sched::FifoQueue>());
+  link.transmit(make_packet(1500));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].first, microseconds(3));
+}
+
+TEST_F(LinkTest, UtilizationTracksBusyTime) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  link.transmit(make_packet(1500));  // 12 us of wire time
+  sim.run_until(microseconds(24));
+  EXPECT_NEAR(link.utilization(microseconds(24)), 0.5, 1e-9);
+  EXPECT_EQ(link.bytes_transmitted(), 1500);
+}
+
+TEST_F(LinkTest, UtilizationCountsInProgressPacket) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  link.transmit(make_packet(1500));
+  sim.run_until(microseconds(6));  // halfway through serialization
+  EXPECT_NEAR(link.utilization(microseconds(6)), 1.0, 1e-9);
+}
+
+TEST_F(LinkTest, MeanQueueBytesIntegratesBacklog) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  // Two packets arrive back to back: while the first serializes
+  // (12 us), the second (1500 B) waits; then it serializes with an
+  // empty queue behind it. Over 24 us: mean backlog = 750 B.
+  link.transmit(make_packet(1500));
+  link.transmit(make_packet(1500));
+  sim.run_until(microseconds(24));
+  EXPECT_NEAR(link.mean_queue_bytes(microseconds(24)), 750.0, 1.0);
+}
+
+TEST_F(LinkTest, IdleLinkZeroUtilization) {
+  auto link = make_link(gbps(1), 0, std::make_unique<sched::FifoQueue>());
+  sim.run_until(microseconds(10));
+  EXPECT_DOUBLE_EQ(link.utilization(microseconds(10)), 0.0);
+  EXPECT_DOUBLE_EQ(link.mean_queue_bytes(microseconds(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace qv::netsim

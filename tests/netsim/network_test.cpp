@@ -1,0 +1,167 @@
+#include "netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/fifo.hpp"
+
+namespace qv::netsim {
+namespace {
+
+std::unique_ptr<sched::Scheduler> fifo_factory(const PortContext&) {
+  return std::make_unique<sched::FifoQueue>();
+}
+
+Packet packet_to(NodeId src, NodeId dst, FlowId flow = 1) {
+  Packet p;
+  p.flow = flow;
+  p.src = src;
+  p.dst = dst;
+  p.size_bytes = 1000;
+  return p;
+}
+
+TEST(Network, HostToHostThroughOneSwitch) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  Switch& sw = net.add_switch("sw");
+  net.connect_bidir(a, sw, gbps(1), microseconds(1), fifo_factory);
+  net.connect_bidir(b, sw, gbps(1), microseconds(1), fifo_factory);
+  net.compute_routes();
+
+  int received = 0;
+  b.set_sink([&](const Packet& p) {
+    ++received;
+    EXPECT_EQ(p.dst, b.id());
+  });
+  a.send(packet_to(a.id(), b.id()));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, BidirectionalDelivery) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  Switch& sw = net.add_switch("sw");
+  net.connect_bidir(a, sw, gbps(1), 0, fifo_factory);
+  net.connect_bidir(b, sw, gbps(1), 0, fifo_factory);
+  net.compute_routes();
+
+  int to_a = 0;
+  int to_b = 0;
+  a.set_sink([&](const Packet&) { ++to_a; });
+  b.set_sink([&](const Packet&) { ++to_b; });
+  a.send(packet_to(a.id(), b.id()));
+  b.send(packet_to(b.id(), a.id()));
+  sim.run();
+  EXPECT_EQ(to_a, 1);
+  EXPECT_EQ(to_b, 1);
+}
+
+TEST(Network, MultiHopRouting) {
+  // a - s1 - s2 - b: routes must chain across switches.
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  Switch& s1 = net.add_switch("s1");
+  Switch& s2 = net.add_switch("s2");
+  net.connect_bidir(a, s1, gbps(1), 0, fifo_factory);
+  net.connect_bidir(s1, s2, gbps(1), 0, fifo_factory);
+  net.connect_bidir(s2, b, gbps(1), 0, fifo_factory);
+  net.compute_routes();
+
+  int received = 0;
+  b.set_sink([&](const Packet&) { ++received; });
+  a.send(packet_to(a.id(), b.id()));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, EcmpSpreadsFlowsButKeepsFlowsOnOnePath) {
+  // Two equal-cost middle switches between s1 and s2.
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  Switch& s1 = net.add_switch("s1");
+  Switch& m1 = net.add_switch("m1");
+  Switch& m2 = net.add_switch("m2");
+  Switch& s2 = net.add_switch("s2");
+  net.connect_bidir(a, s1, gbps(10), 0, fifo_factory);
+  net.connect_bidir(s1, m1, gbps(10), 0, fifo_factory);
+  net.connect_bidir(s1, m2, gbps(10), 0, fifo_factory);
+  net.connect_bidir(m1, s2, gbps(10), 0, fifo_factory);
+  net.connect_bidir(m2, s2, gbps(10), 0, fifo_factory);
+  net.connect_bidir(b, s2, gbps(10), 0, fifo_factory);
+  net.compute_routes();
+
+  // ECMP at s1 toward b must offer both middle switches.
+  EXPECT_EQ(s1.route(b.id()).size(), 2u);
+
+  int received = 0;
+  b.set_sink([&](const Packet&) { ++received; });
+  // Same flow id -> same hash -> same path; the m-switch queues tell us
+  // which. Send 100 packets of one flow, then check one path saw all.
+  for (int i = 0; i < 100; ++i) {
+    a.send(packet_to(a.id(), b.id(), /*flow=*/42));
+  }
+  sim.run();
+  EXPECT_EQ(received, 100);
+
+  // Many flows spread across both paths.
+  std::set<std::uint64_t> hashes;
+  for (FlowId f = 0; f < 64; ++f) {
+    hashes.insert(ecmp_hash(f, s1.id()) % 2);
+  }
+  EXPECT_EQ(hashes.size(), 2u);
+}
+
+TEST(Network, UnroutedPacketCountedAndDropped) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Switch& sw = net.add_switch("sw");
+  net.connect_bidir(a, sw, gbps(1), 0, fifo_factory);
+  // No compute_routes(): switch has no routes at all.
+  a.send(packet_to(a.id(), 999));
+  sim.run();
+  EXPECT_EQ(sw.unrouted(), 1u);
+}
+
+TEST(Network, TotalDropsAggregates) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  Switch& sw = net.add_switch("sw");
+  auto tiny = [](const PortContext&) -> std::unique_ptr<sched::Scheduler> {
+    return std::make_unique<sched::FifoQueue>(1000);
+  };
+  net.connect_bidir(a, sw, gbps(1), 0, tiny);
+  net.connect_bidir(b, sw, gbps(1), 0, tiny);
+  net.compute_routes();
+  for (int i = 0; i < 10; ++i) a.send(packet_to(a.id(), b.id()));
+  sim.run();
+  EXPECT_GT(net.total_drops(), 0u);
+}
+
+TEST(Network, NodeAccessors) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("alpha");
+  Switch& s = net.add_switch("sigma");
+  EXPECT_EQ(net.host_count(), 1u);
+  EXPECT_EQ(&net.host(0), &a);
+  EXPECT_EQ(net.node(a.id()).name(), "alpha");
+  EXPECT_EQ(net.node(s.id()).name(), "sigma");
+  EXPECT_EQ(net.nodes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace qv::netsim

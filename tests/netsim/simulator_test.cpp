@@ -1,0 +1,81 @@
+#include "netsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qv::netsim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  TimeNs seen = -1;
+  sim.at(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  std::vector<TimeNs> times;
+  sim.at(50, [&] {
+    sim.after(25, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 75);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.at(10, [&] { ++ran; });
+  sim.at(20, [&] { ++ran; });
+  sim.at(30, [&] { ++ran; });
+  sim.run_until(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sim.now(), 100);  // clock lands on the deadline
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(milliseconds(5));
+  EXPECT_EQ(sim.now(), milliseconds(5));
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CascadedEventsKeepCausalOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1, [&] {
+    order.push_back(1);
+    sim.after(1, [&] { order.push_back(3); });
+  });
+  sim.at(2, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace qv::netsim

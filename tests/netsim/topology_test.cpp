@@ -1,0 +1,164 @@
+#include "netsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/fifo.hpp"
+
+namespace qv::netsim {
+namespace {
+
+std::unique_ptr<sched::Scheduler> fifo_factory(const PortContext&) {
+  return std::make_unique<sched::FifoQueue>();
+}
+
+TEST(LeafSpineTopology, PaperScaleStructure) {
+  Simulator sim;
+  Network net(sim);
+  LeafSpineConfig cfg;  // defaults = the paper's 9x4, 16 hosts/leaf
+  LeafSpine fabric = build_leaf_spine(net, cfg, fifo_factory);
+  EXPECT_EQ(fabric.hosts.size(), 144u);
+  EXPECT_EQ(fabric.leaves.size(), 9u);
+  EXPECT_EQ(fabric.spines.size(), 4u);
+  // Each leaf: 16 host ports + 4 spine ports.
+  for (auto* leaf : fabric.leaves) {
+    EXPECT_EQ(leaf->ports().size(), 20u);
+  }
+  // Each spine: 9 leaf ports.
+  for (auto* spine : fabric.spines) {
+    EXPECT_EQ(spine->ports().size(), 9u);
+  }
+  // Host h belongs to leaf h/16.
+  EXPECT_EQ(fabric.leaf_of(0), 0u);
+  EXPECT_EQ(fabric.leaf_of(15), 0u);
+  EXPECT_EQ(fabric.leaf_of(16), 1u);
+  EXPECT_EQ(fabric.leaf_of(143), 8u);
+}
+
+TEST(LeafSpineTopology, IntraLeafDeliveryStaysLocal) {
+  Simulator sim;
+  Network net(sim);
+  LeafSpineConfig cfg;
+  cfg.leaves = 2;
+  cfg.spines = 2;
+  cfg.hosts_per_leaf = 2;
+  LeafSpine fabric = build_leaf_spine(net, cfg, fifo_factory);
+
+  int received = 0;
+  fabric.hosts[1]->set_sink([&](const Packet&) { ++received; });
+  Packet p;
+  p.flow = 1;
+  p.src = fabric.hosts[0]->id();
+  p.dst = fabric.hosts[1]->id();
+  p.size_bytes = 100;
+  fabric.hosts[0]->send(p);
+  sim.run();
+  EXPECT_EQ(received, 1);
+  // Same-leaf traffic must not touch any spine.
+  for (auto* spine : fabric.spines) {
+    for (auto* port : spine->ports()) {
+      EXPECT_EQ(port->queue().counters().enqueued, 0u);
+    }
+  }
+}
+
+TEST(LeafSpineTopology, CrossLeafGoesThroughSpine) {
+  Simulator sim;
+  Network net(sim);
+  LeafSpineConfig cfg;
+  cfg.leaves = 2;
+  cfg.spines = 2;
+  cfg.hosts_per_leaf = 2;
+  LeafSpine fabric = build_leaf_spine(net, cfg, fifo_factory);
+
+  int received = 0;
+  fabric.hosts[2]->set_sink([&](const Packet&) { ++received; });
+  Packet p;
+  p.flow = 7;
+  p.src = fabric.hosts[0]->id();
+  p.dst = fabric.hosts[2]->id();
+  p.size_bytes = 100;
+  fabric.hosts[0]->send(p);
+  sim.run();
+  EXPECT_EQ(received, 1);
+  std::uint64_t spine_packets = 0;
+  for (auto* spine : fabric.spines) {
+    for (auto* port : spine->ports()) {
+      spine_packets += port->queue().counters().enqueued;
+    }
+  }
+  EXPECT_EQ(spine_packets, 1u);
+}
+
+TEST(LeafSpineTopology, EveryHostPairReachable) {
+  Simulator sim;
+  Network net(sim);
+  LeafSpineConfig cfg;
+  cfg.leaves = 3;
+  cfg.spines = 2;
+  cfg.hosts_per_leaf = 2;
+  LeafSpine fabric = build_leaf_spine(net, cfg, fifo_factory);
+
+  int received = 0;
+  for (auto* h : fabric.hosts) {
+    h->set_sink([&](const Packet&) { ++received; });
+  }
+  int sent = 0;
+  for (auto* src : fabric.hosts) {
+    for (auto* dst : fabric.hosts) {
+      if (src == dst) continue;
+      Packet p;
+      p.flow = static_cast<FlowId>(sent);
+      p.src = src->id();
+      p.dst = dst->id();
+      p.size_bytes = 100;
+      src->send(p);
+      ++sent;
+    }
+  }
+  sim.run();
+  EXPECT_EQ(received, sent);
+}
+
+TEST(SingleSwitchTopology, StarDelivery) {
+  Simulator sim;
+  Network net(sim);
+  SingleSwitch star =
+      build_single_switch(net, 4, gbps(1), microseconds(1), fifo_factory);
+  ASSERT_EQ(star.hosts.size(), 4u);
+  int received = 0;
+  star.hosts[3]->set_sink([&](const Packet&) { ++received; });
+  Packet p;
+  p.flow = 1;
+  p.src = star.hosts[0]->id();
+  p.dst = star.hosts[3]->id();
+  p.size_bytes = 500;
+  star.hosts[0]->send(p);
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(LeafSpineTopology, FactoryContextDistinguishesHostPorts) {
+  Simulator sim;
+  Network net(sim);
+  LeafSpineConfig cfg;
+  cfg.leaves = 2;
+  cfg.spines = 1;
+  cfg.hosts_per_leaf = 1;
+  int host_uplinks = 0;
+  int to_host_downlinks = 0;
+  int fabric_ports = 0;
+  build_leaf_spine(net, cfg,
+                   [&](const PortContext& ctx)
+                       -> std::unique_ptr<sched::Scheduler> {
+                     if (ctx.from_host) ++host_uplinks;
+                     else if (ctx.to_host) ++to_host_downlinks;
+                     else ++fabric_ports;
+                     return std::make_unique<sched::FifoQueue>();
+                   });
+  EXPECT_EQ(host_uplinks, 2);
+  EXPECT_EQ(to_host_downlinks, 2);
+  EXPECT_EQ(fabric_ports, 4);  // 2 leaves x 1 spine, both directions
+}
+
+}  // namespace
+}  // namespace qv::netsim

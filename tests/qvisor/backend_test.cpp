@@ -1,0 +1,177 @@
+#include "qvisor/backend.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::qvisor {
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo, Rank hi) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+SynthesisPlan make_plan(const std::string& policy_text,
+                        std::vector<TenantSpec> specs,
+                        SynthesizerConfig cfg = {}) {
+  auto parsed = parse_policy(policy_text);
+  EXPECT_TRUE(parsed.ok());
+  Synthesizer synth(cfg);
+  auto r = synth.synthesize(specs, *parsed.policy);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return *r.plan;
+}
+
+Packet ranked(Rank rank, TenantId t = 1) {
+  Packet p;
+  p.rank = rank;
+  p.original_rank = rank;
+  p.tenant = t;
+  p.size_bytes = 100;
+  return p;
+}
+
+TEST(PifoBackend, PerfectOrderingCapability) {
+  PifoBackend backend;
+  const auto caps = backend.capabilities();
+  EXPECT_TRUE(caps.perfect_ordering);
+  EXPECT_EQ(caps.kind, SchedulerCapabilities::Kind::kPifo);
+  EXPECT_NE(caps.describe().find("PIFO"), std::string::npos);
+}
+
+TEST(PifoBackend, InstantiatesPifo) {
+  PifoBackend backend;
+  const auto plan =
+      make_plan("A", {tenant(1, "A", 0, 100)});
+  auto sched = backend.instantiate(plan);
+  EXPECT_EQ(sched->name(), "pifo");
+}
+
+TEST(SpPifoBackend, Capabilities) {
+  SpPifoBackend backend(8);
+  const auto caps = backend.capabilities();
+  EXPECT_FALSE(caps.perfect_ordering);
+  EXPECT_EQ(caps.num_queues, 8u);
+  const auto plan = make_plan("A", {tenant(1, "A", 0, 100)});
+  const auto guarantees = backend.guarantees(plan);
+  EXPECT_FALSE(guarantees.empty());
+}
+
+TEST(StrictPriorityBackend, TierQueueSplitCoversAllQueues) {
+  const auto plan = make_plan(
+      "A >> B", {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)});
+  const auto split = StrictPriorityBackend::tier_queue_split(plan, 8);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split.front(), 0u);
+  EXPECT_EQ(split.back(), 8u);
+  EXPECT_LT(split[0], split[1]);
+  EXPECT_LT(split[1], split[2]);
+}
+
+TEST(StrictPriorityBackend, EveryTierGetsAtLeastOneQueue) {
+  const auto plan = make_plan(
+      "A >> B >> C",
+      {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100),
+       tenant(3, "C", 0, 100)});
+  const auto split = StrictPriorityBackend::tier_queue_split(plan, 3);
+  for (std::size_t t = 0; t + 1 < split.size(); ++t) {
+    EXPECT_GE(split[t + 1] - split[t], 1u);
+  }
+}
+
+TEST(StrictPriorityBackend, QueueForRespectsTierBands) {
+  const auto plan = make_plan(
+      "A >> B", {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)});
+  const auto* a = plan.find("A");
+  const auto* b = plan.find("B");
+  const std::size_t qa = StrictPriorityBackend::queue_for(
+      plan, 8, a->transform.out_max());
+  const std::size_t qb = StrictPriorityBackend::queue_for(
+      plan, 8, b->transform.out_min());
+  EXPECT_LT(qa, qb);  // tier A's WORST rank still above tier B's BEST
+}
+
+TEST(StrictPriorityBackend, OutOfBandRankGoesToLastQueue) {
+  const auto plan = make_plan("A", {tenant(1, "A", 0, 100)});
+  EXPECT_EQ(StrictPriorityBackend::queue_for(plan, 5, plan.rank_space - 1),
+            4u);
+}
+
+TEST(StrictPriorityBackend, InstantiatedBankIsolatesTiers) {
+  const auto plan = make_plan(
+      "A >> B", {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)});
+  StrictPriorityBackend backend(5);
+  auto bank = backend.instantiate(plan);
+  // Enqueue B first (transformed rank), then A; A must dequeue first.
+  Packet pb = ranked(plan.find("B")->transform.apply(0), 2);
+  Packet pa = ranked(plan.find("A")->transform.apply(100), 1);
+  bank->enqueue(pb, 0);
+  bank->enqueue(pa, 0);
+  EXPECT_EQ(bank->dequeue(0)->tenant, 1u);
+  EXPECT_EQ(bank->dequeue(0)->tenant, 2u);
+}
+
+TEST(StrictPriorityBackend, GuaranteesMentionDedicatedQueues) {
+  const auto plan = make_plan(
+      "A >> B", {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)});
+  StrictPriorityBackend backend(5);
+  const auto guarantees = backend.guarantees(plan);
+  bool mentions = false;
+  for (const auto& g : guarantees) {
+    if (g.find("dedicated queues") != std::string::npos) mentions = true;
+  }
+  EXPECT_TRUE(mentions);
+}
+
+TEST(StrictPriorityBackend, MoreTiersThanQueues) {
+  const auto plan = make_plan(
+      "A >> B >> C >> D",
+      {tenant(1, "A", 0, 9), tenant(2, "B", 0, 9), tenant(3, "C", 0, 9),
+       tenant(4, "D", 0, 9)});
+  const auto split = StrictPriorityBackend::tier_queue_split(plan, 2);
+  EXPECT_EQ(split.back(), 2u);
+  // Highest tier still owns the first queue alone.
+  EXPECT_EQ(split[0], 0u);
+  EXPECT_GE(split[1], 1u);
+}
+
+TEST(AifoBackend, InstantiatesAifo) {
+  AifoBackend backend(10'000);
+  const auto plan = make_plan("A", {tenant(1, "A", 0, 100)});
+  auto sched = backend.instantiate(plan);
+  EXPECT_EQ(sched->name(), "aifo");
+  EXPECT_FALSE(backend.guarantees(plan).empty());
+}
+
+TEST(FifoBackend, AdmitsButIgnoresRanks) {
+  FifoBackend backend;
+  const auto plan = make_plan("A", {tenant(1, "A", 0, 100)});
+  auto sched = backend.instantiate(plan);
+  sched->enqueue(ranked(50), 0);
+  sched->enqueue(ranked(1), 0);
+  EXPECT_EQ(sched->dequeue(0)->rank, 50u);
+  bool warns = false;
+  for (const auto& g : backend.guarantees(plan)) {
+    if (g.find("ignored") != std::string::npos) warns = true;
+  }
+  EXPECT_TRUE(warns);
+}
+
+TEST(Backend, DegradedPlanFlaggedInGuarantees) {
+  SynthesizerConfig cfg;
+  cfg.rank_space = 32;
+  cfg.levels_per_group = 4096;
+  const auto plan = make_plan(
+      "A >> B", {tenant(1, "A", 0, 999), tenant(2, "B", 0, 999)}, cfg);
+  PifoBackend backend(0, 32);
+  bool mentions_degraded = false;
+  for (const auto& g : backend.guarantees(plan)) {
+    if (g.find("degraded") != std::string::npos) mentions_degraded = true;
+  }
+  EXPECT_TRUE(mentions_degraded);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "qvisor/backend.hpp"
+#include "qvisor/qvisor.hpp"
+
+namespace qv::qvisor {
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo = 0,
+                  Rank hi = 99) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+Packet labeled(TenantId t, Rank rank) {
+  Packet p;
+  p.tenant = t;
+  p.rank = rank;
+  p.original_rank = rank;
+  p.size_bytes = 100;
+  return p;
+}
+
+class FacadeTest : public ::testing::Test {
+ protected:
+  FacadeTest()
+      : hv_({tenant(1, "a"), tenant(2, "b")},
+            *parse_policy("a >> b").policy,
+            std::make_shared<PifoBackend>()) {}
+
+  Hypervisor hv_;
+};
+
+TEST_F(FacadeTest, PortCreatedBeforeCompileStillWorks) {
+  auto port = hv_.make_port_scheduler();
+  // No plan installed: best-effort pass-through, packets still flow.
+  Packet p = labeled(1, 5);
+  EXPECT_TRUE(port->enqueue(p, 0));
+  EXPECT_TRUE(port->dequeue(0).has_value());
+  // Compiling afterwards re-programs the existing port.
+  ASSERT_TRUE(hv_.compile().ok);
+  Packet q = labeled(2, 0);
+  port->enqueue(q, 0);
+  const auto out = port->dequeue(0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->rank, hv_.plan().find("b")->transform.apply(0));
+}
+
+TEST_F(FacadeTest, PortCountersTrackTraffic) {
+  ASSERT_TRUE(hv_.compile().ok);
+  auto port = hv_.make_port_scheduler();
+  for (int i = 0; i < 5; ++i) port->enqueue(labeled(1, 1), 0);
+  for (int i = 0; i < 3; ++i) port->dequeue(0);
+  EXPECT_EQ(port->counters().enqueued, 5u);
+  EXPECT_EQ(port->counters().dequeued, 3u);
+  EXPECT_EQ(port->size(), 2u);
+  EXPECT_EQ(port->buffered_bytes(), 200);
+  EXPECT_EQ(port->name(), "qvisor(pifo)");
+}
+
+TEST_F(FacadeTest, PerTenantPacketsAggregateAcrossPorts) {
+  ASSERT_TRUE(hv_.compile().ok);
+  auto port1 = hv_.make_port_scheduler();
+  auto port2 = hv_.make_port_scheduler();
+  port1->enqueue(labeled(1, 1), 0);
+  port1->enqueue(labeled(2, 1), 0);
+  port2->enqueue(labeled(1, 1), 0);
+  const auto counts = hv_.per_tenant_packets();
+  EXPECT_EQ(counts.at(1), 2u);
+  EXPECT_EQ(counts.at(2), 1u);
+}
+
+TEST_F(FacadeTest, EstimatorsFedByPorts) {
+  ASSERT_TRUE(hv_.compile().ok);
+  auto port = hv_.make_port_scheduler();
+  port->enqueue(labeled(1, 42), microseconds(7));
+  const RankDistEstimator* est = hv_.find_estimator(1);
+  ASSERT_NE(est, nullptr);
+  EXPECT_EQ(est->samples(), 1u);
+  EXPECT_EQ(est->bounds().min, 42u);
+  EXPECT_EQ(est->last_observation(), microseconds(7));
+  EXPECT_EQ(hv_.find_estimator(99), nullptr);
+}
+
+TEST_F(FacadeTest, CompileCountIncrements) {
+  EXPECT_EQ(hv_.compile_count(), 0u);
+  ASSERT_TRUE(hv_.compile().ok);
+  ASSERT_TRUE(hv_.compile_for({"a"}).ok);
+  EXPECT_EQ(hv_.compile_count(), 2u);
+}
+
+TEST_F(FacadeTest, CompileForUnknownSubsetFails) {
+  const auto result = hv_.compile_for({"nope"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(hv_.has_plan());
+}
+
+TEST_F(FacadeTest, FailedCompileKeepsPreviousPlan) {
+  ASSERT_TRUE(hv_.compile().ok);
+  const auto before = hv_.plan().tenants.size();
+  hv_.set_policy(*parse_policy("a >> ghost").policy);
+  // "ghost" is dropped by restriction; only "a" remains — that is a
+  // VALID plan for the subset {a}, so compile on the full tenant set
+  // must fail (tenant b unmentioned) and keep the previous plan.
+  const auto result = hv_.compile();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(hv_.plan().tenants.size(), before);
+}
+
+TEST_F(FacadeTest, UpsertAndRemoveTenant) {
+  ASSERT_TRUE(hv_.compile().ok);
+  hv_.upsert_tenant(tenant(3, "c"));
+  hv_.set_policy(*parse_policy("a >> b + c").policy);
+  ASSERT_TRUE(hv_.compile().ok);
+  EXPECT_NE(hv_.plan().find("c"), nullptr);
+
+  hv_.remove_tenant("c");
+  hv_.set_policy(*parse_policy("a >> b").policy);
+  ASSERT_TRUE(hv_.compile().ok);
+  EXPECT_EQ(hv_.plan().find("c"), nullptr);
+}
+
+TEST_F(FacadeTest, UpsertReplacesExistingSpec) {
+  hv_.upsert_tenant(tenant(1, "a", 10, 20));
+  ASSERT_TRUE(hv_.compile().ok);
+  EXPECT_EQ(hv_.plan().find("a")->transform.input_bounds().min, 10u);
+  EXPECT_EQ(hv_.tenants().size(), 2u);  // replaced, not duplicated
+}
+
+TEST_F(FacadeTest, GuaranteesReportedOnCompile) {
+  const auto result = hv_.compile();
+  ASSERT_TRUE(result.ok);
+  ASSERT_FALSE(result.guarantees.empty());
+  EXPECT_NE(result.guarantees[0].find("perfect rank ordering"),
+            std::string::npos);
+}
+
+TEST_F(FacadeTest, MonitorContractsFromDeclaredBounds) {
+  ASSERT_TRUE(hv_.compile().ok);
+  auto port = hv_.make_port_scheduler();
+  // Rank 5000 is outside tenant a's declared [0, 99].
+  for (int i = 0; i < 200; ++i) {
+    port->enqueue(labeled(1, 5000), microseconds(i));
+  }
+  EXPECT_EQ(hv_.monitor().verdict(1), Verdict::kAdversarial);
+  EXPECT_EQ(hv_.monitor().verdict(2), Verdict::kClean);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

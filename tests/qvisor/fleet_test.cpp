@@ -1,0 +1,152 @@
+#include "qvisor/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qvisor/backend.hpp"
+
+namespace qv::qvisor {
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo = 0,
+                  Rank hi = 99) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+Packet labeled(TenantId t, Rank rank) {
+  Packet p;
+  p.tenant = t;
+  p.rank = rank;
+  p.original_rank = rank;
+  p.size_bytes = 100;
+  return p;
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  FleetTest()
+      : fleet_({tenant(1, "a"), tenant(2, "b"), tenant(3, "c")},
+               *parse_policy("a >> b + c").policy,
+               std::make_shared<PifoBackend>()) {
+    fleet_.add_switch("leaf0");
+    fleet_.add_switch("leaf1");
+    fleet_.add_switch("spine0");
+  }
+
+  Fleet fleet_;
+};
+
+TEST_F(FleetTest, CompileDeploysEverywhere) {
+  const auto result = fleet_.compile();
+  ASSERT_TRUE(result.ok) << result.error;
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    ASSERT_TRUE(fleet_.hypervisor(s).has_plan());
+    EXPECT_EQ(fleet_.hypervisor(s).plan().tenants.size(), 3u);
+  }
+}
+
+TEST_F(FleetTest, PlansIdenticalAcrossSwitches) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  const auto& first = fleet_.hypervisor(0).plan();
+  for (std::size_t s = 1; s < fleet_.switch_count(); ++s) {
+    const auto& other = fleet_.hypervisor(s).plan();
+    ASSERT_EQ(other.tenants.size(), first.tenants.size());
+    for (std::size_t i = 0; i < first.tenants.size(); ++i) {
+      EXPECT_EQ(other.tenants[i].transform, first.tenants[i].transform);
+    }
+  }
+}
+
+TEST_F(FleetTest, AllOrNothingOnFailure) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  // Break the shared policy: mention a tenant nobody registered.
+  fleet_.set_policy(*parse_policy("a >> ghost").policy);
+  const auto result = fleet_.compile();
+  EXPECT_FALSE(result.ok);
+  // Old plans still installed everywhere (3 tenants, not fewer).
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_EQ(fleet_.hypervisor(s).plan().tenants.size(), 3u);
+  }
+}
+
+TEST_F(FleetTest, ObservationsAggregateAcrossSwitches) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  auto port0 = fleet_.make_port_scheduler(0);
+  auto port2 = fleet_.make_port_scheduler(2);
+  // Tenant a only on switch 0; tenant b only on switch 2.
+  for (int i = 0; i < 5; ++i) {
+    port0->enqueue(labeled(1, 1), microseconds(i));
+    port2->enqueue(labeled(2, 1), microseconds(10 + i));
+  }
+  const auto counts = fleet_.per_tenant_packets();
+  EXPECT_EQ(counts.at(1), 5u);
+  EXPECT_EQ(counts.at(2), 5u);
+  ASSERT_TRUE(fleet_.last_seen(1).has_value());
+  EXPECT_EQ(*fleet_.last_seen(2), microseconds(14));
+  EXPECT_FALSE(fleet_.last_seen(3).has_value());
+}
+
+TEST_F(FleetTest, ControllerReactsToActivityAnywhere) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  auto port0 = fleet_.make_port_scheduler(0);
+  auto port1 = fleet_.make_port_scheduler(1);
+
+  RuntimeConfig cfg;
+  cfg.activity_window = milliseconds(10);
+  cfg.min_reconfig_interval = 0;
+  FleetController controller(fleet_, cfg);
+
+  // a active on switch 0, c active on switch 1, b silent everywhere.
+  for (int i = 0; i < 3; ++i) {
+    port0->enqueue(labeled(1, 1), milliseconds(1));
+    port1->enqueue(labeled(3, 1), milliseconds(1));
+  }
+  ASSERT_TRUE(controller.tick(milliseconds(2)));
+  EXPECT_EQ(controller.active_tenants(),
+            (std::vector<std::string>{"a", "c"}));
+  // Every switch's plan now provisions exactly {a, c}.
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_EQ(fleet_.hypervisor(s).plan().tenants.size(), 2u);
+    EXPECT_EQ(fleet_.hypervisor(s).plan().find("b"), nullptr);
+  }
+}
+
+TEST_F(FleetTest, ControllerStableWithoutChange) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  auto port0 = fleet_.make_port_scheduler(0);
+  RuntimeConfig cfg;
+  cfg.activity_window = milliseconds(10);
+  cfg.min_reconfig_interval = 0;
+  FleetController controller(fleet_, cfg);
+  port0->enqueue(labeled(1, 1), milliseconds(1));
+  EXPECT_TRUE(controller.tick(milliseconds(2)));
+  port0->enqueue(labeled(1, 1), milliseconds(3));
+  EXPECT_FALSE(controller.tick(milliseconds(4)));
+  EXPECT_EQ(controller.adaptations(), 1u);
+}
+
+TEST_F(FleetTest, AdversarialUnionAcrossSwitches) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  auto port1 = fleet_.make_port_scheduler(1);
+  // Tenant c floods out-of-bounds ranks on switch 1 only.
+  for (int i = 0; i < 200; ++i) {
+    port1->enqueue(labeled(3, 5000), microseconds(i));
+  }
+  EXPECT_EQ(fleet_.adversarial(), (std::vector<TenantId>{3}));
+}
+
+TEST_F(FleetTest, UpsertTenantAppliesOnNextCompile) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  fleet_.upsert_tenant(tenant(4, "d"));
+  fleet_.set_policy(*parse_policy("a >> b + c >> d").policy);
+  ASSERT_TRUE(fleet_.compile().ok);
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_NE(fleet_.hypervisor(s).plan().find("d"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace qv::qvisor

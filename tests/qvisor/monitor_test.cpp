@@ -1,0 +1,125 @@
+#include "qvisor/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::qvisor {
+namespace {
+
+TenantContract contract(TenantId id, Rank lo, Rank hi,
+                        BitsPerSec rate = 0) {
+  TenantContract c;
+  c.tenant = id;
+  c.rank_min = lo;
+  c.rank_max = hi;
+  c.max_rate = rate;
+  return c;
+}
+
+TEST(Monitor, CleanTenantStaysClean) {
+  Monitor m;
+  m.set_contract(contract(1, 0, 100));
+  for (int i = 0; i < 1000; ++i) {
+    m.observe(1, 50, 1500, microseconds(i));
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kClean);
+  EXPECT_EQ(m.observation(1).packets, 1000u);
+  EXPECT_EQ(m.observation(1).bounds_violations, 0u);
+}
+
+TEST(Monitor, BoundsViolationsFlagAdversarial) {
+  Monitor m(0.01, 0.05, 100);
+  m.set_contract(contract(1, 0, 100));
+  for (int i = 0; i < 200; ++i) {
+    // Every packet lies outside the declared bounds.
+    m.observe(1, 5000, 1500, microseconds(i));
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kAdversarial);
+  EXPECT_EQ(m.observation(1).bounds_violations, 200u);
+}
+
+TEST(Monitor, SuspectBetweenThresholds) {
+  Monitor m(0.01, 0.5, 100);
+  m.set_contract(contract(1, 0, 100));
+  // 2% violations: above suspect (1%), below adversarial (50%).
+  for (int i = 0; i < 1000; ++i) {
+    m.observe(1, i % 50 == 0 ? 999u : 50u, 1500, microseconds(i));
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kSuspect);
+}
+
+TEST(Monitor, MinPacketsGraceWindow) {
+  Monitor m(0.01, 0.05, /*min_packets=*/100);
+  m.set_contract(contract(1, 0, 100));
+  // 50 bad packets: still below the sample floor -> clean.
+  for (int i = 0; i < 50; ++i) {
+    m.observe(1, 999, 1500, microseconds(i));
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kClean);
+}
+
+TEST(Monitor, RatePolicingFlagsSustainedOverdrive) {
+  Monitor m(0.01, 0.05, 100);
+  auto c = contract(1, 0, 100, mbps(100));
+  c.burst_bytes = 15'000;
+  m.set_contract(c);
+  // 100 Mb/s contract but sending 1500 B every microsecond = 12 Gb/s.
+  for (int i = 0; i < 1000; ++i) {
+    m.observe(1, 50, 1500, microseconds(i));
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kAdversarial);
+  EXPECT_GT(m.observation(1).rate_violations, 0u);
+}
+
+TEST(Monitor, RateWithinContractIsClean) {
+  Monitor m;
+  auto c = contract(1, 0, 100, gbps(1));
+  m.set_contract(c);
+  // 1500 B every 12 us = exactly 1 Gb/s.
+  for (int i = 0; i < 2000; ++i) {
+    m.observe(1, 50, 1500, microseconds(12) * i);
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kClean);
+}
+
+TEST(Monitor, UnknownTenantDefaultsClean) {
+  Monitor m;
+  EXPECT_EQ(m.verdict(42), Verdict::kClean);
+  EXPECT_EQ(m.observation(42).packets, 0u);
+}
+
+TEST(Monitor, AdversarialListSorted) {
+  Monitor m(0.01, 0.05, 10);
+  m.set_contract(contract(3, 0, 10));
+  m.set_contract(contract(1, 0, 10));
+  for (int i = 0; i < 50; ++i) {
+    m.observe(3, 99, 100, microseconds(i));
+    m.observe(1, 99, 100, microseconds(i));
+  }
+  EXPECT_EQ(m.adversarial(), (std::vector<TenantId>{1, 3}));
+}
+
+TEST(Monitor, ResetClearsHistoryKeepsContract) {
+  Monitor m(0.01, 0.05, 10);
+  m.set_contract(contract(1, 0, 10));
+  for (int i = 0; i < 50; ++i) m.observe(1, 99, 100, microseconds(i));
+  EXPECT_EQ(m.verdict(1), Verdict::kAdversarial);
+  m.reset(1);
+  EXPECT_EQ(m.verdict(1), Verdict::kClean);
+  // Contract still enforced after reset.
+  for (int i = 0; i < 50; ++i) {
+    m.observe(1, 99, 100, milliseconds(1) + microseconds(i));
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kAdversarial);
+}
+
+TEST(Monitor, TenantWithoutContractNeverViolatesBounds) {
+  Monitor m(0.01, 0.05, 10);
+  // Default-constructed contract: bounds [0, kMaxRank], no rate cap.
+  for (int i = 0; i < 100; ++i) {
+    m.observe(9, 123456, 1500, microseconds(i));
+  }
+  EXPECT_EQ(m.verdict(9), Verdict::kClean);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

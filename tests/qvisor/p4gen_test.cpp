@@ -1,0 +1,157 @@
+#include "qvisor/p4gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qvisor/quantile_transform.hpp"
+#include "util/random.hpp"
+
+namespace qv::qvisor {
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo, Rank hi) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+SynthesisPlan make_plan(const std::string& policy_text,
+                        std::vector<TenantSpec> specs,
+                        SynthesizerConfig cfg = {}) {
+  auto parsed = parse_policy(policy_text);
+  Synthesizer synth(cfg);
+  auto r = synth.synthesize(specs, *parsed.policy);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return *r.plan;
+}
+
+TEST(P4Gen, EntriesAgreeWithTransformEverywhere) {
+  SynthesizerConfig cfg;
+  cfg.levels_per_group = 16;
+  const auto plan = make_plan(
+      "a >> b", {tenant(1, "a", 10, 500), tenant(2, "b", 0, 99)}, cfg);
+  for (const auto& tp : plan.tenants) {
+    const auto entries = compile_entries(tp, 1024);
+    // Exhaustive check over and beyond the declared range.
+    for (Rank r = 0; r < 700; ++r) {
+      EXPECT_EQ(apply_entries(entries, tp.tenant, r, kMaxRank),
+                tp.transform.apply(r))
+          << tp.name << " rank " << r;
+    }
+    // Far beyond: clamp entry must cover it.
+    EXPECT_EQ(apply_entries(entries, tp.tenant, kMaxRank - 1, kMaxRank),
+              tp.transform.apply(kMaxRank - 1));
+  }
+}
+
+TEST(P4Gen, EntryCountMatchesLevelsPlusClamps) {
+  SynthesizerConfig cfg;
+  cfg.levels_per_group = 8;
+  const auto plan =
+      make_plan("a", {tenant(1, "a", 100, 1099)}, cfg);  // width 1000
+  const auto entries = compile_entries(plan.tenants[0], 1024);
+  // 8 level entries + below-range clamp + above-range clamp.
+  EXPECT_EQ(entries.size(), 10u);
+}
+
+TEST(P4Gen, CoarsensToFitBudget) {
+  SynthesizerConfig cfg;
+  cfg.levels_per_group = 4096;
+  const auto plan =
+      make_plan("a", {tenant(1, "a", 0, 1u << 20)}, cfg);
+  const auto entries = compile_entries(plan.tenants[0], 64);
+  EXPECT_LE(entries.size(), 64u);
+  // Still monotone and order-preserving at coarser granularity.
+  Rank prev = 0;
+  for (Rank r = 0; r < (1u << 20); r += 4099) {
+    const Rank out = apply_entries(entries, 1, r, kMaxRank);
+    EXPECT_NE(out, kMaxRank);  // covered
+    EXPECT_GE(out, prev);
+    prev = out;
+  }
+}
+
+TEST(P4Gen, QuantileTransformEntriesExact) {
+  auto plan = make_plan("a", {tenant(1, "a", 0, 999)});
+  // Attach a quantile transform with a skewed distribution.
+  RankDistEstimator est(1024);
+  Rng rng(3);
+  for (int i = 0; i < 800; ++i) {
+    est.observe(static_cast<Rank>(rng.next_below(10)), i);
+  }
+  for (int i = 0; i < 200; ++i) {
+    est.observe(static_cast<Rank>(rng.next_below(1000)), i);
+  }
+  std::unordered_map<TenantId, const RankDistEstimator*> estimators{
+      {1, &est}};
+  plan = refine_with_quantiles(plan, estimators);
+  ASSERT_TRUE(plan.tenants[0].quantile.has_value());
+
+  const auto entries = compile_entries(plan.tenants[0], 4096);
+  const auto& q = *plan.tenants[0].quantile;
+  for (Rank r = 0; r < 2000; r += 1) {
+    EXPECT_EQ(apply_entries(entries, 1, r, kMaxRank), q.apply(r))
+        << "rank " << r;
+  }
+  EXPECT_EQ(apply_entries(entries, 1, kMaxRank, 0), q.apply(kMaxRank));
+}
+
+TEST(P4Gen, ProgramContainsStructureAndEntries) {
+  const auto plan = make_plan(
+      "gold >> silver",
+      {tenant(1, "gold", 0, 9), tenant(2, "silver", 0, 9)});
+  const auto result = generate_p4(plan);
+  EXPECT_NE(result.program.find("#include <v1model.p4>"),
+            std::string::npos);
+  EXPECT_NE(result.program.find("table rank_transform"),
+            std::string::npos);
+  EXPECT_NE(result.program.find("tenant_id : exact"), std::string::npos);
+  EXPECT_NE(result.program.find("rank      : range"), std::string::npos);
+  EXPECT_NE(result.program.find("set_rank"), std::string::npos);
+  EXPECT_NE(result.program.find("gold >> silver"), std::string::npos);
+  EXPECT_FALSE(result.entries.empty());
+  // Every emitted entry appears in the program text.
+  for (const auto& e : result.entries) {
+    std::ostringstream needle;
+    needle << "(32w" << e.tenant << ", 32w" << e.lo << " .. 32w" << e.hi
+           << ")";
+    EXPECT_NE(result.program.find(needle.str()), std::string::npos)
+        << needle.str();
+  }
+}
+
+TEST(P4Gen, BestEffortDefaultUsesRankSpaceTop) {
+  SynthesizerConfig cfg;
+  cfg.rank_space = 4096;
+  const auto plan = make_plan("a", {tenant(1, "a", 0, 9)}, cfg);
+  const auto result = generate_p4(plan);
+  EXPECT_NE(result.program.find("best_effort() { hdr.qvisor.rank = 32w4095"),
+            std::string::npos);
+}
+
+TEST(P4Gen, NotesReportCoarsening) {
+  SynthesizerConfig cfg;
+  cfg.levels_per_group = 4096;
+  const auto plan = make_plan("a", {tenant(1, "a", 0, 1u << 20)}, cfg);
+  P4GenOptions options;
+  options.max_entries_per_tenant = 64;
+  const auto result = generate_p4(plan, options);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes[0].find("coarsened"), std::string::npos);
+  EXPECT_NE(result.program.find("coarsened"), std::string::npos);
+}
+
+TEST(P4Gen, MultiTenantEntriesDisjointByTenant) {
+  const auto plan = make_plan(
+      "a + b", {tenant(1, "a", 0, 99), tenant(2, "b", 0, 99)});
+  const auto result = generate_p4(plan);
+  // A rank matching tenant 1's entries must not hit tenant 2's.
+  const Rank out_a = apply_entries(result.entries, 1, 50, kMaxRank);
+  const Rank out_b = apply_entries(result.entries, 2, 50, kMaxRank);
+  EXPECT_EQ(out_a, plan.find("a")->transform.apply(50));
+  EXPECT_EQ(out_b, plan.find("b")->transform.apply(50));
+}
+
+}  // namespace
+}  // namespace qv::qvisor

@@ -1,0 +1,135 @@
+#include "qvisor/preprocessor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::qvisor {
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo, Rank hi) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+SynthesisPlan two_tier_plan() {
+  auto parsed = parse_policy("A >> B");
+  Synthesizer synth;
+  auto r = synth.synthesize(
+      {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)}, *parsed.policy);
+  EXPECT_TRUE(r.ok());
+  return *r.plan;
+}
+
+Packet labeled(TenantId tenant_id, Rank rank) {
+  Packet p;
+  p.tenant = tenant_id;
+  p.rank = rank;
+  p.original_rank = rank;
+  p.size_bytes = 100;
+  return p;
+}
+
+TEST(Preprocessor, RewritesRankPerPlan) {
+  Preprocessor pre;
+  const auto plan = two_tier_plan();
+  pre.install(plan);
+  Packet p = labeled(1, 0);
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(p.rank, plan.find("A")->transform.apply(0));
+  Packet q = labeled(2, 0);
+  ASSERT_TRUE(pre.process(q));
+  EXPECT_EQ(q.rank, plan.find("B")->transform.apply(0));
+  EXPECT_GT(q.rank, p.rank);  // tier order
+}
+
+TEST(Preprocessor, IdempotentAcrossHops) {
+  Preprocessor pre;
+  pre.install(two_tier_plan());
+  Packet p = labeled(1, 42);
+  ASSERT_TRUE(pre.process(p));
+  const Rank first_hop = p.rank;
+  // Second hop: rank already rewritten, original label intact.
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(p.rank, first_hop);
+  EXPECT_EQ(p.original_rank, 42u);
+}
+
+TEST(Preprocessor, CountsPerTenant) {
+  Preprocessor pre;
+  pre.install(two_tier_plan());
+  for (int i = 0; i < 3; ++i) {
+    Packet p = labeled(1, 1);
+    pre.process(p);
+  }
+  Packet q = labeled(2, 1);
+  pre.process(q);
+  EXPECT_EQ(pre.per_tenant().at(1), 3u);
+  EXPECT_EQ(pre.per_tenant().at(2), 1u);
+  EXPECT_EQ(pre.counters().processed, 4u);
+}
+
+TEST(Preprocessor, OutOfBoundsCountedAndClamped) {
+  Preprocessor pre;
+  const auto plan = two_tier_plan();
+  pre.install(plan);
+  Packet p = labeled(1, 9999);  // declared max is 100
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(pre.counters().out_of_bounds, 1u);
+  // Clamped to the declared maximum before transforming.
+  EXPECT_EQ(p.rank, plan.find("A")->transform.apply(100));
+}
+
+TEST(Preprocessor, UnknownTenantBestEffort) {
+  Preprocessor pre(UnknownTenantAction::kBestEffort);
+  const auto plan = two_tier_plan();
+  pre.install(plan);
+  Packet p = labeled(77, 3);
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(p.rank, plan.rank_space - 1);  // bottom of the space
+  EXPECT_EQ(pre.counters().unknown_tenant, 1u);
+}
+
+TEST(Preprocessor, UnknownTenantPassThrough) {
+  Preprocessor pre(UnknownTenantAction::kPassThrough);
+  pre.install(two_tier_plan());
+  Packet p = labeled(77, 3);
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(p.rank, 3u);
+}
+
+TEST(Preprocessor, UnknownTenantDrop) {
+  Preprocessor pre(UnknownTenantAction::kDrop);
+  pre.install(two_tier_plan());
+  Packet p = labeled(77, 3);
+  EXPECT_FALSE(pre.process(p));
+}
+
+TEST(Preprocessor, NoPlanMeansNoTransforms) {
+  Preprocessor pre(UnknownTenantAction::kPassThrough);
+  EXPECT_FALSE(pre.has_plan());
+  Packet p = labeled(1, 5);
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(p.rank, 5u);
+}
+
+TEST(Preprocessor, ReinstallSwapsAtomically) {
+  Preprocessor pre;
+  pre.install(two_tier_plan());
+  // New plan with B on top.
+  auto parsed = parse_policy("B >> A");
+  Synthesizer synth;
+  auto r = synth.synthesize(
+      {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)}, *parsed.policy);
+  ASSERT_TRUE(r.ok());
+  pre.install(*r.plan);
+  Packet a = labeled(1, 0);
+  Packet b = labeled(2, 0);
+  pre.process(a);
+  pre.process(b);
+  EXPECT_LT(b.rank, a.rank);  // order flipped by the new plan
+}
+
+}  // namespace
+}  // namespace qv::qvisor

@@ -1,0 +1,68 @@
+#include "qvisor/rank_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::qvisor {
+namespace {
+
+TEST(RankDistEstimator, EmptyState) {
+  RankDistEstimator est(16);
+  EXPECT_TRUE(est.empty());
+  EXPECT_EQ(est.samples(), 0u);
+  EXPECT_EQ(est.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(est.rate_pps(milliseconds(1)), 0.0);
+}
+
+TEST(RankDistEstimator, BoundsOverWindow) {
+  RankDistEstimator est(16);
+  est.observe(50, 0);
+  est.observe(10, 1);
+  est.observe(90, 2);
+  const auto b = est.bounds();
+  EXPECT_EQ(b.min, 10u);
+  EXPECT_EQ(b.max, 90u);
+  EXPECT_EQ(est.samples(), 3u);
+  EXPECT_EQ(est.last_observation(), 2);
+}
+
+TEST(RankDistEstimator, WindowEvictsOldest) {
+  RankDistEstimator est(4);
+  for (Rank r : {100u, 200u, 300u, 400u}) est.observe(r, 0);
+  // Overwrite the oldest (100) with a small value.
+  est.observe(5, 1);
+  const auto b = est.bounds();
+  EXPECT_EQ(b.min, 5u);
+  EXPECT_EQ(b.max, 400u);
+  EXPECT_EQ(est.samples(), 4u);  // capped at window size
+}
+
+TEST(RankDistEstimator, QuantilesAreOrderStatistics) {
+  RankDistEstimator est(128);
+  for (Rank r = 0; r < 100; ++r) est.observe(r, r);
+  EXPECT_EQ(est.quantile(0.0), 0u);
+  EXPECT_EQ(est.quantile(1.0), 99u);
+  EXPECT_NEAR(est.quantile(0.5), 49.5, 1.0);
+}
+
+TEST(RankDistEstimator, RateOverWindowSpan) {
+  RankDistEstimator est(128);
+  // 11 packets across 10 us -> 1.1 M pps over the span.
+  for (int i = 0; i <= 10; ++i) {
+    est.observe(1, microseconds(i));
+  }
+  EXPECT_NEAR(est.rate_pps(microseconds(10)), 1.1e6, 1e5);
+}
+
+TEST(RankDistEstimator, ResetClears) {
+  RankDistEstimator est(16);
+  est.observe(42, 5);
+  est.reset();
+  EXPECT_TRUE(est.empty());
+  EXPECT_EQ(est.last_observation(), 0);
+  est.observe(7, 9);
+  EXPECT_EQ(est.bounds().min, 7u);
+  EXPECT_EQ(est.bounds().max, 7u);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

@@ -1,0 +1,138 @@
+#include "qvisor/static_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::qvisor {
+namespace {
+
+TenantSpec tenant(TenantId id, const std::string& name, Rank lo, Rank hi) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.declared_bounds = {lo, hi};
+  return spec;
+}
+
+SynthesisPlan plan_for(const std::vector<TenantSpec>& specs,
+                       const std::string& policy_text,
+                       SynthesizerConfig cfg = {}) {
+  auto parsed = parse_policy(policy_text);
+  EXPECT_TRUE(parsed.ok());
+  Synthesizer synth(cfg);
+  auto r = synth.synthesize(specs, *parsed.policy);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return *r.plan;
+}
+
+TEST(StaticAnalyzer, CleanPlanPasses) {
+  const auto specs = std::vector<TenantSpec>{
+      tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)};
+  const auto plan = plan_for(specs, "A >> B");
+  StaticAnalyzer analyzer;
+  const auto report = analyzer.analyze(plan, specs);
+  EXPECT_FALSE(report.has_violations()) << report.to_string();
+}
+
+TEST(StaticAnalyzer, DetectsTierOverlap) {
+  const auto specs = std::vector<TenantSpec>{
+      tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)};
+  auto plan = plan_for(specs, "A >> B");
+  // Sabotage: move B's band on top of A's.
+  for (auto& tp : plan.tenants) {
+    if (tp.name == "B") {
+      tp.transform = RankTransform({0, 100}, 16, /*base=*/0);
+    }
+  }
+  StaticAnalyzer analyzer;
+  const auto report = analyzer.analyze(plan, specs);
+  EXPECT_TRUE(report.has_violations());
+  bool found = false;
+  for (const auto& f : report.findings) {
+    if (f.check == "tier-isolation" &&
+        f.severity == CheckSeverity::kViolation) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.to_string();
+}
+
+TEST(StaticAnalyzer, DetectsRankSpaceOverflow) {
+  const auto specs =
+      std::vector<TenantSpec>{tenant(1, "A", 0, 100)};
+  auto plan = plan_for(specs, "A");
+  plan.tenants[0].transform =
+      RankTransform({0, 100}, 16, plan.rank_space);  // beyond the space
+  StaticAnalyzer analyzer;
+  const auto report = analyzer.analyze(plan, specs);
+  EXPECT_TRUE(report.has_violations());
+}
+
+TEST(StaticAnalyzer, ReportsPreferenceOverlapAsWarning) {
+  const auto specs = std::vector<TenantSpec>{
+      tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)};
+  const auto plan = plan_for(specs, "A > B");
+  StaticAnalyzer analyzer;
+  const auto report = analyzer.analyze(plan, specs);
+  EXPECT_FALSE(report.has_violations()) << report.to_string();
+  EXPECT_TRUE(report.has_warnings());  // overlap is by-design, reported
+}
+
+TEST(StaticAnalyzer, DetectsUnequalSharingBands) {
+  const auto specs = std::vector<TenantSpec>{
+      tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)};
+  auto plan = plan_for(specs, "A + B");
+  for (auto& tp : plan.tenants) {
+    if (tp.name == "B") {
+      // Half-width band: unfair normalization.
+      tp.transform = RankTransform({0, 100},
+                                   plan.tenants[0].transform.levels() / 2,
+                                   tp.transform.base());
+    }
+  }
+  StaticAnalyzer analyzer;
+  const auto report = analyzer.analyze(plan, specs);
+  EXPECT_TRUE(report.has_violations());
+}
+
+TEST(StaticAnalyzer, WorstCaseOvertakeZeroAcrossTiers) {
+  const auto specs = std::vector<TenantSpec>{
+      tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)};
+  const auto plan = plan_for(specs, "A >> B");
+  EXPECT_EQ(StaticAnalyzer::worst_case_overtake(plan, "A", "B"), 0);
+  // In the other direction B is below A, so A "overtakes" trivially.
+  EXPECT_GT(StaticAnalyzer::worst_case_overtake(plan, "B", "A"), 0);
+}
+
+TEST(StaticAnalyzer, WorstCaseOvertakePositiveWithinPreference) {
+  SynthesizerConfig cfg;
+  cfg.levels_per_group = 64;
+  cfg.pref_bias = 16;
+  const auto specs = std::vector<TenantSpec>{
+      tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)};
+  const auto plan = plan_for(specs, "A > B", cfg);
+  // B's best can overtake A's worst by the overlap size.
+  const auto overtake = StaticAnalyzer::worst_case_overtake(plan, "A", "B");
+  EXPECT_GT(overtake, 0);
+  EXPECT_LE(overtake, 64);
+}
+
+TEST(StaticAnalyzer, UnknownTenantOvertakeIsZero) {
+  const auto specs = std::vector<TenantSpec>{tenant(1, "A", 0, 100)};
+  const auto plan = plan_for(specs, "A");
+  EXPECT_EQ(StaticAnalyzer::worst_case_overtake(plan, "A", "NOPE"), 0);
+}
+
+TEST(AnalysisReport, ToStringListsFindings) {
+  const auto specs = std::vector<TenantSpec>{
+      tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)};
+  const auto plan = plan_for(specs, "A >> B");
+  StaticAnalyzer analyzer;
+  const auto report = analyzer.analyze(plan, specs);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("tier-isolation"), std::string::npos);
+  EXPECT_NE(text.find("monotonicity"), std::string::npos);
+  EXPECT_NE(text.find("[OK]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

@@ -1,0 +1,156 @@
+#include "qvisor/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace qv::qvisor {
+namespace {
+
+TEST(RankTransform, IdentityByDefault) {
+  RankTransform t;
+  EXPECT_EQ(t.apply(0), 0u);
+  EXPECT_EQ(t.apply(12345), 12345u);
+  EXPECT_EQ(t.to_string(), "identity");
+}
+
+TEST(RankTransform, PureShift) {
+  // Shift [0, 9] up by 100 with full granularity.
+  RankTransform t({0, 9}, /*levels=*/10, /*base=*/100);
+  for (Rank r = 0; r <= 9; ++r) {
+    EXPECT_EQ(t.apply(r), 100 + r);
+  }
+}
+
+TEST(RankTransform, Fig3TenantT1) {
+  // Paper Fig. 3: T1 ranks {7,8,9} -> {1,2,3}.
+  RankTransform t({7, 9}, 3, 1);
+  EXPECT_EQ(t.apply(7), 1u);
+  EXPECT_EQ(t.apply(8), 2u);
+  EXPECT_EQ(t.apply(9), 3u);
+}
+
+TEST(RankTransform, Fig3TenantT2) {
+  // T2 ranks {1,3} -> {4,6} (band [1,3] onto 3 levels at base 4).
+  RankTransform t({1, 3}, 3, 4);
+  EXPECT_EQ(t.apply(1), 4u);
+  EXPECT_EQ(t.apply(2), 5u);
+  EXPECT_EQ(t.apply(3), 6u);
+}
+
+TEST(RankTransform, Fig3TenantT3) {
+  // T3 ranks {3,5} -> {5,7}.
+  RankTransform t({3, 5}, 3, 5);
+  EXPECT_EQ(t.apply(3), 5u);
+  EXPECT_EQ(t.apply(4), 6u);
+  EXPECT_EQ(t.apply(5), 7u);
+}
+
+TEST(RankTransform, QuantizationCollapsesLevels) {
+  // 100 input ranks onto 4 levels: 25 ranks per level.
+  RankTransform t({0, 99}, 4, 0);
+  EXPECT_EQ(t.apply(0), 0u);
+  EXPECT_EQ(t.apply(24), 0u);
+  EXPECT_EQ(t.apply(25), 1u);
+  EXPECT_EQ(t.apply(99), 3u);
+}
+
+TEST(RankTransform, ClampsOutOfBoundsInputs) {
+  RankTransform t({10, 19}, 10, 100);
+  EXPECT_EQ(t.apply(0), 100u);    // below: clamp to in_min
+  EXPECT_EQ(t.apply(999), 109u);  // above: clamp to in_max
+}
+
+TEST(RankTransform, StrideSpacesLevels) {
+  RankTransform t({0, 3}, 4, 10, /*stride=*/5);
+  EXPECT_EQ(t.apply(0), 10u);
+  EXPECT_EQ(t.apply(1), 15u);
+  EXPECT_EQ(t.apply(2), 20u);
+  EXPECT_EQ(t.apply(3), 25u);
+  EXPECT_EQ(t.out_max(), 25u);
+}
+
+TEST(RankTransform, OutMinMax) {
+  RankTransform t({5, 50}, 8, 64);
+  EXPECT_EQ(t.out_min(), 64u);
+  EXPECT_EQ(t.out_max(), 71u);
+}
+
+TEST(RankTransform, DegenerateSingleValueInput) {
+  RankTransform t({7, 7}, 3, 20);
+  EXPECT_EQ(t.apply(7), 20u);
+  EXPECT_EQ(t.apply(3), 20u);   // clamps up
+  EXPECT_EQ(t.apply(99), 20u);  // clamps down
+}
+
+TEST(RankTransform, LargeInputRangeNoOverflow) {
+  // Full 32-bit input range onto 4096 levels: the multiply must be
+  // carried out in 64 bits.
+  RankTransform t({0, kMaxRank - 1}, 4096, 0);
+  EXPECT_EQ(t.apply(0), 0u);
+  EXPECT_EQ(t.apply(kMaxRank - 1), 4095u);
+  EXPECT_EQ(t.apply(kMaxRank / 2), 2047u);
+}
+
+// Property: monotone for arbitrary parameters — the transform must
+// never reorder a tenant's own packets (§3.2 "without losing their
+// intra-tenant scheduling behavior").
+class TransformMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformMonotone, ApplyIsMonotoneOverInputRange) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rank lo = static_cast<Rank>(rng.next_below(100000));
+    const Rank hi = lo + static_cast<Rank>(rng.next_below(100000));
+    const auto levels =
+        static_cast<std::uint32_t>(1 + rng.next_below(512));
+    const Rank base = static_cast<Rank>(rng.next_below(1 << 20));
+    const auto stride = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    RankTransform t({lo, hi}, levels, base, stride);
+    Rank prev = t.apply(lo);
+    EXPECT_EQ(prev, t.out_min());
+    const std::uint64_t width = static_cast<std::uint64_t>(hi) - lo + 1;
+    const std::uint64_t step = std::max<std::uint64_t>(width / 257, 1);
+    for (std::uint64_t r = lo; r <= hi; r += step) {
+      const Rank cur = t.apply(static_cast<Rank>(r));
+      EXPECT_GE(cur, prev);
+      EXPECT_LE(cur, t.out_max());
+      prev = cur;
+    }
+    // out_max is a tight bound when the input range has at least as
+    // many distinct values as levels; otherwise only an upper bound.
+    EXPECT_LE(t.apply(hi), t.out_max());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformMonotone,
+                         ::testing::Values(10, 20, 30, 40));
+
+// --- TableTransform -----------------------------------------------------
+
+TEST(TableTransform, MatchesClosedForm) {
+  RankTransform t({5, 260}, 16, 1000);
+  TableTransform table = TableTransform::compile(t);
+  EXPECT_EQ(table.entries(), 256u);
+  for (Rank r = 5; r <= 260; ++r) {
+    EXPECT_EQ(table.apply(r), t.apply(r)) << "r=" << r;
+  }
+}
+
+TEST(TableTransform, ClampsLikeClosedForm) {
+  RankTransform t({10, 20}, 11, 50);
+  TableTransform table = TableTransform::compile(t);
+  EXPECT_EQ(table.apply(0), t.apply(0));
+  EXPECT_EQ(table.apply(100), t.apply(100));
+}
+
+TEST(TableTransform, RejectsOversizedRange) {
+  RankTransform t({0, 1u << 24}, 16, 0);
+  EXPECT_THROW(TableTransform::compile(t, 1 << 20),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

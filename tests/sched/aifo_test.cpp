@@ -1,0 +1,100 @@
+#include "sched/aifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace qv::sched {
+namespace {
+
+Packet pkt(Rank rank, std::int32_t bytes = 100) {
+  Packet p;
+  p.rank = rank;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Aifo, FifoOrderAmongAdmitted) {
+  AifoQueue q(10000);
+  q.enqueue(pkt(5), 0);
+  q.enqueue(pkt(1), 0);
+  q.enqueue(pkt(9), 0);
+  EXPECT_EQ(q.dequeue(0)->rank, 5u);  // admission filters, order is FIFO
+  EXPECT_EQ(q.dequeue(0)->rank, 1u);
+  EXPECT_EQ(q.dequeue(0)->rank, 9u);
+}
+
+TEST(Aifo, AdmitsEverythingWhenEmptyBuffer) {
+  AifoQueue q(100000);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(q.enqueue(pkt(static_cast<Rank>(i)), 0));
+  }
+}
+
+TEST(Aifo, QuantileEstimate) {
+  AifoQueue q(100000, /*window=*/10);
+  for (Rank r = 0; r < 10; ++r) q.enqueue(pkt(r), 0);
+  EXPECT_DOUBLE_EQ(q.quantile_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(q.quantile_of(5), 0.5);
+  EXPECT_DOUBLE_EQ(q.quantile_of(10), 1.0);
+}
+
+TEST(Aifo, WindowSlides) {
+  AifoQueue q(1'000'000, /*window=*/4);
+  for (Rank r : {100u, 100u, 100u, 100u}) q.enqueue(pkt(r), 0);
+  // Window full of 100s; rank 50 is quantile 0.
+  EXPECT_DOUBLE_EQ(q.quantile_of(50), 0.0);
+  for (Rank r : {10u, 10u, 10u, 10u}) q.enqueue(pkt(r), 0);
+  // Now the window is all 10s.
+  EXPECT_DOUBLE_EQ(q.quantile_of(50), 1.0);
+}
+
+TEST(Aifo, HighRanksRejectedUnderPressure) {
+  // Small buffer nearly full: only low-quantile ranks admitted.
+  AifoQueue q(1000, /*window=*/32, /*k=*/0.1);
+  Rng rng(5);
+  // Fill with mixed ranks until occupancy is high.
+  for (int i = 0; i < 9; ++i) {
+    q.enqueue(pkt(static_cast<Rank>(rng.next_below(100))), 0);
+  }
+  // Occupancy 900/1000 -> headroom 0.1 -> threshold ~0.11: only ranks in
+  // the lowest ~decile of the window may enter.
+  const std::uint64_t before = q.counters().dropped;
+  q.enqueue(pkt(99), 0);  // the very worst rank
+  EXPECT_GT(q.counters().dropped, before);
+}
+
+TEST(Aifo, LowRankAdmittedUnderPressure) {
+  AifoQueue q(1000, /*window=*/32, /*k=*/0.1);
+  for (int i = 0; i < 9; ++i) q.enqueue(pkt(50, 100), 0);
+  // Rank 0 is below every window entry: quantile 0 <= threshold.
+  EXPECT_TRUE(q.enqueue(pkt(0, 100), 0));
+}
+
+TEST(Aifo, NeverExceedsBuffer) {
+  AifoQueue q(500);
+  for (int i = 0; i < 50; ++i) q.enqueue(pkt(0, 100), 0);
+  EXPECT_LE(q.buffered_bytes(), 500);
+}
+
+TEST(Aifo, PrioritizationEmergent) {
+  // Under sustained overload, low ranks should be delivered at a higher
+  // rate than high ranks (AIFO's headline property).
+  AifoQueue q(2000, 64, 0.2);
+  Rng rng(7);
+  int low_delivered = 0;
+  int high_delivered = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const bool low = rng.next_bool(0.5);
+    q.enqueue(pkt(low ? 10 : 900, 100), 0);
+    if (i % 3 == 0) {  // drain slower than arrivals: overload
+      if (auto p = q.dequeue(0)) {
+        (p->rank <= 10 ? low_delivered : high_delivered)++;
+      }
+    }
+  }
+  EXPECT_GT(low_delivered, high_delivered * 2);
+}
+
+}  // namespace
+}  // namespace qv::sched

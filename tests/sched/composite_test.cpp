@@ -1,0 +1,127 @@
+#include "sched/rank/composite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/rank/edf.hpp"
+#include "sched/rank/pfabric.hpp"
+
+namespace qv::sched {
+namespace {
+
+Packet flow_packet(std::int64_t remaining, TimeNs deadline = kTimeMax) {
+  Packet p;
+  p.remaining_bytes = remaining;
+  p.deadline = deadline;
+  p.size_bytes = 1500;
+  return p;
+}
+
+RankerPtr pfabric() {
+  return std::make_shared<PFabricRanker>(1500, 1000);
+}
+
+RankerPtr edf() {
+  return std::make_shared<EdfRanker>(microseconds(100), 100);
+}
+
+TEST(Lexicographic, PrimaryDominates) {
+  LexicographicRanker lex(pfabric(), edf(), 64);
+  // Smaller remaining always wins regardless of deadline.
+  const Rank small_far =
+      lex.rank(flow_packet(1500, seconds(1)), 0);   // 1 MTU, lazy deadline
+  const Rank big_close =
+      lex.rank(flow_packet(150'000, microseconds(50)), 0);  // urgent
+  EXPECT_LT(small_far, big_close);
+}
+
+TEST(Lexicographic, SecondaryBreaksTies) {
+  LexicographicRanker lex(pfabric(), edf(), 64);
+  // Same remaining size: the closer deadline wins.
+  const Rank urgent =
+      lex.rank(flow_packet(15'000, microseconds(200)), 0);
+  const Rank lazy = lex.rank(flow_packet(15'000, milliseconds(9)), 0);
+  EXPECT_LT(urgent, lazy);
+}
+
+TEST(Lexicographic, BoundsCoverOutputs) {
+  LexicographicRanker lex(pfabric(), edf(), 64);
+  const auto b = lex.bounds();
+  for (std::int64_t rem : {0ll, 1500ll, 1'000'000ll}) {
+    for (TimeNs dl : {microseconds(10), milliseconds(5), kTimeMax}) {
+      const Rank r = lex.rank(flow_packet(rem, dl), 0);
+      EXPECT_GE(r, b.min);
+      EXPECT_LE(r, b.max);
+    }
+  }
+}
+
+TEST(Lexicographic, SaturatesInsteadOfOverflowing) {
+  auto wide = std::make_shared<PFabricRanker>(1, kMaxRank - 1);
+  LexicographicRanker lex(wide, edf(), 1024);
+  const Rank r = lex.rank(flow_packet(2'000'000'000), 0);
+  EXPECT_EQ(r, kMaxRank);  // clamped, not wrapped
+}
+
+TEST(Lexicographic, NameReflectsComponents) {
+  LexicographicRanker lex(pfabric(), edf(), 8);
+  EXPECT_EQ(lex.name(), "lex(pfabric, edf)");
+}
+
+TEST(Weighted, PureSingleComponentMatchesNormalized) {
+  WeightedRanker w({{pfabric(), 1.0}}, 1000);
+  // remaining 0 -> rank 0 -> normalized 0 -> 0.
+  EXPECT_EQ(w.rank(flow_packet(0), 0), 0u);
+  // remaining at the max rank: normalized ~1 -> resolution - 1.
+  EXPECT_EQ(w.rank(flow_packet(1'000'000'000), 0), 999u);
+}
+
+TEST(Weighted, BlendInterpolates) {
+  // 50/50 blend of "most urgent by size" and "least urgent by deadline"
+  // must land strictly between the two pure ranks.
+  WeightedRanker w({{pfabric(), 0.5}, {edf(), 0.5}}, 1000);
+  const Rank r = w.rank(flow_packet(0, kTimeMax), 0);
+  EXPECT_GT(r, 0u);
+  EXPECT_LT(r, 999u);
+}
+
+TEST(Weighted, WeightsShiftTheBlend) {
+  // Same packet, increasing weight on the (maximal) EDF component
+  // increases the blended rank.
+  const Packet p = flow_packet(0, kTimeMax);
+  WeightedRanker mostly_size({{pfabric(), 0.9}, {edf(), 0.1}}, 1000);
+  WeightedRanker mostly_deadline({{pfabric(), 0.1}, {edf(), 0.9}}, 1000);
+  EXPECT_LT(mostly_size.rank(p, 0), mostly_deadline.rank(p, 0));
+}
+
+TEST(Weighted, MonotoneInEachObjective) {
+  WeightedRanker w({{pfabric(), 0.7}, {edf(), 0.3}}, 1 << 16);
+  Rank prev = 0;
+  for (std::int64_t rem = 0; rem <= 1'500'000; rem += 150'000) {
+    const Rank cur = w.rank(flow_packet(rem, milliseconds(1)), 0);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Weighted, BoundsAreResolution) {
+  WeightedRanker w({{pfabric(), 1.0}, {edf(), 2.0}}, 4096);
+  EXPECT_EQ(w.bounds().min, 0u);
+  EXPECT_EQ(w.bounds().max, 4095u);
+  EXPECT_EQ(w.name(), "blend(pfabric, edf)");
+}
+
+TEST(Composite, ComposesRecursively) {
+  // A lexicographic ranker whose secondary is itself a blend.
+  auto blend = std::make_shared<WeightedRanker>(
+      std::vector<WeightedRanker::Component>{{pfabric(), 0.5},
+                                             {edf(), 0.5}},
+      256);
+  LexicographicRanker lex(pfabric(), blend, 16);
+  const Rank a = lex.rank(flow_packet(1500, microseconds(100)), 0);
+  const Rank b = lex.rank(flow_packet(150'000, microseconds(100)), 0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(lex.name(), "lex(pfabric, blend(pfabric, edf))");
+}
+
+}  // namespace
+}  // namespace qv::sched

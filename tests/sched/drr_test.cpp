@@ -1,0 +1,106 @@
+#include "sched/drr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace qv::sched {
+namespace {
+
+Packet pkt(TenantId tenant, std::int32_t bytes = 100, FlowId flow = 0) {
+  Packet p;
+  p.tenant = tenant;
+  p.size_bytes = bytes;
+  p.flow = flow;
+  return p;
+}
+
+TEST(Drr, RoundRobinsAcrossClasses) {
+  DrrQueue q(/*quantum=*/100);
+  for (int i = 0; i < 3; ++i) {
+    q.enqueue(pkt(1, 100), 0);
+    q.enqueue(pkt(2, 100), 0);
+  }
+  std::vector<TenantId> out;
+  while (auto p = q.dequeue(0)) out.push_back(p->tenant);
+  // Each class sends one quantum (one packet) per round.
+  EXPECT_EQ(out, (std::vector<TenantId>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Drr, EqualByteShareWithUnequalPacketSizes) {
+  // Class 1 sends 500-byte packets, class 2 sends 100-byte packets.
+  DrrQueue q(/*quantum=*/500);
+  for (int i = 0; i < 20; ++i) q.enqueue(pkt(1, 500), 0);
+  for (int i = 0; i < 100; ++i) q.enqueue(pkt(2, 100), 0);
+  std::map<TenantId, std::int64_t> bytes;
+  // Dequeue the first 5000 bytes and compare shares.
+  std::int64_t total = 0;
+  while (total < 5000) {
+    auto p = q.dequeue(0);
+    ASSERT_TRUE(p.has_value());
+    bytes[p->tenant] += p->size_bytes;
+    total += p->size_bytes;
+  }
+  EXPECT_NEAR(static_cast<double>(bytes[1]),
+              static_cast<double>(bytes[2]), 500.0);
+}
+
+TEST(Drr, SingleClassIsFifo) {
+  DrrQueue q(100);
+  q.enqueue(pkt(1, 100, 10), 0);
+  q.enqueue(pkt(1, 100, 11), 0);
+  EXPECT_EQ(q.dequeue(0)->flow, 10u);
+  EXPECT_EQ(q.dequeue(0)->flow, 11u);
+}
+
+TEST(Drr, LargePacketEventuallySendsWithSmallQuantum) {
+  DrrQueue q(/*quantum=*/100);
+  q.enqueue(pkt(1, 1500), 0);  // needs 15 quanta
+  auto p = q.dequeue(0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size_bytes, 1500);
+}
+
+TEST(Drr, IdleClassDoesNotAccumulateCredit) {
+  DrrQueue q(100);
+  q.enqueue(pkt(1, 100), 0);
+  ASSERT_TRUE(q.dequeue(0).has_value());  // class 1 retires empty
+  // Later both classes are backlogged: class 1 must not have banked
+  // credit from its idle period.
+  for (int i = 0; i < 4; ++i) {
+    q.enqueue(pkt(1, 100), 0);
+    q.enqueue(pkt(2, 100), 0);
+  }
+  std::map<TenantId, int> first_four;
+  for (int i = 0; i < 4; ++i) ++first_four[q.dequeue(0)->tenant];
+  EXPECT_EQ(first_four[1], 2);
+  EXPECT_EQ(first_four[2], 2);
+}
+
+TEST(Drr, CustomClassifier) {
+  DrrQueue q(100, 0, [](const Packet& p) { return p.flow % 2; });
+  q.enqueue(pkt(1, 100, 0), 0);
+  q.enqueue(pkt(1, 100, 1), 0);
+  q.enqueue(pkt(1, 100, 2), 0);
+  q.enqueue(pkt(1, 100, 3), 0);
+  std::vector<FlowId> out;
+  while (auto p = q.dequeue(0)) out.push_back(p->flow);
+  EXPECT_EQ(out, (std::vector<FlowId>{0, 1, 2, 3}));
+}
+
+TEST(Drr, BufferLimitDrops) {
+  DrrQueue q(100, 250);
+  EXPECT_TRUE(q.enqueue(pkt(1, 100), 0));
+  EXPECT_TRUE(q.enqueue(pkt(2, 100), 0));
+  EXPECT_FALSE(q.enqueue(pkt(3, 100), 0));
+  EXPECT_EQ(q.counters().dropped, 1u);
+}
+
+TEST(Drr, EmptyDequeue) {
+  DrrQueue q(100);
+  EXPECT_FALSE(q.dequeue(0).has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace qv::sched

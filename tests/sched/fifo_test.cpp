@@ -1,0 +1,77 @@
+#include "sched/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::sched {
+namespace {
+
+Packet pkt(FlowId flow, std::int32_t bytes = 100, Rank rank = 0) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  p.rank = rank;
+  return p;
+}
+
+TEST(Fifo, FirstInFirstOut) {
+  FifoQueue q;
+  q.enqueue(pkt(1), 0);
+  q.enqueue(pkt(2), 0);
+  q.enqueue(pkt(3), 0);
+  EXPECT_EQ(q.dequeue(0)->flow, 1u);
+  EXPECT_EQ(q.dequeue(0)->flow, 2u);
+  EXPECT_EQ(q.dequeue(0)->flow, 3u);
+  EXPECT_FALSE(q.dequeue(0).has_value());
+}
+
+TEST(Fifo, IgnoresRanks) {
+  FifoQueue q;
+  q.enqueue(pkt(1, 100, 99), 0);
+  q.enqueue(pkt(2, 100, 1), 0);
+  EXPECT_EQ(q.dequeue(0)->flow, 1u);  // arrival order, not rank order
+}
+
+TEST(Fifo, ByteAccounting) {
+  FifoQueue q;
+  q.enqueue(pkt(1, 700), 0);
+  q.enqueue(pkt(2, 300), 0);
+  EXPECT_EQ(q.buffered_bytes(), 1000);
+  EXPECT_EQ(q.size(), 2u);
+  q.dequeue(0);
+  EXPECT_EQ(q.buffered_bytes(), 300);
+}
+
+TEST(Fifo, DropTailWhenFull) {
+  FifoQueue q(250);
+  EXPECT_TRUE(q.enqueue(pkt(1, 100), 0));
+  EXPECT_TRUE(q.enqueue(pkt(2, 100), 0));
+  EXPECT_FALSE(q.enqueue(pkt(3, 100), 0));  // would exceed 250
+  EXPECT_EQ(q.counters().dropped, 1u);
+  EXPECT_EQ(q.counters().dropped_bytes, 100u);
+  EXPECT_EQ(q.size(), 2u);
+  // Order of survivors unchanged.
+  EXPECT_EQ(q.dequeue(0)->flow, 1u);
+}
+
+TEST(Fifo, UnboundedByDefault) {
+  FifoQueue q;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(q.enqueue(pkt(static_cast<FlowId>(i), 1500), 0));
+  }
+  EXPECT_EQ(q.size(), 10000u);
+  EXPECT_EQ(q.counters().dropped, 0u);
+}
+
+TEST(Fifo, CountersTrackLifecycle) {
+  FifoQueue q;
+  q.enqueue(pkt(1), 0);
+  q.enqueue(pkt(2), 0);
+  q.dequeue(0);
+  EXPECT_EQ(q.counters().enqueued, 2u);
+  EXPECT_EQ(q.counters().dequeued, 1u);
+  EXPECT_TRUE(!q.empty());
+  EXPECT_EQ(q.name(), "fifo");
+}
+
+}  // namespace
+}  // namespace qv::sched

@@ -1,0 +1,222 @@
+#include "sched/pifo_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace qv::sched {
+namespace {
+
+using Node = PifoTreeSpec::Node;
+using Policy = PifoTreeSpec::NodePolicy;
+
+Packet pkt(TenantId tenant, Rank rank, std::int32_t bytes = 100) {
+  Packet p;
+  p.tenant = tenant;
+  p.rank = rank;
+  p.size_bytes = bytes;
+  return p;
+}
+
+/// Classifier: tenant id IS the leaf index.
+std::size_t by_tenant(const Packet& p) { return p.tenant; }
+
+Node leaf(std::string label, double weight = 1.0) {
+  Node n;
+  n.policy = Policy::kLeaf;
+  n.label = std::move(label);
+  n.weight = weight;
+  return n;
+}
+
+Node inner(Policy policy, std::vector<Node> children) {
+  Node n;
+  n.policy = policy;
+  n.children = std::move(children);
+  return n;
+}
+
+TEST(PifoTree, SingleLeafIsAPifo) {
+  PifoTreeSpec spec;
+  spec.root = leaf("only");
+  PifoTreeQueue q(spec, by_tenant);
+  q.enqueue(pkt(0, 30), 0);
+  q.enqueue(pkt(0, 10), 0);
+  q.enqueue(pkt(0, 20), 0);
+  EXPECT_EQ(q.dequeue(0)->rank, 10u);
+  EXPECT_EQ(q.dequeue(0)->rank, 20u);
+  EXPECT_EQ(q.dequeue(0)->rank, 30u);
+  EXPECT_FALSE(q.dequeue(0).has_value());
+}
+
+TEST(PifoTree, LeafCount) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kStrict,
+                    {leaf("a"), inner(Policy::kWfq, {leaf("b"), leaf("c")})});
+  EXPECT_EQ(spec.leaf_count(), 3u);
+  PifoTreeQueue q(spec, by_tenant);
+  EXPECT_EQ(q.leaf_count(), 3u);
+}
+
+TEST(PifoTree, StrictNodeDrainsFirstChildFirst) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kStrict, {leaf("hi"), leaf("lo")});
+  PifoTreeQueue q(spec, by_tenant);
+  q.enqueue(pkt(1, 0), 0);   // low-priority leaf, best rank
+  q.enqueue(pkt(0, 99), 0);  // high-priority leaf, worst rank
+  EXPECT_EQ(q.dequeue(0)->tenant, 0u);  // strict child order wins
+  EXPECT_EQ(q.dequeue(0)->tenant, 1u);
+}
+
+TEST(PifoTree, StrictPreemptsMidDrain) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kStrict, {leaf("hi"), leaf("lo")});
+  PifoTreeQueue q(spec, by_tenant);
+  q.enqueue(pkt(1, 1), 0);
+  q.enqueue(pkt(1, 2), 0);
+  EXPECT_EQ(q.dequeue(0)->tenant, 1u);
+  q.enqueue(pkt(0, 5), 0);  // arrives at the strict child
+  EXPECT_EQ(q.dequeue(0)->tenant, 0u);
+  EXPECT_EQ(q.dequeue(0)->tenant, 1u);
+}
+
+TEST(PifoTree, WfqSharesEquallyBetweenBackloggedLeaves) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kWfq, {leaf("a"), leaf("b")});
+  PifoTreeQueue q(spec, by_tenant);
+  for (int i = 0; i < 10; ++i) {
+    q.enqueue(pkt(0, static_cast<Rank>(i), 100), 0);
+    q.enqueue(pkt(1, static_cast<Rank>(i), 100), 0);
+  }
+  std::map<TenantId, int> first_ten;
+  for (int i = 0; i < 10; ++i) ++first_ten[q.dequeue(0)->tenant];
+  EXPECT_EQ(first_ten[0], 5);
+  EXPECT_EQ(first_ten[1], 5);
+}
+
+TEST(PifoTree, WfqHonorsWeights) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kWfq, {leaf("heavy", 3.0), leaf("light", 1.0)});
+  PifoTreeQueue q(spec, by_tenant);
+  for (int i = 0; i < 40; ++i) {
+    q.enqueue(pkt(0, 0, 100), 0);
+    q.enqueue(pkt(1, 0, 100), 0);
+  }
+  std::map<TenantId, int> first;
+  for (int i = 0; i < 24; ++i) ++first[q.dequeue(0)->tenant];
+  // 3:1 split of the first 24 dequeues = 18 vs 6 (within rounding).
+  EXPECT_NEAR(first[0], 18, 2);
+  EXPECT_NEAR(first[1], 6, 2);
+}
+
+TEST(PifoTree, WfqByteFairnessWithUnequalPackets) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kWfq, {leaf("big"), leaf("small")});
+  PifoTreeQueue q(spec, by_tenant);
+  for (int i = 0; i < 10; ++i) q.enqueue(pkt(0, 0, 500), 0);
+  for (int i = 0; i < 50; ++i) q.enqueue(pkt(1, 0, 100), 0);
+  std::map<TenantId, std::int64_t> bytes;
+  std::int64_t total = 0;
+  while (total < 4000) {
+    auto p = q.dequeue(0);
+    ASSERT_TRUE(p.has_value());
+    bytes[p->tenant] += p->size_bytes;
+    total += p->size_bytes;
+  }
+  EXPECT_NEAR(static_cast<double>(bytes[0]),
+              static_cast<double>(bytes[1]), 600.0);
+}
+
+TEST(PifoTree, IdleWfqChildBanksNoCredit) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kWfq, {leaf("a"), leaf("b")});
+  PifoTreeQueue q(spec, by_tenant);
+  // Leaf a sends alone for a while.
+  for (int i = 0; i < 20; ++i) q.enqueue(pkt(0, 0, 100), 0);
+  for (int i = 0; i < 20; ++i) q.dequeue(0);
+  // Now both are backlogged: b must not monopolize to "catch up".
+  for (int i = 0; i < 10; ++i) {
+    q.enqueue(pkt(0, 0, 100), 0);
+    q.enqueue(pkt(1, 0, 100), 0);
+  }
+  std::map<TenantId, int> first;
+  for (int i = 0; i < 10; ++i) ++first[q.dequeue(0)->tenant];
+  EXPECT_NEAR(first[0], 5, 1);
+  EXPECT_NEAR(first[1], 5, 1);
+}
+
+TEST(PifoTree, HierarchyStrictOverWfq) {
+  // root strict: [vip, wfq(a, b)]
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kStrict,
+                    {leaf("vip"), inner(Policy::kWfq, {leaf("a"), leaf("b")})});
+  PifoTreeQueue q(spec, by_tenant);
+  q.enqueue(pkt(1, 0), 0);  // a
+  q.enqueue(pkt(2, 0), 0);  // b
+  q.enqueue(pkt(0, 9), 0);  // vip, bad rank — still first
+  EXPECT_EQ(q.dequeue(0)->tenant, 0u);
+  // Then a and b interleave.
+  const TenantId first = q.dequeue(0)->tenant;
+  const TenantId second = q.dequeue(0)->tenant;
+  EXPECT_NE(first, second);
+}
+
+TEST(PifoTree, RankOrderWithinLeafUnderHierarchy) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kWfq, {leaf("a"), leaf("b")});
+  PifoTreeQueue q(spec, by_tenant);
+  q.enqueue(pkt(0, 30), 0);
+  q.enqueue(pkt(0, 10), 0);
+  q.enqueue(pkt(0, 20), 0);
+  std::vector<Rank> a_ranks;
+  while (auto p = q.dequeue(0)) a_ranks.push_back(p->rank);
+  EXPECT_EQ(a_ranks, (std::vector<Rank>{10, 20, 30}));
+}
+
+TEST(PifoTree, BufferLimitDrops) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kWfq, {leaf("a"), leaf("b")});
+  PifoTreeQueue q(spec, by_tenant, 250);
+  EXPECT_TRUE(q.enqueue(pkt(0, 1, 100), 0));
+  EXPECT_TRUE(q.enqueue(pkt(1, 1, 100), 0));
+  EXPECT_FALSE(q.enqueue(pkt(0, 1, 100), 0));
+  EXPECT_EQ(q.counters().dropped, 1u);
+}
+
+TEST(PifoTree, OutOfRangeClassifierClamps) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kStrict, {leaf("a"), leaf("b")});
+  PifoTreeQueue q(spec, [](const Packet&) { return std::size_t{99}; });
+  q.enqueue(pkt(0, 1), 0);
+  EXPECT_EQ(q.leaf_size(1), 1u);  // clamped to the last leaf
+  EXPECT_TRUE(q.dequeue(0).has_value());
+}
+
+TEST(PifoTree, SizeAndBytesAccounting) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kStrict, {leaf("a"), leaf("b")});
+  PifoTreeQueue q(spec, by_tenant);
+  q.enqueue(pkt(0, 1, 700), 0);
+  q.enqueue(pkt(1, 1, 300), 0);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.buffered_bytes(), 1000);
+  q.dequeue(0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.buffered_bytes(), 300);
+}
+
+TEST(PifoTreeSpec, ToStringShowsStructure) {
+  PifoTreeSpec spec;
+  spec.root = inner(Policy::kStrict,
+                    {leaf("vip"), inner(Policy::kWfq, {leaf("a", 2.0),
+                                                       leaf("b")})});
+  const std::string text = spec.to_string();
+  EXPECT_NE(text.find("strict"), std::string::npos);
+  EXPECT_NE(text.find("wfq"), std::string::npos);
+  EXPECT_NE(text.find("vip"), std::string::npos);
+  EXPECT_NE(text.find("w=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qv::sched

@@ -1,0 +1,129 @@
+#include "sched/sp_pifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/pifo.hpp"
+#include "util/random.hpp"
+
+namespace qv::sched {
+namespace {
+
+Packet pkt(Rank rank, FlowId flow = 0) {
+  Packet p;
+  p.flow = flow;
+  p.rank = rank;
+  p.size_bytes = 100;
+  return p;
+}
+
+TEST(SpPifo, SingleQueueDegeneratesToFifo) {
+  SpPifoQueue q(1);
+  q.enqueue(pkt(9, 1), 0);
+  q.enqueue(pkt(1, 2), 0);
+  EXPECT_EQ(q.dequeue(0)->flow, 1u);
+  EXPECT_EQ(q.dequeue(0)->flow, 2u);
+}
+
+TEST(SpPifo, SeparatesDistinctRankBands) {
+  SpPifoQueue q(4);
+  // Feed a repeating pattern long enough for bounds to adapt.
+  for (int round = 0; round < 32; ++round) {
+    for (Rank r : {100u, 200u, 300u, 400u}) {
+      q.enqueue(pkt(r, r), 0);
+    }
+  }
+  // After adaptation, a fresh burst must dequeue low ranks first.
+  while (q.dequeue(0)) {
+  }
+  q.enqueue(pkt(400, 4), 0);
+  q.enqueue(pkt(300, 3), 0);
+  q.enqueue(pkt(200, 2), 0);
+  q.enqueue(pkt(100, 1), 0);
+  std::vector<FlowId> out;
+  while (auto p = q.dequeue(0)) out.push_back(p->flow);
+  EXPECT_EQ(out, (std::vector<FlowId>{1, 2, 3, 4}));
+}
+
+TEST(SpPifo, CountsInversions) {
+  SpPifoQueue q(2);
+  q.enqueue(pkt(10), 0);  // bottom queue, bound -> 10
+  q.enqueue(pkt(20), 0);  // bottom queue, bound -> 20
+  q.enqueue(pkt(5), 0);   // top queue, bound -> 5
+  // Rank below EVERY bound: push-up inversion at the head queue.
+  q.enqueue(pkt(3), 0);
+  EXPECT_GE(q.inversions(), 1u);
+}
+
+TEST(SpPifo, BoundsAdaptDownOnInversion) {
+  SpPifoQueue q(2);
+  q.enqueue(pkt(10), 0);  // bottom queue, bound -> 10
+  q.enqueue(pkt(5), 0);   // top queue, bound -> 5
+  const Rank before = q.bound(0);
+  ASSERT_EQ(before, 5u);
+  q.enqueue(pkt(2), 0);  // inversion: all bounds decrease by 3
+  EXPECT_LT(q.bound(0), before);
+  EXPECT_GE(q.inversions(), 1u);
+}
+
+TEST(SpPifo, BufferedDrops) {
+  SpPifoQueue q(2, 150);
+  EXPECT_TRUE(q.enqueue(pkt(1), 0));
+  EXPECT_FALSE(q.enqueue(pkt(2), 0));
+  EXPECT_EQ(q.counters().dropped, 1u);
+}
+
+// Property (the SP-PIFO paper's empirical claim): with more queues, the
+// number of rank inversions relative to a perfect PIFO does not grow —
+// more queues approximate PIFO better on random workloads.
+class SpPifoQuality : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpPifoQuality, MoreQueuesMeanFewerOrEqualInversions) {
+  const std::size_t queues = GetParam();
+  auto run = [](std::size_t nq) {
+    Rng rng(1234);
+    SpPifoQueue q(nq);
+    std::uint64_t inversions = 0;
+    Rank last = 0;
+    for (int i = 0; i < 20000; ++i) {
+      q.enqueue(pkt(static_cast<Rank>(rng.next_below(1000))), 0);
+      if (i % 4 == 3) {
+        // Dequeue one; count observed output inversions.
+        auto p = q.dequeue(0);
+        if (p && p->rank < last) ++inversions;
+        if (p) last = p->rank;
+      }
+    }
+    return inversions;
+  };
+  const std::uint64_t few = run(2);
+  const std::uint64_t more = run(queues);
+  EXPECT_LE(more, few + few / 4) << "queues=" << queues;
+}
+
+INSTANTIATE_TEST_SUITE_P(QueueCounts, SpPifoQuality,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(SpPifo, ApproximatesPifoOrderBetterThanFifo) {
+  // Kendall-tau-lite: count pairwise order violations versus ideal PIFO
+  // on an identical arrival sequence; SP-PIFO(8) must beat SP-PIFO(1).
+  auto violations = [](std::size_t nq) {
+    Rng rng(99);
+    SpPifoQueue q(nq);
+    std::vector<Rank> out;
+    for (int i = 0; i < 2000; ++i) {
+      q.enqueue(pkt(static_cast<Rank>(rng.next_below(500))), 0);
+    }
+    while (auto p = q.dequeue(0)) out.push_back(p->rank);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (out[i] > out[i + 1]) ++v;
+    }
+    return v;
+  };
+  EXPECT_LT(violations(8), violations(1));
+}
+
+}  // namespace
+}  // namespace qv::sched

@@ -1,0 +1,93 @@
+#include "sched/strict_priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qv::sched {
+namespace {
+
+Packet pkt(Rank rank, FlowId flow = 0, std::int32_t bytes = 100) {
+  Packet p;
+  p.flow = flow;
+  p.rank = rank;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(StrictPriority, HighestPriorityQueueDrainsFirst) {
+  StrictPriorityBank bank(4, 0, /*rank_space=*/256);
+  // Default map: 64 ranks per queue.
+  bank.enqueue(pkt(200, 1), 0);  // queue 3
+  bank.enqueue(pkt(10, 2), 0);   // queue 0
+  bank.enqueue(pkt(100, 3), 0);  // queue 1
+  EXPECT_EQ(bank.dequeue(0)->flow, 2u);
+  EXPECT_EQ(bank.dequeue(0)->flow, 3u);
+  EXPECT_EQ(bank.dequeue(0)->flow, 1u);
+}
+
+TEST(StrictPriority, FifoWithinQueue) {
+  StrictPriorityBank bank(2, 0, 256);
+  bank.enqueue(pkt(10, 1), 0);
+  bank.enqueue(pkt(5, 2), 0);  // same queue (both < 128), FIFO
+  EXPECT_EQ(bank.dequeue(0)->flow, 1u);
+  EXPECT_EQ(bank.dequeue(0)->flow, 2u);
+}
+
+TEST(StrictPriority, CustomQueueMap) {
+  StrictPriorityBank bank(3, 0, 256);
+  bank.set_queue_map([](const Packet& p) {
+    return p.tenant == 7 ? std::size_t{0} : std::size_t{2};
+  });
+  Packet vip = pkt(255, 1);
+  vip.tenant = 7;
+  Packet norm = pkt(0, 2);
+  norm.tenant = 1;
+  bank.enqueue(norm, 0);
+  bank.enqueue(vip, 0);
+  EXPECT_EQ(bank.dequeue(0)->flow, 1u);  // tenant 7 wins despite rank 255
+}
+
+TEST(StrictPriority, MapResultClamped) {
+  StrictPriorityBank bank(2, 0, 256);
+  bank.set_queue_map([](const Packet&) { return std::size_t{99}; });
+  EXPECT_TRUE(bank.enqueue(pkt(1), 0));
+  EXPECT_EQ(bank.queue_length(1), 1u);
+}
+
+TEST(StrictPriority, SharedBufferDrops) {
+  StrictPriorityBank bank(2, 150, 256);
+  EXPECT_TRUE(bank.enqueue(pkt(0, 1, 100), 0));
+  EXPECT_FALSE(bank.enqueue(pkt(200, 2, 100), 0));
+  EXPECT_EQ(bank.counters().dropped, 1u);
+}
+
+TEST(StrictPriority, SizeAndBytes) {
+  StrictPriorityBank bank(4, 0, 256);
+  bank.enqueue(pkt(0, 1, 100), 0);
+  bank.enqueue(pkt(200, 2, 200), 0);
+  EXPECT_EQ(bank.size(), 2u);
+  EXPECT_EQ(bank.buffered_bytes(), 300);
+  bank.dequeue(0);
+  EXPECT_EQ(bank.size(), 1u);
+  EXPECT_EQ(bank.buffered_bytes(), 200);
+}
+
+TEST(StrictPriority, EmptyDequeue) {
+  StrictPriorityBank bank(4);
+  EXPECT_FALSE(bank.dequeue(0).has_value());
+}
+
+TEST(StrictPriority, InterleavedArrivalsRespectPriority) {
+  StrictPriorityBank bank(2, 0, 2);
+  std::vector<FlowId> out;
+  bank.enqueue(pkt(1, 1), 0);  // low prio queue
+  bank.enqueue(pkt(1, 2), 0);
+  EXPECT_EQ(bank.dequeue(0)->flow, 1u);
+  bank.enqueue(pkt(0, 3), 0);  // high prio arrives mid-drain
+  EXPECT_EQ(bank.dequeue(0)->flow, 3u);
+  EXPECT_EQ(bank.dequeue(0)->flow, 2u);
+}
+
+}  // namespace
+}  // namespace qv::sched

@@ -1,0 +1,130 @@
+#include "telemetry/fct_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::telemetry {
+namespace {
+
+Packet delivery(FlowId flow, std::int32_t bytes,
+                TimeNs deadline = kTimeMax) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  p.deadline = deadline;
+  return p;
+}
+
+TEST(FctTracker, CompletesWhenAllBytesArrive) {
+  FctTracker t;
+  t.on_flow_start(1, 10, 3000, microseconds(100));
+  t.on_packet_delivered(delivery(1, 1500), microseconds(200));
+  EXPECT_EQ(t.flows_completed(), 0u);
+  t.on_packet_delivered(delivery(1, 1500), microseconds(300));
+  EXPECT_EQ(t.flows_completed(), 1u);
+  const FlowRecord* r = t.find(1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->complete());
+  EXPECT_EQ(r->fct(), microseconds(200));
+}
+
+TEST(FctTracker, UnregisteredFlowIgnored) {
+  FctTracker t;
+  t.on_packet_delivered(delivery(99, 1500), 0);
+  EXPECT_EQ(t.flows_started(), 0u);
+  EXPECT_EQ(t.find(99), nullptr);
+}
+
+TEST(FctTracker, ExtraPacketsAfterCompletionIgnored) {
+  FctTracker t;
+  t.on_flow_start(1, 10, 1000, 0);
+  t.on_packet_delivered(delivery(1, 1000), microseconds(10));
+  t.on_packet_delivered(delivery(1, 1000), microseconds(20));
+  EXPECT_EQ(t.flows_completed(), 1u);
+  EXPECT_EQ(t.find(1)->fct(), microseconds(10));
+}
+
+TEST(FctTracker, FilterByTenant) {
+  FctTracker t;
+  t.on_flow_start(1, /*tenant=*/7, 100, 0);
+  t.on_flow_start(2, /*tenant=*/8, 100, 0);
+  t.on_packet_delivered(delivery(1, 100), milliseconds(1));
+  t.on_packet_delivered(delivery(2, 100), milliseconds(2));
+  FlowFilter f;
+  f.tenant = 7;
+  const auto s = t.fct_ms(f);
+  ASSERT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+}
+
+TEST(FctTracker, FilterBySizeBuckets) {
+  FctTracker t;
+  t.on_flow_start(1, 0, 50'000, 0);     // small
+  t.on_flow_start(2, 0, 500'000, 0);    // mid
+  t.on_flow_start(3, 0, 5'000'000, 0);  // large
+  for (FlowId f : {1u, 2u, 3u}) {
+    t.on_packet_delivered(delivery(f, 5'000'000), milliseconds(1));
+  }
+  FlowFilter small;
+  small.max_bytes = 100'000;
+  FlowFilter large;
+  large.min_bytes = 1'000'000;
+  EXPECT_EQ(t.fct_ms(small).count(), 1u);
+  EXPECT_EQ(t.fct_ms(large).count(), 1u);
+  EXPECT_EQ(t.fct_ms(FlowFilter{}).count(), 3u);
+}
+
+TEST(FctTracker, FilterByStartWindow) {
+  FctTracker t;
+  t.on_flow_start(1, 0, 100, milliseconds(1));
+  t.on_flow_start(2, 0, 100, milliseconds(5));
+  t.on_flow_start(3, 0, 100, milliseconds(9));
+  for (FlowId f : {1u, 2u, 3u}) {
+    t.on_packet_delivered(delivery(f, 100), milliseconds(10));
+  }
+  FlowFilter window;
+  window.started_from = milliseconds(2);
+  window.started_to = milliseconds(9);  // exclusive
+  EXPECT_EQ(t.fct_ms(window).count(), 1u);
+}
+
+TEST(FctTracker, IncompleteCounted) {
+  FctTracker t;
+  t.on_flow_start(1, 0, 3000, 0);
+  t.on_packet_delivered(delivery(1, 1500), microseconds(10));
+  FlowFilter f;
+  EXPECT_EQ(t.incomplete(f), 1u);
+  EXPECT_EQ(t.fct_ms(f).count(), 0u);
+}
+
+TEST(FctTracker, LowerBoundIncludesCensoredFlows) {
+  FctTracker t;
+  t.on_flow_start(1, 0, 100, 0);
+  t.on_flow_start(2, 0, 100, 0);
+  t.on_packet_delivered(delivery(1, 100), milliseconds(2));
+  // Flow 2 never completes; horizon at 10 ms.
+  const auto s = t.fct_lower_bound_ms(FlowFilter{}, milliseconds(10));
+  ASSERT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), (2.0 + 10.0) / 2.0);
+}
+
+TEST(DeadlineTracker, MetAndMissed) {
+  DeadlineTracker d;
+  d.on_packet_delivered(delivery(1, 100, milliseconds(5)), milliseconds(4));
+  d.on_packet_delivered(delivery(1, 100, milliseconds(5)), milliseconds(5));
+  d.on_packet_delivered(delivery(1, 100, milliseconds(5)), milliseconds(7));
+  EXPECT_EQ(d.met(), 2u);
+  EXPECT_EQ(d.missed(), 1u);
+  EXPECT_NEAR(d.met_fraction(), 2.0 / 3.0, 1e-12);
+  ASSERT_EQ(d.lateness_ms().count(), 1u);
+  EXPECT_DOUBLE_EQ(d.lateness_ms().mean(), 2.0);
+}
+
+TEST(DeadlineTracker, NoDeadlinePacketsIgnored) {
+  DeadlineTracker d;
+  d.on_packet_delivered(delivery(1, 100, kTimeMax), seconds(100));
+  EXPECT_EQ(d.met() + d.missed(), 0u);
+  EXPECT_DOUBLE_EQ(d.met_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace qv::telemetry

@@ -1,0 +1,79 @@
+#include "telemetry/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace qv::telemetry {
+namespace {
+
+Packet delivery(FlowId flow, std::int32_t bytes) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(TraceIo, CsvHasHeaderAndRows) {
+  FctTracker t;
+  t.on_flow_start(2, 7, 100, microseconds(5));
+  t.on_flow_start(1, 7, 100, microseconds(1));
+  t.on_packet_delivered(delivery(1, 100), microseconds(11));
+  // Flow 2 stays incomplete.
+  std::ostringstream out;
+  write_flow_csv(out, t);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("flow,tenant,size_bytes,started_ns,completed_ns,"
+                     "fct_ms"),
+            std::string::npos);
+  // Sorted by flow id: flow 1 before flow 2.
+  const auto pos1 = csv.find("\n1,7,100,1000,11000,0.01");
+  const auto pos2 = csv.find("\n2,7,100,5000,,");
+  EXPECT_NE(pos1, std::string::npos) << csv;
+  EXPECT_NE(pos2, std::string::npos) << csv;
+  EXPECT_LT(pos1, pos2);
+}
+
+TEST(TraceIo, FilterApplies) {
+  FctTracker t;
+  t.on_flow_start(1, 7, 100, 0);
+  t.on_flow_start(2, 8, 100, 0);
+  t.on_packet_delivered(delivery(1, 100), microseconds(1));
+  t.on_packet_delivered(delivery(2, 100), microseconds(1));
+  FlowFilter only7;
+  only7.tenant = 7;
+  std::ostringstream out;
+  write_flow_csv(out, t, only7);
+  EXPECT_NE(out.str().find("\n1,7"), std::string::npos);
+  EXPECT_EQ(out.str().find("\n2,8"), std::string::npos);
+}
+
+TEST(TraceIo, SelectSortedAndFiltered) {
+  FctTracker t;
+  t.on_flow_start(30, 1, 10, 0);
+  t.on_flow_start(10, 1, 10, 0);
+  t.on_flow_start(20, 2, 10, 0);
+  FlowFilter f;
+  f.tenant = 1;
+  const auto records = t.select(f);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]->flow, 10u);
+  EXPECT_EQ(records[1]->flow, 30u);
+}
+
+TEST(TraceIo, FileWrite) {
+  FctTracker t;
+  t.on_flow_start(1, 1, 10, 0);
+  const std::string path = ::testing::TempDir() + "/qvisor_trace_test.csv";
+  save_flow_csv(path, t);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "flow,tenant,size_bytes,started_ns,completed_ns,fct_ms");
+}
+
+}  // namespace
+}  // namespace qv::telemetry

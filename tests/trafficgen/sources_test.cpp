@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+#include "sched/fifo.hpp"
+#include "sched/rank/edf.hpp"
+#include "sched/rank/pfabric.hpp"
+#include "trafficgen/cbr_source.hpp"
+#include "trafficgen/host_source.hpp"
+
+namespace qv::trafficgen {
+namespace {
+
+struct Rig {
+  netsim::Simulator sim;
+  netsim::Network net{sim};
+  netsim::Host* src = nullptr;
+  netsim::Host* dst = nullptr;
+  std::vector<Packet> delivered;
+
+  Rig() {
+    src = &net.add_host("src");
+    dst = &net.add_host("dst");
+    auto* sw = &net.add_switch("sw");
+    auto factory = [](const netsim::PortContext&) {
+      return std::make_unique<sched::FifoQueue>();
+    };
+    net.connect_bidir(*src, *sw, gbps(1), 0, factory);
+    net.connect_bidir(*dst, *sw, gbps(1), 0, factory);
+    net.compute_routes();
+    dst->set_sink([this](const Packet& p) { delivered.push_back(p); });
+  }
+};
+
+TEST(HostSource, SendsWholeFlowInMtuPackets) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::PFabricRanker>(1, 1 << 24);
+  HostSource source(rig.sim, *rig.src, 1, ranker, gbps(1));
+  source.start_flow(42, rig.dst->id(), 4000);
+  rig.sim.run();
+  ASSERT_EQ(rig.delivered.size(), 3u);  // 1500 + 1500 + 1000
+  std::int64_t bytes = 0;
+  for (const auto& p : rig.delivered) bytes += p.size_bytes;
+  EXPECT_EQ(bytes, 4000);
+  EXPECT_EQ(rig.delivered.back().size_bytes, 1000);
+  EXPECT_TRUE(rig.delivered.back().last_of_flow);
+  EXPECT_FALSE(rig.delivered.front().last_of_flow);
+}
+
+TEST(HostSource, RanksCarryRemainingSize) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::PFabricRanker>(1, 1 << 24);
+  HostSource source(rig.sim, *rig.src, 1, ranker, gbps(1));
+  source.start_flow(1, rig.dst->id(), 4000);
+  rig.sim.run();
+  ASSERT_EQ(rig.delivered.size(), 3u);
+  EXPECT_EQ(rig.delivered[0].original_rank, 4000u);
+  EXPECT_EQ(rig.delivered[1].original_rank, 2500u);
+  EXPECT_EQ(rig.delivered[2].original_rank, 1000u);
+  for (const auto& p : rig.delivered) {
+    EXPECT_EQ(p.tenant, 1u);
+    EXPECT_EQ(p.rank, p.original_rank);  // no QVISOR in this rig
+  }
+}
+
+TEST(HostSource, SrptAcrossConcurrentFlows) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::PFabricRanker>(1, 1 << 24);
+  HostSource source(rig.sim, *rig.src, 1, ranker, gbps(1));
+  source.start_flow(1, rig.dst->id(), 30'000);  // long
+  source.start_flow(2, rig.dst->id(), 3'000);   // short
+  rig.sim.run();
+  // The short flow's packets must be delivered before the long flow
+  // finishes (local SRPT): find positions of flow 2's last packet and
+  // flow 1's last packet.
+  std::size_t last_short = 0;
+  std::size_t last_long = 0;
+  for (std::size_t i = 0; i < rig.delivered.size(); ++i) {
+    if (rig.delivered[i].flow == 2) last_short = i;
+    if (rig.delivered[i].flow == 1) last_long = i;
+  }
+  EXPECT_LT(last_short, last_long);
+}
+
+TEST(HostSource, PacesAtConfiguredRate) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::PFabricRanker>(1, 1 << 24);
+  // Pace at half the link rate: emissions every 24 us.
+  HostSource source(rig.sim, *rig.src, 1, ranker, mbps(500));
+  source.start_flow(1, rig.dst->id(), 4500);
+  std::vector<TimeNs> times;
+  rig.dst->set_sink(
+      [&](const Packet&) { times.push_back(rig.sim.now()); });
+  rig.sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[1] - times[0], microseconds(24));
+  EXPECT_EQ(times[2] - times[1], microseconds(24));
+}
+
+TEST(HostSource, FlowSentCallbackFires) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::PFabricRanker>(1, 1 << 24);
+  HostSource source(rig.sim, *rig.src, 1, ranker, gbps(1));
+  FlowId done = 0;
+  source.set_on_flow_sent([&](FlowId f, TimeNs) { done = f; });
+  source.start_flow(5, rig.dst->id(), 1500);
+  rig.sim.run();
+  EXPECT_EQ(done, 5u);
+  EXPECT_EQ(source.active_flows(), 0u);
+  EXPECT_EQ(source.packets_sent(), 1u);
+}
+
+TEST(CbrSource, EmitsAtConfiguredRate) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::EdfRanker>(microseconds(1), 1 << 16);
+  // 0.5 Gb/s with 1500 B packets: one packet every 24 us.
+  CbrSource cbr(rig.sim, *rig.src, rig.dst->id(), 1, 2, ranker, mbps(500),
+                milliseconds(1), 0, milliseconds(1));
+  rig.sim.run();
+  // ~1 ms / 24 us ≈ 41-42 packets.
+  EXPECT_NEAR(static_cast<double>(cbr.packets_sent()), 42.0, 2.0);
+  EXPECT_EQ(rig.delivered.size(), cbr.packets_sent());
+}
+
+TEST(CbrSource, SetsDeadlinesAndTenant) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::EdfRanker>(microseconds(1), 1 << 16);
+  CbrSource cbr(rig.sim, *rig.src, rig.dst->id(), 7, 2, ranker, mbps(500),
+                milliseconds(2), 0, microseconds(100));
+  rig.sim.run();
+  ASSERT_FALSE(rig.delivered.empty());
+  for (const auto& p : rig.delivered) {
+    EXPECT_EQ(p.tenant, 2u);
+    EXPECT_EQ(p.flow, 7u);
+    EXPECT_EQ(p.deadline, p.created_at + milliseconds(2));
+    EXPECT_NE(p.deadline, kTimeMax);
+  }
+}
+
+TEST(CbrSource, StopsAtStopTime) {
+  Rig rig;
+  auto ranker = std::make_shared<sched::EdfRanker>(microseconds(1), 1 << 16);
+  CbrSource cbr(rig.sim, *rig.src, rig.dst->id(), 1, 2, ranker, mbps(500),
+                milliseconds(1), microseconds(100), microseconds(200));
+  rig.sim.run();
+  // Window of 100 us at one packet per 24 us: at most 5 packets.
+  EXPECT_LE(cbr.packets_sent(), 5u);
+  EXPECT_GE(cbr.packets_sent(), 3u);
+}
+
+}  // namespace
+}  // namespace qv::trafficgen

@@ -1,0 +1,67 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace qv {
+namespace {
+
+TEST(Units, TimeConstructors) {
+  EXPECT_EQ(nanoseconds(5), 5);
+  EXPECT_EQ(microseconds(3), 3'000);
+  EXPECT_EQ(milliseconds(2), 2'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(9)), 9.0);
+}
+
+TEST(Units, RateConstructors) {
+  EXPECT_EQ(kbps(1), 1'000);
+  EXPECT_EQ(mbps(1), 1'000'000);
+  EXPECT_EQ(gbps(1), 1'000'000'000);
+  EXPECT_EQ(kilobytes(2), 2'000);
+  EXPECT_EQ(megabytes(3), 3'000'000);
+}
+
+TEST(Units, SerializationDelayExact) {
+  // 1500 bytes at 1 Gb/s = 12000 bits / 1e9 bps = 12 us.
+  EXPECT_EQ(serialization_delay(1500, gbps(1)), microseconds(12));
+  // 1500 bytes at 4 Gb/s = 3 us.
+  EXPECT_EQ(serialization_delay(1500, gbps(4)), microseconds(3));
+}
+
+TEST(Units, SerializationDelayRoundsUp) {
+  // 1 byte at 3 bps = 8/3 s = 2.666..s -> 2666666667 ns (rounded up).
+  EXPECT_EQ(serialization_delay(1, 3), 2'666'666'667);
+}
+
+TEST(Units, SerializationDelayZeroBytes) {
+  EXPECT_EQ(serialization_delay(0, gbps(1)), 0);
+}
+
+TEST(Units, SerializationDelayLargeTransferNoOverflow) {
+  // 1 TB at 100 Gb/s = 80 seconds.
+  const std::int64_t tb = 1'000'000'000'000;
+  EXPECT_EQ(serialization_delay(tb, gbps(100)), seconds(80));
+}
+
+TEST(Units, SerializationNeverFasterThanRate) {
+  for (std::int64_t bytes : {1, 73, 1499, 1500, 9001}) {
+    for (BitsPerSec rate : {mbps(1), mbps(333), gbps(1), gbps(40)}) {
+      const TimeNs d = serialization_delay(bytes, rate);
+      // d must be >= exact time: bits * 1e9 / rate.
+      const double exact = static_cast<double>(bytes) * 8e9 /
+                           static_cast<double>(rate);
+      EXPECT_GE(static_cast<double>(d) + 1e-6, exact)
+          << bytes << "B @ " << rate;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qv

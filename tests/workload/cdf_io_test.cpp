@@ -1,0 +1,70 @@
+#include "workload/cdf_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qv::workload {
+namespace {
+
+TEST(CdfIo, ParsesNetbenchFormat) {
+  std::istringstream in(
+      "# pFabric-style cdf\n"
+      "100 0.0\n"
+      "\n"
+      "500 0.5   # half the flows\n"
+      "1000 1.0\n");
+  const Cdf cdf = read_cdf(in);
+  EXPECT_DOUBLE_EQ(cdf.min(), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 500.0);
+}
+
+TEST(CdfIo, RejectsMalformedLines) {
+  {
+    std::istringstream in("100\n200 1.0\n");
+    EXPECT_THROW(read_cdf(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("100 0.0 junk\n200 1.0\n");
+    EXPECT_THROW(read_cdf(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("100 0.5\n200 0.4\n300 1.0\n");
+    EXPECT_THROW(read_cdf(in), std::invalid_argument);  // decreasing
+  }
+  {
+    std::istringstream in("100 0.0\n200 0.9\n");
+    EXPECT_THROW(read_cdf(in), std::invalid_argument);  // no terminal 1.0
+  }
+}
+
+TEST(CdfIo, RoundTripsThroughText) {
+  const Cdf original = data_mining_cdf();
+  std::ostringstream out;
+  write_cdf(out, original);
+  std::istringstream in(out.str());
+  const Cdf parsed = read_cdf(in);
+  ASSERT_EQ(parsed.points().size(), original.points().size());
+  for (std::size_t i = 0; i < parsed.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.points()[i].value,
+                     original.points()[i].value);
+    EXPECT_DOUBLE_EQ(parsed.points()[i].probability,
+                     original.points()[i].probability);
+  }
+  EXPECT_NEAR(parsed.mean(), original.mean(), 1e-6);
+}
+
+TEST(CdfIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/qvisor_cdf_test.cdf";
+  save_cdf_file(path, web_search_cdf());
+  const Cdf loaded = load_cdf_file(path);
+  EXPECT_DOUBLE_EQ(loaded.max(), web_search_cdf().max());
+}
+
+TEST(CdfIo, MissingFileThrows) {
+  EXPECT_THROW(load_cdf_file("/nonexistent/path.cdf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qv::workload

@@ -1,0 +1,94 @@
+#include "workload/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qv::workload {
+namespace {
+
+TEST(Cdf, RejectsMalformedInputs) {
+  EXPECT_THROW(Cdf({{1, 1.0}}), std::invalid_argument);  // one point
+  EXPECT_THROW(Cdf({{1, 0.0}, {2, 0.9}}), std::invalid_argument);  // !=1
+  EXPECT_THROW(Cdf({{1, 0.5}, {2, 0.2}, {3, 1.0}}),
+               std::invalid_argument);  // decreasing prob
+  EXPECT_THROW(Cdf({{5, 0.0}, {2, 1.0}}),
+               std::invalid_argument);  // decreasing value
+  EXPECT_THROW(Cdf({{1, -0.1}, {2, 1.0}}), std::invalid_argument);
+}
+
+TEST(Cdf, QuantileInterpolatesLinearly) {
+  Cdf cdf({{0, 0.0}, {100, 1.0}});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, MeanOfUniform) {
+  Cdf cdf({{0, 0.0}, {100, 1.0}});
+  EXPECT_NEAR(cdf.mean(), 50.0, 1e-9);
+}
+
+TEST(Cdf, PointMassAtFront) {
+  // 50% of flows are exactly 100 bytes.
+  Cdf cdf({{100, 0.5}, {1000, 1.0}});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 100.0);
+  EXPECT_GT(cdf.quantile(0.51), 100.0);
+  // Mean = 0.5*100 + 0.5*(100+1000)/2 = 50 + 275.
+  EXPECT_NEAR(cdf.mean(), 325.0, 1e-9);
+}
+
+TEST(Cdf, SamplesRespectSupport) {
+  Cdf cdf = data_mining_cdf();
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = cdf.sample(rng);
+    EXPECT_GE(v, cdf.min());
+    EXPECT_LE(v, cdf.max());
+  }
+}
+
+TEST(Cdf, SampleMeanConvergesToAnalyticMean) {
+  Cdf cdf = web_search_cdf();
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kDraws = 300000;
+  for (int i = 0; i < kDraws; ++i) sum += cdf.sample(rng);
+  EXPECT_NEAR(sum / kDraws / cdf.mean(), 1.0, 0.05);
+}
+
+TEST(DataMiningCdf, HeavyTailShape) {
+  Cdf cdf = data_mining_cdf();
+  // ~80% of flows under 100 KB (the paper's "small flows" bucket)...
+  EXPECT_LE(cdf.quantile(0.8), 100'000.0);
+  // ...while the tail reaches tens of MB.
+  EXPECT_GE(cdf.max(), 10'000'000.0);
+  // Mean dominated by the tail: far above the median.
+  EXPECT_GT(cdf.mean(), 10 * cdf.quantile(0.5));
+}
+
+TEST(DataMiningCdf, TruncationRenormalizes) {
+  Cdf cdf = data_mining_cdf(1'000'000.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 1'000'000.0);
+  EXPECT_LT(cdf.mean(), data_mining_cdf().mean());
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(cdf.sample(rng), 1'000'000.0);
+  }
+}
+
+TEST(WebSearchCdf, LighterTailThanDataMining) {
+  // The web-search workload has a much lighter tail: its mean relative
+  // to max is larger than data mining's.
+  Cdf ws = web_search_cdf();
+  Cdf dm = data_mining_cdf();
+  EXPECT_LT(ws.max(), dm.max());
+}
+
+TEST(Cdf, TruncationBelowSmallestValueThrows) {
+  EXPECT_THROW(data_mining_cdf(10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qv::workload
