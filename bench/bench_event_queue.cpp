@@ -1,0 +1,176 @@
+// Micro-benchmarks for the discrete-event core. The simulator runs one
+// event per packet hop, so schedule/run_next throughput bounds overall
+// simulation speed; cancel throughput matters for retransmission
+// timers (reliable_source.hpp cancels one timer per delivered ack).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "netsim/event.hpp"
+#include "netsim/packet.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace qv;
+using namespace qv::netsim;
+
+/// The seed implementation, reproduced verbatim from the pre-refactor
+/// EventQueue: a std::priority_queue of std::function entries with a
+/// lazily-skimmed cancelled-id hash set. Kept here as the "before"
+/// side of BENCH_hotpath.json so both sides run under the identical
+/// harness.
+class LegacyHeapEventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  EventId schedule(TimeNs at, Fn fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    ++live_;
+    return id;
+  }
+
+  void cancel(EventId id) {
+    if (id == 0 || id >= next_id_) return;
+    if (cancelled_.insert(id).second && live_ > 0) --live_;
+  }
+
+  TimeNs run_next() {
+    skim();
+    const TimeNs at = heap_.top().at;
+    Fn fn = std::move(heap_.top().fn);
+    heap_.pop();
+    --live_;
+    fn();
+    return at;
+  }
+
+ private:
+  struct Entry {
+    TimeNs at;
+    EventId id;
+    mutable Fn fn;
+
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void skim() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+/// Steady-state churn at depth ~`depth`: run one event, schedule one.
+/// Templated over the queue so the current and legacy implementations
+/// run under the identical harness.
+template <class Queue>
+void run_schedule_run(benchmark::State& state) {
+  Queue q;
+  Rng rng(3);
+  const int depth = static_cast<int>(state.range(0));
+  TimeNs now = 0;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < depth; ++i) {
+    q.schedule(static_cast<TimeNs>(rng.next_below(1000)),
+               [&sink] { ++sink; });
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    now = q.run_next();
+    q.schedule(now + 1 + static_cast<TimeNs>(rng.next_below(1000)),
+               [&sink] { ++sink; });
+    ops += 2;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(ops);
+}
+
+void BM_EventScheduleRun(benchmark::State& state) {
+  run_schedule_run<EventQueue>(state);
+}
+BENCHMARK(BM_EventScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_LegacyEventScheduleRun(benchmark::State& state) {
+  run_schedule_run<LegacyHeapEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// The retransmission-timer pattern: schedule a timer, cancel it before
+/// it fires (plus a baseline event churn to keep the heap busy).
+template <class Queue>
+void run_schedule_cancel(benchmark::State& state) {
+  Queue q;
+  Rng rng(5);
+  TimeNs now = 1;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const EventId timer =
+        q.schedule(now + 1000 + static_cast<TimeNs>(rng.next_below(1000)),
+                   [] {});
+    q.schedule(now + static_cast<TimeNs>(rng.next_below(100)), [] {});
+    now = q.run_next();
+    q.cancel(timer);
+    ops += 3;
+  }
+  state.SetItemsProcessed(ops);
+}
+
+void BM_EventScheduleCancel(benchmark::State& state) {
+  run_schedule_cancel<EventQueue>(state);
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+void BM_LegacyEventScheduleCancel(benchmark::State& state) {
+  run_schedule_cancel<LegacyHeapEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventScheduleCancel);
+
+/// Packet-sized captures: the payload every Link callback carries.
+template <class Queue>
+void run_packet_capture(benchmark::State& state) {
+  Queue q;
+  Packet pkt;
+  pkt.size_bytes = 1500;
+  std::int64_t sink = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    q.schedule(static_cast<TimeNs>(ops),
+               [pkt, &sink] { sink += pkt.size_bytes; });
+    q.run_next();
+    ops += 2;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(ops);
+}
+
+void BM_EventPacketCapture(benchmark::State& state) {
+  run_packet_capture<EventQueue>(state);
+}
+BENCHMARK(BM_EventPacketCapture);
+
+void BM_LegacyEventPacketCapture(benchmark::State& state) {
+  run_packet_capture<LegacyHeapEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventPacketCapture);
+
+}  // namespace
+
+BENCHMARK_MAIN();

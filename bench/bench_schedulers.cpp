@@ -3,9 +3,12 @@
 // rank stream (ablation "scheduler micro-costs" in DESIGN.md).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "sched/aifo.hpp"
+#include "sched/bucketed_pifo.hpp"
 #include "sched/calendar_queue.hpp"
 #include "sched/drr.hpp"
 #include "sched/fifo.hpp"
@@ -27,17 +30,40 @@ Packet make_packet(Rng& rng, Rank rank_space) {
   return p;
 }
 
-/// Steady-state: keep ~`depth` packets buffered, alternating bursts.
-void run_steady_state(benchmark::State& state, sched::Scheduler& q,
-                      Rank rank_space) {
+/// Steady-state: keep `depth` packets buffered, one enqueue per
+/// dequeue. Harness hygiene, applied identically to every queue type:
+///   * arrivals come from a pre-generated 1024-packet ring (rx-ring
+///     style). The seed harness built each packet in the loop — three
+///     RNG calls per pair, plus a store-forwarding stall on the
+///     immediately-copied fresh packet, which together cost more than
+///     an entire bucketed enqueue;
+///   * 16 pairs run per benchmark iteration (the system Google
+///     benchmark library is a debug build whose per-iteration
+///     bookkeeping would otherwise swamp a ~20 ns operation);
+///   * the harness is a template, so the measured calls devirtualize —
+///     the numbers are the data structures, not the vtable.
+template <class Queue>
+void run_steady_state(benchmark::State& state, Queue& q, Rank rank_space,
+                      int depth = 256) {
+  constexpr int kUnroll = 16;
+  constexpr std::size_t kRing = 1024;  // power of two: cheap cycling
   Rng rng(7);
-  constexpr int kDepth = 256;
-  for (int i = 0; i < kDepth; ++i) q.enqueue(make_packet(rng, rank_space), 0);
+  std::vector<Packet> ring;
+  ring.reserve(kRing);
+  for (std::size_t i = 0; i < kRing; ++i) {
+    ring.push_back(make_packet(rng, rank_space));
+  }
+  for (int i = 0; i < depth; ++i) {
+    q.enqueue(ring[static_cast<std::size_t>(i) & (kRing - 1)], 0);
+  }
   std::int64_t ops = 0;
+  std::size_t next = static_cast<std::size_t>(depth);
   for (auto _ : state) {
-    q.enqueue(make_packet(rng, rank_space), 0);
-    benchmark::DoNotOptimize(q.dequeue(0));
-    ops += 2;
+    for (int i = 0; i < kUnroll; ++i) {
+      q.enqueue(ring[next++ & (kRing - 1)], 0);
+      benchmark::DoNotOptimize(q.dequeue(0));
+    }
+    ops += 2 * kUnroll;
   }
   state.SetItemsProcessed(ops);
 }
@@ -54,12 +80,65 @@ void BM_Pifo(benchmark::State& state) {
 }
 BENCHMARK(BM_Pifo);
 
+// The narrow-rank (256-level) pair is the headline before/after: the
+// same post-QVISOR quantized stream through the seed ordered-set
+// backend and the flat bucketed backend, at several steady-state
+// buffer depths (Arg = buffered packets; 256 ≈ shallow ToR port,
+// 4096 ≈ 6 MB deep-buffered port).
+
 void BM_PifoNarrowRanks(benchmark::State& state) {
   // Quantized ranks (post-QVISOR): many ties, different tree shape.
+  // Rank space deliberately NOT declared: reference std::set backend.
   sched::PifoQueue q;
-  run_steady_state(state, q, 256);
+  run_steady_state(state, q, 256, static_cast<int>(state.range(0)));
 }
-BENCHMARK(BM_PifoNarrowRanks);
+BENCHMARK(BM_PifoNarrowRanks)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BucketedPifoNarrowRanks(benchmark::State& state) {
+  // Same narrow-rank stream through the flat bucketed backend — the
+  // post-synthesis configuration QVISOR ports select automatically.
+  sched::PifoQueue q(/*buffer_bytes=*/0, /*rank_space=*/256);
+  run_steady_state(state, q, 256, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_BucketedPifoNarrowRanks)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BucketedPifoDirect(benchmark::State& state) {
+  // The data structure itself, without the PifoQueue wrapper: what a
+  // caller holding the concrete type (or a fused pipeline) pays.
+  sched::BucketedPifo q(/*rank_space=*/256);
+  run_steady_state(state, q, 256, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_BucketedPifoDirect)->Arg(256)->Arg(4096);
+
+void BM_BucketedPifoWideRanks(benchmark::State& state) {
+  // Worst auto-selected case: 64k buckets, sparse occupancy.
+  sched::PifoQueue q(/*buffer_bytes=*/0, /*rank_space=*/1 << 16);
+  run_steady_state(state, q, 1 << 16);
+}
+BENCHMARK(BM_BucketedPifoWideRanks);
+
+void BM_BucketedPifoEvicting(benchmark::State& state) {
+  // Byte-budget steady state: every enqueue can trigger a
+  // find-last-set eviction.
+  sched::BucketedPifo q(/*rank_space=*/256,
+                        /*buffer_bytes=*/64 * 1500);
+  Rng rng(7);
+  constexpr std::size_t kStream = 8192;
+  std::vector<Packet> stream;
+  stream.reserve(kStream);
+  for (std::size_t i = 0; i < kStream; ++i) {
+    stream.push_back(make_packet(rng, 256));
+  }
+  std::int64_t ops = 0;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    q.enqueue(stream[next++ & (kStream - 1)], 0);
+    benchmark::DoNotOptimize(q.size());
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BucketedPifoEvicting);
 
 void BM_SpPifo(benchmark::State& state) {
   sched::SpPifoQueue q(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Run the data-plane hot-path benchmarks and emit BENCH_hotpath.json.
+
+Each benchmark binary carries the seed ("before") implementation next to
+the current ("after") one — LegacyMapPreprocessor, LegacyHeapEventQueue,
+and the std::set PIFO backend are compiled into the same binary — so one
+run of the release-bench build produces honest before/after pairs under
+an identical harness, compiler, and machine.
+
+Usage:
+    python3 bench/run_benchmarks.py [--build-dir build-release-bench]
+        [--out BENCH_hotpath.json] [--repetitions 3] [--min-time 0.5]
+
+Methodology notes recorded in the output:
+  * each suite is run --runs times; per benchmark the BEST median over
+    --repetitions in-run repetitions is kept. Shared-machine noise is
+    one-sided (a neighbour can only slow a deterministic loop down), so
+    best-of-runs is the least-disturbed measurement, and it is applied
+    to the before and after sides alike;
+  * items/sec counts one item per enqueue and one per dequeue (a
+    steady-state pair is two items);
+  * the harness feeds packets from a pre-generated ring and batches 16
+    pairs per benchmark iteration, applied identically to both sides
+    (see bench_schedulers.cpp for why).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+PAIRS = {
+    # metric -> (before benchmark, after benchmark)
+    "pifo_narrow_256level_depth256": (
+        "BM_PifoNarrowRanks/256",
+        "BM_BucketedPifoNarrowRanks/256",
+    ),
+    "pifo_narrow_256level_depth1024": (
+        "BM_PifoNarrowRanks/1024",
+        "BM_BucketedPifoNarrowRanks/1024",
+    ),
+    "pifo_narrow_256level_depth4096": (
+        "BM_PifoNarrowRanks/4096",
+        "BM_BucketedPifoNarrowRanks/4096",
+    ),
+    "preprocessor_scalar_8tenants": (
+        "BM_PreprocessorLegacyMap/8",
+        "BM_PreprocessorProcess/8",
+    ),
+    "preprocessor_scalar_32tenants": (
+        "BM_PreprocessorLegacyMap/32",
+        "BM_PreprocessorProcess/32",
+    ),
+    "preprocessor_batch_8tenants": (
+        "BM_PreprocessorLegacyMap/8",
+        "BM_PreprocessorBatch/8",
+    ),
+    "event_queue_schedule_run_1024": (
+        "BM_LegacyEventScheduleRun/1024",
+        "BM_EventScheduleRun/1024",
+    ),
+    "event_queue_schedule_cancel": (
+        "BM_LegacyEventScheduleCancel",
+        "BM_EventScheduleCancel",
+    ),
+    "event_queue_packet_capture": (
+        "BM_LegacyEventPacketCapture",
+        "BM_EventPacketCapture",
+    ),
+}
+
+# After-only context: no seed twin exists in-binary, recorded for the
+# table in README.md and for regression tracking.
+EXTRAS = [
+    "BM_BucketedPifoDirect/256",
+    "BM_BucketedPifoDirect/4096",
+    "BM_BucketedPifoWideRanks",
+    "BM_BucketedPifoEvicting",
+    "BM_SpPifo/2",
+    "BM_SpPifo/8",
+    "BM_SpPifo/32",
+    "BM_QvisorPortEnqueueDequeue",
+]
+
+BINARIES = {
+    "bench_schedulers": "NarrowRanks|BucketedPifo|BM_SpPifo",
+    "bench_preprocessor": "Preprocessor(Process|LegacyMap|Batch)|QvisorPort",
+    "bench_event_queue": "Event",
+}
+
+
+def run_binary(path, bench_filter, repetitions, min_time):
+    cmd = [
+        path,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_repetitions={repetitions}",
+        "--benchmark_report_aggregates_only=true",
+        "--benchmark_format=json",
+    ]
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def collect(build_dir, repetitions, min_time, runs):
+    """name -> best (max) median items_per_second across `runs` runs."""
+    items = {}
+    for _ in range(runs):
+        for binary, bench_filter in BINARIES.items():
+            path = os.path.join(build_dir, "bench", binary)
+            if not os.path.exists(path):
+                sys.exit(f"missing benchmark binary: {path} (build the "
+                         f"'release-bench' preset first)")
+            report = run_binary(path, bench_filter, repetitions, min_time)
+            for b in report.get("benchmarks", []):
+                if b.get("aggregate_name") != "median":
+                    continue
+                name = b["run_name"]
+                if "items_per_second" in b:
+                    items[name] = max(items.get(name, 0.0),
+                                      b["items_per_second"])
+    return items
+
+
+def collect_seed(build_dir, repetitions, min_time, runs):
+    """Measure the seed commit's own benchmark binaries (built with the
+    same -O3 flags from a checkout of the seed revision). The seed
+    harness differs — it regenerated each packet with RNG calls inside
+    the timed loop — so these are the end-to-end bench items/sec the
+    repo reported before this change, not a same-harness ablation (the
+    in-binary legacy implementations cover that)."""
+    seed = {}
+    for _ in range(runs):
+        for binary, bench_filter in {
+            "bench_schedulers": "BM_PifoNarrowRanks",
+            "bench_preprocessor": "BM_PreprocessorProcess",
+        }.items():
+            path = os.path.join(build_dir, "bench", binary)
+            if not os.path.exists(path):
+                sys.exit(f"missing seed benchmark binary: {path}")
+            report = run_binary(path, bench_filter, repetitions, min_time)
+            for b in report.get("benchmarks", []):
+                if b.get("aggregate_name") != "median":
+                    continue
+                if "items_per_second" in b:
+                    name = b["run_name"]
+                    seed[name] = max(seed.get(name, 0),
+                                     round(b["items_per_second"]))
+    return seed
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build-release-bench")
+    ap.add_argument("--out", default="BENCH_hotpath.json")
+    ap.add_argument("--repetitions", type=int, default=3)
+    ap.add_argument("--min-time", type=float, default=0.5)
+    ap.add_argument("--runs", type=int, default=3,
+                    help="full suite runs; best median per benchmark "
+                         "is kept (one-sided noise rejection)")
+    ap.add_argument("--seed-build-dir", default=None,
+                    help="build dir of the seed commit (same flags); "
+                         "adds a seed_binary_reference section")
+    args = ap.parse_args()
+
+    items = collect(args.build_dir, args.repetitions, args.min_time,
+                    args.runs)
+
+    comparisons = {}
+    for metric, (before, after) in PAIRS.items():
+        if before not in items or after not in items:
+            continue
+        comparisons[metric] = {
+            "before_benchmark": before,
+            "after_benchmark": after,
+            "before_items_per_sec": round(items[before]),
+            "after_items_per_sec": round(items[after]),
+            "speedup": round(items[after] / items[before], 2),
+        }
+
+    result = {
+        "methodology": {
+            "build": "release-bench preset (-O3 -DNDEBUG)",
+            "aggregate": f"best of {args.runs} runs of the median over "
+                         f"{args.repetitions} repetitions, min_time "
+                         f"{args.min_time}s each (shared-machine noise "
+                         f"is one-sided; applied to both sides alike)",
+            "items": "one item per enqueue/dequeue/process call",
+            "before": "seed implementations compiled into the same "
+                      "binary (std::set PIFO backend, "
+                      "LegacyMapPreprocessor, LegacyHeapEventQueue), "
+                      "measured under the identical harness",
+        },
+        "comparisons": comparisons,
+        "after_only": {
+            name: round(items[name]) for name in EXTRAS if name in items
+        },
+    }
+
+    if args.seed_build_dir:
+        result["seed_binary_reference"] = {
+            "note": "items/sec reported by the seed commit's own "
+                    "benchmark binaries, rebuilt with the same -O3 "
+                    "flags and measured back-to-back on this machine. "
+                    "The seed harness generated packets with RNG calls "
+                    "inside the timed loop; the in-binary 'before' "
+                    "rows above isolate the implementation change "
+                    "under the current harness.",
+            "items_per_sec": collect_seed(args.seed_build_dir,
+                                          args.repetitions,
+                                          args.min_time, args.runs),
+        }
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for metric, c in comparisons.items():
+        print(f"  {metric}: {c['before_items_per_sec'] / 1e6:.1f}M -> "
+              f"{c['after_items_per_sec'] / 1e6:.1f}M  "
+              f"({c['speedup']}x)")
+
+
+if __name__ == "__main__":
+    main()

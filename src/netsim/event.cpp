@@ -1,43 +1,105 @@
 #include "netsim/event.hpp"
 
 #include <cassert>
-#include <utility>
 
 namespace qv::netsim {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
 EventId EventQueue::schedule(TimeNs at, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
-  ++live_;
-  return id;
+  std::uint32_t slot;
+  if (free_head_ >= 0) {
+    slot = static_cast<std::uint32_t>(free_head_);
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  heap_.push_back(slot);
+  s.heap_pos = static_cast<std::int32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return (static_cast<EventId>(s.gen) << 32) | slot;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  if (cancelled_.insert(id).second && live_ > 0) --live_;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // A freed slot (already ran / already cancelled) has heap_pos -1 and
+  // a bumped generation; a recycled slot has a newer generation. Either
+  // way the stale id matches nothing.
+  if (s.heap_pos < 0 || s.gen != gen) return;
+  remove_at(static_cast<std::size_t>(s.heap_pos));
+  s.fn.reset();
+  release(slot);
 }
 
-void EventQueue::skim() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;  // invalidate every outstanding id for this slot
+  s.heap_pos = -1;
+  s.next_free = free_head_;
+  free_head_ = static_cast<std::int32_t>(slot);
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!before(slot, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
   }
+  place(pos, slot);
 }
 
-TimeNs EventQueue::next_time() {
-  skim();
-  return heap_.empty() ? kTimeMax : heap_.top().at;
+void EventQueue::sift_down(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], slot)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, slot);
+}
+
+void EventQueue::remove_at(std::size_t pos) {
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;
+  place(pos, last);
+  sift_up(pos);
+  sift_down(static_cast<std::size_t>(slots_[last].heap_pos));
+}
+
+TimeNs EventQueue::next_time() const {
+  return heap_.empty() ? kTimeMax : slots_[heap_[0]].at;
 }
 
 TimeNs EventQueue::run_next() {
-  skim();
   assert(!heap_.empty());
-  const TimeNs at = heap_.top().at;
-  EventFn fn = std::move(heap_.top().fn);
-  heap_.pop();
-  --live_;
+  const std::uint32_t slot = heap_[0];
+  const TimeNs at = slots_[slot].at;
+  EventFn fn = std::move(slots_[slot].fn);
+  remove_at(0);
+  // Free the slot BEFORE running: the callback may schedule new events
+  // (reusing this slot under a fresh generation) or cancel others.
+  release(slot);
   fn();
   return at;
 }

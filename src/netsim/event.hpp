@@ -1,21 +1,126 @@
 // Discrete-event core: a time-ordered queue of callbacks.
 //
-// Ties on timestamp are broken by insertion order (a monotone sequence
-// number), which makes every run fully deterministic. Cancellation is
-// lazy: cancelled ids are skipped when they surface at the top.
+// Hot-path design (the simulator executes one of these per packet
+// hop, so this is as hot as the schedulers themselves):
+//
+//   * callbacks are `EventFn`, a move-only small-buffer-optimized
+//     callable — typical capture lists (a Packet plus a couple of
+//     pointers) live inline in the event slot, so scheduling an event
+//     performs no heap allocation;
+//   * events live in a slab of pooled slots recycled through a free
+//     list; a slot's id carries a generation stamp, so cancel() on an
+//     id that already ran (or was already cancelled) is recognized in
+//     O(1) and is a true no-op — it can never corrupt size();
+//   * ordering is a flat 4-ary min-heap of slot indices (shallower and
+//     more cache-friendly than a binary heap of fat entries); each
+//     slot tracks its heap position, so cancellation removes the entry
+//     eagerly instead of tombstoning it.
+//
+// Ties on timestamp are broken by schedule order (a monotone sequence
+// number), which makes every run fully deterministic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/time.hpp"
 
 namespace qv::netsim {
 
-using EventFn = std::function<void()>;
+/// Move-only `void()` callable with inline storage. Callables larger
+/// than the inline buffer (or with throwing moves) fall back to the
+/// heap; everything the simulator schedules fits inline.
+class EventFn {
+ public:
+  /// Inline capture budget: a Packet (~80 bytes) plus a few pointers.
+  static constexpr std::size_t kInlineSize = 104;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule() call site
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (buf_) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (buf_) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  ///< move into raw dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+/// Opaque handle: (generation << 32) | slot. Never 0 (generations
+/// start at 1), so 0 stays usable as a "no timer" sentinel.
 using EventId = std::uint64_t;
 
 class EventQueue {
@@ -27,39 +132,53 @@ class EventQueue {
   /// Schedule `fn` at absolute time `at`. Returns an id for cancel().
   EventId schedule(TimeNs at, EventFn fn);
 
-  /// Lazily cancel a scheduled event. Cancelling an already-run or
-  /// unknown id is a no-op.
+  /// Cancel a scheduled event. The id's generation stamp identifies
+  /// already-run, already-cancelled, and never-issued ids exactly, so
+  /// any such call is a no-op (and size() stays correct).
   void cancel(EventId id);
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the next live event; kTimeMax if none.
-  TimeNs next_time();
+  TimeNs next_time() const;
 
   /// Pop and run the next live event; returns its timestamp. Requires
   /// !empty().
   TimeNs run_next();
 
  private:
-  struct Entry {
-    TimeNs at;
-    EventId id;
-    mutable EventFn fn;  ///< moved out when run (heap top is const)
-
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
+  struct Slot {
+    TimeNs at = 0;
+    std::uint64_t seq = 0;  ///< schedule order: deterministic tie-break
+    EventFn fn;
+    std::uint32_t gen = 1;
+    std::int32_t heap_pos = -1;  ///< -1 = free (on the free list)
+    std::int32_t next_free = -1;
   };
 
-  /// Drop cancelled entries from the top of the heap.
-  void skim();
+  /// True iff slot `a` must run before slot `b`.
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::uint64_t next_id_ = 1;
-  std::size_t live_ = 0;
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void place(std::size_t pos, std::uint32_t slot) {
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = static_cast<std::int32_t>(pos);
+  }
+  /// Detach the heap entry at `pos` (swap-with-last + sift).
+  void remove_at(std::size_t pos);
+  void release(std::uint32_t slot);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  ///< slot indices, 4-ary min-heap
+  std::int32_t free_head_ = -1;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace qv::netsim

@@ -27,6 +27,12 @@ void Link::transmit(const Packet& p) {
   if (!busy_) start_next();
 }
 
+void Link::transmit_burst(std::span<Packet> burst) {
+  account_queue(sim_.now());
+  queue_->enqueue_batch(burst, sim_.now());
+  if (!busy_) start_next();
+}
+
 void Link::start_next() {
   account_queue(sim_.now());
   auto next = queue_->dequeue(sim_.now());

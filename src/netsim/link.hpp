@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
@@ -28,6 +29,12 @@ class Link {
 
   /// Offer a packet for transmission (may be dropped by the queue).
   void transmit(const Packet& p);
+
+  /// Offer a burst arriving together (the switch output-port path).
+  /// One queue-accounting update plus one batch enqueue — QVISOR ports
+  /// pre-process the whole span in a single pass. Packets may be
+  /// rewritten and reordered in place.
+  void transmit_burst(std::span<Packet> burst);
 
   /// True while a packet is being serialized onto the wire.
   bool busy() const { return busy_; }

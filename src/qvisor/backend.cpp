@@ -65,8 +65,15 @@ SchedulerCapabilities PifoBackend::capabilities() const {
 }
 
 std::unique_ptr<sched::Scheduler> PifoBackend::instantiate(
-    const SynthesisPlan& /*plan*/) const {
-  return std::make_unique<sched::PifoQueue>(buffer_bytes_);
+    const SynthesisPlan& plan) const {
+  // The synthesized plan bounds every transformed rank to a small used
+  // prefix of the hardware rank space, which lets PifoQueue select the
+  // flat bucketed backend. One extra level of headroom catches ranks
+  // above the bands (best-effort unknown-tenant traffic lands at
+  // rank_space - 1): they clamp into the bucket BELOW every band.
+  const Rank used = plan.used_rank_space();
+  return std::make_unique<sched::PifoQueue>(buffer_bytes_,
+                                            used == 0 ? 0 : used + 1);
 }
 
 // --- SP-PIFO -----------------------------------------------------------

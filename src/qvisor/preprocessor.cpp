@@ -1,54 +1,99 @@
 #include "qvisor/preprocessor.hpp"
 
+#include <algorithm>
+
 namespace qv::qvisor {
 
 Preprocessor::Preprocessor(UnknownTenantAction unknown) : unknown_(unknown) {}
 
 void Preprocessor::install(const SynthesisPlan& plan) {
-  std::unordered_map<TenantId, Installed> next;
-  next.reserve(plan.tenants.size());
+  TenantId dense_max = 0;
+  bool any_dense = false;
   for (const auto& tp : plan.tenants) {
-    next.emplace(tp.tenant, Installed{tp.transform, tp.quantile});
+    if (tp.tenant < kDenseLimit) {
+      dense_max = std::max(dense_max, tp.tenant);
+      any_dense = true;
+    }
   }
-  transforms_ = std::move(next);
+  std::vector<Installed> next(any_dense ? dense_max + 1 : 0);
+  std::unordered_map<TenantId, Installed> next_spill;
+  for (const auto& tp : plan.tenants) {
+    Installed entry{tp.transform, tp.quantile, /*active=*/true};
+    if (tp.tenant < kDenseLimit) {
+      next[tp.tenant] = std::move(entry);
+    } else {
+      next_spill.emplace(tp.tenant, std::move(entry));
+    }
+  }
+  dense_ = std::move(next);
+  spill_ = std::move(next_spill);
+  installed_tenants_ = plan.tenants.size();
   rank_space_ = plan.rank_space;
+  best_effort_rank_ = rank_space_ == 0 ? kMaxRank : rank_space_ - 1;
+  // Counters persist across installs; make sure the dense counter table
+  // covers the new dense id range so the hot path never bounds-checks.
+  if (dense_counts_.size() < dense_.size()) dense_counts_.resize(dense_.size());
 }
 
-bool Preprocessor::process(Packet& p) {
-  ++counters_.processed;
-  ++per_tenant_[p.tenant];
-
-  // The input is always the tenant-assigned label, NOT the current
-  // scheduling rank: an upstream QVISOR hop may already have rewritten
-  // `p.rank`, and transforming a transformed rank would collapse the
-  // rank space (each pre-processor derives its scheduling rank from the
-  // label the tenant stamped at the source, §3.1/§3.3).
-  const Rank label = p.original_rank;
-
-  const auto it = transforms_.find(p.tenant);
-  if (it == transforms_.end()) {
-    ++counters_.unknown_tenant;
-    switch (unknown_) {
-      case UnknownTenantAction::kPassThrough:
-        return true;
-      case UnknownTenantAction::kBestEffort:
-        p.rank = rank_space_ == 0 ? kMaxRank : rank_space_ - 1;
-        return true;
-      case UnknownTenantAction::kDrop:
-        return false;
+std::size_t Preprocessor::process(std::span<Packet> batch) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Packet& p = batch[i];
+    if (process(p)) {
+      if (kept != i) batch[kept] = p;
+      ++kept;
     }
-    return true;
   }
-  const Installed& installed = it->second;
-  const auto bounds = installed.range.input_bounds();
-  if (label < bounds.min || label > bounds.max) {
-    // The transform clamps, so scheduling stays safe; count it so the
-    // monitor can flag tenants that violate their declared bounds.
-    ++counters_.out_of_bounds;
+  return kept;
+}
+
+void Preprocessor::count_spill(TenantId tenant) {
+  if (tenant < kDenseLimit) {
+    if (dense_counts_.size() <= tenant) dense_counts_.resize(tenant + 1);
+    ++dense_counts_[tenant];
+  } else {
+    ++spill_counts_[tenant];
   }
-  p.rank = installed.quantile ? installed.quantile->apply(label)
-                              : installed.range.apply(label);
+}
+
+bool Preprocessor::process_slow(Packet& p) {
+  const TenantId t = p.tenant;
+  if (t >= kDenseLimit) {
+    const auto it = spill_.find(t);
+    if (it != spill_.end()) {
+      ++spill_counts_[t];
+      const Installed& e = it->second;
+      const Rank label = p.original_rank;
+      const auto bounds = e.range.input_bounds();
+      if (label < bounds.min || label > bounds.max) {
+        ++counters_.out_of_bounds;
+      }
+      p.rank = e.quantile ? e.quantile->apply(label) : e.range.apply(label);
+      return true;
+    }
+  }
+  count_spill(t);
+  ++counters_.unknown_tenant;
+  switch (unknown_) {
+    case UnknownTenantAction::kPassThrough:
+      return true;
+    case UnknownTenantAction::kBestEffort:
+      p.rank = best_effort_rank_;
+      return true;
+    case UnknownTenantAction::kDrop:
+      return false;
+  }
   return true;
+}
+
+std::unordered_map<TenantId, std::uint64_t> Preprocessor::per_tenant() const {
+  std::unordered_map<TenantId, std::uint64_t> out;
+  out.reserve(spill_counts_.size() + 16);
+  for (TenantId t = 0; t < dense_counts_.size(); ++t) {
+    if (dense_counts_[t] != 0) out.emplace(t, dense_counts_[t]);
+  }
+  for (const auto& [t, count] : spill_counts_) out.emplace(t, count);
+  return out;
 }
 
 }  // namespace qv::qvisor

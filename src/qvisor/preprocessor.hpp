@@ -3,11 +3,21 @@
 // the tenant's transformation function, rewrites the rank, and hands
 // the packet to the hardware scheduler.
 //
+// The lookup structure is a dense tenant-indexed table (transforms and
+// per-tenant counters side by side), mirroring how a real pipeline
+// would burn the plan into match-action stages: the per-packet cost is
+// one bounds check and one array load, no hashing. Tenant ids beyond
+// the dense range (a control-plane misconfiguration, not a data-plane
+// case) fall back to a spill map. A batch entry point amortizes the
+// call overhead across a burst — the switch output-port path
+// (QvisorPort::enqueue_batch / Link::transmit_burst) uses it.
+//
 // Plans install atomically (a swap of the lookup table), which is what
 // lets the runtime controller re-synthesize between packets (§2 Idea 2).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +41,11 @@ struct PreprocessorCounters {
 
 class Preprocessor {
  public:
+  /// Dense-table ceiling: tenants with ids below this index straight
+  /// into the flat table; larger ids (misconfigurations — real tenant
+  /// ids are small and dense) spill to a hash map.
+  static constexpr TenantId kDenseLimit = 1u << 16;
+
   explicit Preprocessor(
       UnknownTenantAction unknown = UnknownTenantAction::kBestEffort);
 
@@ -40,30 +55,74 @@ class Preprocessor {
 
   /// Rewrite `p.rank` in place. Returns false only when the packet must
   /// be dropped (unknown tenant under kDrop). `p.original_rank` keeps
-  /// the tenant-assigned rank for telemetry.
-  bool process(Packet& p);
+  /// the tenant-assigned rank for telemetry. Defined here so the
+  /// per-packet cost stays a bounds check + array load + transform,
+  /// fully inlined into the port enqueue and batch loops.
+  bool process(Packet& p) {
+    ++counters_.processed;
+    const TenantId t = p.tenant;
+    if (t < dense_.size()) {
+      const Installed& e = dense_[t];
+      if (e.active) {
+        ++dense_counts_[t];
+        // The input is always the tenant-assigned label, NOT the
+        // current scheduling rank: an upstream QVISOR hop may already
+        // have rewritten `p.rank`, and transforming a transformed rank
+        // would collapse the rank space (each pre-processor derives its
+        // scheduling rank from the label the tenant stamped at the
+        // source, §3.1/§3.3).
+        const Rank label = p.original_rank;
+        const auto bounds = e.range.input_bounds();
+        if (label < bounds.min || label > bounds.max) {
+          // The transform clamps, so scheduling stays safe; count it so
+          // the monitor can flag tenants violating their declared
+          // bounds.
+          ++counters_.out_of_bounds;
+        }
+        p.rank = e.quantile ? e.quantile->apply(label) : e.range.apply(label);
+        return true;
+      }
+    }
+    return process_slow(p);
+  }
+
+  /// Batch variant: rewrite every rank in place, compacting survivors
+  /// to the front of the span (stable). Returns the survivor count —
+  /// batch[0, n) is what the caller enqueues.
+  std::size_t process(std::span<Packet> batch);
 
   const PreprocessorCounters& counters() const { return counters_; }
   PreprocessorCounters& mutable_counters() { return counters_; }
 
   /// Per-tenant processed-packet counts (runtime controller input).
-  const std::unordered_map<TenantId, std::uint64_t>& per_tenant() const {
-    return per_tenant_;
-  }
+  /// Materialized from the dense counter table on demand — a
+  /// control-plane read, not a hot path.
+  std::unordered_map<TenantId, std::uint64_t> per_tenant() const;
 
-  bool has_plan() const { return !transforms_.empty(); }
+  bool has_plan() const { return installed_tenants_ > 0; }
   Rank rank_space() const { return rank_space_; }
 
  private:
   struct Installed {
     RankTransform range;
     std::optional<BreakpointTransform> quantile;
+    bool active = false;
   };
 
+  bool process_slow(Packet& p);  ///< spill-map / unknown-tenant path
+  void count_spill(TenantId tenant);
+
   UnknownTenantAction unknown_;
-  std::unordered_map<TenantId, Installed> transforms_;
-  std::unordered_map<TenantId, std::uint64_t> per_tenant_;
+  /// Dense tables, indexed by tenant id; sized to the largest
+  /// installed id + 1 (counter table grows on demand for unknown-but-
+  /// in-range tenants as well, so counting stays hash-free).
+  std::vector<Installed> dense_;
+  std::vector<std::uint64_t> dense_counts_;
+  std::unordered_map<TenantId, Installed> spill_;
+  std::unordered_map<TenantId, std::uint64_t> spill_counts_;
+  std::size_t installed_tenants_ = 0;
   Rank rank_space_ = kMaxRank;
+  Rank best_effort_rank_ = kMaxRank - 1;
   PreprocessorCounters counters_;
 };
 

@@ -35,6 +35,29 @@ bool QvisorPort::enqueue(const Packet& p, TimeNs now) {
   return accepted;
 }
 
+std::size_t QvisorPort::enqueue_batch(std::span<Packet> batch, TimeNs now) {
+  for (const Packet& p : batch) hv_.observe(p, now);
+  const std::size_t kept = pre_.process(batch);
+  const std::size_t pre_dropped = batch.size() - kept;
+  counters_.dropped += pre_dropped;
+  for (std::size_t i = kept; i < batch.size(); ++i) {
+    counters_.dropped_bytes +=
+        static_cast<std::uint64_t>(batch[i].size_bytes);
+  }
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < kept; ++i) {
+    const Packet& q = batch[i];
+    if (inner_->enqueue(q, now)) {
+      ++counters_.enqueued;
+      ++accepted;
+    } else {
+      ++counters_.dropped;
+      counters_.dropped_bytes += static_cast<std::uint64_t>(q.size_bytes);
+    }
+  }
+  return accepted;
+}
+
 std::optional<Packet> QvisorPort::dequeue(TimeNs now) {
   auto p = inner_->dequeue(now);
   if (p) ++counters_.dequeued;
@@ -123,9 +146,21 @@ Hypervisor::CompileResult Hypervisor::compile_impl(
   result.guarantees = backend_->guarantees(*synth.plan);
   plan_ = std::move(*synth.plan);
   ++compile_count_;
-  for (QvisorPort* port : ports_) port->install(*plan_);
+  push_plan();
   result.ok = true;
   return result;
+}
+
+void Hypervisor::push_plan() {
+  for (QvisorPort* port : ports_) {
+    port->install(*plan_);
+    // Re-deploying the hardware scheduler is only legal between bursts
+    // (paper §2 Idea 2: buffer-emptying); occupied ports keep their
+    // current instance and fall back to its clamping behaviour.
+    if (port->inner().empty()) {
+      port->replace_inner(backend_->instantiate(*plan_));
+    }
+  }
 }
 
 std::unique_ptr<sched::Scheduler> Hypervisor::make_port_scheduler() {
@@ -184,7 +219,7 @@ bool Hypervisor::install_refined(SynthesisPlan plan) {
     if (worst >= plan.rank_space) return false;
   }
   plan_ = std::move(plan);
-  for (QvisorPort* port : ports_) port->install(*plan_);
+  push_plan();
   return true;
 }
 

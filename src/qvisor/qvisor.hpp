@@ -37,6 +37,10 @@ class QvisorPort final : public sched::Scheduler {
   QvisorPort& operator=(const QvisorPort&) = delete;
 
   bool enqueue(const Packet& p, TimeNs now) override;
+  /// Burst arrival: one batch pre-processing pass over the span, then
+  /// the survivors go to the hardware scheduler. Packets are rewritten
+  /// in place and reordered (survivors first).
+  std::size_t enqueue_batch(std::span<Packet> batch, TimeNs now) override;
   std::optional<Packet> dequeue(TimeNs now) override;
   std::size_t size() const override { return inner_->size(); }
   std::int64_t buffered_bytes() const override {
@@ -130,6 +134,11 @@ class Hypervisor {
   friend class QvisorPort;
   CompileResult compile_impl(const std::vector<TenantSpec>& specs,
                              const OperatorPolicy& policy);
+  /// Push the installed plan to every attached port. Ports with empty
+  /// buffers also get a freshly instantiated hardware scheduler, so
+  /// backends can re-size exact structures (the bucketed PIFO) when
+  /// the plan's rank usage changes between compiles.
+  void push_plan();
   void attach(QvisorPort* port);
   void detach(QvisorPort* port);
   void observe(const Packet& pre_transform, TimeNs now);

@@ -21,6 +21,21 @@ const TenantPlan* SynthesisPlan::find(const std::string& name) const {
   return nullptr;
 }
 
+Rank SynthesisPlan::used_rank_space() const {
+  Rank used = 0;
+  for (const auto& band : tier_bands) {
+    if (band.hi != kMaxRank) used = std::max(used, band.hi + 1);
+  }
+  // Quantile refinements stay inside the bands, but belt-and-braces:
+  // cover every transform's worst-case output too.
+  for (const auto& tp : tenants) {
+    const Rank worst =
+        tp.quantile ? tp.quantile->out_max() : tp.transform.out_max();
+    if (worst != kMaxRank) used = std::max(used, worst + 1);
+  }
+  return used;
+}
+
 Synthesizer::Synthesizer(SynthesizerConfig config) : config_(config) {}
 
 namespace {

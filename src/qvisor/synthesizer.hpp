@@ -95,6 +95,12 @@ struct SynthesisPlan {
 
   const TenantPlan* find(TenantId id) const;
   const TenantPlan* find(const std::string& name) const;
+
+  /// Ranks the plan can actually emit: one past the highest band (the
+  /// used prefix of `rank_space`). Backends size exact-PIFO structures
+  /// from this — post-synthesis it is small even when the hardware
+  /// rank space is huge. 0 when the plan is empty.
+  Rank used_rank_space() const;
 };
 
 class Synthesizer {

@@ -13,17 +13,20 @@ RankTransform::RankTransform(sched::RankBounds in, std::uint32_t levels,
   assert(in.min <= in.max);
   assert(levels >= 1);
   assert(stride >= 1);
-}
-
-Rank RankTransform::apply(Rank r) const {
-  if (levels_ == 0) return r;  // identity
-  const Rank clamped = std::clamp(r, in_.min, in_.max);
-  const std::uint64_t offset = clamped - in_.min;
-  const std::uint64_t width = static_cast<std::uint64_t>(in_.max) - in_.min + 1;
-  // Scale [0, width) onto [0, levels): level = offset * levels / width.
-  const std::uint64_t level =
-      std::min<std::uint64_t>(offset * levels_ / width, levels_ - 1);
-  return base_ + static_cast<Rank>(level) * stride_;
+  width_ = static_cast<std::uint64_t>(in_.max) - in_.min + 1;
+#if defined(__SIZEOF_INT128__)
+  // Fold the per-packet division into a multiply-high by the round-up
+  // reciprocal (Granlund–Montgomery): with recip = ceil(2^64 / width),
+  // (n * recip) >> 64 == floor(n / width) for every n < width * levels
+  // as long as width^2 * levels <= 2^64 (the approximation error
+  // n * (recip*width - 2^64) stays below 2^64). Wider configurations
+  // keep the exact divide.
+  const unsigned __int128 two64 = static_cast<unsigned __int128>(1) << 64;
+  if (width_ > 1 &&
+      static_cast<unsigned __int128>(width_) * width_ * levels_ <= two64) {
+    recip_ = static_cast<std::uint64_t>((two64 + width_ - 1) / width_);
+  }
+#endif
 }
 
 std::string RankTransform::to_string() const {

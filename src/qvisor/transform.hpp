@@ -39,7 +39,29 @@ class RankTransform {
   RankTransform(sched::RankBounds in, std::uint32_t levels, Rank base,
                 std::uint32_t stride = 1);
 
-  Rank apply(Rank r) const;
+  /// Hot path: one clamp, one multiply, one shift (the division by the
+  /// input width is folded into a precomputed fixed-point reciprocal
+  /// whenever the exactness precondition holds — see the constructor).
+  Rank apply(Rank r) const {
+    if (levels_ == 0) return r;  // identity
+    const Rank clamped = r < in_.min ? in_.min : (r > in_.max ? in_.max : r);
+    const std::uint64_t n =
+        static_cast<std::uint64_t>(clamped - in_.min) * levels_;
+    std::uint64_t level;
+#if defined(__SIZEOF_INT128__)
+    if (recip_ != 0) {
+      // floor(n / width) == (n * recip) >> 64, exact under the
+      // constructor's width^2 * levels <= 2^64 guard.
+      level = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(n) * recip_) >> 64);
+    } else
+#endif
+    {
+      level = n / width_;
+      if (level >= levels_) level = levels_ - 1;
+    }
+    return base_ + static_cast<Rank>(level) * stride_;
+  }
 
   /// Lowest / highest rank apply() can produce (worst-case analysis).
   Rank out_min() const { return base_; }
@@ -63,6 +85,9 @@ class RankTransform {
   std::uint32_t levels_ = 0;  ///< 0 = identity
   Rank base_ = 0;
   std::uint32_t stride_ = 1;
+  /// Derived from in_/levels_ by the constructor (not part of identity).
+  std::uint64_t width_ = 1;   ///< in_.max - in_.min + 1
+  std::uint64_t recip_ = 0;   ///< ceil(2^64 / width_); 0 = divide instead
 };
 
 /// Distribution-aware (quantile) normalization: L-1 sorted thresholds

@@ -1,0 +1,53 @@
+#include "sched/bucketed_pifo.hpp"
+
+#include <cassert>
+
+namespace qv::sched {
+
+BucketedPifo::BucketedPifo(Rank rank_space, std::int64_t buffer_bytes)
+    : buffer_bytes_(buffer_bytes) {
+  assert(rank_space >= 1);
+  buckets_.resize(rank_space);
+  words_.assign((rank_space + kWordBits - 1) / kWordBits, 0);
+  summary_.assign((words_.size() + kWordBits - 1) / kWordBits, 0);
+}
+
+std::int32_t BucketedPifo::grow_slab(const Packet& p) {
+  slab_.push_back(p);
+  links_.push_back(Link{-1, -1});
+  return static_cast<std::int32_t>(slab_.size() - 1);
+}
+
+bool BucketedPifo::make_room(const Packet& p, Rank bucket) {
+  // Mirror the reference PIFO's eviction: drop from the worst rank,
+  // most-recent arrival first, but never a packet ranking at least
+  // as well as the arrival (at equal rank the buffered packet stays).
+  while (bytes_ + p.size_bytes > buffer_bytes_ && packets_ > 0) {
+    const std::int32_t worst = highest_bucket();
+    if (static_cast<Rank>(worst) <= bucket) break;
+    const std::int32_t victim = buckets_[worst].tail;
+    bytes_ -= slab_[victim].size_bytes;
+    ++counters_.dropped;
+    counters_.dropped_bytes +=
+        static_cast<std::uint64_t>(slab_[victim].size_bytes);
+    unlink(static_cast<Rank>(worst), victim);
+    release_node(victim);
+    --packets_;
+  }
+  // Evictions pop the highest bucket, so the lowest non-empty bucket
+  // is unchanged unless the queue just emptied (lowest == highest).
+  if (packets_ == 0) best_ = -1;
+  if (bytes_ + p.size_bytes > buffer_bytes_) {
+    ++counters_.dropped;
+    counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  return true;
+}
+
+Rank BucketedPifo::head_rank() const {
+  if (best_ < 0) return kMaxRank;
+  return slab_[buckets_[best_].head].rank;
+}
+
+}  // namespace qv::sched

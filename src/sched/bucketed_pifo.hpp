@@ -1,0 +1,240 @@
+// BucketedPifo: an exact PIFO over a bounded rank space with O(1),
+// allocation-free operations — the data structure QVISOR's synthesis
+// step makes possible (paper §3.2–3.3: after rank-normalization and
+// quantization the data plane only ever sees a small set of discrete
+// rank levels).
+//
+// Layout (Eiffel-style FFS bucket queue, see PAPERS.md):
+//
+//   * one FIFO bucket per rank level, implemented as an intrusive
+//     doubly-linked list threaded through a contiguous node slab;
+//   * the slab is split structure-of-arrays: payloads in one array,
+//     {prev, next} links in another. The link array is 8 bytes per node
+//     — thousands of buffered packets' worth of list structure fits in
+//     L1 — so enqueue/dequeue chase pointers through hot memory and
+//     touch the big payload array exactly once per operation (the copy
+//     in or out);
+//   * a free list recycles slab nodes, so steady state performs zero
+//     heap allocations (the slab grows geometrically only when the
+//     backlog exceeds every previous high-water mark);
+//   * a two-level occupancy bitmap — one bit per bucket, plus a summary
+//     word per 64 buckets — makes dequeue a find-first-set and
+//     worst-rank eviction (byte-budget pFabric drop) a find-last-set.
+//
+// Semantics are identical to the reference std::set PIFO (pifo.hpp):
+// dequeue pops the lowest rank, equal ranks break FIFO, and when a
+// byte budget is set the worst-rank / most-recently-enqueued packet is
+// evicted first (never a packet ranking at least as well as the
+// arrival). Ranks >= rank_space are clamped into the last bucket.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace qv::sched {
+
+class BucketedPifo final : public Scheduler {
+ public:
+  /// Largest rank space PifoQueue will auto-select this backend for.
+  /// 1<<16 levels keeps the bitmap summary at <= 16 words (one or two
+  /// cache lines), so both bitmap levels stay effectively O(1).
+  static constexpr Rank kMaxAutoRankSpace = 1u << 16;
+
+  /// `rank_space` levels [0, rank_space); must be >= 1.
+  /// `buffer_bytes` == 0 means unbounded.
+  explicit BucketedPifo(Rank rank_space, std::int64_t buffer_bytes = 0);
+
+  bool enqueue(const Packet& p, TimeNs now) override;
+  std::optional<Packet> dequeue(TimeNs now) override;
+
+  /// Burst enqueue without the per-packet virtual dispatch Scheduler's
+  /// default implementation would pay.
+  std::size_t enqueue_batch(std::span<Packet> batch, TimeNs now) override {
+    std::size_t accepted = 0;
+    for (const Packet& p : batch) accepted += enqueue(p, now) ? 1u : 0u;
+    return accepted;
+  }
+
+  std::size_t size() const override { return packets_; }
+  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::string name() const override { return "pifo-bucketed"; }
+
+  /// Rank of the head (next dequeued) packet; kMaxRank when empty.
+  Rank head_rank() const;
+
+  Rank rank_space() const { return static_cast<Rank>(buckets_.size()); }
+
+  /// Slab capacity in nodes (allocation high-water mark; test hook).
+  std::size_t slab_capacity() const { return slab_.size(); }
+
+ private:
+  struct Link {
+    std::int32_t prev;
+    std::int32_t next;
+  };
+  struct Bucket {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+  };
+
+  std::int32_t acquire_node(const Packet& p);
+  /// Slab-growth slow path of acquire_node (out of line: allocation).
+  std::int32_t grow_slab(const Packet& p);
+  void release_node(std::int32_t idx);
+  void push_back(Rank bucket, std::int32_t idx);
+  /// Unlink `idx` from `bucket`, clearing the occupancy bit if emptied.
+  void unlink(Rank bucket, std::int32_t idx);
+
+  /// Byte-budget admission (out of line: the eviction loop would bloat
+  /// every inlined enqueue). Returns false when the arrival must be
+  /// rejected; drop counters are updated here.
+  bool make_room(const Packet& p, Rank bucket);
+
+  /// Lowest / highest non-empty bucket; -1 when empty.
+  std::int32_t lowest_bucket() const;
+  std::int32_t highest_bucket() const;
+
+  static constexpr std::size_t kWordBits = 64;
+
+  std::vector<Packet> slab_;  ///< payloads; parallel to links_
+  std::vector<Link> links_;   ///< intrusive lists (+ free list via next)
+  std::int32_t free_head_ = -1;
+  /// Exactly the lowest non-empty bucket (-1 when empty): dequeue reads
+  /// it instead of walking summary -> word -> bucket, which keeps the
+  /// dependent-load chain to head -> payload. Maintained by enqueue
+  /// (min), dequeue (rescan when the bucket drains), and make_room
+  /// (evictions pop the HIGHEST bucket, so they can only invalidate
+  /// this by emptying the queue entirely).
+  std::int32_t best_ = -1;
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint64_t> words_;    ///< bit b of word w: bucket 64w+b
+  std::vector<std::uint64_t> summary_;  ///< bit w of word s: words_[64s+w]
+  std::size_t packets_ = 0;
+  std::int64_t bytes_ = 0;
+  std::int64_t buffer_bytes_;
+};
+
+// The per-packet operations live in the header so PifoQueue's dispatch
+// (and any caller holding the concrete type) inlines them: the whole
+// point of this backend is a handful-of-instructions hot path, which an
+// out-of-line call would dominate.
+
+inline std::int32_t BucketedPifo::acquire_node(const Packet& p) {
+  if (free_head_ >= 0) {
+    const std::int32_t idx = free_head_;
+    free_head_ = links_[idx].next;
+    slab_[idx] = p;
+    return idx;
+  }
+  return grow_slab(p);
+}
+
+inline void BucketedPifo::release_node(std::int32_t idx) {
+  links_[idx].next = free_head_;
+  free_head_ = idx;
+}
+
+inline void BucketedPifo::push_back(Rank bucket, std::int32_t idx) {
+  Bucket& b = buckets_[bucket];
+  Link& n = links_[idx];
+  n.prev = b.tail;
+  n.next = -1;
+  if (b.tail >= 0) {
+    links_[b.tail].next = idx;
+  } else {
+    b.head = idx;
+    const std::size_t w = bucket / kWordBits;
+    words_[w] |= 1ull << (bucket % kWordBits);
+    summary_[w / kWordBits] |= 1ull << (w % kWordBits);
+  }
+  b.tail = idx;
+}
+
+inline void BucketedPifo::unlink(Rank bucket, std::int32_t idx) {
+  Bucket& b = buckets_[bucket];
+  const Link n = links_[idx];
+  if (n.prev >= 0) {
+    links_[n.prev].next = n.next;
+  } else {
+    b.head = n.next;
+  }
+  if (n.next >= 0) {
+    links_[n.next].prev = n.prev;
+  } else {
+    b.tail = n.prev;
+  }
+  if (b.head < 0) {
+    const std::size_t w = bucket / kWordBits;
+    words_[w] &= ~(1ull << (bucket % kWordBits));
+    if (words_[w] == 0) summary_[w / kWordBits] &= ~(1ull << (w % kWordBits));
+  }
+}
+
+inline std::int32_t BucketedPifo::lowest_bucket() const {
+  for (std::size_t s = 0; s < summary_.size(); ++s) {
+    if (summary_[s] == 0) continue;
+    const std::size_t w =
+        s * kWordBits + static_cast<std::size_t>(std::countr_zero(summary_[s]));
+    return static_cast<std::int32_t>(
+        w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w])));
+  }
+  return -1;
+}
+
+inline std::int32_t BucketedPifo::highest_bucket() const {
+  for (std::size_t s = summary_.size(); s-- > 0;) {
+    if (summary_[s] == 0) continue;
+    const std::size_t w = s * kWordBits + (kWordBits - 1) -
+                          static_cast<std::size_t>(std::countl_zero(summary_[s]));
+    return static_cast<std::int32_t>(
+        w * kWordBits + (kWordBits - 1) -
+        static_cast<std::size_t>(std::countl_zero(words_[w])));
+  }
+  return -1;
+}
+
+inline bool BucketedPifo::enqueue(const Packet& p, TimeNs /*now*/) {
+  const Rank limit = static_cast<Rank>(buckets_.size() - 1);
+  const Rank bucket = p.rank < limit ? p.rank : limit;
+  if (buffer_bytes_ > 0 && !make_room(p, bucket)) return false;
+  push_back(bucket, acquire_node(p));
+  if (best_ < 0 || bucket < static_cast<Rank>(best_)) {
+    best_ = static_cast<std::int32_t>(bucket);
+  }
+  bytes_ += p.size_bytes;
+  ++packets_;
+  ++counters_.enqueued;
+  return true;
+}
+
+inline std::optional<Packet> BucketedPifo::dequeue(TimeNs /*now*/) {
+  const std::int32_t best = best_;
+  if (best < 0) return std::nullopt;
+  const std::int32_t idx = buckets_[best].head;
+  const std::int32_t size = slab_[idx].size_bytes;
+  unlink(static_cast<Rank>(best), idx);
+  release_node(idx);
+  const std::int32_t succ = buckets_[best].head;
+  if (succ < 0) {
+    best_ = lowest_bucket();
+  }
+#if defined(__GNUC__) || defined(__clang__)
+  else {
+    // The next dequeue most likely pops the new head of this bucket;
+    // start pulling its payload line while the caller processes the
+    // packet we are about to copy out.
+    __builtin_prefetch(&slab_[succ], 0, 1);
+  }
+#endif
+  bytes_ -= size;
+  --packets_;
+  ++counters_.dequeued;
+  // The payload is untouched by release_node (links only): copy it
+  // straight into the return slot.
+  return slab_[idx];
+}
+
+}  // namespace qv::sched

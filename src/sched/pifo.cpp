@@ -2,45 +2,11 @@
 
 namespace qv::sched {
 
-bool PifoQueue::enqueue(const Packet& p, TimeNs /*now*/) {
-  if (buffer_bytes_ > 0) {
-    // Evict worst-rank packets until the new one fits; never evict a
-    // packet that ranks at least as well as the arrival (at equal rank
-    // the buffered packet FIFO-precedes the arrival and stays).
-    while (bytes_ + p.size_bytes > buffer_bytes_ && !entries_.empty()) {
-      auto worst = std::prev(entries_.end());
-      if (worst->rank <= p.rank) break;  // arrival is the worst: reject it
-      bytes_ -= worst->packet.size_bytes;
-      ++counters_.dropped;
-      counters_.dropped_bytes +=
-          static_cast<std::uint64_t>(worst->packet.size_bytes);
-      entries_.erase(worst);
-    }
-    if (bytes_ + p.size_bytes > buffer_bytes_) {
-      ++counters_.dropped;
-      counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
-      return false;
-    }
+PifoQueue::PifoQueue(std::int64_t buffer_bytes, Rank rank_space)
+    : buffer_bytes_(buffer_bytes) {
+  if (rank_space > 0 && rank_space <= BucketedPifo::kMaxAutoRankSpace) {
+    bucketed_ = std::make_unique<BucketedPifo>(rank_space, buffer_bytes);
   }
-  entries_.insert(Entry{p.rank, next_order_++, p});
-  bytes_ += p.size_bytes;
-  ++counters_.enqueued;
-  return true;
-}
-
-std::optional<Packet> PifoQueue::dequeue(TimeNs /*now*/) {
-  if (entries_.empty()) return std::nullopt;
-  auto best = entries_.begin();
-  Packet p = best->packet;
-  bytes_ -= p.size_bytes;
-  entries_.erase(best);
-  ++counters_.dequeued;
-  return p;
-}
-
-Rank PifoQueue::head_rank() const {
-  if (entries_.empty()) return kMaxRank;
-  return entries_.begin()->rank;
 }
 
 }  // namespace qv::sched

@@ -8,28 +8,56 @@
 // When the buffer is full, the HIGHEST-rank (lowest-priority) buffered
 // packet is evicted, matching pFabric-style priority dropping; if the
 // arriving packet is itself the worst, it is rejected.
+//
+// Two backends, selected at construction:
+//   * bounded rank space (the post-synthesis case, paper §3.2: ranks
+//     are quantized onto a small discrete space) — an O(1),
+//     allocation-free bucketed bitmap PIFO (bucketed_pifo.hpp);
+//   * unbounded ranks — the reference ordered-set implementation.
+// Both are observationally identical (see the differential test in
+// tests/sched/pifo_test.cpp).
 #pragma once
 
+#include <memory>
 #include <set>
 
+#include "sched/bucketed_pifo.hpp"
 #include "sched/scheduler.hpp"
 
 namespace qv::sched {
 
 class PifoQueue final : public Scheduler {
  public:
-  explicit PifoQueue(std::int64_t buffer_bytes = 0)
-      : buffer_bytes_(buffer_bytes) {}
+  /// `rank_space` > 0 declares that every rank is < rank_space; small
+  /// enough spaces (<= BucketedPifo::kMaxAutoRankSpace) select the
+  /// flat bucketed backend. 0 = unbounded ranks (ordered-set backend).
+  explicit PifoQueue(std::int64_t buffer_bytes = 0, Rank rank_space = 0);
 
   bool enqueue(const Packet& p, TimeNs now) override;
   std::optional<Packet> dequeue(TimeNs now) override;
 
-  std::size_t size() const override { return entries_.size(); }
-  std::int64_t buffered_bytes() const override { return bytes_; }
+  std::size_t enqueue_batch(std::span<Packet> batch, TimeNs now) override {
+    if (bucketed_) return bucketed_->enqueue_batch(batch, now);
+    return Scheduler::enqueue_batch(batch, now);
+  }
+
+  std::size_t size() const override {
+    return bucketed_ ? bucketed_->size() : entries_.size();
+  }
+  std::int64_t buffered_bytes() const override {
+    return bucketed_ ? bucketed_->buffered_bytes() : bytes_;
+  }
   std::string name() const override { return "pifo"; }
+
+  const SchedulerCounters& counters() const override {
+    return bucketed_ ? bucketed_->counters() : counters_;
+  }
 
   /// Rank of the head (next dequeued) packet; kMaxRank when empty.
   Rank head_rank() const;
+
+  /// True when the flat bucketed backend is active (test hook).
+  bool bucketed() const { return bucketed_ != nullptr; }
 
  private:
   struct Entry {
@@ -43,10 +71,64 @@ class PifoQueue final : public Scheduler {
     }
   };
 
+  // Bucketed backend (bounded rank space); null = ordered-set backend.
+  std::unique_ptr<BucketedPifo> bucketed_;
+
   std::set<Entry> entries_;
   std::int64_t bytes_ = 0;
   std::int64_t buffer_bytes_;
   std::uint64_t next_order_ = 0;
 };
+
+// Hot-path definitions live here so the bucketed backend's inlined
+// enqueue/dequeue survive through this wrapper: an out-of-line call
+// would re-impose a function-call + std::optional round trip on a path
+// that is otherwise a dozen instructions. (The ordered-set branch gains
+// nothing — the tree walk dominates — so both backends are measured
+// through the identical wrapper.)
+
+inline bool PifoQueue::enqueue(const Packet& p, TimeNs now) {
+  if (bucketed_) return bucketed_->enqueue(p, now);
+  if (buffer_bytes_ > 0) {
+    // Evict worst-rank packets until the new one fits; never evict a
+    // packet that ranks at least as well as the arrival (at equal rank
+    // the buffered packet FIFO-precedes the arrival and stays).
+    while (bytes_ + p.size_bytes > buffer_bytes_ && !entries_.empty()) {
+      auto worst = std::prev(entries_.end());
+      if (worst->rank <= p.rank) break;  // arrival is the worst: reject it
+      bytes_ -= worst->packet.size_bytes;
+      ++counters_.dropped;
+      counters_.dropped_bytes +=
+          static_cast<std::uint64_t>(worst->packet.size_bytes);
+      entries_.erase(worst);
+    }
+    if (bytes_ + p.size_bytes > buffer_bytes_) {
+      ++counters_.dropped;
+      counters_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+      return false;
+    }
+  }
+  entries_.insert(Entry{p.rank, next_order_++, p});
+  bytes_ += p.size_bytes;
+  ++counters_.enqueued;
+  return true;
+}
+
+inline std::optional<Packet> PifoQueue::dequeue(TimeNs now) {
+  if (bucketed_) return bucketed_->dequeue(now);
+  if (entries_.empty()) return std::nullopt;
+  auto best = entries_.begin();
+  Packet p = best->packet;
+  bytes_ -= p.size_bytes;
+  entries_.erase(best);
+  ++counters_.dequeued;
+  return p;
+}
+
+inline Rank PifoQueue::head_rank() const {
+  if (bucketed_) return bucketed_->head_rank();
+  if (entries_.empty()) return kMaxRank;
+  return entries_.begin()->rank;
+}
 
 }  // namespace qv::sched

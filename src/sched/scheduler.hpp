@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "netsim/packet.hpp"
@@ -32,6 +33,18 @@ class Scheduler {
   /// buffered victim instead return true and count the victim's drop.
   virtual bool enqueue(const Packet& p, TimeNs now) = 0;
 
+  /// Offer a burst of packets arriving together at `now`; packets may
+  /// be rewritten in place (QVISOR's pre-processor path). Returns the
+  /// number accepted. The default simply loops enqueue(); disciplines
+  /// with a cheaper amortized path (batch pre-processing) override it.
+  virtual std::size_t enqueue_batch(std::span<Packet> batch, TimeNs now) {
+    std::size_t accepted = 0;
+    for (Packet& p : batch) {
+      if (enqueue(p, now)) ++accepted;
+    }
+    return accepted;
+  }
+
   /// Remove the next packet to transmit, or nullopt when empty.
   virtual std::optional<Packet> dequeue(TimeNs now) = 0;
 
@@ -42,7 +55,11 @@ class Scheduler {
   virtual std::string name() const = 0;
 
   bool empty() const { return size() == 0; }
-  const SchedulerCounters& counters() const { return counters_; }
+
+  /// Drop/enqueue/dequeue counters. Virtual so facades that delegate to
+  /// an internal scheduler (PifoQueue's bucketed backend) can surface
+  /// the delegate's counts.
+  virtual const SchedulerCounters& counters() const { return counters_; }
 
  protected:
   SchedulerCounters counters_;

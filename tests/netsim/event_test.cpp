@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <vector>
 
 namespace qv::netsim {
@@ -82,6 +84,105 @@ TEST(EventQueue, EventsMayScheduleMoreEvents) {
   while (!q.empty()) q.run_next();
   // The t=5 event runs immediately after (queue is purely ordered by time).
   EXPECT_EQ(order, (std::vector<int>{1, 99, 2}));
+}
+
+// Regression (ISSUE 1 satellite): cancelling an id whose event already
+// ran used to decrement the live count (any 0 < id < next_id_ was
+// accepted), corrupting size()/empty(). Generation-stamped slots make
+// the stale id a true no-op.
+TEST(EventQueue, CancelAfterRunIsANoOp) {
+  EventQueue q;
+  const EventId ran = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.run_next();  // `ran` fires
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(ran);  // stale id: must not touch the remaining event
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.next_time(), 2);
+  EXPECT_EQ(q.run_next(), 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelIsANoOp) {
+  EventQueue q;
+  const EventId id = q.schedule(5, [] {});
+  q.schedule(6, [] {});
+  q.cancel(id);
+  q.cancel(id);  // second cancel of the same id
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.run_next(), 6);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  bool second_ran = false;
+  const EventId first = q.schedule(1, [] {});
+  q.run_next();  // frees the slot
+  // The next schedule recycles the slot under a new generation.
+  q.schedule(2, [&] { second_ran = true; });
+  q.cancel(first);  // stale id pointing at the recycled slot
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueue, CancelFromInsideARunningEvent) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId doomed = 0;
+  q.schedule(1, [&] {
+    order.push_back(1);
+    q.cancel(doomed);
+  });
+  doomed = q.schedule(2, [&] { order.push_back(2); });
+  q.schedule(3, [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, LargeCapturesStillWork) {
+  // Callables beyond EventFn's inline buffer take the heap fallback.
+  EventQueue q;
+  std::array<std::uint64_t, 64> big{};
+  big[0] = 7;
+  big[63] = 9;
+  std::uint64_t sum = 0;
+  q.schedule(1, [big, &sum] { sum = big[0] + big[63]; });
+  q.run_next();
+  EXPECT_EQ(sum, 16u);
+}
+
+TEST(EventQueue, ManyEventsRandomOrderRunSorted) {
+  EventQueue q;
+  std::vector<TimeNs> fired;
+  // Deterministic pseudo-random times with duplicates: exercises the
+  // 4-ary heap beyond trivial sizes.
+  std::uint64_t x = 88172645463325252ull;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const TimeNs at = static_cast<TimeNs>(x % 97);
+    ids.push_back(q.schedule(at, [&fired, at] { fired.push_back(at); }));
+  }
+  // Cancel a deterministic third of them.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    q.cancel(ids[i]);
+    ++cancelled;
+  }
+  EXPECT_EQ(q.size(), ids.size() - cancelled);
+  TimeNs prev = 0;
+  while (!q.empty()) {
+    const TimeNs at = q.run_next();
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+  EXPECT_EQ(fired.size(), ids.size() - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
 }
 
 TEST(EventQueue, SizeTracksLiveEvents) {

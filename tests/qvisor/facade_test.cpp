@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "qvisor/backend.hpp"
 #include "qvisor/qvisor.hpp"
+#include "sched/bucketed_pifo.hpp"
+#include "sched/pifo.hpp"
 
 namespace qv::qvisor {
 namespace {
@@ -136,6 +141,48 @@ TEST_F(FacadeTest, GuaranteesReportedOnCompile) {
   ASSERT_FALSE(result.guarantees.empty());
   EXPECT_NE(result.guarantees[0].find("perfect rank ordering"),
             std::string::npos);
+}
+
+TEST_F(FacadeTest, EnqueueBatchMatchesScalarEnqueue) {
+  ASSERT_TRUE(hv_.compile().ok);
+  auto batch_port = hv_.make_port_scheduler();
+  auto scalar_port = hv_.make_port_scheduler();
+  std::vector<Packet> burst;
+  for (int i = 0; i < 16; ++i) {
+    burst.push_back(labeled(1 + static_cast<TenantId>(i % 2),
+                            static_cast<Rank>(i * 7 % 100)));
+  }
+  for (const Packet& p : burst) scalar_port->enqueue(p, 0);
+  EXPECT_EQ(batch_port->enqueue_batch(std::span<Packet>(burst), 0),
+            burst.size());
+  EXPECT_EQ(batch_port->counters().enqueued, 16u);
+  // Both ports must drain in the identical transformed order.
+  for (;;) {
+    const auto a = batch_port->dequeue(0);
+    const auto b = scalar_port->dequeue(0);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    EXPECT_EQ(a->rank, b->rank);
+    EXPECT_EQ(a->tenant, b->tenant);
+  }
+  // Estimators and per-tenant counts observed the batch too.
+  EXPECT_EQ(hv_.per_tenant_packets().at(1), 16u);  // 8 per port
+}
+
+TEST_F(FacadeTest, PortUsesBucketedPifoAfterCompile) {
+  // Post-synthesis rank spaces are bounded, so the PIFO backend should
+  // come up on the flat bucketed implementation.
+  ASSERT_TRUE(hv_.compile().ok);
+  // The hardware rank space is huge (1<<20) but the plan only uses a
+  // small prefix — that is what makes the flat backend selectable.
+  ASSERT_LE(hv_.plan().used_rank_space() + 1,
+            sched::BucketedPifo::kMaxAutoRankSpace);
+  auto port = hv_.make_port_scheduler();
+  const auto* inner =
+      dynamic_cast<const sched::PifoQueue*>(&static_cast<const QvisorPort&>(
+           *port).inner());
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(inner->bucketed());
 }
 
 TEST_F(FacadeTest, MonitorContractsFromDeclaredBounds) {

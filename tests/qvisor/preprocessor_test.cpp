@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 namespace qv::qvisor {
 namespace {
 
@@ -129,6 +132,96 @@ TEST(Preprocessor, ReinstallSwapsAtomically) {
   pre.process(a);
   pre.process(b);
   EXPECT_LT(b.rank, a.rank);  // order flipped by the new plan
+}
+
+// --- batch API (ISSUE 1 satellite) ---------------------------------------
+
+TEST(PreprocessorBatch, MatchesPerPacketProcessing) {
+  const auto plan = two_tier_plan();
+  Preprocessor batch_pre;
+  Preprocessor scalar_pre;
+  batch_pre.install(plan);
+  scalar_pre.install(plan);
+
+  std::vector<Packet> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(labeled(1 + static_cast<TenantId>(i % 2),
+                            static_cast<Rank>(i % 101)));
+  }
+  std::vector<Packet> scalar = batch;
+
+  const std::size_t kept = batch_pre.process(std::span<Packet>(batch));
+  ASSERT_EQ(kept, batch.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_TRUE(scalar_pre.process(scalar[i]));
+    EXPECT_EQ(batch[i].rank, scalar[i].rank) << "packet " << i;
+  }
+  EXPECT_EQ(batch_pre.counters().processed, scalar_pre.counters().processed);
+  EXPECT_EQ(batch_pre.per_tenant().at(1), scalar_pre.per_tenant().at(1));
+  EXPECT_EQ(batch_pre.per_tenant().at(2), scalar_pre.per_tenant().at(2));
+}
+
+TEST(PreprocessorBatch, DropCompactsSurvivorsStably) {
+  Preprocessor pre(UnknownTenantAction::kDrop);
+  pre.install(two_tier_plan());
+  // Interleave known tenants with unknown ones (tenant 77 must drop).
+  std::vector<Packet> batch = {labeled(1, 10), labeled(77, 1),
+                               labeled(2, 20), labeled(77, 2),
+                               labeled(1, 30)};
+  const std::size_t kept = pre.process(std::span<Packet>(batch));
+  ASSERT_EQ(kept, 3u);
+  // Survivors keep their relative order and carry their own labels.
+  EXPECT_EQ(batch[0].tenant, 1u);
+  EXPECT_EQ(batch[0].original_rank, 10u);
+  EXPECT_EQ(batch[1].tenant, 2u);
+  EXPECT_EQ(batch[1].original_rank, 20u);
+  EXPECT_EQ(batch[2].tenant, 1u);
+  EXPECT_EQ(batch[2].original_rank, 30u);
+  EXPECT_EQ(pre.counters().unknown_tenant, 2u);
+  EXPECT_EQ(pre.per_tenant().at(77), 2u);  // unknowns are still counted
+}
+
+TEST(PreprocessorBatch, UnknownTenantActionsThroughBatchApi) {
+  const auto plan = two_tier_plan();
+
+  Preprocessor pass(UnknownTenantAction::kPassThrough);
+  pass.install(plan);
+  std::vector<Packet> a = {labeled(77, 3)};
+  EXPECT_EQ(pass.process(std::span<Packet>(a)), 1u);
+  EXPECT_EQ(a[0].rank, 3u);
+
+  Preprocessor best(UnknownTenantAction::kBestEffort);
+  best.install(plan);
+  std::vector<Packet> b = {labeled(77, 3)};
+  EXPECT_EQ(best.process(std::span<Packet>(b)), 1u);
+  EXPECT_EQ(b[0].rank, plan.rank_space - 1);
+
+  Preprocessor drop(UnknownTenantAction::kDrop);
+  drop.install(plan);
+  std::vector<Packet> c = {labeled(77, 3)};
+  EXPECT_EQ(drop.process(std::span<Packet>(c)), 0u);
+}
+
+TEST(PreprocessorBatch, OutOfBoundsCountedThroughBatchApi) {
+  Preprocessor pre;
+  const auto plan = two_tier_plan();
+  pre.install(plan);
+  std::vector<Packet> batch = {labeled(1, 9999), labeled(2, 50),
+                               labeled(1, 101)};  // declared max is 100
+  EXPECT_EQ(pre.process(std::span<Packet>(batch)), 3u);
+  EXPECT_EQ(pre.counters().out_of_bounds, 2u);
+  // Clamped to the declared maximum before transforming.
+  EXPECT_EQ(batch[0].rank, plan.find("A")->transform.apply(100));
+}
+
+TEST(PreprocessorBatch, HugeTenantIdsTakeTheSpillPath) {
+  // Ids beyond the dense-table ceiling still work (and still count).
+  Preprocessor pre(UnknownTenantAction::kDrop);
+  pre.install(two_tier_plan());
+  Packet p = labeled(Preprocessor::kDenseLimit + 5, 1);
+  EXPECT_FALSE(pre.process(p));
+  EXPECT_EQ(pre.counters().unknown_tenant, 1u);
+  EXPECT_EQ(pre.per_tenant().at(Preprocessor::kDenseLimit + 5), 1u);
 }
 
 }  // namespace

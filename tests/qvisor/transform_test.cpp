@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/random.hpp"
@@ -150,6 +152,47 @@ TEST(TableTransform, RejectsOversizedRange) {
   RankTransform t({0, 1u << 24}, 16, 0);
   EXPECT_THROW(TableTransform::compile(t, 1 << 20),
                std::invalid_argument);
+}
+
+TEST(RankTransform, ReciprocalMatchesExactDivision) {
+  // apply() folds the division by the input width into a fixed-point
+  // reciprocal on the hot path; verify it against the textbook formula
+  // across widths exercising both the fast and the fallback path,
+  // including full-width 32-bit bounds.
+  const sched::RankBounds bounds_cases[] = {
+      {0, 0},          {0, 1},         {7, 9},          {0, 255},
+      {100, 355},      {0, 65535},     {1, 65536},      {0, (1u << 20) - 1},
+      {0, kMaxRank},   {5, kMaxRank},  {12345, 987654},
+  };
+  const std::uint32_t levels_cases[] = {1, 2, 3, 7, 64, 255, 4096};
+  Rng rng(99);
+  for (const auto& bounds : bounds_cases) {
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(bounds.max) - bounds.min + 1;
+    for (const std::uint32_t levels : levels_cases) {
+      RankTransform t(bounds, levels, /*base=*/10, /*stride=*/3);
+      auto naive = [&](Rank r) {
+        const Rank clamped = std::clamp(r, bounds.min, bounds.max);
+        const std::uint64_t off = clamped - bounds.min;
+        const std::uint64_t level =
+            std::min<std::uint64_t>(off * levels / width, levels - 1);
+        return static_cast<Rank>(10 + level * 3);
+      };
+      // Edges plus a random sample of the input range.
+      for (const Rank r : {bounds.min, bounds.max,
+                           static_cast<Rank>(bounds.min + (width - 1) / 2)}) {
+        ASSERT_EQ(t.apply(r), naive(r)) << "edge r=" << r;
+      }
+      for (int i = 0; i < 200; ++i) {
+        const Rank r = bounds.min + static_cast<Rank>(rng.next_below(
+                                        static_cast<std::int64_t>(
+                                            std::min<std::uint64_t>(
+                                                width, 1ull << 31))));
+        ASSERT_EQ(t.apply(r), naive(r))
+            << "r=" << r << " width=" << width << " levels=" << levels;
+      }
+    }
+  }
 }
 
 }  // namespace

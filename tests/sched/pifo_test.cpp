@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "sched/bucketed_pifo.hpp"
 #include "util/random.hpp"
 
 namespace qv::sched {
@@ -117,6 +118,135 @@ TEST_P(PifoProperty, AlwaysPopsMinimumBufferedRank) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PifoProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- bucketed backend ----------------------------------------------------
+
+TEST(BucketedPifo, AutoSelectedForBoundedRankSpace) {
+  EXPECT_TRUE(PifoQueue(0, 256).bucketed());
+  EXPECT_TRUE(PifoQueue(0, BucketedPifo::kMaxAutoRankSpace).bucketed());
+  EXPECT_FALSE(PifoQueue(0, 0).bucketed());  // unbounded: set backend
+  EXPECT_FALSE(PifoQueue(0, BucketedPifo::kMaxAutoRankSpace + 1).bucketed());
+}
+
+TEST(BucketedPifo, BasicOrderAndTies) {
+  BucketedPifo q(/*rank_space=*/16);
+  for (Rank r : {5u, 1u, 9u, 3u, 7u}) q.enqueue(pkt(r), 0);
+  q.enqueue(pkt(3, /*flow=*/42), 0);  // tie with the existing rank-3
+  std::vector<Rank> out;
+  std::vector<FlowId> flows;
+  while (auto p = q.dequeue(0)) {
+    out.push_back(p->rank);
+    flows.push_back(p->flow);
+  }
+  EXPECT_EQ(out, (std::vector<Rank>{1, 3, 3, 5, 7, 9}));
+  EXPECT_EQ(flows[1], 0u);  // FIFO within the rank-3 bucket
+  EXPECT_EQ(flows[2], 42u);
+}
+
+TEST(BucketedPifo, ClampsOutOfRangeRanksIntoLastBucket) {
+  BucketedPifo q(/*rank_space=*/8);
+  q.enqueue(pkt(1000), 0);  // beyond the declared space
+  q.enqueue(pkt(3), 0);
+  EXPECT_EQ(q.dequeue(0)->rank, 3u);
+  // The packet keeps its rank; only its bucket was clamped.
+  EXPECT_EQ(q.dequeue(0)->rank, 1000u);
+}
+
+TEST(BucketedPifo, SteadyStateReusesSlabNodes) {
+  BucketedPifo q(/*rank_space=*/64);
+  Rng rng(11);
+  for (int i = 0; i < 32; ++i)
+    q.enqueue(pkt(static_cast<Rank>(rng.next_below(64))), 0);
+  // One warm-up churn: the first enqueue of the loop briefly reaches
+  // depth 33 and establishes the slab high-water mark.
+  q.enqueue(pkt(0), 0);
+  q.dequeue(0);
+  const std::size_t high_water = q.slab_capacity();
+  for (int i = 0; i < 10000; ++i) {
+    q.enqueue(pkt(static_cast<Rank>(rng.next_below(64))), 0);
+    q.dequeue(0);
+  }
+  EXPECT_EQ(q.slab_capacity(), high_water);  // no growth at steady depth
+}
+
+// Differential test (ISSUE 1 satellite): the bucketed PIFO and the
+// reference ordered-set PIFO must be observationally identical — same
+// dequeue order (including equal-rank FIFO ties) and same drop
+// accounting under byte-budget eviction — for any interleaved stream.
+class PifoDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PifoDifferential, BucketedMatchesReferenceSet) {
+  constexpr Rank kRankSpace = 96;  // small: forces many ties
+  constexpr std::int64_t kBudget = 40 * 100;  // 40 packets of 100 bytes
+  Rng rng(GetParam());
+  PifoQueue reference(kBudget);  // rank_space 0: ordered-set backend
+  BucketedPifo bucketed(kRankSpace, kBudget);
+  ASSERT_FALSE(reference.bucketed());
+
+  FlowId next_flow = 1;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.next_bool(0.55)) {
+      Packet p = pkt(static_cast<Rank>(rng.next_below(kRankSpace)),
+                     next_flow++);
+      const bool a = reference.enqueue(p, 0);
+      const bool b = bucketed.enqueue(p, 0);
+      ASSERT_EQ(a, b) << "admission diverged at step " << step;
+    } else {
+      const auto a = reference.dequeue(0);
+      const auto b = bucketed.dequeue(0);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a) {
+        ASSERT_EQ(a->rank, b->rank) << "rank diverged at step " << step;
+        ASSERT_EQ(a->flow, b->flow) << "tie-break diverged at step " << step;
+      }
+    }
+    ASSERT_EQ(reference.size(), bucketed.size());
+    ASSERT_EQ(reference.buffered_bytes(), bucketed.buffered_bytes());
+  }
+  // Drain the remainder: orders must match exactly.
+  for (;;) {
+    const auto a = reference.dequeue(0);
+    const auto b = bucketed.dequeue(0);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    ASSERT_EQ(a->rank, b->rank);
+    ASSERT_EQ(a->flow, b->flow);
+  }
+  EXPECT_EQ(reference.counters().enqueued, bucketed.counters().enqueued);
+  EXPECT_EQ(reference.counters().dequeued, bucketed.counters().dequeued);
+  EXPECT_EQ(reference.counters().dropped, bucketed.counters().dropped);
+  EXPECT_EQ(reference.counters().dropped_bytes,
+            bucketed.counters().dropped_bytes);
+  EXPECT_GT(bucketed.counters().dropped, 0u);  // budget actually binds
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PifoDifferential,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+// The auto-selected backend inside PifoQueue must behave identically to
+// constructing BucketedPifo directly (evictions included).
+TEST(PifoDifferential, AutoSelectedBackendMatchesExplicit) {
+  Rng rng(33);
+  PifoQueue facade(/*buffer_bytes=*/1000, /*rank_space=*/32);
+  BucketedPifo direct(/*rank_space=*/32, /*buffer_bytes=*/1000);
+  ASSERT_TRUE(facade.bucketed());
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.next_bool(0.6)) {
+      Packet p = pkt(static_cast<Rank>(rng.next_below(32)),
+                     static_cast<FlowId>(step));
+      ASSERT_EQ(facade.enqueue(p, 0), direct.enqueue(p, 0));
+    } else {
+      const auto a = facade.dequeue(0);
+      const auto b = direct.dequeue(0);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a) {
+        ASSERT_EQ(a->flow, b->flow);
+      }
+    }
+  }
+  EXPECT_EQ(facade.counters().dropped, direct.counters().dropped);
+  EXPECT_EQ(facade.head_rank(), direct.head_rank());
+}
 
 }  // namespace
 }  // namespace qv::sched
