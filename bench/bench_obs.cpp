@@ -1,0 +1,183 @@
+// Observability overhead on the data-plane hot path: the same
+// steady-state harnesses as bench_schedulers / bench_preprocessor (see
+// there for the harness-hygiene notes), but with the producer-side
+// instrumentation pattern in the loop —
+//
+//   if (tracer && tracer->enabled(cat)) tracer->instant(...)
+//
+// run once with tracer == nullptr (Arg 0, "obs disabled": the cost is
+// one pointer test) and once with an enabled tracer + live counter
+// handles (Arg 1, "obs enabled": ring push + counter increments).
+// run_benchmarks.py --obs records both sides in BENCH_obs.json and
+// checks the disabled side against the uninstrumented BENCH_hotpath
+// benchmarks, re-measured in the same invocation so the 3% budget is
+// not polluted by cross-session machine drift (the stored
+// BENCH_hotpath.json numbers are recorded alongside for context).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/log2_histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "qvisor/qvisor.hpp"
+#include "sched/pifo.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace qv;
+
+Packet make_packet(Rng& rng, Rank rank_space) {
+  Packet p;
+  p.rank = static_cast<Rank>(rng.next_below(rank_space));
+  p.original_rank = p.rank;
+  p.tenant = static_cast<TenantId>(rng.next_below(8));
+  p.flow = rng.next_below(64);
+  p.size_bytes = 1500;
+  return p;
+}
+
+obs::Tracer* make_tracer(benchmark::State& state, obs::Tracer& storage) {
+  if (state.range(0) == 0) return nullptr;
+  storage.enable_all();
+  return &storage;
+}
+
+void BM_BucketedPifoObs(benchmark::State& state) {
+  // BM_BucketedPifoNarrowRanks/256 from bench_schedulers, plus the
+  // per-packet guard. The ring wraps continuously when enabled — the
+  // designed steady state for long runs.
+  sched::PifoQueue q(/*buffer_bytes=*/0, /*rank_space=*/256);
+  obs::Tracer storage;
+  obs::Tracer* tracer = make_tracer(state, storage);
+
+  constexpr int kUnroll = 16;
+  constexpr std::size_t kRing = 1024;
+  Rng rng(7);
+  std::vector<Packet> ring;
+  ring.reserve(kRing);
+  for (std::size_t i = 0; i < kRing; ++i) {
+    ring.push_back(make_packet(rng, 256));
+  }
+  for (int i = 0; i < 256; ++i) {
+    q.enqueue(ring[static_cast<std::size_t>(i) & (kRing - 1)], 0);
+  }
+  std::int64_t ops = 0;
+  std::size_t next = 256;
+  TimeNs now = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kUnroll; ++i) {
+      const Packet& p = ring[next++ & (kRing - 1)];
+      q.enqueue(p, now);
+      if (tracer != nullptr &&
+          tracer->enabled(obs::TraceCategory::kSched)) {
+        tracer->instant(obs::TraceCategory::kSched, "enqueue", now, 1,
+                        "rank", p.rank);
+      }
+      benchmark::DoNotOptimize(q.dequeue(now));
+      ++now;
+    }
+    ops += 2 * kUnroll;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BucketedPifoObs)->Arg(0)->Arg(1);
+
+void BM_PreprocessorObs(benchmark::State& state) {
+  // BM_PreprocessorProcess/8 from bench_preprocessor, plus a live
+  // registry counter increment and the tracer guard per packet.
+  std::vector<qvisor::TenantSpec> specs;
+  std::string policy_text;
+  for (int i = 0; i < 8; ++i) {
+    qvisor::TenantSpec spec;
+    spec.id = static_cast<TenantId>(i);
+    spec.name = "t" + std::to_string(i);
+    spec.declared_bounds = {0, 1 << 16};
+    specs.push_back(spec);
+    if (i > 0) policy_text += i % 2 == 0 ? " >> " : " + ";
+    policy_text += spec.name;
+  }
+  auto parsed = qvisor::parse_policy(policy_text);
+  qvisor::Synthesizer synth;
+  auto plan = synth.synthesize(specs, *parsed.policy);
+  qvisor::Preprocessor pre;
+  pre.install(*plan.plan);
+
+  obs::Registry registry;
+  obs::Tracer storage;
+  obs::Tracer* tracer = make_tracer(state, storage);
+  // Only paid when enabled: production counters are views over the
+  // components' own slots, so obs-off adds no per-packet increment.
+  obs::Counter processed = registry.counter("pre.processed");
+
+  constexpr int kUnroll = 16;
+  constexpr std::size_t kStream = 4096;
+  Rng rng(3);
+  std::vector<Packet> stream;
+  stream.reserve(kStream);
+  for (std::size_t i = 0; i < kStream; ++i) {
+    stream.push_back(make_packet(rng, 1 << 16));
+  }
+  std::int64_t packets = 0;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kUnroll; ++i) {
+      Packet& p = stream[next++ & (kStream - 1)];
+      benchmark::DoNotOptimize(pre.process(p));
+      if (tracer != nullptr &&
+          tracer->enabled(obs::TraceCategory::kQvisor)) {
+        processed.inc();
+        tracer->instant(obs::TraceCategory::kQvisor, "process", 0, 0,
+                        "rank", p.rank);
+      }
+      benchmark::DoNotOptimize(p.rank);
+    }
+    packets += kUnroll;
+  }
+  state.SetItemsProcessed(packets);
+}
+BENCHMARK(BM_PreprocessorObs)->Arg(0)->Arg(1);
+
+// --- primitive costs, for the DESIGN.md overhead table ----------------
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Counter c = reg.counter("bench");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_TracerInstant(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.enable_all();
+  TimeNs now = 0;
+  for (auto _ : state) {
+    tracer.instant(obs::TraceCategory::kSched, "e", now++, 1, "rank", 3);
+    benchmark::DoNotOptimize(tracer.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerInstant);
+
+void BM_Log2HistogramAdd(benchmark::State& state) {
+  obs::Log2Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.add(v);
+    v = v * 1664525 + 1013904223;  // LCG: varies the bucket
+    benchmark::DoNotOptimize(h.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Log2HistogramAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

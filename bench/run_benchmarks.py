@@ -89,6 +89,55 @@ BINARIES = {
     "bench_event_queue": "Event",
 }
 
+# --- observability overhead mode (--obs -> BENCH_obs.json) -----------------
+#
+# bench_obs runs the SAME steady-state harnesses with the producer-side
+# instrumentation pattern in the loop; Arg 0 is "obs disabled" (a null
+# tracer pointer test per packet), Arg 1 is "obs enabled" (ring pushes +
+# live counter increments).
+OBS_PAIRS = {
+    # metric -> (disabled benchmark, enabled benchmark)
+    "bucketed_pifo_hotpath": (
+        "BM_BucketedPifoObs/0",
+        "BM_BucketedPifoObs/1",
+    ),
+    "preprocessor_hotpath": (
+        "BM_PreprocessorObs/0",
+        "BM_PreprocessorObs/1",
+    ),
+}
+
+# Raw primitive costs, for the DESIGN.md overhead table.
+OBS_PRIMITIVES = ["BM_CounterInc", "BM_TracerInstant", "BM_Log2HistogramAdd"]
+
+# The disabled side must stay within 3% of the uninstrumented hot-path
+# benchmarks. The budget is judged against a LIVE re-measurement of the
+# reference benchmark in the same invocation — absolute numbers drift
+# several percent across sessions on a shared machine, which would
+# otherwise drown the 3% signal (or hide a real regression behind a
+# fast day). The corresponding stored BENCH_hotpath.json value is
+# recorded alongside for context.
+# disabled benchmark ->
+#   (live reference benchmark, BENCH_hotpath comparison key + side)
+OBS_BASELINES = {
+    "BM_BucketedPifoObs/0": (
+        "BM_BucketedPifoNarrowRanks/256",
+        ("pifo_narrow_256level_depth256", "after_items_per_sec"),
+    ),
+    "BM_PreprocessorObs/0": (
+        "BM_PreprocessorProcess/8",
+        ("preprocessor_scalar_8tenants", "after_items_per_sec"),
+    ),
+}
+OBS_BUDGET = 0.03
+
+OBS_BINARIES = {
+    "bench_obs": "Obs|BM_CounterInc|BM_TracerInstant|BM_Log2HistogramAdd",
+    # Live uninstrumented references for OBS_BASELINES.
+    "bench_schedulers": "BM_BucketedPifoNarrowRanks/256$",
+    "bench_preprocessor": "BM_PreprocessorProcess/8$",
+}
+
 
 def run_binary(path, bench_filter, repetitions, min_time):
     cmd = [
@@ -103,11 +152,11 @@ def run_binary(path, bench_filter, repetitions, min_time):
     return json.loads(out.stdout)
 
 
-def collect(build_dir, repetitions, min_time, runs):
+def collect(build_dir, repetitions, min_time, runs, binaries=BINARIES):
     """name -> best (max) median items_per_second across `runs` runs."""
     items = {}
     for _ in range(runs):
-        for binary, bench_filter in BINARIES.items():
+        for binary, bench_filter in binaries.items():
             path = os.path.join(build_dir, "bench", binary)
             if not os.path.exists(path):
                 sys.exit(f"missing benchmark binary: {path} (build the "
@@ -150,10 +199,101 @@ def collect_seed(build_dir, repetitions, min_time, runs):
     return seed
 
 
+def run_obs_mode(args):
+    """--obs: measure instrumentation overhead -> BENCH_obs.json."""
+    items = collect(args.build_dir, args.repetitions, args.min_time,
+                    args.runs, binaries=OBS_BINARIES)
+
+    hotpath = {}
+    for metric, (disabled, enabled) in OBS_PAIRS.items():
+        if disabled not in items or enabled not in items:
+            continue
+        hotpath[metric] = {
+            "disabled_benchmark": disabled,
+            "enabled_benchmark": enabled,
+            "disabled_items_per_sec": round(items[disabled]),
+            "enabled_items_per_sec": round(items[enabled]),
+            "enabled_over_disabled": round(
+                items[enabled] / items[disabled], 3),
+        }
+
+    baseline_check = {}
+    try:
+        with open(args.hotpath_ref) as f:
+            ref = json.load(f)["comparisons"]
+    except (OSError, KeyError):
+        ref = {}
+    for bench, (live_ref, (key, side)) in OBS_BASELINES.items():
+        if bench not in items or live_ref not in items:
+            continue
+        live = items[live_ref]
+        ratio = items[bench] / live
+        entry = {
+            "reference_benchmark": live_ref,
+            "reference_items_per_sec": round(live),
+            "measured_items_per_sec": round(items[bench]),
+            "ratio": round(ratio, 3),
+            # One-sided like the rest of the harness: a disabled-obs
+            # loop can only be slower than the reference, never
+            # legitimately faster, so only a deficit > budget fails.
+            "within_budget": ratio >= 1.0 - OBS_BUDGET,
+        }
+        if key in ref:
+            # Stored-file context; drifts with machine state across
+            # sessions, so it carries no pass/fail weight.
+            entry["stored_hotpath_reference"] = f"{key}.{side}"
+            entry["stored_items_per_sec"] = ref[key][side]
+            entry["ratio_vs_stored"] = round(items[bench] / ref[key][side],
+                                             3)
+        baseline_check[bench] = entry
+
+    result = {
+        "methodology": {
+            "build": "release-bench preset (-O3 -DNDEBUG)",
+            "aggregate": f"best of {args.runs} runs of the median over "
+                         f"{args.repetitions} repetitions, min_time "
+                         f"{args.min_time}s each",
+            "pattern": "per-packet `if (tracer && tracer->enabled(cat))` "
+                       "guard; Arg 0 = null tracer (disabled), Arg 1 = "
+                       "enabled tracer + live counter handles",
+            "budget": f"disabled side within {OBS_BUDGET:.0%} of the "
+                      f"uninstrumented BENCH_hotpath benchmarks, "
+                      f"re-measured live in this invocation (the "
+                      f"stored {args.hotpath_ref} values are recorded "
+                      f"for context; cross-session machine drift makes "
+                      f"them unusable as a pass/fail bar)",
+        },
+        "hotpath": hotpath,
+        "primitives_items_per_sec": {
+            name: round(items[name])
+            for name in OBS_PRIMITIVES if name in items
+        },
+        "baseline_check": baseline_check,
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for metric, c in hotpath.items():
+        print(f"  {metric}: disabled "
+              f"{c['disabled_items_per_sec'] / 1e6:.1f}M, enabled "
+              f"{c['enabled_items_per_sec'] / 1e6:.1f}M "
+              f"({c['enabled_over_disabled']}x)")
+    ok = all(c["within_budget"] for c in baseline_check.values())
+    for bench, c in baseline_check.items():
+        print(f"  {bench} vs {c['reference_benchmark']}: "
+              f"ratio {c['ratio']} "
+              f"({'ok' if c['within_budget'] else 'OVER BUDGET'})")
+    if baseline_check and not ok:
+        sys.exit("obs-disabled hot path regressed beyond the "
+                 f"{OBS_BUDGET:.0%} budget")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build-release-bench")
-    ap.add_argument("--out", default="BENCH_hotpath.json")
+    ap.add_argument("--out", default=None)
     ap.add_argument("--repetitions", type=int, default=3)
     ap.add_argument("--min-time", type=float, default=0.5)
     ap.add_argument("--runs", type=int, default=3,
@@ -162,7 +302,18 @@ def main():
     ap.add_argument("--seed-build-dir", default=None,
                     help="build dir of the seed commit (same flags); "
                          "adds a seed_binary_reference section")
+    ap.add_argument("--obs", action="store_true",
+                    help="measure observability overhead (bench_obs) "
+                         "and write BENCH_obs.json instead")
+    ap.add_argument("--hotpath-ref", default="BENCH_hotpath.json",
+                    help="reference for the --obs baseline check")
     args = ap.parse_args()
+
+    if args.obs:
+        args.out = args.out or "BENCH_obs.json"
+        run_obs_mode(args)
+        return
+    args.out = args.out or "BENCH_hotpath.json"
 
     items = collect(args.build_dir, args.repetitions, args.min_time,
                     args.runs)

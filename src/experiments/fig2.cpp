@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "experiments/obs_wiring.hpp"
 #include "netsim/network.hpp"
 #include "netsim/topology.hpp"
+#include "obs/obs.hpp"
 #include "qvisor/backend.hpp"
 #include "qvisor/qvisor.hpp"
 #include "qvisor/runtime.hpp"
@@ -17,6 +19,7 @@
 #include "sched/rank/pfabric.hpp"
 #include "sched/rank/stfq.hpp"
 #include "telemetry/fct_tracker.hpp"
+#include "telemetry/trace_io.hpp"
 #include "trafficgen/cbr_source.hpp"
 #include "trafficgen/host_source.hpp"
 #include "workload/arrivals.hpp"
@@ -177,6 +180,13 @@ Fig2Result run_fig2(const Fig2Config& config) {
     }
   }
 
+  // --- observability -------------------------------------------------------
+  if (config.obs != nullptr) {
+    wire_network_obs(net, *config.obs, config.end);
+    if (hv) wire_hypervisor_obs(*hv, *config.obs);
+    if (controller) controller->set_tracer(&config.obs->tracer);
+  }
+
   sim.run_until(config.end);
 
   // --- collect ----------------------------------------------------------------
@@ -197,6 +207,33 @@ Fig2Result run_fig2(const Fig2Config& config) {
   result.background_phase2_gbps =
       static_cast<double>(bg_phase2_bytes) * 8.0 / phase2_secs / 1e9;
   if (controller) result.adaptations = controller->adaptations();
+
+  if (!config.flow_csv.empty()) {
+    telemetry::save_flow_csv(config.flow_csv, fct);
+  }
+
+  // Export + freeze LAST, while the schedulers/hypervisor the registry
+  // views point at are still alive; after freeze() the registry is
+  // self-contained and outlives this function.
+  if (config.obs != nullptr) {
+    obs::Registry& reg = config.obs->registry;
+    export_network_metrics(net, reg);
+    if (hv) hv->export_metrics(reg, "qvisor");
+    if (controller) controller->export_metrics(reg, "runtime");
+    reg.counter("sim.events_processed").inc(sim.events_processed());
+    reg.set_gauge("result.interactive_mean_fct_ms",
+                  result.interactive_mean_fct_ms);
+    reg.set_gauge("result.interactive_p99_fct_ms",
+                  result.interactive_p99_fct_ms);
+    reg.set_gauge("result.deadline_met", result.deadline_met);
+    reg.set_gauge("result.background_phase1_gbps",
+                  result.background_phase1_gbps);
+    reg.set_gauge("result.background_phase2_gbps",
+                  result.background_phase2_gbps);
+    reg.set_gauge("result.adaptations",
+                  static_cast<double>(result.adaptations));
+    reg.freeze();
+  }
   return result;
 }
 

@@ -21,9 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "util/time.hpp"
 #include "util/units.hpp"
+
+namespace qv::obs {
+struct Observability;
+}
 
 namespace qv::experiments {
 
@@ -51,6 +56,17 @@ struct Fig2Config {
   std::int64_t bulk_flow_bytes = 2'000'000;
 
   std::uint64_t seed = 1;
+
+  /// Optional instrumentation (not owned): when set, the run attaches
+  /// the tracer + periodic samplers and, at teardown, exports every
+  /// port/hypervisor/runtime metric into the registry and freeze()s it
+  /// — so the caller can write metrics.json / trace.json after this
+  /// function returns.
+  obs::Observability* obs = nullptr;
+
+  /// When non-empty, write the interactive tenant's per-flow records
+  /// here as CSV.
+  std::string flow_csv;
 };
 
 struct Fig2Result {

@@ -1,0 +1,105 @@
+// fig2: run one scheme of the paper's Fig. 2 scenario and emit the run
+// artifacts next to each other in --out:
+//
+//   fig2_<scheme>_flows.csv   per-flow records (plotting input)
+//   fig2_<scheme>_metrics.json  the full metrics registry
+//   fig2_<scheme>_trace.json  Chrome trace-event timeline (Perfetto)
+//
+// Simulator dispatch spans are the bulk of a trace, so the `sim`
+// category is opt-in via --trace-sim; scheduler/qvisor/runtime events
+// are on whenever tracing is (--no-trace disables it entirely).
+#include <cstdio>
+#include <string>
+
+#include "experiments/fig2.hpp"
+#include "obs/obs.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+bool parse_scheme(const std::string& name,
+                  qv::experiments::Fig2Scheme* out) {
+  using qv::experiments::Fig2Scheme;
+  if (name == "fifo") *out = Fig2Scheme::kFifo;
+  else if (name == "pifo") *out = Fig2Scheme::kPifoNaive;
+  else if (name == "qvisor") *out = Fig2Scheme::kQvisor;
+  else if (name == "qvisor-adapt") *out = Fig2Scheme::kQvisorAdapt;
+  else return false;
+  return true;
+}
+
+const char* scheme_slug(qv::experiments::Fig2Scheme s) {
+  using qv::experiments::Fig2Scheme;
+  switch (s) {
+    case Fig2Scheme::kFifo: return "fifo";
+    case Fig2Scheme::kPifoNaive: return "pifo";
+    case Fig2Scheme::kQvisor: return "qvisor";
+    case Fig2Scheme::kQvisorAdapt: return "qvisor-adapt";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qv::Flags flags;
+  flags.define_string("scheme", "qvisor-adapt",
+                      "fifo | pifo | qvisor | qvisor-adapt");
+  flags.define_string("out", ".", "output directory for run artifacts");
+  flags.define_int("seed", 1, "workload RNG seed");
+  flags.define_int("sample-interval-us", 100,
+                   "periodic sampler cadence (simulated microseconds)");
+  flags.define_int("trace-capacity", 1 << 16,
+                   "trace ring capacity (events; oldest overwritten)");
+  flags.define_bool("trace", true, "emit the timeline trace at all");
+  flags.define_bool("trace-sim", false,
+                    "also trace simulator event dispatch (voluminous)");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.help_requested()) return 0;
+
+  qv::experiments::Fig2Config config;
+  if (!parse_scheme(flags.get_string("scheme"), &config.scheme)) {
+    std::fprintf(stderr, "fig2: unknown --scheme '%s'\n",
+                 flags.get_string("scheme").c_str());
+    return 1;
+  }
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  qv::obs::Observability obs(
+      static_cast<std::size_t>(flags.get_int("trace-capacity")));
+  obs.sample_interval = qv::microseconds(flags.get_int("sample-interval-us"));
+  if (flags.get_bool("trace")) {
+    std::uint32_t mask = qv::obs::trace_bit(qv::obs::TraceCategory::kSched) |
+                         qv::obs::trace_bit(qv::obs::TraceCategory::kQvisor) |
+                         qv::obs::trace_bit(qv::obs::TraceCategory::kRuntime);
+    if (flags.get_bool("trace-sim")) {
+      mask |= qv::obs::trace_bit(qv::obs::TraceCategory::kSim);
+    }
+    obs.tracer.set_mask(mask);
+  }
+
+  const std::string base =
+      flags.get_string("out") + "/fig2_" + scheme_slug(config.scheme);
+  config.obs = &obs;
+  config.flow_csv = base + "_flows.csv";
+
+  const auto result = qv::experiments::run_fig2(config);
+
+  qv::obs::save_metrics_json(base + "_metrics.json", obs.registry);
+  qv::obs::save_trace_json(base + "_trace.json", obs.tracer);
+
+  std::printf("fig2 %s (seed %llu)\n",
+              qv::experiments::fig2_scheme_name(config.scheme),
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  interactive: mean FCT %.3f ms, p99 %.3f ms (%zu flows)\n",
+              result.interactive_mean_fct_ms, result.interactive_p99_fct_ms,
+              result.interactive_flows);
+  std::printf("  deadline met: %.3f\n", result.deadline_met);
+  std::printf("  background: phase1 %.3f Gb/s, phase2 %.3f Gb/s\n",
+              result.background_phase1_gbps, result.background_phase2_gbps);
+  std::printf("  adaptations: %llu\n",
+              static_cast<unsigned long long>(result.adaptations));
+  std::printf("  artifacts: %s_{flows.csv,metrics.json,trace.json}\n",
+              base.c_str());
+  return 0;
+}

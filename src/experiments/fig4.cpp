@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "experiments/obs_wiring.hpp"
 #include "netsim/network.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/obs.hpp"
 #include "qvisor/backend.hpp"
 #include "qvisor/qvisor.hpp"
 #include "sched/fifo.hpp"
@@ -16,6 +18,7 @@
 #include "sched/rank/edf.hpp"
 #include "sched/rank/pfabric.hpp"
 #include "telemetry/fct_tracker.hpp"
+#include "telemetry/trace_io.hpp"
 #include "trafficgen/cbr_source.hpp"
 #include "trafficgen/host_source.hpp"
 #include "trafficgen/reliable_source.hpp"
@@ -307,6 +310,12 @@ Fig4Result run_fig4_impl(const Fig4Config& config,
     }
   }
 
+  // --- observability ----------------------------------------------------
+  if (config.obs != nullptr) {
+    wire_network_obs(net, *config.obs, config.total_duration());
+    if (hv) wire_hypervisor_obs(*hv, *config.obs);
+  }
+
   // --- run --------------------------------------------------------------
   sim.run_until(config.total_duration());
 
@@ -348,6 +357,26 @@ Fig4Result run_fig4_impl(const Fig4Config& config,
     QV_WARN << "fig4 " << fig4_scheme_name(config.scheme) << " load "
             << config.load << ": " << result.drops
             << " packet drops (finite buffers?)";
+  }
+
+  if (!config.flow_csv.empty()) {
+    telemetry::save_flow_csv(config.flow_csv, fct, measured);
+  }
+
+  // Export + freeze LAST, while the instrumented objects still exist.
+  if (config.obs != nullptr) {
+    obs::Registry& reg = config.obs->registry;
+    export_network_metrics(net, reg);
+    if (hv) hv->export_metrics(reg, "qvisor");
+    reg.counter("sim.events_processed").inc(result.events);
+    reg.set_gauge("result.mean_small_ms", result.mean_small_ms);
+    reg.set_gauge("result.p99_small_ms", result.p99_small_ms);
+    reg.set_gauge("result.mean_small_lb_ms", result.mean_small_lb_ms);
+    reg.set_gauge("result.mean_large_ms", result.mean_large_ms);
+    reg.set_gauge("result.mean_large_lb_ms", result.mean_large_lb_ms);
+    reg.set_gauge("result.edf_deadline_met", result.edf_deadline_met);
+    reg.set_gauge("result.drops", static_cast<double>(result.drops));
+    reg.freeze();
   }
   return result;
 }

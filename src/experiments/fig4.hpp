@@ -12,6 +12,10 @@
 #include "util/time.hpp"
 #include "util/units.hpp"
 
+namespace qv::obs {
+struct Observability;
+}
+
 namespace qv::experiments {
 
 /// The six lines of the paper's Fig. 4.
@@ -66,6 +70,14 @@ struct Fig4Config {
   /// to keep each tenant's intra-tenant order useful (§3.2); the
   /// quantization ablation bench sweeps this.
   std::uint32_t qvisor_levels = 4096;
+
+  /// Optional instrumentation (not owned): the run attaches the tracer
+  /// + samplers and, at teardown, exports every metric and freeze()s
+  /// the registry so the caller can write the artifacts afterwards.
+  obs::Observability* obs = nullptr;
+
+  /// When non-empty, write the measured pFabric flows here as CSV.
+  std::string flow_csv;
 
   TimeNs total_duration() const { return warmup + measure_window + drain; }
 };

@@ -1,0 +1,117 @@
+// fig4: run one (scheme, load) point of the paper's Fig. 4 evaluation
+// on the scaled-down leaf-spine topology and emit the artifacts:
+//
+//   fig4_<scheme>_flows.csv     measured pFabric flow records
+//   fig4_<scheme>_metrics.json  the full metrics registry
+//   fig4_<scheme>_trace.json    Chrome trace-event timeline (Perfetto)
+//
+// See fig2_main.cpp for the tracing flags; --paper-topo switches to the
+// paper-scale fabric (much slower).
+#include <cstdio>
+#include <string>
+
+#include "experiments/fig4.hpp"
+#include "obs/obs.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+bool parse_scheme(const std::string& name,
+                  qv::experiments::Fig4Scheme* out) {
+  using qv::experiments::Fig4Scheme;
+  if (name == "fifo") *out = Fig4Scheme::kFifoBoth;
+  else if (name == "pifo") *out = Fig4Scheme::kPifoNaive;
+  else if (name == "pifo-ideal") *out = Fig4Scheme::kPifoIdeal;
+  else if (name == "qvisor-edf") *out = Fig4Scheme::kQvisorEdfOverPfabric;
+  else if (name == "qvisor-share") *out = Fig4Scheme::kQvisorShare;
+  else if (name == "qvisor-pfabric") *out = Fig4Scheme::kQvisorPfabricOverEdf;
+  else return false;
+  return true;
+}
+
+const char* scheme_slug(qv::experiments::Fig4Scheme s) {
+  using qv::experiments::Fig4Scheme;
+  switch (s) {
+    case Fig4Scheme::kFifoBoth: return "fifo";
+    case Fig4Scheme::kPifoNaive: return "pifo";
+    case Fig4Scheme::kPifoIdeal: return "pifo-ideal";
+    case Fig4Scheme::kQvisorEdfOverPfabric: return "qvisor-edf";
+    case Fig4Scheme::kQvisorShare: return "qvisor-share";
+    case Fig4Scheme::kQvisorPfabricOverEdf: return "qvisor-pfabric";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qv::Flags flags;
+  flags.define_string(
+      "scheme", "qvisor-pfabric",
+      "fifo | pifo | pifo-ideal | qvisor-edf | qvisor-share | qvisor-pfabric");
+  flags.define_double("load", 0.5, "pFabric tenant access-link load");
+  flags.define_string("out", ".", "output directory for run artifacts");
+  flags.define_int("seed", 1, "workload RNG seed");
+  flags.define_bool("paper-topo", false,
+                    "paper-scale 144-host fabric instead of the scaled one");
+  flags.define_int("sample-interval-us", 100,
+                   "periodic sampler cadence (simulated microseconds)");
+  flags.define_int("trace-capacity", 1 << 16,
+                   "trace ring capacity (events; oldest overwritten)");
+  flags.define_bool("trace", true, "emit the timeline trace at all");
+  flags.define_bool("trace-sim", false,
+                    "also trace simulator event dispatch (voluminous)");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.help_requested()) return 0;
+
+  qv::experiments::Fig4Config config =
+      flags.get_bool("paper-topo") ? qv::experiments::fig4_paper_config()
+                                   : qv::experiments::fig4_scaled_config();
+  if (!parse_scheme(flags.get_string("scheme"), &config.scheme)) {
+    std::fprintf(stderr, "fig4: unknown --scheme '%s'\n",
+                 flags.get_string("scheme").c_str());
+    return 1;
+  }
+  config.load = flags.get_double("load");
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  qv::obs::Observability obs(
+      static_cast<std::size_t>(flags.get_int("trace-capacity")));
+  obs.sample_interval = qv::microseconds(flags.get_int("sample-interval-us"));
+  if (flags.get_bool("trace")) {
+    std::uint32_t mask = qv::obs::trace_bit(qv::obs::TraceCategory::kSched) |
+                         qv::obs::trace_bit(qv::obs::TraceCategory::kQvisor) |
+                         qv::obs::trace_bit(qv::obs::TraceCategory::kRuntime);
+    if (flags.get_bool("trace-sim")) {
+      mask |= qv::obs::trace_bit(qv::obs::TraceCategory::kSim);
+    }
+    obs.tracer.set_mask(mask);
+  }
+
+  const std::string base =
+      flags.get_string("out") + "/fig4_" + scheme_slug(config.scheme);
+  config.obs = &obs;
+  config.flow_csv = base + "_flows.csv";
+
+  const auto result = qv::experiments::run_fig4(config);
+
+  qv::obs::save_metrics_json(base + "_metrics.json", obs.registry);
+  qv::obs::save_trace_json(base + "_trace.json", obs.tracer);
+
+  std::printf("fig4 %s, load %.2f (seed %llu)\n",
+              qv::experiments::fig4_scheme_name(config.scheme), config.load,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  small flows: mean %.3f ms (lb %.3f), p99 %.3f ms (%zu)\n",
+              result.mean_small_ms, result.mean_small_lb_ms,
+              result.p99_small_ms, result.small_flows);
+  std::printf("  large flows: mean %.3f ms (lb %.3f) (%zu)\n",
+              result.mean_large_ms, result.mean_large_lb_ms,
+              result.large_flows);
+  std::printf("  EDF deadline met: %.3f, drops %llu, events %llu\n",
+              result.edf_deadline_met,
+              static_cast<unsigned long long>(result.drops),
+              static_cast<unsigned long long>(result.events));
+  std::printf("  artifacts: %s_{flows.csv,metrics.json,trace.json}\n",
+              base.c_str());
+  return 0;
+}

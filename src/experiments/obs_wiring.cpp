@@ -1,0 +1,136 @@
+#include "experiments/obs_wiring.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "qvisor/rank_distribution.hpp"
+#include "sched/sp_pifo.hpp"
+
+namespace qv::experiments {
+
+namespace {
+
+/// Everything the per-port queue sampler needs, resolved once at wiring
+/// time: the sampler body runs thousands of times per run, so it should
+/// not build strings or look up registry entries.
+///
+/// The Link pointer is stable (Network keeps links in unique_ptrs); the
+/// scheduler behind link->queue() is re-read every tick because the
+/// runtime controller may swap it mid-run.
+struct PortProbe {
+  netsim::Link* link;
+  const char* depth_name;       ///< interned "qdepth <label>"
+  const char* inversions_name;  ///< interned "inversions <label>"
+  std::uint32_t tid;
+  obs::Log2Histogram* depth_pkts;
+  obs::Log2Histogram* depth_bytes;
+};
+
+/// The discipline whose SP-PIFO statistics to sample, if any: the port
+/// scheduler itself, or the hardware scheduler behind a QVISOR port.
+const sched::SpPifoQueue* sp_pifo_of(const sched::Scheduler& s) {
+  const sched::Scheduler* inner = &s;
+  if (const auto* port = dynamic_cast<const qvisor::QvisorPort*>(inner)) {
+    inner = &port->inner();
+  }
+  return dynamic_cast<const sched::SpPifoQueue*>(inner);
+}
+
+}  // namespace
+
+void wire_network_obs(netsim::Network& net, obs::Observability& o,
+                      TimeNs end) {
+  obs::Tracer& tracer = o.tracer;
+  net.sim().set_tracer(&tracer);
+
+  std::vector<PortProbe> probes;
+  const auto& links = net.links();
+  probes.reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    netsim::Link& link = *links[i];
+    const auto tid = static_cast<std::uint32_t>(1 + i);
+    link.set_trace_tid(tid);
+    tracer.set_thread_name(tid, "port " + link.label());
+    probes.push_back(PortProbe{
+        &link,
+        tracer.intern("qdepth " + link.label()),
+        tracer.intern("inversions " + link.label()),
+        tid,
+        &o.registry.histogram("port." + link.label() + ".depth_pkts"),
+        &o.registry.histogram("port." + link.label() + ".depth_bytes"),
+    });
+  }
+
+  o.samplers.add("queues",
+                 [probes = std::move(probes), &tracer](TimeNs now) {
+    const bool traced = tracer.enabled(obs::TraceCategory::kSched);
+    for (const PortProbe& probe : probes) {
+      const sched::Scheduler& q = probe.link->queue();
+      const auto depth = static_cast<std::uint64_t>(q.size());
+      const auto bytes = static_cast<std::uint64_t>(q.buffered_bytes());
+      probe.depth_pkts->add(depth);
+      probe.depth_bytes->add(bytes);
+      if (!traced) continue;
+      tracer.counter(obs::TraceCategory::kSched, probe.depth_name, now,
+                     depth, probe.tid);
+      if (const sched::SpPifoQueue* sp = sp_pifo_of(q)) {
+        tracer.counter(obs::TraceCategory::kSched, probe.inversions_name,
+                       now, sp->inversions(), probe.tid);
+      }
+    }
+  });
+
+  obs::schedule_samplers(net.sim(), o.samplers, o.sample_interval, end);
+}
+
+void wire_hypervisor_obs(qvisor::Hypervisor& hv, obs::Observability& o) {
+  hv.set_tracer(&o.tracer);
+
+  // Per-tenant observed-rank sampler: the live estimators' medians feed
+  // a registry histogram (distribution over the run) and, when runtime
+  // tracing is on, per-tenant counter tracks in the timeline.
+  struct TenantProbe {
+    TenantId id;
+    const char* track_name;  ///< interned "rank_p50 <tenant>"
+    obs::Log2Histogram* rank_p50;
+    obs::Log2Histogram* rank_p99;
+  };
+  std::vector<TenantProbe> probes;
+  probes.reserve(hv.tenants().size());
+  for (const auto& spec : hv.tenants()) {
+    probes.push_back(TenantProbe{
+        spec.id,
+        o.tracer.intern("rank_p50 " + spec.name),
+        &o.registry.histogram("tenant." + spec.name + ".rank_p50"),
+        &o.registry.histogram("tenant." + spec.name + ".rank_p99"),
+    });
+  }
+
+  obs::Tracer& tracer = o.tracer;
+  o.samplers.add("tenant-ranks",
+                 [probes = std::move(probes), &hv, &tracer](TimeNs now) {
+    const bool traced = tracer.enabled(obs::TraceCategory::kRuntime);
+    for (const TenantProbe& probe : probes) {
+      const qvisor::RankDistEstimator* est = hv.find_estimator(probe.id);
+      if (est == nullptr || est->empty()) continue;
+      const auto p50 = static_cast<std::uint64_t>(est->quantile(0.5));
+      probe.rank_p50->add(p50);
+      probe.rank_p99->add(static_cast<std::uint64_t>(est->quantile(0.99)));
+      if (traced) {
+        tracer.counter(obs::TraceCategory::kRuntime, probe.track_name, now,
+                       p50);
+      }
+    }
+  });
+}
+
+void export_network_metrics(netsim::Network& net, obs::Registry& reg) {
+  for (const auto& link : net.links()) {
+    link->queue().export_metrics(reg, "port." + link->label());
+  }
+  reg.set_gauge("net.total_drops",
+                static_cast<double>(net.total_drops()));
+}
+
+}  // namespace qv::experiments

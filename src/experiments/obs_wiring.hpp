@@ -1,0 +1,38 @@
+// Observability wiring for experiment runs: connects an
+// obs::Observability bundle to a built simulation.
+//
+//  * tracer — attached to the simulator (dispatch spans when the `sim`
+//    category is enabled) and given one labelled swimlane per port, so
+//    enqueue/drop instants and wire-occupancy spans render per port in
+//    Perfetto;
+//  * samplers — a periodic queue sampler (per-port depth counters into
+//    the trace, depth histograms into the registry, SP-PIFO inversion
+//    counters where that discipline is present) plus a per-tenant
+//    observed-rank sampler against the hypervisor's live estimators;
+//  * registry — export_network_metrics() publishes every port
+//    scheduler's counters at end of run.
+//
+// Lifetime: samplers capture the network/hypervisor by reference; call
+// registry.freeze() before the simulation objects are destroyed (the
+// run_fig* helpers do).
+#pragma once
+
+#include "netsim/network.hpp"
+#include "obs/obs.hpp"
+#include "qvisor/qvisor.hpp"
+
+namespace qv::experiments {
+
+/// Attach the tracer, label per-port lanes, and register + schedule the
+/// periodic queue samplers over (0, end].
+void wire_network_obs(netsim::Network& net, obs::Observability& o,
+                      TimeNs end);
+
+/// Register the per-tenant observed-rank sampler and the monitor's
+/// verdict-change instants.
+void wire_hypervisor_obs(qvisor::Hypervisor& hv, obs::Observability& o);
+
+/// Publish every port scheduler's metrics under "port.<src->dst>".
+void export_network_metrics(netsim::Network& net, obs::Registry& reg);
+
+}  // namespace qv::experiments

@@ -23,13 +23,41 @@ void Link::account_queue(TimeNs now) {
 
 void Link::transmit(const Packet& p) {
   account_queue(sim_.now());
-  queue_->enqueue(p, sim_.now());
+  if (obs::Tracer* tr = sched_tracer()) {
+    // Counter deltas distinguish the three outcomes (acceptance,
+    // rejection, eviction of a buffered victim) without touching the
+    // scheduler interface.
+    const sched::SchedulerCounters& c = queue_->counters();
+    const std::uint64_t drops_before = c.dropped;
+    queue_->enqueue(p, sim_.now());
+    if (c.dropped != drops_before) {
+      tr->instant(obs::TraceCategory::kSched, "drop", sim_.now(), trace_tid_,
+                  "rank", p.rank);
+    } else {
+      tr->instant(obs::TraceCategory::kSched, "enqueue", sim_.now(),
+                  trace_tid_, "rank", p.rank);
+    }
+  } else {
+    queue_->enqueue(p, sim_.now());
+  }
   if (!busy_) start_next();
 }
 
 void Link::transmit_burst(std::span<Packet> burst) {
   account_queue(sim_.now());
-  queue_->enqueue_batch(burst, sim_.now());
+  if (obs::Tracer* tr = sched_tracer()) {
+    const sched::SchedulerCounters& c = queue_->counters();
+    const std::uint64_t drops_before = c.dropped;
+    const std::size_t accepted = queue_->enqueue_batch(burst, sim_.now());
+    tr->instant(obs::TraceCategory::kSched, "enqueue_burst", sim_.now(),
+                trace_tid_, "accepted", accepted);
+    if (c.dropped != drops_before) {
+      tr->instant(obs::TraceCategory::kSched, "drop", sim_.now(), trace_tid_,
+                  "count", c.dropped - drops_before);
+    }
+  } else {
+    queue_->enqueue_batch(burst, sim_.now());
+  }
   if (!busy_) start_next();
 }
 
@@ -43,6 +71,12 @@ void Link::start_next() {
   busy_ = true;
   busy_since_ = sim_.now();
   const TimeNs ser = serialization_delay(next->size_bytes, rate_);
+  if (obs::Tracer* tr = sched_tracer()) {
+    // The dequeued packet occupies the wire for `ser` — a span in
+    // SIMULATED time on this port's lane.
+    tr->complete(obs::TraceCategory::kSched, "tx", sim_.now(), ser,
+                 trace_tid_, "rank", next->rank);
+  }
   const Packet pkt = *next;
   // Last bit leaves at now+ser; it arrives prop_delay later.
   sim_.after(ser, [this, pkt, ser] {

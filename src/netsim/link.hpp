@@ -11,9 +11,11 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "util/units.hpp"
 
@@ -59,7 +61,23 @@ class Link {
   /// Idea 2 on buffer-emptying challenges).
   void replace_queue(std::unique_ptr<sched::Scheduler> queue);
 
+  /// Human-readable port label ("src->dst"), set by Network::connect.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
+  /// Trace swimlane for this port's events (0 = untraced lane shared
+  /// with the simulator; experiments assign 1 + link index).
+  void set_trace_tid(std::uint32_t tid) { trace_tid_ = tid; }
+  std::uint32_t trace_tid() const { return trace_tid_; }
+
  private:
+  /// Tracer when port events should be emitted, else nullptr — one
+  /// pointer load plus a mask test via the simulator.
+  obs::Tracer* sched_tracer() const {
+    obs::Tracer* t = sim_.tracer();
+    return (t != nullptr && t->enabled(obs::TraceCategory::kSched)) ? t
+                                                                    : nullptr;
+  }
   void start_next();
   void account_queue(TimeNs now);
 
@@ -75,6 +93,8 @@ class Link {
   // Backlog integral: sum of bytes x time, updated on every change.
   TimeNs backlog_updated_at_ = 0;
   double backlog_integral_ = 0;  ///< byte-nanoseconds
+  std::string label_;
+  std::uint32_t trace_tid_ = 0;
 };
 
 }  // namespace qv::netsim

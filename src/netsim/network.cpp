@@ -34,6 +34,7 @@ Link& Network::connect(Node& from, Node& to, BitsPerSec rate,
       sim_, rate, prop_delay, std::move(queue),
       [to_ptr](const Packet& p) { to_ptr->receive(p); });
   Link& ref = *link;
+  ref.set_label(from.name() + "->" + to.name());
   links_from_[from.id()].emplace_back(links_.size(), to.id());
   links_.push_back(std::move(link));
   from.add_port(&ref);

@@ -1,9 +1,19 @@
 // Simulator: the clock plus the event queue, with run-until helpers.
+//
+// Observability: an optional obs::Tracer can be attached; when its
+// `sim` category is enabled, every dispatched event becomes a trace
+// span at its simulated timestamp whose DURATION is the wall-clock
+// nanoseconds the handler took — the Perfetto timeline then shows both
+// where simulated time went and what each event cost to execute. With
+// no tracer attached (the default) the run loop is unchanged: the
+// traced loop is a separate out-of-line path selected once per run call,
+// not per event.
 #pragma once
 
 #include <cstdint>
 
 #include "netsim/event.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace qv::netsim {
@@ -31,10 +41,19 @@ class Simulator {
   std::uint64_t events_processed() const { return processed_; }
   bool idle() { return queue_.empty(); }
 
+  /// Attach (or detach with nullptr) a tracer. Not owned; must outlive
+  /// any subsequent run. Links reach it through sim().tracer().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
+  /// run_until with per-event dispatch spans (tracer enabled path).
+  void run_until_traced(TimeNs deadline);
+
   EventQueue queue_;
   TimeNs now_ = 0;
   std::uint64_t processed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qv::netsim

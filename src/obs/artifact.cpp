@@ -1,0 +1,17 @@
+#include "obs/artifact.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace qv::obs {
+
+void save_artifact(const std::string& path,
+                   const std::function<void(std::ostream&)>& write) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write artifact file: " + path);
+  write(out);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed for artifact: " + path);
+}
+
+}  // namespace qv::obs

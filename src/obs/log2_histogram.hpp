@@ -1,0 +1,115 @@
+// Log2Histogram: a fixed-size, allocation-free histogram whose buckets
+// are powers of two — bucket i counts values v with bit_width(v) == i,
+// i.e. [2^(i-1), 2^i). 65 slots cover the whole uint64_t range, so
+// add() is one bit_width plus three increments regardless of the value
+// distribution, and two histograms merge by adding their arrays.
+//
+// Quantiles are estimated by linear interpolation inside the selected
+// bucket and clamped to the exact observed [min, max]; because each
+// bucket spans at most a factor of two, the estimate is always within
+// 2x of the exact quantile (tests/obs/log2_histogram_test.cpp checks
+// this against the exact Sample class).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace qv::obs {
+
+class Log2Histogram {
+ public:
+  /// bucket_of(v) for uint64_t is in [0, 64]; 65 buckets total.
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Bucket index of `v`: 0 holds only v == 0, bucket i >= 1 holds
+  /// [2^(i-1), 2^i).
+  static constexpr std::size_t bucket_of(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  /// Inclusive lower edge of bucket `i`.
+  static constexpr std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  /// Exclusive upper edge of bucket `i` (saturates for the last bucket).
+  static constexpr std::uint64_t bucket_hi(std::size_t i) {
+    if (i == 0) return 1;
+    if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return std::uint64_t{1} << i;
+  }
+
+  void add(std::uint64_t v, std::uint64_t weight = 1) {
+    counts_[bucket_of(v)] += weight;
+    count_ += weight;
+    sum_ += v * weight;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  void merge(const Log2Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+  /// Estimated quantile, q in [0, 1]. Exact for q = 0 / q = 1 (the
+  /// tracked min/max); otherwise within the selected power-of-two
+  /// bucket. 0 when empty.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The extremes are tracked exactly; interpolation would otherwise
+    // return a bucket edge for them.
+    if (q == 0.0) return static_cast<double>(min_);
+    if (q == 1.0) return static_cast<double>(max_);
+    // Rank in [0, count-1], matching Sample::quantile's convention.
+    const double target = q * static_cast<double>(count_ - 1);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      const double first = static_cast<double>(below);
+      const double last = static_cast<double>(below + counts_[i] - 1);
+      if (target <= last) {
+        const double lo = static_cast<double>(bucket_lo(i));
+        const double hi = static_cast<double>(bucket_hi(i));
+        // Position within the bucket's ranks -> position within its span.
+        const double frac =
+            counts_[i] > 1 ? (target - first) / static_cast<double>(counts_[i] - 1)
+                           : 0.0;
+        const double est = lo + frac * (hi - 1 - lo);
+        return std::clamp(est, static_cast<double>(min_),
+                          static_cast<double>(max_));
+      }
+      below += counts_[i];
+    }
+    return static_cast<double>(max_);
+  }
+
+  void clear() { *this = Log2Histogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace qv::obs

@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "obs/json_writer.hpp"
+
+namespace qv::obs {
+
+std::uint64_t Counter::scrap_ = 0;
+
+Counter Registry::counter(const std::string& name) {
+  auto it = owned_.find(name);
+  if (it == owned_.end()) {
+    slab_.push_back(0);
+    it = owned_.emplace(name, &slab_.back()).first;
+  }
+  return Counter(it->second);
+}
+
+void Registry::counter_view(const std::string& name,
+                            const std::uint64_t* slot) {
+  views_[name] = slot;
+}
+
+void Registry::gauge(const std::string& name, std::function<double()> read) {
+  gauges_[name] = std::move(read);
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = [value] { return value; };
+}
+
+Log2Histogram& Registry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    hist_slab_.emplace_back();
+    it = histograms_.emplace(name, &hist_slab_.back()).first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  if (auto it = owned_.find(name); it != owned_.end()) return *it->second;
+  if (auto it = views_.find(name); it != views_.end()) return *it->second;
+  return 0;
+}
+
+bool Registry::has_counter(const std::string& name) const {
+  return owned_.count(name) > 0 || views_.count(name) > 0;
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second();
+}
+
+const Log2Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second;
+}
+
+std::size_t Registry::metric_count() const {
+  return owned_.size() + views_.size() + gauges_.size() +
+         histograms_.size();
+}
+
+void Registry::freeze() {
+  for (const auto& [name, slot] : views_) {
+    const std::uint64_t value = *slot;
+    slab_.push_back(value);
+    owned_[name] = &slab_.back();  // overwrite duplicates, last wins
+  }
+  views_.clear();
+  for (auto& [name, read] : gauges_) {
+    const double value = read();
+    read = [value] { return value; };
+  }
+}
+
+std::map<std::string, std::uint64_t> Registry::counter_snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, slot] : owned_) out.emplace(name, *slot);
+  for (const auto& [name, slot] : views_) out.emplace(name, *slot);
+  return out;
+}
+
+std::map<std::string, double> Registry::gauge_snapshot() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, read] : gauges_) out.emplace(name, read());
+  return out;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counter_snapshot()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauge_snapshot()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, hist] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(hist->count());
+    w.key("sum").value(hist->sum());
+    w.key("min").value(hist->min());
+    w.key("max").value(hist->max());
+    w.key("mean").value(hist->mean());
+    w.key("p50").value(hist->quantile(0.5));
+    w.key("p90").value(hist->quantile(0.9));
+    w.key("p99").value(hist->quantile(0.99));
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+      if (hist->bucket_count(i) == 0) continue;
+      w.begin_object();
+      w.key("lo").value(Log2Histogram::bucket_lo(i));
+      w.key("hi").value(Log2Histogram::bucket_hi(i));
+      w.key("n").value(hist->bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  out << "\n";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace qv::obs

@@ -1,0 +1,112 @@
+// Metrics registry: named counters, gauges, and log2-bucketed
+// histograms with allocation-free hot-path updates.
+//
+// Three metric kinds, chosen by who owns the storage:
+//
+//  * owned counters — counter(name) hands out a Counter handle wrapping
+//    a pointer to a plain uint64_t slot inside the registry's slab
+//    (a deque, so slots never move). Counter::inc() is a single
+//    indirect increment: no hashing, no branching, no allocation. A
+//    default-constructed Counter writes to a process-wide scrap slot,
+//    so instrumented code needs no "is observability on?" branches.
+//
+//  * counter views — counter_view(name, &slot) registers a read-only
+//    pointer to a counter the component already maintains (e.g.
+//    SchedulerCounters). The hot path stays exactly as it was; the
+//    registry reads the live value at snapshot time. The pointee must
+//    outlive the registry or the last snapshot, whichever is first.
+//
+//  * gauges — gauge(name, fn) samples a callback at snapshot time
+//    (queue occupancy, estimator quantiles); set_gauge(name, v) pins a
+//    scalar (final experiment results).
+//
+// snapshot() materializes every metric into a sorted name -> value
+// map; write_json() emits the whole registry as one JSON document.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/log2_histogram.hpp"
+
+namespace qv::obs {
+
+class Registry;
+
+/// Hot-path counter handle: one indirect uint64_t increment.
+/// Trivially copyable; default-constructed handles hit a shared scrap
+/// slot, so components can be instrumented unconditionally.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t delta = 1) { *slot_ += delta; }
+  std::uint64_t value() const { return *slot_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+
+  static std::uint64_t scrap_;
+  std::uint64_t* slot_ = &scrap_;
+};
+
+class Registry {
+ public:
+  /// Get-or-create an owned counter slot. Handles stay valid for the
+  /// registry's lifetime (slots live in a deque and never move).
+  Counter counter(const std::string& name);
+
+  /// Register a live view of an externally-owned counter. The pointee
+  /// must outlive every subsequent snapshot of this registry.
+  void counter_view(const std::string& name, const std::uint64_t* slot);
+
+  /// Register a gauge sampled at snapshot time. The callback must stay
+  /// valid until the last snapshot (or until re-registered).
+  void gauge(const std::string& name, std::function<double()> read);
+
+  /// Pin a scalar gauge value (overwrites any previous gauge).
+  void set_gauge(const std::string& name, double value);
+
+  /// Get-or-create a histogram. References stay valid for the
+  /// registry's lifetime.
+  Log2Histogram& histogram(const std::string& name);
+
+  // --- introspection (tests, samplers) --------------------------------
+  std::uint64_t counter_value(const std::string& name) const;
+  bool has_counter(const std::string& name) const;
+  double gauge_value(const std::string& name) const;  ///< 0 if absent
+  const Log2Histogram* find_histogram(const std::string& name) const;
+  std::size_t metric_count() const;
+
+  /// Every counter (owned + views), evaluated now, sorted by name.
+  std::map<std::string, std::uint64_t> counter_snapshot() const;
+  /// Every gauge, evaluated now, sorted by name.
+  std::map<std::string, double> gauge_snapshot() const;
+
+  /// Materialize every counter view and gauge into plain pinned values.
+  /// Call at the end of a run, BEFORE the instrumented objects
+  /// (schedulers, hypervisor, estimators) are destroyed — afterwards the
+  /// registry is self-contained and can be exported at any time.
+  void freeze();
+
+  /// The whole registry as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  std::deque<std::uint64_t> slab_;  ///< owned counter slots (stable)
+  std::map<std::string, std::uint64_t*> owned_;
+  std::map<std::string, const std::uint64_t*> views_;
+  std::map<std::string, std::function<double()>> gauges_;
+  std::deque<Log2Histogram> hist_slab_;  ///< stable references
+  std::map<std::string, Log2Histogram*> histograms_;
+};
+
+}  // namespace qv::obs

@@ -1,0 +1,15 @@
+#include "obs/obs.hpp"
+
+namespace qv::obs {
+
+void save_metrics_json(const std::string& path, const Registry& registry) {
+  save_artifact(path,
+                [&registry](std::ostream& out) { registry.write_json(out); });
+}
+
+void save_trace_json(const std::string& path, const Tracer& tracer) {
+  save_artifact(path,
+                [&tracer](std::ostream& out) { tracer.write_json(out); });
+}
+
+}  // namespace qv::obs

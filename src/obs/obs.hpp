@@ -1,0 +1,38 @@
+// Observability bundle: the registry + tracer + samplers an experiment
+// run owns, plus the artifact writers (metrics.json / trace.json).
+//
+// Components never require one of these: every hook is an optional
+// pointer (tracer) or an export call made at teardown (registry), so a
+// run without an Observability attached pays nothing on the data path.
+#pragma once
+
+#include <string>
+
+#include "obs/artifact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "util/time.hpp"
+
+namespace qv::obs {
+
+struct Observability {
+  Registry registry;
+  Tracer tracer;
+  SamplerSet samplers;
+
+  /// Cadence for the periodic samplers (experiments wire this into the
+  /// simulator via schedule_samplers()).
+  TimeNs sample_interval = 100'000;  // 100 us
+
+  explicit Observability(std::size_t trace_capacity = 1u << 16)
+      : tracer(trace_capacity) {}
+};
+
+/// metrics.json: the registry's JSON snapshot.
+void save_metrics_json(const std::string& path, const Registry& registry);
+
+/// trace.json: Chrome trace-event JSON (Perfetto / chrome://tracing).
+void save_trace_json(const std::string& path, const Tracer& tracer);
+
+}  // namespace qv::obs

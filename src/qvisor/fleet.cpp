@@ -89,6 +89,23 @@ std::unordered_map<TenantId, std::uint64_t> Fleet::per_tenant_packets()
   return out;
 }
 
+void Fleet::export_metrics(obs::Registry& reg,
+                           const std::string& prefix) const {
+  for (const auto& member : switches_) {
+    member.hv->export_metrics(reg, prefix + "." + member.name);
+  }
+  for (const auto& spec : tenants_) {
+    const TenantId id = spec.id;
+    reg.gauge(prefix + ".fleet.tenant." + spec.name + ".packets",
+              [this, id] {
+                const auto counts = per_tenant_packets();
+                const auto it = counts.find(id);
+                return it == counts.end() ? 0.0
+                                          : static_cast<double>(it->second);
+              });
+  }
+}
+
 std::optional<TimeNs> Fleet::last_seen(TenantId tenant) const {
   std::optional<TimeNs> latest;
   for (const auto& member : switches_) {

@@ -62,6 +62,11 @@ class Fleet {
   const std::vector<TenantSpec>& tenants() const { return tenants_; }
   const OperatorPolicy& policy() const { return policy_; }
 
+  /// Fleet-level aggregation: per-switch hypervisor metrics under
+  /// "<prefix>.<switch-name>", plus fleet-wide per-tenant packet
+  /// gauges under "<prefix>.fleet.tenant.<name>".
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const;
+
  private:
   struct Member {
     std::string name;

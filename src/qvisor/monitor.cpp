@@ -31,6 +31,8 @@ void Monitor::observe(TenantId tenant, Rank original_rank,
     ++s.obs.bounds_violations;
   }
 
+  const Verdict before = s.obs.verdict;
+
   if (s.contract.max_rate > 0) {
     // Token bucket: refill at the contracted rate, spend per packet.
     const TimeNs elapsed = now - s.last_refill;
@@ -48,6 +50,29 @@ void Monitor::observe(TenantId tenant, Rank original_rank,
     }
   }
   refresh_verdict(s);
+
+  if (tracer_ != nullptr && s.obs.verdict != before &&
+      tracer_->enabled(obs::TraceCategory::kRuntime)) {
+    const char* name = s.obs.verdict == Verdict::kAdversarial
+                           ? "verdict:adversarial"
+                       : s.obs.verdict == Verdict::kSuspect
+                           ? "verdict:suspect"
+                           : "verdict:clean";
+    tracer_->instant(obs::TraceCategory::kRuntime, name, now, /*tid=*/0,
+                     "tenant", tenant);
+  }
+}
+
+void Monitor::export_metrics(obs::Registry& reg,
+                             const std::string& prefix) const {
+  for (const auto& [id, s] : tenants_) {
+    const std::string tp = prefix + ".tenant." + std::to_string(id);
+    reg.counter_view(tp + ".packets", &s.obs.packets);
+    reg.counter_view(tp + ".bytes", &s.obs.bytes);
+    reg.counter_view(tp + ".bounds_violations", &s.obs.bounds_violations);
+    reg.counter_view(tp + ".rate_violations", &s.obs.rate_violations);
+    reg.set_gauge(tp + ".verdict", static_cast<double>(s.obs.verdict));
+  }
 }
 
 void Monitor::refresh_verdict(State& s) const {

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "netsim/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
@@ -65,6 +67,13 @@ class Monitor {
 
   void reset(TenantId tenant);
 
+  /// Attach a tracer (not owned): every verdict escalation becomes a
+  /// `runtime`-category instant event at the observation time.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Publish per-tenant observation counters as live registry views.
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const;
+
  private:
   struct State {
     TenantContract contract;
@@ -79,6 +88,7 @@ class Monitor {
   double adversarial_threshold_;
   std::uint64_t min_packets_;
   std::unordered_map<TenantId, State> tenants_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qv::qvisor

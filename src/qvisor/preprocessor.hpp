@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "netsim/packet.hpp"
+#include "obs/metrics.hpp"
 #include "qvisor/synthesizer.hpp"
 
 namespace qv::qvisor {
@@ -93,6 +94,14 @@ class Preprocessor {
 
   const PreprocessorCounters& counters() const { return counters_; }
   PreprocessorCounters& mutable_counters() { return counters_; }
+
+  /// Publish the processing counters as live registry views (the hot
+  /// path already maintains them; nothing new is counted).
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const {
+    reg.counter_view(prefix + ".processed", &counters_.processed);
+    reg.counter_view(prefix + ".unknown_tenant", &counters_.unknown_tenant);
+    reg.counter_view(prefix + ".out_of_bounds", &counters_.out_of_bounds);
+  }
 
   /// Per-tenant processed-packet counts (runtime controller input).
   /// Materialized from the dense counter table on demand — a

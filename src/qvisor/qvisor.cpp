@@ -229,6 +229,31 @@ const RankDistEstimator* Hypervisor::find_estimator(
   return it == estimators_.end() ? nullptr : &it->second;
 }
 
+void Hypervisor::export_metrics(obs::Registry& reg,
+                                const std::string& prefix) const {
+  reg.counter_view(prefix + ".compiles", &compile_count_);
+  monitor_.export_metrics(reg, prefix + ".monitor");
+  for (const auto& spec : tenants_) {
+    const std::string tp = prefix + ".tenant." + spec.name;
+    const TenantId id = spec.id;
+    reg.gauge(tp + ".packets", [this, id] {
+      const auto counts = per_tenant_packets();
+      const auto it = counts.find(id);
+      return it == counts.end() ? 0.0 : static_cast<double>(it->second);
+    });
+    for (const auto& [q, suffix] :
+         {std::pair<double, const char*>{0.5, ".rank_p50"},
+          std::pair<double, const char*>{0.99, ".rank_p99"}}) {
+      reg.gauge(tp + suffix, [this, id, q = q] {
+        const RankDistEstimator* est = find_estimator(id);
+        return est != nullptr && !est->empty()
+                   ? static_cast<double>(est->quantile(q))
+                   : 0.0;
+      });
+    }
+  }
+}
+
 void Hypervisor::attach(QvisorPort* port) { ports_.push_back(port); }
 
 void Hypervisor::detach(QvisorPort* port) {

@@ -51,6 +51,17 @@ class QvisorPort final : public sched::Scheduler {
   const Preprocessor& preprocessor() const { return pre_; }
   const sched::Scheduler& inner() const { return *inner_; }
 
+  /// Facade counters, the pre-processor's counters, and the hardware
+  /// scheduler's own metrics, all under one port prefix. Export AFTER
+  /// the run: a runtime re-deploy replaces the inner scheduler, which
+  /// would orphan views registered against the old instance.
+  void export_metrics(obs::Registry& reg,
+                      const std::string& prefix) const override {
+    Scheduler::export_metrics(reg, prefix);
+    pre_.export_metrics(reg, prefix + ".pre");
+    inner_->export_metrics(reg, prefix + ".hw");
+  }
+
   /// Re-program this port with a new plan (called by the Hypervisor).
   void install(const SynthesisPlan& plan);
 
@@ -129,6 +140,14 @@ class Hypervisor {
   bool install_refined(SynthesisPlan plan);
 
   std::uint64_t compile_count() const { return compile_count_; }
+
+  /// Control-plane metrics: compile count, the monitor's per-tenant
+  /// observations, and per-tenant traffic/rank-distribution gauges
+  /// (sampled from the live estimators at snapshot time).
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const;
+
+  /// Attach a tracer to the monitoring path (verdict-change instants).
+  void set_tracer(obs::Tracer* tracer) { monitor_.set_tracer(tracer); }
 
  private:
   friend class QvisorPort;

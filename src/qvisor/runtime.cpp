@@ -1,6 +1,7 @@
 #include "qvisor/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "qvisor/quantile_transform.hpp"
 #include "util/logging.hpp"
@@ -77,6 +78,10 @@ bool RuntimeController::tick(TimeNs now) {
     // the quantile normalization if it is enabled.
     if (config_.quantile_normalization && hv_.has_plan() &&
         refine_quantiles()) {
+      if (tracer_ != nullptr &&
+          tracer_->enabled(obs::TraceCategory::kRuntime)) {
+        tracer_->instant(obs::TraceCategory::kRuntime, "refine", now);
+      }
       last_reconfig_ = now;
       return true;
     }
@@ -118,13 +123,37 @@ bool RuntimeController::tick(TimeNs now) {
     }
   }
 
+  obs::Tracer* tr =
+      tracer_ != nullptr && tracer_->enabled(obs::TraceCategory::kRuntime)
+          ? tracer_
+          : nullptr;
+
   const OperatorPolicy saved = hv_.policy();
   hv_.set_policy(effective);
+  const auto wall0 = std::chrono::steady_clock::now();
   auto result = hv_.compile_for(effective.tenant_names());
+  const auto recompile_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall0)
+          .count();
   hv_.set_policy(saved);  // the operator's intent is permanent
   if (!result.ok) {
+    if (tr != nullptr) {
+      tr->instant(obs::TraceCategory::kRuntime, "recompile:failed", now);
+    }
     QV_WARN << "runtime adaptation failed: " << result.error;
     return false;
+  }
+  if (tr != nullptr) {
+    // Span at the decision's simulated time; duration = wall-clock
+    // synthesis + verification cost (what a reconfig costs to compute).
+    tr->complete(obs::TraceCategory::kRuntime, "recompile", now,
+                 static_cast<TimeNs>(recompile_ns), /*tid=*/0,
+                 "active_tenants", active.size());
+    if (quarantined != quarantined_) {
+      tr->instant(obs::TraceCategory::kRuntime, "quarantine", now, /*tid=*/0,
+                  "tenants", quarantined.size());
+    }
   }
   if (config_.quantile_normalization) refine_quantiles();
   active_ = std::move(active);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "qvisor/qvisor.hpp"
 #include "util/time.hpp"
 
@@ -57,6 +58,18 @@ class RuntimeController {
   std::uint64_t refinements() const { return refinements_; }
   const RuntimeConfig& config() const { return config_; }
 
+  /// Attach a tracer (not owned): re-synthesis becomes a
+  /// `runtime`-category span whose duration is the wall-clock cost of
+  /// the recompile, and quarantine decisions become instants.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Publish adaptation counters as live registry views.
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const {
+    reg.counter_view(prefix + ".adaptations", &adaptations_);
+    reg.counter_view(prefix + ".quarantines", &quarantines_);
+    reg.counter_view(prefix + ".refinements", &refinements_);
+  }
+
  private:
   /// Active = observed within the window. Before any traffic at all,
   /// every tenant counts as active (the initial full plan).
@@ -74,6 +87,7 @@ class RuntimeController {
   std::uint64_t adaptations_ = 0;
   std::uint64_t quarantines_ = 0;
   std::uint64_t refinements_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qv::qvisor

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "netsim/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace qv::sched {
 
@@ -60,6 +61,26 @@ class Scheduler {
   /// an internal scheduler (PifoQueue's bucketed backend) can surface
   /// the delegate's counts.
   virtual const SchedulerCounters& counters() const { return counters_; }
+
+  /// Publish this scheduler's counters and occupancy into a metrics
+  /// registry under `prefix` (e.g. "port.sw0->h3"). The counters are
+  /// registered as live views of the existing uint64_t slots — the hot
+  /// path is untouched, the registry reads the current values at
+  /// snapshot time. The scheduler must outlive the registry's last
+  /// snapshot. Disciplines with extra telemetry (SP-PIFO inversions,
+  /// per-queue depths) override and extend this.
+  virtual void export_metrics(obs::Registry& reg,
+                              const std::string& prefix) const {
+    const SchedulerCounters& c = counters();
+    reg.counter_view(prefix + ".enqueued", &c.enqueued);
+    reg.counter_view(prefix + ".dequeued", &c.dequeued);
+    reg.counter_view(prefix + ".dropped", &c.dropped);
+    reg.counter_view(prefix + ".dropped_bytes", &c.dropped_bytes);
+    reg.gauge(prefix + ".occupancy_pkts",
+              [this] { return static_cast<double>(size()); });
+    reg.gauge(prefix + ".occupancy_bytes",
+              [this] { return static_cast<double>(buffered_bytes()); });
+  }
 
  protected:
   SchedulerCounters counters_;

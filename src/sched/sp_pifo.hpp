@@ -42,6 +42,22 @@ class SpPifoQueue final : public Scheduler {
   /// rank arrived while larger ranks were already queued ahead of it).
   std::uint64_t inversions() const { return inversions_; }
 
+  /// Base counters plus the approximation telemetry SP-PIFO debugging
+  /// needs: the inversion count and per-queue occupancy/bounds.
+  void export_metrics(obs::Registry& reg,
+                      const std::string& prefix) const override {
+    Scheduler::export_metrics(reg, prefix);
+    reg.counter_view(prefix + ".inversions", &inversions_);
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      const std::string qp = prefix + ".q" + std::to_string(q);
+      reg.gauge(qp + ".depth_pkts", [this, q] {
+        return static_cast<double>(queues_[q].size());
+      });
+      reg.gauge(qp + ".bound",
+                [this, q] { return static_cast<double>(bounds_[q]); });
+    }
+  }
+
  private:
   std::vector<std::deque<Packet>> queues_;
   std::vector<Rank> bounds_;

@@ -38,6 +38,16 @@ class StrictPriorityBank final : public Scheduler {
   std::size_t num_queues() const { return queues_.size(); }
   std::size_t queue_length(std::size_t q) const { return queues_[q].size(); }
 
+  /// Base counters plus per-queue depth gauges.
+  void export_metrics(obs::Registry& reg,
+                      const std::string& prefix) const override {
+    Scheduler::export_metrics(reg, prefix);
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      reg.gauge(prefix + ".q" + std::to_string(q) + ".depth_pkts",
+                [this, q] { return static_cast<double>(queues_[q].size()); });
+    }
+  }
+
  private:
   std::vector<std::deque<Packet>> queues_;
   QueueMap map_;

@@ -1,7 +1,8 @@
 #include "telemetry/trace_io.hpp"
 
-#include <fstream>
-#include <stdexcept>
+#include <ostream>
+
+#include "obs/artifact.hpp"
 
 namespace qv::telemetry {
 
@@ -22,9 +23,9 @@ void write_flow_csv(std::ostream& out, const FctTracker& tracker,
 
 void save_flow_csv(const std::string& path, const FctTracker& tracker,
                    const FlowFilter& filter) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write csv file: " + path);
-  write_flow_csv(out, tracker, filter);
+  obs::save_artifact(path, [&](std::ostream& out) {
+    write_flow_csv(out, tracker, filter);
+  });
 }
 
 }  // namespace qv::telemetry

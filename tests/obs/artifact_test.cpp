@@ -1,0 +1,55 @@
+#include "obs/artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace qv::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Artifact, WritesCallbackOutput) {
+  const std::string path =
+      ::testing::TempDir() + "artifact_test_out.txt";
+  save_artifact(path, [](std::ostream& out) { out << "hello\n"; });
+  EXPECT_EQ(slurp(path), "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, ThrowsWhenPathUnwritable) {
+  EXPECT_THROW(
+      save_artifact("/nonexistent-dir/x/y.json", [](std::ostream&) {}),
+      std::runtime_error);
+}
+
+TEST(Artifact, MetricsAndTraceSaversProduceFiles) {
+  Observability obs;
+  obs.tracer.enable_all();
+  obs.registry.counter("n").inc(3);
+  obs.tracer.instant(TraceCategory::kSim, "e", 1);
+
+  const std::string mpath = ::testing::TempDir() + "metrics_test.json";
+  const std::string tpath = ::testing::TempDir() + "trace_test.json";
+  save_metrics_json(mpath, obs.registry);
+  save_trace_json(tpath, obs.tracer);
+
+  EXPECT_NE(slurp(mpath).find("\"n\":3"), std::string::npos);
+  EXPECT_NE(slurp(tpath).find("\"traceEvents\""), std::string::npos);
+  std::remove(mpath.c_str());
+  std::remove(tpath.c_str());
+}
+
+}  // namespace
+}  // namespace qv::obs

@@ -1,0 +1,130 @@
+#include "obs/log2_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace qv::obs {
+namespace {
+
+TEST(Log2Histogram, BucketBoundaries) {
+  // Bucket 0 holds only zero; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(
+      Log2Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+      64u);
+
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    // Every bucket's own lower edge maps back into the bucket, and the
+    // edges tile the value space without gaps.
+    EXPECT_EQ(Log2Histogram::bucket_of(Log2Histogram::bucket_lo(i)), i);
+    if (i + 1 < Log2Histogram::kBuckets) {
+      EXPECT_EQ(Log2Histogram::bucket_hi(i), Log2Histogram::bucket_lo(i + 1));
+    }
+  }
+}
+
+TEST(Log2Histogram, CountsSumMinMaxMean) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+
+  h.add(10);
+  h.add(20);
+  h.add(30, /*weight=*/2);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 90u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 22.5);
+  EXPECT_EQ(h.bucket_count(Log2Histogram::bucket_of(10)), 1u);
+  EXPECT_EQ(h.bucket_count(Log2Histogram::bucket_of(30)), 3u);  // 20 and 30
+}
+
+TEST(Log2Histogram, QuantileExactAtExtremes) {
+  Log2Histogram h;
+  for (std::uint64_t v : {5u, 9u, 100u, 1000u, 77u}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Log2Histogram, QuantileWithinTwoXOfExact) {
+  // The documented bound: every estimate within a factor of two of the
+  // exact quantile, because a bucket spans at most [2^(i-1), 2^i).
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    Log2Histogram h;
+    Sample exact;
+    for (int i = 0; i < 10'000; ++i) {
+      // Heavy-tailed-ish: exercises many buckets.
+      const std::uint64_t v = rng.next_below(2) == 0
+                                  ? rng.next_below(100)
+                                  : rng.next_below(1'000'000);
+      h.add(v);
+      exact.add(static_cast<double>(v));
+    }
+    for (double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+      const double est = h.quantile(q);
+      const double ref = exact.quantile(q);
+      if (ref < 1.0) continue;  // tiny values: bucket 0/1 are exact anyway
+      EXPECT_GE(est, ref / 2.0) << "q=" << q << " seed=" << seed;
+      EXPECT_LE(est, ref * 2.0) << "q=" << q << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Log2Histogram, MergeMatchesCombinedStream) {
+  Rng rng(42);
+  Log2Histogram a, b, combined;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t v = rng.next_below(1u << 20);
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), combined.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), combined.quantile(0.5));
+}
+
+TEST(Log2Histogram, MergeIntoEmptyKeepsMinMax) {
+  Log2Histogram a, b;
+  b.add(7);
+  b.add(9000);
+  a.merge(b);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 9000u);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Log2Histogram, ClearResets) {
+  Log2Histogram h;
+  h.add(123);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket_count(Log2Histogram::bucket_of(123)), 0u);
+  h.add(1);  // usable after clear
+  EXPECT_EQ(h.min(), 1u);
+}
+
+}  // namespace
+}  // namespace qv::obs

@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "json_check.hpp"
+
+namespace qv::obs {
+namespace {
+
+TEST(Counter, DefaultHandleHitsScrapSlot) {
+  // Instrumented code may increment a never-registered handle freely.
+  Counter c;
+  c.inc();
+  c.inc(41);
+  EXPECT_GE(c.value(), 42u);  // scrap slot is shared process-wide
+}
+
+TEST(Registry, OwnedCountersAccumulate) {
+  Registry reg;
+  Counter a = reg.counter("a");
+  Counter a2 = reg.counter("a");  // same slot
+  Counter b = reg.counter("b");
+  a.inc();
+  a2.inc(2);
+  b.inc(10);
+  EXPECT_EQ(reg.counter_value("a"), 3u);
+  EXPECT_EQ(reg.counter_value("b"), 10u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  EXPECT_TRUE(reg.has_counter("a"));
+  EXPECT_FALSE(reg.has_counter("missing"));
+}
+
+TEST(Registry, HandlesSurviveManyRegistrations) {
+  // The slab must not invalidate earlier handles as it grows.
+  Registry reg;
+  Counter first = reg.counter("first");
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("c" + std::to_string(i)).inc();
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.counter_value("first"), 7u);
+}
+
+TEST(Registry, ViewsReadLiveExternalSlot) {
+  Registry reg;
+  std::uint64_t external = 5;
+  reg.counter_view("ext", &external);
+  EXPECT_EQ(reg.counter_value("ext"), 5u);
+  external = 99;  // hot path untouched by the registry
+  EXPECT_EQ(reg.counter_value("ext"), 99u);
+  EXPECT_EQ(reg.counter_snapshot().at("ext"), 99u);
+}
+
+TEST(Registry, GaugesSampleAtSnapshotTime) {
+  Registry reg;
+  double depth = 1.0;
+  reg.gauge("depth", [&depth] { return depth; });
+  reg.set_gauge("pinned", 4.5);
+  depth = 3.0;
+  EXPECT_DOUBLE_EQ(reg.gauge_value("depth"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("pinned"), 4.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("missing"), 0.0);
+}
+
+TEST(Registry, FreezePinsViewsAndGauges) {
+  Registry reg;
+  {
+    // Simulate an instrumented object that dies after the run.
+    std::uint64_t live_counter = 17;
+    double live_gauge = 2.5;
+    reg.counter_view("sched.enqueued", &live_counter);
+    reg.gauge("sched.depth", [&live_gauge] { return live_gauge; });
+    reg.freeze();
+  }
+  // The pointees are gone; the registry must still serve the frozen
+  // values (this is what lets fig mains export after run_fig* returns).
+  EXPECT_EQ(reg.counter_value("sched.enqueued"), 17u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("sched.depth"), 2.5);
+  EXPECT_TRUE(reg.has_counter("sched.enqueued"));
+}
+
+TEST(Registry, HistogramReferencesAreStable) {
+  Registry reg;
+  Log2Histogram& h = reg.histogram("fct");
+  for (int i = 0; i < 100; ++i) reg.histogram("h" + std::to_string(i));
+  h.add(8);
+  EXPECT_EQ(reg.find_histogram("fct")->count(), 1u);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+}
+
+TEST(Registry, JsonExportIsValidAndComplete) {
+  Registry reg;
+  reg.counter("events").inc(12);
+  std::uint64_t ext = 3;
+  reg.counter_view("drops", &ext);
+  reg.set_gauge("load", 0.75);
+  reg.gauge("weird \"name\"\n", [] { return 1.0; });  // escaping
+  Log2Histogram& h = reg.histogram("depth");
+  h.add(0);
+  h.add(5);
+  h.add(900);
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"drops\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"load\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\\\"name\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(Registry, MetricCountCoversEveryKind) {
+  Registry reg;
+  reg.counter("a");
+  std::uint64_t x = 0;
+  reg.counter_view("b", &x);
+  reg.set_gauge("c", 1);
+  reg.histogram("d");
+  EXPECT_EQ(reg.metric_count(), 4u);
+}
+
+}  // namespace
+}  // namespace qv::obs

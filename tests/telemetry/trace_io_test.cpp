@@ -4,6 +4,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace qv::telemetry {
 namespace {
@@ -73,6 +74,46 @@ TEST(TraceIo, FileWrite) {
   std::getline(in, header);
   EXPECT_EQ(header,
             "flow,tenant,size_bytes,started_ns,completed_ns,fct_ms");
+}
+
+// Golden output: write_flow_csv feeds plotting scripts, so its format
+// is frozen byte-for-byte. If this test fails, you changed the CSV
+// contract — update the scripts AND this golden together, consciously.
+TEST(TraceIo, GoldenOutputByteIdentical) {
+  FctTracker t;
+  t.on_flow_start(2, 7, 4096, microseconds(5));
+  t.on_flow_start(1, 3, 1500, microseconds(1));
+  t.on_packet_delivered(delivery(1, 1500), microseconds(11));
+  // Flow 2 stays incomplete: empty completion fields.
+  std::ostringstream out;
+  write_flow_csv(out, t);
+  EXPECT_EQ(out.str(),
+            "flow,tenant,size_bytes,started_ns,completed_ns,fct_ms\n"
+            "1,3,1500,1000,11000,0.01\n"
+            "2,7,4096,5000,,\n");
+}
+
+// save_flow_csv (now routed through the shared artifact sink) must
+// produce exactly what write_flow_csv streams.
+TEST(TraceIo, SaveMatchesWriteByteForByte) {
+  FctTracker t;
+  t.on_flow_start(9, 1, 777, microseconds(2));
+  t.on_packet_delivered(delivery(9, 777), microseconds(4));
+  std::ostringstream expected;
+  write_flow_csv(expected, t);
+
+  const std::string path = ::testing::TempDir() + "/qvisor_golden_test.csv";
+  save_flow_csv(path, t);
+  std::ifstream in(path);
+  std::ostringstream actual;
+  actual << in.rdbuf();
+  EXPECT_EQ(actual.str(), expected.str());
+}
+
+TEST(TraceIo, SaveThrowsOnUnwritablePath) {
+  FctTracker t;
+  EXPECT_THROW(save_flow_csv("/nonexistent-dir/x/flows.csv", t),
+               std::runtime_error);
 }
 
 }  // namespace
