@@ -1,0 +1,129 @@
+// Chaos harness (robustness): a leaf-spine fabric under a seeded
+// random fault schedule — link flaps, loss episodes, pressure spikes —
+// while the fleet controller keeps re-synthesizing through an injected
+// control-plane outage (switch agent rejecting installs) and a switch
+// agent reboot.
+//
+// The run checks the three invariants the fault-tolerance machinery
+// promises:
+//   1. packet conservation — every offered or injected packet is
+//      delivered, queue-dropped, fault-dropped, or still buffered;
+//   2. no packet is ever scheduled under a half-installed plan (every
+//      port's epoch-mismatch counter stays zero);
+//   3. post-recovery convergence — once faults clear, the fleet's plan
+//      fingerprint equals the one a fault-free run settles on.
+// Faulty runs replay bit-identically from the same seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/fault.hpp"
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace qv::obs {
+struct Observability;
+}
+
+namespace qv::experiments {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+
+  // Topology: small leaf-spine (leaves * hosts_per_leaf hosts).
+  std::size_t leaves = 2;
+  std::size_t spines = 2;
+  std::size_t hosts_per_leaf = 2;
+  BitsPerSec access_rate = gbps(1);
+  BitsPerSec fabric_rate = gbps(4);
+  TimeNs link_delay = microseconds(1);
+
+  // Workload: every host sends cross-leaf CBR-ish traffic; the tenant
+  // is host % 3 (gold / silver / bronze). Bronze pauses in
+  // [bronze_off, bronze_on) so the controller has a reason to adapt.
+  TimeNs traffic_stop = milliseconds(50);
+  TimeNs end = milliseconds(60);  ///< drain horizon (then run to empty)
+  TimeNs packet_interval = microseconds(20);
+  std::int32_t packet_bytes = 1000;
+  TimeNs bronze_off = milliseconds(15);
+  TimeNs bronze_on = milliseconds(35);
+
+  // Data-plane chaos: the seeded random schedule (disable for the
+  // fault-free reference run).
+  bool faults = true;
+  netsim::RandomFaultConfig fault_cfg = {
+      .start = milliseconds(5),
+      .end = milliseconds(40),
+      .flaps = 4,
+      .min_down = microseconds(100),
+      .max_down = milliseconds(2),
+      .loss_episodes = 2,
+      .max_loss = 0.02,
+      .loss_duration = milliseconds(1),
+      .pressure_spikes = 2,
+      .spike_packets = 32,
+      .spike_bytes = 1000,
+  };
+
+  // Control-plane chaos: one switch agent rejects every install inside
+  // the window (forcing rollbacks, retries, and — once the budget runs
+  // out — degraded mode), and another agent reboots, losing its plan
+  // (healed by anti-entropy).
+  bool control_faults = true;
+  TimeNs install_fault_from = milliseconds(18);
+  TimeNs install_fault_to = milliseconds(30);
+  TimeNs reboot_at = milliseconds(42);
+  std::size_t reboot_switch = 0;
+
+  // Controller cadence / self-healing knobs.
+  TimeNs tick_interval = milliseconds(1);
+  TimeNs activity_window = milliseconds(5);
+  int retry_budget = 2;
+  TimeNs retry_backoff = milliseconds(1);
+  TimeNs retry_backoff_cap = milliseconds(4);
+
+  /// Optional instrumentation (not owned); see Fig2Config::obs.
+  obs::Observability* obs = nullptr;
+};
+
+struct ChaosResult {
+  // Conservation tallies (packets / bytes).
+  std::uint64_t offered_pkts = 0;
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t injected_pkts = 0;  ///< pressure spikes
+  std::uint64_t injected_bytes = 0;
+  std::uint64_t delivered_pkts = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t queue_dropped_pkts = 0;
+  std::uint64_t queue_dropped_bytes = 0;
+  std::uint64_t fault_dropped_pkts = 0;
+  std::uint64_t fault_dropped_bytes = 0;
+  std::uint64_t buffered_pkts = 0;  ///< left in queues after the drain
+  std::uint64_t unrouted_pkts = 0;
+  bool conserved = false;  ///< both pkt and byte equations hold
+
+  // Atomic-install invariant.
+  std::uint64_t epoch_mismatches = 0;
+  bool epochs_consistent = false;
+
+  // Fault + self-healing activity.
+  std::uint64_t link_downs = 0;
+  std::uint64_t link_ups = 0;
+  std::uint64_t adaptations = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t reconciles = 0;
+  std::uint64_t failed_installs = 0;
+  std::uint64_t degraded_entries = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t committed_epoch = 0;
+
+  /// Order-independent digest of the final plan (tenant name + output
+  /// band per tenant); equal digests mean equal scheduling behaviour.
+  std::string plan_fingerprint;
+};
+
+ChaosResult run_chaos(const ChaosConfig& config);
+
+}  // namespace qv::experiments

@@ -1,0 +1,89 @@
+// chaos: run the fault-injection harness and emit run artifacts:
+//
+//   chaos_metrics.json  the full metrics registry (fault counters,
+//                       rollbacks/retries/reconciles, conservation)
+//   chaos_trace.json    Chrome trace-event timeline: link outage spans,
+//                       install failures, rollbacks, reconciles,
+//                       degraded enter/exit (runtime category)
+//
+// Exits non-zero when an invariant fails, so CI can run it directly.
+#include <cstdio>
+#include <string>
+
+#include "experiments/chaos.hpp"
+#include "obs/obs.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  qv::Flags flags;
+  flags.define_int("seed", 1, "fault-schedule RNG seed");
+  flags.define_string("out", ".", "output directory for run artifacts");
+  flags.define_bool("faults", true, "arm the random data-plane faults");
+  flags.define_bool("control-faults", true,
+                    "inject the install-fault window + agent reboot");
+  flags.define_int("trace-capacity", 1 << 16,
+                   "trace ring capacity (events; oldest overwritten)");
+  flags.define_bool("trace", true, "emit the timeline trace at all");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.help_requested()) return 0;
+
+  qv::obs::Observability obs(
+      static_cast<std::size_t>(flags.get_int("trace-capacity")));
+  if (flags.get_bool("trace")) {
+    obs.tracer.set_mask(
+        qv::obs::trace_bit(qv::obs::TraceCategory::kSched) |
+        qv::obs::trace_bit(qv::obs::TraceCategory::kQvisor) |
+        qv::obs::trace_bit(qv::obs::TraceCategory::kRuntime));
+  }
+
+  qv::experiments::ChaosConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.faults = flags.get_bool("faults");
+  config.control_faults = flags.get_bool("control-faults");
+  config.obs = &obs;
+
+  const auto result = qv::experiments::run_chaos(config);
+
+  const std::string base = flags.get_string("out") + "/chaos";
+  qv::obs::save_metrics_json(base + "_metrics.json", obs.registry);
+  qv::obs::save_trace_json(base + "_trace.json", obs.tracer);
+
+  std::printf("chaos (seed %llu)\n",
+              static_cast<unsigned long long>(config.seed));
+  std::printf(
+      "  offered %llu + injected %llu = delivered %llu + queue-drop %llu"
+      " + fault-drop %llu + buffered %llu (conserved: %s)\n",
+      static_cast<unsigned long long>(result.offered_pkts),
+      static_cast<unsigned long long>(result.injected_pkts),
+      static_cast<unsigned long long>(result.delivered_pkts),
+      static_cast<unsigned long long>(result.queue_dropped_pkts),
+      static_cast<unsigned long long>(result.fault_dropped_pkts),
+      static_cast<unsigned long long>(result.buffered_pkts),
+      result.conserved ? "yes" : "NO");
+  std::printf(
+      "  link downs/ups %llu/%llu, epoch mismatches %llu, epochs %s\n",
+      static_cast<unsigned long long>(result.link_downs),
+      static_cast<unsigned long long>(result.link_ups),
+      static_cast<unsigned long long>(result.epoch_mismatches),
+      result.epochs_consistent ? "consistent" : "INCONSISTENT");
+  std::printf(
+      "  adaptations %llu, retries %llu, rollbacks %llu, reconciles %llu,"
+      " degraded %llu/%llu\n",
+      static_cast<unsigned long long>(result.adaptations),
+      static_cast<unsigned long long>(result.retries),
+      static_cast<unsigned long long>(result.rollbacks),
+      static_cast<unsigned long long>(result.reconciles),
+      static_cast<unsigned long long>(result.degraded_entries),
+      static_cast<unsigned long long>(result.recoveries));
+  std::printf("  plan: %s\n", result.plan_fingerprint.c_str());
+  std::printf("  artifacts: %s_{metrics.json,trace.json}\n", base.c_str());
+
+  const bool ok =
+      result.conserved && result.epoch_mismatches == 0 &&
+      result.epochs_consistent &&
+      (!config.control_faults ||
+       (result.rollbacks > 0 && result.retries > 0 &&
+        result.reconciles > 0));
+  if (!ok) std::fprintf(stderr, "chaos: INVARIANT VIOLATED\n");
+  return ok ? 0 : 1;
+}

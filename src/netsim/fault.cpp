@@ -1,0 +1,190 @@
+#include "netsim/fault.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/random.hpp"
+
+namespace qv::netsim {
+
+FaultPlan& FaultPlan::link_down(TimeNs at, std::size_t link) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kLinkDown;
+  ev.at = at;
+  ev.link = link;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(TimeNs at, std::size_t link) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kLinkUp;
+  ev.at = at;
+  ev.link = link;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(std::size_t link, TimeNs down_at, TimeNs up_at) {
+  assert(down_at < up_at);
+  return link_down(down_at, link).link_up(up_at, link);
+}
+
+FaultPlan& FaultPlan::set_loss(TimeNs at, std::size_t link, double loss_prob,
+                               double corrupt_prob) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kSetLoss;
+  ev.at = at;
+  ev.link = link;
+  ev.loss_prob = loss_prob;
+  ev.corrupt_prob = corrupt_prob;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::pressure_spike(TimeNs at, std::size_t link, int packets,
+                                     std::int32_t packet_bytes,
+                                     TenantId tenant, Rank rank, NodeId dst) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kPressureSpike;
+  ev.at = at;
+  ev.link = link;
+  ev.burst_packets = packets;
+  ev.packet_bytes = packet_bytes;
+  ev.tenant = tenant;
+  ev.rank = rank;
+  ev.dst = dst;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan random_fault_plan(std::uint64_t seed, std::size_t num_links,
+                            const RandomFaultConfig& cfg) {
+  assert(num_links > 0);
+  assert(cfg.start < cfg.end);
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+
+  // Outage windows: each flap fully contained in [start, end). Links are
+  // chosen independently, so overlapping outages on different links (a
+  // genuinely partitioned fabric) do occur at higher flap counts.
+  for (int i = 0; i < cfg.flaps; ++i) {
+    const auto link = static_cast<std::size_t>(rng.next_below(num_links));
+    const TimeNs duration = rng.next_in(cfg.min_down, cfg.max_down);
+    const TimeNs latest = cfg.end - duration;
+    if (latest <= cfg.start) continue;  // window too tight for this outage
+    const TimeNs down_at = rng.next_in(cfg.start, latest - 1);
+    plan.flap(link, down_at, down_at + duration);
+  }
+
+  // Loss episodes: raise the probability for a bounded window, then
+  // restore a clean wire.
+  for (int i = 0; i < cfg.loss_episodes; ++i) {
+    const auto link = static_cast<std::size_t>(rng.next_below(num_links));
+    const double loss = rng.next_double() * cfg.max_loss;
+    const TimeNs latest = cfg.end - cfg.loss_duration;
+    if (latest <= cfg.start) continue;
+    const TimeNs at = rng.next_in(cfg.start, latest - 1);
+    plan.set_loss(at, link, loss);
+    plan.set_loss(at + cfg.loss_duration, link, 0.0);
+  }
+
+  // Pressure spikes: a burst of best-effort packets offered straight to
+  // a port, stressing admission and the preprocessor's unknown-tenant
+  // path. dst = kInvalidNode lets the injector pick a live host.
+  for (int i = 0; i < cfg.pressure_spikes; ++i) {
+    const auto link = static_cast<std::size_t>(rng.next_below(num_links));
+    const TimeNs at = rng.next_in(cfg.start, cfg.end - 1);
+    const Rank rank = static_cast<Rank>(rng.next_below(256));
+    plan.pressure_spike(at, link, cfg.spike_packets, cfg.spike_bytes,
+                        kInvalidTenant, rank);
+  }
+
+  // Sorting is cosmetic (the simulator orders events), but it makes
+  // plans diffable and keeps replays independent of builder order.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  injector_seed_ = plan.seed;
+  const auto& links = net_.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    // Per-link streams: one link's draw count never perturbs another's.
+    SplitMix64 mix(plan.seed ^ (0xfa017000000000ull + i));
+    links[i]->set_fault_seed(mix.next());
+  }
+  for (const FaultEvent& ev : plan.events) {
+    sim_.at(ev.at, [this, ev] { apply(ev); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  assert(ev.link < net_.links().size());
+  Link& link = *net_.links()[ev.link];
+  switch (ev.kind) {
+    case FaultEvent::Kind::kLinkDown:
+      if (link.up()) {
+        link.set_up(false);
+        ++link_downs_;
+      }
+      break;
+    case FaultEvent::Kind::kLinkUp:
+      if (!link.up()) {
+        link.set_up(true);
+        ++link_ups_;
+      }
+      break;
+    case FaultEvent::Kind::kSetLoss:
+      link.set_loss(ev.loss_prob, ev.corrupt_prob);
+      break;
+    case FaultEvent::Kind::kPressureSpike: {
+      NodeId dst = ev.dst;
+      if (dst == kInvalidNode && net_.host_count() > 0) {
+        // Deterministic choice from the plan seed and the event's link,
+        // NOT from a shared stream — armed order stays irrelevant.
+        SplitMix64 mix(injector_seed_ ^ (ev.link * 0x9e3779b97f4a7c15ull) ^
+                       static_cast<std::uint64_t>(ev.at));
+        dst = net_.host(mix.next() % net_.host_count()).id();
+      }
+      for (int i = 0; i < ev.burst_packets; ++i) {
+        Packet p;
+        p.flow = 0xFA000000ull + spike_seq_;
+        p.seq = static_cast<std::uint32_t>(i);
+        p.dst = dst;
+        p.size_bytes = ev.packet_bytes;
+        p.tenant = ev.tenant;
+        p.rank = ev.rank;
+        p.original_rank = ev.rank;
+        p.created_at = sim_.now();
+        ++pressure_injected_;
+        pressure_injected_bytes_ += static_cast<std::uint64_t>(ev.packet_bytes);
+        link.transmit(p);
+      }
+      ++spike_seq_;
+      break;
+    }
+  }
+}
+
+void FaultInjector::export_metrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.counter_view(prefix + ".link_downs", &link_downs_);
+  reg.counter_view(prefix + ".link_ups", &link_ups_);
+  reg.counter_view(prefix + ".pressure_injected", &pressure_injected_);
+  reg.counter_view(prefix + ".pressure_injected_bytes",
+                   &pressure_injected_bytes_);
+  // Network-wide wire losses, sampled at snapshot time.
+  reg.gauge(prefix + ".fault_dropped_pkts", [this] {
+    return static_cast<double>(net_.total_fault_drops().dropped());
+  });
+  reg.gauge(prefix + ".fault_dropped_bytes", [this] {
+    return static_cast<double>(net_.total_fault_drops().dropped_bytes());
+  });
+}
+
+}  // namespace qv::netsim

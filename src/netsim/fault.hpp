@@ -1,0 +1,122 @@
+// Fault injection for netsim: a FaultPlan is a declarative schedule of
+// link outages, loss/corruption episodes, and port-pressure spikes. The
+// FaultInjector arms the plan against a Network by scheduling plain
+// simulator events, so a faulty run is driven by the same event loop as
+// a clean one and replays bit-identically from (plan, seed).
+//
+// Conservation contract: every packet a fault removes is accounted in
+// LinkFaultCounters (see link.hpp), and every packet a pressure spike
+// adds is counted by the injector, so harnesses can assert
+//   offered + injected == delivered + queue-dropped + fault-dropped
+//                         + buffered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/simulator.hpp"
+#include "obs/metrics.hpp"
+
+namespace qv::netsim {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,       ///< pull the cable
+    kLinkUp,         ///< plug it back in
+    kSetLoss,        ///< set per-packet loss/corruption probability
+    kPressureSpike,  ///< inject a burst of packets straight into a port
+  };
+
+  Kind kind = Kind::kLinkDown;
+  TimeNs at = 0;
+  std::size_t link = 0;  ///< index into Network::links()
+
+  // kSetLoss
+  double loss_prob = 0.0;
+  double corrupt_prob = 0.0;
+
+  // kPressureSpike
+  int burst_packets = 0;
+  std::int32_t packet_bytes = 1500;
+  TenantId tenant = kInvalidTenant;
+  Rank rank = 0;
+  /// Destination host for spike packets. kInvalidNode lets the injector
+  /// pick one deterministically from the plan seed.
+  NodeId dst = kInvalidNode;
+};
+
+/// Knobs for random_fault_plan(): how violent the schedule is.
+struct RandomFaultConfig {
+  TimeNs start = 0;            ///< no faults before this
+  TimeNs end = 0;              ///< every link is back up by this time
+  int flaps = 3;               ///< link down/up pairs
+  TimeNs min_down = 50'000;    ///< shortest outage (ns)
+  TimeNs max_down = 500'000;   ///< longest outage (ns)
+  int loss_episodes = 2;       ///< bounded loss-probability windows
+  double max_loss = 0.05;      ///< peak loss probability per episode
+  TimeNs loss_duration = 300'000;
+  int pressure_spikes = 1;
+  int spike_packets = 64;
+  std::int32_t spike_bytes = 1500;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Seeds every per-link loss RNG (mixed with the link index) and any
+  /// choices the injector must make itself.
+  std::uint64_t seed = 1;
+
+  // Fluent builders, so tests read as a timeline.
+  FaultPlan& link_down(TimeNs at, std::size_t link);
+  FaultPlan& link_up(TimeNs at, std::size_t link);
+  /// down at `down_at`, back up at `up_at`.
+  FaultPlan& flap(std::size_t link, TimeNs down_at, TimeNs up_at);
+  FaultPlan& set_loss(TimeNs at, std::size_t link, double loss_prob,
+                      double corrupt_prob = 0.0);
+  FaultPlan& pressure_spike(TimeNs at, std::size_t link, int packets,
+                            std::int32_t packet_bytes, TenantId tenant,
+                            Rank rank, NodeId dst = kInvalidNode);
+};
+
+/// A randomized but fully seeded schedule: `seed` determines every link
+/// choice, outage window, and loss probability. All outages and loss
+/// episodes end by cfg.end so the network always converges.
+FaultPlan random_fault_plan(std::uint64_t seed, std::size_t num_links,
+                            const RandomFaultConfig& cfg);
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, Network& net) : sim_(sim), net_(net) {}
+
+  /// Schedule every event in the plan and seed each link's fault RNG
+  /// from mix(plan.seed, link index). Call once, before Simulator::run.
+  void arm(const FaultPlan& plan);
+
+  std::uint64_t link_downs() const { return link_downs_; }
+  std::uint64_t link_ups() const { return link_ups_; }
+  std::uint64_t pressure_injected() const { return pressure_injected_; }
+  std::uint64_t pressure_injected_bytes() const {
+    return pressure_injected_bytes_;
+  }
+
+  /// Counter views for the injector's own tallies plus snapshot gauges
+  /// over the network's aggregate fault drops.
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const;
+
+ private:
+  void apply(const FaultEvent& ev);
+
+  Simulator& sim_;
+  Network& net_;
+  std::uint64_t injector_seed_ = 0;
+  std::uint64_t spike_seq_ = 0;  ///< distinct flow ids across spikes
+  std::uint64_t link_downs_ = 0;
+  std::uint64_t link_ups_ = 0;
+  std::uint64_t pressure_injected_ = 0;
+  std::uint64_t pressure_injected_bytes_ = 0;
+};
+
+}  // namespace qv::netsim

@@ -22,6 +22,12 @@ void Link::account_queue(TimeNs now) {
 }
 
 void Link::transmit(const Packet& p) {
+  if (!up_) {
+    ++faults_.offered_while_down;
+    faults_.offered_while_down_bytes +=
+        static_cast<std::uint64_t>(p.size_bytes);
+    return;
+  }
   account_queue(sim_.now());
   if (obs::Tracer* tr = sched_tracer()) {
     // Counter deltas distinguish the three outcomes (acceptance,
@@ -44,6 +50,14 @@ void Link::transmit(const Packet& p) {
 }
 
 void Link::transmit_burst(std::span<Packet> burst) {
+  if (!up_) {
+    faults_.offered_while_down += burst.size();
+    for (const Packet& p : burst) {
+      faults_.offered_while_down_bytes +=
+          static_cast<std::uint64_t>(p.size_bytes);
+    }
+    return;
+  }
   account_queue(sim_.now());
   if (obs::Tracer* tr = sched_tracer()) {
     const sched::SchedulerCounters& c = queue_->counters();
@@ -62,6 +76,10 @@ void Link::transmit_burst(std::span<Packet> burst) {
 }
 
 void Link::start_next() {
+  if (!up_) {
+    busy_ = false;
+    return;
+  }
   account_queue(sim_.now());
   auto next = queue_->dequeue(sim_.now());
   if (!next) {
@@ -78,13 +96,85 @@ void Link::start_next() {
                  trace_tid_, "rank", next->rank);
   }
   const Packet pkt = *next;
-  // Last bit leaves at now+ser; it arrives prop_delay later.
-  sim_.after(ser, [this, pkt, ser] {
+  // Last bit leaves at now+ser; it arrives prop_delay later. Both
+  // continuations capture the down-epoch they started under: if the
+  // link went down in between, the bits on the wire are gone.
+  const std::uint64_t epoch = down_epoch_;
+  sim_.after(ser, [this, pkt, ser, epoch] {
+    if (epoch != down_epoch_) {
+      // Cable pulled mid-serialization. set_up(false) already closed
+      // the busy interval; the packet never made it onto the far wire.
+      ++faults_.inflight_dropped;
+      faults_.inflight_dropped_bytes +=
+          static_cast<std::uint64_t>(pkt.size_bytes);
+      return;
+    }
     busy_accum_ += ser;
     bytes_transmitted_ += pkt.size_bytes;
-    sim_.after(prop_delay_, [this, pkt] { deliver_(pkt); });
+    if (loss_prob_ > 0.0 || corrupt_prob_ > 0.0) {
+      // Loss/corruption is decided once the packet has consumed its
+      // wire time, from the per-link fault RNG (replay-deterministic).
+      if (fault_rng_.next_bool(loss_prob_)) {
+        ++faults_.lost;
+        faults_.lost_bytes += static_cast<std::uint64_t>(pkt.size_bytes);
+        start_next();
+        return;
+      }
+      if (fault_rng_.next_bool(corrupt_prob_)) {
+        // The receiver discards a corrupted frame; on the wire it is
+        // indistinguishable from loss except for the counter.
+        ++faults_.corrupted;
+        faults_.corrupted_bytes +=
+            static_cast<std::uint64_t>(pkt.size_bytes);
+        start_next();
+        return;
+      }
+    }
+    sim_.after(prop_delay_, [this, pkt, epoch] {
+      if (epoch != down_epoch_) {
+        ++faults_.inflight_dropped;
+        faults_.inflight_dropped_bytes +=
+            static_cast<std::uint64_t>(pkt.size_bytes);
+        return;
+      }
+      deliver_(pkt);
+    });
     start_next();
   });
+}
+
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  const TimeNs now = sim_.now();
+  if (!up) {
+    up_ = false;
+    ++down_epoch_;
+    down_since_ = now;
+    if (busy_) {
+      // The wire was occupied up to the pull; the serialization
+      // continuation will see the stale epoch and count the drop.
+      busy_accum_ += now - busy_since_;
+      busy_ = false;
+    }
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "link:down", now, trace_tid_);
+    }
+    return;
+  }
+  up_ = true;
+  if (obs::Tracer* tr = runtime_tracer()) {
+    // One span covering the whole outage makes flaps legible in
+    // Perfetto without stitching down/up instants together.
+    tr->complete(obs::TraceCategory::kRuntime, "link:outage", down_since_,
+                 now - down_since_, trace_tid_);
+  }
+  if (!busy_) start_next();
+}
+
+void Link::set_loss(double loss_prob, double corrupt_prob) {
+  loss_prob_ = loss_prob < 0.0 ? 0.0 : (loss_prob > 1.0 ? 1.0 : loss_prob);
+  corrupt_prob_ =
+      corrupt_prob < 0.0 ? 0.0 : (corrupt_prob > 1.0 ? 1.0 : corrupt_prob);
 }
 
 double Link::utilization(TimeNs now) const {

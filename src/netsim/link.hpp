@@ -17,9 +17,33 @@
 #include "netsim/simulator.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
+#include "util/random.hpp"
 #include "util/units.hpp"
 
 namespace qv::netsim {
+
+/// Packets the wire itself lost, split by cause. These are DISTINCT
+/// from the queue's drop counters: a fault drop happens after (or
+/// instead of) queue admission, so network-level conservation is
+///   offered == delivered + queue-dropped + fault-dropped + buffered.
+struct LinkFaultCounters {
+  std::uint64_t offered_while_down = 0;  ///< transmit() against a down link
+  std::uint64_t offered_while_down_bytes = 0;
+  std::uint64_t inflight_dropped = 0;  ///< on the wire when it went down
+  std::uint64_t inflight_dropped_bytes = 0;
+  std::uint64_t lost = 0;  ///< random per-packet loss
+  std::uint64_t lost_bytes = 0;
+  std::uint64_t corrupted = 0;  ///< random corruption (receiver discards)
+  std::uint64_t corrupted_bytes = 0;
+
+  std::uint64_t dropped() const {
+    return offered_while_down + inflight_dropped + lost + corrupted;
+  }
+  std::uint64_t dropped_bytes() const {
+    return offered_while_down_bytes + inflight_dropped_bytes + lost_bytes +
+           corrupted_bytes;
+  }
+};
 
 class Link {
  public:
@@ -61,6 +85,28 @@ class Link {
   /// Idea 2 on buffer-emptying challenges).
   void replace_queue(std::unique_ptr<sched::Scheduler> queue);
 
+  // --- Fault injection ------------------------------------------------
+  //
+  // A link can be taken down (cable pull), given a per-packet loss /
+  // corruption probability (dirty optics), or both. All randomness is
+  // drawn from a per-link seeded RNG so replays are bit-identical.
+
+  /// Bring the wire down or up. Going down drops whatever is currently
+  /// being serialized or propagating (counted as inflight_dropped) and
+  /// rejects new offers (offered_while_down); packets already buffered
+  /// stay in the queue and resume draining when the link comes back up.
+  void set_up(bool up);
+  bool up() const { return up_; }
+
+  /// Per-packet loss / corruption probability in [0,1], applied at the
+  /// end of serialization (the packet consumed wire time either way).
+  void set_loss(double loss_prob, double corrupt_prob = 0.0);
+
+  /// Seed the fault RNG (deterministic loss/corruption decisions).
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = Rng(seed); }
+
+  const LinkFaultCounters& fault_counters() const { return faults_; }
+
   /// Human-readable port label ("src->dst"), set by Network::connect.
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
@@ -77,6 +123,13 @@ class Link {
     obs::Tracer* t = sim_.tracer();
     return (t != nullptr && t->enabled(obs::TraceCategory::kSched)) ? t
                                                                     : nullptr;
+  }
+  /// Runtime-category tracer for fault transitions, else nullptr.
+  obs::Tracer* runtime_tracer() const {
+    obs::Tracer* t = sim_.tracer();
+    return (t != nullptr && t->enabled(obs::TraceCategory::kRuntime))
+               ? t
+               : nullptr;
   }
   void start_next();
   void account_queue(TimeNs now);
@@ -95,6 +148,18 @@ class Link {
   double backlog_integral_ = 0;  ///< byte-nanoseconds
   std::string label_;
   std::uint32_t trace_tid_ = 0;
+
+  // Fault state. `down_epoch_` is bumped every time the wire goes down;
+  // the serialization/propagation continuations capture the epoch they
+  // started under and abort if it changed — that is what "the cable
+  // pull loses in-flight bits" means in an event-driven model.
+  bool up_ = true;
+  std::uint64_t down_epoch_ = 0;
+  TimeNs down_since_ = 0;
+  double loss_prob_ = 0.0;
+  double corrupt_prob_ = 0.0;
+  Rng fault_rng_{0x9e3779b97f4a7c15ull};
+  LinkFaultCounters faults_;
 };
 
 }  // namespace qv::netsim

@@ -101,4 +101,20 @@ std::uint64_t Network::total_drops() const {
   return drops;
 }
 
+LinkFaultCounters Network::total_fault_drops() const {
+  LinkFaultCounters total;
+  for (const auto& link : links_) {
+    const LinkFaultCounters& f = link->fault_counters();
+    total.offered_while_down += f.offered_while_down;
+    total.offered_while_down_bytes += f.offered_while_down_bytes;
+    total.inflight_dropped += f.inflight_dropped;
+    total.inflight_dropped_bytes += f.inflight_dropped_bytes;
+    total.lost += f.lost;
+    total.lost_bytes += f.lost_bytes;
+    total.corrupted += f.corrupted;
+    total.corrupted_bytes += f.corrupted_bytes;
+  }
+  return total;
+}
+
 }  // namespace qv::netsim

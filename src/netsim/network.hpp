@@ -60,6 +60,9 @@ class Network {
   /// Aggregate drop count across every link queue.
   std::uint64_t total_drops() const;
 
+  /// Aggregate wire-fault losses across every link (down/loss/corrupt).
+  LinkFaultCounters total_fault_drops() const;
+
  private:
   Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -19,8 +19,32 @@ std::size_t Fleet::add_switch(const std::string& name) {
   member.name = name;
   member.hv = std::make_unique<Hypervisor>(tenants_, policy_, backend_,
                                            config_);
+  if (tracer_ != nullptr) member.hv->set_tracer(tracer_);
   switches_.push_back(std::move(member));
-  return switches_.size() - 1;
+  const std::size_t index = switches_.size() - 1;
+  wire_install_fault(index);
+  return index;
+}
+
+void Fleet::wire_install_fault(std::size_t switch_index) {
+  Hypervisor& hv = *switches_[switch_index].hv;
+  if (!install_fault_) {
+    hv.set_install_fault({});
+    return;
+  }
+  hv.set_install_fault([this, switch_index](std::uint64_t epoch) {
+    return install_fault_(switch_index, epoch);
+  });
+}
+
+void Fleet::set_install_fault(InstallFault fault) {
+  install_fault_ = std::move(fault);
+  for (std::size_t i = 0; i < switches_.size(); ++i) wire_install_fault(i);
+}
+
+void Fleet::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& member : switches_) member.hv->set_tracer(tracer);
 }
 
 Hypervisor& Fleet::hypervisor(std::size_t switch_index) {
@@ -38,8 +62,9 @@ Hypervisor::CompileResult Fleet::compile() {
 }
 
 Hypervisor::CompileResult Fleet::compile_for(
-    const std::vector<std::string>& active_names) {
+    const std::vector<std::string>& active_names, TimeNs now) {
   assert(!switches_.empty());
+  const TimeNs ts = now < 0 ? 0 : now;
   // Fleet-level validation: the shared policy must only name registered
   // tenants. (Hypervisor::compile_for restricts silently — correct for
   // the runtime path, but a misconfigured fleet policy must not deploy.)
@@ -53,24 +78,87 @@ Hypervisor::CompileResult Fleet::compile_for(
       return result;
     }
   }
-  // All switches share one configuration, so one dry run decides for
-  // the whole fleet: validate on the first switch WITHOUT installing,
-  // then deploy everywhere only on success.
-  // (Hypervisor::compile_for installs on success, so run it on a
-  // scratch hypervisor first.)
+  // Phase 1 — validate once for the whole fleet: all switches share one
+  // configuration, so a dry run on a scratch hypervisor decides whether
+  // the plan is deployable anywhere.
   Hypervisor scratch(tenants_, policy_, backend_, config_);
   auto result = scratch.compile_for(active_names);
   if (!result.ok) return result;
 
-  for (auto& member : switches_) {
+  // Phase 2 — commit everywhere at one fleet epoch. A switch agent may
+  // still reject its install (injected fault / unreachable switch);
+  // partial failure rolls every already-committed switch back to its
+  // last-known-good plan, so the fleet never runs mixed epochs.
+  const std::uint64_t epoch = ++epoch_counter_;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    Member& member = switches_[i];
     member.hv->set_policy(policy_);
     for (const auto& spec : tenants_) member.hv->upsert_tenant(spec);
-    const auto deployed = member.hv->compile_for(active_names);
-    // The configuration is identical, so this cannot fail differently.
-    assert(deployed.ok);
-    (void)deployed;
+    const auto deployed = member.hv->commit_for(active_names, epoch);
+    if (deployed.ok) continue;
+
+    ++failed_installs_;
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "install:failed", ts,
+                  /*tid=*/0, "switch", i);
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (switches_[j].hv->rollback()) {
+        ++rollbacks_;
+        if (obs::Tracer* tr = runtime_tracer()) {
+          tr->instant(obs::TraceCategory::kRuntime, "rollback", ts,
+                      /*tid=*/0, "switch", j);
+        }
+      }
+      // A switch whose rollback push is ALSO rejected stays dirty at
+      // the aborted epoch; reconcile() heals it when it recovers.
+    }
+    Hypervisor::CompileResult failed;
+    failed.error = "install failed on switch '" + member.name +
+                   "' at epoch " + std::to_string(epoch) + ": " +
+                   deployed.error + " (fleet rolled back to epoch " +
+                   std::to_string(committed_epoch_) + ")";
+    return failed;
   }
+  committed_epoch_ = epoch;
+  committed_active_ = active_names;
   return result;
+}
+
+std::size_t Fleet::reconcile(TimeNs now) {
+  if (committed_epoch_ == 0) return 0;  // nothing ever deployed
+  const TimeNs ts = now < 0 ? 0 : now;
+  std::size_t healed = 0;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    Member& member = switches_[i];
+    if (member.hv->has_plan() &&
+        member.hv->plan_epoch() == committed_epoch_) {
+      continue;
+    }
+    member.hv->set_policy(policy_);
+    for (const auto& spec : tenants_) member.hv->upsert_tenant(spec);
+    const auto repushed =
+        member.hv->commit_for(committed_active_, committed_epoch_);
+    if (!repushed.ok) continue;  // still unreachable; try next pass
+    ++reconciles_;
+    ++healed;
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "reconcile", ts, /*tid=*/0,
+                  "switch", i);
+    }
+  }
+  return healed;
+}
+
+bool Fleet::epochs_consistent() const {
+  if (committed_epoch_ == 0) return true;
+  for (const auto& member : switches_) {
+    if (!member.hv->has_plan() ||
+        member.hv->plan_epoch() != committed_epoch_) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::unique_ptr<sched::Scheduler> Fleet::make_port_scheduler(
@@ -91,6 +179,13 @@ std::unordered_map<TenantId, std::uint64_t> Fleet::per_tenant_packets()
 
 void Fleet::export_metrics(obs::Registry& reg,
                            const std::string& prefix) const {
+  reg.counter_view(prefix + ".rollbacks", &rollbacks_);
+  reg.counter_view(prefix + ".reconciles", &reconciles_);
+  reg.counter_view(prefix + ".failed_installs", &failed_installs_);
+  reg.gauge(prefix + ".committed_epoch",
+            [this] { return static_cast<double>(committed_epoch_); });
+  reg.gauge(prefix + ".degraded",
+            [this] { return degraded_ ? 1.0 : 0.0; });
   for (const auto& member : switches_) {
     member.hv->export_metrics(reg, prefix + "." + member.name);
   }
@@ -129,6 +224,24 @@ std::vector<TenantId> Fleet::adversarial() const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void Fleet::set_degraded(bool degraded) {
+  degraded_ = degraded;
+  for (auto& member : switches_) member.hv->set_degraded(degraded);
+}
+
+TimeNs Fleet::last_violation_at(TenantId tenant) const {
+  TimeNs latest = -1;
+  for (const auto& member : switches_) {
+    latest = std::max(latest,
+                      member.hv->monitor().last_violation_at(tenant));
+  }
+  return latest;
+}
+
+void Fleet::reset_monitor(TenantId tenant) {
+  for (auto& member : switches_) member.hv->monitor().reset(tenant);
 }
 
 void Fleet::set_policy(OperatorPolicy policy) {
@@ -170,19 +283,141 @@ std::vector<std::string> FleetController::compute_active(TimeNs now) const {
   return active;
 }
 
+void FleetController::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  fleet_.set_tracer(tracer);
+}
+
+void FleetController::apply_hysteresis(TimeNs now) {
+  if (config_.quarantine_clean_window <= 0 || quarantined_.empty()) return;
+  for (const auto& name : quarantined_) {
+    for (const auto& spec : fleet_.tenants()) {
+      if (spec.name != name) continue;
+      const TimeNs last = fleet_.last_violation_at(spec.id);
+      if (last >= 0 && now - last >= config_.quarantine_clean_window) {
+        fleet_.reset_monitor(spec.id);
+        ++unquarantines_;
+        if (obs::Tracer* tr = runtime_tracer()) {
+          tr->instant(obs::TraceCategory::kRuntime, "unquarantine", now,
+                      /*tid=*/0, "tenant", spec.id);
+        }
+      }
+    }
+  }
+}
+
 bool FleetController::tick(TimeNs now) {
-  if (last_reconfig_ >= 0 &&
-      now - last_reconfig_ < config_.min_reconfig_interval) {
+  // Anti-entropy always runs: switches that missed the committed epoch
+  // (failed rollback push, agent reboot) heal on the controller's
+  // cadence regardless of backoff or activity state.
+  fleet_.reconcile(now);
+
+  if (consecutive_failures_ > 0) {
+    if (now < next_retry_at_) return false;
+  } else if (last_reconfig_ >= 0 &&
+             now - last_reconfig_ < config_.min_reconfig_interval) {
     return false;
   }
+  const bool is_retry = consecutive_failures_ > 0;
+
+  apply_hysteresis(now);
+
   std::vector<std::string> active = compute_active(now);
   std::sort(active.begin(), active.end());
-  if (active == active_) return false;
 
-  const auto result = fleet_.compile_for(active);
+  std::vector<std::string> quarantined;
+  if (config_.quarantine_adversarial) {
+    for (const TenantId id : fleet_.adversarial()) {
+      for (const auto& spec : fleet_.tenants()) {
+        if (spec.id == id &&
+            std::find(active.begin(), active.end(), spec.name) !=
+                active.end()) {
+          quarantined.push_back(spec.name);
+        }
+      }
+    }
+    std::sort(quarantined.begin(), quarantined.end());
+  }
+
+  const bool changed =
+      active != active_ || quarantined != quarantined_ || is_retry ||
+      fleet_.committed_epoch() == 0;
+  if (!changed) return false;
+
+  // Effective policy: operator policy restricted to the clean active
+  // tenants, quarantined tenants appended as one strictly-lowest tier
+  // (same jail shape as RuntimeController).
+  std::vector<std::string> clean;
+  for (const auto& name : active) {
+    if (std::find(quarantined.begin(), quarantined.end(), name) ==
+        quarantined.end()) {
+      clean.push_back(name);
+    }
+  }
+  const OperatorPolicy saved = fleet_.policy();
+  OperatorPolicy effective = saved.restricted_to(clean);
+  if (!quarantined.empty()) {
+    auto tiers = effective.tiers();
+    PriorityTier jail;
+    SharingGroup cell;
+    cell.tenants = quarantined;
+    jail.groups.push_back(std::move(cell));
+    tiers.push_back(std::move(jail));
+    effective = OperatorPolicy(std::move(tiers));
+  }
+
+  if (is_retry) {
+    ++retries_;
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "recompile:retry", now,
+                  /*tid=*/0, "attempt",
+                  static_cast<std::uint64_t>(consecutive_failures_));
+    }
+  }
+  fleet_.set_policy(effective);
+  const auto result = fleet_.compile_for(effective.tenant_names(), now);
+  fleet_.set_policy(saved);  // the operator's intent is permanent
   if (!result.ok) {
+    ++consecutive_failures_;
+    const int shift = std::min(consecutive_failures_ - 1, 30);
+    const TimeNs backoff = std::min(
+        config_.retry_backoff_cap,
+        static_cast<TimeNs>(config_.retry_backoff) << shift);
+    next_retry_at_ = now + backoff;
+    if (consecutive_failures_ > config_.retry_budget && !degraded_) {
+      degraded_ = true;
+      ++degraded_entries_;
+      fleet_.set_degraded(true);
+      if (obs::Tracer* tr = runtime_tracer()) {
+        tr->instant(obs::TraceCategory::kRuntime, "degraded:enter", now,
+                    /*tid=*/0, "failures",
+                    static_cast<std::uint64_t>(consecutive_failures_));
+      }
+      QV_WARN << "fleet controller degraded after "
+              << consecutive_failures_ << " consecutive failures";
+    }
     QV_WARN << "fleet adaptation failed: " << result.error;
     return false;
+  }
+  consecutive_failures_ = 0;
+  next_retry_at_ = -1;
+  if (degraded_) {
+    degraded_ = false;
+    ++recoveries_;
+    fleet_.set_degraded(false);
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "degraded:exit", now);
+    }
+  }
+  if (quarantined != quarantined_) {
+    quarantines_ += quarantined.size() > quarantined_.size()
+                        ? quarantined.size() - quarantined_.size()
+                        : 0;
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "quarantine", now,
+                  /*tid=*/0, "tenants", quarantined.size());
+    }
+    quarantined_ = std::move(quarantined);
   }
   active_ = std::move(active);
   ++adaptations_;

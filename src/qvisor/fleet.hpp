@@ -21,6 +21,12 @@ namespace qv::qvisor {
 
 class Fleet {
  public:
+  /// Injectable per-switch install failure: (switch index, epoch) ->
+  /// reject?  Consulted for forward installs AND rollback pushes, so an
+  /// unreachable switch stays dirty until reconcile() heals it.
+  using InstallFault =
+      std::function<bool(std::size_t switch_index, std::uint64_t epoch)>;
+
   /// All switches share the tenant set, policy, backend and config.
   Fleet(std::vector<TenantSpec> tenants, OperatorPolicy policy,
         BackendPtr backend, SynthesizerConfig config = {});
@@ -34,12 +40,38 @@ class Fleet {
   const std::string& switch_name(std::size_t switch_index) const;
 
   /// Compile the shared configuration and deploy to EVERY switch.
-  /// All-or-nothing: on any failure no switch's plan changes.
+  /// All-or-nothing by mechanism: the deploy runs as a two-phase
+  /// commit at one fleet epoch, and a partial failure rolls every
+  /// already-committed switch back to its last-known-good plan.
   Hypervisor::CompileResult compile();
 
   /// Compile for a subset of tenants on every switch (runtime path).
+  /// `now` is only used to timestamp runtime trace spans; pass the
+  /// simulated time when a tracer is attached.
   Hypervisor::CompileResult compile_for(
-      const std::vector<std::string>& active_names);
+      const std::vector<std::string>& active_names, TimeNs now = -1);
+
+  /// Anti-entropy: re-push the committed configuration to any switch
+  /// whose epoch disagrees (failed rollback, agent reboot). Returns the
+  /// number of switches healed; switches that still reject the install
+  /// stay dirty for the next pass.
+  std::size_t reconcile(TimeNs now = -1);
+
+  /// True when every switch runs the committed epoch (vacuously true
+  /// before the first successful deploy).
+  bool epochs_consistent() const;
+
+  void set_install_fault(InstallFault fault);
+
+  /// Attach a tracer (not owned): install failures, rollbacks and
+  /// reconciles become `runtime`-category events; also forwarded to
+  /// every switch hypervisor's monitor.
+  void set_tracer(obs::Tracer* tracer);
+
+  std::uint64_t committed_epoch() const { return committed_epoch_; }
+  std::uint64_t rollbacks() const { return rollbacks_; }
+  std::uint64_t reconciles() const { return reconciles_; }
+  std::uint64_t failed_installs() const { return failed_installs_; }
 
   /// Make a port scheduler on a given switch.
   std::unique_ptr<sched::Scheduler> make_port_scheduler(
@@ -54,6 +86,19 @@ class Fleet {
 
   /// Tenants judged adversarial on at least one switch.
   std::vector<TenantId> adversarial() const;
+
+  /// Degraded pass-through mode on EVERY switch (see
+  /// Hypervisor::set_degraded); the fleet controller flips this when
+  /// its retry budget runs out.
+  void set_degraded(bool degraded);
+  bool degraded() const { return degraded_; }
+
+  /// Most recent bounds/rate violation of `tenant` on ANY switch, or
+  /// -1 if it never violated anywhere (quarantine hysteresis input).
+  TimeNs last_violation_at(TenantId tenant) const;
+
+  /// Reset the tenant's monitor state on every switch (forgiveness).
+  void reset_monitor(TenantId tenant);
 
   /// Update the shared policy / tenant set (applies on next compile).
   void set_policy(OperatorPolicy policy);
@@ -73,33 +118,103 @@ class Fleet {
     std::unique_ptr<Hypervisor> hv;
   };
 
+  obs::Tracer* runtime_tracer() const {
+    return tracer_ != nullptr &&
+                   tracer_->enabled(obs::TraceCategory::kRuntime)
+               ? tracer_
+               : nullptr;
+  }
+  /// Re-wire member hv install-fault hooks from the fleet-level hook.
+  void wire_install_fault(std::size_t switch_index);
+
   std::vector<TenantSpec> tenants_;
   OperatorPolicy policy_;
   BackendPtr backend_;
   SynthesizerConfig config_;
   std::vector<Member> switches_;
+
+  InstallFault install_fault_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t epoch_counter_ = 0;   ///< epochs handed out (even failed)
+  std::uint64_t committed_epoch_ = 0; ///< last fleet-wide success
+  std::vector<std::string> committed_active_;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t reconciles_ = 0;
+  std::uint64_t failed_installs_ = 0;
+  bool degraded_ = false;
 };
 
 /// Fleet-level runtime controller: like RuntimeController, but the
-/// active set is "seen recently on ANY switch" and re-synthesis
-/// deploys fleet-wide.
+/// active set is "seen recently on ANY switch", quarantine verdicts
+/// aggregate across switches, and re-synthesis deploys fleet-wide
+/// (two-phase, with the Fleet's rollback + reconcile machinery). The
+/// self-healing behaviour mirrors RuntimeController: failed deploys
+/// retry with capped exponential backoff, an exhausted retry budget
+/// degrades every switch to pass-through ranks, and quarantined
+/// tenants are forgiven after a clean window.
 class FleetController {
  public:
   FleetController(Fleet& fleet, RuntimeConfig config = {});
 
+  /// Anti-entropy first (heal switches that missed the committed
+  /// epoch), then activity/quarantine evaluation and — if the tenant
+  /// set changed or a retry is due — a fleet-wide redeploy. Returns
+  /// true when a new plan was committed fleet-wide.
   bool tick(TimeNs now);
 
   const std::vector<std::string>& active_tenants() const { return active_; }
   std::uint64_t adaptations() const { return adaptations_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t degraded_entries() const { return degraded_entries_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t unquarantines() const { return unquarantines_; }
+  bool degraded() const { return degraded_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Attach a tracer (not owned): forwarded to the fleet, plus
+  /// controller-level retry/degraded/quarantine instants.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Publish adaptation counters as live registry views.
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const {
+    reg.counter_view(prefix + ".adaptations", &adaptations_);
+    reg.counter_view(prefix + ".quarantines", &quarantines_);
+    reg.counter_view(prefix + ".retries", &retries_);
+    reg.counter_view(prefix + ".degraded_entries", &degraded_entries_);
+    reg.counter_view(prefix + ".recoveries", &recoveries_);
+    reg.counter_view(prefix + ".unquarantines", &unquarantines_);
+    reg.gauge(prefix + ".degraded",
+              [this]() { return degraded_ ? 1.0 : 0.0; });
+  }
 
  private:
   std::vector<std::string> compute_active(TimeNs now) const;
+  void apply_hysteresis(TimeNs now);
+  obs::Tracer* runtime_tracer() const {
+    return tracer_ != nullptr &&
+                   tracer_->enabled(obs::TraceCategory::kRuntime)
+               ? tracer_
+               : nullptr;
+  }
 
   Fleet& fleet_;
   RuntimeConfig config_;
   std::vector<std::string> active_;
+  std::vector<std::string> quarantined_;
   TimeNs last_reconfig_ = -1;
   std::uint64_t adaptations_ = 0;
+  std::uint64_t quarantines_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+
+  // Self-healing state (mirrors RuntimeController).
+  int consecutive_failures_ = 0;
+  TimeNs next_retry_at_ = -1;
+  bool degraded_ = false;
+  std::uint64_t retries_ = 0;
+  std::uint64_t degraded_entries_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t unquarantines_ = 0;
 };
 
 }  // namespace qv::qvisor

@@ -17,18 +17,28 @@ Monitor::Monitor(double suspect_threshold, double adversarial_threshold,
 void Monitor::set_contract(const TenantContract& contract) {
   State& s = tenants_[contract.tenant];
   s.contract = contract;
+  s.registered = true;
   s.tokens = static_cast<double>(contract.burst_bytes);
 }
 
 void Monitor::observe(TenantId tenant, Rank original_rank,
                       std::int32_t bytes, TimeNs now) {
   State& s = tenants_[tenant];
+  if (s.contract.tenant == kInvalidTenant) {
+    // First sight of a tenant nobody contracted: make the implicit
+    // terms explicit — this tenant, unbounded ranks ([0, kMaxRank] is
+    // the TenantContract default), unpoliced rate. Such a tenant can
+    // never be judged a violator, by construction rather than by the
+    // accident of a default-constructed State.
+    s.contract.tenant = tenant;
+  }
   ++s.obs.packets;
   s.obs.bytes += static_cast<std::uint64_t>(bytes);
 
   if (original_rank < s.contract.rank_min ||
       original_rank > s.contract.rank_max) {
     ++s.obs.bounds_violations;
+    s.last_violation = now;
   }
 
   const Verdict before = s.obs.verdict;
@@ -47,6 +57,7 @@ void Monitor::observe(TenantId tenant, Rank original_rank,
       s.tokens -= static_cast<double>(bytes);
     } else {
       ++s.obs.rate_violations;
+      s.last_violation = now;
     }
   }
   refresh_verdict(s);
@@ -103,6 +114,21 @@ const TenantObservation& Monitor::observation(TenantId tenant) const {
   return it == tenants_.end() ? kEmptyObservation : it->second.obs;
 }
 
+bool Monitor::has_contract(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.registered;
+}
+
+const TenantContract* Monitor::contract(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second.contract;
+}
+
+TimeNs Monitor::last_violation_at(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? -1 : it->second.last_violation;
+}
+
 std::vector<TenantId> Monitor::adversarial() const {
   std::vector<TenantId> out;
   for (const auto& [id, s] : tenants_) {
@@ -116,8 +142,10 @@ void Monitor::reset(TenantId tenant) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   const TenantContract contract = it->second.contract;
+  const bool registered = it->second.registered;
   it->second = State{};
   it->second.contract = contract;
+  it->second.registered = registered;
   it->second.tokens = static_cast<double>(contract.burst_bytes);
 }
 

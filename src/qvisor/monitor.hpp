@@ -55,12 +55,28 @@ class Monitor {
 
   void set_contract(const TenantContract& contract);
 
-  /// Feed one packet (pre-transform rank) at time `now`.
+  /// Feed one packet (pre-transform rank) at time `now`. A tenant with
+  /// no registered contract gets an EXPLICIT implicit one on first
+  /// sight — its own id, unbounded ranks, unpoliced rate — rather than
+  /// a default-constructed state stamped `kInvalidTenant`.
   void observe(TenantId tenant, Rank original_rank, std::int32_t bytes,
                TimeNs now);
 
   Verdict verdict(TenantId tenant) const;
   const TenantObservation& observation(TenantId tenant) const;
+
+  /// True iff set_contract() registered terms for this tenant (an
+  /// implicit contract stamped by observe() does not count).
+  bool has_contract(TenantId tenant) const;
+
+  /// The effective contract (registered or implicit); nullptr when the
+  /// tenant was never contracted nor observed.
+  const TenantContract* contract(TenantId tenant) const;
+
+  /// Time of the tenant's most recent bounds/rate violation, or -1 if
+  /// it never violated (or was never observed). Drives quarantine
+  /// hysteresis: controllers release after a configurable clean window.
+  TimeNs last_violation_at(TenantId tenant) const;
 
   /// Tenants currently judged adversarial.
   std::vector<TenantId> adversarial() const;
@@ -77,9 +93,11 @@ class Monitor {
  private:
   struct State {
     TenantContract contract;
+    bool registered = false;  ///< set_contract() vs implicit stamping
     TenantObservation obs;
     double tokens = 0;  ///< token bucket, bytes
     TimeNs last_refill = 0;
+    TimeNs last_violation = -1;
   };
 
   void refresh_verdict(State& s) const;

@@ -38,6 +38,7 @@ struct PreprocessorCounters {
   std::uint64_t processed = 0;
   std::uint64_t unknown_tenant = 0;
   std::uint64_t out_of_bounds = 0;  ///< input rank outside declared bounds
+  std::uint64_t degraded_passthrough = 0;  ///< packets ranked in degraded mode
 };
 
 class Preprocessor {
@@ -61,6 +62,17 @@ class Preprocessor {
   /// fully inlined into the port enqueue and batch loops.
   bool process(Packet& p) {
     ++counters_.processed;
+    if (degraded_) [[unlikely]] {
+      // Degraded fallback (runtime controller lost the control plane):
+      // ignore possibly-stale transforms and schedule every packet by
+      // its tenant-assigned label, clamped into the rank space. Safe —
+      // no tenant can be starved by a transform nobody can update —
+      // and allocation-free: one branch, no lookups.
+      ++counters_.degraded_passthrough;
+      const Rank label = p.original_rank;
+      p.rank = label < rank_space_ ? label : best_effort_rank_;
+      return true;
+    }
     const TenantId t = p.tenant;
     if (t < dense_.size()) {
       const Installed& e = dense_[t];
@@ -101,7 +113,13 @@ class Preprocessor {
     reg.counter_view(prefix + ".processed", &counters_.processed);
     reg.counter_view(prefix + ".unknown_tenant", &counters_.unknown_tenant);
     reg.counter_view(prefix + ".out_of_bounds", &counters_.out_of_bounds);
+    reg.counter_view(prefix + ".degraded_passthrough",
+                     &counters_.degraded_passthrough);
   }
+
+  /// Enter/leave degraded pass-through mode (see process()).
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+  bool degraded() const { return degraded_; }
 
   /// Per-tenant processed-packet counts (runtime controller input).
   /// Materialized from the dense counter table on demand — a
@@ -122,6 +140,7 @@ class Preprocessor {
   void count_spill(TenantId tenant);
 
   UnknownTenantAction unknown_;
+  bool degraded_ = false;
   /// Dense tables, indexed by tenant id; sized to the largest
   /// installed id + 1 (counter table grows on demand for unknown-but-
   /// in-range tenants as well, so counting stays hash-free).

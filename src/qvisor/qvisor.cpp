@@ -12,12 +12,16 @@ QvisorPort::QvisorPort(Hypervisor& hv,
     : hv_(hv), inner_(std::move(inner)) {
   assert(inner_ != nullptr);
   hv_.attach(this);
-  if (hv_.has_plan()) pre_.install(hv_.plan());
+  if (hv_.has_plan()) {
+    pre_.install(hv_.plan());
+    installed_epoch_ = hv_.plan_epoch();
+  }
 }
 
 QvisorPort::~QvisorPort() { hv_.detach(this); }
 
 bool QvisorPort::enqueue(const Packet& p, TimeNs now) {
+  if (installed_epoch_ != hv_.plan_epoch()) ++epoch_mismatches_;
   Packet q = p;
   hv_.observe(q, now);
   if (!pre_.process(q)) {
@@ -36,6 +40,7 @@ bool QvisorPort::enqueue(const Packet& p, TimeNs now) {
 }
 
 std::size_t QvisorPort::enqueue_batch(std::span<Packet> batch, TimeNs now) {
+  if (installed_epoch_ != hv_.plan_epoch()) epoch_mismatches_ += batch.size();
   for (const Packet& p : batch) hv_.observe(p, now);
   const std::size_t kept = pre_.process(batch);
   const std::size_t pre_dropped = batch.size() - kept;
@@ -68,7 +73,10 @@ std::string QvisorPort::name() const {
   return "qvisor(" + inner_->name() + ")";
 }
 
-void QvisorPort::install(const SynthesisPlan& plan) { pre_.install(plan); }
+void QvisorPort::install(const SynthesisPlan& plan, std::uint64_t epoch) {
+  pre_.install(plan);
+  installed_epoch_ = epoch;
+}
 
 void QvisorPort::replace_inner(std::unique_ptr<sched::Scheduler> inner) {
   assert(inner_->empty());
@@ -111,11 +119,16 @@ Hypervisor::CompileResult Hypervisor::compile() {
   // Strict full-configuration compile: the policy and the tenant set
   // must match exactly (a misspelled policy name must NOT silently
   // drop a tenant — the synthesizer reports it).
-  return compile_impl(tenants_, policy_);
+  return compile_impl(tenants_, policy_, epoch_hwm_ + 1);
 }
 
 Hypervisor::CompileResult Hypervisor::compile_for(
     const std::vector<std::string>& active_names) {
+  return commit_for(active_names, epoch_hwm_ + 1);
+}
+
+Hypervisor::CompileResult Hypervisor::commit_for(
+    const std::vector<std::string>& active_names, std::uint64_t epoch) {
   CompileResult result;
   const OperatorPolicy restricted = policy_.restricted_to(active_names);
   if (restricted.empty()) {
@@ -126,11 +139,14 @@ Hypervisor::CompileResult Hypervisor::compile_for(
   for (const auto& spec : tenants_) {
     if (restricted.mentions(spec.name)) active.push_back(spec);
   }
-  return compile_impl(active, restricted);
+  return compile_impl(active, restricted, epoch);
 }
 
 Hypervisor::CompileResult Hypervisor::compile_impl(
-    const std::vector<TenantSpec>& specs, const OperatorPolicy& policy) {
+    const std::vector<TenantSpec>& specs, const OperatorPolicy& policy,
+    std::uint64_t epoch) {
+  // Phase 1 — validate: synthesize and statically verify without
+  // touching the installed plan.
   CompileResult result;
   auto synth = synthesizer_.synthesize(specs, policy);
   if (!synth.ok()) {
@@ -144,21 +160,66 @@ Hypervisor::CompileResult Hypervisor::compile_impl(
     return result;
   }
   result.guarantees = backend_->guarantees(*synth.plan);
+
+  // Phase 2 — commit: the switch agent may still reject the install
+  // (injected fault / unreachable switch). The validated plan is
+  // discarded and the running plan + epoch stay untouched.
+  if (install_fault_ && install_fault_(epoch)) {
+    ++failed_installs_;
+    result.error =
+        "switch agent rejected install at epoch " + std::to_string(epoch);
+    return result;
+  }
+  prev_plan_ = std::move(plan_);
+  prev_epoch_ = plan_epoch_;
+  prev_valid_ = true;
   plan_ = std::move(*synth.plan);
+  plan_epoch_ = epoch;
+  epoch_hwm_ = std::max(epoch_hwm_, epoch);
   ++compile_count_;
   push_plan();
   result.ok = true;
   return result;
 }
 
+bool Hypervisor::rollback() {
+  if (!prev_valid_) return false;
+  // A rollback is itself an install: a dead switch fails it too and
+  // stays dirty at the aborted epoch until anti-entropy heals it.
+  if (install_fault_ && install_fault_(prev_epoch_)) {
+    ++failed_installs_;
+    return false;
+  }
+  plan_ = std::move(prev_plan_);
+  prev_plan_.reset();
+  plan_epoch_ = prev_epoch_;
+  prev_valid_ = false;  // single-level undo, consumed
+  ++rollbacks_;
+  push_plan();
+  return true;
+}
+
+void Hypervisor::clear_plan() {
+  plan_.reset();
+  prev_plan_.reset();
+  prev_valid_ = false;
+  plan_epoch_ = 0;
+  push_plan();
+}
+
 void Hypervisor::push_plan() {
+  // With no plan (pre-compile, or after clear_plan's simulated agent
+  // reboot) ports run the safe empty configuration: every packet takes
+  // the preprocessor's best-effort path.
+  static const SynthesisPlan kEmptyPlan;
+  const SynthesisPlan& plan = plan_ ? *plan_ : kEmptyPlan;
   for (QvisorPort* port : ports_) {
-    port->install(*plan_);
+    port->install(plan, plan_epoch_);
     // Re-deploying the hardware scheduler is only legal between bursts
     // (paper §2 Idea 2: buffer-emptying); occupied ports keep their
     // current instance and fall back to its clamping behaviour.
     if (port->inner().empty()) {
-      port->replace_inner(backend_->instantiate(*plan_));
+      port->replace_inner(backend_->instantiate(plan));
     }
   }
 }
@@ -232,6 +293,12 @@ const RankDistEstimator* Hypervisor::find_estimator(
 void Hypervisor::export_metrics(obs::Registry& reg,
                                 const std::string& prefix) const {
   reg.counter_view(prefix + ".compiles", &compile_count_);
+  reg.counter_view(prefix + ".failed_installs", &failed_installs_);
+  reg.counter_view(prefix + ".rollbacks", &rollbacks_);
+  reg.gauge(prefix + ".plan_epoch",
+            [this] { return static_cast<double>(plan_epoch_); });
+  reg.gauge(prefix + ".degraded",
+            [this] { return degraded_ ? 1.0 : 0.0; });
   monitor_.export_metrics(reg, prefix + ".monitor");
   for (const auto& spec : tenants_) {
     const std::string tp = prefix + ".tenant." + spec.name;
@@ -254,7 +321,15 @@ void Hypervisor::export_metrics(obs::Registry& reg,
   }
 }
 
-void Hypervisor::attach(QvisorPort* port) { ports_.push_back(port); }
+void Hypervisor::set_degraded(bool degraded) {
+  degraded_ = degraded;
+  for (QvisorPort* port : ports_) port->set_degraded(degraded);
+}
+
+void Hypervisor::attach(QvisorPort* port) {
+  ports_.push_back(port);
+  if (degraded_) port->set_degraded(true);
+}
 
 void Hypervisor::detach(QvisorPort* port) {
   ports_.erase(std::remove(ports_.begin(), ports_.end(), port),

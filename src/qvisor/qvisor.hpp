@@ -10,7 +10,9 @@
 // attached port, which is what the runtime controller uses to adapt.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,21 +60,39 @@ class QvisorPort final : public sched::Scheduler {
   void export_metrics(obs::Registry& reg,
                       const std::string& prefix) const override {
     Scheduler::export_metrics(reg, prefix);
+    reg.counter_view(prefix + ".epoch_mismatches", &epoch_mismatches_);
     pre_.export_metrics(reg, prefix + ".pre");
     inner_->export_metrics(reg, prefix + ".hw");
   }
 
-  /// Re-program this port with a new plan (called by the Hypervisor).
-  void install(const SynthesisPlan& plan);
+  /// Re-program this port with a new plan at the given epoch (called by
+  /// the Hypervisor during commit).
+  void install(const SynthesisPlan& plan, std::uint64_t epoch);
+
+  /// Epoch of the plan this port is currently running.
+  std::uint64_t installed_epoch() const { return installed_epoch_; }
+
+  /// Packets that arrived while this port's installed epoch disagreed
+  /// with the hypervisor's committed epoch. The two-phase install
+  /// mechanism keeps pushes atomic within one event-loop step, so a
+  /// nonzero value means a packet WAS scheduled under a half-installed
+  /// plan — the chaos harness asserts this stays zero.
+  std::uint64_t epoch_mismatches() const { return epoch_mismatches_; }
 
   /// Swap the hardware scheduler (runtime backend change). Only legal
   /// while empty.
   void replace_inner(std::unique_ptr<sched::Scheduler> inner);
 
+  /// Flip the pre-processor's degraded pass-through mode (called by the
+  /// Hypervisor; see Preprocessor::set_degraded).
+  void set_degraded(bool degraded) { pre_.set_degraded(degraded); }
+
  private:
   Hypervisor& hv_;
   Preprocessor pre_;
   std::unique_ptr<sched::Scheduler> inner_;
+  std::uint64_t installed_epoch_ = 0;
+  std::uint64_t epoch_mismatches_ = 0;
 };
 
 class Hypervisor {
@@ -83,6 +103,12 @@ class Hypervisor {
     AnalysisReport report;
     std::vector<std::string> guarantees;
   };
+
+  /// Injectable install failure: called with the epoch about to be
+  /// committed; returning true makes the switch agent reject the
+  /// install (validation has already passed). Models an unreachable or
+  /// misbehaving switch for chaos tests — the plan is left untouched.
+  using InstallFault = std::function<bool(std::uint64_t epoch)>;
 
   Hypervisor(std::vector<TenantSpec> tenants, OperatorPolicy policy,
              BackendPtr backend, SynthesizerConfig config = {});
@@ -98,6 +124,42 @@ class Hypervisor {
   /// Compile against a subset of tenants (runtime adaptation path): the
   /// policy is restricted to the named tenants first.
   CompileResult compile_for(const std::vector<std::string>& active_names);
+
+  /// Two-phase install at a caller-chosen epoch (the Fleet drives every
+  /// switch to the same epoch). Validation happens first; the plan and
+  /// epoch only change if the switch agent accepts the commit.
+  CompileResult commit_for(const std::vector<std::string>& active_names,
+                           std::uint64_t epoch);
+
+  /// Undo the last successful commit: reinstall the previous plan at
+  /// its previous epoch (single-level, consumed on use). The rollback
+  /// push itself goes through the install-fault hook — an unreachable
+  /// switch can fail its rollback and stay dirty until reconcile().
+  /// Returns false when there is nothing to roll back to or the push
+  /// was rejected.
+  bool rollback();
+
+  /// Simulate a switch agent reboot: the running plan and epoch are
+  /// lost and every port falls back to the safe empty-plan path
+  /// (best-effort ranks) until the next commit or Fleet::reconcile().
+  void clear_plan();
+
+  void set_install_fault(InstallFault fault) {
+    install_fault_ = std::move(fault);
+  }
+
+  /// Degraded pass-through mode for every attached port (and ports
+  /// attached later): the runtime controller flips this when its retry
+  /// budget is exhausted, so stale transforms cannot keep scheduling.
+  void set_degraded(bool degraded);
+  bool degraded() const { return degraded_; }
+
+  /// Epoch of the installed plan (0 = none). Fresh commits always use
+  /// an epoch above every previously attempted one; a rollback restores
+  /// the previous (lower) epoch.
+  std::uint64_t plan_epoch() const { return plan_epoch_; }
+  std::uint64_t failed_installs() const { return failed_installs_; }
+  std::uint64_t rollbacks() const { return rollbacks_; }
 
   /// Create a port scheduler wired to this hypervisor. The Hypervisor
   /// must outlive the port.
@@ -152,10 +214,12 @@ class Hypervisor {
  private:
   friend class QvisorPort;
   CompileResult compile_impl(const std::vector<TenantSpec>& specs,
-                             const OperatorPolicy& policy);
-  /// Push the installed plan to every attached port. Ports with empty
-  /// buffers also get a freshly instantiated hardware scheduler, so
-  /// backends can re-size exact structures (the bucketed PIFO) when
+                             const OperatorPolicy& policy,
+                             std::uint64_t epoch);
+  /// Push the installed plan (or the safe empty plan when none) to
+  /// every attached port, stamped with the current epoch. Ports with
+  /// empty buffers also get a freshly instantiated hardware scheduler,
+  /// so backends can re-size exact structures (the bucketed PIFO) when
   /// the plan's rank usage changes between compiles.
   void push_plan();
   void attach(QvisorPort* port);
@@ -172,6 +236,19 @@ class Hypervisor {
   std::vector<QvisorPort*> ports_;
   std::unordered_map<TenantId, RankDistEstimator> estimators_;
   std::uint64_t compile_count_ = 0;
+
+  // Two-phase install state. prev_* is the one-deep undo log a partial
+  // fleet deploy rolls back to; install_fault_ injects per-commit
+  // switch-agent rejections.
+  std::uint64_t plan_epoch_ = 0;
+  std::uint64_t epoch_hwm_ = 0;  ///< highest epoch ever attempted
+  std::optional<SynthesisPlan> prev_plan_;
+  std::uint64_t prev_epoch_ = 0;
+  bool prev_valid_ = false;
+  InstallFault install_fault_;
+  std::uint64_t failed_installs_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace qv::qvisor

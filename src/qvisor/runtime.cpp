@@ -48,11 +48,41 @@ std::vector<std::string> RuntimeController::compute_active(
   return active;
 }
 
+void RuntimeController::apply_hysteresis(TimeNs now) {
+  if (config_.quarantine_clean_window <= 0 || quarantined_.empty()) return;
+  for (const auto& name : quarantined_) {
+    for (const auto& spec : hv_.tenants()) {
+      if (spec.name != name) continue;
+      const TimeNs last = hv_.monitor().last_violation_at(spec.id);
+      if (last >= 0 && now - last >= config_.quarantine_clean_window) {
+        // Forgiven: wipe the monitor state so the adversarial verdict
+        // recomputes from post-release behaviour only. The jail tier
+        // lifts on this very tick, since the tenant no longer appears
+        // in monitor().adversarial().
+        hv_.monitor().reset(spec.id);
+        ++unquarantines_;
+        if (tracer_ != nullptr &&
+            tracer_->enabled(obs::TraceCategory::kRuntime)) {
+          tracer_->instant(obs::TraceCategory::kRuntime, "unquarantine",
+                           now, /*tid=*/0, "tenant", spec.id);
+        }
+      }
+    }
+  }
+}
+
 bool RuntimeController::tick(TimeNs now) {
-  if (last_reconfig_ >= 0 &&
-      now - last_reconfig_ < config_.min_reconfig_interval) {
+  if (consecutive_failures_ > 0) {
+    // Failure streak: the backoff schedule overrides the regular
+    // cadence — retry exactly when the backoff expires.
+    if (now < next_retry_at_) return false;
+  } else if (last_reconfig_ >= 0 &&
+             now - last_reconfig_ < config_.min_reconfig_interval) {
     return false;
   }
+  const bool is_retry = consecutive_failures_ > 0;
+
+  apply_hysteresis(now);
 
   std::vector<std::string> active = compute_active(now);
   std::sort(active.begin(), active.end());
@@ -71,8 +101,10 @@ bool RuntimeController::tick(TimeNs now) {
     std::sort(quarantined.begin(), quarantined.end());
   }
 
+  // A pending retry always attempts the recompile, even if nothing
+  // else changed — the whole point is to heal the failed install.
   const bool changed = active != active_ || quarantined != quarantined_ ||
-                       !hv_.has_plan();
+                       !hv_.has_plan() || is_retry;
   if (!changed) {
     // Even with a stable tenant set, live distributions drift: refresh
     // the quantile normalization if it is enabled.
@@ -131,6 +163,14 @@ bool RuntimeController::tick(TimeNs now) {
   const OperatorPolicy saved = hv_.policy();
   hv_.set_policy(effective);
   const auto wall0 = std::chrono::steady_clock::now();
+  if (is_retry) {
+    ++retries_;
+    if (tr != nullptr) {
+      tr->instant(obs::TraceCategory::kRuntime, "recompile:retry", now,
+                  /*tid=*/0, "attempt",
+                  static_cast<std::uint64_t>(consecutive_failures_));
+    }
+  }
   auto result = hv_.compile_for(effective.tenant_names());
   const auto recompile_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -138,11 +178,44 @@ bool RuntimeController::tick(TimeNs now) {
           .count();
   hv_.set_policy(saved);  // the operator's intent is permanent
   if (!result.ok) {
+    ++consecutive_failures_;
+    const int shift = std::min(consecutive_failures_ - 1, 30);
+    const TimeNs backoff = std::min(
+        config_.retry_backoff_cap,
+        static_cast<TimeNs>(config_.retry_backoff) << shift);
+    next_retry_at_ = now + backoff;
     if (tr != nullptr) {
-      tr->instant(obs::TraceCategory::kRuntime, "recompile:failed", now);
+      tr->instant(obs::TraceCategory::kRuntime, "recompile:failed", now,
+                  /*tid=*/0, "failures",
+                  static_cast<std::uint64_t>(consecutive_failures_));
+    }
+    if (consecutive_failures_ > config_.retry_budget && !degraded_) {
+      // Budget exhausted: the control plane cannot land a plan, so
+      // stop trusting possibly-stale transforms — every port falls
+      // back to scheduling by the tenant-assigned label.
+      degraded_ = true;
+      ++degraded_entries_;
+      hv_.set_degraded(true);
+      if (tr != nullptr) {
+        tr->instant(obs::TraceCategory::kRuntime, "degraded:enter", now,
+                    /*tid=*/0, "failures",
+                    static_cast<std::uint64_t>(consecutive_failures_));
+      }
+      QV_WARN << "runtime controller degraded after "
+              << consecutive_failures_ << " consecutive failures";
     }
     QV_WARN << "runtime adaptation failed: " << result.error;
     return false;
+  }
+  consecutive_failures_ = 0;
+  next_retry_at_ = -1;
+  if (degraded_) {
+    degraded_ = false;
+    ++recoveries_;
+    hv_.set_degraded(false);
+    if (tr != nullptr) {
+      tr->instant(obs::TraceCategory::kRuntime, "degraded:exit", now);
+    }
   }
   if (tr != nullptr) {
     // Span at the decision's simulated time; duration = wall-clock

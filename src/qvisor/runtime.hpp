@@ -41,6 +41,21 @@ struct RuntimeConfig {
   /// transforms from "the distribution of the latest packets").
   bool quantile_normalization = false;
   std::size_t quantile_min_samples = 128;
+
+  /// Self-healing: consecutive recompile failures tolerated before the
+  /// controller gives up and degrades the data plane. Failed attempts
+  /// are retried with exponential backoff (doubling from
+  /// `retry_backoff`, capped at `retry_backoff_cap`) instead of the
+  /// regular reconfig cadence.
+  int retry_budget = 3;
+  TimeNs retry_backoff = milliseconds(1);
+  TimeNs retry_backoff_cap = milliseconds(64);
+
+  /// Quarantine hysteresis: a quarantined tenant whose last violation
+  /// is at least this long ago is forgiven (its monitor state resets,
+  /// so the next tick lifts the jail tier). 0 = never release (legacy
+  /// behaviour).
+  TimeNs quarantine_clean_window = 0;
 };
 
 class RuntimeController {
@@ -56,6 +71,16 @@ class RuntimeController {
   std::uint64_t quarantines() const { return quarantines_; }
   /// Quantile-refinement installs (including refresh-only ticks).
   std::uint64_t refinements() const { return refinements_; }
+  /// Recompile attempts re-issued after a failure (self-healing).
+  std::uint64_t retries() const { return retries_; }
+  /// Times the retry budget ran out and the data plane degraded.
+  std::uint64_t degraded_entries() const { return degraded_entries_; }
+  /// Times a later recompile succeeded and lifted degraded mode.
+  std::uint64_t recoveries() const { return recoveries_; }
+  /// Tenants forgiven after a clean window (quarantine hysteresis).
+  std::uint64_t unquarantines() const { return unquarantines_; }
+  /// True while the data plane runs degraded pass-through ranks.
+  bool degraded() const { return degraded_; }
   const RuntimeConfig& config() const { return config_; }
 
   /// Attach a tracer (not owned): re-synthesis becomes a
@@ -68,6 +93,12 @@ class RuntimeController {
     reg.counter_view(prefix + ".adaptations", &adaptations_);
     reg.counter_view(prefix + ".quarantines", &quarantines_);
     reg.counter_view(prefix + ".refinements", &refinements_);
+    reg.counter_view(prefix + ".retries", &retries_);
+    reg.counter_view(prefix + ".degraded_entries", &degraded_entries_);
+    reg.counter_view(prefix + ".recoveries", &recoveries_);
+    reg.counter_view(prefix + ".unquarantines", &unquarantines_);
+    reg.gauge(prefix + ".degraded",
+              [this]() { return degraded_ ? 1.0 : 0.0; });
   }
 
  private:
@@ -79,6 +110,10 @@ class RuntimeController {
   /// Returns true if any tenant's normalization changed.
   bool refine_quantiles();
 
+  /// Release quarantined tenants whose clean window elapsed (resets
+  /// their monitor state so the verdict recomputes from scratch).
+  void apply_hysteresis(TimeNs now);
+
   Hypervisor& hv_;
   RuntimeConfig config_;
   std::vector<std::string> active_;
@@ -88,6 +123,16 @@ class RuntimeController {
   std::uint64_t quarantines_ = 0;
   std::uint64_t refinements_ = 0;
   obs::Tracer* tracer_ = nullptr;
+
+  // Self-healing state: failure streak, next allowed retry time, and
+  // whether the data plane is currently degraded.
+  int consecutive_failures_ = 0;
+  TimeNs next_retry_at_ = -1;
+  bool degraded_ = false;
+  std::uint64_t retries_ = 0;
+  std::uint64_t degraded_entries_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t unquarantines_ = 0;
 };
 
 }  // namespace qv::qvisor

@@ -1,0 +1,103 @@
+// The chaos harness's own invariants (ISSUE 3 tentpole): conservation
+// under a randomized fault schedule, atomic installs, deterministic
+// replay, and post-recovery convergence to the fault-free plan.
+#include "experiments/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::experiments {
+namespace {
+
+ChaosConfig quick(std::uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.seed = seed;
+  // Keep CI fast: shorter run, same structure (faults end at 40ms is
+  // scaled down alongside everything else).
+  cfg.traffic_stop = milliseconds(40);
+  cfg.end = milliseconds(48);
+  cfg.bronze_off = milliseconds(12);
+  cfg.bronze_on = milliseconds(28);
+  cfg.fault_cfg.start = milliseconds(4);
+  cfg.fault_cfg.end = milliseconds(32);
+  cfg.install_fault_from = milliseconds(14);
+  cfg.install_fault_to = milliseconds(24);
+  cfg.reboot_at = milliseconds(34);
+  return cfg;
+}
+
+TEST(ChaosHarness, ConservationAndAtomicInstallsUnderFaults) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const ChaosResult r = run_chaos(quick(seed));
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // Faults actually happened...
+    EXPECT_GT(r.link_downs, 0u);
+    EXPECT_EQ(r.link_downs, r.link_ups);
+    EXPECT_GT(r.injected_pkts, 0u);
+    EXPECT_GT(r.fault_dropped_pkts, 0u);
+    // ...and every packet is accounted for.
+    EXPECT_TRUE(r.conserved);
+    EXPECT_EQ(r.offered_pkts + r.injected_pkts,
+              r.delivered_pkts + r.queue_dropped_pkts +
+                  r.fault_dropped_pkts + r.buffered_pkts +
+                  r.unrouted_pkts);
+    // No packet was ever scheduled under a half-installed plan, and
+    // the fleet converged back to one epoch everywhere.
+    EXPECT_EQ(r.epoch_mismatches, 0u);
+    EXPECT_TRUE(r.epochs_consistent);
+  }
+}
+
+TEST(ChaosHarness, SelfHealingMachineryActuallyFires) {
+  const ChaosResult r = run_chaos(quick(1));
+  // The install-fault window forced partial deploys (rolled back),
+  // retries with backoff, a degraded episode, and a recovery; the
+  // rebooted agent was healed by anti-entropy.
+  EXPECT_GT(r.failed_installs, 0u);
+  EXPECT_GT(r.rollbacks, 0u);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.reconciles, 0u);
+  EXPECT_GE(r.degraded_entries, 1u);
+  EXPECT_EQ(r.recoveries, r.degraded_entries);
+  EXPECT_GT(r.adaptations, 0u);
+}
+
+TEST(ChaosHarness, ReplaysBitIdentically) {
+  const ChaosResult a = run_chaos(quick(9));
+  const ChaosResult b = run_chaos(quick(9));
+  EXPECT_EQ(a.delivered_pkts, b.delivered_pkts);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.fault_dropped_pkts, b.fault_dropped_pkts);
+  EXPECT_EQ(a.fault_dropped_bytes, b.fault_dropped_bytes);
+  EXPECT_EQ(a.queue_dropped_pkts, b.queue_dropped_pkts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.committed_epoch, b.committed_epoch);
+  EXPECT_EQ(a.plan_fingerprint, b.plan_fingerprint);
+
+  // A different seed produces a different fault history.
+  const ChaosResult c = run_chaos(quick(10));
+  EXPECT_NE(a.fault_dropped_pkts, c.fault_dropped_pkts);
+}
+
+TEST(ChaosHarness, ConvergesToFaultFreePlan) {
+  ChaosConfig faulty = quick(3);
+  ChaosConfig clean = quick(3);
+  clean.faults = false;
+  clean.control_faults = false;
+  const ChaosResult a = run_chaos(faulty);
+  const ChaosResult b = run_chaos(clean);
+  // After recovery both runs end on the full tenant set: the surviving
+  // plan must schedule identically to the plan of a run that never saw
+  // a fault.
+  EXPECT_FALSE(a.plan_fingerprint.empty());
+  EXPECT_EQ(a.plan_fingerprint, b.plan_fingerprint);
+  // The clean run exercised no fault machinery at all.
+  EXPECT_EQ(b.fault_dropped_pkts, 0u);
+  EXPECT_EQ(b.rollbacks, 0u);
+  EXPECT_EQ(b.reconciles, 0u);
+  EXPECT_EQ(b.offered_pkts,
+            b.delivered_pkts + b.queue_dropped_pkts + b.buffered_pkts);
+}
+
+}  // namespace
+}  // namespace qv::experiments

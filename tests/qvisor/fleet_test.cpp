@@ -148,5 +148,230 @@ TEST_F(FleetTest, UpsertTenantAppliesOnNextCompile) {
   }
 }
 
+// --- Two-phase installs, rollback, reconcile --------------------------------
+
+TEST_F(FleetTest, EpochsAdvanceTogetherOnSuccess) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  EXPECT_EQ(fleet_.committed_epoch(), 1u);
+  EXPECT_TRUE(fleet_.epochs_consistent());
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_EQ(fleet_.hypervisor(s).plan_epoch(), 1u);
+  }
+  ASSERT_TRUE(fleet_.compile_for({"a", "b"}).ok);
+  EXPECT_EQ(fleet_.committed_epoch(), 2u);
+  EXPECT_TRUE(fleet_.epochs_consistent());
+}
+
+TEST_F(FleetTest, PartialInstallFailureRollsEverySwitchBack) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  const auto& good_plan = fleet_.hypervisor(0).plan();
+  const std::size_t good_tenants = good_plan.tenants.size();
+
+  // The LAST switch rejects epoch 2: switches 0 and 1 commit first and
+  // must be rolled back to epoch 1.
+  fleet_.set_install_fault([](std::size_t sw, std::uint64_t epoch) {
+    return sw == 2 && epoch == 2;
+  });
+  const auto result = fleet_.compile_for({"a", "b"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("spine0"), std::string::npos) << result.error;
+
+  EXPECT_EQ(fleet_.committed_epoch(), 1u);
+  EXPECT_EQ(fleet_.rollbacks(), 2u);
+  EXPECT_GE(fleet_.failed_installs(), 1u);
+  EXPECT_TRUE(fleet_.epochs_consistent());
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_EQ(fleet_.hypervisor(s).plan_epoch(), 1u);
+    EXPECT_EQ(fleet_.hypervisor(s).plan().tenants.size(), good_tenants);
+  }
+
+  // Once the switch recovers, the same deploy goes through at a FRESH
+  // epoch (2 was burned by the failed attempt).
+  fleet_.set_install_fault({});
+  ASSERT_TRUE(fleet_.compile_for({"a", "b"}).ok);
+  EXPECT_EQ(fleet_.committed_epoch(), 3u);
+  EXPECT_TRUE(fleet_.epochs_consistent());
+}
+
+TEST_F(FleetTest, UnreachableSwitchStaysDirtyUntilReconcile) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  // Switch 1 is completely unreachable: it rejects the forward install
+  // of epoch 2 AND any rollback pushes aimed at it.
+  bool reachable = false;
+  fleet_.set_install_fault([&reachable](std::size_t sw, std::uint64_t) {
+    return sw == 1 && !reachable;
+  });
+  // Make switch 0 commit then need rolling back: switch 1's rejection
+  // triggers the abort; switch 0 rolls back fine (its hook says yes).
+  EXPECT_FALSE(fleet_.compile_for({"a", "b"}).ok);
+  EXPECT_TRUE(fleet_.epochs_consistent());  // all still at epoch 1
+  EXPECT_EQ(fleet_.committed_epoch(), 1u);
+
+  // Now push a successful deploy while switch 1 is still dead — it must
+  // fail and leave the fleet consistent at epoch 1.
+  EXPECT_FALSE(fleet_.compile_for({"a", "c"}).ok);
+  EXPECT_EQ(fleet_.committed_epoch(), 1u);
+
+  // Reconcile while dead: no healing happens.
+  EXPECT_EQ(fleet_.reconcile(), 0u);
+
+  // The switch recovers and loses its running plan (agent reboot).
+  reachable = true;
+  fleet_.hypervisor(1).clear_plan();
+  EXPECT_FALSE(fleet_.epochs_consistent());
+  EXPECT_EQ(fleet_.reconcile(), 1u);
+  EXPECT_EQ(fleet_.reconciles(), 1u);
+  EXPECT_TRUE(fleet_.epochs_consistent());
+  EXPECT_EQ(fleet_.hypervisor(1).plan_epoch(), fleet_.committed_epoch());
+  EXPECT_EQ(fleet_.hypervisor(1).plan().tenants.size(),
+            fleet_.hypervisor(0).plan().tenants.size());
+}
+
+TEST_F(FleetTest, FirstSwitchFailureRollsNothingBack) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  fleet_.set_install_fault(
+      [](std::size_t sw, std::uint64_t) { return sw == 0; });
+  EXPECT_FALSE(fleet_.compile_for({"a", "b"}).ok);
+  EXPECT_EQ(fleet_.rollbacks(), 0u);
+  EXPECT_TRUE(fleet_.epochs_consistent());
+}
+
+TEST_F(FleetTest, HypervisorRollbackIsSingleLevel) {
+  Hypervisor& hv = fleet_.hypervisor(0);
+  ASSERT_TRUE(fleet_.compile().ok);
+  ASSERT_TRUE(fleet_.compile_for({"a", "b"}).ok);
+  EXPECT_EQ(hv.plan_epoch(), 2u);
+  EXPECT_TRUE(hv.rollback());
+  EXPECT_EQ(hv.plan_epoch(), 1u);
+  EXPECT_EQ(hv.plan().tenants.size(), 3u);
+  EXPECT_FALSE(hv.rollback()) << "undo log must be consumed on use";
+}
+
+TEST_F(FleetTest, ClearPlanDropsToSafeEmptyConfiguration) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  auto port = fleet_.make_port_scheduler(0);
+  fleet_.hypervisor(0).clear_plan();
+  EXPECT_FALSE(fleet_.hypervisor(0).has_plan());
+  EXPECT_EQ(fleet_.hypervisor(0).plan_epoch(), 0u);
+  // The port still accepts packets on the best-effort path.
+  EXPECT_TRUE(port->enqueue(labeled(1, 5), microseconds(1)));
+  EXPECT_EQ(port->size(), 1u);
+}
+
+TEST_F(FleetTest, FailedDeployEmitsRuntimeTraceEvents) {
+  obs::Tracer tracer(1024);
+  tracer.set_mask(obs::kTraceAll);
+  fleet_.set_tracer(&tracer);
+  ASSERT_TRUE(fleet_.compile().ok);
+  fleet_.set_install_fault(
+      [](std::size_t sw, std::uint64_t) { return sw == 2; });
+  EXPECT_FALSE(fleet_.compile_for({"a", "b"}, microseconds(5)).ok);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("install:failed"), std::string::npos);
+  EXPECT_NE(json.find("rollback"), std::string::npos);
+}
+
+// --- FleetController parity (ISSUE 3 satellite) ---------------------------
+
+TEST_F(FleetTest, ControllerQuarantinesAndForgivesAcrossSwitches) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  auto port0 = fleet_.make_port_scheduler(0);
+  auto port1 = fleet_.make_port_scheduler(1);
+
+  RuntimeConfig cfg;
+  cfg.activity_window = milliseconds(200);
+  cfg.min_reconfig_interval = 0;
+  cfg.quarantine_clean_window = milliseconds(10);
+  FleetController controller(fleet_, cfg);
+
+  // a is a good citizen on switch 0; c floods out-of-bounds ranks on
+  // switch 1 ONLY — the quarantine verdict still applies fleet-wide.
+  port0->enqueue(labeled(1, 1), milliseconds(1));
+  for (int i = 0; i < 200; ++i) {
+    port1->enqueue(labeled(3, 500), milliseconds(1));
+  }
+  while (port1->dequeue(milliseconds(1))) {
+  }
+  ASSERT_TRUE(controller.tick(milliseconds(2)));
+  EXPECT_EQ(controller.quarantines(), 1u);
+  // The jail deploys everywhere, two-phase: all switches at one epoch.
+  EXPECT_TRUE(fleet_.epochs_consistent());
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_NE(fleet_.hypervisor(s).plan().find("c"), nullptr);
+  }
+
+  // After a clean window with no further violations, c is forgiven on
+  // every switch in one tick.
+  EXPECT_FALSE(controller.tick(milliseconds(6)));
+  ASSERT_TRUE(controller.tick(milliseconds(12)));
+  EXPECT_EQ(controller.unquarantines(), 1u);
+  EXPECT_EQ(fleet_.hypervisor(1).monitor().verdict(3), Verdict::kClean);
+}
+
+TEST_F(FleetTest, ControllerDegradesFleetWideAndRecovers) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  auto port0 = fleet_.make_port_scheduler(0);
+
+  RuntimeConfig cfg;
+  cfg.activity_window = milliseconds(200);
+  cfg.min_reconfig_interval = 0;
+  cfg.retry_budget = 1;
+  cfg.retry_backoff = milliseconds(1);
+  cfg.retry_backoff_cap = milliseconds(1);
+  FleetController controller(fleet_, cfg);
+
+  // Switch 2's agent goes dark: every deploy attempt fails fleet-wide
+  // (all-or-nothing), and the budget runs out after one retry.
+  fleet_.set_install_fault(
+      [](std::size_t sw, std::uint64_t) { return sw == 2; });
+  port0->enqueue(labeled(1, 1), milliseconds(1));
+  EXPECT_FALSE(controller.tick(milliseconds(2)));  // failure #1
+  EXPECT_FALSE(controller.degraded());
+  EXPECT_FALSE(controller.tick(milliseconds(3)));  // retry exhausts budget
+  EXPECT_TRUE(controller.degraded());
+  EXPECT_EQ(controller.degraded_entries(), 1u);
+  EXPECT_TRUE(fleet_.degraded());
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_TRUE(fleet_.hypervisor(s).degraded());
+  }
+
+  // Agent recovers: the next due retry redeploys and lifts degraded
+  // mode everywhere.
+  fleet_.set_install_fault({});
+  ASSERT_TRUE(controller.tick(milliseconds(4)));
+  EXPECT_FALSE(controller.degraded());
+  EXPECT_FALSE(fleet_.degraded());
+  EXPECT_EQ(controller.recoveries(), 1u);
+  EXPECT_EQ(controller.retries(), 2u);
+  EXPECT_TRUE(fleet_.epochs_consistent());
+}
+
+TEST_F(FleetTest, ControllerTickRunsAntiEntropy) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  RuntimeConfig cfg;
+  cfg.min_reconfig_interval = milliseconds(1);
+  FleetController controller(fleet_, cfg);
+
+  // Switch 1 reboots and loses its plan; the controller's next tick
+  // heals it via reconcile() even though the tenant set is unchanged.
+  fleet_.hypervisor(1).clear_plan();
+  EXPECT_FALSE(fleet_.epochs_consistent());
+  EXPECT_FALSE(controller.tick(milliseconds(5)));
+  EXPECT_TRUE(fleet_.epochs_consistent());
+  EXPECT_EQ(fleet_.reconciles(), 1u);
+}
+
+TEST_F(FleetTest, ControllerExportsSelfHealingCounters) {
+  ASSERT_TRUE(fleet_.compile().ok);
+  FleetController controller(fleet_);
+  obs::Registry reg;
+  controller.export_metrics(reg, "fleet.ctl");
+  const auto counters = reg.counter_snapshot();
+  EXPECT_TRUE(counters.contains("fleet.ctl.retries"));
+  EXPECT_TRUE(counters.contains("fleet.ctl.degraded_entries"));
+  EXPECT_TRUE(counters.contains("fleet.ctl.unquarantines"));
+  EXPECT_EQ(reg.gauge_value("fleet.ctl.degraded"), 0.0);
+}
+
 }  // namespace
 }  // namespace qv::qvisor

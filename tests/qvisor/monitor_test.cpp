@@ -121,5 +121,46 @@ TEST(Monitor, TenantWithoutContractNeverViolatesBounds) {
   EXPECT_EQ(m.verdict(9), Verdict::kClean);
 }
 
+TEST(Monitor, ImplicitContractIsExplicitlyStamped) {
+  // Regression: an uncontracted tenant used to leave a default State
+  // whose contract said `kInvalidTenant`. The first observation now
+  // stamps the implicit terms explicitly.
+  Monitor m(0.01, 0.05, 10);
+  EXPECT_FALSE(m.has_contract(9));
+  EXPECT_EQ(m.contract(9), nullptr);
+
+  m.observe(9, 42, 1500, microseconds(1));
+  const TenantContract* implicit = m.contract(9);
+  ASSERT_NE(implicit, nullptr);
+  EXPECT_EQ(implicit->tenant, 9u);
+  EXPECT_EQ(implicit->rank_min, 0u);
+  EXPECT_EQ(implicit->rank_max, kMaxRank);
+  EXPECT_EQ(implicit->max_rate, 0);
+  // Implicit terms do NOT count as a registered contract.
+  EXPECT_FALSE(m.has_contract(9));
+
+  m.set_contract(contract(9, 0, 10));
+  EXPECT_TRUE(m.has_contract(9));
+  // reset() preserves registration along with the contract itself.
+  m.reset(9);
+  EXPECT_TRUE(m.has_contract(9));
+}
+
+TEST(Monitor, LastViolationTimestampDrivesHysteresis) {
+  Monitor m(0.01, 0.05, 10);
+  m.set_contract(contract(1, 0, 10));
+  EXPECT_EQ(m.last_violation_at(1), -1);
+  EXPECT_EQ(m.last_violation_at(99), -1);  // never observed
+
+  m.observe(1, 5, 100, microseconds(1));   // clean
+  EXPECT_EQ(m.last_violation_at(1), -1);
+  m.observe(1, 99, 100, microseconds(2));  // bounds violation
+  EXPECT_EQ(m.last_violation_at(1), microseconds(2));
+  m.observe(1, 5, 100, microseconds(3));   // clean again: stamp sticks
+  EXPECT_EQ(m.last_violation_at(1), microseconds(2));
+  m.reset(1);
+  EXPECT_EQ(m.last_violation_at(1), -1);
+}
+
 }  // namespace
 }  // namespace qv::qvisor

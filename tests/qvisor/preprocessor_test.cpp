@@ -224,5 +224,78 @@ TEST(PreprocessorBatch, HugeTenantIdsTakeTheSpillPath) {
   EXPECT_EQ(pre.per_tenant().at(Preprocessor::kDenseLimit + 5), 1u);
 }
 
+// --- recompile churn + degraded fallback (ISSUE 3 satellites) -------------
+
+SynthesisPlan plan_with(std::vector<TenantSpec> specs,
+                        const std::string& policy_str) {
+  auto parsed = parse_policy(policy_str);
+  Synthesizer synth;
+  auto r = synth.synthesize(specs, *parsed.policy);
+  EXPECT_TRUE(r.ok());
+  return *r.plan;
+}
+
+TEST(Preprocessor, SpillChurnAcrossRecompiles) {
+  // A spill-resident tenant (id beyond the dense ceiling) installed,
+  // removed, and re-installed across successive plans: each install
+  // must fully replace the spill map, while counters keep accumulating.
+  const TenantId huge = Preprocessor::kDenseLimit + 7;
+  Preprocessor pre(UnknownTenantAction::kDrop);
+
+  pre.install(plan_with(
+      {tenant(1, "A", 0, 100), tenant(huge, "S", 0, 100)}, "A >> S"));
+  Packet s = labeled(huge, 3);
+  ASSERT_TRUE(pre.process(s));
+  EXPECT_EQ(pre.counters().unknown_tenant, 0u);
+
+  // Recompile without S: its spill transform must vanish with it.
+  pre.install(plan_with(
+      {tenant(1, "A", 0, 100), tenant(2, "B", 0, 100)}, "A >> B"));
+  Packet gone = labeled(huge, 3);
+  EXPECT_FALSE(pre.process(gone));
+  EXPECT_EQ(pre.counters().unknown_tenant, 1u);
+
+  // Re-install S at a different policy position: transforms are the
+  // new plan's, not a stale survivor of the first install.
+  pre.install(plan_with(
+      {tenant(1, "A", 0, 100), tenant(huge, "S", 0, 100)}, "S >> A"));
+  Packet back = labeled(huge, 3);
+  Packet a = labeled(1, 3);
+  ASSERT_TRUE(pre.process(back));
+  ASSERT_TRUE(pre.process(a));
+  EXPECT_LT(back.rank, a.rank);  // S now on top
+  // Per-tenant counts survive the churn: one hit per epoch, including
+  // the dropped packet of the middle plan.
+  EXPECT_EQ(pre.per_tenant().at(huge), 3u);
+}
+
+TEST(Preprocessor, DegradedModeSchedulesByLabel) {
+  Preprocessor pre(UnknownTenantAction::kDrop);
+  const auto plan = two_tier_plan();
+  pre.install(plan);
+  pre.set_degraded(true);
+
+  // Known tenant: the (possibly stale) transform is bypassed.
+  Packet p = labeled(1, 7);
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(p.rank, 7u);
+  // Unknown tenant survives even under kDrop: degraded mode must not
+  // lose traffic just because the control plane is unreachable.
+  Packet u = labeled(99, 5);
+  ASSERT_TRUE(pre.process(u));
+  EXPECT_EQ(u.rank, 5u);
+  // Labels beyond the rank space clamp to the best-effort rank.
+  Packet big = labeled(1, kMaxRank);
+  ASSERT_TRUE(pre.process(big));
+  EXPECT_EQ(big.rank, plan.rank_space - 1);
+  EXPECT_EQ(pre.counters().degraded_passthrough, 3u);
+
+  // Leaving degraded mode restores the installed transforms.
+  pre.set_degraded(false);
+  Packet q = labeled(1, 7);
+  ASSERT_TRUE(pre.process(q));
+  EXPECT_EQ(q.rank, plan.find("A")->transform.apply(7));
+}
+
 }  // namespace
 }  // namespace qv::qvisor

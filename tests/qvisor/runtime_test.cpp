@@ -173,5 +173,101 @@ TEST_F(RuntimeTest, TightenBoundsUsesObservedRanks) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(RuntimeTest, RetryBackoffGatesReattempts) {
+  RuntimeConfig cfg;
+  cfg.activity_window = milliseconds(100);
+  cfg.min_reconfig_interval = 0;
+  cfg.retry_budget = 10;
+  cfg.retry_backoff = milliseconds(2);
+  cfg.retry_backoff_cap = milliseconds(8);
+  RuntimeController rc(hv_, cfg);
+
+  // Every install is rejected: the switch agent is unreachable.
+  hv_.set_install_fault([](std::uint64_t) { return true; });
+  traffic(1, milliseconds(1));
+  EXPECT_FALSE(rc.tick(milliseconds(2)));  // first failure, backoff 2ms
+  EXPECT_EQ(rc.retries(), 0u);
+  EXPECT_FALSE(rc.tick(milliseconds(3)));  // inside backoff: no attempt
+  EXPECT_EQ(rc.retries(), 0u);
+  EXPECT_FALSE(rc.tick(milliseconds(4)));  // retry #1 fails, backoff 4ms
+  EXPECT_EQ(rc.retries(), 1u);
+  EXPECT_FALSE(rc.tick(milliseconds(7)));  // still inside backoff
+  EXPECT_EQ(rc.retries(), 1u);
+  EXPECT_FALSE(rc.tick(milliseconds(8)));  // retry #2 fails, cap (8ms)
+  EXPECT_EQ(rc.retries(), 2u);
+
+  // Switch agent comes back: the next due retry heals everything.
+  hv_.set_install_fault({});
+  EXPECT_FALSE(rc.tick(milliseconds(15)));
+  EXPECT_TRUE(rc.tick(milliseconds(16)));
+  EXPECT_EQ(rc.retries(), 3u);
+  EXPECT_EQ(rc.adaptations(), 1u);
+  EXPECT_FALSE(rc.degraded());  // budget was never exhausted
+}
+
+TEST_F(RuntimeTest, DegradesAfterBudgetAndRecovers) {
+  RuntimeConfig cfg;
+  cfg.activity_window = milliseconds(100);
+  cfg.min_reconfig_interval = 0;
+  cfg.retry_budget = 1;
+  cfg.retry_backoff = milliseconds(1);
+  cfg.retry_backoff_cap = milliseconds(1);
+  RuntimeController rc(hv_, cfg);
+
+  hv_.set_install_fault([](std::uint64_t) { return true; });
+  traffic(1, milliseconds(1));
+  EXPECT_FALSE(rc.tick(milliseconds(2)));  // failure #1 (within budget)
+  EXPECT_FALSE(rc.degraded());
+  EXPECT_FALSE(rc.tick(milliseconds(3)));  // failure #2 exhausts budget
+  EXPECT_TRUE(rc.degraded());
+  EXPECT_TRUE(hv_.degraded());
+  EXPECT_EQ(rc.degraded_entries(), 1u);
+
+  // Degraded data plane schedules by the tenant-assigned label: the
+  // (possibly stale) transform is bypassed entirely.
+  Packet p = labeled(2, 7);
+  ASSERT_TRUE(port_->enqueue(p, milliseconds(3)));
+  auto got = port_->dequeue(milliseconds(3));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->rank, 7u);
+
+  hv_.set_install_fault({});
+  EXPECT_TRUE(rc.tick(milliseconds(4)));  // retry heals
+  EXPECT_FALSE(rc.degraded());
+  EXPECT_FALSE(hv_.degraded());
+  EXPECT_EQ(rc.recoveries(), 1u);
+}
+
+TEST_F(RuntimeTest, UnquarantinesAfterCleanWindow) {
+  RuntimeConfig cfg;
+  cfg.activity_window = milliseconds(200);
+  cfg.min_reconfig_interval = 0;
+  cfg.quarantine_clean_window = milliseconds(10);
+  RuntimeController rc(hv_, cfg);
+
+  // C floods out-of-bounds ranks until the monitor flags it.
+  for (int i = 0; i < 200; ++i) {
+    Packet p = labeled(3, 500);
+    port_->enqueue(p, milliseconds(1));
+  }
+  while (port_->dequeue(milliseconds(1))) {
+  }
+  traffic(1, milliseconds(1));
+  EXPECT_TRUE(rc.tick(milliseconds(2)));
+  EXPECT_EQ(rc.quarantines(), 1u);
+  EXPECT_EQ(hv_.monitor().verdict(3), Verdict::kAdversarial);
+
+  // Before the clean window elapses nothing changes.
+  EXPECT_FALSE(rc.tick(milliseconds(6)));
+  EXPECT_EQ(rc.unquarantines(), 0u);
+
+  // 10ms after its last violation, C is forgiven: its monitor state
+  // resets and the jail tier lifts in the same tick.
+  EXPECT_TRUE(rc.tick(milliseconds(12)));
+  EXPECT_EQ(rc.unquarantines(), 1u);
+  EXPECT_EQ(hv_.monitor().verdict(3), Verdict::kClean);
+  EXPECT_EQ(rc.quarantines(), 1u);  // no NEW quarantines
+}
+
 }  // namespace
 }  // namespace qv::qvisor
