@@ -83,6 +83,45 @@ void BM_PreprocessorProcess(benchmark::State& state) {
 }
 BENCHMARK(BM_PreprocessorProcess)->Arg(2)->Arg(8)->Arg(32);
 
+void BM_PreprocessorProcessGuarded(benchmark::State& state) {
+  // Same hot path with the admission guard engaged: every tenant gets a
+  // token bucket, a share cap, and a rank window (the overload-
+  // experiment shape). Acceptance: within a few percent of the
+  // unguarded bench — the quantile scan only engages past half the
+  // share cap, and occupancy is released each packet here, so the
+  // steady-state cost is the refill + bucket arithmetic.
+  const int tenants = static_cast<int>(state.range(0));
+  Preprocessor pre;
+  pre.install(plan_with_tenants(tenants));
+  AdmissionConfig cfg;
+  for (int i = 0; i < tenants; ++i) {
+    AdmissionTenantConfig tc;
+    tc.tenant = static_cast<TenantId>(i);
+    tc.rate_bytes_per_sec = 1e12;  // never the bottleneck: measure cost,
+    tc.burst_bytes = 1e9;          // not drops
+    tc.share_cap_bytes = 1 << 20;
+    cfg.tenants.push_back(tc);
+  }
+  pre.configure_admission(std::move(cfg));
+  constexpr std::size_t kStream = 4096;
+  std::vector<Packet> stream = packet_stream(state.range(0), kStream);
+  std::int64_t packets = 0;
+  std::size_t next = 0;
+  TimeNs now = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kScalarUnroll; ++i) {
+      Packet& p = stream[next++ & (kStream - 1)];
+      now += 100;
+      benchmark::DoNotOptimize(pre.process(p, now));
+      pre.admission_release(p.tenant, p.size_bytes);
+      benchmark::DoNotOptimize(p.rank);
+    }
+    packets += kScalarUnroll;
+  }
+  state.SetItemsProcessed(packets);
+}
+BENCHMARK(BM_PreprocessorProcessGuarded)->Arg(2)->Arg(8)->Arg(32);
+
 /// The seed implementation, reproduced verbatim from the pre-refactor
 /// Preprocessor: one unordered_map find per packet plus a hashed
 /// per-tenant counter bump. Kept here as the "before" side of
@@ -215,6 +254,52 @@ void BM_QvisorPortEnqueueDequeue(benchmark::State& state) {
   state.SetItemsProcessed(ops);
 }
 BENCHMARK(BM_QvisorPortEnqueueDequeue);
+
+void BM_QvisorPortEnqueueDequeueGuarded(benchmark::State& state) {
+  // The acceptance measurement for the admission guard: the same full
+  // port path with per-tenant policing configured. The guard's few
+  // nanoseconds ride on the monitor + estimator + PIFO cost, which is
+  // what a deployment actually pays per packet.
+  auto parsed = parse_policy("a >> b");
+  Hypervisor hv({tenant(0, "a", 0, 1 << 16), tenant(1, "b", 0, 1 << 16)},
+                *parsed.policy, std::make_shared<PifoBackend>());
+  hv.compile();
+  TenantContract contract;
+  contract.tenant = 0;
+  contract.rank_min = 0;
+  contract.rank_max = 1 << 16;
+  contract.max_rate = 1'000'000'000'000;  // never the bottleneck
+  hv.set_contract(contract);
+  contract.tenant = 1;
+  hv.set_contract(contract);
+  AdmissionSettings settings;
+  settings.enabled = true;
+  settings.port_buffer_bytes = 1 << 20;
+  hv.set_admission(settings);
+  auto port = hv.make_port_scheduler();
+  Rng rng(9);
+  for (int i = 0; i < 128; ++i) {
+    Packet p;
+    p.tenant = static_cast<TenantId>(rng.next_below(2));
+    p.original_rank = static_cast<Rank>(rng.next_below(1 << 16));
+    p.size_bytes = 1500;
+    port->enqueue(p, 0);
+  }
+  std::int64_t ops = 0;
+  TimeNs now = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.tenant = static_cast<TenantId>(rng.next_below(2));
+    p.original_rank = static_cast<Rank>(rng.next_below(1 << 16));
+    p.size_bytes = 1500;
+    now += 100;
+    port->enqueue(p, now);
+    benchmark::DoNotOptimize(port->dequeue(now));
+    ops += 2;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_QvisorPortEnqueueDequeueGuarded);
 
 }  // namespace
 

@@ -1,0 +1,117 @@
+#include "qvisor/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qv::qvisor {
+
+const char* admit_result_name(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kAdmit: return "admit";
+    case AdmitResult::kRateDrop: return "rate";
+    case AdmitResult::kShareDrop: return "share";
+    case AdmitResult::kQuantileDrop: return "quantile";
+  }
+  return "?";
+}
+
+AdmissionGuard::AdmissionGuard(AdmissionConfig config)
+    : config_(std::move(config)) {
+  states_.reserve(config_.tenants.size());
+  TenantId dense_max = 0;
+  for (const auto& tc : config_.tenants) {
+    if (tc.tenant < kSlotLimit) dense_max = std::max(dense_max, tc.tenant);
+  }
+  slot_.assign(static_cast<std::size_t>(dense_max) + 1, kNoSlot);
+  for (const auto& tc : config_.tenants) {
+    TenantState s;
+    s.cfg = tc;
+    s.tokens = tc.burst_bytes;
+    if (config_.rank_window > 0) s.window.resize(config_.rank_window);
+    const auto idx = static_cast<std::uint32_t>(states_.size());
+    if (tc.tenant < kSlotLimit) {
+      slot_[tc.tenant] = idx;
+    } else {
+      spill_slots_.emplace(tc.tenant, idx);
+    }
+    states_.push_back(std::move(s));
+  }
+  unknown_.cfg = config_.unknown;
+  unknown_.cfg.tenant = kInvalidTenant;
+  unknown_.tokens = unknown_.cfg.burst_bytes;
+  if (config_.rank_window > 0) unknown_.window.resize(config_.rank_window);
+  police_unknown_ = config_.unknown.policed();
+}
+
+double AdmissionGuard::quantile_of(const TenantState& s, Rank rank) {
+  std::uint32_t smaller = 0;
+  for (std::uint32_t i = 0; i < s.win_len; ++i) {
+    if (s.window[i] < rank) ++smaller;
+  }
+  return s.win_len == 0
+             ? 0.0
+             : static_cast<double>(smaller) / static_cast<double>(s.win_len);
+}
+
+std::int64_t AdmissionGuard::occupancy_bytes(TenantId tenant) const {
+  const TenantState* s = find(tenant);
+  if (s == nullptr) {
+    if (!police_unknown_) return 0;
+    s = &unknown_;
+  }
+  return s->occupancy;
+}
+
+const AdmissionTenantCounters& AdmissionGuard::tenant_counters(
+    TenantId tenant) const {
+  const TenantState* s = find(tenant);
+  if (s == nullptr) {
+    if (!police_unknown_) return none_;
+    s = &unknown_;
+  }
+  return s->ctr;
+}
+
+AdmissionTenantCounters AdmissionGuard::totals() const {
+  AdmissionTenantCounters t;
+  const auto add = [&t](const AdmissionTenantCounters& c) {
+    t.offered += c.offered;
+    t.admitted += c.admitted;
+    t.rate_dropped += c.rate_dropped;
+    t.share_dropped += c.share_dropped;
+    t.quantile_dropped += c.quantile_dropped;
+    t.admitted_bytes += c.admitted_bytes;
+    t.dropped_bytes += c.dropped_bytes;
+  };
+  for (const auto& s : states_) add(s.ctr);
+  if (police_unknown_) add(unknown_.ctr);
+  return t;
+}
+
+void AdmissionGuard::export_metrics(obs::Registry& reg,
+                                    const std::string& prefix) const {
+  const auto views = [&reg](const std::string& base,
+                            const AdmissionTenantCounters& c) {
+    reg.counter_view(base + ".offered", &c.offered);
+    reg.counter_view(base + ".admitted", &c.admitted);
+    reg.counter_view(base + ".rate_dropped", &c.rate_dropped);
+    reg.counter_view(base + ".share_dropped", &c.share_dropped);
+    reg.counter_view(base + ".quantile_dropped", &c.quantile_dropped);
+    reg.counter_view(base + ".admitted_bytes", &c.admitted_bytes);
+    reg.counter_view(base + ".dropped_bytes", &c.dropped_bytes);
+  };
+  for (const auto& s : states_) {
+    views(prefix + ".tenant." + std::to_string(s.cfg.tenant), s.ctr);
+  }
+  if (police_unknown_) views(prefix + ".unknown", unknown_.ctr);
+  // Guard-wide tallies are summed on read (see totals()); exported as
+  // gauges so the snapshot stays consistent with the live tenant rows.
+  reg.gauge(prefix + ".offered",
+            [this] { return static_cast<double>(totals().offered); });
+  reg.gauge(prefix + ".admitted",
+            [this] { return static_cast<double>(totals().admitted); });
+  reg.gauge(prefix + ".dropped",
+            [this] { return static_cast<double>(totals().dropped()); });
+}
+
+}  // namespace qv::qvisor

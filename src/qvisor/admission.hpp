@@ -1,0 +1,279 @@
+// Per-tenant admission guard (data-plane overload protection): the
+// stage between the pre-processor's rank rewrite and the hardware
+// scheduler that keeps a hostile tenant from starving everyone else.
+//
+// Three independent mechanisms, cheapest first:
+//
+//  * rate policing — an allocation-free token bucket per tenant
+//    (bytes/s + burst, configured from the tenant contract). A flooder
+//    is shaved back to its contracted rate at the first QVISOR hop.
+//  * occupancy share cap — a hard per-tenant cap on the bytes a tenant
+//    may hold in the port queue (a weighted share of the port buffer).
+//    Backpressure lands on the tenant that overfills, never on its
+//    neighbours.
+//  * AIFO-style quantile admission on the TRANSFORMED rank (Yu et al.,
+//    SIGCOMM'21, the paper's [41]): as a tenant approaches its share
+//    cap, only the lowest-quantile (most urgent) fraction of its own
+//    rank distribution is admitted. A tenant that games its rank
+//    function sheds its own load first — the quantile is computed
+//    against the tenant's OWN sliding window, so a constant-rank gamer
+//    gains nothing over its honest self.
+//
+// Tenants without a config entry are aggregated under one optional
+// "unknown" bucket, so a tenant-id churner cannot dodge policing by
+// never reusing an id. All per-tenant state is allocated at configure
+// time; the per-packet path allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace qv::qvisor {
+
+enum class AdmitResult : std::uint8_t {
+  kAdmit = 0,
+  kRateDrop = 1,      ///< token bucket empty
+  kShareDrop = 2,     ///< occupancy share cap reached
+  kQuantileDrop = 3,  ///< quantile admission rejected the rank
+};
+
+const char* admit_result_name(AdmitResult r);
+
+struct AdmissionTenantConfig {
+  TenantId tenant = kInvalidTenant;
+  double rate_bytes_per_sec = 0.0;  ///< 0 = no rate policing
+  double burst_bytes = 150'000.0;   ///< token-bucket depth
+  std::int64_t share_cap_bytes = 0; ///< 0 = no occupancy cap
+
+  bool policed() const {
+    return rate_bytes_per_sec > 0.0 || share_cap_bytes > 0;
+  }
+};
+
+struct AdmissionConfig {
+  std::vector<AdmissionTenantConfig> tenants;
+
+  /// Aggregate bucket for tenants with no entry of their own (id
+  /// churners). `unknown.tenant` is ignored; leave it unpoliced to
+  /// admit unknown tenants freely (the pre-existing behaviour).
+  AdmissionTenantConfig unknown;
+
+  /// Sliding window of recent transformed ranks per tenant (quantile
+  /// estimate). 0 disables quantile admission entirely.
+  std::uint32_t rank_window = 64;
+
+  /// AIFO burst-tolerance knob (0 <= k < 1; larger admits more
+  /// aggressively near the share cap).
+  double k = 0.1;
+};
+
+struct AdmissionTenantCounters {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rate_dropped = 0;
+  std::uint64_t share_dropped = 0;
+  std::uint64_t quantile_dropped = 0;
+  std::uint64_t admitted_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+
+  std::uint64_t dropped() const {
+    return rate_dropped + share_dropped + quantile_dropped;
+  }
+};
+
+class AdmissionGuard {
+ public:
+  /// Invoked on every drop (tenant, wire bytes, reason, arrival time).
+  /// Feeds the Monitor so persistent policing violations escalate to a
+  /// quarantine verdict through the normal hysteresis path.
+  using DropHook =
+      std::function<void(TenantId, std::int32_t, AdmitResult, TimeNs)>;
+
+  explicit AdmissionGuard(AdmissionConfig config);
+
+  /// Hot path: account the packet against its tenant's bucket / share /
+  /// rank window and decide. State is updated (tokens spent, occupancy
+  /// charged) only when the verdict is kAdmit. Defined inline below so
+  /// the whole per-packet path folds into the pre-processor's loop.
+  AdmitResult decide(TenantId tenant, Rank transformed_rank,
+                     std::int32_t bytes, TimeNs now);
+
+  /// Dense-slot ceiling for configured tenant ids (mirrors the
+  /// pre-processor's dense-table limit).
+  static constexpr TenantId kSlotLimit = 1u << 16;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// decide() + drop-hook dispatch; true = admit.
+  bool admit(const Packet& p, TimeNs now) {
+    const AdmitResult r = decide(p.tenant, p.rank, p.size_bytes, now);
+    if (r == AdmitResult::kAdmit) [[likely]] return true;
+    if (drop_hook_) drop_hook_(p.tenant, p.size_bytes, r, now);
+    return false;
+  }
+
+  /// Release occupancy charged at admit time: called when the packet
+  /// leaves the queue (dequeue) or when the hardware scheduler rejected
+  /// it after admission. Clamps at zero, so packets admitted before the
+  /// guard was (re)configured cannot underflow the account.
+  void release(TenantId tenant, std::int32_t bytes);
+
+  /// Bytes currently charged to the tenant (its own bucket, or the
+  /// unknown aggregate's if it has no entry).
+  std::int64_t occupancy_bytes(TenantId tenant) const;
+
+  /// Per-tenant counters; tenants sharing the unknown aggregate report
+  /// its counters. All-zero for ids the guard never saw.
+  const AdmissionTenantCounters& tenant_counters(TenantId tenant) const;
+
+  /// Guard-wide tallies: totals().offered == admitted + dropped() holds
+  /// at every instant (packet conservation across the guard). Summed
+  /// over the per-tenant counters on read — a control-plane walk over a
+  /// control-plane-sized table, keeping the per-packet path to one
+  /// counter set.
+  AdmissionTenantCounters totals() const;
+
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Per-tenant admission counters as live registry views (configured
+  /// tenants plus the unknown aggregate under ".unknown").
+  void export_metrics(obs::Registry& reg, const std::string& prefix) const;
+
+ private:
+  struct TenantState {
+    AdmissionTenantConfig cfg;
+    double tokens = 0.0;
+    TimeNs last_refill = 0;
+    std::int64_t occupancy = 0;
+    std::uint32_t win_pos = 0;
+    std::uint32_t win_len = 0;
+    std::vector<Rank> window;  ///< ring of recent transformed ranks
+    AdmissionTenantCounters ctr;
+  };
+
+  TenantState* find(TenantId tenant) {
+    if (tenant < slot_.size()) {
+      const std::uint32_t idx = slot_[tenant];
+      if (idx != kNoSlot) [[likely]] return &states_[idx];
+    } else if (tenant >= kSlotLimit && !spill_slots_.empty()) {
+      const auto it = spill_slots_.find(tenant);
+      if (it != spill_slots_.end()) return &states_[it->second];
+    }
+    return nullptr;
+  }
+  const TenantState* find(TenantId tenant) const {
+    return const_cast<AdmissionGuard*>(this)->find(tenant);
+  }
+  AdmitResult decide_policed(TenantState& s, Rank rank, std::int32_t bytes,
+                             TimeNs now);
+  /// Fraction of the tenant's window strictly below `rank`.
+  static double quantile_of(const TenantState& s, Rank rank);
+
+  AdmissionConfig config_;
+  /// slot_[id] -> index into states_ for small ids; larger configured
+  /// ids go through spill_slots_ (control-plane sized, never grown by
+  /// the data path).
+  std::vector<std::uint32_t> slot_;
+  std::unordered_map<TenantId, std::uint32_t> spill_slots_;
+  std::vector<TenantState> states_;
+  TenantState unknown_;
+  bool police_unknown_ = false;
+  AdmissionTenantCounters none_;  ///< returned for never-seen tenants
+  DropHook drop_hook_;
+};
+
+// --- inline hot path -------------------------------------------------------
+// Everything a policed packet touches is defined here so the compiler
+// can fold the guard into the pre-processor's per-packet loop; only the
+// quantile window scan (engaged past half the share cap) stays out of
+// line.
+
+inline AdmitResult AdmissionGuard::decide_policed(TenantState& s, Rank rank,
+                                                  std::int32_t bytes,
+                                                  TimeNs now) {
+  // The rank window advances on every offered packet — dropped ones
+  // included — so the quantile reflects what the tenant is asking for,
+  // not what it has already been granted.
+  if (!s.window.empty()) {
+    s.window[s.win_pos] = rank;
+    s.win_pos = (s.win_pos + 1 == s.window.size()) ? 0 : s.win_pos + 1;
+    if (s.win_len < s.window.size()) ++s.win_len;
+  }
+
+  if (s.cfg.rate_bytes_per_sec > 0.0) {
+    if (now > s.last_refill) {
+      s.tokens += to_seconds(now - s.last_refill) * s.cfg.rate_bytes_per_sec;
+      if (s.tokens > s.cfg.burst_bytes) s.tokens = s.cfg.burst_bytes;
+      s.last_refill = now;
+    }
+    if (s.tokens < static_cast<double>(bytes)) return AdmitResult::kRateDrop;
+  }
+
+  if (s.cfg.share_cap_bytes > 0) {
+    const std::int64_t cap = s.cfg.share_cap_bytes;
+    if (s.occupancy + bytes > cap) return AdmitResult::kShareDrop;
+    // AIFO-style quantile admission, engaged only once the tenant has
+    // filled half its share: admit iff quantile * (1 - k) <= headroom
+    // fraction. At low occupancy every rank passes (headroom ~ 1); as
+    // the queue share fills, only the tenant's own lowest-ranked
+    // traffic gets through.
+    if (2 * s.occupancy > cap && !s.window.empty()) [[unlikely]] {
+      const double headroom =
+          static_cast<double>(cap - s.occupancy) / static_cast<double>(cap);
+      if (quantile_of(s, rank) * (1.0 - config_.k) > headroom) {
+        return AdmitResult::kQuantileDrop;
+      }
+    }
+    s.occupancy += bytes;
+  }
+
+  if (s.cfg.rate_bytes_per_sec > 0.0) {
+    s.tokens -= static_cast<double>(bytes);
+  }
+  return AdmitResult::kAdmit;
+}
+
+inline AdmitResult AdmissionGuard::decide(TenantId tenant, Rank rank,
+                                          std::int32_t bytes, TimeNs now) {
+  TenantState* s = find(tenant);
+  if (s == nullptr) {
+    if (!police_unknown_) return AdmitResult::kAdmit;
+    s = &unknown_;
+  }
+  ++s->ctr.offered;
+  const AdmitResult r = s->cfg.policed()
+                            ? decide_policed(*s, rank, bytes, now)
+                            : AdmitResult::kAdmit;
+  if (r == AdmitResult::kAdmit) [[likely]] {
+    ++s->ctr.admitted;
+    s->ctr.admitted_bytes += static_cast<std::uint64_t>(bytes);
+  } else {
+    s->ctr.dropped_bytes += static_cast<std::uint64_t>(bytes);
+    switch (r) {
+      case AdmitResult::kRateDrop: ++s->ctr.rate_dropped; break;
+      case AdmitResult::kShareDrop: ++s->ctr.share_dropped; break;
+      default: ++s->ctr.quantile_dropped; break;
+    }
+  }
+  return r;
+}
+
+inline void AdmissionGuard::release(TenantId tenant, std::int32_t bytes) {
+  TenantState* s = find(tenant);
+  if (s == nullptr) {
+    if (!police_unknown_) return;
+    s = &unknown_;
+  }
+  if (s->cfg.share_cap_bytes <= 0) return;
+  s->occupancy -= bytes;
+  if (s->occupancy < 0) [[unlikely]] s->occupancy = 0;
+}
+
+}  // namespace qv::qvisor

@@ -20,6 +20,10 @@ std::size_t Fleet::add_switch(const std::string& name) {
   member.hv = std::make_unique<Hypervisor>(tenants_, policy_, backend_,
                                            config_);
   if (tracer_ != nullptr) member.hv->set_tracer(tracer_);
+  // Replay fleet-level contracts before enabling admission, so the new
+  // switch carves the same guard config as its peers.
+  for (const auto& contract : contracts_) member.hv->set_contract(contract);
+  if (admission_.enabled) member.hv->set_admission(admission_);
   switches_.push_back(std::move(member));
   const std::size_t index = switches_.size() - 1;
   wire_install_fault(index);
@@ -246,6 +250,23 @@ void Fleet::reset_monitor(TenantId tenant) {
 
 void Fleet::set_policy(OperatorPolicy policy) {
   policy_ = std::move(policy);
+}
+
+void Fleet::set_contract(const TenantContract& contract) {
+  for (auto& existing : contracts_) {
+    if (existing.tenant == contract.tenant) {
+      existing = contract;
+      for (auto& member : switches_) member.hv->set_contract(contract);
+      return;
+    }
+  }
+  contracts_.push_back(contract);
+  for (auto& member : switches_) member.hv->set_contract(contract);
+}
+
+void Fleet::set_admission(const AdmissionSettings& settings) {
+  admission_ = settings;
+  for (auto& member : switches_) member.hv->set_admission(settings);
 }
 
 void Fleet::upsert_tenant(TenantSpec spec) {

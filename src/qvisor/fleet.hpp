@@ -104,6 +104,15 @@ class Fleet {
   void set_policy(OperatorPolicy policy);
   void upsert_tenant(TenantSpec spec);
 
+  /// Register a tenant contract (rate/burst/bounds) on EVERY switch —
+  /// fleet-level state, replayed onto switches added later.
+  void set_contract(const TenantContract& contract);
+
+  /// Enable/disable the per-port admission guard on EVERY switch (see
+  /// Hypervisor::set_admission); replayed onto switches added later.
+  void set_admission(const AdmissionSettings& settings);
+  const AdmissionSettings& admission_settings() const { return admission_; }
+
   const std::vector<TenantSpec>& tenants() const { return tenants_; }
   const OperatorPolicy& policy() const { return policy_; }
 
@@ -134,6 +143,8 @@ class Fleet {
   std::vector<Member> switches_;
 
   InstallFault install_fault_;
+  std::vector<TenantContract> contracts_;  ///< replayed onto new switches
+  AdmissionSettings admission_;
   obs::Tracer* tracer_ = nullptr;
   std::uint64_t epoch_counter_ = 0;   ///< epochs handed out (even failed)
   std::uint64_t committed_epoch_ = 0; ///< last fleet-wide success

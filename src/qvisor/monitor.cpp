@@ -21,9 +21,25 @@ void Monitor::set_contract(const TenantContract& contract) {
   s.tokens = static_cast<double>(contract.burst_bytes);
 }
 
+Monitor::State* Monitor::track(TenantId tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return &it->second;
+  if (tenants_.size() >= max_tracked_) return nullptr;
+  return &tenants_[tenant];
+}
+
 void Monitor::observe(TenantId tenant, Rank original_rank,
                       std::int32_t bytes, TimeNs now) {
-  State& s = tenants_[tenant];
+  State* sp = track(tenant);
+  if (sp == nullptr) {
+    // Tracked-tenant cap hit and this id is new: an id-churner is
+    // probing for unbounded state. Count the packet in aggregate; the
+    // churner's ids share the admission guard's "unknown" bucket, so
+    // forgoing a per-id verdict loses nothing.
+    ++untracked_;
+    return;
+  }
+  State& s = *sp;
   if (s.contract.tenant == kInvalidTenant) {
     // First sight of a tenant nobody contracted: make the implicit
     // terms explicit — this tenant, unbounded ranks ([0, kMaxRank] is
@@ -61,17 +77,47 @@ void Monitor::observe(TenantId tenant, Rank original_rank,
     }
   }
   refresh_verdict(s);
+  trace_verdict_change(tenant, s, before, now);
+}
 
-  if (tracer_ != nullptr && s.obs.verdict != before &&
-      tracer_->enabled(obs::TraceCategory::kRuntime)) {
-    const char* name = s.obs.verdict == Verdict::kAdversarial
-                           ? "verdict:adversarial"
-                       : s.obs.verdict == Verdict::kSuspect
-                           ? "verdict:suspect"
-                           : "verdict:clean";
-    tracer_->instant(obs::TraceCategory::kRuntime, name, now, /*tid=*/0,
-                     "tenant", tenant);
+void Monitor::record_admission_drop(TenantId tenant, std::int32_t bytes,
+                                    TimeNs now) {
+  (void)bytes;  // the offered bytes were already tallied by observe()
+  State* sp = track(tenant);
+  if (sp == nullptr) {
+    ++untracked_;
+    return;
   }
+  State& s = *sp;
+  if (s.contract.tenant == kInvalidTenant) s.contract.tenant = tenant;
+  const Verdict before = s.obs.verdict;
+  ++s.obs.admission_drops;
+  s.last_violation = now;
+  refresh_verdict(s);
+  trace_verdict_change(tenant, s, before, now);
+  if (tracer_ != nullptr && tracer_->enabled(obs::TraceCategory::kRuntime) &&
+      (s.obs.admission_drops == 1 ||
+       (s.obs.admission_drops & 0xfff) == 0)) {
+    // First drop and every 4096th after: enough to see the throttle
+    // engage on a timeline without flooding the trace ring.
+    tracer_->instant(obs::TraceCategory::kRuntime, "admission:throttled",
+                     now, /*tid=*/0, "tenant", tenant);
+  }
+}
+
+void Monitor::trace_verdict_change(TenantId tenant, const State& s,
+                                   Verdict before, TimeNs now) const {
+  if (tracer_ == nullptr || s.obs.verdict == before ||
+      !tracer_->enabled(obs::TraceCategory::kRuntime)) {
+    return;
+  }
+  const char* name = s.obs.verdict == Verdict::kAdversarial
+                         ? "verdict:adversarial"
+                     : s.obs.verdict == Verdict::kSuspect
+                         ? "verdict:suspect"
+                         : "verdict:clean";
+  tracer_->instant(obs::TraceCategory::kRuntime, name, now, /*tid=*/0,
+                   "tenant", tenant);
 }
 
 void Monitor::export_metrics(obs::Registry& reg,
@@ -82,8 +128,10 @@ void Monitor::export_metrics(obs::Registry& reg,
     reg.counter_view(tp + ".bytes", &s.obs.bytes);
     reg.counter_view(tp + ".bounds_violations", &s.obs.bounds_violations);
     reg.counter_view(tp + ".rate_violations", &s.obs.rate_violations);
+    reg.counter_view(tp + ".admission_drops", &s.obs.admission_drops);
     reg.set_gauge(tp + ".verdict", static_cast<double>(s.obs.verdict));
   }
+  reg.counter_view(prefix + ".untracked_observations", &untracked_);
 }
 
 void Monitor::refresh_verdict(State& s) const {
@@ -93,7 +141,8 @@ void Monitor::refresh_verdict(State& s) const {
   }
   const double packets = static_cast<double>(s.obs.packets);
   const double violation_frac =
-      static_cast<double>(s.obs.bounds_violations + s.obs.rate_violations) /
+      static_cast<double>(s.obs.bounds_violations + s.obs.rate_violations +
+                          s.obs.admission_drops) /
       packets;
   if (violation_frac >= adversarial_threshold_) {
     s.obs.verdict = Verdict::kAdversarial;

@@ -41,6 +41,7 @@ struct TenantObservation {
   std::uint64_t bytes = 0;
   std::uint64_t bounds_violations = 0;
   std::uint64_t rate_violations = 0;
+  std::uint64_t admission_drops = 0;  ///< shed by the admission guard
   Verdict verdict = Verdict::kClean;
 };
 
@@ -61,6 +62,13 @@ class Monitor {
   /// a default-constructed state stamped `kInvalidTenant`.
   void observe(TenantId tenant, Rank original_rank, std::int32_t bytes,
                TimeNs now);
+
+  /// Feed one admission-guard drop. The packet itself was already
+  /// observe()d (ports observe before the pre-processor decides), so
+  /// this only tallies the violation, advances `last_violation_at`, and
+  /// re-evaluates the verdict — policing drops escalate to quarantine
+  /// through the same hysteresis path as bounds/rate violations.
+  void record_admission_drop(TenantId tenant, std::int32_t bytes, TimeNs now);
 
   Verdict verdict(TenantId tenant) const;
   const TenantObservation& observation(TenantId tenant) const;
@@ -90,6 +98,14 @@ class Monitor {
   /// Publish per-tenant observation counters as live registry views.
   void export_metrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Bound on tracked tenant states (a tenant-id churner must not grow
+  /// the monitor without limit). Registered contracts always track;
+  /// once the cap is hit, packets from NEW unknown tenants are tallied
+  /// in `untracked_observations()` instead of gaining a state.
+  void set_max_tracked(std::size_t cap) { max_tracked_ = cap; }
+  std::size_t tracked_tenants() const { return tenants_.size(); }
+  std::uint64_t untracked_observations() const { return untracked_; }
+
  private:
   struct State {
     TenantContract contract;
@@ -101,10 +117,17 @@ class Monitor {
   };
 
   void refresh_verdict(State& s) const;
+  /// Existing state, or a fresh one while under the tracked-tenant cap;
+  /// nullptr when the cap is hit and the tenant is unknown.
+  State* track(TenantId tenant);
+  void trace_verdict_change(TenantId tenant, const State& s, Verdict before,
+                            TimeNs now) const;
 
   double suspect_threshold_;
   double adversarial_threshold_;
   std::uint64_t min_packets_;
+  std::size_t max_tracked_ = 4096;
+  std::uint64_t untracked_ = 0;
   std::unordered_map<TenantId, State> tenants_;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -89,8 +89,12 @@ std::string PolicyExpr::to_string_prec(int parent_prec) const {
     if (i > 0) body += op_text(kind);
     body += children[i].to_string_prec(precedence(kind));
   }
+  // `<=`, not `<`: a same-kind nested child ("(A + B) + C") is a
+  // distinct policy from the flat n-ary form ("A + B + C" splits the
+  // link three ways; the nested form gives the pair one joint share),
+  // so it must keep its parentheses to reparse to the same tree.
   const bool needs_parens =
-      precedence(kind) < parent_prec || weight != 1.0;
+      precedence(kind) <= parent_prec || weight != 1.0;
   if (needs_parens) return "(" + body + ")" + weight_suffix(weight);
   return body;
 }

@@ -1,6 +1,7 @@
 #include "qvisor/preprocessor.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace qv::qvisor {
 
@@ -35,11 +36,27 @@ void Preprocessor::install(const SynthesisPlan& plan) {
   if (dense_counts_.size() < dense_.size()) dense_counts_.resize(dense_.size());
 }
 
-std::size_t Preprocessor::process(std::span<Packet> batch) {
+void Preprocessor::configure_admission(AdmissionConfig config) {
+  guard_ = std::make_unique<AdmissionGuard>(std::move(config));
+}
+
+void Preprocessor::set_spill_cap(std::size_t cap) {
+  spill_cap_ = std::max<std::size_t>(1, cap);
+  while (spill_counts_.size() > spill_cap_) {
+    const TenantId victim = spill_lru_.back();
+    spill_lru_.pop_back();
+    const auto it = spill_counts_.find(victim);
+    counters_.spill_evicted_packets += it->second.count;
+    ++counters_.spill_evictions;
+    spill_counts_.erase(it);
+  }
+}
+
+std::size_t Preprocessor::process(std::span<Packet> batch, TimeNs now) {
   std::size_t kept = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Packet& p = batch[i];
-    if (process(p)) {
+    if (process(p, now)) {
       if (kept != i) batch[kept] = p;
       ++kept;
     }
@@ -51,39 +68,63 @@ void Preprocessor::count_spill(TenantId tenant) {
   if (tenant < kDenseLimit) {
     if (dense_counts_.size() <= tenant) dense_counts_.resize(tenant + 1);
     ++dense_counts_[tenant];
-  } else {
-    ++spill_counts_[tenant];
+    return;
   }
+  const auto it = spill_counts_.find(tenant);
+  if (it != spill_counts_.end()) {
+    ++it->second.count;
+    spill_lru_.splice(spill_lru_.begin(), spill_lru_, it->second.lru_it);
+    return;
+  }
+  // New spilled tenant id: evict the least-recently-counted tally first
+  // so the map never exceeds the cap. The evicted count is folded into
+  // spill_evicted_packets, keeping aggregate accounting exact even
+  // under unbounded tenant-id churn.
+  if (spill_counts_.size() >= spill_cap_) {
+    const TenantId victim = spill_lru_.back();
+    spill_lru_.pop_back();
+    const auto vit = spill_counts_.find(victim);
+    counters_.spill_evicted_packets += vit->second.count;
+    ++counters_.spill_evictions;
+    spill_counts_.erase(vit);
+  }
+  spill_lru_.push_front(tenant);
+  spill_counts_.emplace(tenant, SpillCount{1, spill_lru_.begin()});
 }
 
-bool Preprocessor::process_slow(Packet& p) {
+bool Preprocessor::process_slow(Packet& p, TimeNs now) {
   const TenantId t = p.tenant;
   if (t >= kDenseLimit) {
     const auto it = spill_.find(t);
     if (it != spill_.end()) {
-      ++spill_counts_[t];
+      count_spill(t);
       const Installed& e = it->second;
       const Rank label = p.original_rank;
       const auto bounds = e.range.input_bounds();
       if (label < bounds.min || label > bounds.max) {
         ++counters_.out_of_bounds;
       }
-      p.rank = e.quantile ? e.quantile->apply(label) : e.range.apply(label);
-      return true;
+      Rank out = e.quantile ? e.quantile->apply(label) : e.range.apply(label);
+      if (out >= rank_space_) {
+        ++counters_.rank_clamped;
+        out = best_effort_rank_;
+      }
+      p.rank = out;
+      return admit(p, now);
     }
   }
   count_spill(t);
   ++counters_.unknown_tenant;
   switch (unknown_) {
     case UnknownTenantAction::kPassThrough:
-      return true;
+      return admit(p, now);
     case UnknownTenantAction::kBestEffort:
       p.rank = best_effort_rank_;
-      return true;
+      return admit(p, now);
     case UnknownTenantAction::kDrop:
       return false;
   }
-  return true;
+  return admit(p, now);
 }
 
 std::unordered_map<TenantId, std::uint64_t> Preprocessor::per_tenant() const {
@@ -92,7 +133,7 @@ std::unordered_map<TenantId, std::uint64_t> Preprocessor::per_tenant() const {
   for (TenantId t = 0; t < dense_counts_.size(); ++t) {
     if (dense_counts_[t] != 0) out.emplace(t, dense_counts_[t]);
   }
-  for (const auto& [t, count] : spill_counts_) out.emplace(t, count);
+  for (const auto& [t, sc] : spill_counts_) out.emplace(t, sc.count);
   return out;
 }
 

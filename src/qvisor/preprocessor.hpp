@@ -14,16 +14,34 @@
 //
 // Plans install atomically (a swap of the lookup table), which is what
 // lets the runtime controller re-synthesize between packets (§2 Idea 2).
+//
+// Hostile-input hardening (overload protection):
+//  * an optional per-tenant AdmissionGuard runs AFTER the rank rewrite
+//    (so quantile admission sees the transformed rank). With no guard
+//    configured the extra cost is one predictable null check and the
+//    rank rewrite is bit-identical to the unguarded pre-processor.
+//  * the spill COUNTER map — the only map hostile traffic can grow, by
+//    churning through never-before-seen tenant ids — is LRU-bounded;
+//    evictions fold the evicted tally into `spill_evicted_packets` so
+//    per-tenant accounting stays conservative. (`spill_` itself is
+//    rebuilt from the installed plan and is control-plane sized.)
+//  * transform outputs that overflow the rank space saturate into the
+//    best-effort band and bump `rank_clamped` instead of wrapping into
+//    a high-priority band.
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "netsim/packet.hpp"
 #include "obs/metrics.hpp"
+#include "qvisor/admission.hpp"
 #include "qvisor/synthesizer.hpp"
+#include "util/time.hpp"
 
 namespace qv::qvisor {
 
@@ -39,6 +57,10 @@ struct PreprocessorCounters {
   std::uint64_t unknown_tenant = 0;
   std::uint64_t out_of_bounds = 0;  ///< input rank outside declared bounds
   std::uint64_t degraded_passthrough = 0;  ///< packets ranked in degraded mode
+  std::uint64_t admission_dropped = 0;  ///< rejected by the admission guard
+  std::uint64_t rank_clamped = 0;  ///< transform output saturated into top band
+  std::uint64_t spill_evictions = 0;  ///< tenants evicted from spill counters
+  std::uint64_t spill_evicted_packets = 0;  ///< tallies folded by evictions
 };
 
 class Preprocessor {
@@ -48,6 +70,11 @@ class Preprocessor {
   /// ids are small and dense) spill to a hash map.
   static constexpr TenantId kDenseLimit = 1u << 16;
 
+  /// Default bound on distinct spilled tenant ids whose packet tallies
+  /// are kept exactly; beyond it the least-recently-seen tally is
+  /// folded into `spill_evicted_packets`.
+  static constexpr std::size_t kDefaultSpillCap = 4096;
+
   explicit Preprocessor(
       UnknownTenantAction unknown = UnknownTenantAction::kBestEffort);
 
@@ -56,22 +83,26 @@ class Preprocessor {
   void install(const SynthesisPlan& plan);
 
   /// Rewrite `p.rank` in place. Returns false only when the packet must
-  /// be dropped (unknown tenant under kDrop). `p.original_rank` keeps
-  /// the tenant-assigned rank for telemetry. Defined here so the
-  /// per-packet cost stays a bounds check + array load + transform,
-  /// fully inlined into the port enqueue and batch loops.
-  bool process(Packet& p) {
+  /// be dropped (unknown tenant under kDrop, or rejected by the
+  /// admission guard). `p.original_rank` keeps the tenant-assigned rank
+  /// for telemetry. Defined here so the per-packet cost stays a bounds
+  /// check + array load + transform, fully inlined into the port
+  /// enqueue and batch loops. `now` only matters when an admission
+  /// guard is configured (token-bucket refill clock).
+  bool process(Packet& p, TimeNs now = 0) {
     ++counters_.processed;
     if (degraded_) [[unlikely]] {
       // Degraded fallback (runtime controller lost the control plane):
       // ignore possibly-stale transforms and schedule every packet by
       // its tenant-assigned label, clamped into the rank space. Safe —
       // no tenant can be starved by a transform nobody can update —
-      // and allocation-free: one branch, no lookups.
+      // and allocation-free: one branch, no lookups. The admission
+      // guard stays engaged: losing the control plane must not open
+      // the floodgates.
       ++counters_.degraded_passthrough;
       const Rank label = p.original_rank;
       p.rank = label < rank_space_ ? label : best_effort_rank_;
-      return true;
+      return admit(p, now);
     }
     const TenantId t = p.tenant;
     if (t < dense_.size()) {
@@ -92,17 +123,26 @@ class Preprocessor {
           // bounds.
           ++counters_.out_of_bounds;
         }
-        p.rank = e.quantile ? e.quantile->apply(label) : e.range.apply(label);
-        return true;
+        Rank out =
+            e.quantile ? e.quantile->apply(label) : e.range.apply(label);
+        if (out >= rank_space_) [[unlikely]] {
+          // A transform that overflows the rank space (stride/base near
+          // the numeric edge) saturates into the best-effort band; it
+          // must never wrap around into a high-priority one.
+          ++counters_.rank_clamped;
+          out = best_effort_rank_;
+        }
+        p.rank = out;
+        return admit(p, now);
       }
     }
-    return process_slow(p);
+    return process_slow(p, now);
   }
 
   /// Batch variant: rewrite every rank in place, compacting survivors
   /// to the front of the span (stable). Returns the survivor count —
   /// batch[0, n) is what the caller enqueues.
-  std::size_t process(std::span<Packet> batch);
+  std::size_t process(std::span<Packet> batch, TimeNs now = 0);
 
   const PreprocessorCounters& counters() const { return counters_; }
   PreprocessorCounters& mutable_counters() { return counters_; }
@@ -115,15 +155,45 @@ class Preprocessor {
     reg.counter_view(prefix + ".out_of_bounds", &counters_.out_of_bounds);
     reg.counter_view(prefix + ".degraded_passthrough",
                      &counters_.degraded_passthrough);
+    reg.counter_view(prefix + ".admission_dropped",
+                     &counters_.admission_dropped);
+    reg.counter_view(prefix + ".rank_clamped", &counters_.rank_clamped);
+    reg.counter_view(prefix + ".spill_evictions",
+                     &counters_.spill_evictions);
+    reg.counter_view(prefix + ".spill_evicted_packets",
+                     &counters_.spill_evicted_packets);
+    if (guard_) guard_->export_metrics(reg, prefix + ".admission");
   }
 
   /// Enter/leave degraded pass-through mode (see process()).
   void set_degraded(bool degraded) { degraded_ = degraded; }
   bool degraded() const { return degraded_; }
 
+  // --- admission guard ---------------------------------------------------
+  /// Install (replace) the per-tenant admission guard. Passing a fresh
+  /// config resets token buckets and occupancy accounts.
+  void configure_admission(AdmissionConfig config);
+  void disable_admission() { guard_.reset(); }
+  bool admission_enabled() const { return guard_ != nullptr; }
+  AdmissionGuard* admission() { return guard_.get(); }
+  const AdmissionGuard* admission() const { return guard_.get(); }
+  /// Return queue occupancy charged at admit time (dequeue / inner
+  /// rejection). No-op without a guard.
+  void admission_release(TenantId tenant, std::int32_t bytes) {
+    if (guard_) guard_->release(tenant, bytes);
+  }
+
+  // --- spill-counter bound ------------------------------------------------
+  /// Cap on distinct spilled tenant ids tracked exactly (>= 1).
+  void set_spill_cap(std::size_t cap);
+  std::size_t spill_cap() const { return spill_cap_; }
+  /// Distinct spilled tenant ids currently tracked (<= spill_cap()).
+  std::size_t spill_tracked() const { return spill_counts_.size(); }
+
   /// Per-tenant processed-packet counts (runtime controller input).
   /// Materialized from the dense counter table on demand — a
-  /// control-plane read, not a hot path.
+  /// control-plane read, not a hot path. Evicted spill tallies are not
+  /// included (see `spill_evicted_packets`).
   std::unordered_map<TenantId, std::uint64_t> per_tenant() const;
 
   bool has_plan() const { return installed_tenants_ > 0; }
@@ -135,8 +205,21 @@ class Preprocessor {
     std::optional<BreakpointTransform> quantile;
     bool active = false;
   };
+  struct SpillCount {
+    std::uint64_t count = 0;
+    std::list<TenantId>::iterator lru_it;
+  };
 
-  bool process_slow(Packet& p);  ///< spill-map / unknown-tenant path
+  /// Admission tail, shared by every admit path. One predictable null
+  /// check when no guard is configured.
+  bool admit(const Packet& p, TimeNs now) {
+    if (guard_ == nullptr) [[likely]] return true;
+    if (guard_->admit(p, now)) return true;
+    ++counters_.admission_dropped;
+    return false;
+  }
+
+  bool process_slow(Packet& p, TimeNs now);  ///< spill / unknown path
   void count_spill(TenantId tenant);
 
   UnknownTenantAction unknown_;
@@ -146,8 +229,15 @@ class Preprocessor {
   /// in-range tenants as well, so counting stays hash-free).
   std::vector<Installed> dense_;
   std::vector<std::uint64_t> dense_counts_;
+  /// Spilled transforms: rebuilt from the plan on install, so its size
+  /// is operator-controlled — hostile traffic cannot grow it.
   std::unordered_map<TenantId, Installed> spill_;
-  std::unordered_map<TenantId, std::uint64_t> spill_counts_;
+  /// Spilled per-tenant tallies: the data path CAN grow this (tenant-id
+  /// churn), so it is LRU-bounded at spill_cap_ entries.
+  std::unordered_map<TenantId, SpillCount> spill_counts_;
+  std::list<TenantId> spill_lru_;  ///< front = most recently counted
+  std::size_t spill_cap_ = kDefaultSpillCap;
+  std::unique_ptr<AdmissionGuard> guard_;
   std::size_t installed_tenants_ = 0;
   Rank rank_space_ = kMaxRank;
   Rank best_effort_rank_ = kMaxRank - 1;

@@ -24,7 +24,7 @@ bool QvisorPort::enqueue(const Packet& p, TimeNs now) {
   if (installed_epoch_ != hv_.plan_epoch()) ++epoch_mismatches_;
   Packet q = p;
   hv_.observe(q, now);
-  if (!pre_.process(q)) {
+  if (!pre_.process(q, now)) {
     ++counters_.dropped;
     counters_.dropped_bytes += static_cast<std::uint64_t>(q.size_bytes);
     return false;
@@ -33,6 +33,10 @@ bool QvisorPort::enqueue(const Packet& p, TimeNs now) {
   if (accepted) {
     ++counters_.enqueued;
   } else {
+    // The admission guard charged occupancy at admit time; the
+    // hardware scheduler rejecting the packet afterwards must not
+    // leak that charge.
+    pre_.admission_release(q.tenant, q.size_bytes);
     ++counters_.dropped;
     counters_.dropped_bytes += static_cast<std::uint64_t>(q.size_bytes);
   }
@@ -42,7 +46,7 @@ bool QvisorPort::enqueue(const Packet& p, TimeNs now) {
 std::size_t QvisorPort::enqueue_batch(std::span<Packet> batch, TimeNs now) {
   if (installed_epoch_ != hv_.plan_epoch()) epoch_mismatches_ += batch.size();
   for (const Packet& p : batch) hv_.observe(p, now);
-  const std::size_t kept = pre_.process(batch);
+  const std::size_t kept = pre_.process(batch, now);
   const std::size_t pre_dropped = batch.size() - kept;
   counters_.dropped += pre_dropped;
   for (std::size_t i = kept; i < batch.size(); ++i) {
@@ -56,6 +60,7 @@ std::size_t QvisorPort::enqueue_batch(std::span<Packet> batch, TimeNs now) {
       ++counters_.enqueued;
       ++accepted;
     } else {
+      pre_.admission_release(q.tenant, q.size_bytes);
       ++counters_.dropped;
       counters_.dropped_bytes += static_cast<std::uint64_t>(q.size_bytes);
     }
@@ -65,7 +70,10 @@ std::size_t QvisorPort::enqueue_batch(std::span<Packet> batch, TimeNs now) {
 
 std::optional<Packet> QvisorPort::dequeue(TimeNs now) {
   auto p = inner_->dequeue(now);
-  if (p) ++counters_.dequeued;
+  if (p) {
+    ++counters_.dequeued;
+    pre_.admission_release(p->tenant, p->size_bytes);
+  }
   return p;
 }
 
@@ -82,6 +90,14 @@ void QvisorPort::replace_inner(std::unique_ptr<sched::Scheduler> inner) {
   assert(inner_->empty());
   assert(inner != nullptr);
   inner_ = std::move(inner);
+}
+
+void QvisorPort::configure_admission(AdmissionConfig config) {
+  pre_.configure_admission(std::move(config));
+  pre_.admission()->set_drop_hook(
+      [this](TenantId tenant, std::int32_t bytes, AdmitResult r, TimeNs now) {
+        hv_.on_admission_drop(tenant, bytes, r, now);
+      });
 }
 
 // --- Hypervisor ------------------------------------------------------------
@@ -273,6 +289,60 @@ RankDistEstimator& Hypervisor::estimator(TenantId tenant) {
   return it->second;
 }
 
+AdmissionConfig Hypervisor::build_admission_config() const {
+  AdmissionConfig cfg;
+  cfg.rank_window = admission_.rank_window;
+  cfg.k = admission_.k;
+  double total_weight = 0.0;
+  for (const auto& spec : tenants_) {
+    total_weight += std::max(0.0, spec.weight);
+  }
+  if (total_weight <= 0.0) total_weight = 1.0;
+  for (const auto& spec : tenants_) {
+    AdmissionTenantConfig tc;
+    tc.tenant = spec.id;
+    if (const TenantContract* c = monitor_.contract(spec.id);
+        c != nullptr && c->max_rate > 0) {
+      tc.rate_bytes_per_sec = static_cast<double>(c->max_rate) / 8.0;
+      tc.burst_bytes = static_cast<double>(c->burst_bytes);
+    }
+    if (admission_.port_buffer_bytes > 0) {
+      tc.share_cap_bytes = std::max(
+          admission_.share_cap_floor_bytes,
+          static_cast<std::int64_t>(
+              static_cast<double>(admission_.port_buffer_bytes) *
+              admission_.share_headroom * std::max(0.0, spec.weight) /
+              total_weight));
+    }
+    cfg.tenants.push_back(tc);
+  }
+  cfg.unknown.rate_bytes_per_sec = admission_.unknown_rate_bytes_per_sec;
+  cfg.unknown.burst_bytes = admission_.unknown_burst_bytes;
+  cfg.unknown.share_cap_bytes = admission_.unknown_share_cap_bytes;
+  return cfg;
+}
+
+void Hypervisor::set_admission(const AdmissionSettings& settings) {
+  admission_ = settings;
+  if (!admission_.enabled) {
+    for (QvisorPort* port : ports_) port->disable_admission();
+    return;
+  }
+  const AdmissionConfig cfg = build_admission_config();
+  for (QvisorPort* port : ports_) port->configure_admission(cfg);
+}
+
+void Hypervisor::set_contract(const TenantContract& contract) {
+  monitor_.set_contract(contract);
+  if (admission_.enabled) set_admission(admission_);
+}
+
+void Hypervisor::on_admission_drop(TenantId tenant, std::int32_t bytes,
+                                   AdmitResult r, TimeNs now) {
+  (void)r;
+  monitor_.record_admission_drop(tenant, bytes, now);
+}
+
 bool Hypervisor::install_refined(SynthesisPlan plan) {
   for (const auto& tp : plan.tenants) {
     const Rank worst =
@@ -299,6 +369,7 @@ void Hypervisor::export_metrics(obs::Registry& reg,
             [this] { return static_cast<double>(plan_epoch_); });
   reg.gauge(prefix + ".degraded",
             [this] { return degraded_ ? 1.0 : 0.0; });
+  reg.counter_view(prefix + ".estimator_overflow", &estimator_overflow_);
   monitor_.export_metrics(reg, prefix + ".monitor");
   for (const auto& spec : tenants_) {
     const std::string tp = prefix + ".tenant." + spec.name;
@@ -329,6 +400,7 @@ void Hypervisor::set_degraded(bool degraded) {
 void Hypervisor::attach(QvisorPort* port) {
   ports_.push_back(port);
   if (degraded_) port->set_degraded(true);
+  if (admission_.enabled) port->configure_admission(build_admission_config());
 }
 
 void Hypervisor::detach(QvisorPort* port) {
@@ -340,7 +412,18 @@ void Hypervisor::observe(const Packet& p, TimeNs now) {
   // Always observe the tenant's own label, not a possibly-transformed
   // scheduling rank from an upstream QVISOR hop.
   monitor_.observe(p.tenant, p.original_rank, p.size_bytes, now);
-  estimator(p.tenant).observe(p.original_rank, now);
+  // Estimators are bounded like the monitor's tenant states: an
+  // id-churner must not allocate one per fabricated id. Existing
+  // estimators (including every contracted tenant's, created lazily on
+  // first packet, well under the cap) keep updating.
+  const auto it = estimators_.find(p.tenant);
+  if (it != estimators_.end()) {
+    it->second.observe(p.original_rank, now);
+  } else if (estimators_.size() < kMaxEstimators) {
+    estimator(p.tenant).observe(p.original_rank, now);
+  } else {
+    ++estimator_overflow_;
+  }
 }
 
 }  // namespace qv::qvisor

@@ -29,6 +29,30 @@ namespace qv::qvisor {
 
 class Hypervisor;
 
+/// Overload-protection settings the Hypervisor turns into a concrete
+/// per-port AdmissionConfig: rates come from the registered tenant
+/// contracts; per-tenant queue share caps are carved from the port
+/// buffer in proportion to tenant weights.
+struct AdmissionSettings {
+  bool enabled = false;
+  /// Notional per-port buffer (bytes) the share caps are carved from;
+  /// 0 = no occupancy caps (rate policing only).
+  std::int64_t port_buffer_bytes = 0;
+  /// Multiplier over the tenant's proportional buffer share (> 1
+  /// allows statistical multiplexing; 1.0 = hard partition).
+  double share_headroom = 2.0;
+  /// Floor on any carved share cap, so a tiny weight still fits a
+  /// couple of MTUs.
+  std::int64_t share_cap_floor_bytes = 3000;
+  std::uint32_t rank_window = 64;  ///< AIFO window (0 = no quantile check)
+  double k = 0.1;                  ///< AIFO burst tolerance
+  /// Aggregate policing for tenants with no contract of their own (an
+  /// id churner lands here). Zero rate + zero cap = admit freely.
+  double unknown_rate_bytes_per_sec = 0.0;
+  double unknown_burst_bytes = 150'000.0;
+  std::int64_t unknown_share_cap_bytes = 0;
+};
+
 /// Data-plane port scheduler: pre-processor in front of the backend's
 /// hardware scheduler. Created by Hypervisor::make_port_scheduler().
 class QvisorPort final : public sched::Scheduler {
@@ -86,6 +110,12 @@ class QvisorPort final : public sched::Scheduler {
   /// Flip the pre-processor's degraded pass-through mode (called by the
   /// Hypervisor; see Preprocessor::set_degraded).
   void set_degraded(bool degraded) { pre_.set_degraded(degraded); }
+
+  /// Install the per-tenant admission guard on this port's
+  /// pre-processor, wiring drops back into the hypervisor's monitor
+  /// (called by Hypervisor::set_admission; see AdmissionSettings).
+  void configure_admission(AdmissionConfig config);
+  void disable_admission() { pre_.disable_admission(); }
 
  private:
   Hypervisor& hv_;
@@ -172,6 +202,18 @@ class Hypervisor {
   const Backend& backend() const { return *backend_; }
   Monitor& monitor() { return monitor_; }
 
+  /// Enable/disable the per-port admission guard. Rates and bursts come
+  /// from the monitor's registered contracts; share caps are carved
+  /// from `settings.port_buffer_bytes` by tenant weight. Applies to all
+  /// attached ports and to ports attached later.
+  void set_admission(const AdmissionSettings& settings);
+  const AdmissionSettings& admission_settings() const { return admission_; }
+
+  /// Register/replace a tenant contract; when the admission guard is
+  /// enabled the guard configs are rebuilt so the new terms take effect
+  /// immediately.
+  void set_contract(const TenantContract& contract);
+
   /// Update/replace the operator policy (takes effect on next compile).
   void set_policy(OperatorPolicy policy) { policy_ = std::move(policy); }
 
@@ -213,6 +255,14 @@ class Hypervisor {
 
  private:
   friend class QvisorPort;
+  /// Cap on per-tenant rank estimators (hostile-growth bound; see
+  /// observe()).
+  static constexpr std::size_t kMaxEstimators = 1024;
+
+  AdmissionConfig build_admission_config() const;
+  /// Admission-guard drop hook target (every port routes here).
+  void on_admission_drop(TenantId tenant, std::int32_t bytes, AdmitResult r,
+                         TimeNs now);
   CompileResult compile_impl(const std::vector<TenantSpec>& specs,
                              const OperatorPolicy& policy,
                              std::uint64_t epoch);
@@ -235,6 +285,8 @@ class Hypervisor {
   std::optional<SynthesisPlan> plan_;
   std::vector<QvisorPort*> ports_;
   std::unordered_map<TenantId, RankDistEstimator> estimators_;
+  std::uint64_t estimator_overflow_ = 0;  ///< observations past the cap
+  AdmissionSettings admission_;
   std::uint64_t compile_count_ = 0;
 
   // Two-phase install state. prev_* is the one-deep undo log a partial

@@ -84,6 +84,18 @@ BreakpointTransform BreakpointTransform::from_samples(
   return out;
 }
 
+namespace {
+
+// Saturating band offset: like RankTransform::apply, a base near the
+// numeric edge must clamp to kMaxRank, never wrap into high priority.
+Rank saturating_add(Rank base, Rank level) {
+  const std::uint64_t out =
+      static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(level);
+  return out > kMaxRank ? kMaxRank : static_cast<Rank>(out);
+}
+
+}  // namespace
+
 Rank BreakpointTransform::apply(Rank r) const {
   if (from_.empty()) return base_;
   // Last step with from_ <= r; ranks below the first step share its
@@ -94,15 +106,15 @@ Rank BreakpointTransform::apply(Rank r) const {
                        ? std::size_t{0}
                        : static_cast<std::size_t>(
                              std::distance(from_.begin(), it) - 1);
-  return base_ + level_[idx];
+  return saturating_add(base_, level_[idx]);
 }
 
 Rank BreakpointTransform::out_min() const {
-  return base_ + (level_.empty() ? 0 : level_.front());
+  return saturating_add(base_, level_.empty() ? 0 : level_.front());
 }
 
 Rank BreakpointTransform::out_max() const {
-  return base_ + (level_.empty() ? 0 : level_.back());
+  return saturating_add(base_, level_.empty() ? 0 : level_.back());
 }
 
 TableTransform TableTransform::compile(const RankTransform& t,

@@ -60,12 +60,24 @@ class RankTransform {
       level = n / width_;
       if (level >= levels_) level = levels_ - 1;
     }
-    return base_ + static_cast<Rank>(level) * stride_;
+    // Saturating output: a base/stride near the numeric edge must not
+    // wrap a low-priority band into rank 0 (the highest priority). The
+    // 64-bit sum cannot itself overflow (all three factors < 2^32).
+    const std::uint64_t out =
+        static_cast<std::uint64_t>(base_) + level * stride_;
+    return out > kMaxRank ? kMaxRank : static_cast<Rank>(out);
   }
 
-  /// Lowest / highest rank apply() can produce (worst-case analysis).
+  /// Lowest / highest rank apply() can produce (worst-case analysis);
+  /// saturating, matching apply().
   Rank out_min() const { return base_; }
-  Rank out_max() const { return base_ + (levels_ - 1) * stride_; }
+  Rank out_max() const {
+    if (levels_ == 0) return kMaxRank;  // identity passes any rank through
+    const std::uint64_t out =
+        static_cast<std::uint64_t>(base_) +
+        static_cast<std::uint64_t>(levels_ - 1) * stride_;
+    return out > kMaxRank ? kMaxRank : static_cast<Rank>(out);
+  }
 
   sched::RankBounds input_bounds() const { return in_; }
   std::uint32_t levels() const { return levels_; }

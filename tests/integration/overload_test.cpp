@@ -1,0 +1,118 @@
+// The overload harness's isolation contract (ISSUE 4 tentpole): under
+// each adversary mode the victims keep their throughput and latency
+// envelope, the attacker is throttled to its contract and quarantined,
+// every counter balances, and all hostile-growable state stays bounded.
+#include "experiments/overload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::experiments {
+namespace {
+
+using trafficgen::AdversaryMode;
+
+OverloadConfig with_mode(AdversaryMode mode, std::uint64_t seed = 1) {
+  OverloadConfig cfg;
+  cfg.seed = seed;
+  cfg.mode = mode;
+  return cfg;
+}
+
+TEST(OverloadHarness, FlooderIsShavedToContractAndQuarantined) {
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto r = run_overload(with_mode(AdversaryMode::kFlooder, seed));
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.victims_throughput_ok);
+    EXPECT_TRUE(r.victims_latency_ok);
+    EXPECT_TRUE(r.attacker_throttled);
+    EXPECT_TRUE(r.attacker_quarantined);
+    // The guard did real work: the attacker offered well above its
+    // contract and most of it was shed at the first hop.
+    EXPECT_GT(r.attack.guard_rate_dropped, 0u);
+    EXPECT_LT(r.attack.attacker_admitted_bytes,
+              r.attack.attacker.offered_bytes / 2);
+    // Books balance at every layer.
+    EXPECT_TRUE(r.baseline.conserved);
+    EXPECT_TRUE(r.attack.conserved);
+    EXPECT_TRUE(r.attack.guard_balanced);
+    EXPECT_TRUE(r.attack.accounting_balanced);
+  }
+}
+
+TEST(OverloadHarness, RankGamerShedsItsOwnLoadOnly) {
+  const auto r = run_overload(with_mode(AdversaryMode::kRankGamer));
+  EXPECT_TRUE(r.ok);
+  // Gaming the rank to 0 buys nothing: admitted volume matches the
+  // honest flooder's contract envelope, and the victims' p99 stays
+  // inside the envelope even though the admitted attack traffic sits
+  // at the top of the shared band.
+  EXPECT_TRUE(r.victims_latency_ok);
+  EXPECT_TRUE(r.attacker_throttled);
+  EXPECT_TRUE(r.attacker_quarantined);
+}
+
+TEST(OverloadHarness, TenantChurnCannotGrowState) {
+  const auto r = run_overload(with_mode(AdversaryMode::kTenantChurn));
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.state_bounded);
+  // The churner actually pushed past both caps...
+  EXPECT_GT(r.attack.spill_evictions, 0u);
+  EXPECT_GT(r.attack.untracked_observations, 0u);
+  // ...and neither table outgrew its bound.
+  EXPECT_LE(r.attack.max_spill_tracked, std::size_t{4096});
+  EXPECT_LE(r.attack.max_tracked_tenants, std::size_t{4096});
+  // Eviction folding keeps the books exact even while evicting.
+  EXPECT_TRUE(r.attack.accounting_balanced);
+  EXPECT_TRUE(r.attack.guard_balanced);
+}
+
+TEST(OverloadHarness, QuarantineDoesNotOscillateUnderSustainedAttack) {
+  // Monitor hysteresis (ISSUE 4 satellite): while the attack persists,
+  // a quarantined attacker must stay quarantined — admission drops keep
+  // advancing last_violation_at, so the clean-window release never
+  // fires mid-attack.
+  for (const auto mode : {AdversaryMode::kFlooder, AdversaryMode::kRankGamer,
+                          AdversaryMode::kBurstHerd}) {
+    const auto r = run_overload(with_mode(mode));
+    SCOPED_TRACE(trafficgen::adversary_mode_name(mode));
+    EXPECT_GE(r.attack.quarantines, 1u);
+    EXPECT_EQ(r.attack.unquarantines, 0u);
+  }
+}
+
+TEST(OverloadHarness, GuardOffDemonstratesTheExposure) {
+  // Control experiment: with the guard disabled the fabric still
+  // conserves packets, but the flood reaches the shared queue and the
+  // victims' latency visibly degrades versus the attack-free baseline.
+  auto cfg = with_mode(AdversaryMode::kFlooder);
+  cfg.guard = false;
+  const auto r = run_overload(cfg);
+  EXPECT_TRUE(r.baseline.conserved);
+  EXPECT_TRUE(r.attack.conserved);
+  // No guard: nothing was admission-dropped, nothing policed.
+  EXPECT_EQ(r.attack.pre_admission_dropped, 0u);
+  EXPECT_EQ(r.attack.guard_rate_dropped, 0u);
+  // The victims feel the attack (latency strictly worse than baseline);
+  // the Monitor quarantine path alone eventually contains it, which is
+  // exactly the window the admission guard closes.
+  EXPECT_GT(r.attack.silver.p99_latency, r.baseline.silver.p99_latency);
+  EXPECT_GT(r.attack.gold.p99_latency, r.baseline.gold.p99_latency);
+}
+
+TEST(OverloadHarness, DeterministicAcrossRuns) {
+  // Same seed, same config -> bit-identical books (the harness is part
+  // of the replay surface, so it must not be time- or hash-order
+  // dependent).
+  const auto a = run_overload(with_mode(AdversaryMode::kFlooder, 1337));
+  const auto b = run_overload(with_mode(AdversaryMode::kFlooder, 1337));
+  EXPECT_EQ(a.attack.delivered_pkts, b.attack.delivered_pkts);
+  EXPECT_EQ(a.attack.attacker_admitted_bytes,
+            b.attack.attacker_admitted_bytes);
+  EXPECT_EQ(a.attack.guard_rate_dropped, b.attack.guard_rate_dropped);
+  EXPECT_EQ(a.attack.silver.p99_latency, b.attack.silver.p99_latency);
+  EXPECT_EQ(a.attack.quarantines, b.attack.quarantines);
+}
+
+}  // namespace
+}  // namespace qv::experiments

@@ -1,0 +1,247 @@
+#include "qvisor/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace qv::qvisor {
+namespace {
+
+AdmissionTenantConfig policed_tenant(TenantId id, double rate_bps,
+                                     double burst_bytes,
+                                     std::int64_t share_cap = 0) {
+  AdmissionTenantConfig tc;
+  tc.tenant = id;
+  tc.rate_bytes_per_sec = rate_bps;
+  tc.burst_bytes = burst_bytes;
+  tc.share_cap_bytes = share_cap;
+  return tc;
+}
+
+Packet packet(TenantId tenant, Rank rank, std::int32_t bytes = 1000) {
+  Packet p;
+  p.tenant = tenant;
+  p.rank = rank;
+  p.original_rank = rank;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(AdmissionGuard, UnconfiguredTenantsAdmitFreely) {
+  // No tenant entries and no policed unknown bucket: everything admits
+  // on the early-exit path, which deliberately skips the books — a
+  // guard that polices nobody must cost (almost) nothing.
+  AdmissionGuard g(AdmissionConfig{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(g.decide(42, 0, 1500, microseconds(i)), AdmitResult::kAdmit);
+  }
+  EXPECT_EQ(g.totals().offered, 0u);
+  EXPECT_EQ(g.totals().dropped(), 0u);
+  EXPECT_EQ(g.tenant_counters(42).offered, 0u);
+}
+
+TEST(AdmissionGuard, TokenBucketShavesToContractRate) {
+  // 1 MB/s, 10 kB burst, 1 kB packets offered back-to-back at t=0: the
+  // burst admits exactly 10 packets, then the bucket is dry.
+  AdmissionConfig cfg;
+  cfg.tenants.push_back(policed_tenant(1, 1e6, 10'000.0));
+  AdmissionGuard g(cfg);
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g.decide(1, 0, 1000, 0) == AdmitResult::kAdmit) ++admitted;
+  }
+  EXPECT_EQ(admitted, 10);
+  EXPECT_EQ(g.tenant_counters(1).rate_dropped, 90u);
+
+  // 5 ms later the bucket has refilled 5'000 bytes -> 5 more packets.
+  admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g.decide(1, 0, 1000, milliseconds(5)) == AdmitResult::kAdmit) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 5);
+}
+
+TEST(AdmissionGuard, TokenBucketCapsRefillAtBurst) {
+  AdmissionConfig cfg;
+  cfg.tenants.push_back(policed_tenant(1, 1e6, 10'000.0));
+  AdmissionGuard g(cfg);
+  // Drain the initial burst.
+  for (int i = 0; i < 10; ++i) g.decide(1, 0, 1000, 0);
+  // A long idle period must not bank more than `burst_bytes` of credit.
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g.decide(1, 0, 1000, seconds(100)) == AdmitResult::kAdmit) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 10);
+}
+
+TEST(AdmissionGuard, ShareCapBoundsOccupancyAndReleaseRestoresIt) {
+  AdmissionConfig cfg;
+  cfg.rank_window = 0;  // isolate the share-cap mechanism
+  cfg.tenants.push_back(policed_tenant(1, 0.0, 0.0, /*share_cap=*/5'000));
+  AdmissionGuard g(cfg);
+  int admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (g.decide(1, 0, 1000, 0) == AdmitResult::kAdmit) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(g.occupancy_bytes(1), 5'000);
+  EXPECT_EQ(g.tenant_counters(1).share_dropped, 15u);
+
+  // Dequeue two packets: two more slots open up, no more.
+  g.release(1, 1000);
+  g.release(1, 1000);
+  EXPECT_EQ(g.occupancy_bytes(1), 3'000);
+  admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (g.decide(1, 0, 1000, 0) == AdmitResult::kAdmit) ++admitted;
+  }
+  EXPECT_EQ(admitted, 2);
+}
+
+TEST(AdmissionGuard, ReleaseClampsAtZero) {
+  AdmissionConfig cfg;
+  cfg.tenants.push_back(policed_tenant(1, 0.0, 0.0, /*share_cap=*/5'000));
+  AdmissionGuard g(cfg);
+  // Release without a matching admit (packet admitted before the guard
+  // was configured): the account must not underflow.
+  g.release(1, 4000);
+  EXPECT_EQ(g.occupancy_bytes(1), 0);
+}
+
+TEST(AdmissionGuard, QuantileShedsHighRanksFirst) {
+  // Share cap 10 kB, window 64, k = 0. Fill the window with an even
+  // spread of ranks, push occupancy past half the cap, and check that
+  // low ranks still get through while high ranks are shed.
+  AdmissionConfig cfg;
+  cfg.rank_window = 64;
+  cfg.k = 0.0;
+  cfg.tenants.push_back(policed_tenant(1, 0.0, 0.0, /*share_cap=*/10'000));
+  AdmissionGuard g(cfg);
+  for (int i = 0; i < 64; ++i) {
+    g.decide(1, static_cast<Rank>(i * 100), 100, 0);
+  }
+  // The fill admits ranks until occupancy crosses cap/2 (5'100 bytes),
+  // then starts shedding the ever-higher ranks. With headroom ~ 0.49, a
+  // rank near the top of the window is shed; the lowest rank passes.
+  EXPECT_EQ(g.decide(1, 6'300, 100, 0), AdmitResult::kQuantileDrop);
+  EXPECT_EQ(g.decide(1, 0, 100, 0), AdmitResult::kAdmit);
+  EXPECT_GT(g.tenant_counters(1).quantile_dropped, 0u);
+}
+
+TEST(AdmissionGuard, QuantileDisengagedBelowHalfCap) {
+  AdmissionConfig cfg;
+  cfg.rank_window = 64;
+  cfg.k = 0.0;
+  cfg.tenants.push_back(policed_tenant(1, 0.0, 0.0, /*share_cap=*/100'000));
+  AdmissionGuard g(cfg);
+  // 40 kB of occupancy < cap/2: even the worst rank in the window
+  // admits, regardless of quantile.
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(g.decide(1, 0xffffffffu, 1000, 0), AdmitResult::kAdmit);
+  }
+}
+
+TEST(AdmissionGuard, UnknownTenantsShareOneAggregateBucket) {
+  // An id churner never reuses a tenant id; all unknown ids must drain
+  // the SAME token bucket, so churn buys no extra bandwidth.
+  AdmissionConfig cfg;
+  cfg.unknown = policed_tenant(0, 1e6, 10'000.0);
+  AdmissionGuard g(cfg);
+  int admitted = 0;
+  for (TenantId id = 100; id < 200; ++id) {
+    if (g.decide(id, 0, 1000, 0) == AdmitResult::kAdmit) ++admitted;
+  }
+  EXPECT_EQ(admitted, 10);  // one burst across all hundred ids
+  EXPECT_EQ(g.tenant_counters(12345).rate_dropped, 90u);  // aggregate view
+}
+
+TEST(AdmissionGuard, DropHookFiresOnEveryDropWithReason) {
+  AdmissionConfig cfg;
+  cfg.tenants.push_back(policed_tenant(1, 1e6, 2'000.0));
+  AdmissionGuard g(cfg);
+  std::vector<AdmitResult> reasons;
+  g.set_drop_hook([&](TenantId t, std::int32_t bytes, AdmitResult r,
+                      TimeNs now) {
+    EXPECT_EQ(t, 1u);
+    EXPECT_EQ(bytes, 1000);
+    EXPECT_EQ(now, 0);
+    reasons.push_back(r);
+  });
+  for (int i = 0; i < 5; ++i) {
+    g.admit(packet(1, 0), 0);
+  }
+  ASSERT_EQ(reasons.size(), 3u);  // 2 admitted on burst, 3 dropped
+  for (const auto r : reasons) EXPECT_EQ(r, AdmitResult::kRateDrop);
+}
+
+TEST(AdmissionGuard, CountersBalanceUnderMixedPressure) {
+  AdmissionConfig cfg;
+  cfg.tenants.push_back(policed_tenant(1, 2e6, 5'000.0, 8'000));
+  cfg.tenants.push_back(policed_tenant(2, 0.0, 0.0, 4'000));
+  cfg.unknown = policed_tenant(0, 1e6, 3'000.0);
+  AdmissionGuard g(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const TenantId t = static_cast<TenantId>(i % 3 + 1);  // 3 is unknown
+    g.decide(t, static_cast<Rank>(i), 700, microseconds(i * 3));
+    if (i % 5 == 0) g.release(t, 700);
+  }
+  const auto& tot = g.totals();
+  EXPECT_EQ(tot.offered, 500u);
+  EXPECT_EQ(tot.offered, tot.admitted + tot.dropped());
+  const auto& t1 = g.tenant_counters(1);
+  const auto& t2 = g.tenant_counters(2);
+  const auto& unk = g.tenant_counters(3);
+  EXPECT_EQ(t1.offered, t1.admitted + t1.dropped());
+  EXPECT_EQ(t2.offered, t2.admitted + t2.dropped());
+  EXPECT_EQ(unk.offered, unk.admitted + unk.dropped());
+  EXPECT_EQ(tot.offered, t1.offered + t2.offered + unk.offered);
+}
+
+TEST(AdmissionGuard, LargeTenantIdsUseSpillSlots) {
+  // Configured ids above the dense slot table still get their own
+  // bucket (control-plane sized map, no data-path growth).
+  AdmissionConfig cfg;
+  cfg.tenants.push_back(policed_tenant(1u << 20, 1e6, 2'000.0));
+  AdmissionGuard g(cfg);
+  EXPECT_EQ(g.decide(1u << 20, 0, 1000, 0), AdmitResult::kAdmit);
+  EXPECT_EQ(g.decide(1u << 20, 0, 1000, 0), AdmitResult::kAdmit);
+  EXPECT_EQ(g.decide(1u << 20, 0, 1000, 0), AdmitResult::kRateDrop);
+  EXPECT_EQ(g.tenant_counters(1u << 20).rate_dropped, 1u);
+}
+
+TEST(AdmissionGuard, ExportsLiveMetricViews) {
+  AdmissionConfig cfg;
+  cfg.tenants.push_back(policed_tenant(7, 1e6, 1'000.0));
+  cfg.unknown = policed_tenant(0, 1e6, 1'000.0);
+  AdmissionGuard g(cfg);
+  obs::Registry reg;
+  g.export_metrics(reg, "port0.admission");
+  g.decide(7, 0, 1000, 0);
+  g.decide(7, 0, 1000, 0);  // rate drop
+  g.decide(99, 0, 1000, 0);
+  const auto snap = reg.counter_snapshot();
+  const auto value = [&](const std::string& name) -> std::uint64_t {
+    const auto it = snap.find(name);
+    if (it == snap.end()) {
+      ADD_FAILURE() << "missing counter " << name;
+      return 0;
+    }
+    return it->second;
+  };
+  EXPECT_EQ(value("port0.admission.tenant.7.rate_dropped"), 1u);
+  EXPECT_EQ(value("port0.admission.unknown.admitted"), 1u);
+  // Guard-wide totals are summed on read and exported as gauges.
+  EXPECT_DOUBLE_EQ(reg.gauge_value("port0.admission.offered"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("port0.admission.dropped"), 1.0);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

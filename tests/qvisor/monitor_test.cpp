@@ -162,5 +162,88 @@ TEST(Monitor, LastViolationTimestampDrivesHysteresis) {
   EXPECT_EQ(m.last_violation_at(1), -1);
 }
 
+// --- admission drops feed the verdict (ISSUE 4 tentpole) -------------------
+
+TEST(Monitor, AdmissionDropsAdvanceLastViolation) {
+  Monitor m(0.01, 0.05, 100);
+  m.set_contract(contract(1, 0, 100));
+  for (int i = 0; i < 200; ++i) {
+    m.observe(1, 50, 1500, microseconds(i));  // all in-bounds
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kClean);
+  EXPECT_EQ(m.last_violation_at(1), -1);
+
+  m.record_admission_drop(1, 1500, microseconds(500));
+  EXPECT_EQ(m.observation(1).admission_drops, 1u);
+  EXPECT_EQ(m.last_violation_at(1), microseconds(500));
+  // A later drop keeps advancing the stamp (hysteresis clock).
+  m.record_admission_drop(1, 1500, microseconds(900));
+  EXPECT_EQ(m.last_violation_at(1), microseconds(900));
+}
+
+TEST(Monitor, SustainedAdmissionDropsEscalateVerdict) {
+  // A tenant whose ranks/rate look clean but which the admission guard
+  // keeps shedding must still escalate: 200 observed packets plus 20
+  // drops is a 10% violation fraction, past the adversarial threshold.
+  Monitor m(0.01, 0.05, 100);
+  m.set_contract(contract(1, 0, 100));
+  for (int i = 0; i < 200; ++i) {
+    m.observe(1, 50, 1500, microseconds(i));
+  }
+  ASSERT_EQ(m.verdict(1), Verdict::kClean);
+  for (int i = 0; i < 20; ++i) {
+    m.record_admission_drop(1, 1500, microseconds(200 + i));
+  }
+  EXPECT_EQ(m.verdict(1), Verdict::kAdversarial);
+  // A trickle (one drop in 10'000 packets) stays clean.
+  Monitor m2(0.01, 0.05, 100);
+  m2.set_contract(contract(2, 0, 100));
+  for (int i = 0; i < 10'000; ++i) {
+    m2.observe(2, 50, 1500, microseconds(i));
+  }
+  m2.record_admission_drop(2, 1500, microseconds(10'001));
+  EXPECT_EQ(m2.verdict(2), Verdict::kClean);
+}
+
+TEST(Monitor, AdmissionDropForUnknownTenantCreatesImplicitState) {
+  Monitor m(0.01, 0.05, 1);
+  m.record_admission_drop(42, 1500, microseconds(7));
+  EXPECT_EQ(m.observation(42).admission_drops, 1u);
+  EXPECT_EQ(m.last_violation_at(42), microseconds(7));
+  EXPECT_FALSE(m.has_contract(42));  // implicit terms, not registered
+}
+
+// --- bounded tenant table under id churn (ISSUE 4 tentpole) ----------------
+
+TEST(Monitor, TenantTableBoundedUnderIdChurn) {
+  Monitor m(0.01, 0.05, 100);
+  m.set_max_tracked(64);
+  for (TenantId id = 0; id < 10'000; ++id) {
+    m.observe(id, 50, 1500, microseconds(id));
+  }
+  EXPECT_EQ(m.tracked_tenants(), 64u);
+  EXPECT_EQ(m.untracked_observations(), 10'000u - 64u);
+  // Tracked tenants keep full fidelity; untracked ones read as clean
+  // (fail-open for observation, fail-closed happens at the guard's
+  // aggregate unknown bucket).
+  EXPECT_EQ(m.observation(1).packets, 1u);
+  EXPECT_EQ(m.verdict(9'999), Verdict::kClean);
+}
+
+TEST(Monitor, RegisteredContractsAlwaysTracked) {
+  // Contract registration happens on the control plane: a registered
+  // tenant must get a state even when churn has filled the table.
+  Monitor m(0.01, 0.05, 100);
+  m.set_max_tracked(8);
+  for (TenantId id = 100; id < 200; ++id) {
+    m.observe(id, 50, 1500, microseconds(id));
+  }
+  ASSERT_EQ(m.tracked_tenants(), 8u);
+  m.set_contract(contract(7, 0, 100));
+  m.observe(7, 50, 1500, microseconds(1000));
+  EXPECT_EQ(m.observation(7).packets, 1u);
+  EXPECT_TRUE(m.has_contract(7));
+}
+
 }  // namespace
 }  // namespace qv::qvisor

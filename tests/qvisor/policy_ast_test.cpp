@@ -93,7 +93,18 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("T1", "a + b", "a > b", "a >> b",
                       "T1 >> T2 > T3 + T4 >> T5", "(a >> b) + c",
                       "((a + b) >> c) > d", "a * 2 + b * 0.5",
-                      "(a >> b) * 3 + c", "(a > b) + (c > d) >> e"));
+                      "(a >> b) * 3 + c", "(a > b) + (c > d) >> e",
+                      // Same-kind nesting: the pair (a + b) shares as
+                      // ONE unit against c, so the parens must survive
+                      // printing (fuzzer-found).
+                      "(a + b) + c * 2 > d", "(a > b) > c",
+                      "(a >> b) >> c"));
+
+TEST(PolicyExpr, SameKindNestingKeepsParens) {
+  auto r = parse_policy_expr("(a + b) + c * 2 > d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.expr->to_string(), "(a + b) + c * 2 > d");
+}
 
 TEST(FlatConversion, FlatExpressionConverts) {
   auto expr = parse_policy_expr("T1 >> T2 > T3 + T4 >> T5");

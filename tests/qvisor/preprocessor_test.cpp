@@ -297,5 +297,150 @@ TEST(Preprocessor, DegradedModeSchedulesByLabel) {
   EXPECT_EQ(q.rank, plan.find("A")->transform.apply(7));
 }
 
+// --- hostile-input bounds (ISSUE 4 satellites) -----------------------------
+
+TEST(Preprocessor, SpillCountersBoundedUnderMillionTenantChurn) {
+  // A tenant-id churner offers one packet each from a million distinct
+  // never-before-seen ids, all beyond the dense-table ceiling. The
+  // spill COUNTER map must stay O(spill_cap), not O(distinct ids), and
+  // the evicted tallies must balance the books exactly.
+  Preprocessor pre(UnknownTenantAction::kBestEffort);
+  pre.install(two_tier_plan());
+  const std::uint64_t kDistinct = 1'000'000;
+  for (std::uint64_t i = 0; i < kDistinct; ++i) {
+    Packet p = labeled(Preprocessor::kDenseLimit + static_cast<TenantId>(i),
+                       1);
+    ASSERT_TRUE(pre.process(p));
+  }
+  EXPECT_LE(pre.spill_tracked(), pre.spill_cap());
+  EXPECT_EQ(pre.spill_tracked(), pre.spill_cap());  // saturated, not empty
+  EXPECT_EQ(pre.counters().spill_evictions, kDistinct - pre.spill_cap());
+  // Conservation: exact per-tenant tallies + folded evicted tallies
+  // cover every processed packet.
+  std::uint64_t tallied = 0;
+  for (const auto& [id, n] : pre.per_tenant()) tallied += n;
+  EXPECT_EQ(tallied + pre.counters().spill_evicted_packets,
+            pre.counters().processed);
+}
+
+TEST(Preprocessor, SpillLruEvictsColdestTenantFirst) {
+  Preprocessor pre(UnknownTenantAction::kBestEffort);
+  pre.install(two_tier_plan());
+  pre.set_spill_cap(2);
+  const TenantId a = Preprocessor::kDenseLimit + 1;
+  const TenantId b = Preprocessor::kDenseLimit + 2;
+  const TenantId c = Preprocessor::kDenseLimit + 3;
+  const auto touch = [&](TenantId id, int times) {
+    for (int i = 0; i < times; ++i) {
+      Packet p = labeled(id, 1);
+      ASSERT_TRUE(pre.process(p));
+    }
+  };
+  touch(a, 3);
+  touch(b, 2);
+  touch(a, 1);  // refresh a: b is now the coldest
+  touch(c, 1);  // evicts b, folds its 2 packets into the evicted tally
+  const auto counts = pre.per_tenant();
+  EXPECT_EQ(counts.at(a), 4u);
+  EXPECT_EQ(counts.at(c), 1u);
+  EXPECT_EQ(counts.count(b), 0u);
+  EXPECT_EQ(pre.counters().spill_evictions, 1u);
+  EXPECT_EQ(pre.counters().spill_evicted_packets, 2u);
+}
+
+TEST(Preprocessor, SetSpillCapEvictsDownToNewCap) {
+  Preprocessor pre(UnknownTenantAction::kBestEffort);
+  pre.install(two_tier_plan());
+  for (TenantId i = 0; i < 10; ++i) {
+    Packet p = labeled(Preprocessor::kDenseLimit + i, 1);
+    ASSERT_TRUE(pre.process(p));
+  }
+  ASSERT_EQ(pre.spill_tracked(), 10u);
+  pre.set_spill_cap(4);
+  EXPECT_EQ(pre.spill_tracked(), 4u);
+  EXPECT_EQ(pre.counters().spill_evictions, 6u);
+  EXPECT_EQ(pre.counters().spill_evicted_packets, 6u);
+}
+
+TEST(Preprocessor, OverflowingTransformClampsIntoBestEffortBand) {
+  // A handcrafted plan whose transform lands beyond the plan's rank
+  // space: the output must saturate into the best-effort band (bottom),
+  // never wrap into a high-priority rank.
+  SynthesisPlan plan;
+  plan.rank_space = 1'000;
+  TenantPlan tp;
+  tp.tenant = 1;
+  tp.name = "edge";
+  tp.transform = RankTransform({0, 100}, /*levels=*/101, /*base=*/950);
+  plan.tenants.push_back(tp);
+  Preprocessor pre;
+  pre.install(plan);
+
+  Packet low = labeled(1, 10);  // 950 + 10 = 960: in range
+  ASSERT_TRUE(pre.process(low));
+  EXPECT_EQ(low.rank, 960u);
+  EXPECT_EQ(pre.counters().rank_clamped, 0u);
+
+  Packet high = labeled(1, 90);  // 950 + 90 = 1040 >= rank space
+  ASSERT_TRUE(pre.process(high));
+  EXPECT_EQ(high.rank, 999u);  // best-effort band, not 1040 % anything
+  EXPECT_EQ(pre.counters().rank_clamped, 1u);
+}
+
+TEST(Preprocessor, NumericEdgeTransformSaturatesNotWraps) {
+  // base near the top of the 32-bit rank space: apply() itself must
+  // saturate at kMaxRank (UB-free), and the pre-processor folds the
+  // saturated output into the best-effort band with a counter.
+  SynthesisPlan plan;
+  plan.rank_space = kMaxRank;
+  TenantPlan tp;
+  tp.tenant = 1;
+  tp.name = "edge";
+  tp.transform =
+      RankTransform({0, 100}, /*levels=*/101, /*base=*/kMaxRank - 50);
+  plan.tenants.push_back(tp);
+  Preprocessor pre;
+  pre.install(plan);
+
+  Packet p = labeled(1, 100);  // (kMaxRank - 50) + 100 saturates
+  ASSERT_TRUE(pre.process(p));
+  EXPECT_EQ(p.rank, kMaxRank - 1);  // best-effort rank of the plan space
+  EXPECT_EQ(pre.counters().rank_clamped, 1u);
+}
+
+TEST(Preprocessor, AdmissionGuardDropsAndBatchCompaction) {
+  Preprocessor pre;
+  pre.install(two_tier_plan());
+  AdmissionConfig cfg;
+  AdmissionTenantConfig tc;
+  tc.tenant = 1;
+  tc.rate_bytes_per_sec = 1e6;
+  tc.burst_bytes = 300.0;  // three 100-byte packets
+  cfg.tenants.push_back(tc);
+  pre.configure_admission(std::move(cfg));
+  ASSERT_TRUE(pre.admission_enabled());
+
+  // Batch of 5 tenant-1 packets at t=0: the burst admits 3; survivors
+  // compact stably to the front, interleaved tenant-2 traffic is
+  // untouched.
+  std::vector<Packet> batch = {labeled(1, 1), labeled(2, 1), labeled(1, 2),
+                               labeled(1, 3), labeled(1, 4)};
+  const std::size_t kept = pre.process(std::span<Packet>(batch), 0);
+  ASSERT_EQ(kept, 4u);
+  EXPECT_EQ(batch[0].tenant, 1u);
+  EXPECT_EQ(batch[1].tenant, 2u);
+  EXPECT_EQ(batch[2].original_rank, 2u);
+  EXPECT_EQ(batch[3].original_rank, 3u);
+  EXPECT_EQ(pre.counters().admission_dropped, 1u);
+  const auto& tot = pre.admission()->totals();
+  EXPECT_EQ(tot.offered, tot.admitted + tot.dropped());
+
+  // disable_admission(): back to the unguarded hot path.
+  pre.disable_admission();
+  Packet p = labeled(1, 5);
+  EXPECT_TRUE(pre.process(p));
+  EXPECT_EQ(pre.counters().admission_dropped, 1u);
+}
+
 }  // namespace
 }  // namespace qv::qvisor

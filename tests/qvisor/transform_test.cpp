@@ -195,5 +195,58 @@ TEST(RankTransform, ReciprocalMatchesExactDivision) {
   }
 }
 
+// --- saturation at the numeric edges (ISSUE 4 satellite) -------------------
+
+TEST(RankTransform, OutputSaturatesAtMaxRank) {
+  // base + level * stride overflows 32 bits: apply() must pin at
+  // kMaxRank, never wrap a low-priority band into rank 0.
+  RankTransform t({0, 100}, /*levels=*/101, /*base=*/kMaxRank - 10);
+  EXPECT_EQ(t.apply(0), kMaxRank - 10);
+  EXPECT_EQ(t.apply(10), kMaxRank);  // exactly at the edge
+  EXPECT_EQ(t.apply(11), kMaxRank);  // one past: saturated, not 0
+  EXPECT_EQ(t.apply(100), kMaxRank);
+  EXPECT_EQ(t.out_max(), kMaxRank);
+  EXPECT_EQ(t.out_min(), kMaxRank - 10);
+}
+
+TEST(RankTransform, WideStrideSaturates) {
+  // stride pushes the product past 32 bits even with a small base.
+  RankTransform t({0, 9}, /*levels=*/10, /*base=*/0,
+                  /*stride=*/0xffffffffu / 4);
+  EXPECT_EQ(t.apply(0), 0u);
+  EXPECT_EQ(t.apply(4), static_cast<Rank>(4ull * (0xffffffffu / 4)));
+  EXPECT_EQ(t.apply(9), kMaxRank);  // 9 * (2^32/4) saturates
+  EXPECT_EQ(t.out_max(), kMaxRank);
+}
+
+TEST(RankTransform, MaxRankInputAtMaxBase) {
+  // Full-width input bounds and a top-of-space base together: every
+  // output is pinned at kMaxRank, and nothing overflows on the way.
+  RankTransform t({0, kMaxRank}, /*levels=*/4096, /*base=*/kMaxRank);
+  EXPECT_EQ(t.apply(0), kMaxRank);
+  EXPECT_EQ(t.apply(kMaxRank), kMaxRank);
+  EXPECT_EQ(t.out_min(), kMaxRank);
+  EXPECT_EQ(t.out_max(), kMaxRank);
+}
+
+TEST(RankTransform, IdentityOutMaxIsFullRankSpace) {
+  // The identity transform passes any rank through, so its worst-case
+  // output is the whole rank space, not base + (levels-1) * stride.
+  RankTransform t;
+  EXPECT_EQ(t.out_max(), kMaxRank);
+  EXPECT_EQ(t.apply(kMaxRank), kMaxRank);
+}
+
+TEST(BreakpointTransform, SaturatesAtMaxRank) {
+  // base at the numeric edge: level addition must saturate like the
+  // affine transform does.
+  BreakpointTransform t({10, 20, 30}, /*base=*/kMaxRank - 1);
+  EXPECT_EQ(t.apply(0), kMaxRank - 1);
+  EXPECT_EQ(t.apply(10), kMaxRank);      // level 1 saturating
+  EXPECT_EQ(t.apply(kMaxRank), kMaxRank);  // level 3 saturating
+  EXPECT_EQ(t.out_min(), kMaxRank - 1);
+  EXPECT_EQ(t.out_max(), kMaxRank);
+}
+
 }  // namespace
 }  // namespace qv::qvisor
