@@ -25,10 +25,14 @@ Methodology notes recorded in the output:
 """
 
 import argparse
+import filecmp
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
+import time
 
 PAIRS = {
     # metric -> (before benchmark, after benchmark)
@@ -290,6 +294,121 @@ def run_obs_mode(args):
                  f"{OBS_BUDGET:.0%} budget")
 
 
+def sweep_artifacts(out_dir):
+    """Non-trace artifact basenames of a sweep output dir, sorted."""
+    return sorted(name for name in os.listdir(out_dir)
+                  if not name.endswith("_trace.json"))
+
+
+def run_parallel_mode(args):
+    """--parallel: measure the sweep engine's scaling -> BENCH_parallel.json.
+
+    Times the chaos harness (the heaviest per-cell experiment with an
+    invariant-checked exit code) over a fixed seed grid at increasing
+    --jobs, and byte-compares every non-trace artifact of each parallel
+    run against the --jobs 1 run — the scaling curve is only meaningful
+    if the output stayed identical.
+    """
+    binary = os.path.join(args.build_dir, "src", "experiments", "chaos")
+    if not os.path.exists(binary):
+        sys.exit(f"missing experiment binary: {binary} (build the "
+                 f"'release-bench' preset first)")
+    seeds = args.parallel_seeds
+    jobs_list = sorted({int(j) for j in args.jobs_list.split(",")})
+    n_cells = len(seeds.split(","))
+    host_cores = os.cpu_count() or 1
+
+    work = tempfile.mkdtemp(prefix="bench_parallel_")
+    curve = {}
+    serial_dir = None
+    equivalence = {}
+    try:
+        for jobs in jobs_list:
+            best = None
+            out_dir = os.path.join(work, f"j{jobs}")
+            for _ in range(args.runs):
+                shutil.rmtree(out_dir, ignore_errors=True)
+                os.makedirs(out_dir)
+                start = time.monotonic()
+                subprocess.run(
+                    [binary, "--seeds", seeds, "--jobs", str(jobs),
+                     "--out", out_dir],
+                    capture_output=True, text=True, check=True)
+                elapsed = time.monotonic() - start
+                best = elapsed if best is None else min(best, elapsed)
+            curve[jobs] = {
+                "jobs": jobs,
+                "wall_seconds": round(best, 3),
+                "runs_per_sec": round(n_cells / best, 2),
+            }
+            if jobs == 1:
+                serial_dir = out_dir
+            elif serial_dir:
+                names = sweep_artifacts(out_dir)
+                if names != sweep_artifacts(serial_dir):
+                    sys.exit(f"--jobs {jobs} produced a different artifact "
+                             f"set than --jobs 1")
+                _, mismatch, errors = filecmp.cmpfiles(
+                    serial_dir, out_dir, names, shallow=False)
+                equivalence[jobs] = {
+                    "artifacts_compared": len(names),
+                    "identical": not mismatch and not errors,
+                }
+                if mismatch or errors:
+                    sys.exit(f"--jobs {jobs} output differs from --jobs 1: "
+                             f"{mismatch or errors}")
+        for jobs in jobs_list:
+            curve[jobs]["speedup_vs_j1"] = round(
+                curve[jobs]["runs_per_sec"] / curve[1]["runs_per_sec"], 2)
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+    notes = [
+        "speedup is bounded by min(jobs, cells, host_cores); asking for "
+        "more workers than cores measures scheduler overhead, not the "
+        "sweep engine",
+    ]
+    max_speedup = max(c["speedup_vs_j1"] for c in curve.values())
+    if host_cores < max(jobs_list):
+        notes.append(
+            f"HOST-CORE CEILING: this machine has {host_cores} core(s), "
+            f"so the curve above cannot exceed ~{host_cores}x regardless "
+            f"of --jobs; the engine's scaling must be read on a "
+            f"multi-core host (the determinism guarantee is what these "
+            f"numbers certify here)")
+
+    result = {
+        "methodology": {
+            "build": "release-bench preset (-O3 -DNDEBUG)",
+            "binary": "src/experiments/chaos (invariant-checked exit "
+                      "code; heaviest per-cell run)",
+            "grid": f"seeds {seeds} ({n_cells} independent cells)",
+            "aggregate": f"best wall time of {args.runs} runs per jobs "
+                         f"value (one-sided shared-machine noise)",
+            "equivalence": "every non-trace artifact of each parallel "
+                           "run byte-compared against the --jobs 1 run; "
+                           "any difference fails the whole benchmark",
+        },
+        "host_cores": host_cores,
+        "scaling": {str(j): curve[j] for j in jobs_list},
+        "max_speedup_vs_j1": max_speedup,
+        "serial_equivalence": {str(j): equivalence[j] for j in equivalence},
+        "notes": notes,
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out} (host_cores={host_cores})")
+    for j in jobs_list:
+        c = curve[j]
+        eq = equivalence.get(j, {}).get("identical")
+        eq_str = "" if j == 1 else f", identical to j1: {eq}"
+        print(f"  jobs={j}: {c['wall_seconds']}s, "
+              f"{c['runs_per_sec']} runs/s, "
+              f"{c['speedup_vs_j1']}x{eq_str}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build-release-bench")
@@ -307,11 +426,23 @@ def main():
                          "and write BENCH_obs.json instead")
     ap.add_argument("--hotpath-ref", default="BENCH_hotpath.json",
                     help="reference for the --obs baseline check")
+    ap.add_argument("--parallel", action="store_true",
+                    help="measure the sweep engine's --jobs scaling "
+                         "(chaos harness) and write BENCH_parallel.json "
+                         "instead")
+    ap.add_argument("--parallel-seeds", default="1,2,3,4,5,6,7,8",
+                    help="seed grid for --parallel")
+    ap.add_argument("--jobs-list", default="1,2,4,8",
+                    help="--jobs values to time for --parallel")
     args = ap.parse_args()
 
     if args.obs:
         args.out = args.out or "BENCH_obs.json"
         run_obs_mode(args)
+        return
+    if args.parallel:
+        args.out = args.out or "BENCH_parallel.json"
+        run_parallel_mode(args)
         return
     args.out = args.out or "BENCH_hotpath.json"
 

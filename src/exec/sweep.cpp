@@ -1,0 +1,10 @@
+#include "exec/sweep.hpp"
+
+namespace qv::exec {
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs == 0) return ThreadPool::hardware_jobs();
+  return jobs;
+}
+
+}  // namespace qv::exec

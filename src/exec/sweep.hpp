@@ -1,0 +1,80 @@
+// Deterministic parallel sweep: run N independent cells (whole
+// simulation runs) across a work-stealing pool and hand the results
+// back in GRID ORDER, so a sweep at --jobs N is indistinguishable from
+// --jobs 1 in everything but wall-clock.
+//
+// The determinism contract has two halves:
+//
+//  1. The engine's half (this file): results land in a slot vector
+//     indexed by cell, reductions happen on the calling thread after
+//     wait_idle(), and cell exceptions are rethrown in grid order — so
+//     scheduling order can never leak into output order.
+//
+//  2. The cell's half (the caller): a cell must be a pure function of
+//     its index — it builds its OWN Simulator, RNG streams, metrics
+//     Registry, and Tracer, writes only cell-unique files, and touches
+//     no process-global mutable state. The repo-wide audit backing
+//     this is documented in DESIGN.md ("execution engine"); the
+//     single-owner asserts in util/random.hpp, obs/trace.hpp, and
+//     netsim/fault.hpp enforce the isolation cheaply in debug builds.
+//
+// jobs semantics everywhere: 0 = hardware_concurrency, 1 = run inline
+// on the calling thread (no pool, byte-for-byte the serial program),
+// N > 1 = pool of min(N, cells) workers.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace qv::exec {
+
+struct SweepOptions {
+  std::size_t jobs = 0;  ///< 0 = hardware_concurrency
+};
+
+/// 0 -> hardware_concurrency, otherwise identity (floor 1).
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// Run `cell(0..cells-1)` and return the results indexed by cell. The
+/// result vector is identical for every jobs value; if any cell threw,
+/// the exception of the LOWEST-indexed failing cell is rethrown (after
+/// every other cell has finished, so no work is torn down mid-run).
+template <typename Result, typename Fn>
+std::vector<Result> run_sweep(std::size_t cells, Fn&& cell,
+                              SweepOptions opts = {}) {
+  std::vector<Result> results(cells);
+  if (cells == 0) return results;
+
+  const std::size_t jobs =
+      std::min(resolve_jobs(opts.jobs), cells);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < cells; ++i) results[i] = cell(i);
+    return results;
+  }
+
+  std::vector<std::exception_ptr> errors(cells);
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < cells; ++i) {
+      pool.submit([&results, &errors, &cell, i] {
+        try {
+          results[i] = cell(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return results;
+}
+
+}  // namespace qv::exec

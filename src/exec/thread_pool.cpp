@@ -1,0 +1,107 @@
+#include "exec/thread_pool.hpp"
+
+#include <utility>
+
+namespace qv::exec {
+
+std::size_t ThreadPool::hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_jobs();
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain first: everything submitted still runs (workers keep taking
+    // tasks while queued_ > 0 even after stop_ flips).
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = next_;
+    next_ = next_ + 1 == queues_.size() ? 0 : next_ + 1;
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> qlock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_take(std::size_t self, Task& out) {
+  // Own deque first (front)...
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> qlock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // ...then steal from the back of the others, starting just past self
+  // so victims rotate instead of piling onto worker 0.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> qlock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) {
+        if (stop_) return;
+        continue;  // spurious / raced wakeup
+      }
+    }
+    Task task;
+    if (!try_take(self, task)) continue;  // someone else got there first
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --queued_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace qv::exec

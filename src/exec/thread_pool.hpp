@@ -1,0 +1,78 @@
+// Work-stealing thread pool for the sweep engine.
+//
+// Each worker owns a deque: submit() distributes tasks round-robin
+// across the deques; a worker pops from the FRONT of its own deque and,
+// when empty, steals from the BACK of a victim's, so neighbours touch
+// opposite ends and long runs of tasks stay with the worker they were
+// dealt to. Tasks here are whole simulation runs (milliseconds to
+// seconds), so the pool optimizes for simplicity and correctness over
+// nanosecond dispatch: deques are mutex-guarded, and the idle/pending
+// bookkeeping lives under one pool mutex.
+//
+// Lifecycle contract:
+//  * every submitted task runs exactly once, even if the destructor is
+//    reached while tasks are queued (the destructor drains first);
+//  * wait_idle() blocks until every task submitted so far has finished;
+//  * tasks must not throw (wrap and capture — see sweep.hpp, which
+//    funnels cell exceptions into deterministic rethrow order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qv::exec {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// threads == 0 picks hardware_jobs().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; runs on some worker thread. Never blocks.
+  void submit(Task task);
+
+  /// Block until every task submitted so far has completed. The pool is
+  /// reusable afterwards (submit() again, wait_idle() again).
+  void wait_idle();
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0).
+  static std::size_t hardware_jobs();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_take(std::size_t self, Task& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Pool-wide bookkeeping (all under mu_): queued_ counts tasks sitting
+  // in some deque, pending_ counts submitted-but-unfinished tasks.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< queued_ > 0 or stopping
+  std::condition_variable idle_cv_;  ///< pending_ == 0
+  std::size_t queued_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t next_ = 0;  ///< round-robin dealing cursor
+  bool stop_ = false;
+};
+
+}  // namespace qv::exec

@@ -1,23 +1,34 @@
-// chaos: run the fault-injection harness and emit run artifacts:
+// chaos: run the fault-injection harness over a seed grid and emit each
+// cell's artifacts:
 //
-//   chaos_metrics.json  the full metrics registry (fault counters,
-//                       rollbacks/retries/reconciles, conservation)
-//   chaos_trace.json    Chrome trace-event timeline: link outage spans,
-//                       install failures, rollbacks, reconciles,
-//                       degraded enter/exit (runtime category)
+//   chaos[_s<seed>]_metrics.json  the full metrics registry (fault
+//                                 counters, rollbacks/retries/
+//                                 reconciles, conservation)
+//   chaos[_s<seed>]_trace.json    Chrome trace-event timeline: link
+//                                 outage spans, install failures,
+//                                 rollbacks, reconciles, degraded
+//                                 enter/exit (runtime category)
+//   chaos_summary.json            the whole grid, in grid order
 //
-// Exits non-zero when an invariant fails, so CI can run it directly.
+// Seeds fan across cores (--jobs, default hardware_concurrency); every
+// artifact except trace.json is byte-identical for every --jobs value.
+// Exits non-zero when any seed's invariant fails, so CI can run the
+// whole former seed-matrix as ONE invocation.
 #include <cstdio>
 #include <string>
 
-#include "experiments/chaos.hpp"
-#include "obs/obs.hpp"
+#include "experiments/sweeps.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
   qv::Flags flags;
   flags.define_int("seed", 1, "fault-schedule RNG seed");
+  flags.define_string("seeds", "", "comma-separated seed list (grid axis); "
+                      "overrides --seed");
   flags.define_string("out", ".", "output directory for run artifacts");
+  flags.define_int("jobs", 0,
+                   "parallel runs (0 = hardware concurrency, 1 = serial; "
+                   "output is byte-identical either way)");
   flags.define_bool("faults", true, "arm the random data-plane faults");
   flags.define_bool("control-faults", true,
                     "inject the install-fault window + agent reboot");
@@ -27,63 +38,37 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
   if (flags.help_requested()) return 0;
 
-  qv::obs::Observability obs(
-      static_cast<std::size_t>(flags.get_int("trace-capacity")));
-  if (flags.get_bool("trace")) {
-    obs.tracer.set_mask(
-        qv::obs::trace_bit(qv::obs::TraceCategory::kSched) |
-        qv::obs::trace_bit(qv::obs::TraceCategory::kQvisor) |
-        qv::obs::trace_bit(qv::obs::TraceCategory::kRuntime));
+  qv::experiments::ChaosSweepConfig sweep;
+  sweep.base.faults = flags.get_bool("faults");
+  sweep.base.control_faults = flags.get_bool("control-faults");
+  if (!flags.get_string("seeds").empty()) {
+    bool ok = false;
+    sweep.seeds =
+        qv::experiments::parse_u64_list(flags.get_string("seeds"), &ok);
+    if (!ok) {
+      std::fprintf(stderr, "chaos: bad --seeds '%s'\n",
+                   flags.get_string("seeds").c_str());
+      return 1;
+    }
+  } else {
+    sweep.seeds = {static_cast<std::uint64_t>(flags.get_int("seed"))};
   }
+  sweep.out_dir = flags.get_string("out");
+  sweep.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  sweep.obs.trace = flags.get_bool("trace");
+  sweep.obs.trace_capacity =
+      static_cast<std::size_t>(flags.get_int("trace-capacity"));
 
-  qv::experiments::ChaosConfig config;
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  config.faults = flags.get_bool("faults");
-  config.control_faults = flags.get_bool("control-faults");
-  config.obs = &obs;
-
-  const auto result = qv::experiments::run_chaos(config);
-
-  const std::string base = flags.get_string("out") + "/chaos";
-  qv::obs::save_metrics_json(base + "_metrics.json", obs.registry);
-  qv::obs::save_trace_json(base + "_trace.json", obs.tracer);
-
-  std::printf("chaos (seed %llu)\n",
-              static_cast<unsigned long long>(config.seed));
-  std::printf(
-      "  offered %llu + injected %llu = delivered %llu + queue-drop %llu"
-      " + fault-drop %llu + buffered %llu (conserved: %s)\n",
-      static_cast<unsigned long long>(result.offered_pkts),
-      static_cast<unsigned long long>(result.injected_pkts),
-      static_cast<unsigned long long>(result.delivered_pkts),
-      static_cast<unsigned long long>(result.queue_dropped_pkts),
-      static_cast<unsigned long long>(result.fault_dropped_pkts),
-      static_cast<unsigned long long>(result.buffered_pkts),
-      result.conserved ? "yes" : "NO");
-  std::printf(
-      "  link downs/ups %llu/%llu, epoch mismatches %llu, epochs %s\n",
-      static_cast<unsigned long long>(result.link_downs),
-      static_cast<unsigned long long>(result.link_ups),
-      static_cast<unsigned long long>(result.epoch_mismatches),
-      result.epochs_consistent ? "consistent" : "INCONSISTENT");
-  std::printf(
-      "  adaptations %llu, retries %llu, rollbacks %llu, reconciles %llu,"
-      " degraded %llu/%llu\n",
-      static_cast<unsigned long long>(result.adaptations),
-      static_cast<unsigned long long>(result.retries),
-      static_cast<unsigned long long>(result.rollbacks),
-      static_cast<unsigned long long>(result.reconciles),
-      static_cast<unsigned long long>(result.degraded_entries),
-      static_cast<unsigned long long>(result.recoveries));
-  std::printf("  plan: %s\n", result.plan_fingerprint.c_str());
-  std::printf("  artifacts: %s_{metrics.json,trace.json}\n", base.c_str());
-
-  const bool ok =
-      result.conserved && result.epoch_mismatches == 0 &&
-      result.epochs_consistent &&
-      (!config.control_faults ||
-       (result.rollbacks > 0 && result.retries > 0 &&
-        result.reconciles > 0));
-  if (!ok) std::fprintf(stderr, "chaos: INVARIANT VIOLATED\n");
-  return ok ? 0 : 1;
+  const auto cells = qv::experiments::run_chaos_sweep(sweep);
+  bool all_ok = true;
+  for (const auto& cell : cells) {
+    if (!cell.log.empty()) std::fputs(cell.log.c_str(), stderr);
+    std::fputs(cell.summary.c_str(), stdout);
+    if (!cell.ok) {
+      std::fprintf(stderr, "chaos: INVARIANT VIOLATED (%s)\n",
+                   cell.stem.c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
 }

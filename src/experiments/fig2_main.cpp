@@ -1,52 +1,35 @@
-// fig2: run one scheme of the paper's Fig. 2 scenario and emit the run
-// artifacts next to each other in --out:
+// fig2: run the paper's Fig. 2 scenario — one scheme, a list of
+// schemes, or the whole grid crossed with a seed list — and emit each
+// cell's artifacts next to each other in --out:
 //
-//   fig2_<scheme>_flows.csv   per-flow records (plotting input)
-//   fig2_<scheme>_metrics.json  the full metrics registry
-//   fig2_<scheme>_trace.json  Chrome trace-event timeline (Perfetto)
+//   fig2_<scheme>[_s<seed>]_flows.csv    per-flow records
+//   fig2_<scheme>[_s<seed>]_metrics.json the full metrics registry
+//   fig2_<scheme>[_s<seed>]_trace.json   Chrome trace-event timeline
+//   fig2_summary.json                    the whole grid, in grid order
 //
-// Simulator dispatch spans are the bulk of a trace, so the `sim`
-// category is opt-in via --trace-sim; scheduler/qvisor/runtime events
-// are on whenever tracing is (--no-trace disables it entirely).
+// The grid fans across cores (--jobs, default hardware_concurrency);
+// artifacts and summaries are byte-identical for every --jobs value
+// (trace.json excepted: its span durations record wall-clock handler
+// cost by design). Simulator dispatch spans are the bulk of a trace,
+// so the `sim` category is opt-in via --trace-sim; --no-trace disables
+// the timeline entirely.
 #include <cstdio>
 #include <string>
 
-#include "experiments/fig2.hpp"
-#include "obs/obs.hpp"
+#include "experiments/sweeps.hpp"
 #include "util/flags.hpp"
-
-namespace {
-
-bool parse_scheme(const std::string& name,
-                  qv::experiments::Fig2Scheme* out) {
-  using qv::experiments::Fig2Scheme;
-  if (name == "fifo") *out = Fig2Scheme::kFifo;
-  else if (name == "pifo") *out = Fig2Scheme::kPifoNaive;
-  else if (name == "qvisor") *out = Fig2Scheme::kQvisor;
-  else if (name == "qvisor-adapt") *out = Fig2Scheme::kQvisorAdapt;
-  else return false;
-  return true;
-}
-
-const char* scheme_slug(qv::experiments::Fig2Scheme s) {
-  using qv::experiments::Fig2Scheme;
-  switch (s) {
-    case Fig2Scheme::kFifo: return "fifo";
-    case Fig2Scheme::kPifoNaive: return "pifo";
-    case Fig2Scheme::kQvisor: return "qvisor";
-    case Fig2Scheme::kQvisorAdapt: return "qvisor-adapt";
-  }
-  return "unknown";
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   qv::Flags flags;
   flags.define_string("scheme", "qvisor-adapt",
-                      "fifo | pifo | qvisor | qvisor-adapt");
+                      "fifo | pifo | qvisor | qvisor-adapt | all");
+  flags.define_string("seeds", "", "comma-separated seed list (grid axis); "
+                      "overrides --seed");
   flags.define_string("out", ".", "output directory for run artifacts");
   flags.define_int("seed", 1, "workload RNG seed");
+  flags.define_int("jobs", 0,
+                   "parallel runs (0 = hardware concurrency, 1 = serial; "
+                   "output is byte-identical either way)");
   flags.define_int("sample-interval-us", 100,
                    "periodic sampler cadence (simulated microseconds)");
   flags.define_int("trace-capacity", 1 << 16,
@@ -57,49 +40,42 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
   if (flags.help_requested()) return 0;
 
-  qv::experiments::Fig2Config config;
-  if (!parse_scheme(flags.get_string("scheme"), &config.scheme)) {
-    std::fprintf(stderr, "fig2: unknown --scheme '%s'\n",
-                 flags.get_string("scheme").c_str());
-    return 1;
-  }
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-
-  qv::obs::Observability obs(
-      static_cast<std::size_t>(flags.get_int("trace-capacity")));
-  obs.sample_interval = qv::microseconds(flags.get_int("sample-interval-us"));
-  if (flags.get_bool("trace")) {
-    std::uint32_t mask = qv::obs::trace_bit(qv::obs::TraceCategory::kSched) |
-                         qv::obs::trace_bit(qv::obs::TraceCategory::kQvisor) |
-                         qv::obs::trace_bit(qv::obs::TraceCategory::kRuntime);
-    if (flags.get_bool("trace-sim")) {
-      mask |= qv::obs::trace_bit(qv::obs::TraceCategory::kSim);
+  qv::experiments::Fig2SweepConfig sweep;
+  const std::string scheme = flags.get_string("scheme");
+  if (scheme == "all") {
+    sweep.schemes = qv::experiments::fig2_all_schemes();
+  } else {
+    qv::experiments::Fig2Scheme one;
+    if (!qv::experiments::parse_fig2_scheme(scheme, &one)) {
+      std::fprintf(stderr, "fig2: unknown --scheme '%s'\n", scheme.c_str());
+      return 1;
     }
-    obs.tracer.set_mask(mask);
+    sweep.schemes = {one};
   }
+  if (!flags.get_string("seeds").empty()) {
+    bool ok = false;
+    sweep.seeds = qv::experiments::parse_u64_list(flags.get_string("seeds"),
+                                                  &ok);
+    if (!ok) {
+      std::fprintf(stderr, "fig2: bad --seeds '%s'\n",
+                   flags.get_string("seeds").c_str());
+      return 1;
+    }
+  } else {
+    sweep.seeds = {static_cast<std::uint64_t>(flags.get_int("seed"))};
+  }
+  sweep.out_dir = flags.get_string("out");
+  sweep.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  sweep.obs.trace = flags.get_bool("trace");
+  sweep.obs.trace_sim = flags.get_bool("trace-sim");
+  sweep.obs.trace_capacity =
+      static_cast<std::size_t>(flags.get_int("trace-capacity"));
+  sweep.obs.sample_interval_us = flags.get_int("sample-interval-us");
 
-  const std::string base =
-      flags.get_string("out") + "/fig2_" + scheme_slug(config.scheme);
-  config.obs = &obs;
-  config.flow_csv = base + "_flows.csv";
-
-  const auto result = qv::experiments::run_fig2(config);
-
-  qv::obs::save_metrics_json(base + "_metrics.json", obs.registry);
-  qv::obs::save_trace_json(base + "_trace.json", obs.tracer);
-
-  std::printf("fig2 %s (seed %llu)\n",
-              qv::experiments::fig2_scheme_name(config.scheme),
-              static_cast<unsigned long long>(config.seed));
-  std::printf("  interactive: mean FCT %.3f ms, p99 %.3f ms (%zu flows)\n",
-              result.interactive_mean_fct_ms, result.interactive_p99_fct_ms,
-              result.interactive_flows);
-  std::printf("  deadline met: %.3f\n", result.deadline_met);
-  std::printf("  background: phase1 %.3f Gb/s, phase2 %.3f Gb/s\n",
-              result.background_phase1_gbps, result.background_phase2_gbps);
-  std::printf("  adaptations: %llu\n",
-              static_cast<unsigned long long>(result.adaptations));
-  std::printf("  artifacts: %s_{flows.csv,metrics.json,trace.json}\n",
-              base.c_str());
+  const auto cells = qv::experiments::run_fig2_sweep(sweep);
+  for (const auto& cell : cells) {
+    if (!cell.log.empty()) std::fputs(cell.log.c_str(), stderr);
+    std::fputs(cell.summary.c_str(), stdout);
+  }
   return 0;
 }

@@ -1,57 +1,39 @@
-// fig4: run one (scheme, load) point of the paper's Fig. 4 evaluation
-// on the scaled-down leaf-spine topology and emit the artifacts:
+// fig4: run the paper's Fig. 4 evaluation — one (scheme, load) point
+// or a schemes x loads x seeds grid — on the scaled-down leaf-spine
+// topology and emit each cell's artifacts:
 //
-//   fig4_<scheme>_flows.csv     measured pFabric flow records
-//   fig4_<scheme>_metrics.json  the full metrics registry
-//   fig4_<scheme>_trace.json    Chrome trace-event timeline (Perfetto)
+//   fig4_<scheme>[_l<load%>][_s<seed>]_flows.csv     pFabric flow records
+//   fig4_<scheme>[_l<load%>][_s<seed>]_metrics.json  metrics registry
+//   fig4_<scheme>[_l<load%>][_s<seed>]_trace.json    timeline (Perfetto)
+//   fig4_summary.json                                grid, in grid order
 //
+// The grid fans across cores (--jobs); output is byte-identical for
+// every --jobs value (trace.json excepted — wall-clock span durations).
 // See fig2_main.cpp for the tracing flags; --paper-topo switches to the
 // paper-scale fabric (much slower).
 #include <cstdio>
 #include <string>
 
-#include "experiments/fig4.hpp"
-#include "obs/obs.hpp"
+#include "experiments/sweeps.hpp"
 #include "util/flags.hpp"
-
-namespace {
-
-bool parse_scheme(const std::string& name,
-                  qv::experiments::Fig4Scheme* out) {
-  using qv::experiments::Fig4Scheme;
-  if (name == "fifo") *out = Fig4Scheme::kFifoBoth;
-  else if (name == "pifo") *out = Fig4Scheme::kPifoNaive;
-  else if (name == "pifo-ideal") *out = Fig4Scheme::kPifoIdeal;
-  else if (name == "qvisor-edf") *out = Fig4Scheme::kQvisorEdfOverPfabric;
-  else if (name == "qvisor-share") *out = Fig4Scheme::kQvisorShare;
-  else if (name == "qvisor-pfabric") *out = Fig4Scheme::kQvisorPfabricOverEdf;
-  else return false;
-  return true;
-}
-
-const char* scheme_slug(qv::experiments::Fig4Scheme s) {
-  using qv::experiments::Fig4Scheme;
-  switch (s) {
-    case Fig4Scheme::kFifoBoth: return "fifo";
-    case Fig4Scheme::kPifoNaive: return "pifo";
-    case Fig4Scheme::kPifoIdeal: return "pifo-ideal";
-    case Fig4Scheme::kQvisorEdfOverPfabric: return "qvisor-edf";
-    case Fig4Scheme::kQvisorShare: return "qvisor-share";
-    case Fig4Scheme::kQvisorPfabricOverEdf: return "qvisor-pfabric";
-  }
-  return "unknown";
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   qv::Flags flags;
   flags.define_string(
       "scheme", "qvisor-pfabric",
-      "fifo | pifo | pifo-ideal | qvisor-edf | qvisor-share | qvisor-pfabric");
+      "fifo | pifo | pifo-ideal | qvisor-edf | qvisor-share | "
+      "qvisor-pfabric | all");
   flags.define_double("load", 0.5, "pFabric tenant access-link load");
+  flags.define_string("loads", "",
+                      "comma-separated load list (grid axis); overrides "
+                      "--load");
+  flags.define_string("seeds", "", "comma-separated seed list (grid axis); "
+                      "overrides --seed");
   flags.define_string("out", ".", "output directory for run artifacts");
   flags.define_int("seed", 1, "workload RNG seed");
+  flags.define_int("jobs", 0,
+                   "parallel runs (0 = hardware concurrency, 1 = serial; "
+                   "output is byte-identical either way)");
   flags.define_bool("paper-topo", false,
                     "paper-scale 144-host fabric instead of the scaled one");
   flags.define_int("sample-interval-us", 100,
@@ -64,54 +46,57 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
   if (flags.help_requested()) return 0;
 
-  qv::experiments::Fig4Config config =
-      flags.get_bool("paper-topo") ? qv::experiments::fig4_paper_config()
-                                   : qv::experiments::fig4_scaled_config();
-  if (!parse_scheme(flags.get_string("scheme"), &config.scheme)) {
-    std::fprintf(stderr, "fig4: unknown --scheme '%s'\n",
-                 flags.get_string("scheme").c_str());
-    return 1;
-  }
-  config.load = flags.get_double("load");
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-
-  qv::obs::Observability obs(
-      static_cast<std::size_t>(flags.get_int("trace-capacity")));
-  obs.sample_interval = qv::microseconds(flags.get_int("sample-interval-us"));
-  if (flags.get_bool("trace")) {
-    std::uint32_t mask = qv::obs::trace_bit(qv::obs::TraceCategory::kSched) |
-                         qv::obs::trace_bit(qv::obs::TraceCategory::kQvisor) |
-                         qv::obs::trace_bit(qv::obs::TraceCategory::kRuntime);
-    if (flags.get_bool("trace-sim")) {
-      mask |= qv::obs::trace_bit(qv::obs::TraceCategory::kSim);
+  qv::experiments::Fig4SweepConfig sweep;
+  sweep.base = flags.get_bool("paper-topo")
+                   ? qv::experiments::fig4_paper_config()
+                   : qv::experiments::fig4_scaled_config();
+  const std::string scheme = flags.get_string("scheme");
+  if (scheme == "all") {
+    sweep.schemes = qv::experiments::fig4_all_schemes();
+  } else {
+    qv::experiments::Fig4Scheme one;
+    if (!qv::experiments::parse_fig4_scheme(scheme, &one)) {
+      std::fprintf(stderr, "fig4: unknown --scheme '%s'\n", scheme.c_str());
+      return 1;
     }
-    obs.tracer.set_mask(mask);
+    sweep.schemes = {one};
   }
+  if (!flags.get_string("loads").empty()) {
+    bool ok = false;
+    sweep.loads =
+        qv::experiments::parse_double_list(flags.get_string("loads"), &ok);
+    if (!ok) {
+      std::fprintf(stderr, "fig4: bad --loads '%s'\n",
+                   flags.get_string("loads").c_str());
+      return 1;
+    }
+  } else {
+    sweep.loads = {flags.get_double("load")};
+  }
+  if (!flags.get_string("seeds").empty()) {
+    bool ok = false;
+    sweep.seeds =
+        qv::experiments::parse_u64_list(flags.get_string("seeds"), &ok);
+    if (!ok) {
+      std::fprintf(stderr, "fig4: bad --seeds '%s'\n",
+                   flags.get_string("seeds").c_str());
+      return 1;
+    }
+  } else {
+    sweep.seeds = {static_cast<std::uint64_t>(flags.get_int("seed"))};
+  }
+  sweep.out_dir = flags.get_string("out");
+  sweep.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  sweep.obs.trace = flags.get_bool("trace");
+  sweep.obs.trace_sim = flags.get_bool("trace-sim");
+  sweep.obs.trace_capacity =
+      static_cast<std::size_t>(flags.get_int("trace-capacity"));
+  sweep.obs.sample_interval_us = flags.get_int("sample-interval-us");
 
-  const std::string base =
-      flags.get_string("out") + "/fig4_" + scheme_slug(config.scheme);
-  config.obs = &obs;
-  config.flow_csv = base + "_flows.csv";
-
-  const auto result = qv::experiments::run_fig4(config);
-
-  qv::obs::save_metrics_json(base + "_metrics.json", obs.registry);
-  qv::obs::save_trace_json(base + "_trace.json", obs.tracer);
-
-  std::printf("fig4 %s, load %.2f (seed %llu)\n",
-              qv::experiments::fig4_scheme_name(config.scheme), config.load,
-              static_cast<unsigned long long>(config.seed));
-  std::printf("  small flows: mean %.3f ms (lb %.3f), p99 %.3f ms (%zu)\n",
-              result.mean_small_ms, result.mean_small_lb_ms,
-              result.p99_small_ms, result.small_flows);
-  std::printf("  large flows: mean %.3f ms (lb %.3f) (%zu)\n",
-              result.mean_large_ms, result.mean_large_lb_ms,
-              result.large_flows);
-  std::printf("  EDF deadline met: %.3f, drops %llu, events %llu\n",
-              result.edf_deadline_met,
-              static_cast<unsigned long long>(result.drops),
-              static_cast<unsigned long long>(result.events));
-  std::printf("  artifacts: %s_{flows.csv,metrics.json,trace.json}\n",
-              base.c_str());
+  const auto cells = qv::experiments::run_fig4_sweep(sweep);
+  for (const auto& cell : cells) {
+    if (!cell.log.empty()) std::fputs(cell.log.c_str(), stderr);
+    std::fputs(cell.summary.c_str(), stdout);
+  }
   return 0;
 }

@@ -1,118 +1,89 @@
-// overload: run the adversarial-tenant harness and emit run artifacts:
+// overload: run the adversarial-tenant harness over a modes x seeds
+// grid and emit each cell's artifacts:
 //
-//   overload_metrics.json  the full metrics registry of the attack run
-//                          (per-tenant admission counters, monitor
-//                          observations, quarantine activity)
-//   overload_trace.json    Chrome trace-event timeline: admission
-//                          throttle engaging, verdict escalations,
-//                          quarantine/unquarantine instants
+//   overload_<mode>[_s<seed>]_metrics.json  metrics registry of the
+//                                           attack run (per-tenant
+//                                           admission counters, monitor
+//                                           observations, quarantines)
+//   overload_<mode>[_s<seed>]_trace.json    timeline: admission throttle
+//                                           engaging, verdict
+//                                           escalations, quarantine
+//                                           instants
+//   overload_summary.json                   the whole grid, grid order
 //
-// Exits non-zero when the isolation contract fails, so CI can run it
-// directly (one invocation per adversary mode).
+// Cells fan across cores (--jobs); every artifact except trace.json is
+// byte-identical for every --jobs value. Exits non-zero when any
+// cell's isolation contract fails, so CI can run the whole former
+// mode x seed matrix as ONE invocation.
 #include <cstdio>
 #include <string>
 
-#include "experiments/overload.hpp"
-#include "obs/obs.hpp"
+#include "experiments/sweeps.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
   qv::Flags flags;
   flags.define_int("seed", 1, "adversary RNG seed");
+  flags.define_string("seeds", "", "comma-separated seed list (grid axis); "
+                      "overrides --seed");
   flags.define_string("mode", "flooder",
-                      "adversary mode: flooder | gamer | churn | herd");
+                      "adversary mode: flooder | gamer | churn | herd | all");
   flags.define_bool("guard", true,
                     "enable the admission guard (off = demonstration)");
   flags.define_string("out", ".", "output directory for run artifacts");
+  flags.define_int("jobs", 0,
+                   "parallel runs (0 = hardware concurrency, 1 = serial; "
+                   "output is byte-identical either way)");
   flags.define_int("trace-capacity", 1 << 16,
                    "trace ring capacity (events; oldest overwritten)");
   flags.define_bool("trace", true, "emit the timeline trace at all");
   if (!flags.parse(argc, argv)) return 1;
   if (flags.help_requested()) return 0;
 
-  qv::trafficgen::AdversaryMode mode;
-  if (!qv::trafficgen::parse_adversary_mode(flags.get_string("mode"),
-                                            &mode)) {
-    std::fprintf(stderr, "overload: unknown mode '%s'\n",
-                 flags.get_string("mode").c_str());
-    return 1;
+  qv::experiments::OverloadSweepConfig sweep;
+  const std::string mode = flags.get_string("mode");
+  if (mode == "all") {
+    sweep.modes = {qv::trafficgen::AdversaryMode::kFlooder,
+                   qv::trafficgen::AdversaryMode::kRankGamer,
+                   qv::trafficgen::AdversaryMode::kTenantChurn,
+                   qv::trafficgen::AdversaryMode::kBurstHerd};
+  } else {
+    qv::trafficgen::AdversaryMode one;
+    if (!qv::trafficgen::parse_adversary_mode(mode, &one)) {
+      std::fprintf(stderr, "overload: unknown mode '%s'\n", mode.c_str());
+      return 1;
+    }
+    sweep.modes = {one};
   }
-
-  qv::obs::Observability obs(
-      static_cast<std::size_t>(flags.get_int("trace-capacity")));
-  if (flags.get_bool("trace")) {
-    obs.tracer.set_mask(
-        qv::obs::trace_bit(qv::obs::TraceCategory::kSched) |
-        qv::obs::trace_bit(qv::obs::TraceCategory::kQvisor) |
-        qv::obs::trace_bit(qv::obs::TraceCategory::kRuntime));
+  if (!flags.get_string("seeds").empty()) {
+    bool ok = false;
+    sweep.seeds =
+        qv::experiments::parse_u64_list(flags.get_string("seeds"), &ok);
+    if (!ok) {
+      std::fprintf(stderr, "overload: bad --seeds '%s'\n",
+                   flags.get_string("seeds").c_str());
+      return 1;
+    }
+  } else {
+    sweep.seeds = {static_cast<std::uint64_t>(flags.get_int("seed"))};
   }
+  sweep.base.guard = flags.get_bool("guard");
+  sweep.out_dir = flags.get_string("out");
+  sweep.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  sweep.obs.trace = flags.get_bool("trace");
+  sweep.obs.trace_capacity =
+      static_cast<std::size_t>(flags.get_int("trace-capacity"));
 
-  qv::experiments::OverloadConfig config;
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  config.mode = mode;
-  config.guard = flags.get_bool("guard");
-  config.obs = &obs;
-
-  const auto result = qv::experiments::run_overload(config);
-  const auto& atk = result.attack;
-  const auto& base = result.baseline;
-
-  const std::string stem =
-      flags.get_string("out") + "/overload_" + flags.get_string("mode");
-  qv::obs::save_metrics_json(stem + "_metrics.json", obs.registry);
-  qv::obs::save_trace_json(stem + "_trace.json", obs.tracer);
-
-  std::printf("overload (mode %s, seed %llu, guard %s)\n",
-              qv::trafficgen::adversary_mode_name(mode),
-              static_cast<unsigned long long>(config.seed),
-              config.guard ? "on" : "off");
-  const auto victim = [](const char* name,
-                         const qv::experiments::OverloadTenantStats& b,
-                         const qv::experiments::OverloadTenantStats& a) {
-    std::printf(
-        "  %s: delivered %llu -> %llu bytes (%.1f%%), p99 %lld -> %lld ns\n",
-        name, static_cast<unsigned long long>(b.delivered_bytes),
-        static_cast<unsigned long long>(a.delivered_bytes),
-        b.delivered_bytes == 0
-            ? 0.0
-            : 100.0 * static_cast<double>(a.delivered_bytes) /
-                  static_cast<double>(b.delivered_bytes),
-        static_cast<long long>(b.p99_latency),
-        static_cast<long long>(a.p99_latency));
-  };
-  victim("gold  ", base.gold, atk.gold);
-  victim("silver", base.silver, atk.silver);
-  std::printf(
-      "  attacker: offered %llu bytes, admitted %llu bytes, drops"
-      " rate/share/quantile %llu/%llu/%llu\n",
-      static_cast<unsigned long long>(atk.attacker.offered_bytes),
-      static_cast<unsigned long long>(atk.attacker_admitted_bytes),
-      static_cast<unsigned long long>(atk.guard_rate_dropped),
-      static_cast<unsigned long long>(atk.guard_share_dropped),
-      static_cast<unsigned long long>(atk.guard_quantile_dropped));
-  std::printf(
-      "  quarantines %llu, unquarantines %llu, spill tracked max %zu"
-      " (evictions %llu), monitor tracked max %zu (untracked %llu)\n",
-      static_cast<unsigned long long>(atk.quarantines),
-      static_cast<unsigned long long>(atk.unquarantines),
-      atk.max_spill_tracked,
-      static_cast<unsigned long long>(atk.spill_evictions),
-      atk.max_tracked_tenants,
-      static_cast<unsigned long long>(atk.untracked_observations));
-  std::printf(
-      "  checks: conserved %s/%s, guard-balanced %s, accounting %s,"
-      " throughput %s, latency %s, throttled %s, quarantined %s,"
-      " bounded %s\n",
-      base.conserved ? "yes" : "NO", atk.conserved ? "yes" : "NO",
-      atk.guard_balanced ? "yes" : "NO",
-      atk.accounting_balanced ? "yes" : "NO",
-      result.victims_throughput_ok ? "yes" : "NO",
-      result.victims_latency_ok ? "yes" : "NO",
-      result.attacker_throttled ? "yes" : "NO",
-      result.attacker_quarantined ? "yes" : "NO",
-      result.state_bounded ? "yes" : "NO");
-  std::printf("  artifacts: %s_{metrics.json,trace.json}\n", stem.c_str());
-
-  if (!result.ok) std::fprintf(stderr, "overload: ISOLATION VIOLATED\n");
-  return result.ok ? 0 : 1;
+  const auto cells = qv::experiments::run_overload_sweep(sweep);
+  bool all_ok = true;
+  for (const auto& cell : cells) {
+    if (!cell.log.empty()) std::fputs(cell.log.c_str(), stderr);
+    std::fputs(cell.summary.c_str(), stdout);
+    if (!cell.ok) {
+      std::fprintf(stderr, "overload: ISOLATION VIOLATED (%s)\n",
+                   cell.stem.c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
 }

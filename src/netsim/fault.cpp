@@ -111,6 +111,7 @@ FaultPlan random_fault_plan(std::uint64_t seed, std::size_t num_links,
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {
+  affinity_.check();  // single-owner; compiles away under NDEBUG
   injector_seed_ = plan.seed;
   const auto& links = net_.links();
   for (std::size_t i = 0; i < links.size(); ++i) {
@@ -124,6 +125,7 @@ void FaultInjector::arm(const FaultPlan& plan) {
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {
+  affinity_.check();
   assert(ev.link < net_.links().size());
   Link& link = *net_.links()[ev.link];
   switch (ev.kind) {

@@ -19,6 +19,7 @@
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_affinity.hpp"
 
 namespace qv::netsim {
 
@@ -87,6 +88,9 @@ struct FaultPlan {
 FaultPlan random_fault_plan(std::uint64_t seed, std::size_t num_links,
                             const RandomFaultConfig& cfg);
 
+/// Owned by one run: the injector, its Simulator, and its Network all
+/// belong to a single sweep cell (one thread) — concurrent cells arm
+/// their own injectors (asserted in debug builds via ThreadAffinity).
 class FaultInjector {
  public:
   FaultInjector(Simulator& sim, Network& net) : sim_(sim), net_(net) {}
@@ -117,6 +121,7 @@ class FaultInjector {
   std::uint64_t link_ups_ = 0;
   std::uint64_t pressure_injected_ = 0;
   std::uint64_t pressure_injected_bytes_ = 0;
+  [[no_unique_address]] ThreadAffinity affinity_;
 };
 
 }  // namespace qv::netsim

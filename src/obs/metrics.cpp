@@ -6,7 +6,7 @@
 
 namespace qv::obs {
 
-std::uint64_t Counter::scrap_ = 0;
+thread_local std::uint64_t Counter::scrap_ = 0;
 
 Counter Registry::counter(const std::string& name) {
   auto it = owned_.find(name);

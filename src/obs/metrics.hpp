@@ -7,8 +7,16 @@
 //    a pointer to a plain uint64_t slot inside the registry's slab
 //    (a deque, so slots never move). Counter::inc() is a single
 //    indirect increment: no hashing, no branching, no allocation. A
-//    default-constructed Counter writes to a process-wide scrap slot,
+//    default-constructed Counter writes to a per-THREAD scrap slot,
 //    so instrumented code needs no "is observability on?" branches.
+//
+// Thread contract: a Registry and every handle it minted are owned by
+// one run (one sweep-worker thread) at a time — the exec engine runs
+// many Simulators in one process, each with its own Registry. The
+// scrap slot backing detached handles is thread_local precisely so
+// concurrent runs' detached increments never share a cache line or
+// race (a process-wide slot here was a real TSan-reported data race
+// under parallel sweeps; see tests/exec/metrics_threads_test.cpp).
 //
 //  * counter views — counter_view(name, &slot) registers a read-only
 //    pointer to a counter the component already maintains (e.g.
@@ -39,11 +47,14 @@ namespace qv::obs {
 class Registry;
 
 /// Hot-path counter handle: one indirect uint64_t increment.
-/// Trivially copyable; default-constructed handles hit a shared scrap
-/// slot, so components can be instrumented unconditionally.
+/// Copyable; default-constructed handles hit the constructing thread's
+/// scrap slot, so components can be instrumented unconditionally. Like
+/// every handle, a detached Counter is single-owner: it must be
+/// incremented only on the thread that constructed it (the sweep
+/// engine's per-run isolation guarantees this for experiment code).
 class Counter {
  public:
-  Counter() = default;
+  Counter() : slot_(&scrap_) {}
 
   void inc(std::uint64_t delta = 1) { *slot_ += delta; }
   std::uint64_t value() const { return *slot_; }
@@ -52,8 +63,8 @@ class Counter {
   friend class Registry;
   explicit Counter(std::uint64_t* slot) : slot_(slot) {}
 
-  static std::uint64_t scrap_;
-  std::uint64_t* slot_ = &scrap_;
+  static thread_local std::uint64_t scrap_;
+  std::uint64_t* slot_;
 };
 
 class Registry {

@@ -20,7 +20,10 @@
 //
 // Events carry a `tid` lane: Perfetto renders one row per tid, so
 // per-port queue depth counters and per-port enqueue/drop instants get
-// their own labelled swimlanes (set_thread_name).
+// their own labelled swimlanes (set_thread_name). The `tid` is a
+// SIMULATED lane, not an OS thread: a Tracer is owned by one run (one
+// sweep-worker thread), asserted in debug builds via ThreadAffinity —
+// concurrent runs each carry their own ring.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_affinity.hpp"
 #include "util/time.hpp"
 
 namespace qv::obs {
@@ -110,6 +114,7 @@ class Tracer {
 
  private:
   void push(const TraceEvent& e) {
+    affinity_.check();  // single-owner; compiles away under NDEBUG
     ring_[next_] = e;
     next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
     if (count_ < ring_.size()) {
@@ -126,6 +131,7 @@ class Tracer {
   std::uint32_t mask_ = 0;
   std::deque<std::string> interned_;
   std::map<std::uint32_t, std::string> thread_names_;
+  [[no_unique_address]] ThreadAffinity affinity_;
 };
 
 }  // namespace qv::obs

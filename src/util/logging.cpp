@@ -1,11 +1,16 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace qv {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Per-thread capture sink; null = stderr. Thread-local so a sweep
+/// worker's capture never sees another cell's records.
+thread_local std::string* t_sink = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,13 +27,29 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, std::string_view msg) {
+  if (t_sink != nullptr) {
+    t_sink->append("[");
+    t_sink->append(level_name(level));
+    t_sink->append("] ");
+    t_sink->append(msg);
+    t_sink->append("\n");
+    return;
+  }
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(msg.size()), msg.data());
 }
+
+ScopedLogCapture::ScopedLogCapture(std::string* out) : prev_(t_sink) {
+  t_sink = out;
+}
+
+ScopedLogCapture::~ScopedLogCapture() { t_sink = prev_; }
 
 }  // namespace qv

@@ -12,13 +12,33 @@ namespace qv {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global log threshold; messages below it are discarded.
+/// Global log threshold; messages below it are discarded. The level is
+/// atomic so sweep workers can log concurrently; set it once up front
+/// (mains), not from inside runs.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emit a log record (already formatted). Thread-compatible: the
-/// simulator is single-threaded; benches set the level once up front.
+/// Emit a log record (already formatted). Thread-safe: records go to
+/// this thread's capture buffer when one is installed (see
+/// ScopedLogCapture), otherwise to stderr in one fprintf.
 void log_message(LogLevel level, std::string_view msg);
+
+/// Redirect the CURRENT THREAD's log records into `*out` (appended,
+/// one "[LEVEL] msg\n" line each) for this object's lifetime. The
+/// sweep engine installs one per cell so concurrent runs' warnings
+/// never interleave on stderr — the reducer replays them in grid
+/// order. Captures nest (restores the previous sink on destruction).
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(std::string* out);
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+ private:
+  std::string* prev_;
+};
 
 namespace detail {
 

@@ -3,11 +3,18 @@
 // xoshiro256++ seeded via SplitMix64. Header-only so hot paths inline.
 // Every stochastic component takes an explicit seed; a run is fully
 // reproducible from its seed set.
+//
+// Thread contract: an Rng is owned by one run (one thread) — parallel
+// sweeps give every cell its own seed-derived streams and must never
+// share one across cells (asserted in debug builds via ThreadAffinity;
+// a shared stream would destroy both determinism and independence).
 #pragma once
 
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+
+#include "util/thread_affinity.hpp"
 
 namespace qv {
 
@@ -36,6 +43,7 @@ class Rng {
   }
 
   std::uint64_t next_u64() {
+    affinity_.check();  // single-owner; compiles away under NDEBUG
     const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
     const std::uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];
@@ -94,6 +102,7 @@ class Rng {
   }
 
   std::uint64_t s_[4];
+  [[no_unique_address]] ThreadAffinity affinity_;
 };
 
 }  // namespace qv

@@ -1,0 +1,63 @@
+// Debug-only single-owner assertion for run-local components.
+//
+// The sweep engine (src/exec/) runs many Simulators in one process,
+// one per worker thread. That is only sound because every stateful
+// component — RNG streams, tracers, fault injectors, registries — is
+// owned by exactly ONE run and therefore touched by exactly one thread
+// at a time. ThreadAffinity makes that contract checkable: embed one
+// (ideally [[no_unique_address]]) and call check() in the mutating
+// entry points. The first check() binds the owner thread; any later
+// check() from a different thread asserts.
+//
+// In NDEBUG builds the class is empty and check() compiles to nothing,
+// so release hot paths pay zero. Copies are deliberately unbound (a
+// copied RNG or tracer is a new object and may live on a new thread).
+#pragma once
+
+#ifndef NDEBUG
+#include <atomic>
+#include <cassert>
+#include <thread>
+#endif
+
+namespace qv {
+
+class ThreadAffinity {
+ public:
+  ThreadAffinity() = default;
+  ThreadAffinity(const ThreadAffinity&) {}  // copies start unbound
+  ThreadAffinity& operator=(const ThreadAffinity&) { return *this; }
+
+  /// Assert the calling thread owns this object (first call binds).
+  void check() const {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id unbound{};
+    // Relaxed is enough: this guards a single-owner contract, not data;
+    // the atomicity only keeps the checker itself TSan-clean when the
+    // contract is being violated.
+    if (!owner_.compare_exchange_strong(unbound, self,
+                                        std::memory_order_relaxed)) {
+      assert(unbound == self &&
+             "single-owner object touched from a second thread: each "
+             "sweep cell must build its own simulator/RNG/tracer");
+    }
+#endif
+  }
+
+  /// Release ownership (e.g. an object built on the main thread then
+  /// handed off to a worker before first use needs nothing; one handed
+  /// off AFTER use must rebind explicitly).
+  void rebind() {
+#ifndef NDEBUG
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+  }
+
+#ifndef NDEBUG
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+}  // namespace qv

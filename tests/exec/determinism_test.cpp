@@ -1,0 +1,151 @@
+// The PR's headline guarantee, asserted end to end: running an
+// experiment grid at --jobs 8 produces byte-identical artifacts to
+// --jobs 1 — flows.csv, metrics.json, the summary JSON, and the
+// in-memory cell summaries/logs. trace.json is deliberately outside
+// the contract (span durations record wall-clock handler cost; see
+// experiments/sweeps.hpp).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiments/sweeps.hpp"
+
+namespace qv::experiments {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing artifact: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// The cell summary embeds the artifact stem (which contains the output
+// directory); drop that one line so summaries from two temp dirs can be
+// compared byte-for-byte on everything that matters.
+std::string without_artifact_line(const std::string& summary) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < summary.size()) {
+    const std::size_t eol = std::min(summary.find('\n', pos), summary.size());
+    const std::string line = summary.substr(pos, eol - pos);
+    if (line.find("artifacts:") == std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+// Compare every non-trace artifact of two sweep output directories.
+void expect_dirs_identical(const fs::path& serial, const fs::path& parallel) {
+  std::size_t compared = 0;
+  for (const auto& entry : fs::directory_iterator(serial)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find("_trace.json") != std::string::npos) continue;
+    EXPECT_EQ(slurp(entry.path()), slurp(parallel / name))
+        << "artifact differs across --jobs: " << name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u) << "sweep produced no artifacts to compare";
+}
+
+Fig2SweepConfig quick_fig2(const fs::path& out, std::size_t jobs) {
+  Fig2SweepConfig sweep;
+  // Shortened run, same structure — keeps the 2x2 grid under a second
+  // per invocation while still crossing the t1 policy shift.
+  sweep.base.warmup = milliseconds(2);
+  sweep.base.t1 = milliseconds(10);
+  sweep.base.end = milliseconds(20);
+  sweep.schemes = {Fig2Scheme::kFifo, Fig2Scheme::kQvisorAdapt};
+  sweep.seeds = {1, 7};
+  sweep.out_dir = out.string();
+  sweep.jobs = jobs;
+  return sweep;
+}
+
+TEST(SweepDeterminism, Fig2ArtifactsByteIdenticalAcrossJobs) {
+  const fs::path serial_dir = fresh_dir("fig2_j1");
+  const fs::path parallel_dir = fresh_dir("fig2_j8");
+  const auto serial = run_fig2_sweep(quick_fig2(serial_dir, 1));
+  const auto parallel = run_fig2_sweep(quick_fig2(parallel_dir, 8));
+
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(without_artifact_line(parallel[i].summary),
+              without_artifact_line(serial[i].summary))
+        << "cell " << i;
+    EXPECT_EQ(parallel[i].log, serial[i].log) << "cell " << i;
+    EXPECT_EQ(parallel[i].ok, serial[i].ok) << "cell " << i;
+  }
+  // Grid order is schemes (outer) x seeds (inner).
+  EXPECT_EQ(serial[0].stem, (serial_dir / "fig2_fifo_s1").string());
+  EXPECT_EQ(serial[3].stem, (serial_dir / "fig2_qvisor-adapt_s7").string());
+  expect_dirs_identical(serial_dir, parallel_dir);
+}
+
+ChaosSweepConfig quick_chaos(const fs::path& out, std::size_t jobs) {
+  ChaosSweepConfig sweep;
+  // Mirrors the shortened config in tests/integration/chaos_test.cpp.
+  sweep.base.traffic_stop = milliseconds(40);
+  sweep.base.end = milliseconds(48);
+  sweep.base.bronze_off = milliseconds(12);
+  sweep.base.bronze_on = milliseconds(28);
+  sweep.base.fault_cfg.start = milliseconds(4);
+  sweep.base.fault_cfg.end = milliseconds(32);
+  sweep.base.install_fault_from = milliseconds(14);
+  sweep.base.install_fault_to = milliseconds(24);
+  sweep.base.reboot_at = milliseconds(34);
+  sweep.seeds = {1, 7, 42};
+  sweep.out_dir = out.string();
+  sweep.jobs = jobs;
+  return sweep;
+}
+
+TEST(SweepDeterminism, ChaosArtifactsByteIdenticalAcrossJobs) {
+  const fs::path serial_dir = fresh_dir("chaos_j1");
+  const fs::path parallel_dir = fresh_dir("chaos_j8");
+  const auto serial = run_chaos_sweep(quick_chaos(serial_dir, 1));
+  const auto parallel = run_chaos_sweep(quick_chaos(parallel_dir, 8));
+
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(without_artifact_line(parallel[i].summary),
+              without_artifact_line(serial[i].summary))
+        << "cell " << i;
+    EXPECT_EQ(parallel[i].log, serial[i].log) << "cell " << i;
+    EXPECT_TRUE(serial[i].ok) << "cell " << i;
+    EXPECT_TRUE(parallel[i].ok) << "cell " << i;
+  }
+  EXPECT_EQ(serial[0].stem, (serial_dir / "chaos_s1").string());
+  expect_dirs_identical(serial_dir, parallel_dir);
+}
+
+TEST(SweepDeterminism, RerunIsBitIdenticalToItself) {
+  // Same jobs count twice: catches nondeterminism that isn't about
+  // scheduling at all (e.g. uninitialized state leaking into output).
+  const fs::path a_dir = fresh_dir("chaos_rep_a");
+  const fs::path b_dir = fresh_dir("chaos_rep_b");
+  run_chaos_sweep(quick_chaos(a_dir, 8));
+  run_chaos_sweep(quick_chaos(b_dir, 8));
+  expect_dirs_identical(a_dir, b_dir);
+}
+
+}  // namespace
+}  // namespace qv::experiments

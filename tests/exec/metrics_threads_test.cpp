@@ -1,0 +1,77 @@
+// TSan regression coverage for the "many Simulators in one process"
+// contract in obs/metrics: detached Counter handles used to share one
+// process-wide scrap slot, which was a real cross-run data race under
+// parallel sweeps. The slot is per-thread now; these tests run hot
+// concurrent increments so a reintroduced shared slot fails the tsan
+// preset immediately.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace qv::obs {
+namespace {
+
+TEST(MetricsThreads, DetachedCountersDoNotRaceAcrossRuns) {
+  constexpr int kThreads = 8;
+  static constexpr std::uint64_t kIncs = 200'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      // Each "run" instruments its components with default-constructed
+      // handles (observability off) and hammers them.
+      Counter detached;
+      for (std::uint64_t i = 0; i < kIncs; ++i) detached.inc();
+      EXPECT_EQ(detached.value(), kIncs);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(MetricsThreads, PerRunRegistriesAreIndependent) {
+  constexpr int kThreads = 8;
+  static constexpr std::uint64_t kIncs = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      // One registry per run, as the sweep engine builds them.
+      Registry reg;
+      Counter c = reg.counter("enqueued");
+      Counter d = reg.counter("dropped");
+      for (std::uint64_t i = 0; i < kIncs; ++i) {
+        c.inc();
+        if (i % 3 == 0) d.inc(static_cast<std::uint64_t>(t));
+      }
+      EXPECT_EQ(reg.counter_value("enqueued"), kIncs);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(MetricsThreads, ScrapSlotIsPerThread) {
+  // Two detached handles on two threads each see exactly their own
+  // increments — the old shared slot would interleave the totals.
+  std::uint64_t seen_a = 0, seen_b = 0;
+  std::thread a([&seen_a] {
+    Counter c;
+    for (int i = 0; i < 1000; ++i) c.inc();
+    seen_a = c.value();
+  });
+  std::thread b([&seen_b] {
+    Counter c;
+    for (int i = 0; i < 2000; ++i) c.inc();
+    seen_b = c.value();
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(seen_a, 1000u);
+  EXPECT_EQ(seen_b, 2000u);
+}
+
+}  // namespace
+}  // namespace qv::obs

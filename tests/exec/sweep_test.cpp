@@ -1,0 +1,70 @@
+// run_sweep's determinism contract: results land in grid order no
+// matter how cells are scheduled, jobs=1 runs inline, and cell
+// exceptions rethrow in grid order after every cell finished.
+#include "exec/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace qv::exec {
+namespace {
+
+TEST(Sweep, ResultsInGridOrderRegardlessOfJobs) {
+  const auto cell = [](std::size_t i) {
+    // Deterministic but shuffled sleep so completion order != grid
+    // order under parallel execution.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(((i * 7919) % 13) * 100));
+    return static_cast<int>(i * i);
+  };
+  const auto serial = run_sweep<int>(40, cell, {1});
+  for (const std::size_t jobs : {2ul, 4ul, 8ul}) {
+    const auto parallel = run_sweep<int>(40, cell, {jobs});
+    EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(Sweep, ZeroCells) {
+  const auto out = run_sweep<int>(0, [](std::size_t) { return 1; }, {4});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sweep, JobsClampedToCells) {
+  // More jobs than cells must not hang or leak workers.
+  const auto out =
+      run_sweep<std::size_t>(3, [](std::size_t i) { return i; }, {16});
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Sweep, LowestIndexedExceptionWins) {
+  const auto cell = [](std::size_t i) -> int {
+    // Cells 5 and 2 both throw; the rethrow must be cell 2's,
+    // regardless of which failed first on the clock.
+    if (i == 5) throw std::runtime_error("cell 5");
+    if (i == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      throw std::runtime_error("cell 2");
+    }
+    return static_cast<int>(i);
+  };
+  for (const std::size_t jobs : {1ul, 4ul}) {
+    try {
+      run_sweep<int>(8, cell, {jobs});
+      FAIL() << "expected a throw at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "cell 2") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Sweep, ResolveJobs) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+}  // namespace
+}  // namespace qv::exec

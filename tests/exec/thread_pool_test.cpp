@@ -1,0 +1,98 @@
+// The work-stealing pool's lifecycle contract: every submitted task
+// runs exactly once, wait_idle() is a real barrier, the pool is
+// reusable after idling, and the destructor drains pending work.
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace qv::exec {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> ran(kTasks);
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran, i] { ran[i].fetch_add(1); });
+    }
+    pool.wait_idle();
+    for (int i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, WaitIdleIsABarrier) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ReusableAfterIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 16; ++i) pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 16 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { count.fetch_add(1); });
+    // No wait_idle(): the destructor must still run everything.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmitted) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, UnbalancedTasksGetStolen) {
+  // One long task pins a worker; the other worker must steal and finish
+  // the rest well before the long task completes.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> quick{0};
+  pool.submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 50; ++i) pool.submit([&quick] { quick.fetch_add(1); });
+  // The quick tasks were dealt round-robin, half to the pinned worker's
+  // deque: only stealing can finish them while it is blocked.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (quick.load() < 50 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(quick.load(), 50);
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, HardwareJobsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace qv::exec
