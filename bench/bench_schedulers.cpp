@@ -110,6 +110,38 @@ void BM_BucketedPifoDirect(benchmark::State& state) {
 }
 BENCHMARK(BM_BucketedPifoDirect)->Arg(256)->Arg(4096);
 
+void BM_BucketedPifoBatch(benchmark::State& state) {
+  // The span pair (enqueue_batch + dequeue_batch) against the same
+  // steady-state stream the per-call benches run: one virtual dispatch
+  // per 16-packet burst on each side instead of one per packet. The
+  // per-call twin is BM_BucketedPifoNarrowRanks (identical depth/ranks).
+  sched::PifoQueue q(/*buffer_bytes=*/0, /*rank_space=*/256);
+  constexpr int kBurst = 16;
+  constexpr std::size_t kRing = 1024;
+  const int depth = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<Packet> ring;
+  ring.reserve(kRing);
+  for (std::size_t i = 0; i < kRing; ++i) ring.push_back(make_packet(rng, 256));
+  for (int i = 0; i < depth; ++i) {
+    q.enqueue(ring[static_cast<std::size_t>(i) & (kRing - 1)], 0);
+  }
+  std::vector<Packet> out(kBurst);
+  std::int64_t ops = 0;
+  std::size_t next = static_cast<std::size_t>(depth);
+  // The arrival ring is contiguous (kRing % kBurst == 0), so each burst
+  // is one span — the shape the dataplane's rx rings feed.
+  for (auto _ : state) {
+    const std::size_t at = next & (kRing - 1);
+    q.enqueue_batch(std::span<Packet>(ring.data() + at, kBurst), 0);
+    next += kBurst;
+    benchmark::DoNotOptimize(q.dequeue_batch(std::span<Packet>(out), 0));
+    ops += 2 * kBurst;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BucketedPifoBatch)->Arg(256)->Arg(4096);
+
 void BM_BucketedPifoWideRanks(benchmark::State& state) {
   // Worst auto-selected case: 64k buckets, sparse occupancy.
   sched::PifoQueue q(/*buffer_bytes=*/0, /*rank_space=*/1 << 16);

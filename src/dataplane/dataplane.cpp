@@ -1,0 +1,485 @@
+#include "dataplane/dataplane.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/thread_pool.hpp"
+#include "dataplane/spsc_ring.hpp"
+#include "netsim/packet.hpp"
+#include "qvisor/admission.hpp"
+#include "qvisor/policy.hpp"
+#include "qvisor/preprocessor.hpp"
+#include "qvisor/synthesizer.hpp"
+#include "sched/bucketed_pifo.hpp"
+#include "util/random.hpp"
+
+namespace qv::dataplane {
+
+namespace {
+
+/// One output port's pipeline: pre-processor (+ inlined admission
+/// guard) in front of a BucketedPifo sized to the synthesized rank
+/// space. Owned and touched by exactly one worker thread.
+struct Port {
+  Port(const qvisor::SynthesisPlan& plan, const DataplaneConfig& cfg)
+      : pre(qvisor::UnknownTenantAction::kDrop),
+        sch(plan.used_rank_space() > 0 ? plan.used_rank_space() : 1,
+            /*buffer_bytes=*/0) {
+    // The guard, not the scheduler, owns buffer management: the PIFO is
+    // unbounded so queue_dropped stays 0 and the conservation book has
+    // a single drop stage.
+    pre.install(plan);
+    if (cfg.guard) {
+      qvisor::AdmissionConfig ac;
+      qvisor::AdmissionTenantConfig policed;
+      policed.tenant = static_cast<TenantId>(cfg.tenants - 1);
+      policed.rate_bytes_per_sec = cfg.policed_rate_bytes_per_sec;
+      policed.burst_bytes = cfg.policed_burst_bytes;
+      ac.tenants.push_back(policed);
+      ac.rank_window = 0;  // rate policing only: see header determinism note
+      pre.configure_admission(std::move(ac));
+    }
+  }
+
+  qvisor::Preprocessor pre;
+  sched::BucketedPifo sch;
+  /// Interface-typed view of `sch` for the per-call mode: the seed
+  /// architecture dispatched every enqueue/dequeue through Scheduler*,
+  /// so that is what batch == 1 measures.
+  sched::Scheduler& vsch = sch;
+  std::uint64_t delivered_bytes = 0;
+};
+
+/// Per-port generator state, owned by the shard's producer thread. The
+/// stream is a function of (seed, global port id) only, so it is
+/// identical no matter which shard — or how many shards — consume it.
+struct Gen {
+  explicit Gen(std::uint64_t seed, std::size_t port)
+      : rng(SplitMix64(seed ^ (0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(port) + 1)))
+                .next()),
+        port(port) {}
+
+  Rng rng;
+  std::size_t port;
+  TimeNs clock = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t generated = 0;  ///< == emitted; kept for the book merge
+};
+
+struct Shard {
+  Shard(std::size_t ring_capacity, std::size_t first_port)
+      : ring(ring_capacity), first_port(first_port) {}
+
+  SpscRing<Packet> ring;
+  std::size_t first_port;
+  std::vector<std::unique_ptr<Port>> ports;
+  std::vector<Gen> gens;                   ///< producer side
+  std::atomic<bool> producer_done{false};
+  std::uint64_t full_spins = 0;            ///< producer side
+  ShardResult result;                      ///< worker fills; merged after join
+};
+
+Packet make_packet(Gen& g, const DataplaneConfig& cfg) {
+  Packet p;
+  p.flow = g.port;
+  p.seq = static_cast<std::uint32_t>(g.emitted);
+  p.dst = static_cast<NodeId>(g.port);
+  p.size_bytes = cfg.packet_bytes;
+  p.tenant = static_cast<TenantId>(g.rng.next_below(cfg.tenants));
+  p.original_rank = static_cast<Rank>(g.rng.next_below(100));
+  p.rank = p.original_rank;
+  p.created_at = g.clock;
+  g.clock += cfg.packet_interval;
+  ++g.emitted;
+  return p;
+}
+
+struct RoundOutcome {
+  bool budget_left = false;  ///< some port still has packets to emit
+};
+
+/// One generation round: round-robin over the shard's ports, one burst
+/// of up to `cfg.batch` packets per port. Batch mode generates straight
+/// into borrowed ring slots (zero-copy); per-call mode pays the seed
+/// architecture's per-packet copy + per-packet publish.
+///
+/// `spin` selects the backpressure style: true (dedicated producer
+/// thread) spins with yield until the burst fits — never a drop, so the
+/// books cannot depend on timing; false (fused mode: the caller drains
+/// the ring itself between rounds) skips a full ring and retries the
+/// port next round, which is equally lossless single-threaded.
+RoundOutcome produce_round(Shard& shard, const DataplaneConfig& cfg,
+                           bool spin) {
+  RoundOutcome outcome;
+  const bool budget_mode = cfg.packets_per_port > 0;
+  for (Gen& g : shard.gens) {
+    std::size_t want = cfg.batch;
+    if (budget_mode) {
+      const std::uint64_t left = cfg.packets_per_port - g.emitted;
+      if (left == 0) continue;
+      if (left < want) want = static_cast<std::size_t>(left);
+    }
+    outcome.budget_left = true;
+    if (cfg.batch == 1) {
+      if (!spin && shard.ring.size_approx() == shard.ring.capacity()) {
+        continue;  // fused: let the caller drain first
+      }
+      const Packet p = make_packet(g, cfg);
+      while (!shard.ring.push(p)) {
+        ++shard.full_spins;
+        std::this_thread::yield();
+      }
+      ++g.generated;
+      continue;
+    }
+    std::span<Packet> slots = shard.ring.prepare_push(want);
+    while (slots.empty()) {
+      if (!spin) break;
+      ++shard.full_spins;
+      std::this_thread::yield();
+      slots = shard.ring.prepare_push(want);
+    }
+    if (slots.empty()) continue;
+    // May be shorter than `want` (wrap or partial room): the budget is
+    // tracked by g.emitted, so a short burst just means the port gets
+    // another round.
+    for (Packet& slot : slots) slot = make_packet(g, cfg);
+    g.generated += slots.size();
+    shard.ring.commit_push(slots.size());
+  }
+  return outcome;
+}
+
+/// Producer loop for the pipelined (two threads per shard) mode.
+void producer_loop(Shard& shard, const DataplaneConfig& cfg,
+                   const std::atomic<bool>& stop) {
+  const bool budget_mode = cfg.packets_per_port > 0;
+  for (;;) {
+    if (!budget_mode && stop.load(std::memory_order_relaxed)) break;
+    const RoundOutcome outcome = produce_round(shard, cfg, /*spin=*/true);
+    if (budget_mode && !outcome.budget_left) break;
+  }
+  shard.producer_done.store(true, std::memory_order_release);
+}
+
+/// Deliver a dequeued packet: byte accounting plus the guard's
+/// occupancy release (a no-op under rate-only policing, but the
+/// contract is release-on-dequeue whenever share caps are configured).
+inline void deliver(Port& port, const Packet& p) {
+  port.delivered_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  port.pre.admission_release(p.tenant, p.size_bytes);
+}
+
+/// Batched pipeline stage for one port-contiguous sub-burst: rank
+/// rewrite + admission over the whole span, survivors enqueued as one
+/// batch, then service back down to the steady-state depth.
+void process_span(Port& port, std::span<Packet> sp, std::vector<Packet>& out,
+                  const DataplaneConfig& cfg) {
+  const TimeNs now = sp.front().created_at;
+  const std::size_t kept = port.pre.process(sp, now);
+  port.sch.enqueue_batch(sp.first(kept), now);
+  while (port.sch.size() > cfg.service_depth) {
+    std::size_t want = port.sch.size() - cfg.service_depth;
+    if (want > out.size()) want = out.size();
+    const std::size_t got =
+        port.sch.dequeue_batch(std::span<Packet>(out.data(), want), now);
+    for (std::size_t i = 0; i < got; ++i) deliver(port, out[i]);
+  }
+}
+
+/// Per-call pipeline stage: one packet at a time through the scalar
+/// entry points and the virtual Scheduler interface — the pre-batching
+/// hot path this PR replaces, kept callable so the bench measures the
+/// gap honestly (per-packet dispatch, per-packet std::optional copy,
+/// per-packet service check).
+void process_percall(Port& port, Packet& p, const DataplaneConfig& cfg) {
+  sched::Scheduler& sch = port.vsch;
+  const TimeNs now = p.created_at;
+  if (port.pre.process(p, now)) {
+    sch.enqueue(p, now);
+    while (sch.size() > cfg.service_depth) {
+      const std::optional<Packet> q = sch.dequeue(now);
+      if (!q) break;
+      deliver(port, *q);
+    }
+  }
+}
+
+/// Consume one burst from the ring, run-to-completion: the burst is
+/// split into port-contiguous runs (the producer emits port-major, so a
+/// run is almost always a whole burst) and each run is carried through
+/// rank rewrite, admission, enqueue, and service before returning.
+/// Returns the number of packets consumed; 0 = ring empty.
+std::size_t consume_once(Shard& shard, const DataplaneConfig& cfg,
+                         std::vector<Packet>& out, Packet& scalar) {
+  ShardResult& r = shard.result;
+  std::span<Packet> burst;
+  if (cfg.batch == 1) {
+    // Seed architecture: one packet copied out of the ring per poll.
+    if (shard.ring.pop(scalar)) burst = std::span<Packet>(&scalar, 1);
+  } else {
+    // Burst pipeline: borrow the slots and process them in place — the
+    // pre-processor rewrites ranks and compacts survivors inside the
+    // ring storage; only survivors are copied (into the PIFO).
+    burst = shard.ring.peek(cfg.batch);
+  }
+  if (burst.empty()) return 0;
+  ++r.batches;
+  r.batch_pkts.add(burst.size());
+  r.ring_occupancy.add(shard.ring.size_approx());
+  std::size_t i = 0;
+  while (i < burst.size()) {
+    const NodeId dst = burst[i].dst;
+    std::size_t j = i + 1;
+    while (j < burst.size() && burst[j].dst == dst) ++j;
+    Port& port = *shard.ports[dst - shard.first_port];
+    if (cfg.batch == 1) {
+      process_percall(port, burst[i], cfg);
+    } else {
+      process_span(port, burst.subspan(i, j - i), out, cfg);
+    }
+    i = j;
+  }
+  if (cfg.batch != 1) shard.ring.commit_pop(burst.size());
+  return burst.size();
+}
+
+/// Terminal drain + book snapshot: empty every queue so residual == 0
+/// and the books close, then copy the per-port counters into the
+/// shard's result.
+void finalize_shard(Shard& shard, std::vector<Packet>& out) {
+  ShardResult& r = shard.result;
+  for (std::size_t p = 0; p < shard.ports.size(); ++p) {
+    Port& port = *shard.ports[p];
+    for (;;) {
+      const std::size_t got =
+          port.sch.dequeue_batch(std::span<Packet>(out), 0);
+      if (got == 0) break;
+      for (std::size_t i = 0; i < got; ++i) deliver(port, out[i]);
+    }
+    PortBook& b = r.ports[p];
+    const qvisor::PreprocessorCounters& pc = port.pre.counters();
+    b.processed = pc.processed;
+    b.unknown_dropped = pc.unknown_tenant;
+    b.admission_dropped = pc.admission_dropped;
+    if (const qvisor::AdmissionGuard* g = port.pre.admission()) {
+      const qvisor::AdmissionTenantCounters t = g->totals();
+      b.rate_dropped = t.rate_dropped;
+      b.share_dropped = t.share_dropped;
+      b.quantile_dropped = t.quantile_dropped;
+    }
+    const sched::SchedulerCounters& sc = port.sch.counters();
+    b.enqueued = sc.enqueued;
+    b.dequeued = sc.dequeued;
+    b.queue_dropped = sc.dropped;
+    b.residual = port.sch.size();
+    b.delivered_bytes = port.delivered_bytes;
+  }
+}
+
+/// Worker loop for the pipelined (two threads per shard) mode.
+void worker_loop(Shard& shard, const DataplaneConfig& cfg) {
+  ShardResult& r = shard.result;
+  std::vector<Packet> out(cfg.batch);
+  Packet scalar;
+  for (;;) {
+    if (consume_once(shard, cfg, out, scalar) == 0) {
+      if (shard.producer_done.load(std::memory_order_acquire) &&
+          shard.ring.empty()) {
+        break;
+      }
+      ++r.empty_polls;
+      std::this_thread::yield();
+    }
+  }
+  finalize_shard(shard, out);
+}
+
+/// Fused run-to-completion loop: generation and processing interleave
+/// on the shard's single thread (generate a burst per port, then drain
+/// the ring to empty). Same per-port operation order as the pipelined
+/// mode — the books are identical — but with no cross-thread handoff,
+/// so on hosts with fewer cores than threads the measurement reflects
+/// pipeline cost rather than OS scheduling.
+void fused_loop(Shard& shard, const DataplaneConfig& cfg,
+                const std::atomic<bool>& stop) {
+  std::vector<Packet> out(cfg.batch);
+  Packet scalar;
+  const bool budget_mode = cfg.packets_per_port > 0;
+  for (;;) {
+    if (!budget_mode && stop.load(std::memory_order_relaxed)) break;
+    const RoundOutcome outcome =
+        produce_round(shard, cfg, /*spin=*/false);
+    while (consume_once(shard, cfg, out, scalar) > 0) {
+    }
+    if (budget_mode && !outcome.budget_left) break;
+  }
+  shard.producer_done.store(true, std::memory_order_release);
+  finalize_shard(shard, out);
+}
+
+qvisor::SynthesisPlan make_plan(const DataplaneConfig& cfg) {
+  std::vector<qvisor::TenantSpec> tenants;
+  std::string policy_text;
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    qvisor::TenantSpec spec;
+    spec.id = static_cast<TenantId>(t);
+    spec.name = "t" + std::to_string(t);
+    spec.declared_bounds = {0, 99};
+    tenants.push_back(std::move(spec));
+    if (t == 0) {
+      policy_text = "t0";
+    } else {
+      policy_text += (t == 1) ? " >> t1" : " + t" + std::to_string(t);
+    }
+  }
+  const qvisor::PolicyParseResult parsed = qvisor::parse_policy(policy_text);
+  if (!parsed.policy) {
+    throw std::runtime_error("dataplane: policy parse failed: " +
+                             parsed.error);
+  }
+  qvisor::SynthesizerConfig sc;
+  sc.rank_space = 1u << 16;
+  const qvisor::Synthesizer::Result res =
+      qvisor::Synthesizer(sc).synthesize(tenants, *parsed.policy);
+  if (!res.ok()) {
+    throw std::runtime_error("dataplane: synthesis failed: " + res.error);
+  }
+  return *res.plan;
+}
+
+}  // namespace
+
+void PortBook::add(const PortBook& o) {
+  generated += o.generated;
+  processed += o.processed;
+  unknown_dropped += o.unknown_dropped;
+  admission_dropped += o.admission_dropped;
+  rate_dropped += o.rate_dropped;
+  share_dropped += o.share_dropped;
+  quantile_dropped += o.quantile_dropped;
+  enqueued += o.enqueued;
+  dequeued += o.dequeued;
+  queue_dropped += o.queue_dropped;
+  residual += o.residual;
+  delivered_bytes += o.delivered_bytes;
+}
+
+PortBook ShardResult::book() const {
+  PortBook sum;
+  for (const PortBook& b : ports) sum.add(b);
+  return sum;
+}
+
+PortBook DataplaneResult::book() const {
+  PortBook sum;
+  for (const ShardResult& s : shards) sum.add(s.book());
+  return sum;
+}
+
+double DataplaneResult::pps() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(book().processed) / wall_seconds;
+}
+
+void DataplaneResult::export_metrics(obs::Registry& reg) const {
+  const auto emit = [&reg](const std::string& prefix, const PortBook& b) {
+    reg.counter(prefix + ".generated").inc(b.generated);
+    reg.counter(prefix + ".processed").inc(b.processed);
+    reg.counter(prefix + ".unknown_dropped").inc(b.unknown_dropped);
+    reg.counter(prefix + ".admission_dropped").inc(b.admission_dropped);
+    reg.counter(prefix + ".rate_dropped").inc(b.rate_dropped);
+    reg.counter(prefix + ".share_dropped").inc(b.share_dropped);
+    reg.counter(prefix + ".quantile_dropped").inc(b.quantile_dropped);
+    reg.counter(prefix + ".enqueued").inc(b.enqueued);
+    reg.counter(prefix + ".dequeued").inc(b.dequeued);
+    reg.counter(prefix + ".delivered_bytes").inc(b.delivered_bytes);
+  };
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const std::string prefix = "dataplane.shard" + std::to_string(s);
+    emit(prefix, shards[s].book());
+    reg.counter(prefix + ".batches").inc(shards[s].batches);
+    reg.counter(prefix + ".empty_polls").inc(shards[s].empty_polls);
+    reg.counter(prefix + ".full_spins").inc(shards[s].full_spins);
+    reg.histogram(prefix + ".batch_pkts").merge(shards[s].batch_pkts);
+    reg.histogram(prefix + ".ring_occupancy")
+        .merge(shards[s].ring_occupancy);
+  }
+  emit("dataplane.total", book());
+  reg.set_gauge("dataplane.pps", pps());
+  reg.set_gauge("dataplane.wall_seconds", wall_seconds);
+}
+
+DataplaneResult run_dataplane(const DataplaneConfig& config) {
+  if (config.shards == 0 || config.ports_per_shard == 0 ||
+      config.batch == 0 || config.tenants == 0) {
+    throw std::invalid_argument(
+        "dataplane: shards, ports_per_shard, batch, tenants must be > 0");
+  }
+  if (config.packets_per_port == 0 && config.run_wall_ns <= 0) {
+    throw std::invalid_argument(
+        "dataplane: either packets_per_port or run_wall_ns must be set");
+  }
+  const qvisor::SynthesisPlan plan = make_plan(config);
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(config.shards);
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    auto shard =
+        std::make_unique<Shard>(config.ring_capacity,
+                                /*first_port=*/s * config.ports_per_shard);
+    for (std::size_t p = 0; p < config.ports_per_shard; ++p) {
+      shard->ports.push_back(std::make_unique<Port>(plan, config));
+      shard->gens.emplace_back(config.seed, shard->first_port + p);
+    }
+    shard->result.ports.resize(config.ports_per_shard);
+    shards.push_back(std::move(shard));
+  }
+
+  std::atomic<bool> stop{false};
+  // One thread per fused shard, or a generator + worker pair per
+  // pipelined shard; the pool is sized so every task gets a dedicated
+  // thread (the tasks are run-to-completion loops, not short-lived
+  // jobs).
+  exec::ThreadPool pool((config.fused ? 1 : 2) * config.shards);
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& shard : shards) {
+    Shard* sp = shard.get();
+    const DataplaneConfig* cfg = &config;
+    if (config.fused) {
+      pool.submit([sp, cfg, &stop] { fused_loop(*sp, *cfg, stop); });
+    } else {
+      pool.submit([sp, cfg, &stop] { producer_loop(*sp, *cfg, stop); });
+      pool.submit([sp, cfg] { worker_loop(*sp, *cfg); });
+    }
+  }
+  if (config.packets_per_port == 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(config.run_wall_ns));
+    stop.store(true, std::memory_order_relaxed);
+  }
+  pool.wait_idle();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  DataplaneResult result;
+  result.wall_seconds = wall;
+  result.balanced = true;
+  for (auto& shard : shards) {
+    ShardResult& r = shard->result;
+    r.full_spins = shard->full_spins;
+    for (std::size_t p = 0; p < r.ports.size(); ++p) {
+      r.ports[p].generated = shard->gens[p].generated;
+      if (!r.ports[p].balanced()) result.balanced = false;
+    }
+    result.shards.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace qv::dataplane

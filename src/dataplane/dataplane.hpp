@@ -1,0 +1,158 @@
+// Sharded run-to-completion dataplane: the QVISOR hot path as a real
+// packet pipeline instead of a per-call simulation.
+//
+// Execution model (Eiffel-style software scheduler, see PAPERS.md):
+//
+//   traffic-gen thread s ──SPSC ring──▶ worker thread s (shard s)
+//                                        │ for each burst:
+//                                        │   Preprocessor::process(span)
+//                                        │   AdmissionGuard (inlined)
+//                                        │   BucketedPifo::enqueue_batch
+//                                        │   BucketedPifo::dequeue_batch
+//                                        ▼ (service to steady depth)
+//
+// One worker thread owns one shard: a contiguous block of output ports,
+// each with its own pre-processor (+ admission guard) and BucketedPifo.
+// Nothing on the packet path is shared between threads except the SPSC
+// ring between a shard's dedicated generator and its worker — no locks,
+// no atomics per packet (the ring amortizes its two atomics across a
+// batch). Run-to-completion: a worker takes a burst from its ring and
+// carries it through rank rewrite, admission, enqueue, and service
+// before touching the ring again.
+//
+// Determinism: port p's packet stream is derived from seed and p alone
+// (own Rng stream + virtual arrival clock), and ports map to shards by
+// fixed contiguous ownership — so every per-port conservation book and
+// drop counter is byte-identical across repeated runs AND across shard
+// counts; per-shard books are sums over owned ports. The ring applies
+// backpressure (producers spin) instead of dropping, so timing can
+// never leak into the books.
+//
+// Conservation: per port,
+//   generated == processed
+//   processed == unknown_dropped + admission_dropped + enqueued
+//   admission_dropped == rate + share + quantile drops (guard books)
+//   enqueued == dequeued + residual      (residual == 0 after drain)
+// checked by PortBook::balanced() at shutdown in every test and bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/log2_histogram.hpp"
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace qv::dataplane {
+
+struct DataplaneConfig {
+  std::size_t shards = 2;
+  std::size_t ports_per_shard = 1;
+
+  /// Deterministic workload: each port emits exactly this many packets
+  /// (tests, CI smoke). 0 = wall-clock mode: run for `run_wall_ns`.
+  std::uint64_t packets_per_port = 100'000;
+  /// Wall-clock run length for throughput benches (only read when
+  /// packets_per_port == 0). Books still balance — the stream length
+  /// just stops being deterministic.
+  std::int64_t run_wall_ns = 0;
+
+  /// Burst size on every stage: generator emission, ring push/pop, the
+  /// pre-processor span, and the scheduler batch APIs. 1 selects the
+  /// per-call path (scalar entry points + one ring atomic per packet)
+  /// — the "before" side of the batched-vs-per-call bench.
+  std::size_t batch = 32;
+  std::size_t ring_capacity = 1024;
+  /// false (default): pipelined — each shard gets a dedicated
+  /// generator thread feeding its worker thread through the SPSC ring.
+  /// true: fused run-to-completion — one thread per shard interleaves
+  /// generation and processing (generate a burst, drain the ring). Same
+  /// per-port operation order, so the books are identical across both
+  /// modes; fused isolates pipeline cost from cross-thread handoff on
+  /// hosts with fewer cores than threads.
+  bool fused = false;
+  /// Steady-state queue depth a worker services each port down to; the
+  /// terminal drain empties the queues entirely.
+  std::size_t service_depth = 128;
+
+  std::uint64_t seed = 1;
+
+  // Workload shape: `tenants` tenants under the two-tier policy
+  // "t0 >> t1 + t2 + ...", uniform tenant/rank draws per packet, one
+  // packet per `packet_interval` of per-port virtual time.
+  std::size_t tenants = 8;
+  std::int32_t packet_bytes = 1500;
+  TimeNs packet_interval = 1'000;
+
+  /// Admission guard on the per-port pre-processors. The last tenant id
+  /// is contracted at `policed_rate_bytes_per_sec` (well below its
+  /// offered share), so the guard's rate path and the drop books are
+  /// exercised deterministically; everyone else is unpoliced.
+  bool guard = true;
+  double policed_rate_bytes_per_sec = 60e6;
+  double policed_burst_bytes = 30'000.0;
+};
+
+/// Per-port conservation book (see file header for the balance laws).
+struct PortBook {
+  std::uint64_t generated = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t unknown_dropped = 0;
+  std::uint64_t admission_dropped = 0;
+  std::uint64_t rate_dropped = 0;
+  std::uint64_t share_dropped = 0;
+  std::uint64_t quantile_dropped = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t queue_dropped = 0;  ///< must stay 0 (guard owns the buffer)
+  std::uint64_t residual = 0;       ///< buffered at shutdown (0 after drain)
+  std::uint64_t delivered_bytes = 0;
+
+  bool balanced() const {
+    return generated == processed &&
+           processed == unknown_dropped + admission_dropped + enqueued &&
+           admission_dropped ==
+               rate_dropped + share_dropped + quantile_dropped &&
+           enqueued == dequeued + residual && queue_dropped == 0;
+  }
+
+  void add(const PortBook& o);
+  bool operator==(const PortBook&) const = default;
+};
+
+struct ShardResult {
+  std::vector<PortBook> ports;  ///< shard-local order (global port =
+                                ///< shard * ports_per_shard + index)
+  std::uint64_t batches = 0;      ///< non-empty ring pops
+  std::uint64_t empty_polls = 0;  ///< ring pops that found nothing
+  std::uint64_t full_spins = 0;   ///< producer retries against a full ring
+  obs::Log2Histogram batch_pkts;      ///< packets per non-empty pop
+  obs::Log2Histogram ring_occupancy;  ///< ring depth after each pop
+
+  PortBook book() const;  ///< sum over owned ports
+};
+
+struct DataplaneResult {
+  std::vector<ShardResult> shards;
+  double wall_seconds = 0.0;
+  bool balanced = false;  ///< every port book balanced, residual 0
+
+  PortBook book() const;  ///< sum over all shards
+  /// Packets fully carried through the pipeline per second of wall
+  /// time (counting processed packets: drops are work too).
+  double pps() const;
+
+  /// Publish the books and stage histograms into `reg` under
+  /// "dataplane.shard<i>.*" plus "dataplane.total.*" (call after run()
+  /// returned; everything is plain merged state by then).
+  void export_metrics(obs::Registry& reg) const;
+};
+
+/// Run the configured dataplane to completion and return the books.
+/// Spawns shards * 2 threads (generator + worker per shard; shards * 1
+/// when fused) on an exec::ThreadPool and blocks until every queue is
+/// drained.
+DataplaneResult run_dataplane(const DataplaneConfig& config);
+
+}  // namespace qv::dataplane

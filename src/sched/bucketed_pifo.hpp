@@ -58,6 +58,16 @@ class BucketedPifo final : public Scheduler {
     return accepted;
   }
 
+  /// Burst dequeue, symmetric to enqueue_batch: drains up to out.size()
+  /// packets in rank/FIFO order with one virtual dispatch for the whole
+  /// burst and no per-packet std::optional construction.
+  std::size_t dequeue_batch(std::span<Packet> out, TimeNs now) override {
+    (void)now;
+    std::size_t n = 0;
+    while (n < out.size() && best_ >= 0) pop_head(out[n++]);
+    return n;
+  }
+
   std::size_t size() const override { return packets_; }
   std::int64_t buffered_bytes() const override { return bytes_; }
   std::string name() const override { return "pifo-bucketed"; }
@@ -96,6 +106,10 @@ class BucketedPifo final : public Scheduler {
   /// Lowest / highest non-empty bucket; -1 when empty.
   std::int32_t lowest_bucket() const;
   std::int32_t highest_bucket() const;
+
+  /// Pop the head packet into `out`. Precondition: best_ >= 0 (not
+  /// empty). Shared by dequeue() and dequeue_batch().
+  void pop_head(Packet& out);
 
   static constexpr std::size_t kWordBits = 64;
 
@@ -210,9 +224,8 @@ inline bool BucketedPifo::enqueue(const Packet& p, TimeNs /*now*/) {
   return true;
 }
 
-inline std::optional<Packet> BucketedPifo::dequeue(TimeNs /*now*/) {
+inline void BucketedPifo::pop_head(Packet& out) {
   const std::int32_t best = best_;
-  if (best < 0) return std::nullopt;
   const std::int32_t idx = buckets_[best].head;
   const std::int32_t size = slab_[idx].size_bytes;
   unlink(static_cast<Rank>(best), idx);
@@ -233,8 +246,15 @@ inline std::optional<Packet> BucketedPifo::dequeue(TimeNs /*now*/) {
   --packets_;
   ++counters_.dequeued;
   // The payload is untouched by release_node (links only): copy it
-  // straight into the return slot.
-  return slab_[idx];
+  // straight into the output slot.
+  out = slab_[idx];
+}
+
+inline std::optional<Packet> BucketedPifo::dequeue(TimeNs /*now*/) {
+  if (best_ < 0) return std::nullopt;
+  std::optional<Packet> out(std::in_place);
+  pop_head(*out);
+  return out;
 }
 
 }  // namespace qv::sched

@@ -41,6 +41,11 @@ class PifoQueue final : public Scheduler {
     return Scheduler::enqueue_batch(batch, now);
   }
 
+  std::size_t dequeue_batch(std::span<Packet> out, TimeNs now) override {
+    if (bucketed_) return bucketed_->dequeue_batch(out, now);
+    return Scheduler::dequeue_batch(out, now);
+  }
+
   std::size_t size() const override {
     return bucketed_ ? bucketed_->size() : entries_.size();
   }

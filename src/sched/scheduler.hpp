@@ -49,6 +49,22 @@ class Scheduler {
   /// Remove the next packet to transmit, or nullopt when empty.
   virtual std::optional<Packet> dequeue(TimeNs now) = 0;
 
+  /// Drain up to `out.size()` packets in dequeue order into `out`,
+  /// returning how many were written. The symmetric twin of
+  /// enqueue_batch: one virtual dispatch per burst instead of one per
+  /// packet, plus no per-packet std::optional round trip. The default
+  /// loops dequeue(); disciplines with a cheaper amortized pop
+  /// (BucketedPifo's slab walk) override it.
+  virtual std::size_t dequeue_batch(std::span<Packet> out, TimeNs now) {
+    std::size_t n = 0;
+    while (n < out.size()) {
+      std::optional<Packet> p = dequeue(now);
+      if (!p) break;
+      out[n++] = *p;
+    }
+    return n;
+  }
+
   /// Buffered packets / bytes.
   virtual std::size_t size() const = 0;
   virtual std::int64_t buffered_bytes() const = 0;
