@@ -1,0 +1,237 @@
+// Control-plane bench (ISSUE 7): full vs incremental re-synthesis
+// latency, tenant->group lookup cost, and the group-compiled plan's
+// memory split, all at an operator-chosen tenant count. One invocation
+// = one grid cell emitting a JSON object on stdout; run_benchmarks.py
+// --control drives the {10k, 100k, 1M}-tenant grid and writes
+// BENCH_control.json.
+//
+// Not a google-benchmark binary: the measured unit is a whole
+// compile+diff+fleet-commit deploy (the ControlPlane stamps latency_ns
+// around exactly that), and a deploy mutates fleet state, so iterations
+// are not interchangeable the way benchmark::State assumes.
+//
+// Exits non-zero if any deploy fails, an "incremental" edit silently
+// takes the full path, or the fleet's epochs diverge — every timing
+// sample doubles as a correctness check.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/control_plane.hpp"
+#include "control/rank_digest.hpp"
+#include "qvisor/backend.hpp"
+#include "util/flags.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using qv::control::ControlPlane;
+using qv::control::GroupedPolicy;
+
+/// Same shape the million-tenant e2e test deploys: an equal partition
+/// of [0, tenants) into `groups` ranges, one flat tier. The last
+/// group's weight is the incremental-edit knob (attribute order is
+/// fixed: weight before bounds).
+std::string grouped_policy_text(std::size_t tenants, std::size_t groups,
+                                double last_weight) {
+  std::string text;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t lo = g * tenants / groups;
+    const std::size_t hi = (g + 1) * tenants / groups - 1;
+    text += "group g" + std::to_string(g) + " = " + std::to_string(lo) +
+            ".." + std::to_string(hi);
+    if (g == groups - 1 && last_weight != 1.0) {
+      text += " weight " + std::to_string(last_weight);
+    }
+    text += " bounds 0..99\n";
+  }
+  text += "policy g0";
+  for (std::size_t g = 1; g < groups; ++g) text += " + g" + std::to_string(g);
+  text += "\n";
+  return text;
+}
+
+GroupedPolicy must_parse(const std::string& text) {
+  const auto r = qv::control::parse_grouped_policy(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench_control: policy parse failed: %s\n",
+                 r.error.c_str());
+    std::exit(1);
+  }
+  return *r.value;
+}
+
+std::uint64_t median_ns(std::vector<std::uint64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// ns per GroupIndex::lookup over `lookups` pseudorandom probes of
+/// [0, id_space). The accumulated ordinal sum keeps -O3 honest.
+double time_lookups(const qv::control::GroupIndex& index,
+                    std::uint64_t id_space, std::uint64_t lookups,
+                    std::uint64_t seed, std::uint64_t* checksum) {
+  qv::Rng rng(seed);
+  std::uint64_t sum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < lookups; ++i) {
+    sum += index.lookup(static_cast<qv::TenantId>(rng.next_below(id_space)));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  *checksum += sum;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         static_cast<double>(lookups);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qv::Flags flags;
+  flags.define_int("tenants", 1'000'000, "live tenant id space [0, N)");
+  flags.define_int("groups", 64, "groups the policy partitions N into");
+  flags.define_int("switches", 4, "switches in the fleet");
+  flags.define_int("deploys", 9,
+                   "timed deploys per path (median reported); odd keeps "
+                   "the median a real sample");
+  flags.define_int("lookups", 2'000'000, "GroupIndex probes to time");
+  flags.define_int("seed", 1, "probe id stream seed");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.help_requested()) return 0;
+
+  const std::size_t tenants =
+      static_cast<std::size_t>(flags.get_int("tenants"));
+  const std::size_t groups = static_cast<std::size_t>(flags.get_int("groups"));
+  const int switches = static_cast<int>(flags.get_int("switches"));
+  const int deploys = static_cast<int>(flags.get_int("deploys"));
+  const std::uint64_t lookups =
+      static_cast<std::uint64_t>(flags.get_int("lookups"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  qv::qvisor::Fleet fleet({}, qv::qvisor::OperatorPolicy{},
+                          std::make_shared<qv::qvisor::PifoBackend>());
+  for (int s = 0; s < switches; ++s) {
+    fleet.add_switch("sw" + std::to_string(s));
+  }
+  ControlPlane cp(fleet);
+
+  const GroupedPolicy base =
+      must_parse(grouped_policy_text(tenants, groups, 1.0));
+  // Two one-group weight edits that alternate, so every incremental
+  // deploy below really changes (exactly) one group.
+  const GroupedPolicy edit_a =
+      must_parse(grouped_policy_text(tenants, groups, 2.0));
+  const GroupedPolicy edit_b =
+      must_parse(grouped_policy_text(tenants, groups, 3.0));
+
+  const auto first = cp.deploy(base);
+  if (!first.ok) {
+    std::fprintf(stderr, "bench_control: first deploy failed: %s\n",
+                 first.error.c_str());
+    return 1;
+  }
+
+  // Full path: compile + install from scratch, ignoring the deployed
+  // plan — the baseline the incremental path is measured against.
+  std::vector<std::uint64_t> full_ns;
+  for (int i = 0; i < deploys; ++i) {
+    const auto r = cp.deploy_full(i % 2 == 0 ? edit_a : base);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench_control: full deploy failed: %s\n",
+                   r.error.c_str());
+      return 1;
+    }
+    full_ns.push_back(r.latency_ns);
+  }
+
+  // Incremental path: one-group weight edit, alternating so no deploy
+  // is a no-op. Anything that falls off the delta path is a bug.
+  std::vector<std::uint64_t> incremental_ns;
+  for (int i = 0; i < deploys; ++i) {
+    const auto r = cp.deploy(i % 2 == 0 ? edit_b : edit_a);
+    if (!r.ok || !r.incremental || r.delta.changed_groups.size() != 1 ||
+        r.delta.index_changed) {
+      std::fprintf(stderr,
+                   "bench_control: edit was not a one-group delta "
+                   "(ok=%d incremental=%d changed=%zu index=%d): %s\n",
+                   r.ok, r.incremental, r.delta.changed_groups.size(),
+                   r.delta.index_changed, r.error.c_str());
+      return 1;
+    }
+    incremental_ns.push_back(r.latency_ns);
+  }
+
+  if (!fleet.epochs_consistent()) {
+    std::fprintf(stderr, "bench_control: fleet epochs diverged\n");
+    return 1;
+  }
+
+  const qv::control::CompiledGroupPlan& plan = *cp.deployed();
+  std::uint64_t checksum = 0;
+  const double dense_ns =
+      time_lookups(*plan.index, tenants, lookups, seed, &checksum);
+
+  // Spill path: the same partition pushed past the dense-index limit,
+  // so every probe binary-searches the sorted range list.
+  const std::uint64_t spill_base = qv::control::GroupIndex::kDenseLimit;
+  std::vector<qv::control::IdRange> spill_ranges;
+  for (std::size_t g = 0; g < groups; ++g) {
+    spill_ranges.push_back(
+        {static_cast<qv::TenantId>(spill_base + g * tenants / groups),
+         static_cast<qv::TenantId>(spill_base + (g + 1) * tenants / groups -
+                                   1),
+         static_cast<qv::control::GroupId>(g)});
+  }
+  const auto spill_index = qv::control::GroupIndex::build(
+      spill_ranges, qv::control::kInvalidGroup,
+      static_cast<std::uint32_t>(groups));
+  qv::Rng spill_rng(seed);
+  std::uint64_t spill_sum = 0;
+  const auto s0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < lookups; ++i) {
+    spill_sum += spill_index->lookup(static_cast<qv::TenantId>(
+        spill_base + spill_rng.next_below(tenants)));
+  }
+  const auto s1 = std::chrono::steady_clock::now();
+  checksum += spill_sum;
+  const double spill_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
+              .count()) /
+      static_cast<double>(lookups);
+
+  const std::uint64_t full_median = median_ns(full_ns);
+  const std::uint64_t incremental_median = median_ns(incremental_ns);
+  const double speedup = incremental_median == 0
+                             ? 0.0
+                             : static_cast<double>(full_median) /
+                                   static_cast<double>(incremental_median);
+
+  // Per-distribution sketch cost at the guard/estimator defaults, for
+  // the memory table (a fixed property of the config, not of traffic).
+  qv::control::RankDigest digest(qv::control::RankDigestConfig{0.02, 4096});
+  digest.observe(1);
+
+  std::printf(
+      "{\"config\":{\"tenants\":%zu,\"groups\":%zu,\"switches\":%d,"
+      "\"deploys\":%d,\"lookups\":%llu,\"seed\":%llu},"
+      "\"deploy_ns\":{\"full_median\":%llu,\"incremental_median\":%llu,"
+      "\"incremental_speedup\":%.2f},"
+      "\"lookup_ns\":{\"dense\":%.2f,\"spill\":%.2f},"
+      "\"memory_bytes\":{\"table\":%zu,\"index\":%zu,"
+      "\"sketch_per_distribution\":%zu},"
+      "\"checksum\":%llu}\n",
+      tenants, groups, switches, deploys,
+      static_cast<unsigned long long>(lookups),
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(full_median),
+      static_cast<unsigned long long>(incremental_median), speedup, dense_ns,
+      spill_ns, plan.table_bytes(), plan.index_bytes(), digest.byte_size(),
+      static_cast<unsigned long long>(checksum));
+  return 0;
+}

@@ -596,6 +596,124 @@ def run_dataplane_mode(args):
         sys.exit("conservation books failed to balance")
 
 
+def run_control_cell(binary, extra_args):
+    """One bench_control invocation -> parsed result JSON. The binary
+    exits non-zero if a deploy fails, an incremental edit falls off the
+    delta path, or the fleet's epochs diverge, so every timing sample
+    doubles as a correctness check."""
+    out = subprocess.run([binary] + extra_args, capture_output=True,
+                         text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def run_control_mode(args):
+    """--control: measure the group-compiled control plane ->
+    BENCH_control.json.
+
+    Three views per tenant-count grid point:
+      * full vs incremental re-synthesis latency — median deploy ns on
+        each path (the binary medians over --control-deploys deploys;
+        we median again over --runs invocations), plus the ratio. The
+        acceptance bar lives here: incremental >= 5x faster than full
+        at 1M tenants.
+      * tenant->group lookup ns — dense array load vs sorted-spill
+        binary search, median over runs.
+      * memory split — O(groups) transform table vs O(tenants) dense
+        index vs the fixed per-distribution sketch budget. Deterministic
+        per config, reported from the first run.
+    """
+    binary = os.path.join(args.build_dir, "bench", "bench_control")
+    if not os.path.exists(binary):
+        sys.exit(f"missing benchmark binary: {binary} (build the "
+                 f"'release-bench' preset first)")
+    tenants_list = sorted({int(t) for t in args.tenants_list.split(",")})
+    runs = max(args.runs, 3)
+
+    def med(samples):
+        samples = sorted(samples)
+        return samples[len(samples) // 2]
+
+    curve = {}
+    for tenants in tenants_list:
+        cells = []
+        for _ in range(runs):
+            cells.append(run_control_cell(binary, [
+                "--tenants", str(tenants),
+                "--groups", str(args.control_groups),
+                "--deploys", str(args.control_deploys),
+                "--lookups", str(args.control_lookups)]))
+        full = med([c["deploy_ns"]["full_median"] for c in cells])
+        incremental = med(
+            [c["deploy_ns"]["incremental_median"] for c in cells])
+        curve[tenants] = {
+            "tenants": tenants,
+            "full_deploy_ns_median": full,
+            "incremental_deploy_ns_median": incremental,
+            "incremental_speedup": round(full / incremental, 2),
+            "lookup_ns": {
+                "dense": round(med([c["lookup_ns"]["dense"]
+                                    for c in cells]), 2),
+                "spill": round(med([c["lookup_ns"]["spill"]
+                                    for c in cells]), 2),
+            },
+            "memory_bytes": cells[0]["memory_bytes"],
+        }
+
+    top = max(tenants_list)
+    speedup_at_top = curve[top]["incremental_speedup"]
+    acceptance = {
+        "bar": "incremental re-synthesis >= 5x faster than full at the "
+               "largest grid point",
+        "tenants": top,
+        "incremental_speedup": speedup_at_top,
+        "met": speedup_at_top >= 5.0,
+    }
+
+    result = {
+        "methodology": {
+            "build": "release-bench preset (-O3 -DNDEBUG)",
+            "binary": "bench/bench_control (exit code asserts deploys "
+                      "commit, edits stay on the delta path, and fleet "
+                      "epochs agree)",
+            "workload": f"[0, N) partitioned into {args.control_groups} "
+                        f"groups across 4 switches; full = "
+                        f"deploy_full from scratch, incremental = "
+                        f"one-group weight edit through the diff path",
+            "aggregate": f"median of {runs} runs of the median over "
+                         f"{args.control_deploys} deploys per path; "
+                         f"lookup ns medians {args.control_lookups} "
+                         f"probes per run",
+        },
+        "curve": {str(t): curve[t] for t in tenants_list},
+        "acceptance": acceptance,
+        "notes": [
+            "deploy latency is the ControlPlane's own wall-clock stamp "
+            "around compile + diff + two-phase fleet commit",
+            "memory_bytes.index is the O(tenants) part (4 B/id dense "
+            "array, shared fleet-wide); table is O(groups); "
+            "sketch_per_distribution is the fixed RankDigest budget at "
+            "the guard default (epsilon 0.02, 4096 B cap)",
+        ],
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for t in tenants_list:
+        c = curve[t]
+        print(f"  tenants={t}: full "
+              f"{c['full_deploy_ns_median'] / 1e6:.2f}ms, incremental "
+              f"{c['incremental_deploy_ns_median'] / 1e6:.2f}ms "
+              f"({c['incremental_speedup']}x), dense lookup "
+              f"{c['lookup_ns']['dense']}ns")
+    print(f"  acceptance ({acceptance['bar']}): "
+          f"{'MET' if acceptance['met'] else 'NOT MET'} "
+          f"({speedup_at_top}x at {top} tenants)")
+    if not acceptance["met"]:
+        sys.exit("incremental re-synthesis speedup below the 5x bar")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build-release-bench")
@@ -629,6 +747,18 @@ def main():
                     help="--shards values to time for --dataplane")
     ap.add_argument("--dataplane-packets", type=int, default=2_000_000,
                     help="packets per port per --dataplane run")
+    ap.add_argument("--control", action="store_true",
+                    help="measure the group-compiled control plane "
+                         "(bench_control) and write BENCH_control.json "
+                         "instead")
+    ap.add_argument("--tenants-list", default="10000,100000,1000000",
+                    help="tenant-count grid for --control")
+    ap.add_argument("--control-groups", type=int, default=64,
+                    help="groups in the --control policy")
+    ap.add_argument("--control-deploys", type=int, default=9,
+                    help="timed deploys per path per --control run")
+    ap.add_argument("--control-lookups", type=int, default=2_000_000,
+                    help="GroupIndex probes per --control run")
     args = ap.parse_args()
 
     if args.obs:
@@ -642,6 +772,10 @@ def main():
     if args.dataplane:
         args.out = args.out or "BENCH_dataplane.json"
         run_dataplane_mode(args)
+        return
+    if args.control:
+        args.out = args.out or "BENCH_control.json"
+        run_control_mode(args)
         return
     args.out = args.out or "BENCH_hotpath.json"
 

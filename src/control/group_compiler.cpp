@@ -1,0 +1,122 @@
+#include "control/group_compiler.hpp"
+
+#include <cstring>
+
+#include "qvisor/tenant.hpp"
+
+namespace qv::control {
+
+namespace {
+
+/// Content hash of one group's spec: membership + weight + bounds +
+/// name. Transform changes caused by OTHER groups (band reflow) are
+/// caught by diff_group_plans()'s transform comparison instead.
+std::uint64_t fingerprint_decl(const GroupDecl& g) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (char c : g.name) mix(static_cast<unsigned char>(c));
+  mix(0xff);  // name/body separator
+  for (const GroupDecl::Span& s : g.spans) {
+    mix(s.lo);
+    mix(s.hi);
+  }
+  mix(g.catch_all ? 1 : 0);
+  std::uint64_t wbits = 0;
+  static_assert(sizeof(wbits) == sizeof(g.weight));
+  std::memcpy(&wbits, &g.weight, sizeof(wbits));
+  mix(wbits);
+  if (g.bounds) {
+    mix(g.bounds->min);
+    mix(g.bounds->max);
+  } else {
+    mix(0xfffffffffull);
+  }
+  return h;
+}
+
+}  // namespace
+
+GroupCompiler::GroupCompiler(qvisor::SynthesizerConfig config)
+    : config_(config) {}
+
+GroupCompiler::Result GroupCompiler::compile(
+    const GroupedPolicy& grouped,
+    std::shared_ptr<const GroupIndex> reuse) const {
+  Result result;
+  if (grouped.groups.empty()) {
+    result.error = "empty grouped policy";
+    return result;
+  }
+
+  // One TenantSpec per group, ordinal-identified.
+  std::vector<qvisor::TenantSpec> specs;
+  specs.reserve(grouped.groups.size());
+  for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
+    const GroupDecl& decl = grouped.groups[g];
+    qvisor::TenantSpec spec;
+    spec.id = static_cast<TenantId>(g);
+    spec.name = decl.name;
+    spec.declared_bounds =
+        decl.bounds.value_or(sched::RankBounds{0, kMaxRank});
+    spec.weight = decl.weight;
+    specs.push_back(std::move(spec));
+  }
+
+  qvisor::Synthesizer synth(config_);
+  auto synthesized = synth.synthesize(specs, grouped.policy);
+  if (!synthesized.ok()) {
+    result.error = "synthesis: " + synthesized.error;
+    return result;
+  }
+
+  CompiledGroupPlan plan;
+  plan.table = std::move(*synthesized.plan);
+  // The synthesizer emits tenants in policy order; re-key the table to
+  // ordinal order so group id indexes it directly.
+  std::sort(plan.table.tenants.begin(), plan.table.tenants.end(),
+            [](const qvisor::TenantPlan& a, const qvisor::TenantPlan& b) {
+              return a.tenant < b.tenant;
+            });
+
+  std::vector<IdRange> ranges;
+  GroupId catch_all = kInvalidGroup;
+  for (std::size_t g = 0; g < grouped.groups.size(); ++g) {
+    const GroupDecl& decl = grouped.groups[g];
+    for (const GroupDecl::Span& s : decl.spans) {
+      ranges.push_back(IdRange{s.lo, s.hi, static_cast<GroupId>(g)});
+    }
+    if (decl.catch_all) catch_all = static_cast<GroupId>(g);
+    plan.fingerprints.push_back(fingerprint_decl(decl));
+  }
+  const auto group_count = static_cast<std::uint32_t>(grouped.groups.size());
+  if (reuse != nullptr &&
+      reuse->fingerprint() ==
+          GroupIndex::fingerprint_for(ranges, catch_all, group_count)) {
+    // Membership unchanged: share the deployed index instead of paying
+    // the O(tenants) dense refill for byte-identical contents.
+    plan.index = std::move(reuse);
+  } else {
+    plan.index = GroupIndex::build(std::move(ranges), catch_all, group_count);
+  }
+  plan.source = grouped.to_string();
+
+  result.plan = std::move(plan);
+  return result;
+}
+
+GroupCompiler::Result GroupCompiler::compile_text(
+    const std::string& text) const {
+  auto parsed = parse_grouped_policy(text);
+  if (!parsed.ok()) {
+    Result result;
+    result.error = "parse: " + parsed.error + " (offset " +
+                   std::to_string(parsed.error_pos) + ")";
+    return result;
+  }
+  return compile(*parsed.value);
+}
+
+}  // namespace qv::control

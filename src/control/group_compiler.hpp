@@ -1,0 +1,52 @@
+// The group compiler (ISSUE 7 tentpole, pillar 2): lowers a grouped
+// policy (group_policy.hpp) into the runnable artifact pair — an
+// O(groups) transform table laid out by the existing synthesizer, and
+// an O(1) tenant -> group index (group_plan.hpp).
+//
+// The trick is that the synthesizer needs NO changes: each group is
+// presented to it as one TenantSpec (id = group ordinal, name = group
+// name, the group's declared bounds and sharing weight), and the
+// inter-group policy is already in the flat `>>`/`>`/`+` language. All
+// of the band-allocation guarantees — disjoint tier bands, preference
+// bias, fair sharing quantization — apply to groups verbatim; tenants
+// inside one group share its band the way sharing tenants always have.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "control/group_plan.hpp"
+#include "control/group_policy.hpp"
+#include "qvisor/synthesizer.hpp"
+
+namespace qv::control {
+
+class GroupCompiler {
+ public:
+  struct Result {
+    std::optional<CompiledGroupPlan> plan;
+    std::string error;
+
+    bool ok() const { return plan.has_value(); }
+  };
+
+  explicit GroupCompiler(qvisor::SynthesizerConfig config = {});
+
+  /// Compile a validated grouped policy. When `reuse` is non-null and
+  /// its membership fingerprint matches the new policy's, the compiled
+  /// plan shares that index instead of refilling the O(tenants) dense
+  /// array — the dominant cost of a recompile at 1M tenants, and the
+  /// incremental re-synthesis path's main saving.
+  Result compile(const GroupedPolicy& grouped,
+                 std::shared_ptr<const GroupIndex> reuse = nullptr) const;
+
+  /// Parse + compile in one step (error strings cover both stages).
+  Result compile_text(const std::string& text) const;
+
+  const qvisor::SynthesizerConfig& config() const { return config_; }
+
+ private:
+  qvisor::SynthesizerConfig config_;
+};
+
+}  // namespace qv::control

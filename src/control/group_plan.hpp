@@ -1,0 +1,262 @@
+// Group-compiled policy artifacts (ISSUE 7 tentpole, pillar 2).
+//
+// At a million tenants the per-tenant SynthesisPlan stops being a
+// control-plane object: a dense transform table over 1M ids is tens of
+// megabytes per switch and a full rebuild on every policy edit. The
+// group compiler flips the representation: the operator writes policy
+// over tenant GROUPS (contiguous id ranges plus one optional catch-all),
+// the synthesizer lays out O(groups) transforms, and the data plane
+// resolves tenant -> group with one O(1) dense-array load (spilling to a
+// binary search over O(groups) ranges only for ids past the dense
+// ceiling). Per-tenant control state collapses to: a group id implied by
+// the index, plus one fixed-byte RankDigest wherever a rank distribution
+// is tracked.
+//
+// Header-only on purpose: qvisor_core (pre-processor, hypervisor, fleet)
+// consumes these types inline without linking the control library, and
+// the control library links core for the synthesizer — no cycle.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qvisor/synthesizer.hpp"
+
+namespace qv::control {
+
+using qv::Rank;
+using qv::TenantId;
+
+using GroupId = std::uint32_t;
+inline constexpr GroupId kInvalidGroup = 0xffffffffu;
+
+/// Closed tenant-id interval [lo, hi] owned by one group.
+struct IdRange {
+  TenantId lo = 0;
+  TenantId hi = 0;
+  GroupId group = kInvalidGroup;
+
+  friend bool operator==(const IdRange& a, const IdRange& b) {
+    return a.lo == b.lo && a.hi == b.hi && a.group == b.group;
+  }
+};
+
+/// O(1) tenant -> group resolution. Immutable after build() — shared by
+/// every port of every switch via shared_ptr, and REUSED across
+/// recompiles whose membership did not change (the dominant cost of a
+/// full install at 1M tenants is refilling this array; an unchanged
+/// fingerprint skips it entirely, which is where the incremental
+/// re-synthesis speedup lives).
+class GroupIndex {
+ public:
+  /// Dense-array ceiling. Ids below it resolve with one array load
+  /// (4 bytes/tenant: 4 MB at 1M tenants — the O(tenants) part of the
+  /// index, and the only one). Ranges above it go to the sorted spill
+  /// list: O(log groups), control-plane-rare by construction.
+  static constexpr TenantId kDenseLimit = 1u << 21;
+
+  /// `ranges` must be non-overlapping (the compiler validates before
+  /// building). `catch_all` is the group for ids no range covers, or
+  /// kInvalidGroup to leave them unknown.
+  static std::shared_ptr<const GroupIndex> build(std::vector<IdRange> ranges,
+                                                 GroupId catch_all,
+                                                 std::uint32_t group_count) {
+    auto idx = std::make_shared<GroupIndex>();
+    std::sort(ranges.begin(), ranges.end(),
+              [](const IdRange& a, const IdRange& b) { return a.lo < b.lo; });
+    TenantId dense_top = 0;  // one past the highest densely-covered id
+    for (const IdRange& r : ranges) {
+      assert(r.lo <= r.hi && r.group < group_count);
+      if (r.lo < kDenseLimit) {
+        const TenantId hi = std::min<TenantId>(r.hi, kDenseLimit - 1);
+        dense_top = std::max<TenantId>(dense_top, hi + 1);
+      }
+    }
+    idx->dense_.assign(dense_top, kInvalidGroup);
+    for (const IdRange& r : ranges) {
+      if (r.lo < kDenseLimit) {
+        const TenantId hi = std::min<TenantId>(r.hi, kDenseLimit - 1);
+        std::fill(idx->dense_.begin() + r.lo, idx->dense_.begin() + hi + 1,
+                  r.group);
+      }
+      if (r.hi >= kDenseLimit) {
+        idx->spill_.push_back(IdRange{std::max<TenantId>(r.lo, kDenseLimit),
+                                      r.hi, r.group});
+      }
+    }
+    idx->catch_all_ = catch_all;
+    idx->group_count_ = group_count;
+    idx->fingerprint_ = fingerprint_of(ranges, catch_all, group_count);
+    return idx;
+  }
+
+  /// Hot path: one bounds check + one array load for dense ids.
+  GroupId lookup(TenantId t) const {
+    if (t < dense_.size()) [[likely]] {
+      const GroupId g = dense_[t];
+      return g != kInvalidGroup ? g : catch_all_;
+    }
+    // Sorted, non-overlapping: binary-search the last range with lo <= t.
+    auto it = std::upper_bound(
+        spill_.begin(), spill_.end(), t,
+        [](TenantId v, const IdRange& r) { return v < r.lo; });
+    if (it != spill_.begin()) {
+      --it;
+      if (t <= it->hi) return it->group;
+    }
+    return catch_all_;
+  }
+
+  /// The fingerprint build() would assign to these inputs — O(groups),
+  /// no dense fill. Lets a recompile detect an unchanged membership
+  /// BEFORE paying the O(tenants) rebuild and reuse the old index.
+  static std::uint64_t fingerprint_for(std::vector<IdRange> ranges,
+                                       GroupId catch_all,
+                                       std::uint32_t group_count) {
+    std::sort(ranges.begin(), ranges.end(),
+              [](const IdRange& a, const IdRange& b) { return a.lo < b.lo; });
+    return fingerprint_of(ranges, catch_all, group_count);
+  }
+
+  std::uint32_t group_count() const { return group_count_; }
+  GroupId catch_all() const { return catch_all_; }
+
+  /// Content hash of the membership map. Two indexes with equal
+  /// fingerprints resolve every tenant identically; the delta installer
+  /// uses this to skip the O(tenants) dense refill.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// O(tenants) dense array + O(groups) spill — the whole per-tenant
+  /// footprint of group mode beyond the sketches.
+  std::size_t byte_size() const {
+    return sizeof(*this) + dense_.size() * sizeof(GroupId) +
+           spill_.size() * sizeof(IdRange);
+  }
+  std::size_t dense_entries() const { return dense_.size(); }
+  std::size_t spill_ranges() const { return spill_.size(); }
+
+ private:
+  static std::uint64_t fingerprint_of(const std::vector<IdRange>& sorted,
+                                      GroupId catch_all,
+                                      std::uint32_t group_count) {
+    // FNV-1a over the sorted range list: order-insensitive because the
+    // input is canonicalized by the sort above.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(group_count);
+    mix(catch_all);
+    for (const IdRange& r : sorted) {
+      mix(r.lo);
+      mix(r.hi);
+      mix(r.group);
+    }
+    return h;
+  }
+
+  std::vector<GroupId> dense_;  ///< dense_[id] = group, or kInvalidGroup
+  std::vector<IdRange> spill_;  ///< sorted by lo; ids >= kDenseLimit
+  GroupId catch_all_ = kInvalidGroup;
+  std::uint32_t group_count_ = 0;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// A group-compiled joint scheduling function. `table` is a normal
+/// SynthesisPlan whose "tenants" are the groups (TenantPlan::tenant is
+/// the group ordinal, ::name the group name) — backends instantiate it
+/// unchanged, the pre-processor indexes it by the group id the index
+/// returns, and every worst-case band guarantee of the per-tenant
+/// synthesizer carries over verbatim.
+struct CompiledGroupPlan {
+  qvisor::SynthesisPlan table;              ///< O(groups) transforms
+  std::shared_ptr<const GroupIndex> index;  ///< O(1) tenant -> group
+
+  /// Per-group content hash (membership ranges + weight + bounds +
+  /// declared spec), ordinal-indexed. diff_group_plans() compares these
+  /// plus the compiled transforms to find the delta.
+  std::vector<std::uint64_t> fingerprints;
+
+  /// Canonical source text (grouped policy language); survives
+  /// round-trips through parse_grouped_policy().
+  std::string source;
+
+  std::uint32_t group_count() const {
+    return static_cast<std::uint32_t>(table.tenants.size());
+  }
+  bool empty() const { return table.tenants.empty(); }
+
+  /// O(groups) bytes: the transform table itself.
+  std::size_t table_bytes() const {
+    return sizeof(table) +
+           table.tenants.size() * sizeof(qvisor::TenantPlan) +
+           table.tier_bands.size() * sizeof(qvisor::TierBand);
+  }
+  /// O(tenants) dense index bytes (shared across all ports/switches).
+  std::size_t index_bytes() const { return index ? index->byte_size() : 0; }
+};
+
+/// What changed between two compiled plans — the unit the incremental
+/// re-synthesis path pushes through the two-phase fleet commit.
+struct GroupPlanDelta {
+  /// Structural change (group count, tier layout, or rank space moved):
+  /// the delta degenerates to a full install.
+  bool full = false;
+
+  /// Membership moved (index fingerprint differs): the new index must
+  /// be swapped in even if no transform changed.
+  bool index_changed = false;
+
+  /// Ordinals (into the NEW plan) whose transform or spec changed.
+  std::vector<std::uint32_t> changed_groups;
+
+  bool empty() const {
+    return !full && !index_changed && changed_groups.empty();
+  }
+};
+
+/// Diff old vs new compiled plans. Group identity is ordinal: the
+/// compiler emits groups in declaration order, so an insertion or
+/// removal shifts ordinals and correctly degenerates to a full install
+/// (structural change). Renames with identical spec keep their
+/// fingerprint component but change the name — treated as changed.
+inline GroupPlanDelta diff_group_plans(const CompiledGroupPlan& from,
+                                       const CompiledGroupPlan& to) {
+  GroupPlanDelta d;
+  if (from.group_count() != to.group_count() ||
+      from.table.rank_space != to.table.rank_space ||
+      from.table.tier_bands.size() != to.table.tier_bands.size()) {
+    d.full = true;
+    return d;
+  }
+  for (std::size_t t = 0; t < to.table.tier_bands.size(); ++t) {
+    if (from.table.tier_bands[t].lo != to.table.tier_bands[t].lo ||
+        from.table.tier_bands[t].hi != to.table.tier_bands[t].hi) {
+      d.full = true;
+      return d;
+    }
+  }
+  d.index_changed = !from.index || !to.index ||
+                    from.index->fingerprint() != to.index->fingerprint();
+  for (std::uint32_t g = 0; g < to.group_count(); ++g) {
+    const auto& a = from.table.tenants[g];
+    const auto& b = to.table.tenants[g];
+    const bool spec_changed =
+        g < from.fingerprints.size() && g < to.fingerprints.size()
+            ? from.fingerprints[g] != to.fingerprints[g]
+            : true;
+    if (spec_changed || a.name != b.name || a.tier != b.tier ||
+        !(a.transform == b.transform) ||
+        a.quantile.has_value() != b.quantile.has_value()) {
+      d.changed_groups.push_back(g);
+    }
+  }
+  return d;
+}
+
+}  // namespace qv::control

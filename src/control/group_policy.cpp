@@ -1,0 +1,342 @@
+#include "control/group_policy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qv::control {
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+/// Shortest decimal form that round-trips to exactly `w`.
+std::string print_double(double w) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", w);
+  if (std::strtod(buf, nullptr) == w) return buf;
+  std::snprintf(buf, sizeof buf, "%.17g", w);
+  return buf;
+}
+
+/// One line being parsed; pos_ is the global offset for error reporting.
+class LineParser {
+ public:
+  LineParser(const std::string& text, std::size_t begin, std::size_t end)
+      : text_(text), pos_(begin), end_(end) {}
+
+  void skip_ws() {
+    while (pos_ < end_ && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= end_;
+  }
+  std::size_t pos() const { return pos_; }
+  char peek() const { return pos_ < end_ ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < end_ && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Word = name chars; returns empty if none.
+  std::string word() {
+    skip_ws();
+    if (pos_ >= end_ || !is_name_start(text_[pos_])) return {};
+    const std::size_t start = pos_;
+    while (pos_ < end_ && is_name_char(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Non-negative integer fitting a TenantId; false on overflow/absence.
+  bool uint32(TenantId& out) {
+    skip_ws();
+    if (pos_ >= end_ || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      return false;
+    std::uint64_t v = 0;
+    while (pos_ < end_ &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (v > 0xfffffffeull) return false;  // kInvalidTenant reserved
+      ++pos_;
+    }
+    out = static_cast<TenantId>(v);
+    return true;
+  }
+
+  bool number(double& out) {
+    skip_ws();
+    if (pos_ >= end_) return false;
+    const char* begin = text_.c_str() + pos_;
+    char* parse_end = nullptr;
+    const double v = std::strtod(begin, &parse_end);
+    if (parse_end == begin) return false;
+    const auto consumed = static_cast<std::size_t>(parse_end - begin);
+    if (pos_ + consumed > end_) return false;  // strtod ran past the line
+    pos_ += consumed;
+    out = v;
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+GroupedPolicyParseResult fail(std::string error, std::size_t pos) {
+  GroupedPolicyParseResult r;
+  r.error = std::move(error);
+  r.error_pos = pos;
+  return r;
+}
+
+}  // namespace
+
+bool operator==(const GroupDecl& a, const GroupDecl& b) {
+  const bool bounds_eq =
+      a.bounds.has_value() == b.bounds.has_value() &&
+      (!a.bounds || (a.bounds->min == b.bounds->min &&
+                     a.bounds->max == b.bounds->max));
+  return a.name == b.name && a.spans == b.spans &&
+         a.catch_all == b.catch_all && a.weight == b.weight && bounds_eq;
+}
+
+bool operator==(const GroupedPolicy& a, const GroupedPolicy& b) {
+  return a.groups == b.groups && a.policy == b.policy;
+}
+
+std::string GroupedPolicy::to_string() const {
+  std::string out;
+  for (const GroupDecl& g : groups) {
+    out += "group ";
+    out += g.name;
+    out += " =";
+    bool first = true;
+    for (const GroupDecl::Span& s : g.spans) {
+      out += first ? " " : ", ";
+      first = false;
+      out += std::to_string(s.lo);
+      if (s.hi != s.lo) {
+        out += "..";
+        out += std::to_string(s.hi);
+      }
+    }
+    if (g.catch_all) {
+      out += first ? " *" : ", *";
+    }
+    if (g.weight != 1.0) {
+      out += " weight ";
+      out += print_double(g.weight);
+    }
+    if (g.bounds) {
+      out += " bounds ";
+      out += std::to_string(g.bounds->min);
+      out += "..";
+      out += std::to_string(g.bounds->max);
+    }
+    out += '\n';
+  }
+  out += "policy ";
+  out += policy.to_string();
+  out += '\n';
+  return out;
+}
+
+GroupedPolicyParseResult parse_grouped_policy(const std::string& text) {
+  GroupedPolicy result;
+  bool have_policy = false;
+  std::size_t policy_offset = 0;
+  std::string policy_text;
+
+  std::size_t line_begin = 0;
+  while (line_begin <= text.size()) {
+    std::size_t line_end = text.find('\n', line_begin);
+    if (line_end == std::string::npos) line_end = text.size();
+    // Comments run to end of line.
+    std::size_t content_end = line_end;
+    for (std::size_t i = line_begin; i < line_end; ++i) {
+      if (text[i] == '#') {
+        content_end = i;
+        break;
+      }
+    }
+    LineParser lp(text, line_begin, content_end);
+    if (!lp.at_end()) {
+      const std::size_t kw_pos = lp.pos();
+      const std::string kw = lp.word();
+      if (kw == "group") {
+        GroupDecl decl;
+        const std::size_t name_pos = lp.pos();
+        decl.name = lp.word();
+        if (decl.name.empty()) {
+          return fail("expected group name after 'group'", name_pos);
+        }
+        if (decl.name == "group" || decl.name == "policy" ||
+            decl.name == "weight" || decl.name == "bounds") {
+          return fail("'" + decl.name + "' is a reserved word", name_pos);
+        }
+        if (!lp.consume('=')) {
+          return fail("expected '=' after group name", lp.pos());
+        }
+        // Comma-separated ranges / ids / '*'.
+        while (true) {
+          lp.skip_ws();
+          const std::size_t item_pos = lp.pos();
+          if (lp.consume('*')) {
+            if (decl.catch_all) {
+              return fail("duplicate '*' in group '" + decl.name + "'",
+                          item_pos);
+            }
+            decl.catch_all = true;
+          } else {
+            GroupDecl::Span s;
+            if (!lp.uint32(s.lo)) {
+              return fail("expected tenant id, range, or '*'", item_pos);
+            }
+            s.hi = s.lo;
+            if (lp.consume('.')) {
+              if (!lp.consume('.') || !lp.uint32(s.hi)) {
+                return fail("expected 'lo..hi' range", item_pos);
+              }
+              if (s.hi < s.lo) {
+                return fail("inverted range " + std::to_string(s.lo) + ".." +
+                                std::to_string(s.hi),
+                            item_pos);
+              }
+            }
+            decl.spans.push_back(s);
+          }
+          if (!lp.consume(',')) break;
+        }
+        if (decl.spans.empty() && !decl.catch_all) {
+          return fail("group '" + decl.name + "' declares no tenants",
+                      lp.pos());
+        }
+        // Optional trailing attributes, in order: weight, bounds.
+        std::size_t attr_pos = lp.pos();
+        std::string attr = lp.word();
+        if (attr == "weight") {
+          const std::size_t wpos = lp.pos();
+          if (!lp.number(decl.weight) || !(decl.weight > 0.0) ||
+              !(decl.weight < 1e18)) {
+            return fail("expected positive finite weight", wpos);
+          }
+          attr_pos = lp.pos();
+          attr = lp.word();
+        }
+        if (attr == "bounds") {
+          sched::RankBounds b;
+          const std::size_t bpos = lp.pos();
+          if (!lp.uint32(b.min) || !lp.consume('.') || !lp.consume('.') ||
+              !lp.uint32(b.max)) {
+            return fail("expected 'bounds lo..hi'", bpos);
+          }
+          if (b.max < b.min) {
+            return fail("inverted bounds", bpos);
+          }
+          decl.bounds = b;
+          attr_pos = lp.pos();
+          attr = lp.word();
+        }
+        if (!attr.empty() || !lp.at_end()) {
+          return fail("unexpected trailing input in group declaration",
+                      attr.empty() ? lp.pos() : attr_pos);
+        }
+        result.groups.push_back(std::move(decl));
+      } else if (kw == "policy") {
+        if (have_policy) {
+          return fail("duplicate 'policy' line", kw_pos);
+        }
+        have_policy = true;
+        lp.skip_ws();
+        policy_offset = lp.pos();
+        policy_text = text.substr(policy_offset, content_end - policy_offset);
+      } else {
+        return fail("expected 'group' or 'policy'", kw_pos);
+      }
+    }
+    line_begin = line_end + 1;
+  }
+
+  if (result.groups.empty()) {
+    return fail("no group declarations", 0);
+  }
+  if (!have_policy) {
+    return fail("missing 'policy' line", text.size());
+  }
+
+  // Name uniqueness + single catch-all.
+  std::unordered_set<std::string> names;
+  bool saw_catch_all = false;
+  for (const GroupDecl& g : result.groups) {
+    if (!names.insert(g.name).second) {
+      return fail("duplicate group '" + g.name + "'", 0);
+    }
+    if (g.catch_all) {
+      if (saw_catch_all) {
+        return fail("multiple catch-all ('*') groups", 0);
+      }
+      saw_catch_all = true;
+    }
+  }
+
+  // Disjointness across ALL spans: sort by lo, adjacent overlap check.
+  struct Owned {
+    GroupDecl::Span span;
+    const std::string* group;
+  };
+  std::vector<Owned> all;
+  for (const GroupDecl& g : result.groups) {
+    for (const GroupDecl::Span& s : g.spans) all.push_back({s, &g.name});
+  }
+  std::sort(all.begin(), all.end(), [](const Owned& a, const Owned& b) {
+    return a.span.lo < b.span.lo;
+  });
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].span.lo <= all[i - 1].span.hi) {
+      return fail("ranges of '" + *all[i - 1].group + "' and '" +
+                      *all[i].group + "' overlap at id " +
+                      std::to_string(all[i].span.lo),
+                  0);
+    }
+  }
+
+  // The inter-group policy reuses the flat parser.
+  auto parsed = qvisor::parse_policy(policy_text);
+  if (!parsed.ok()) {
+    return fail("policy: " + parsed.error, policy_offset + parsed.error_pos);
+  }
+  result.policy = std::move(*parsed.policy);
+
+  // Exact name agreement both ways (mirrors the synthesizer's rule that
+  // the policy and the tenant set must match).
+  for (const std::string& n : result.policy.tenant_names()) {
+    if (names.find(n) == names.end()) {
+      return fail("policy names undeclared group '" + n + "'", policy_offset);
+    }
+  }
+  for (const GroupDecl& g : result.groups) {
+    if (!result.policy.mentions(g.name)) {
+      return fail("group '" + g.name + "' missing from policy", policy_offset);
+    }
+  }
+
+  GroupedPolicyParseResult ok;
+  ok.value = std::move(result);
+  return ok;
+}
+
+}  // namespace qv::control

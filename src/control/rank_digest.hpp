@@ -1,0 +1,328 @@
+// Compact mergeable rank-distribution sketches (ISSUE 7 tentpole,
+// pillar 1): the million-tenant replacement for the exact per-tenant
+// rank windows kept by the admission guard (64-rank ring) and the
+// hypervisor's RankDistEstimator (1024-entry ring). RIFO (PAPERS.md)
+// ranks with tiny constant per-entity state; this is that style for
+// QVISOR's control plane.
+//
+// RankDigest is a DDSketch-flavoured log-bucketed histogram over the
+// rank axis:
+//
+//   * fixed-byte budget — every bucket is allocated at construction
+//     and never grows; byte_size() is a constant of the config, not of
+//     the stream. A hostile tenant streaming adversarial ranks cannot
+//     grow its own digest by one byte.
+//   * bounded rank error — bucket i covers (gamma^(i-1), gamma^i] with
+//     gamma = (1+eps)/(1-eps), so quantile() answers carry relative
+//     value error <= eps (plus integer rounding) whenever the budget
+//     covers the observed range; exact min/max tracking clamps the
+//     degenerate cases (point masses answer exactly).
+//   * mergeable — merge() adds bucket-wise and is exactly associative
+//     and commutative, including through budget collapses, because the
+//     representation is canonical: the cutoff below which mass folds
+//     into the lowest retained bucket depends only on the highest
+//     bucket ever occupied, never on arrival order. Fleet-level
+//     aggregation of per-switch digests is therefore order-free.
+//   * decay() halves every count, giving an exponentially-weighted
+//     window (the control plane's replacement for "last N packets").
+//
+// ExactRankWindow implements the same observe/quantile/fraction_below
+// interface over an exact ring buffer; it exists so differential tests
+// (tests/control/) can hold the sketch against ground truth, and so
+// call sites can be written against the common shape of both.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "netsim/packet.hpp"
+
+namespace qv::control {
+
+struct RankDigestConfig {
+  /// Target relative error of quantile answers (0 < epsilon < 1).
+  double epsilon = 0.05;
+
+  /// Hard budget for bucket storage, bytes. When the epsilon-derived
+  /// bucket count does not fit, low buckets collapse; quantiles above
+  /// the collapsed region keep the epsilon guarantee.
+  std::size_t max_bytes = 2048;
+};
+
+class RankDigest {
+ public:
+  explicit RankDigest(RankDigestConfig config = {}) : config_(config) {
+    assert(config_.epsilon > 0.0 && config_.epsilon < 1.0);
+    gamma_ = (1.0 + config_.epsilon) / (1.0 - config_.epsilon);
+    inv_ln_gamma_ = 1.0 / std::log(gamma_);
+    // Buckets needed to cover the whole 32-bit rank axis at this
+    // epsilon, clipped to the byte budget (minimum 4 so the structure
+    // stays usable at absurd configs).
+    const auto full = static_cast<std::size_t>(
+        std::ceil(std::log(static_cast<double>(kMaxRank)) * inv_ln_gamma_)) +
+        1;
+    const std::size_t budget =
+        config_.max_bytes / sizeof(std::uint32_t);
+    buckets_.assign(std::max<std::size_t>(4, std::min(full, budget)), 0);
+  }
+
+  /// O(1) amortized (a budget collapse shifts the fixed array).
+  void observe(Rank r) {
+    ++count_;
+    min_ = std::min(min_, r);
+    max_ = std::max(max_, r);
+    if (r == 0) {
+      ++zero_;
+      return;
+    }
+    const std::int32_t i = index_of(r);
+    if (hi_ < 0) {
+      hi_ = i;
+      base_ = cutoff_for(i);
+    } else if (i > hi_) {
+      shift_to(cutoff_for(i));
+      hi_ = i;
+    }
+    const std::int32_t slot = std::max<std::int32_t>(0, i - base_);
+    ++buckets_[static_cast<std::size_t>(slot)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  Rank min() const { return count_ ? min_ : 0; }
+  Rank max() const { return count_ ? max_ : 0; }
+
+  /// Empirical quantile, q in [0, 1]. Relative value error <= epsilon
+  /// (+1 for integer rounding) outside collapsed buckets; always
+  /// clamped into the exact [min, max] envelope.
+  Rank quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank position in [1, count]: the k-th smallest element.
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    if (target <= zero_) return 0;
+    std::uint64_t seen = zero_;
+    for (std::size_t s = 0; s < buckets_.size(); ++s) {
+      seen += buckets_[s];
+      if (seen >= target) {
+        return clamp_estimate(estimate_of(base_ + static_cast<std::int32_t>(s)));
+      }
+    }
+    return max_;  // numerically unreachable; counts always sum to count_
+  }
+
+  /// Estimated fraction of observations strictly below `r` (the CDF
+  /// query quantile admission runs per packet). Mass inside the bucket
+  /// containing `r` is split at its midpoint, so the absolute error is
+  /// at most half that bucket's mass fraction.
+  double fraction_below(Rank r) const {
+    if (count_ == 0 || r == 0) return 0.0;
+    std::uint64_t below = zero_;
+    std::uint64_t boundary = 0;
+    const std::int32_t ir = index_of(r);
+    for (std::size_t s = 0; s < buckets_.size(); ++s) {
+      const std::int32_t i = base_ + static_cast<std::int32_t>(s);
+      if (i < ir) {
+        below += buckets_[s];
+      } else {
+        if (i == ir) boundary = buckets_[s];
+        break;
+      }
+    }
+    return (static_cast<double>(below) + static_cast<double>(boundary) / 2.0) /
+           static_cast<double>(count_);
+  }
+
+  /// Exactly associative and commutative: the canonical representation
+  /// depends only on the combined observation multiset. Configs must
+  /// match (asserted).
+  void merge(const RankDigest& other) {
+    assert(buckets_.size() == other.buckets_.size() &&
+           config_.epsilon == other.config_.epsilon);
+    count_ += other.count_;
+    zero_ += other.zero_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    if (other.hi_ < 0) return;
+    if (hi_ < 0) {
+      hi_ = other.hi_;
+      base_ = other.base_;
+      buckets_ = other.buckets_;
+      return;
+    }
+    if (other.hi_ > hi_) {
+      shift_to(cutoff_for(other.hi_));
+      hi_ = other.hi_;
+    }
+    for (std::size_t s = 0; s < other.buckets_.size(); ++s) {
+      if (other.buckets_[s] == 0) continue;
+      const std::int32_t i = other.base_ + static_cast<std::int32_t>(s);
+      const std::int32_t slot = std::max<std::int32_t>(0, i - base_);
+      buckets_[static_cast<std::size_t>(slot)] += other.buckets_[s];
+    }
+  }
+
+  /// Halve every count (exponential forgetting). min/max stay — they
+  /// bound the envelope of everything ever observed since reset().
+  void decay() {
+    zero_ >>= 1;
+    std::uint64_t total = zero_;
+    for (auto& b : buckets_) {
+      b >>= 1;
+      total += b;
+    }
+    count_ = total;
+  }
+
+  void reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0u);
+    count_ = 0;
+    zero_ = 0;
+    hi_ = -1;
+    base_ = 0;
+    min_ = kMaxRank;
+    max_ = 0;
+  }
+
+  /// Constant for a given config: header + the fixed bucket array.
+  std::size_t byte_size() const {
+    return sizeof(*this) + buckets_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Worst-case relative value error of quantile() given the bucket
+  /// geometry actually allocated (== config epsilon when the budget
+  /// covered the request).
+  double effective_epsilon() const { return (gamma_ - 1.0) / (gamma_ + 1.0); }
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  const RankDigestConfig& config() const { return config_; }
+
+  friend bool operator==(const RankDigest& a, const RankDigest& b) {
+    return a.count_ == b.count_ && a.zero_ == b.zero_ && a.hi_ == b.hi_ &&
+           a.base_ == b.base_ && a.min_ == b.min_ && a.max_ == b.max_ &&
+           a.buckets_ == b.buckets_;
+  }
+
+ private:
+  std::int32_t index_of(Rank r) const {
+    // ceil(log_gamma(r)); r >= 1. Bucket i covers (gamma^(i-1), gamma^i].
+    const double x = std::log(static_cast<double>(r)) * inv_ln_gamma_;
+    return std::max<std::int32_t>(0, static_cast<std::int32_t>(std::ceil(
+                                         x - 1e-9)));
+  }
+
+  Rank estimate_of(std::int32_t i) const {
+    // Midpoint (harmonic) of (gamma^(i-1), gamma^i]: 2*gamma^i/(1+gamma),
+    // whose relative distance to either edge is (gamma-1)/(gamma+1) = eps.
+    const double v =
+        2.0 * std::exp(static_cast<double>(i) / inv_ln_gamma_) /
+        (1.0 + gamma_);
+    if (v >= static_cast<double>(kMaxRank)) return kMaxRank;
+    return static_cast<Rank>(std::llround(std::max(1.0, v)));
+  }
+
+  Rank clamp_estimate(Rank v) const { return std::clamp(v, min_, max_); }
+
+  /// Canonical lowest retained index when the highest occupied index is
+  /// `hi`: everything below folds into the cutoff bucket.
+  std::int32_t cutoff_for(std::int32_t hi) const {
+    return std::max<std::int32_t>(
+        0, hi - static_cast<std::int32_t>(buckets_.size()) + 1);
+  }
+
+  void shift_to(std::int32_t new_base) {
+    if (new_base <= base_) return;
+    const auto shift = static_cast<std::size_t>(new_base - base_);
+    std::uint64_t folded = 0;
+    const std::size_t fold_end = std::min(shift + 1, buckets_.size());
+    for (std::size_t s = 0; s < fold_end; ++s) folded += buckets_[s];
+    if (shift < buckets_.size()) {
+      std::memmove(buckets_.data(), buckets_.data() + shift,
+                   (buckets_.size() - shift) * sizeof(std::uint32_t));
+      std::fill(buckets_.end() - static_cast<std::ptrdiff_t>(shift),
+                buckets_.end(), 0u);
+    } else {
+      std::fill(buckets_.begin(), buckets_.end(), 0u);
+    }
+    buckets_[0] = static_cast<std::uint32_t>(folded);
+    base_ = new_base;
+  }
+
+  RankDigestConfig config_;
+  double gamma_ = 1.0;
+  double inv_ln_gamma_ = 1.0;
+  std::vector<std::uint32_t> buckets_;  ///< fixed size from construction
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_ = 0;      ///< observations of rank 0
+  std::int32_t hi_ = -1;        ///< highest occupied global index
+  std::int32_t base_ = 0;       ///< global index of buckets_[0]
+  Rank min_ = kMaxRank;         ///< exact envelope (clamps estimates)
+  Rank max_ = 0;
+};
+
+/// Exact ground truth with the same query surface: a ring of the last
+/// `window` ranks. This is the structure the digests replace — kept for
+/// differential tests and for call sites configured exact.
+class ExactRankWindow {
+ public:
+  explicit ExactRankWindow(std::size_t window = 64) : ring_(window) {
+    assert(window > 0);
+  }
+
+  void observe(Rank r) {
+    ring_[pos_] = r;
+    pos_ = (pos_ + 1 == ring_.size()) ? 0 : pos_ + 1;
+    if (len_ < ring_.size()) ++len_;
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return len_ == 0; }
+  std::size_t window_len() const { return len_; }
+
+  Rank quantile(double q) const {
+    if (len_ == 0) return 0;
+    std::vector<Rank> sorted(ring_.begin(),
+                             ring_.begin() + static_cast<std::ptrdiff_t>(len_));
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(len_))));
+    return sorted[k - 1];
+  }
+
+  /// Exact fraction of the window strictly below `r`.
+  double fraction_below(Rank r) const {
+    if (len_ == 0) return 0.0;
+    std::size_t below = 0;
+    for (std::size_t i = 0; i < len_; ++i) {
+      if (ring_[i] < r) ++below;
+    }
+    return static_cast<double>(below) / static_cast<double>(len_);
+  }
+
+  std::size_t byte_size() const {
+    return sizeof(*this) + ring_.size() * sizeof(Rank);
+  }
+
+  void reset() {
+    pos_ = 0;
+    len_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<Rank> ring_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace qv::control

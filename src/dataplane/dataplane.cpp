@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "control/group_compiler.hpp"
+#include "control/group_plan.hpp"
 #include "exec/thread_pool.hpp"
 #include "dataplane/spsc_ring.hpp"
 #include "netsim/packet.hpp"
@@ -20,18 +22,36 @@ namespace qv::dataplane {
 
 namespace {
 
+/// The compiled scheduling function the ports run: per-tenant plan, or
+/// (groups mode) a shared group-compiled plan whose transform table
+/// every port indexes through the O(1) tenant -> group index.
+struct PlanBundle {
+  qvisor::SynthesisPlan plan;
+  std::shared_ptr<const control::CompiledGroupPlan> group;
+
+  const qvisor::SynthesisPlan& table() const {
+    return group ? group->table : plan;
+  }
+};
+
 /// One output port's pipeline: pre-processor (+ inlined admission
 /// guard) in front of a BucketedPifo sized to the synthesized rank
 /// space. Owned and touched by exactly one worker thread.
 struct Port {
-  Port(const qvisor::SynthesisPlan& plan, const DataplaneConfig& cfg)
+  Port(const PlanBundle& bundle, const DataplaneConfig& cfg)
       : pre(qvisor::UnknownTenantAction::kDrop),
-        sch(plan.used_rank_space() > 0 ? plan.used_rank_space() : 1,
+        sch(bundle.table().used_rank_space() > 0
+                ? bundle.table().used_rank_space()
+                : 1,
             /*buffer_bytes=*/0) {
     // The guard, not the scheduler, owns buffer management: the PIFO is
     // unbounded so queue_dropped stays 0 and the conservation book has
     // a single drop stage.
-    pre.install(plan);
+    if (bundle.group) {
+      pre.install_groups(*bundle.group);
+    } else {
+      pre.install(bundle.plan);
+    }
     if (cfg.guard) {
       qvisor::AdmissionConfig ac;
       qvisor::AdmissionTenantConfig policed;
@@ -322,7 +342,36 @@ void fused_loop(Shard& shard, const DataplaneConfig& cfg,
   finalize_shard(shard, out);
 }
 
-qvisor::SynthesisPlan make_plan(const DataplaneConfig& cfg) {
+PlanBundle make_plan(const DataplaneConfig& cfg) {
+  PlanBundle bundle;
+  qvisor::SynthesizerConfig sc;
+  sc.rank_space = 1u << 16;
+  if (cfg.groups > 0) {
+    // Group-compiled mode: the same two-tier policy shape written over
+    // `groups` contiguous tenant-id blocks.
+    const std::size_t groups = std::min(cfg.groups, cfg.tenants);
+    std::string text;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t lo = g * cfg.tenants / groups;
+      const std::size_t hi = (g + 1) * cfg.tenants / groups - 1;
+      text += "group g" + std::to_string(g) + " = " + std::to_string(lo) +
+              ".." + std::to_string(hi) + " bounds 0..99\n";
+    }
+    text += "policy g0";
+    for (std::size_t g = 1; g < groups; ++g) {
+      text += (g == 1) ? " >> g1" : " + g" + std::to_string(g);
+    }
+    text += "\n";
+    const control::GroupCompiler::Result res =
+        control::GroupCompiler(sc).compile_text(text);
+    if (!res.ok()) {
+      throw std::runtime_error("dataplane: group compile failed: " +
+                               res.error);
+    }
+    bundle.group = std::make_shared<const control::CompiledGroupPlan>(
+        std::move(*res.plan));
+    return bundle;
+  }
   std::vector<qvisor::TenantSpec> tenants;
   std::string policy_text;
   for (std::size_t t = 0; t < cfg.tenants; ++t) {
@@ -342,14 +391,13 @@ qvisor::SynthesisPlan make_plan(const DataplaneConfig& cfg) {
     throw std::runtime_error("dataplane: policy parse failed: " +
                              parsed.error);
   }
-  qvisor::SynthesizerConfig sc;
-  sc.rank_space = 1u << 16;
   const qvisor::Synthesizer::Result res =
       qvisor::Synthesizer(sc).synthesize(tenants, *parsed.policy);
   if (!res.ok()) {
     throw std::runtime_error("dataplane: synthesis failed: " + res.error);
   }
-  return *res.plan;
+  bundle.plan = *res.plan;
+  return bundle;
 }
 
 }  // namespace
@@ -424,7 +472,7 @@ DataplaneResult run_dataplane(const DataplaneConfig& config) {
     throw std::invalid_argument(
         "dataplane: either packets_per_port or run_wall_ns must be set");
   }
-  const qvisor::SynthesisPlan plan = make_plan(config);
+  const PlanBundle plan = make_plan(config);
 
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(config.shards);

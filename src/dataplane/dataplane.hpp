@@ -82,6 +82,15 @@ struct DataplaneConfig {
   // "t0 >> t1 + t2 + ...", uniform tenant/rank draws per packet, one
   // packet per `packet_interval` of per-port virtual time.
   std::size_t tenants = 8;
+  /// > 0: group-compiled mode (million-tenant control plane). The
+  /// tenant id space is partitioned into this many contiguous groups,
+  /// the same two-tier policy is written over the GROUPS ("g0 >> g1 +
+  /// g2 + ..."), and each port runs the O(groups) transform table
+  /// behind the O(1) tenant->group index instead of per-tenant entries.
+  /// Books balance identically — the hot path changes, the conservation
+  /// laws do not. Must divide nothing: any groups <= tenants works
+  /// (ranges are near-equal contiguous blocks). 0 = per-tenant mode.
+  std::size_t groups = 0;
   std::int32_t packet_bytes = 1500;
   TimeNs packet_interval = 1'000;
 

@@ -27,7 +27,13 @@ AdmissionGuard::AdmissionGuard(AdmissionConfig config)
     TenantState s;
     s.cfg = tc;
     s.tokens = tc.burst_bytes;
-    if (config_.rank_window > 0) s.window.resize(config_.rank_window);
+    if (config_.rank_window > 0) {
+      if (config_.sketch) {
+        s.digest.emplace(config_.sketch_config);
+      } else {
+        s.window.resize(config_.rank_window);
+      }
+    }
     const auto idx = static_cast<std::uint32_t>(states_.size());
     if (tc.tenant < kSlotLimit) {
       slot_[tc.tenant] = idx;
@@ -39,8 +45,28 @@ AdmissionGuard::AdmissionGuard(AdmissionConfig config)
   unknown_.cfg = config_.unknown;
   unknown_.cfg.tenant = kInvalidTenant;
   unknown_.tokens = unknown_.cfg.burst_bytes;
-  if (config_.rank_window > 0) unknown_.window.resize(config_.rank_window);
+  if (config_.rank_window > 0) {
+    if (config_.sketch) {
+      unknown_.digest.emplace(config_.sketch_config);
+    } else {
+      unknown_.window.resize(config_.rank_window);
+    }
+  }
   police_unknown_ = config_.unknown.policed();
+}
+
+std::size_t AdmissionGuard::sketch_bytes() const {
+  std::size_t total = 0;
+  const auto tally = [&total](const TenantState& s) {
+    if (s.digest) {
+      total += s.digest->byte_size();
+    } else {
+      total += s.window.size() * sizeof(Rank);
+    }
+  };
+  for (const auto& s : states_) tally(s);
+  tally(unknown_);
+  return total;
 }
 
 double AdmissionGuard::quantile_of(const TenantState& s, Rank rank) {
@@ -112,6 +138,10 @@ void AdmissionGuard::export_metrics(obs::Registry& reg,
             [this] { return static_cast<double>(totals().admitted); });
   reg.gauge(prefix + ".dropped",
             [this] { return static_cast<double>(totals().dropped()); });
+  // Memory held by the quantile structures: a config constant (fixed
+  // byte budgets), so the gauge doubles as the boundedness assertion.
+  reg.gauge(prefix + ".sketch_bytes",
+            [this] { return static_cast<double>(sketch_bytes()); });
 }
 
 }  // namespace qv::qvisor

@@ -27,10 +27,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "control/rank_digest.hpp"
 #include "netsim/packet.hpp"
 #include "obs/metrics.hpp"
 #include "util/time.hpp"
@@ -72,6 +74,21 @@ struct AdmissionConfig {
   /// AIFO burst-tolerance knob (0 <= k < 1; larger admits more
   /// aggressively near the share cap).
   double k = 0.1;
+
+  /// Replace each tenant's exact rank window with a fixed-byte
+  /// mergeable RankDigest (million-tenant control plane). Quantile
+  /// admission then reads the digest's CDF estimate instead of scanning
+  /// the window; decisions agree with the exact window within the
+  /// sketch's error bound (tests/control/admission_digest_test.cpp
+  /// holds the two against each other). `rank_window > 0` still gates
+  /// whether quantile admission runs at all. Off by default — the
+  /// default path is bit-identical to the pre-sketch guard.
+  bool sketch = false;
+  control::RankDigestConfig sketch_config{};
+  /// Observations between decay() calls on each tenant's digest — the
+  /// sketch analogue of the window's "last N packets" horizon. 0 keeps
+  /// all history.
+  std::uint32_t sketch_decay_every = 4096;
 };
 
 struct AdmissionTenantCounters {
@@ -143,8 +160,15 @@ class AdmissionGuard {
   const AdmissionConfig& config() const { return config_; }
 
   /// Per-tenant admission counters as live registry views (configured
-  /// tenants plus the unknown aggregate under ".unknown").
+  /// tenants plus the unknown aggregate under ".unknown"), plus the
+  /// sketch-memory gauge in sketch mode.
   void export_metrics(obs::Registry& reg, const std::string& prefix) const;
+
+  /// Bytes held by the per-tenant quantile structures (digests in
+  /// sketch mode, exact windows otherwise). A constant of the config —
+  /// no stream can grow it — which is exactly what the sketch-memory
+  /// gauge asserts.
+  std::size_t sketch_bytes() const;
 
  private:
   struct TenantState {
@@ -155,6 +179,10 @@ class AdmissionGuard {
     std::uint32_t win_pos = 0;
     std::uint32_t win_len = 0;
     std::vector<Rank> window;  ///< ring of recent transformed ranks
+    /// Sketch mode: fixed-byte digest instead of the exact window
+    /// (config_.sketch); exactly one of window/digest is populated.
+    std::optional<control::RankDigest> digest;
+    std::uint32_t since_decay = 0;
     AdmissionTenantCounters ctr;
   };
 
@@ -198,10 +226,17 @@ class AdmissionGuard {
 inline AdmitResult AdmissionGuard::decide_policed(TenantState& s, Rank rank,
                                                   std::int32_t bytes,
                                                   TimeNs now) {
-  // The rank window advances on every offered packet — dropped ones
-  // included — so the quantile reflects what the tenant is asking for,
-  // not what it has already been granted.
-  if (!s.window.empty()) {
+  // The rank window / digest advances on every offered packet — dropped
+  // ones included — so the quantile reflects what the tenant is asking
+  // for, not what it has already been granted.
+  if (s.digest) {
+    s.digest->observe(rank);
+    if (config_.sketch_decay_every != 0 &&
+        ++s.since_decay >= config_.sketch_decay_every) [[unlikely]] {
+      s.digest->decay();
+      s.since_decay = 0;
+    }
+  } else if (!s.window.empty()) {
     s.window[s.win_pos] = rank;
     s.win_pos = (s.win_pos + 1 == s.window.size()) ? 0 : s.win_pos + 1;
     if (s.win_len < s.window.size()) ++s.win_len;
@@ -224,10 +259,13 @@ inline AdmitResult AdmissionGuard::decide_policed(TenantState& s, Rank rank,
     // fraction. At low occupancy every rank passes (headroom ~ 1); as
     // the queue share fills, only the tenant's own lowest-ranked
     // traffic gets through.
-    if (2 * s.occupancy > cap && !s.window.empty()) [[unlikely]] {
+    if (2 * s.occupancy > cap &&
+        (s.digest ? !s.digest->empty() : !s.window.empty())) [[unlikely]] {
       const double headroom =
           static_cast<double>(cap - s.occupancy) / static_cast<double>(cap);
-      if (quantile_of(s, rank) * (1.0 - config_.k) > headroom) {
+      const double q = s.digest ? s.digest->fraction_below(rank)
+                                : quantile_of(s, rank);
+      if (q * (1.0 - config_.k) > headroom) {
         return AdmitResult::kQuantileDrop;
       }
     }

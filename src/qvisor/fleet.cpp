@@ -126,7 +126,54 @@ Hypervisor::CompileResult Fleet::compile_for(
   }
   committed_epoch_ = epoch;
   committed_active_ = active_names;
+  committed_group_.reset();  // per-tenant mode is the reconcile target
   return result;
+}
+
+bool Fleet::commit_group_plan(
+    std::shared_ptr<const control::CompiledGroupPlan> plan,
+    const control::GroupPlanDelta* delta, TimeNs now, std::string* error) {
+  assert(!switches_.empty());
+  const TimeNs ts = now < 0 ? 0 : now;
+  if (plan == nullptr || plan->empty()) {
+    if (error != nullptr) *error = "empty group plan";
+    return false;
+  }
+  // The group compiler already validated the band layout (phase 1);
+  // this is the fleet-wide phase-2 commit at one epoch.
+  const std::uint64_t epoch = ++epoch_counter_;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    Member& member = switches_[i];
+    if (member.hv->commit_group_plan(plan, epoch, delta)) continue;
+
+    ++failed_installs_;
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "install:failed", ts,
+                  /*tid=*/0, "switch", i);
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (switches_[j].hv->rollback()) {
+        ++rollbacks_;
+        if (obs::Tracer* tr = runtime_tracer()) {
+          tr->instant(obs::TraceCategory::kRuntime, "rollback", ts,
+                      /*tid=*/0, "switch", j);
+        }
+      }
+      // A switch whose rollback push is ALSO rejected stays dirty at
+      // the aborted epoch; reconcile() heals it when it recovers.
+    }
+    if (error != nullptr) {
+      *error = "group install failed on switch '" + member.name +
+               "' at epoch " + std::to_string(epoch) +
+               " (fleet rolled back to epoch " +
+               std::to_string(committed_epoch_) + ")";
+    }
+    return false;
+  }
+  committed_epoch_ = epoch;
+  committed_group_ = std::move(plan);
+  committed_active_.clear();
+  return true;
 }
 
 std::size_t Fleet::reconcile(TimeNs now) {
@@ -135,15 +182,25 @@ std::size_t Fleet::reconcile(TimeNs now) {
   std::size_t healed = 0;
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     Member& member = switches_[i];
-    if (member.hv->has_plan() &&
-        member.hv->plan_epoch() == committed_epoch_) {
-      continue;
+    const bool consistent =
+        (committed_group_ != nullptr ? member.hv->has_group_plan()
+                                     : member.hv->has_plan()) &&
+        member.hv->plan_epoch() == committed_epoch_;
+    if (consistent) continue;
+    if (committed_group_ != nullptr) {
+      // Group mode: the shared compiled plan IS the configuration —
+      // re-push it whole (no delta: the dirty switch's state is stale).
+      if (!member.hv->commit_group_plan(committed_group_,
+                                        committed_epoch_)) {
+        continue;  // still unreachable; try next pass
+      }
+    } else {
+      member.hv->set_policy(policy_);
+      for (const auto& spec : tenants_) member.hv->upsert_tenant(spec);
+      const auto repushed =
+          member.hv->commit_for(committed_active_, committed_epoch_);
+      if (!repushed.ok) continue;  // still unreachable; try next pass
     }
-    member.hv->set_policy(policy_);
-    for (const auto& spec : tenants_) member.hv->upsert_tenant(spec);
-    const auto repushed =
-        member.hv->commit_for(committed_active_, committed_epoch_);
-    if (!repushed.ok) continue;  // still unreachable; try next pass
     ++reconciles_;
     ++healed;
     if (obs::Tracer* tr = runtime_tracer()) {
@@ -157,8 +214,10 @@ std::size_t Fleet::reconcile(TimeNs now) {
 bool Fleet::epochs_consistent() const {
   if (committed_epoch_ == 0) return true;
   for (const auto& member : switches_) {
-    if (!member.hv->has_plan() ||
-        member.hv->plan_epoch() != committed_epoch_) {
+    const bool installed = committed_group_ != nullptr
+                               ? member.hv->has_group_plan()
+                               : member.hv->has_plan();
+    if (!installed || member.hv->plan_epoch() != committed_epoch_) {
       return false;
     }
   }

@@ -51,6 +51,25 @@ class Fleet {
   Hypervisor::CompileResult compile_for(
       const std::vector<std::string>& active_names, TimeNs now = -1);
 
+  /// Deploy a group-compiled plan fleet-wide at one epoch (million-
+  /// tenant control plane). Same two-phase mechanism as compile_for:
+  /// a switch rejecting its install rolls every already-committed
+  /// switch back, and the fleet never runs mixed epochs. When `delta`
+  /// is given, compatible switches patch only the changed groups (the
+  /// incremental re-synthesis path); incompatible ones full-install.
+  /// Replaces any per-tenant committed configuration as the fleet's
+  /// reconcile target. Returns false and fills `error` on failure.
+  bool commit_group_plan(
+      std::shared_ptr<const control::CompiledGroupPlan> plan,
+      const control::GroupPlanDelta* delta = nullptr, TimeNs now = -1,
+      std::string* error = nullptr);
+
+  /// The group plan the fleet currently converges on (reconcile
+  /// target); nullptr in per-tenant mode.
+  const control::CompiledGroupPlan* committed_group_plan() const {
+    return committed_group_.get();
+  }
+
   /// Anti-entropy: re-push the committed configuration to any switch
   /// whose epoch disagrees (failed rollback, agent reboot). Returns the
   /// number of switches healed; switches that still reject the install
@@ -149,6 +168,9 @@ class Fleet {
   std::uint64_t epoch_counter_ = 0;   ///< epochs handed out (even failed)
   std::uint64_t committed_epoch_ = 0; ///< last fleet-wide success
   std::vector<std::string> committed_active_;
+  /// Group-mode reconcile target; exclusive with committed_active_
+  /// (per-tenant mode). One shared compiled plan serves every switch.
+  std::shared_ptr<const control::CompiledGroupPlan> committed_group_;
   std::uint64_t rollbacks_ = 0;
   std::uint64_t reconciles_ = 0;
   std::uint64_t failed_installs_ = 0;

@@ -33,10 +33,12 @@ void Monitor::observe(TenantId tenant, Rank original_rank,
   State* sp = track(tenant);
   if (sp == nullptr) {
     // Tracked-tenant cap hit and this id is new: an id-churner is
-    // probing for unbounded state. Count the packet in aggregate; the
-    // churner's ids share the admission guard's "unknown" bucket, so
-    // forgoing a per-id verdict loses nothing.
-    ++untracked_;
+    // probing for unbounded state. Count the packet against the
+    // tenant's GROUP when the group compiler is active (the operator
+    // still sees which policy slice the traffic belongs to), else in
+    // aggregate; the churner's ids share the admission guard's
+    // "unknown" bucket, so forgoing a per-id verdict loses nothing.
+    count_untracked(tenant);
     return;
   }
   State& s = *sp;
@@ -85,7 +87,7 @@ void Monitor::record_admission_drop(TenantId tenant, std::int32_t bytes,
   (void)bytes;  // the offered bytes were already tallied by observe()
   State* sp = track(tenant);
   if (sp == nullptr) {
-    ++untracked_;
+    count_untracked(tenant);
     return;
   }
   State& s = *sp;
@@ -132,6 +134,10 @@ void Monitor::export_metrics(obs::Registry& reg,
     reg.set_gauge(tp + ".verdict", static_cast<double>(s.obs.verdict));
   }
   reg.counter_view(prefix + ".untracked_observations", &untracked_);
+  for (std::size_t g = 0; g < group_untracked_.size(); ++g) {
+    reg.counter_view(prefix + ".group." + std::to_string(g) + ".untracked",
+                     &group_untracked_[g]);
+  }
 }
 
 void Monitor::refresh_verdict(State& s) const {

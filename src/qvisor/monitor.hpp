@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "control/group_plan.hpp"
 #include "netsim/packet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -104,7 +106,30 @@ class Monitor {
   /// in `untracked_observations()` instead of gaining a state.
   void set_max_tracked(std::size_t cap) { max_tracked_ = cap; }
   std::size_t tracked_tenants() const { return tenants_.size(); }
+  /// Cap-hit observations that could not be attributed to a GROUP
+  /// either (no group index installed, or the id resolves to no group).
   std::uint64_t untracked_observations() const { return untracked_; }
+
+  /// Group-compiled mode: attribute cap-hit observations to the
+  /// tenant's group instead of the aggregate unknown bucket, so the
+  /// operator still sees WHICH slice of the policy the untracked
+  /// traffic belongs to. Pass nullptr to leave group mode.
+  void set_group_index(std::shared_ptr<const control::GroupIndex> index) {
+    group_index_ = std::move(index);
+    group_untracked_.assign(
+        group_index_ ? group_index_->group_count() : 0, 0);
+  }
+  /// Cap-hit observations attributed to group `g` (0 when out of range).
+  std::uint64_t untracked_in_group(control::GroupId g) const {
+    return g < group_untracked_.size() ? group_untracked_[g] : 0;
+  }
+  /// Sum over all groups (the group-attributed complement of
+  /// untracked_observations()).
+  std::uint64_t untracked_grouped() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : group_untracked_) total += c;
+    return total;
+  }
 
  private:
   struct State {
@@ -120,6 +145,18 @@ class Monitor {
   /// Existing state, or a fresh one while under the tracked-tenant cap;
   /// nullptr when the cap is hit and the tenant is unknown.
   State* track(TenantId tenant);
+  /// Tally one cap-hit observation: to the tenant's group when a group
+  /// index is installed and covers the id, else to the aggregate bucket.
+  void count_untracked(TenantId tenant) {
+    if (group_index_ != nullptr) {
+      const control::GroupId g = group_index_->lookup(tenant);
+      if (g < group_untracked_.size()) {
+        ++group_untracked_[g];
+        return;
+      }
+    }
+    ++untracked_;
+  }
   void trace_verdict_change(TenantId tenant, const State& s, Verdict before,
                             TimeNs now) const;
 
@@ -128,6 +165,11 @@ class Monitor {
   std::uint64_t min_packets_;
   std::size_t max_tracked_ = 4096;
   std::uint64_t untracked_ = 0;
+  /// Group-attributed cap-hit tallies, ordinal-indexed; sized by
+  /// set_group_index(). O(groups) — the bound does not depend on how
+  /// many ids an id-churner fabricates.
+  std::vector<std::uint64_t> group_untracked_;
+  std::shared_ptr<const control::GroupIndex> group_index_;
   std::unordered_map<TenantId, State> tenants_;
   obs::Tracer* tracer_ = nullptr;
 };

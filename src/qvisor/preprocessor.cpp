@@ -34,6 +34,46 @@ void Preprocessor::install(const SynthesisPlan& plan) {
   // Counters persist across installs; make sure the dense counter table
   // covers the new dense id range so the hot path never bounds-checks.
   if (dense_counts_.size() < dense_.size()) dense_counts_.resize(dense_.size());
+  // Per-tenant install leaves group mode (modes are exclusive).
+  group_index_.reset();
+  group_table_.clear();
+  group_counts_.clear();
+}
+
+void Preprocessor::install_groups(const control::CompiledGroupPlan& plan) {
+  std::vector<Installed> next;
+  next.reserve(plan.table.tenants.size());
+  for (const auto& tp : plan.table.tenants) {
+    next.push_back(Installed{tp.transform, tp.quantile, /*active=*/true});
+  }
+  group_table_ = std::move(next);
+  group_index_ = plan.index;
+  // Tallies persist across installs like dense_counts_ does; only the
+  // table size may move.
+  group_counts_.resize(group_table_.size());
+  installed_tenants_ = plan.table.tenants.size();
+  rank_space_ = plan.table.rank_space;
+  best_effort_rank_ = rank_space_ == 0 ? kMaxRank : rank_space_ - 1;
+  // The per-tenant tables are dead weight in group mode; drop them so a
+  // mode switch is also a memory release.
+  dense_.clear();
+  spill_.clear();
+}
+
+bool Preprocessor::apply_group_delta(const control::CompiledGroupPlan& plan,
+                                     const control::GroupPlanDelta& delta) {
+  if (delta.full || group_index_ == nullptr ||
+      group_table_.size() != plan.table.tenants.size()) {
+    return false;  // structurally incompatible; caller installs in full
+  }
+  for (const std::uint32_t g : delta.changed_groups) {
+    const auto& tp = plan.table.tenants[g];
+    group_table_[g] = Installed{tp.transform, tp.quantile, /*active=*/true};
+  }
+  if (delta.index_changed) group_index_ = plan.index;
+  rank_space_ = plan.table.rank_space;
+  best_effort_rank_ = rank_space_ == 0 ? kMaxRank : rank_space_ - 1;
+  return true;
 }
 
 void Preprocessor::configure_admission(AdmissionConfig config) {
@@ -98,33 +138,12 @@ bool Preprocessor::process_slow(Packet& p, TimeNs now) {
     const auto it = spill_.find(t);
     if (it != spill_.end()) {
       count_spill(t);
-      const Installed& e = it->second;
-      const Rank label = p.original_rank;
-      const auto bounds = e.range.input_bounds();
-      if (label < bounds.min || label > bounds.max) {
-        ++counters_.out_of_bounds;
-      }
-      Rank out = e.quantile ? e.quantile->apply(label) : e.range.apply(label);
-      if (out >= rank_space_) {
-        ++counters_.rank_clamped;
-        out = best_effort_rank_;
-      }
-      p.rank = out;
-      return admit(p, now);
+      return apply_entry(it->second, p, now);
     }
   }
   count_spill(t);
   ++counters_.unknown_tenant;
-  switch (unknown_) {
-    case UnknownTenantAction::kPassThrough:
-      return admit(p, now);
-    case UnknownTenantAction::kBestEffort:
-      p.rank = best_effort_rank_;
-      return admit(p, now);
-    case UnknownTenantAction::kDrop:
-      return false;
-  }
-  return admit(p, now);
+  return finish_unknown(p, now);
 }
 
 std::unordered_map<TenantId, std::uint64_t> Preprocessor::per_tenant() const {

@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/group_plan.hpp"
 #include "netsim/packet.hpp"
 #include "obs/metrics.hpp"
 #include "qvisor/admission.hpp"
@@ -79,8 +80,33 @@ class Preprocessor {
       UnknownTenantAction unknown = UnknownTenantAction::kBestEffort);
 
   /// Install (replace) the active plan. O(#tenants); never observed
-  /// mid-packet.
+  /// mid-packet. Leaves group mode (the two modes are exclusive; the
+  /// last install wins).
   void install(const SynthesisPlan& plan);
+
+  // --- group-compiled mode (million-tenant control plane) ----------------
+  /// Install a group-compiled plan: O(groups) transform table + the
+  /// shared O(1) tenant -> group index. Per-tenant dense tables are NOT
+  /// built — this is the whole point at 1M tenants.
+  void install_groups(const control::CompiledGroupPlan& plan);
+
+  /// Incremental install: update only the delta's changed groups (and
+  /// swap the index if membership moved). Returns false — leaving the
+  /// installed state untouched — when this pre-processor is not in
+  /// group mode at the matching group count, in which case the caller
+  /// falls back to install_groups().
+  bool apply_group_delta(const control::CompiledGroupPlan& plan,
+                         const control::GroupPlanDelta& delta);
+
+  bool group_mode() const { return group_index_ != nullptr; }
+  const control::GroupIndex* group_index() const {
+    return group_index_.get();
+  }
+  /// Per-group processed-packet tallies (ordinal-indexed); O(groups)
+  /// bytes, the group-mode replacement for per_tenant().
+  const std::vector<std::uint64_t>& group_counts() const {
+    return group_counts_;
+  }
 
   /// Rewrite `p.rank` in place. Returns false only when the packet must
   /// be dropped (unknown tenant under kDrop, or rejected by the
@@ -105,35 +131,27 @@ class Preprocessor {
       return admit(p, now);
     }
     const TenantId t = p.tenant;
+    if (group_index_ != nullptr) {
+      // Group-compiled mode: one O(1) index load resolves the tenant to
+      // its group; the transform table is O(groups). Any tenant id —
+      // including one never seen before — costs the same, because there
+      // is no per-tenant state to look up or grow.
+      const control::GroupId g = group_index_->lookup(t);
+      if (g != control::kInvalidGroup) [[likely]] {
+        ++group_counts_[g];
+        return apply_entry(group_table_[g], p, now);
+      }
+      // No covering range and no catch-all: the unknown-tenant action,
+      // without the per-tenant spill tally (nothing per-tenant exists
+      // to tally in group mode).
+      ++counters_.unknown_tenant;
+      return finish_unknown(p, now);
+    }
     if (t < dense_.size()) {
       const Installed& e = dense_[t];
       if (e.active) {
         ++dense_counts_[t];
-        // The input is always the tenant-assigned label, NOT the
-        // current scheduling rank: an upstream QVISOR hop may already
-        // have rewritten `p.rank`, and transforming a transformed rank
-        // would collapse the rank space (each pre-processor derives its
-        // scheduling rank from the label the tenant stamped at the
-        // source, §3.1/§3.3).
-        const Rank label = p.original_rank;
-        const auto bounds = e.range.input_bounds();
-        if (label < bounds.min || label > bounds.max) {
-          // The transform clamps, so scheduling stays safe; count it so
-          // the monitor can flag tenants violating their declared
-          // bounds.
-          ++counters_.out_of_bounds;
-        }
-        Rank out =
-            e.quantile ? e.quantile->apply(label) : e.range.apply(label);
-        if (out >= rank_space_) [[unlikely]] {
-          // A transform that overflows the rank space (stride/base near
-          // the numeric edge) saturates into the best-effort band; it
-          // must never wrap around into a high-priority one.
-          ++counters_.rank_clamped;
-          out = best_effort_rank_;
-        }
-        p.rank = out;
-        return admit(p, now);
+        return apply_entry(e, p, now);
       }
     }
     return process_slow(p, now);
@@ -219,6 +237,46 @@ class Preprocessor {
     return false;
   }
 
+  /// Transform application shared by the per-tenant and group paths.
+  /// The input is always the tenant-assigned label, NOT the current
+  /// scheduling rank: an upstream QVISOR hop may already have rewritten
+  /// `p.rank`, and transforming a transformed rank would collapse the
+  /// rank space (each pre-processor derives its scheduling rank from
+  /// the label the tenant stamped at the source, §3.1/§3.3).
+  bool apply_entry(const Installed& e, Packet& p, TimeNs now) {
+    const Rank label = p.original_rank;
+    const auto bounds = e.range.input_bounds();
+    if (label < bounds.min || label > bounds.max) {
+      // The transform clamps, so scheduling stays safe; count it so the
+      // monitor can flag tenants violating their declared bounds.
+      ++counters_.out_of_bounds;
+    }
+    Rank out = e.quantile ? e.quantile->apply(label) : e.range.apply(label);
+    if (out >= rank_space_) [[unlikely]] {
+      // A transform that overflows the rank space (stride/base near the
+      // numeric edge) saturates into the best-effort band; it must
+      // never wrap around into a high-priority one.
+      ++counters_.rank_clamped;
+      out = best_effort_rank_;
+    }
+    p.rank = out;
+    return admit(p, now);
+  }
+
+  /// Apply the unknown-tenant action (the caller already counted it).
+  bool finish_unknown(Packet& p, TimeNs now) {
+    switch (unknown_) {
+      case UnknownTenantAction::kPassThrough:
+        return admit(p, now);
+      case UnknownTenantAction::kBestEffort:
+        p.rank = best_effort_rank_;
+        return admit(p, now);
+      case UnknownTenantAction::kDrop:
+        return false;
+    }
+    return admit(p, now);
+  }
+
   bool process_slow(Packet& p, TimeNs now);  ///< spill / unknown path
   void count_spill(TenantId tenant);
 
@@ -229,6 +287,12 @@ class Preprocessor {
   /// in-range tenants as well, so counting stays hash-free).
   std::vector<Installed> dense_;
   std::vector<std::uint64_t> dense_counts_;
+  /// Group-compiled mode: O(groups) transform table, ordinal-indexed by
+  /// the shared index's group id. Non-null group_index_ IS the mode
+  /// flag — install() (per-tenant) resets it.
+  std::vector<Installed> group_table_;
+  std::vector<std::uint64_t> group_counts_;
+  std::shared_ptr<const control::GroupIndex> group_index_;
   /// Spilled transforms: rebuilt from the plan on install, so its size
   /// is operator-controlled — hostile traffic cannot grow it.
   std::unordered_map<TenantId, Installed> spill_;

@@ -15,6 +15,9 @@ QvisorPort::QvisorPort(Hypervisor& hv,
   if (hv_.has_plan()) {
     pre_.install(hv_.plan());
     installed_epoch_ = hv_.plan_epoch();
+  } else if (hv_.has_group_plan()) {
+    pre_.install_groups(*hv_.group_plan());
+    installed_epoch_ = hv_.plan_epoch();
   }
 }
 
@@ -83,6 +86,22 @@ std::string QvisorPort::name() const {
 
 void QvisorPort::install(const SynthesisPlan& plan, std::uint64_t epoch) {
   pre_.install(plan);
+  installed_epoch_ = epoch;
+}
+
+void QvisorPort::install_groups(const control::CompiledGroupPlan& plan,
+                                std::uint64_t epoch) {
+  pre_.install_groups(plan);
+  installed_epoch_ = epoch;
+}
+
+void QvisorPort::apply_group_delta(const control::CompiledGroupPlan& plan,
+                                   const control::GroupPlanDelta& delta,
+                                   std::uint64_t epoch) {
+  // A port attached after the last full install (or healed from per-
+  // tenant mode) has no compatible group table; fall back to a full
+  // install so the delta path never leaves a port behind.
+  if (!pre_.apply_group_delta(plan, delta)) pre_.install_groups(plan);
   installed_epoch_ = epoch;
 }
 
@@ -187,15 +206,55 @@ Hypervisor::CompileResult Hypervisor::compile_impl(
     return result;
   }
   prev_plan_ = std::move(plan_);
+  prev_group_plan_ = std::move(group_plan_);
   prev_epoch_ = plan_epoch_;
   prev_valid_ = true;
   plan_ = std::move(*synth.plan);
+  group_plan_.reset();
+  monitor_.set_group_index(nullptr);
   plan_epoch_ = epoch;
   epoch_hwm_ = std::max(epoch_hwm_, epoch);
   ++compile_count_;
   push_plan();
   result.ok = true;
   return result;
+}
+
+bool Hypervisor::commit_group_plan(
+    std::shared_ptr<const control::CompiledGroupPlan> plan,
+    std::uint64_t epoch, const control::GroupPlanDelta* delta) {
+  if (plan == nullptr || plan->empty()) return false;
+  // Phase 2 only: the group compiler already validated the band layout.
+  // The switch agent may still reject the commit (injected fault /
+  // unreachable switch) — the running plan and epoch stay untouched.
+  if (install_fault_ && install_fault_(epoch)) {
+    ++failed_installs_;
+    return false;
+  }
+  const bool incremental = delta != nullptr && !delta->full &&
+                           group_plan_ != nullptr &&
+                           group_plan_->group_count() == plan->group_count();
+  prev_plan_ = std::move(plan_);
+  prev_group_plan_ = std::move(group_plan_);
+  prev_epoch_ = plan_epoch_;
+  prev_valid_ = true;
+  plan_.reset();
+  group_plan_ = std::move(plan);
+  monitor_.set_group_index(group_plan_->index);
+  plan_epoch_ = epoch;
+  epoch_hwm_ = std::max(epoch_hwm_, epoch);
+  ++compile_count_;
+  for (QvisorPort* port : ports_) {
+    if (incremental) {
+      port->apply_group_delta(*group_plan_, *delta, plan_epoch_);
+    } else {
+      port->install_groups(*group_plan_, plan_epoch_);
+    }
+    if (port->inner().empty()) {
+      port->replace_inner(backend_->instantiate(group_plan_->table));
+    }
+  }
+  return true;
 }
 
 bool Hypervisor::rollback() {
@@ -207,6 +266,8 @@ bool Hypervisor::rollback() {
     return false;
   }
   plan_ = std::move(prev_plan_);
+  group_plan_ = std::move(prev_group_plan_);
+  monitor_.set_group_index(group_plan_ ? group_plan_->index : nullptr);
   prev_plan_.reset();
   plan_epoch_ = prev_epoch_;
   prev_valid_ = false;  // single-level undo, consumed
@@ -217,13 +278,27 @@ bool Hypervisor::rollback() {
 
 void Hypervisor::clear_plan() {
   plan_.reset();
+  group_plan_.reset();
+  monitor_.set_group_index(nullptr);
   prev_plan_.reset();
+  prev_group_plan_.reset();
   prev_valid_ = false;
   plan_epoch_ = 0;
   push_plan();
 }
 
 void Hypervisor::push_plan() {
+  // Group-compiled mode: the ports share the compiled plan's index and
+  // O(groups) transform table instead of per-tenant entries.
+  if (group_plan_ != nullptr) {
+    for (QvisorPort* port : ports_) {
+      port->install_groups(*group_plan_, plan_epoch_);
+      if (port->inner().empty()) {
+        port->replace_inner(backend_->instantiate(group_plan_->table));
+      }
+    }
+    return;
+  }
   // With no plan (pre-compile, or after clear_plan's simulated agent
   // reboot) ports run the safe empty configuration: every packet takes
   // the preprocessor's best-effort path.
@@ -244,7 +319,10 @@ std::unique_ptr<sched::Scheduler> Hypervisor::make_port_scheduler() {
   // Instantiate the backend's hardware scheduler for the current plan
   // (or an unconfigured one pre-compile; install() reprograms later).
   static const SynthesisPlan kEmptyPlan;
-  auto inner = backend_->instantiate(plan_ ? *plan_ : kEmptyPlan);
+  const SynthesisPlan& plan = plan_            ? *plan_
+                              : group_plan_    ? group_plan_->table
+                                               : kEmptyPlan;
+  auto inner = backend_->instantiate(plan);
   return std::make_unique<QvisorPort>(*this, std::move(inner));
 }
 
@@ -284,7 +362,12 @@ Hypervisor::per_tenant_packets() const {
 RankDistEstimator& Hypervisor::estimator(TenantId tenant) {
   auto it = estimators_.find(tenant);
   if (it == estimators_.end()) {
-    it = estimators_.emplace(tenant, RankDistEstimator{}).first;
+    it = estimators_
+             .emplace(tenant, estimator_sketch_
+                                  ? RankDistEstimator::sketched(
+                                        *estimator_sketch_)
+                                  : RankDistEstimator{})
+             .first;
   }
   return it->second;
 }
@@ -370,6 +453,8 @@ void Hypervisor::export_metrics(obs::Registry& reg,
   reg.gauge(prefix + ".degraded",
             [this] { return degraded_ ? 1.0 : 0.0; });
   reg.counter_view(prefix + ".estimator_overflow", &estimator_overflow_);
+  reg.gauge(prefix + ".estimator_bytes",
+            [this] { return static_cast<double>(estimator_bytes()); });
   monitor_.export_metrics(reg, prefix + ".monitor");
   for (const auto& spec : tenants_) {
     const std::string tp = prefix + ".tenant." + spec.name;

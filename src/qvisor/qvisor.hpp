@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/group_plan.hpp"
+#include "control/rank_digest.hpp"
 #include "qvisor/backend.hpp"
 #include "qvisor/monitor.hpp"
 #include "qvisor/preprocessor.hpp"
@@ -93,6 +95,15 @@ class QvisorPort final : public sched::Scheduler {
   /// the Hypervisor during commit).
   void install(const SynthesisPlan& plan, std::uint64_t epoch);
 
+  /// Group-compiled variants: full install, and the incremental path
+  /// that patches only the delta's changed groups (falls back to a full
+  /// install when the port's state is structurally incompatible).
+  void install_groups(const control::CompiledGroupPlan& plan,
+                      std::uint64_t epoch);
+  void apply_group_delta(const control::CompiledGroupPlan& plan,
+                         const control::GroupPlanDelta& delta,
+                         std::uint64_t epoch);
+
   /// Epoch of the plan this port is currently running.
   std::uint64_t installed_epoch() const { return installed_epoch_; }
 
@@ -161,6 +172,24 @@ class Hypervisor {
   CompileResult commit_for(const std::vector<std::string>& active_names,
                            std::uint64_t epoch);
 
+  /// Two-phase install of a group-compiled plan (million-tenant path).
+  /// Validation (band layout) happened in the group compiler; the
+  /// switch agent may still reject the commit via the install-fault
+  /// hook, leaving the running plan untouched. When `delta` is given
+  /// and structurally compatible, only the changed groups are patched
+  /// on each attached port — the O(changed) incremental install the
+  /// re-synthesis latency benchmark measures. Shares the epoch/undo
+  /// machinery with per-tenant commits: rollback() restores whichever
+  /// kind ran before.
+  bool commit_group_plan(std::shared_ptr<const control::CompiledGroupPlan> plan,
+                         std::uint64_t epoch,
+                         const control::GroupPlanDelta* delta = nullptr);
+
+  bool has_group_plan() const { return group_plan_ != nullptr; }
+  const control::CompiledGroupPlan* group_plan() const {
+    return group_plan_.get();
+  }
+
   /// Undo the last successful commit: reinstall the previous plan at
   /// its previous epoch (single-level, consumed on use). The rollback
   /// push itself goes through the install-fault hook — an unreachable
@@ -228,6 +257,20 @@ class Hypervisor {
   /// Per-tenant online rank estimators, fed by every attached port.
   RankDistEstimator& estimator(TenantId tenant);
 
+  /// Back NEW estimators with fixed-byte RankDigests instead of exact
+  /// 1024-entry rings (million-tenant memory budget; ~12 KB -> the
+  /// digest's byte budget per tenant). Existing estimators keep their
+  /// representation; nullopt restores exact rings for new ones.
+  void set_estimator_sketch(std::optional<control::RankDigestConfig> config) {
+    estimator_sketch_ = config;
+  }
+  /// Bytes held by all live estimators (sketch-memory gauge input).
+  std::size_t estimator_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [id, est] : estimators_) total += est.byte_size();
+    return total;
+  }
+
   /// Read-only lookup; nullptr when the tenant was never observed.
   const RankDistEstimator* find_estimator(TenantId tenant) const;
 
@@ -283,7 +326,13 @@ class Hypervisor {
   StaticAnalyzer analyzer_;
   Monitor monitor_;
   std::optional<SynthesisPlan> plan_;
+  /// Group-compiled mode: at most one of plan_ / group_plan_ is set.
+  /// shared_ptr because the Fleet hands ONE compiled plan to every
+  /// switch (the index alone is O(tenants) bytes — sharing it is the
+  /// point).
+  std::shared_ptr<const control::CompiledGroupPlan> group_plan_;
   std::vector<QvisorPort*> ports_;
+  std::optional<control::RankDigestConfig> estimator_sketch_;
   std::unordered_map<TenantId, RankDistEstimator> estimators_;
   std::uint64_t estimator_overflow_ = 0;  ///< observations past the cap
   AdmissionSettings admission_;
@@ -295,6 +344,7 @@ class Hypervisor {
   std::uint64_t plan_epoch_ = 0;
   std::uint64_t epoch_hwm_ = 0;  ///< highest epoch ever attempted
   std::optional<SynthesisPlan> prev_plan_;
+  std::shared_ptr<const control::CompiledGroupPlan> prev_group_plan_;
   std::uint64_t prev_epoch_ = 0;
   bool prev_valid_ = false;
   InstallFault install_fault_;

@@ -11,8 +11,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "control/rank_digest.hpp"
 #include "netsim/packet.hpp"
 #include "sched/rank/ranker.hpp"
 #include "util/time.hpp"
@@ -23,10 +25,28 @@ class RankDistEstimator {
  public:
   explicit RankDistEstimator(std::size_t window = 1024);
 
+  /// Sketch-backed estimator (million-tenant control plane): ranks feed
+  /// a fixed-byte mergeable RankDigest instead of the exact 1024-entry
+  /// ring; bounds() and quantile() answer from the digest within its
+  /// error bound. A small time ring (`time_window` entries) remains for
+  /// rate_pps() — arrival TIMES have no sketch, and the controller only
+  /// needs a recent-rate estimate. `decay_every` observations between
+  /// digest decay() calls keeps the distribution sliding (0 = never).
+  static RankDistEstimator sketched(control::RankDigestConfig config,
+                                    std::size_t time_window = 128,
+                                    std::uint32_t decay_every = 4096);
+
+  bool sketch_mode() const { return digest_.has_value(); }
+
+  /// Bytes held by this estimator's structures — constant per mode.
+  std::size_t byte_size() const;
+
   void observe(Rank r, TimeNs now);
 
-  std::size_t samples() const { return count_; }
-  bool empty() const { return count_ == 0; }
+  std::size_t samples() const {
+    return digest_ ? static_cast<std::size_t>(digest_->count()) : count_;
+  }
+  bool empty() const { return samples() == 0; }
 
   /// Empirical bounds over the current window. Meaningless when empty.
   sched::RankBounds bounds() const;
@@ -52,6 +72,11 @@ class RankDistEstimator {
   std::size_t head_ = 0;   ///< next slot to overwrite
   std::size_t count_ = 0;  ///< filled slots (<= ring_.size())
   TimeNs last_seen_ = 0;
+  /// Sketch mode (set by sketched()): the distribution lives here and
+  /// ring_ only carries arrival times for rate_pps().
+  std::optional<control::RankDigest> digest_;
+  std::uint32_t decay_every_ = 0;
+  std::uint32_t since_decay_ = 0;
 };
 
 }  // namespace qv::qvisor

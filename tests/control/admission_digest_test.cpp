@@ -1,0 +1,173 @@
+// Differential test (ISSUE 7 satellite): the AdmissionGuard's exact
+// AIFO quantile window vs the sketch-backed RankDigest path. The two
+// guards see the same stream; their admission decisions must agree
+// within the sketch's error bound, and the default (sketch-off)
+// configuration must keep the pre-sketch path untouched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "qvisor/admission.hpp"
+#include "util/random.hpp"
+
+namespace qv::qvisor {
+namespace {
+
+AdmissionConfig quantile_config(bool sketch) {
+  AdmissionConfig cfg;
+  AdmissionTenantConfig tc;
+  tc.tenant = 1;
+  tc.share_cap_bytes = 100'000;  // cap engages the quantile gate
+  cfg.tenants.push_back(tc);
+  cfg.rank_window = 256;
+  cfg.sketch = sketch;
+  cfg.sketch_config.epsilon = 0.02;
+  cfg.sketch_config.max_bytes = 4096;
+  cfg.sketch_decay_every = 0;  // match the window's keep-all horizon
+  return cfg;
+}
+
+/// One offered packet per step; every fourth admitted packet is
+/// released, so occupancy climbs past the half-cap threshold and the
+/// quantile gate does the real work.
+struct StreamStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t quantile_dropped = 0;
+  std::uint64_t share_dropped = 0;
+};
+
+StreamStats drive(AdmissionGuard& g, std::uint64_t seed, int packets) {
+  Rng rng(seed);
+  StreamStats st;
+  std::vector<std::pair<TenantId, std::int32_t>> inflight;
+  for (int i = 0; i < packets; ++i) {
+    const Rank rank = static_cast<Rank>(rng.next_below(10'000));
+    const auto r = g.decide(1, rank, 1000, microseconds(i));
+    switch (r) {
+      case AdmitResult::kAdmit:
+        ++st.admitted;
+        inflight.emplace_back(1, 1000);
+        break;
+      case AdmitResult::kQuantileDrop: ++st.quantile_dropped; break;
+      case AdmitResult::kShareDrop: ++st.share_dropped; break;
+      default: break;
+    }
+    if (i % 4 == 3 && !inflight.empty()) {
+      g.release(inflight.back().first, inflight.back().second);
+      inflight.pop_back();
+    }
+  }
+  return st;
+}
+
+TEST(AdmissionDigest, DecisionsAgreeWithExactWindowWithinErrorBound) {
+  AdmissionGuard exact(quantile_config(false));
+  AdmissionGuard sketched(quantile_config(true));
+  const int kPackets = 50'000;
+  const StreamStats a = drive(exact, 42, kPackets);
+  const StreamStats b = drive(sketched, 42, kPackets);
+
+  // Both guards conserve packets.
+  EXPECT_EQ(exact.totals().offered, static_cast<std::uint64_t>(kPackets));
+  EXPECT_EQ(exact.totals().offered,
+            exact.totals().admitted + exact.totals().dropped());
+  EXPECT_EQ(sketched.totals().offered,
+            sketched.totals().admitted + sketched.totals().dropped());
+
+  // Same load shed overall: individual borderline decisions may flip
+  // (the digest's CDF is within epsilon of the window's, and the two
+  // structures have different horizons near startup), but the aggregate
+  // admit/drop split must track within a few percent of the stream.
+  ASSERT_GT(a.quantile_dropped, 0u) << "gate never engaged: weak test";
+  ASSERT_GT(b.quantile_dropped, 0u);
+  const double tol = 0.05 * kPackets;
+  EXPECT_NEAR(static_cast<double>(a.admitted),
+              static_cast<double>(b.admitted), tol);
+  EXPECT_NEAR(static_cast<double>(a.quantile_dropped + a.share_dropped),
+              static_cast<double>(b.quantile_dropped + b.share_dropped), tol);
+}
+
+TEST(AdmissionDigest, SketchMemoryIsFixedAndAccounted) {
+  AdmissionGuard g(quantile_config(true));
+  const std::size_t before = g.sketch_bytes();
+  EXPECT_GT(before, 0u);
+  // One digest: the bucket budget plus the fixed struct itself.
+  EXPECT_LE(before, 2u * quantile_config(true).sketch_config.max_bytes);
+  drive(g, 7, 100'000);  // hostile-length stream
+  EXPECT_EQ(g.sketch_bytes(), before);  // not a byte of growth
+
+  obs::Registry reg;
+  g.export_metrics(reg, "guard");
+  EXPECT_EQ(reg.gauge_value("guard.sketch_bytes"),
+            static_cast<double>(before));
+}
+
+TEST(AdmissionDigest, ExactWindowReportsItsBytesToo) {
+  AdmissionGuard g(quantile_config(false));
+  // window of 256 ranks * 4 bytes for the one configured tenant.
+  EXPECT_GE(g.sketch_bytes(), 256u * sizeof(Rank));
+}
+
+TEST(AdmissionDigest, DefaultConfigIsSketchFree) {
+  // The guard-off regression: sketch defaults to false, and a default
+  // config carries no digest state at all.
+  const AdmissionConfig def;
+  EXPECT_FALSE(def.sketch);
+  AdmissionConfig cfg;
+  AdmissionTenantConfig tc;
+  tc.tenant = 1;
+  tc.share_cap_bytes = 10'000;
+  cfg.tenants.push_back(tc);
+  AdmissionGuard g(cfg);
+  // Behaviour matches the historical guard: same decisions as a second
+  // instance, decision-for-decision (bit-identical path).
+  AdmissionGuard g2(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 20'000; ++i) {
+    const Rank rank = static_cast<Rank>(rng.next_below(1'000));
+    EXPECT_EQ(g.decide(1, rank, 500, microseconds(i)),
+              g2.decide(1, rank, 500, microseconds(i)));
+  }
+}
+
+TEST(AdmissionDigest, SketchedDecayForgetsStaleDistribution) {
+  // A tenant whose early traffic was high-rank and later traffic is
+  // low-rank: with decay, the stale high-rank mass fades and more of
+  // the reformed low-rank traffic admits than under a keep-all digest.
+  const auto admitted_probes = [](std::uint32_t decay_every) {
+    AdmissionConfig cfg = quantile_config(true);
+    cfg.sketch_decay_every = decay_every;
+    AdmissionGuard g(cfg);
+    // Phase 1: the old regime lives in 0..99 (rank 100 is its worst).
+    for (int i = 0; i < 4'096; ++i) {
+      g.decide(1, i % 100, 1000, microseconds(i));
+      g.release(1, 1000);
+    }
+    // Pump occupancy to 80% of the cap so the gate stays engaged
+    // (rank 0 is strictly-below nothing: always admitted).
+    for (int i = 0; i < 80; ++i) {
+      g.decide(1, 0, 1000, microseconds(5'000 + i));
+    }
+    // Phase 2: the regime shifts to rank 9000; rank-100 probes are now
+    // its BEST traffic. Keep-all still sees the whole old 0..99 regime
+    // below the probe and keeps rejecting it; decay forgets.
+    std::uint64_t probes_in = 0;
+    for (int i = 0; i < 8'192; ++i) {
+      const bool probe = i % 4 == 0;
+      const auto r =
+          g.decide(1, probe ? 100 : 9'000, 1000, microseconds(10'000 + i));
+      if (r == AdmitResult::kAdmit) {
+        if (probe) ++probes_in;
+        g.release(1, 1000);  // keep occupancy pinned
+      }
+    }
+    return probes_in;
+  };
+  const std::uint64_t with_decay = admitted_probes(/*decay_every=*/512);
+  const std::uint64_t keep_all = admitted_probes(/*decay_every=*/0);
+  EXPECT_GT(with_decay, 2 * keep_all + 100);
+}
+
+}  // namespace
+}  // namespace qv::qvisor

@@ -1,0 +1,154 @@
+// End-to-end at a million live tenants (ISSUE 7 satellite): the whole
+// point of the group-compiled control plane is that 1M tenants cost
+// O(groups) transform table + O(1) index bytes per tenant + one sketch
+// per tracked distribution — and the dataplane's conservation books
+// still balance to the packet.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "control/control_plane.hpp"
+#include "dataplane/dataplane.hpp"
+#include "qvisor/backend.hpp"
+
+namespace qv::control {
+namespace {
+
+constexpr std::size_t kTenants = 1'000'000;
+constexpr std::size_t kGroups = 64;
+
+std::string grouped_policy_text(std::size_t tenants, std::size_t groups,
+                                double last_weight = 1.0) {
+  std::string text;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t lo = g * tenants / groups;
+    const std::size_t hi = (g + 1) * tenants / groups - 1;
+    text += "group g" + std::to_string(g) + " = " + std::to_string(lo) +
+            ".." + std::to_string(hi);
+    // Attribute order is fixed: weight before bounds.
+    if (g == groups - 1 && last_weight != 1.0) {
+      text += " weight " + std::to_string(last_weight);
+    }
+    text += " bounds 0..99\n";
+  }
+  text += "policy g0";
+  for (std::size_t g = 1; g < groups; ++g) text += " + g" + std::to_string(g);
+  text += "\n";
+  return text;
+}
+
+TEST(MillionTenants, ControlStateIsGroupsPlusIndex) {
+  qvisor::Fleet fleet({}, qvisor::OperatorPolicy{},
+                      std::make_shared<qvisor::PifoBackend>());
+  fleet.add_switch("leaf0");
+  fleet.add_switch("leaf1");
+  ControlPlane cp(fleet);
+
+  const auto full = cp.deploy_text(grouped_policy_text(kTenants, kGroups));
+  ASSERT_TRUE(full.ok) << full.error;
+  ASSERT_NE(cp.deployed(), nullptr);
+  const CompiledGroupPlan& plan = *cp.deployed();
+  EXPECT_EQ(plan.group_count(), kGroups);
+
+  // O(groups): the whole transform table fits in kilobytes.
+  EXPECT_LT(plan.table_bytes(), 64u * 1024u);
+  // O(1)/tenant: 4 bytes of dense index per id, shared fleet-wide
+  // (both switches hold the SAME shared_ptr, not copies).
+  EXPECT_LT(plan.index_bytes(), kTenants * sizeof(GroupId) + 64u * 1024u);
+  EXPECT_EQ(fleet.hypervisor(0).group_plan()->index,
+            fleet.hypervisor(1).group_plan()->index);
+
+  // Every tenant id resolves, ends to middle.
+  for (const TenantId id : {TenantId{0}, TenantId{kTenants / 2},
+                            TenantId{kTenants - 1}}) {
+    EXPECT_LT(plan.index->lookup(id), kGroups);
+  }
+  EXPECT_EQ(plan.index->lookup(kTenants), kInvalidGroup);
+
+  // One-group edit re-synthesizes incrementally: same structure, one
+  // changed ordinal, membership untouched.
+  const auto inc =
+      cp.deploy_text(grouped_policy_text(kTenants, kGroups, 2.0));
+  ASSERT_TRUE(inc.ok) << inc.error;
+  EXPECT_TRUE(inc.incremental);
+  EXPECT_FALSE(inc.delta.index_changed);
+  EXPECT_EQ(inc.delta.changed_groups.size(), 1u);
+
+  // Quarantining one tenant out of a million stays O(changed groups).
+  ASSERT_TRUE(cp.quarantine({123'456}).ok);  // creates the jail: full
+  const auto jail_more = cp.quarantine({123'456, 777'777});
+  ASSERT_TRUE(jail_more.ok) << jail_more.error;
+  EXPECT_TRUE(jail_more.incremental);
+}
+
+TEST(MillionTenants, DataplaneBooksBalanceInGroupMode) {
+  dataplane::DataplaneConfig cfg;
+  cfg.shards = 2;
+  cfg.ports_per_shard = 1;
+  cfg.packets_per_port = 50'000;
+  cfg.tenants = kTenants;  // uniform draws over the full id space
+  cfg.groups = kGroups;
+  cfg.seed = 11;
+  const auto result = dataplane::run_dataplane(cfg);
+  ASSERT_TRUE(result.balanced);
+  const auto book = result.book();
+  EXPECT_EQ(book.generated, 2u * 50'000u);
+  EXPECT_EQ(book.processed, book.generated);
+  // With a catch-all-free partition covering the whole id space,
+  // nothing is unknown-dropped.
+  EXPECT_EQ(book.unknown_dropped, 0u);
+  EXPECT_EQ(book.residual, 0u);
+}
+
+TEST(MillionTenants, GroupModeBooksAreShardCountInvariant) {
+  dataplane::DataplaneConfig cfg;
+  cfg.shards = 1;
+  cfg.ports_per_shard = 2;
+  cfg.packets_per_port = 20'000;
+  cfg.tenants = kTenants;
+  cfg.groups = kGroups;
+  cfg.seed = 3;
+  const auto one = dataplane::run_dataplane(cfg);
+  cfg.shards = 2;
+  cfg.ports_per_shard = 1;
+  const auto two = dataplane::run_dataplane(cfg);
+  ASSERT_TRUE(one.balanced);
+  ASSERT_TRUE(two.balanced);
+  EXPECT_EQ(one.book(), two.book());
+}
+
+TEST(MillionTenants, MonitorAndEstimatorStayBounded) {
+  qvisor::Fleet fleet({}, qvisor::OperatorPolicy{},
+                      std::make_shared<qvisor::PifoBackend>());
+  fleet.add_switch("leaf0");
+  ControlPlane cp(fleet);
+  ASSERT_TRUE(cp.deploy_text(grouped_policy_text(kTenants, kGroups)).ok);
+
+  qvisor::Hypervisor& hv = fleet.hypervisor(0);
+  hv.set_estimator_sketch(RankDigestConfig{0.05, 1024});
+  hv.monitor().set_max_tracked(1024);
+  auto port = fleet.make_port_scheduler(0);
+  // 100k distinct tenant ids stream through one port.
+  for (TenantId id = 0; id < 100'000; id += 1) {
+    Packet p;
+    p.tenant = id * 7 % kTenants;
+    p.rank = id % 100;
+    p.original_rank = p.rank;
+    p.size_bytes = 100;
+    port->enqueue(p, microseconds(id));
+    port->dequeue(microseconds(id));
+  }
+  // The monitor's table is capped; the overflow is attributed by group,
+  // and the group tallies are O(groups) however many ids churn.
+  EXPECT_LE(hv.monitor().tracked_tenants(), 1024u);
+  EXPECT_GT(hv.monitor().untracked_grouped(), 0u);
+  EXPECT_EQ(hv.monitor().untracked_observations(), 0u);
+  // Estimators are capped at 1024 live digests, each on a fixed byte
+  // budget: O(cap * budget) total, independent of the million ids —
+  // and well under the ~12 KB/tenant the exact rings would cost.
+  EXPECT_LE(hv.estimators().size(), 1024u);
+  EXPECT_LE(hv.estimator_bytes(), 1024u * 4096u);
+}
+
+}  // namespace
+}  // namespace qv::control

@@ -1,0 +1,234 @@
+// Property tests for the mergeable rank sketches (ISSUE 7 satellite):
+// merge associativity/commutativity (exact, by representation), rank
+// error <= epsilon against adversarial distributions, and the
+// fixed-byte-budget guarantee under hostile streams.
+#include "control/rank_digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace qv::control {
+namespace {
+
+std::vector<Rank> uniform_stream(std::uint64_t seed, std::size_t n,
+                                 Rank lo, Rank hi) {
+  Rng rng(seed);
+  std::vector<Rank> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + static_cast<Rank>(rng.next_below(hi - lo + 1)));
+  }
+  return out;
+}
+
+/// Log-uniform draws spanning the whole 32-bit axis: every decade gets
+/// equal mass, the worst case for linear-bucket schemes and the home
+/// turf of the log-bucketed digest.
+std::vector<Rank> log_uniform_stream(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Rank> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = rng.next_double() * 31.0;
+    out.push_back(static_cast<Rank>(std::pow(2.0, e)));
+  }
+  return out;
+}
+
+Rank exact_quantile(std::vector<Rank> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(q * static_cast<double>(values.size()))));
+  return values[k - 1];
+}
+
+TEST(RankDigest, PointMassIsExact) {
+  RankDigest d;
+  for (int i = 0; i < 1000; ++i) d.observe(12345);
+  for (const double q : {0.01, 0.5, 0.99, 1.0}) {
+    // The exact min/max envelope collapses every estimate to the point.
+    EXPECT_EQ(d.quantile(q), 12345u) << "q=" << q;
+  }
+  EXPECT_EQ(d.min(), 12345u);
+  EXPECT_EQ(d.max(), 12345u);
+}
+
+TEST(RankDigest, ZeroRankBucket) {
+  RankDigest d;
+  for (int i = 0; i < 90; ++i) d.observe(0);
+  for (int i = 0; i < 10; ++i) d.observe(1000);
+  EXPECT_EQ(d.quantile(0.5), 0u);
+  EXPECT_NEAR(d.fraction_below(1000), 0.9 + 0.1 / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(d.fraction_below(1), 0.9);
+}
+
+TEST(RankDigest, RelativeErrorWithinEpsilonAdversarial) {
+  // Every stream shape we can think of: uniform narrow, uniform wide,
+  // log-uniform over the whole axis, geometric bursts, sorted ramps.
+  const RankDigestConfig cfg{/*epsilon=*/0.05, /*max_bytes=*/4096};
+  std::vector<std::vector<Rank>> streams;
+  streams.push_back(uniform_stream(1, 20'000, 0, 99));
+  streams.push_back(uniform_stream(2, 20'000, 1'000'000, 2'000'000));
+  streams.push_back(log_uniform_stream(3, 20'000));
+  {
+    std::vector<Rank> ramp;
+    for (Rank r = 1; r <= 10'000; ++r) ramp.push_back(r * 17);
+    streams.push_back(std::move(ramp));
+  }
+  {
+    std::vector<Rank> bursts;
+    for (int b = 0; b < 14; ++b) {
+      for (int i = 0; i < 1000; ++i) {
+        bursts.push_back(static_cast<Rank>(1u << (2 * b)));
+      }
+    }
+    streams.push_back(std::move(bursts));
+  }
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    RankDigest d(cfg);
+    for (const Rank r : streams[s]) d.observe(r);
+    ASSERT_LE(d.effective_epsilon(), cfg.epsilon + 1e-12) << "stream " << s;
+    for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+      const double exact =
+          static_cast<double>(exact_quantile(streams[s], q));
+      const double est = static_cast<double>(d.quantile(q));
+      // Relative value error <= epsilon, +1 for integer rounding.
+      EXPECT_LE(std::abs(est - exact), cfg.epsilon * exact + 1.0)
+          << "stream " << s << " q=" << q << " exact=" << exact
+          << " est=" << est;
+    }
+  }
+}
+
+TEST(RankDigest, FixedByteBudgetUnderHostileStream) {
+  const RankDigestConfig cfg{/*epsilon=*/0.01, /*max_bytes=*/256};
+  RankDigest d(cfg);
+  const std::size_t at_birth = d.byte_size();
+  EXPECT_LE(d.bucket_count() * sizeof(std::uint32_t), cfg.max_bytes);
+  // Hostile stream: sweep the whole axis to force repeated collapses.
+  Rng rng(7);
+  for (int i = 0; i < 200'000; ++i) {
+    d.observe(static_cast<Rank>(rng.next_u64()));
+  }
+  EXPECT_EQ(d.byte_size(), at_birth);  // not one byte of growth
+  // Collapsed low buckets may lose the epsilon guarantee, but the top
+  // of the distribution keeps it.
+  EXPECT_GT(d.quantile(0.99), 0u);
+}
+
+TEST(RankDigest, MergeMatchesUnion) {
+  const RankDigestConfig cfg{0.05, 2048};
+  const auto a = uniform_stream(11, 5'000, 10, 1'000);
+  const auto b = log_uniform_stream(12, 5'000);
+  RankDigest da(cfg), db(cfg), du(cfg);
+  for (const Rank r : a) {
+    da.observe(r);
+    du.observe(r);
+  }
+  for (const Rank r : b) {
+    db.observe(r);
+    du.observe(r);
+  }
+  da.merge(db);
+  // Stronger than error bounds: merging yields the IDENTICAL canonical
+  // representation the union stream builds.
+  EXPECT_EQ(da, du);
+}
+
+TEST(RankDigest, MergeAssociativeAndCommutative) {
+  const RankDigestConfig cfg{0.1, 128};  // tiny budget: collapses galore
+  const auto s1 = uniform_stream(21, 3'000, 0, 50);
+  const auto s2 = log_uniform_stream(22, 3'000);
+  const auto s3 = uniform_stream(23, 3'000, 1u << 28, (1u << 28) + 1000);
+  const auto digest_of = [&](const std::vector<Rank>& s) {
+    RankDigest d(cfg);
+    for (const Rank r : s) d.observe(r);
+    return d;
+  };
+  const RankDigest d1 = digest_of(s1);
+  const RankDigest d2 = digest_of(s2);
+  const RankDigest d3 = digest_of(s3);
+
+  RankDigest left = d1;  // (d1 + d2) + d3
+  left.merge(d2);
+  left.merge(d3);
+  RankDigest right = d2;  // d1 + (d2 + d3)
+  right.merge(d3);
+  RankDigest r2 = d1;
+  r2.merge(right);
+  EXPECT_EQ(left, r2);
+
+  RankDigest ab = d1;  // commutativity
+  ab.merge(d2);
+  RankDigest ba = d2;
+  ba.merge(d1);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(RankDigest, DecayHalvesCounts) {
+  RankDigest d;
+  for (int i = 0; i < 100; ++i) d.observe(0);
+  for (int i = 0; i < 100; ++i) d.observe(500);
+  EXPECT_EQ(d.count(), 200u);
+  d.decay();
+  EXPECT_EQ(d.count(), 100u);
+  d.decay();
+  EXPECT_EQ(d.count(), 50u);
+  d.decay();
+  // Halving floors per bucket: 25+25 -> 12+12.
+  EXPECT_EQ(d.count(), 24u);
+  // min/max envelope survives decay (it bounds everything ever seen).
+  EXPECT_EQ(d.min(), 0u);
+  EXPECT_EQ(d.max(), 500u);
+}
+
+TEST(RankDigest, FractionBelowTracksExactWindow) {
+  const RankDigestConfig cfg{0.05, 4096};
+  RankDigest d(cfg);
+  ExactRankWindow exact(/*window=*/4096);
+  const auto stream = uniform_stream(31, 4'096, 0, 9'999);
+  for (const Rank r : stream) {
+    d.observe(r);
+    exact.observe(r);
+  }
+  for (const Rank probe : {1u, 100u, 1'000u, 5'000u, 9'999u}) {
+    // Absolute CDF error is bounded by half the probe bucket's mass;
+    // on 10k uniform values a gamma-1.1 bucket holds a few percent.
+    EXPECT_NEAR(d.fraction_below(probe), exact.fraction_below(probe), 0.06)
+        << "probe=" << probe;
+  }
+}
+
+TEST(RankDigest, ResetForgetsEverything) {
+  RankDigest d;
+  for (int i = 0; i < 100; ++i) d.observe(777);
+  d.reset();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.quantile(0.5), 0u);
+  RankDigest fresh;
+  for (int i = 0; i < 5; ++i) {
+    d.observe(42);
+    fresh.observe(42);
+  }
+  EXPECT_EQ(d, fresh);
+}
+
+TEST(ExactRankWindow, SlidesAndAnswersExactly) {
+  ExactRankWindow w(/*window=*/4);
+  for (const Rank r : {10u, 20u, 30u, 40u}) w.observe(r);
+  EXPECT_EQ(w.quantile(0.5), 20u);
+  w.observe(50);  // evicts 10
+  EXPECT_EQ(w.window_len(), 4u);
+  EXPECT_EQ(w.quantile(0.25), 20u);
+  EXPECT_DOUBLE_EQ(w.fraction_below(35), 0.5);
+  EXPECT_EQ(w.count(), 5u);
+}
+
+}  // namespace
+}  // namespace qv::control

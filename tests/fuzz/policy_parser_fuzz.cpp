@@ -8,6 +8,8 @@
 //   flat <-> expression round-trip        to_flat_policy / from_flat_policy
 //   synthesis (<= 64 tenants)             plan construction at fuzzed names
 //   static analysis of the plan           worst-case checks on the result
+//   parse_grouped_policy (ISSUE 7)        group syntax round-trip + the
+//                                         compiled index/table invariants
 //
 // Two build modes:
 //  * -DQVISOR_LIBFUZZER (clang, -fsanitize=fuzzer):
@@ -21,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "control/group_compiler.hpp"
+#include "control/group_policy.hpp"
 #include "qvisor/policy.hpp"
 #include "qvisor/policy_ast.hpp"
 #include "qvisor/static_analysis.hpp"
@@ -67,9 +71,69 @@ std::vector<qv::qvisor::TenantSpec> specs_for(
   return specs;
 }
 
+/// Grouped policy language (ISSUE 7): parse, canonical round-trip, and
+/// — for small-enough inputs — the compiled artifact's invariants.
+void fuzz_grouped(const std::string& text) {
+  namespace ctl = qv::control;
+  const ctl::GroupedPolicyParseResult parsed =
+      ctl::parse_grouped_policy(text);
+  if (!parsed.ok()) {
+    check(!parsed.error.empty(), "grouped parse failed without an error");
+    check(parsed.error_pos <= text.size(),
+          "grouped error_pos out of range");
+    return;
+  }
+  const std::string canon = parsed.value->to_string();
+  const ctl::GroupedPolicyParseResult again =
+      ctl::parse_grouped_policy(canon);
+  check(again.ok(), "canonical grouped policy failed to reparse");
+  check(*again.value == *parsed.value, "grouped round-trip changed policy");
+
+  // Compile only bounded inputs: the dense index is O(max declared id),
+  // so a fuzzer that types "0..4294967294" must not cost gigabytes.
+  const auto& groups = parsed.value->groups;
+  if (groups.empty() || groups.size() > 64) return;
+  for (const auto& g : groups) {
+    for (const auto& s : g.spans) {
+      if (s.hi >= 65'536) return;
+    }
+  }
+  const ctl::GroupCompiler compiler;
+  const auto compiled = compiler.compile(*parsed.value);
+  if (!compiled.ok()) {
+    check(!compiled.error.empty(), "group compile failed without an error");
+    return;
+  }
+  const ctl::CompiledGroupPlan& plan = *compiled.plan;
+  check(plan.group_count() == groups.size(),
+        "compiled table is not group-sized");
+  check(plan.fingerprints.size() == groups.size(),
+        "fingerprint per group missing");
+  check(plan.index != nullptr, "compiled plan lost its index");
+  // Every declared id resolves to its own group's ordinal.
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    for (const auto& s : groups[g].spans) {
+      check(plan.index->lookup(s.lo) == g, "span lo resolves elsewhere");
+      check(plan.index->lookup(s.hi) == g, "span hi resolves elsewhere");
+    }
+  }
+  // A plan diffs empty against itself, and its canonical source
+  // recompiles to the same fingerprints.
+  check(ctl::diff_group_plans(plan, plan).empty(),
+        "plan diffs non-empty against itself");
+  const auto recompiled = compiler.compile_text(plan.source);
+  check(recompiled.ok(), "canonical source failed to recompile");
+  check(recompiled.plan->fingerprints == plan.fingerprints,
+        "canonical source changed the compiled fingerprints");
+  check(recompiled.plan->index->fingerprint() == plan.index->fingerprint(),
+        "canonical source changed the membership index");
+}
+
 void fuzz_one(const std::uint8_t* data, std::size_t size) {
   const std::string text(reinterpret_cast<const char*>(data), size);
   g_current_input = &text;
+
+  fuzz_grouped(text);
 
   // Flat §3.1 grammar: success implies an exact canonical round-trip.
   const PolicyParseResult flat = parse_policy(text);
@@ -141,7 +205,7 @@ namespace {
 std::string mutate(const std::string& seed, qv::Rng& rng) {
   std::string out = seed;
   const int edits = 1 + static_cast<int>(rng.next_below(4));
-  static const char kAlphabet[] = ">+*()_- \tT123abcXYZ\n\0#";
+  static const char kAlphabet[] = ">+*()_- \tT123abcXYZ\n\0#=.,gw";
   for (int e = 0; e < edits; ++e) {
     const std::uint64_t op = rng.next_below(3);
     const char c = kAlphabet[rng.next_below(sizeof(kAlphabet))];
@@ -186,6 +250,8 @@ int main(int argc, char** argv) {
     corpus = {"T1 >> T2 > T3 + T4 >> T5",
               "(A >> B) + C * 2 > D",
               "gold >> silver + bronze",
+              "group a = 0..9 weight 2 bounds 0..99\ngroup b = *\n"
+              "policy a >> b\n",
               ""};
   }
 

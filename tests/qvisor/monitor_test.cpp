@@ -230,6 +230,41 @@ TEST(Monitor, TenantTableBoundedUnderIdChurn) {
   EXPECT_EQ(m.verdict(9'999), Verdict::kClean);
 }
 
+TEST(Monitor, CapHitObservationsAttributeToGroups) {
+  // Group-compiled mode (ISSUE 7 satellite): once the tracked-tenant
+  // cap is hit, an unknown tenant's packets count against its GROUP, so
+  // the operator still sees which policy slice the churn hides in.
+  Monitor m(0.01, 0.05, 100);
+  m.set_max_tracked(4);
+  const auto index = control::GroupIndex::build(
+      {{0, 999, 0}, {1000, 1999, 1}}, /*catch_all=*/control::kInvalidGroup,
+      /*group_count=*/2);
+  m.set_group_index(index);
+  // Fill the table from group 0, then churn ids in both groups plus
+  // ids no group covers.
+  for (TenantId id = 0; id < 4; ++id) m.observe(id, 1, 100, microseconds(id));
+  ASSERT_EQ(m.tracked_tenants(), 4u);
+  for (TenantId id = 100; id < 150; ++id) {
+    m.observe(id, 1, 100, microseconds(id));  // group 0
+  }
+  for (TenantId id = 1000; id < 1030; ++id) {
+    m.observe(id, 1, 100, microseconds(id));  // group 1
+  }
+  for (TenantId id = 5000; id < 5010; ++id) {
+    m.observe(id, 1, 100, microseconds(id));  // no group
+  }
+  EXPECT_EQ(m.untracked_in_group(0), 50u);
+  EXPECT_EQ(m.untracked_in_group(1), 30u);
+  EXPECT_EQ(m.untracked_grouped(), 80u);
+  // Only the id no group covers lands in the aggregate unknown bucket.
+  EXPECT_EQ(m.untracked_observations(), 10u);
+  // Leaving group mode reverts to the aggregate-only regression path.
+  m.set_group_index(nullptr);
+  m.observe(200, 1, 100, microseconds(1));
+  EXPECT_EQ(m.untracked_observations(), 11u);
+  EXPECT_EQ(m.untracked_grouped(), 0u);  // tallies reset with the index
+}
+
 TEST(Monitor, RegisteredContractsAlwaysTracked) {
   // Contract registration happens on the control plane: a registered
   // tenant must get a state even when churn has filled the table.
