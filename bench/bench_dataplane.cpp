@@ -8,10 +8,13 @@
 // per-port conservation book fails to balance — every bench run is also
 // a correctness check.
 //
-// The two headline views the driver assembles from this binary:
+// The three headline views the driver assembles from this binary:
 //   * pps vs --shards        (scaling curve, fixed batch)
 //   * --batch 32 vs --batch 1 at one shard (batched span pipeline vs
 //     the per-call scalar path it replaces)
+//   * --supervision on vs off at one shard (fault-domain overhead on
+//     the healthy path: heartbeats + deferred ring commits + periodic
+//     checkpoints, no faults; paired-ratio row with a <= 3% bar)
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -43,6 +46,11 @@ int main(int argc, char** argv) {
                     "fuse generator + worker onto one thread per shard "
                     "(books identical; isolates pipeline cost from "
                     "cross-thread handoff on small hosts)");
+  flags.define_bool("supervision", false,
+                    "enable the fault domain (heartbeats, watchdog, "
+                    "deferred ring commits, periodic checkpoints) with "
+                    "no faults injected — the supervision-overhead side "
+                    "of the paired bench row");
   flags.define_string("metrics", "",
                       "also dump the obs registry JSON to this path");
   if (!flags.parse(argc, argv)) return 1;
@@ -63,6 +71,7 @@ int main(int argc, char** argv) {
   cfg.tenants = static_cast<std::size_t>(flags.get_int("tenants"));
   cfg.guard = flags.get_bool("guard");
   cfg.fused = flags.get_bool("fused");
+  cfg.supervision.enabled = flags.get_bool("supervision");
 
   const qv::dataplane::DataplaneResult result =
       qv::dataplane::run_dataplane(cfg);
@@ -79,21 +88,24 @@ int main(int argc, char** argv) {
       "{\"config\":{\"shards\":%zu,\"ports_per_shard\":%zu,"
       "\"packets_per_port\":%llu,\"batch\":%zu,\"ring\":%zu,"
       "\"service_depth\":%zu,\"seed\":%llu,\"tenants\":%zu,\"guard\":%s,"
-      "\"fused\":%s},"
+      "\"fused\":%s,\"supervision\":%s},"
       "\"wall_seconds\":%.6f,\"pps\":%.1f,\"balanced\":%s,"
       "\"book\":{\"generated\":%llu,\"processed\":%llu,"
       "\"unknown_dropped\":%llu,\"admission_dropped\":%llu,"
       "\"rate_dropped\":%llu,\"share_dropped\":%llu,"
       "\"quantile_dropped\":%llu,\"enqueued\":%llu,\"dequeued\":%llu,"
       "\"queue_dropped\":%llu,\"residual\":%llu,"
-      "\"delivered_bytes\":%llu},"
+      "\"delivered_bytes\":%llu,\"quarantined\":%llu,"
+      "\"lost_in_flight\":%llu},"
       "\"ring\":{\"batches\":%llu,\"empty_polls\":%llu,"
-      "\"full_spins\":%llu}}\n",
+      "\"full_spins\":%llu},"
+      "\"supervisor\":{\"checkpoints\":%llu,\"restores\":%llu}}\n",
       cfg.shards, cfg.ports_per_shard,
       static_cast<unsigned long long>(cfg.packets_per_port), cfg.batch,
       cfg.ring_capacity, cfg.service_depth,
       static_cast<unsigned long long>(cfg.seed), cfg.tenants,
       cfg.guard ? "true" : "false", cfg.fused ? "true" : "false",
+      cfg.supervision.enabled ? "true" : "false",
       result.wall_seconds, result.pps(),
       result.balanced ? "true" : "false",
       static_cast<unsigned long long>(book.generated),
@@ -108,9 +120,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(book.queue_dropped),
       static_cast<unsigned long long>(book.residual),
       static_cast<unsigned long long>(book.delivered_bytes),
+      static_cast<unsigned long long>(book.quarantined),
+      static_cast<unsigned long long>(book.lost_in_flight),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(empty_polls),
-      static_cast<unsigned long long>(full_spins));
+      static_cast<unsigned long long>(full_spins),
+      static_cast<unsigned long long>(result.supervision().checkpoints),
+      static_cast<unsigned long long>(result.supervision().restores));
 
   if (!flags.get_string("metrics").empty()) {
     qv::obs::Registry reg;

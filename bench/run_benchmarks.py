@@ -146,6 +146,12 @@ OBS_BUDGET = 0.03
 # path of every packet and shows up well beyond 10%.
 OBS_NOISE_TOLERANCE = 0.07
 
+# Healthy-path throughput the dataplane fault domain may cost when
+# enabled with no faults injected (heartbeat stores, deferred ring
+# commits, periodic checkpoint copies). Checked as a paired ratio in
+# run_dataplane_mode with OBS_NOISE_TOLERANCE on top.
+SUPERVISION_OVERHEAD_BUDGET = 0.03
+
 OBS_BINARIES = {
     "bench_obs": "Obs|BM_CounterInc|BM_TracerInstant|BM_Log2HistogramAdd",
     # Live uninstrumented references for OBS_BASELINES.
@@ -536,6 +542,31 @@ def run_dataplane_mode(args):
     batched_speedup = round(mode_pps["batched"]["pps_median"] /
                             mode_pps["percall"]["pps_median"], 2)
 
+    # Supervision overhead: the fault domain armed but no faults
+    # injected (heartbeats + deferred ring commits + checkpoints) vs the
+    # plain engine. Paired per run — off and on back to back, ratio
+    # within the run — then the median ratio, so machine-speed epochs
+    # longer than one run cancel (the PR 6 methodology); the
+    # OBS_NOISE_TOLERANCE absorbs intra-run steal bursts. The bar:
+    # supervision may cost at most SUPERVISION_OVERHEAD_BUDGET of
+    # healthy-path throughput.
+    sup_pairs = {"off": [], "on": []}
+    sup_ratios = []
+    for _ in range(compare_runs):
+        pair = {}
+        for label, sup in (("off", "false"), ("on", "true")):
+            r = run_dataplane_cell(binary, [
+                "--shards", "1", "--packets", str(packets),
+                "--fused", "true", "--supervision", sup])
+            pair[label] = r["pps"]
+            sup_pairs[label].append(r["pps"])
+            books_balanced = books_balanced and r["balanced"]
+        sup_ratios.append(pair["on"] / pair["off"])
+    sup_ratios.sort()
+    sup_ratio = sup_ratios[len(sup_ratios) // 2]
+    sup_bar = (1.0 - SUPERVISION_OVERHEAD_BUDGET) - OBS_NOISE_TOLERANCE
+    supervision_ok = sup_ratio >= sup_bar
+
     notes = [
         "pps counts packets carried through the full pipeline "
         "(pre-processor + admission + PIFO enqueue/dequeue); drops are "
@@ -568,6 +599,14 @@ def run_dataplane_mode(args):
                                "pipeline, batch PIFO ops) vs --batch 1 "
                                "(per-packet ring copies, scalar calls "
                                "via the virtual Scheduler interface)",
+            "supervision_comparison": f"fused, 1 shard, paired per run "
+                                      f"(off/on back to back, ratio "
+                                      f"within the run), median of "
+                                      f"{compare_runs} paired ratios; "
+                                      f"bar: ratio >= "
+                                      f"1 - {SUPERVISION_OVERHEAD_BUDGET} "
+                                      f"- {OBS_NOISE_TOLERANCE} noise "
+                                      f"tolerance",
         },
         "host_cores": host_cores,
         "scaling": {str(s): scaling[s] for s in shards_list},
@@ -575,6 +614,16 @@ def run_dataplane_mode(args):
             "batched": mode_pps["batched"],
             "percall": mode_pps["percall"],
             "batched_speedup": batched_speedup,
+        },
+        "supervision_overhead": {
+            "pps_runs_off": [round(s) for s in sup_pairs["off"]],
+            "pps_runs_on": [round(s) for s in sup_pairs["on"]],
+            "paired_ratios": [round(r, 4) for r in sup_ratios],
+            "median_paired_ratio": round(sup_ratio, 4),
+            "overhead_budget": SUPERVISION_OVERHEAD_BUDGET,
+            "noise_tolerance": OBS_NOISE_TOLERANCE,
+            "bar": round(sup_bar, 4),
+            "within_budget": supervision_ok,
         },
         "conservation_books_balanced": books_balanced,
         "notes": notes,
@@ -592,8 +641,15 @@ def run_dataplane_mode(args):
           f"{mode_pps['batched']['pps_median'] / 1e6:.2f}M vs "
           f"{mode_pps['percall']['pps_median'] / 1e6:.2f}M pps "
           f"({batched_speedup}x)")
+    print(f"  supervision on/off paired ratio: {sup_ratio:.4f} "
+          f"(bar {sup_bar:.2f}, within budget: {supervision_ok})")
     if not books_balanced:
         sys.exit("conservation books failed to balance")
+    if not supervision_ok:
+        sys.exit(f"supervision overhead exceeds budget: median paired "
+                 f"ratio {sup_ratio:.4f} < {sup_bar:.2f} "
+                 f"(>{SUPERVISION_OVERHEAD_BUDGET:.0%} slowdown beyond "
+                 f"the {OBS_NOISE_TOLERANCE:.0%} noise tolerance)")
 
 
 def run_control_cell(binary, extra_args):

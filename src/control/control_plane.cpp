@@ -230,16 +230,36 @@ bool GroupFleetController::tick(TimeNs now) {
   std::vector<TenantId> desired = cp_.quarantined();
   // Forgiveness first: a jailed tenant with a clean window gets its
   // monitor state reset so it does not re-trip on the same verdict.
+  // EXCEPT a recidivist — a tenant that violated again WHILE jailed.
+  // Releasing one exactly at the window boundary would re-jail it a
+  // tick later, flapping the group plan through two structural
+  // recompiles (and letting hostile traffic run free in between).
+  // Instead its jail clock restarts in place: membership unchanged, no
+  // plan push, and release requires a fresh clean window with no
+  // violations since this re-quarantine.
   if (config_.quarantine_clean_window > 0) {
     std::vector<TenantId> kept;
     for (const TenantId id : desired) {
       const TimeNs last = fleet.last_violation_at(id);
-      if (last >= 0 && now - last >= config_.quarantine_clean_window) {
-        fleet.reset_monitor(id);
-        ++unquarantines_;
-      } else {
-        kept.push_back(id);
+      if (last < 0 || now - last < config_.quarantine_clean_window) {
+        kept.push_back(id);  // violated too recently (or unknown)
+        continue;
       }
+      const auto jailed = jailed_at_.find(id);
+      if (jailed != jailed_at_.end()) {
+        if (last >= jailed->second) {
+          jailed->second = now;  // recidivist: re-quarantined in place
+          kept.push_back(id);
+          continue;
+        }
+        if (now - jailed->second < config_.quarantine_clean_window) {
+          kept.push_back(id);  // jail term not yet fully served
+          continue;
+        }
+      }
+      fleet.reset_monitor(id);
+      jailed_at_.erase(id);
+      ++unquarantines_;
     }
     desired = std::move(kept);
   }
@@ -260,6 +280,13 @@ bool GroupFleetController::tick(TimeNs now) {
   if (quarantined_.size() > before) {
     quarantines_ += quarantined_.size() - before;
   }
+  // Stamp the jail time of new inmates (the recidivism reference) and
+  // drop stamps that no longer correspond to a jailed tenant.
+  for (const TenantId id : quarantined_) jailed_at_.try_emplace(id, now);
+  std::erase_if(jailed_at_, [this](const auto& kv) {
+    return !std::binary_search(quarantined_.begin(), quarantined_.end(),
+                               kv.first);
+  });
   ++adaptations_;
   last_reconfig_ = now;
   return !result.noop;

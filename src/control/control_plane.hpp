@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "control/group_compiler.hpp"
@@ -146,6 +147,10 @@ class GroupFleetController {
   ControlPlane& cp_;
   qvisor::RuntimeConfig config_;
   std::vector<TenantId> quarantined_;  ///< sorted, unique
+  /// When each jailed tenant was (re-)quarantined: the recidivism
+  /// reference for the forgiveness boundary (violated while jailed =>
+  /// jail clock restarts in place instead of release + re-jail flap).
+  std::unordered_map<TenantId, TimeNs> jailed_at_;
   TimeNs last_reconfig_ = -1;
   std::uint64_t adaptations_ = 0;
   std::uint64_t quarantines_ = 0;

@@ -1,10 +1,13 @@
 #include "dataplane/dataplane.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "control/group_compiler.hpp"
 #include "control/group_plan.hpp"
@@ -101,7 +104,34 @@ struct Shard {
   std::atomic<bool> producer_done{false};
   std::uint64_t full_spins = 0;            ///< producer side
   ShardResult result;                      ///< worker fills; merged after join
+
+  // Fault domain (all null/idle when supervision is disabled).
+  std::size_t index = 0;
+  const FaultSchedule* faults = nullptr;    ///< whole-plan view (poison set)
+  ShardFaultProgram* program = nullptr;     ///< this shard's events
+  ShardSupervisor* supervisor = nullptr;
+  std::uint64_t producer_rounds = 0;        ///< producer side: desync clock
+  /// Drain handshake: the worker raises pause_request; the producer
+  /// snapshots per-port emission counts, acks with paused, and parks
+  /// until the request clears.
+  std::atomic<bool> pause_request{false};
+  std::atomic<bool> paused{false};
+  std::vector<std::uint64_t> emitted_snapshot;  ///< valid while paused
 };
+
+/// Producer-side desync firing: once the producer's round counter
+/// reaches an armed event, publish stale ring slots (the worker will
+/// trip on the dst/seq validation and recover by draining).
+void fire_producer_desyncs(Shard& shard) {
+  ++shard.producer_rounds;
+  if (shard.program == nullptr) return;
+  for (ShardFaultProgram::Desync& d : shard.program->desyncs) {
+    if (!d.fired && shard.producer_rounds >= d.at_burst) {
+      d.fired = true;
+      shard.ring.corrupt_advance_tail(d.slots);
+    }
+  }
+}
 
 Packet make_packet(Gen& g, const DataplaneConfig& cfg) {
   Packet p;
@@ -136,7 +166,15 @@ RoundOutcome produce_round(Shard& shard, const DataplaneConfig& cfg,
                            bool spin) {
   RoundOutcome outcome;
   const bool budget_mode = cfg.packets_per_port > 0;
+  const bool poison = shard.faults != nullptr && shard.faults->any_poison();
   for (Gen& g : shard.gens) {
+    // Pause check per gen, not per round: once a drain is requested, at
+    // most the one in-flight burst completes, keeping recovery loss
+    // bounded by ring capacity + one burst.
+    if (spin && shard.pause_request.load(std::memory_order_relaxed)) {
+      outcome.budget_left = true;  // conservative: pause now, finish later
+      break;
+    }
     std::size_t want = cfg.batch;
     if (budget_mode) {
       const std::uint64_t left = cfg.packets_per_port - g.emitted;
@@ -148,7 +186,14 @@ RoundOutcome produce_round(Shard& shard, const DataplaneConfig& cfg,
       if (!spin && shard.ring.size_approx() == shard.ring.capacity()) {
         continue;  // fused: let the caller drain first
       }
-      const Packet p = make_packet(g, cfg);
+      // A drain pause must never land between make_packet and push —
+      // an emitted-but-unpushed packet would read as a stream gap — so
+      // the pause check happens strictly before generation.
+      if (spin && shard.pause_request.load(std::memory_order_relaxed)) {
+        continue;  // round ends; producer_loop services the pause
+      }
+      Packet p = make_packet(g, cfg);
+      if (poison && shard.faults->poisoned(g.port, p.seq)) p.size_bytes = -1;
       while (!shard.ring.push(p)) {
         ++shard.full_spins;
         std::this_thread::yield();
@@ -159,6 +204,9 @@ RoundOutcome produce_round(Shard& shard, const DataplaneConfig& cfg,
     std::span<Packet> slots = shard.ring.prepare_push(want);
     while (slots.empty()) {
       if (!spin) break;
+      // A paused worker stops committing, so a full ring can stay full:
+      // bail (nothing generated yet) and let producer_loop pause.
+      if (shard.pause_request.load(std::memory_order_relaxed)) break;
       ++shard.full_spins;
       std::this_thread::yield();
       slots = shard.ring.prepare_push(want);
@@ -167,7 +215,12 @@ RoundOutcome produce_round(Shard& shard, const DataplaneConfig& cfg,
     // May be shorter than `want` (wrap or partial room): the budget is
     // tracked by g.emitted, so a short burst just means the port gets
     // another round.
-    for (Packet& slot : slots) slot = make_packet(g, cfg);
+    for (Packet& slot : slots) {
+      slot = make_packet(g, cfg);
+      if (poison && shard.faults->poisoned(g.port, slot.seq)) {
+        slot.size_bytes = -1;
+      }
+    }
     g.generated += slots.size();
     shard.ring.commit_push(slots.size());
   }
@@ -179,7 +232,20 @@ void producer_loop(Shard& shard, const DataplaneConfig& cfg,
                    const std::atomic<bool>& stop) {
   const bool budget_mode = cfg.packets_per_port > 0;
   for (;;) {
+    if (shard.pause_request.load(std::memory_order_acquire)) {
+      // Drain handshake: publish exact emission counts, ack, park.
+      for (std::size_t p = 0; p < shard.gens.size(); ++p) {
+        shard.emitted_snapshot[p] = shard.gens[p].emitted;
+      }
+      shard.paused.store(true, std::memory_order_release);
+      while (shard.pause_request.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      shard.paused.store(false, std::memory_order_release);
+      continue;
+    }
     if (!budget_mode && stop.load(std::memory_order_relaxed)) break;
+    fire_producer_desyncs(shard);
     const RoundOutcome outcome = produce_round(shard, cfg, /*spin=*/true);
     if (budget_mode && !outcome.budget_left) break;
   }
@@ -301,6 +367,396 @@ void finalize_shard(Shard& shard, std::vector<Packet>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Supervised execution: the fault domain. Separate loops so the
+// unsupervised hot path above stays untouched.
+// ---------------------------------------------------------------------------
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Worker-side fault verdict: unwinds the current burst to the recovery
+/// handler. Never escapes the supervised loops.
+struct ShardFault {
+  RecoveryRecord::Cause cause;
+  std::size_t port = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Everything needed to rewind one port to a known-good point: the
+/// pre-processor (admission tokens, spill LRU, counters — deep copy),
+/// the PIFO content + counters, byte tally, and the stream cursor.
+struct PortCheckpoint {
+  qvisor::Preprocessor pre{qvisor::UnknownTenantAction::kDrop};
+  std::vector<Packet> queue;
+  sched::SchedulerCounters sch;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t stream_pos = 0;
+};
+
+/// Worker-side supervision state. The key invariant: ring commits are
+/// DEFERRED to checkpoints, so every packet consumed since the last
+/// checkpoint is physically still in the ring (the `uncommitted`
+/// region) and can be replayed after a restore. Consequently recovery
+/// loss (drain policy) is bounded by ring capacity + one burst, no
+/// matter how rarely checkpoints run.
+struct Supervised {
+  Supervised(Shard& shard, const DataplaneConfig& cfg, bool fused)
+      : shard(shard), cfg(cfg), fused(fused), sup(*shard.supervisor) {
+    const std::size_t n = shard.ports.size();
+    ckpt.resize(n);
+    stream_pos.assign(n, 0);
+    lost.assign(n, 0);
+    quarantined_count.assign(n, 0);
+    out.resize(cfg.batch);
+    scratch.resize(cfg.batch);
+  }
+
+  Shard& shard;
+  const DataplaneConfig& cfg;
+  const bool fused;
+  ShardSupervisor& sup;
+
+  std::vector<PortCheckpoint> ckpt;
+  std::vector<std::uint64_t> stream_pos;  ///< next expected seq per port
+  std::vector<std::uint64_t> lost;
+  std::vector<std::uint64_t> quarantined_count;
+  std::unordered_set<std::uint64_t> quarantined_keys;
+  std::unordered_map<std::uint64_t, int> fault_counts;
+  std::size_t uncommitted = 0;       ///< consumed past the committed head
+  std::uint64_t mono_bursts = 0;     ///< never rolled back by restore
+  std::uint64_t bursts_since_ckpt = 0;
+  std::vector<Packet> out;
+  std::vector<Packet> scratch;  ///< burst copy: ring slots stay pristine
+                                ///< for replay (process mutates in place)
+
+  void checkpoint(bool forced) {
+    const std::int64_t t0 = steady_ns();
+    shard.ring.commit_pop(uncommitted);
+    uncommitted = 0;
+    for (std::size_t p = 0; p < shard.ports.size(); ++p) {
+      Port& port = *shard.ports[p];
+      PortCheckpoint& c = ckpt[p];
+      c.pre = port.pre;
+      port.sch.snapshot(c.queue);
+      c.sch = port.sch.counters();
+      c.delivered_bytes = port.delivered_bytes;
+      c.stream_pos = stream_pos[p];
+    }
+    bursts_since_ckpt = 0;
+    SupervisionStats& st = shard.result.supervision;
+    ++st.checkpoints;
+    if (forced) ++st.forced_checkpoints;
+    st.checkpoint_ns.add(static_cast<std::uint64_t>(steady_ns() - t0));
+  }
+
+  void restore() {
+    for (std::size_t p = 0; p < shard.ports.size(); ++p) {
+      Port& port = *shard.ports[p];
+      PortCheckpoint& c = ckpt[p];
+      port.pre = c.pre;
+      port.sch.restore(c.queue, c.sch);
+      port.delivered_bytes = c.delivered_bytes;
+      stream_pos[p] = c.stream_pos;
+    }
+    // The committed head IS the checkpoint anchor: dropping the
+    // uncommitted cursor rewinds consumption to it.
+    uncommitted = 0;
+    bursts_since_ckpt = 0;
+  }
+
+  /// Drain recovery: quiesce the producer, discard the ring, and
+  /// itemize everything emitted past the checkpoint anchor into
+  /// lost_in_flight. Called with the checkpoint already restored.
+  void drain_ring(RecoveryRecord& rec) {
+    std::vector<std::uint64_t> emitted(shard.gens.size());
+    if (fused) {
+      // Single thread: the producer is us, already quiescent.
+      for (std::size_t p = 0; p < shard.gens.size(); ++p) {
+        emitted[p] = shard.gens[p].emitted;
+      }
+    } else {
+      shard.pause_request.store(true, std::memory_order_release);
+      for (;;) {
+        sup.beat(shard.index);  // still alive: don't trip the watchdog
+        if (shard.paused.load(std::memory_order_acquire)) {
+          emitted = shard.emitted_snapshot;
+          break;
+        }
+        if (shard.producer_done.load(std::memory_order_acquire)) {
+          for (std::size_t p = 0; p < shard.gens.size(); ++p) {
+            emitted[p] = shard.gens[p].emitted;
+          }
+          break;
+        }
+        // Free room so a producer mid-burst can finish its push and
+        // reach the pause point (it never pauses holding a packet).
+        const std::span<Packet> junk = shard.ring.peek(shard.ring.capacity());
+        shard.ring.commit_pop(junk.size());
+        std::this_thread::yield();
+      }
+    }
+    // Ring is quiescent: discard everything still in flight.
+    for (;;) {
+      const std::span<Packet> junk = shard.ring.peek(shard.ring.capacity());
+      if (junk.empty()) break;
+      shard.ring.commit_pop(junk.size());
+    }
+    uncommitted = 0;
+    // Loss = emitted past the anchor, minus packets in that window
+    // already accounted as quarantined (consumed before the fault).
+    for (std::size_t p = 0; p < shard.ports.size(); ++p) {
+      const std::uint64_t anchor = ckpt[p].stream_pos;
+      std::uint64_t window = emitted[p] - anchor;
+      for (const QuarantineRecord& q : shard.result.quarantine) {
+        if (q.port == shard.first_port + p && q.seq >= anchor &&
+            q.seq < emitted[p]) {
+          --window;
+        }
+      }
+      lost[p] += window;
+      rec.lost += window;
+      stream_pos[p] = emitted[p];
+    }
+    rec.drained = true;
+    // Re-anchor so a later drain cannot re-count this window as lost.
+    checkpoint(false);
+    if (!fused) shard.pause_request.store(false, std::memory_order_release);
+  }
+
+  void recover(const ShardFault& f) {
+    SupervisionStats& st = shard.result.supervision;
+    const std::int64_t t0 = steady_ns();
+    RecoveryRecord rec;
+    rec.cause = f.cause;
+    rec.shard = shard.index;
+    rec.at_burst = mono_bursts;
+    rec.start_ns = t0;
+    restore();
+    if (f.cause == RecoveryRecord::Cause::kDesync) {
+      ++st.desyncs;
+      // The uncommitted region is not trustworthy to replay.
+      drain_ring(rec);
+    } else if (cfg.supervision.drain_on_restore) {
+      drain_ring(rec);
+    }
+    rec.restore_ns = steady_ns() - t0;
+    ++st.restores;
+    st.recovery_ns.add(static_cast<std::uint64_t>(rec.restore_ns));
+    shard.result.recoveries.push_back(rec);
+  }
+
+  /// Injected stall: wedge (no heartbeats) until the watchdog's kill
+  /// verdict arrives, then abort the burst into recovery. The cap
+  /// bounds the wedge if the watchdog never fires (transient stall:
+  /// resume in place). Sleeps instead of spinning so the watchdog gets
+  /// CPU on small hosts.
+  void stall(TimeNs ns) {
+    ShardHealth& h = sup.health(shard.index);
+    h.kill.store(false, std::memory_order_release);  // drop stale verdicts
+    const std::int64_t t0 = steady_ns();
+    std::int64_t cap = ns;
+    if (cap > cfg.supervision.stall_safety_ns) {
+      cap = cfg.supervision.stall_safety_ns;
+    }
+    for (;;) {
+      if (h.kill.load(std::memory_order_acquire)) {
+        h.kill.store(false, std::memory_order_release);
+        ++shard.result.supervision.watchdog_detects;
+        sup.beat(shard.index);
+        throw ShardFault{RecoveryRecord::Cause::kStall};
+      }
+      if (steady_ns() - t0 >= cap) return;  // transient: resume in place
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  /// Worker-side events armed for this burst (monotonic counter, so a
+  /// replayed burst never re-fires a consumed event).
+  void fire_worker_events() {
+    if (shard.program == nullptr) return;
+    SupervisionStats& st = shard.result.supervision;
+    for (ShardFaultProgram::Crash& c : shard.program->crashes) {
+      if (!c.fired && mono_bursts >= c.at_burst) {
+        c.fired = true;
+        ++st.crashes;
+        throw ShardFault{RecoveryRecord::Cause::kCrash};
+      }
+    }
+    for (ShardFaultProgram::Stall& s : shard.program->stalls) {
+      if (!s.fired && mono_bursts >= s.at_burst) {
+        s.fired = true;
+        ++st.stalls;
+        stall(s.stall_ns);
+      }
+    }
+  }
+
+  /// Validate + process one burst. Validation order per packet: dst
+  /// range, then stream continuity (either failure = ring desync), then
+  /// the poison check (quarantine bookkeeping). The ring slots are
+  /// copied into `scratch` before processing so a restore can replay
+  /// them untouched.
+  void process_burst(std::span<Packet> burst) {
+    const bool poison = shard.faults != nullptr && shard.faults->any_poison();
+    SupervisionStats& st = shard.result.supervision;
+    std::size_t i = 0;
+    while (i < burst.size()) {
+      Packet& p = burst[i];
+      const std::size_t local =
+          static_cast<std::size_t>(p.dst) - shard.first_port;
+      if (local >= shard.ports.size()) {
+        throw ShardFault{RecoveryRecord::Cause::kDesync, p.dst, p.seq};
+      }
+      if (p.seq != static_cast<std::uint32_t>(stream_pos[local])) {
+        throw ShardFault{RecoveryRecord::Cause::kDesync, p.dst, p.seq};
+      }
+      if (p.size_bytes <= 0) {
+        if (!poison) {
+          // Corruption with no armed poison schedule: treat as desync.
+          throw ShardFault{RecoveryRecord::Cause::kDesync, p.dst, p.seq};
+        }
+        const std::uint64_t key = FaultSchedule::poison_key(p.dst, p.seq);
+        if (quarantined_keys.contains(key)) {
+          ++stream_pos[local];  // replay of an isolated identity: skip
+          ++i;
+          continue;
+        }
+        ++st.poison_faults;
+        const int count = ++fault_counts[key];
+        if (count >= cfg.supervision.quarantine_after) {
+          quarantined_keys.insert(key);
+          ++quarantined_count[local];
+          ++st.quarantined;
+          shard.result.quarantine.push_back(
+              {shard.index, static_cast<std::size_t>(p.dst), p.seq, p.tenant,
+               mono_bursts, count});
+          ++stream_pos[local];
+          ++i;
+          continue;
+        }
+        throw ShardFault{RecoveryRecord::Cause::kPoison, p.dst, p.seq};
+      }
+      // Healthy run: contiguous in dst and seq, poison-free.
+      const NodeId dst = p.dst;
+      std::uint32_t expect = p.seq + 1;
+      std::size_t j = i + 1;
+      while (j < burst.size() && burst[j].dst == dst &&
+             burst[j].seq == expect && burst[j].size_bytes > 0) {
+        ++j;
+        ++expect;
+      }
+      Port& port = *shard.ports[local];
+      const std::size_t n = j - i;
+      std::copy(burst.begin() + static_cast<std::ptrdiff_t>(i),
+                burst.begin() + static_cast<std::ptrdiff_t>(j),
+                scratch.begin());
+      if (cfg.batch == 1) {
+        process_percall(port, scratch[0], cfg);
+      } else {
+        process_span(port, std::span<Packet>(scratch.data(), n), out, cfg);
+      }
+      stream_pos[local] += n;
+      i = j;
+    }
+  }
+
+  /// One supervised consume step: heartbeat, checkpoint cadence, peek
+  /// past the uncommitted region, process, advance — or catch a fault
+  /// and recover. Returns packets consumed (0 = ring empty).
+  std::size_t consume_once() {
+    sup.beat(shard.index);  // progress and idle polls both beat
+    if (bursts_since_ckpt >= cfg.supervision.checkpoint_interval_bursts) {
+      checkpoint(false);
+    } else if (uncommitted + cfg.batch > shard.ring.capacity()) {
+      // Commit before the ring would wedge on uncommitted slots.
+      checkpoint(true);
+    }
+    const std::span<Packet> burst = shard.ring.peek_at(uncommitted, cfg.batch);
+    if (burst.empty()) return 0;
+    ShardResult& r = shard.result;
+    ++mono_bursts;
+    ++r.batches;
+    r.batch_pkts.add(burst.size());
+    r.ring_occupancy.add(shard.ring.size_approx());
+    try {
+      fire_worker_events();
+      process_burst(burst);
+      uncommitted += burst.size();
+      ++bursts_since_ckpt;
+    } catch (const ShardFault& f) {
+      recover(f);
+    }
+    return burst.size();
+  }
+
+  void finish() {
+    sup.health(shard.index).done.store(true, std::memory_order_release);
+    finalize_shard(shard, out);
+    ShardResult& r = shard.result;
+    for (std::size_t p = 0; p < shard.ports.size(); ++p) {
+      r.ports[p].quarantined = quarantined_count[p];
+      r.ports[p].lost_in_flight = lost[p];
+    }
+  }
+};
+
+/// Supervised worker loop (pipelined mode).
+void supervised_worker_loop(Shard& shard, const DataplaneConfig& cfg) {
+  Supervised sv(shard, cfg, /*fused=*/false);
+  sv.checkpoint(false);  // anchor the pristine state
+  ShardResult& r = shard.result;
+  for (;;) {
+    if (sv.consume_once() == 0) {
+      if (shard.producer_done.load(std::memory_order_acquire) &&
+          shard.ring.size_approx() == sv.uncommitted) {
+        shard.ring.commit_pop(sv.uncommitted);
+        sv.uncommitted = 0;
+        break;
+      }
+      ++r.empty_polls;
+      std::this_thread::yield();
+    }
+  }
+  sv.finish();
+}
+
+/// Supervised fused loop: generation and supervised consumption
+/// interleave on the shard's single thread.
+void supervised_fused_loop(Shard& shard, const DataplaneConfig& cfg,
+                           const std::atomic<bool>& stop) {
+  Supervised sv(shard, cfg, /*fused=*/true);
+  sv.checkpoint(false);
+  const bool budget_mode = cfg.packets_per_port > 0;
+  bool producing = true;
+  for (;;) {
+    if (producing) {
+      if (!budget_mode && stop.load(std::memory_order_relaxed)) {
+        producing = false;
+      } else {
+        fire_producer_desyncs(shard);
+        const RoundOutcome outcome =
+            produce_round(shard, cfg, /*spin=*/false);
+        if (budget_mode && !outcome.budget_left) producing = false;
+      }
+      if (!producing) {
+        shard.producer_done.store(true, std::memory_order_release);
+      }
+    }
+    while (sv.consume_once() > 0) {
+    }
+    if (!producing && shard.ring.size_approx() == sv.uncommitted) {
+      shard.ring.commit_pop(sv.uncommitted);
+      sv.uncommitted = 0;
+      break;
+    }
+  }
+  sv.finish();
+}
+
 /// Worker loop for the pipelined (two threads per shard) mode.
 void worker_loop(Shard& shard, const DataplaneConfig& cfg) {
   ShardResult& r = shard.result;
@@ -415,6 +871,22 @@ void PortBook::add(const PortBook& o) {
   queue_dropped += o.queue_dropped;
   residual += o.residual;
   delivered_bytes += o.delivered_bytes;
+  quarantined += o.quarantined;
+  lost_in_flight += o.lost_in_flight;
+}
+
+const char* recovery_cause_name(RecoveryRecord::Cause cause) {
+  switch (cause) {
+    case RecoveryRecord::Cause::kStall:
+      return "stall";
+    case RecoveryRecord::Cause::kCrash:
+      return "crash";
+    case RecoveryRecord::Cause::kPoison:
+      return "poison";
+    case RecoveryRecord::Cause::kDesync:
+      return "desync";
+  }
+  return "unknown";
 }
 
 PortBook ShardResult::book() const {
@@ -426,6 +898,12 @@ PortBook ShardResult::book() const {
 PortBook DataplaneResult::book() const {
   PortBook sum;
   for (const ShardResult& s : shards) sum.add(s.book());
+  return sum;
+}
+
+SupervisionStats DataplaneResult::supervision() const {
+  SupervisionStats sum;
+  for (const ShardResult& s : shards) sum.merge(s.supervision);
   return sum;
 }
 
@@ -446,6 +924,8 @@ void DataplaneResult::export_metrics(obs::Registry& reg) const {
     reg.counter(prefix + ".enqueued").inc(b.enqueued);
     reg.counter(prefix + ".dequeued").inc(b.dequeued);
     reg.counter(prefix + ".delivered_bytes").inc(b.delivered_bytes);
+    reg.counter(prefix + ".quarantined").inc(b.quarantined);
+    reg.counter(prefix + ".lost_in_flight").inc(b.lost_in_flight);
   };
   for (std::size_t s = 0; s < shards.size(); ++s) {
     const std::string prefix = "dataplane.shard" + std::to_string(s);
@@ -460,6 +940,23 @@ void DataplaneResult::export_metrics(obs::Registry& reg) const {
   emit("dataplane.total", book());
   reg.set_gauge("dataplane.pps", pps());
   reg.set_gauge("dataplane.wall_seconds", wall_seconds);
+  const SupervisionStats sup = supervision();
+  if (sup.checkpoints > 0 || watchdog_detects > 0) {
+    reg.counter("dataplane.supervisor.checkpoints").inc(sup.checkpoints);
+    reg.counter("dataplane.supervisor.forced_checkpoints")
+        .inc(sup.forced_checkpoints);
+    reg.counter("dataplane.supervisor.restores").inc(sup.restores);
+    reg.counter("dataplane.supervisor.stalls").inc(sup.stalls);
+    reg.counter("dataplane.supervisor.crashes").inc(sup.crashes);
+    reg.counter("dataplane.supervisor.poison_faults").inc(sup.poison_faults);
+    reg.counter("dataplane.supervisor.quarantined").inc(sup.quarantined);
+    reg.counter("dataplane.supervisor.desyncs").inc(sup.desyncs);
+    reg.counter("dataplane.supervisor.watchdog_detects").inc(watchdog_detects);
+    reg.histogram("dataplane.supervisor.checkpoint_ns")
+        .merge(sup.checkpoint_ns);
+    reg.histogram("dataplane.supervisor.recovery_ns").merge(sup.recovery_ns);
+    reg.histogram("dataplane.supervisor.detect_ns").merge(watchdog_detect_ns);
+  }
 }
 
 DataplaneResult run_dataplane(const DataplaneConfig& config) {
@@ -472,7 +969,27 @@ DataplaneResult run_dataplane(const DataplaneConfig& config) {
     throw std::invalid_argument(
         "dataplane: either packets_per_port or run_wall_ns must be set");
   }
+  const bool supervised = config.supervision.enabled;
+  if (!supervised) {
+    for (const netsim::FaultEvent& ev : config.fault_plan.events) {
+      if (netsim::FaultEvent::is_dataplane(ev.kind)) {
+        throw std::invalid_argument(
+            "dataplane: fault_plan has dataplane events but "
+            "supervision.enabled is false");
+      }
+    }
+  }
   const PlanBundle plan = make_plan(config);
+  FaultSchedule schedule;
+  if (supervised) {
+    schedule =
+        FaultSchedule(config.fault_plan, config.shards, config.ports_per_shard);
+  }
+  std::unique_ptr<ShardSupervisor> supervisor;
+  if (supervised) {
+    supervisor =
+        std::make_unique<ShardSupervisor>(config.shards, config.supervision);
+  }
 
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(config.shards);
@@ -485,8 +1002,16 @@ DataplaneResult run_dataplane(const DataplaneConfig& config) {
       shard->gens.emplace_back(config.seed, shard->first_port + p);
     }
     shard->result.ports.resize(config.ports_per_shard);
+    shard->index = s;
+    if (supervised) {
+      shard->faults = &schedule;
+      shard->program = &schedule.shard(s);
+      shard->supervisor = supervisor.get();
+      shard->emitted_snapshot.assign(config.ports_per_shard, 0);
+    }
     shards.push_back(std::move(shard));
   }
+  if (supervisor) supervisor->start();
 
   std::atomic<bool> stop{false};
   // One thread per fused shard, or a generator + worker pair per
@@ -499,10 +1024,22 @@ DataplaneResult run_dataplane(const DataplaneConfig& config) {
     Shard* sp = shard.get();
     const DataplaneConfig* cfg = &config;
     if (config.fused) {
-      pool.submit([sp, cfg, &stop] { fused_loop(*sp, *cfg, stop); });
+      pool.submit([sp, cfg, &stop, supervised] {
+        if (supervised) {
+          supervised_fused_loop(*sp, *cfg, stop);
+        } else {
+          fused_loop(*sp, *cfg, stop);
+        }
+      });
     } else {
       pool.submit([sp, cfg, &stop] { producer_loop(*sp, *cfg, stop); });
-      pool.submit([sp, cfg] { worker_loop(*sp, *cfg); });
+      pool.submit([sp, cfg, supervised] {
+        if (supervised) {
+          supervised_worker_loop(*sp, *cfg);
+        } else {
+          worker_loop(*sp, *cfg);
+        }
+      });
     }
   }
   if (config.packets_per_port == 0) {
@@ -518,6 +1055,11 @@ DataplaneResult run_dataplane(const DataplaneConfig& config) {
   DataplaneResult result;
   result.wall_seconds = wall;
   result.balanced = true;
+  if (supervisor) {
+    supervisor->stop();
+    result.watchdog_detects = supervisor->detects();
+    result.watchdog_detect_ns = supervisor->detect_ns();
+  }
   for (auto& shard : shards) {
     ShardResult& r = shard->result;
     r.full_spins = shard->full_spins;

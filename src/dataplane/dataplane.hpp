@@ -29,17 +29,35 @@
 // never leak into the books.
 //
 // Conservation: per port,
-//   generated == processed
+//   generated == processed + quarantined + lost_in_flight
 //   processed == unknown_dropped + admission_dropped + enqueued
 //   admission_dropped == rate + share + quantile drops (guard books)
 //   enqueued == dequeued + residual      (residual == 0 after drain)
 // checked by PortBook::balanced() at shutdown in every test and bench.
+// quarantined and lost_in_flight are produced only by the supervision
+// fault domain (both 0 on the fault-free path, where the first law
+// degenerates to the original generated == processed).
+//
+// Fault domain (supervision.enabled): each worker heartbeats a
+// ShardSupervisor watchdog, defers its ring commits to periodic
+// checkpoints (so everything consumed since the last checkpoint is
+// physically still in the ring), and on a fault — injected stall,
+// crash, poisoned descriptor, or ring desync — restores the checkpoint
+// and either REPLAYS the uncommitted ring region (deterministic: final
+// books byte-identical to a fault-free run) or DRAINS the ring,
+// itemizing the discarded packets into lost_in_flight (bounded by ring
+// capacity + one burst). A packet that faults the worker
+// `quarantine_after` times in a row is isolated into the quarantine log
+// and skipped instead of crash-looping the shard. See DESIGN.md
+// "Dataplane fault domain".
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "dataplane/fault.hpp"
+#include "dataplane/supervisor.hpp"
 #include "obs/log2_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "util/time.hpp"
@@ -101,6 +119,15 @@ struct DataplaneConfig {
   bool guard = true;
   double policed_rate_bytes_per_sec = 60e6;
   double policed_burst_bytes = 30'000.0;
+
+  /// Shard supervision (heartbeats + watchdog + checkpoint/restore).
+  /// Disabled by default: the hot path is then bit-identical to the
+  /// unsupervised dataplane. Must be enabled to arm `fault_plan`.
+  SupervisionConfig supervision;
+  /// Dataplane fault schedule (only the dataplane kinds are honored;
+  /// see netsim::FaultEvent). Non-empty dataplane events with
+  /// supervision disabled are a configuration error.
+  netsim::FaultPlan fault_plan;
 };
 
 /// Per-port conservation book (see file header for the balance laws).
@@ -117,9 +144,14 @@ struct PortBook {
   std::uint64_t queue_dropped = 0;  ///< must stay 0 (guard owns the buffer)
   std::uint64_t residual = 0;       ///< buffered at shutdown (0 after drain)
   std::uint64_t delivered_bytes = 0;
+  /// Poisoned packets isolated by the fault domain (0 without faults).
+  std::uint64_t quarantined = 0;
+  /// Packets discarded by a drain recovery, itemized instead of silently
+  /// lost; bounded by ring capacity + one burst per recovery.
+  std::uint64_t lost_in_flight = 0;
 
   bool balanced() const {
-    return generated == processed &&
+    return generated == processed + quarantined + lost_in_flight &&
            processed == unknown_dropped + admission_dropped + enqueued &&
            admission_dropped ==
                rate_dropped + share_dropped + quantile_dropped &&
@@ -130,6 +162,21 @@ struct PortBook {
   bool operator==(const PortBook&) const = default;
 };
 
+/// One recovery episode, for the chaos harness's Perfetto timeline and
+/// the recovery-bound assertions.
+struct RecoveryRecord {
+  enum class Cause : std::uint8_t { kStall, kCrash, kPoison, kDesync };
+  Cause cause = Cause::kCrash;
+  std::size_t shard = 0;
+  std::uint64_t at_burst = 0;    ///< monotonic worker burst of the fault
+  std::int64_t start_ns = 0;     ///< steady-clock ns at fault catch
+  std::int64_t restore_ns = 0;   ///< restore (+ drain) duration
+  std::uint64_t lost = 0;        ///< packets itemized lost (drain only)
+  bool drained = false;
+};
+
+const char* recovery_cause_name(RecoveryRecord::Cause cause);
+
 struct ShardResult {
   std::vector<PortBook> ports;  ///< shard-local order (global port =
                                 ///< shard * ports_per_shard + index)
@@ -139,6 +186,11 @@ struct ShardResult {
   obs::Log2Histogram batch_pkts;      ///< packets per non-empty pop
   obs::Log2Histogram ring_occupancy;  ///< ring depth after each pop
 
+  // Fault domain (all empty/zero when supervision is disabled).
+  SupervisionStats supervision;
+  std::vector<QuarantineRecord> quarantine;  ///< isolated packets
+  std::vector<RecoveryRecord> recoveries;    ///< one per restore
+
   PortBook book() const;  ///< sum over owned ports
 };
 
@@ -147,7 +199,12 @@ struct DataplaneResult {
   double wall_seconds = 0.0;
   bool balanced = false;  ///< every port book balanced, residual 0
 
+  // Watchdog tallies (zero when supervision is disabled).
+  std::uint64_t watchdog_detects = 0;
+  obs::Log2Histogram watchdog_detect_ns;  ///< heartbeat age at detection
+
   PortBook book() const;  ///< sum over all shards
+  SupervisionStats supervision() const;  ///< merged over all shards
   /// Packets fully carried through the pipeline per second of wall
   /// time (counting processed packets: drops are work too).
   double pps() const;

@@ -1,0 +1,90 @@
+#include "dataplane/fault.hpp"
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace qv::dataplane {
+
+FaultSchedule::FaultSchedule(const netsim::FaultPlan& plan,
+                             std::size_t shards,
+                             std::size_t ports_per_shard) {
+  shards_.resize(shards);
+  const std::size_t ports = shards * ports_per_shard;
+  using Kind = netsim::FaultEvent::Kind;
+  for (const netsim::FaultEvent& ev : plan.events) {
+    switch (ev.kind) {
+      case Kind::kWorkerStall:
+        if (ev.shard >= shards) break;
+        shards_[ev.shard].stalls.push_back({ev.at_burst, ev.stall_ns, false});
+        any_ = true;
+        break;
+      case Kind::kWorkerCrash:
+        if (ev.shard >= shards) break;
+        shards_[ev.shard].crashes.push_back({ev.at_burst, false});
+        any_ = true;
+        break;
+      case Kind::kDescriptorCorrupt:
+        if (ev.port >= ports) break;
+        poison_.insert(poison_key(ev.port, ev.seq));
+        any_ = true;
+        break;
+      case Kind::kRingDesync:
+        if (ev.shard >= shards) break;
+        shards_[ev.shard].desyncs.push_back(
+            {ev.at_burst, ev.desync_slots, false});
+        any_ = true;
+        break;
+      default:
+        break;  // netsim kinds: not ours
+    }
+  }
+  // Worker events fire by a == comparison against the monotonic burst
+  // counter, so order within a vector does not matter; sort anyway for
+  // reproducible dumps.
+  for (ShardFaultProgram& p : shards_) {
+    std::sort(p.stalls.begin(), p.stalls.end(),
+              [](const auto& a, const auto& b) {
+                return a.at_burst < b.at_burst;
+              });
+    std::sort(p.crashes.begin(), p.crashes.end(),
+              [](const auto& a, const auto& b) {
+                return a.at_burst < b.at_burst;
+              });
+    std::sort(p.desyncs.begin(), p.desyncs.end(),
+              [](const auto& a, const auto& b) {
+                return a.at_burst < b.at_burst;
+              });
+  }
+}
+
+netsim::FaultPlan random_dataplane_fault_plan(
+    std::uint64_t seed, std::size_t shards, std::size_t ports_per_shard,
+    const RandomDataplaneFaultConfig& cfg) {
+  netsim::FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(SplitMix64(seed ^ 0xdf5a17000000001ull).next());
+  const std::uint64_t burst_span =
+      cfg.max_burst > cfg.min_burst ? cfg.max_burst - cfg.min_burst : 1;
+  const auto burst = [&] { return cfg.min_burst + rng.next_below(burst_span); };
+  for (int i = 0; i < cfg.stalls; ++i) {
+    plan.worker_stall(static_cast<std::size_t>(rng.next_below(shards)),
+                      burst(), cfg.stall_ns);
+  }
+  for (int i = 0; i < cfg.crashes; ++i) {
+    plan.worker_crash(static_cast<std::size_t>(rng.next_below(shards)),
+                      burst());
+  }
+  for (int i = 0; i < cfg.corruptions; ++i) {
+    plan.descriptor_corrupt(
+        static_cast<std::size_t>(rng.next_below(shards * ports_per_shard)),
+        rng.next_below(cfg.max_seq));
+  }
+  for (int i = 0; i < cfg.desyncs; ++i) {
+    plan.ring_desync(static_cast<std::size_t>(rng.next_below(shards)),
+                     burst(), cfg.desync_slots);
+  }
+  return plan;
+}
+
+}  // namespace qv::dataplane

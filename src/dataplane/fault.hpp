@@ -1,0 +1,127 @@
+// Dataplane fault injection: compiles the dataplane kinds of a netsim
+// FaultPlan (worker stall / worker crash / descriptor corruption / ring
+// desync) into the per-shard programs the supervised dataplane arms.
+//
+// The netsim FaultInjector drives a simulator event loop; the dataplane
+// has no simulator — its faults fire on SHARD-LOCAL counters instead:
+//
+//   * worker events (stall, crash) fire when the worker's MONOTONIC
+//     burst counter reaches `at_burst`. The counter is never rolled
+//     back by a checkpoint restore, so each event fires exactly once
+//     even though the packets around it are replayed;
+//   * producer events (ring desync) fire when the producer's round
+//     counter reaches `at_burst` (the producer calls
+//     SpscRing::corrupt_advance_tail, publishing stale slots);
+//   * descriptor corruption is keyed on packet identity (global port,
+//     seq): the producer corrupts that packet's size field at emission,
+//     so the worker deterministically faults on the same packet on
+//     every replay — the crash-loop the quarantine machinery breaks.
+//
+// Everything is compiled once before the threads start; the hot path
+// only ever reads const state plus each side's own one-shot flags.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "netsim/fault.hpp"
+#include "netsim/packet.hpp"
+#include "util/time.hpp"
+
+namespace qv::dataplane {
+
+/// One quarantined packet: identity, attribution, and when the verdict
+/// was reached (monotonic worker burst index).
+struct QuarantineRecord {
+  std::size_t shard = 0;
+  std::size_t port = 0;   ///< global port id
+  std::uint64_t seq = 0;  ///< per-port stream position
+  TenantId tenant = kInvalidTenant;
+  std::uint64_t at_burst = 0;  ///< monotonic burst of the quarantine verdict
+  int faults = 0;              ///< consecutive faults before isolation
+};
+
+/// Per-shard fault program: the worker consumes stalls/crashes, the
+/// producer consumes desyncs. `fired` is owned by whichever thread
+/// consumes the event (no sharing).
+struct ShardFaultProgram {
+  struct Stall {
+    std::uint64_t at_burst = 0;
+    TimeNs stall_ns = 0;
+    bool fired = false;
+  };
+  struct Crash {
+    std::uint64_t at_burst = 0;
+    bool fired = false;
+  };
+  struct Desync {
+    std::uint64_t at_burst = 0;
+    std::size_t slots = 0;
+    bool fired = false;
+  };
+  std::vector<Stall> stalls;
+  std::vector<Crash> crashes;
+  std::vector<Desync> desyncs;
+
+  bool empty() const {
+    return stalls.empty() && crashes.empty() && desyncs.empty();
+  }
+};
+
+/// The compiled plan: per-shard programs plus the poison set. Built on
+/// the control thread before the dataplane threads start; const while
+/// they run (each thread owns only its program's `fired` flags).
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Compile `plan` for a dataplane with `shards` shards of
+  /// `ports_per_shard` ports. Non-dataplane kinds are ignored; events
+  /// targeting out-of-range shards/ports are dropped.
+  FaultSchedule(const netsim::FaultPlan& plan, std::size_t shards,
+                std::size_t ports_per_shard);
+
+  ShardFaultProgram& shard(std::size_t s) { return shards_[s]; }
+  const ShardFaultProgram& shard(std::size_t s) const { return shards_[s]; }
+
+  static std::uint64_t poison_key(std::size_t port, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(port) << 32) | (seq & 0xffffffffull);
+  }
+  bool poisoned(std::size_t port, std::uint64_t seq) const {
+    return poison_.contains(poison_key(port, seq));
+  }
+
+  bool any() const { return any_; }
+  bool any_poison() const { return !poison_.empty(); }
+  std::size_t poison_count() const { return poison_.size(); }
+
+ private:
+  std::vector<ShardFaultProgram> shards_;
+  std::unordered_set<std::uint64_t> poison_;
+  bool any_ = false;
+};
+
+/// Knobs for random_dataplane_fault_plan().
+struct RandomDataplaneFaultConfig {
+  int stalls = 1;
+  int crashes = 1;
+  int corruptions = 2;
+  int desyncs = 1;
+  /// Fault bursts are drawn from [min_burst, max_burst): early enough
+  /// that recovery happens mid-run, late enough that a checkpoint
+  /// exists.
+  std::uint64_t min_burst = 4;
+  std::uint64_t max_burst = 64;
+  std::uint64_t max_seq = 4096;  ///< corrupted packets drawn from [0, max_seq)
+  TimeNs stall_ns = 500'000'000;  ///< wedge cap; watchdog should fire first
+  std::size_t desync_slots = 8;
+};
+
+/// A seeded random dataplane fault schedule over `shards` shards x
+/// `ports_per_shard` ports; every choice derives from `seed`.
+netsim::FaultPlan random_dataplane_fault_plan(
+    std::uint64_t seed, std::size_t shards, std::size_t ports_per_shard,
+    const RandomDataplaneFaultConfig& cfg);
+
+}  // namespace qv::dataplane

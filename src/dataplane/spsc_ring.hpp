@@ -158,6 +158,45 @@ class SpscRing {
                     std::memory_order_release);
   }
 
+  /// Consumer: borrow up to `max` contiguous readable slots starting
+  /// `offset` items PAST the committed head, without committing
+  /// anything. This is the deferred-commit path the supervised
+  /// dataplane worker uses: it reads ahead of the committed head and
+  /// only commits at checkpoints, so everything consumed since the last
+  /// checkpoint is physically still in the ring and a crash can replay
+  /// it. Returns an empty span when fewer than offset + 1 items are
+  /// published. Slot runs never wrap (same seam rule as peek()).
+  std::span<T> peek_at(std::size_t offset, std::size_t max) {
+    const std::uint64_t head =
+        head_.pos.load(std::memory_order_relaxed) + offset;
+    if (head_.cached_peer < head + max) {
+      head_.cached_peer = tail_.pos.load(std::memory_order_acquire);
+      if (head_.cached_peer <= head) return {};
+    }
+    const std::size_t avail =
+        static_cast<std::size_t>(head_.cached_peer - head);
+    const std::size_t at = static_cast<std::size_t>(head) & mask_;
+    std::size_t n = max < avail ? max : avail;
+    if (n > capacity() - at) n = capacity() - at;
+    return std::span<T>(slots_.data() + at, n);
+  }
+
+  /// FAULT-INJECTION BACKDOOR (producer side): publish up to `n` slots
+  /// WITHOUT writing them, emulating a producer whose tail index ran
+  /// ahead of its writes (ring desync). The consumer observes stale
+  /// descriptors from a previous lap of the ring. Returns how many
+  /// slots were actually published (bounded by free space). Never call
+  /// this outside tests / the dataplane fault injector.
+  std::size_t corrupt_advance_tail(std::size_t n) {
+    const std::uint64_t tail = tail_.pos.load(std::memory_order_relaxed);
+    tail_.cached_peer = head_.pos.load(std::memory_order_acquire);
+    const std::size_t room =
+        capacity() - static_cast<std::size_t>(tail - tail_.cached_peer);
+    if (n > room) n = room;
+    tail_.pos.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   /// Instantaneous occupancy; exact only from the consumer thread (the
   /// producer may be mid-push), good enough for occupancy histograms.
   std::size_t size_approx() const {

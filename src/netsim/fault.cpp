@@ -58,6 +58,46 @@ FaultPlan& FaultPlan::pressure_spike(TimeNs at, std::size_t link, int packets,
   return *this;
 }
 
+FaultPlan& FaultPlan::worker_stall(std::size_t shard, std::uint64_t at_burst,
+                                   TimeNs stall_ns) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kWorkerStall;
+  ev.shard = shard;
+  ev.at_burst = at_burst;
+  ev.stall_ns = stall_ns;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::worker_crash(std::size_t shard, std::uint64_t at_burst) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kWorkerCrash;
+  ev.shard = shard;
+  ev.at_burst = at_burst;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::descriptor_corrupt(std::size_t port, std::uint64_t seq) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kDescriptorCorrupt;
+  ev.port = port;
+  ev.seq = seq;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ring_desync(std::size_t shard, std::uint64_t at_burst,
+                                  std::size_t slots) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kRingDesync;
+  ev.shard = shard;
+  ev.at_burst = at_burst;
+  ev.desync_slots = slots;
+  events.push_back(ev);
+  return *this;
+}
+
 FaultPlan random_fault_plan(std::uint64_t seed, std::size_t num_links,
                             const RandomFaultConfig& cfg) {
   assert(num_links > 0);
@@ -120,6 +160,9 @@ void FaultInjector::arm(const FaultPlan& plan) {
     links[i]->set_fault_seed(mix.next());
   }
   for (const FaultEvent& ev : plan.events) {
+    // Dataplane kinds live in the same plan but target the sharded
+    // dataplane, not this network; dataplane::FaultSchedule arms them.
+    if (FaultEvent::is_dataplane(ev.kind)) continue;
     sim_.at(ev.at, [this, ev] { apply(ev); });
   }
 }
@@ -170,6 +213,11 @@ void FaultInjector::apply(const FaultEvent& ev) {
       ++spike_seq_;
       break;
     }
+    case FaultEvent::Kind::kWorkerStall:
+    case FaultEvent::Kind::kWorkerCrash:
+    case FaultEvent::Kind::kDescriptorCorrupt:
+    case FaultEvent::Kind::kRingDesync:
+      break;  // dataplane kinds: never scheduled here (see arm())
   }
 }
 

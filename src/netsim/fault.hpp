@@ -29,7 +29,23 @@ struct FaultEvent {
     kLinkUp,         ///< plug it back in
     kSetLoss,        ///< set per-packet loss/corruption probability
     kPressureSpike,  ///< inject a burst of packets straight into a port
+
+    // Dataplane fault kinds (src/dataplane/fault.hpp): faults against
+    // the sharded run-to-completion dataplane rather than the simulated
+    // network. They share the FaultPlan container so one schedule can
+    // describe both layers; the netsim FaultInjector ignores them (the
+    // dataplane's own injector compiles and arms them).
+    kWorkerStall,         ///< wedge a shard worker (no heartbeat) for stall_ns
+    kWorkerCrash,         ///< shard worker dies at a burst index
+    kDescriptorCorrupt,   ///< poison one packet's descriptor (port, seq)
+    kRingDesync,          ///< producer tail index runs ahead of its writes
   };
+
+  /// True for the kinds armed by the dataplane injector, not netsim's.
+  static bool is_dataplane(Kind k) {
+    return k == Kind::kWorkerStall || k == Kind::kWorkerCrash ||
+           k == Kind::kDescriptorCorrupt || k == Kind::kRingDesync;
+  }
 
   Kind kind = Kind::kLinkDown;
   TimeNs at = 0;
@@ -38,6 +54,17 @@ struct FaultEvent {
   // kSetLoss
   double loss_prob = 0.0;
   double corrupt_prob = 0.0;
+
+  // Dataplane kinds (kWorkerStall / kWorkerCrash / kRingDesync fire on
+  // a shard's MONOTONIC burst counter — it is never rolled back by a
+  // checkpoint restore, so an event fires exactly once per run).
+  std::size_t shard = 0;         ///< target shard
+  std::uint64_t at_burst = 0;    ///< worker (stall/crash) or producer
+                                 ///< (desync) burst index to fire at
+  TimeNs stall_ns = 0;           ///< kWorkerStall: wedge duration cap
+  std::size_t port = 0;          ///< kDescriptorCorrupt: global port id
+  std::uint64_t seq = 0;         ///< kDescriptorCorrupt: packet seq
+  std::size_t desync_slots = 0;  ///< kRingDesync: stale slots published
 
   // kPressureSpike
   int burst_packets = 0;
@@ -80,6 +107,16 @@ struct FaultPlan {
   FaultPlan& pressure_spike(TimeNs at, std::size_t link, int packets,
                             std::int32_t packet_bytes, TenantId tenant,
                             Rank rank, NodeId dst = kInvalidNode);
+
+  // Dataplane fault builders (ignored by the netsim injector; compiled
+  // by dataplane::FaultSchedule). `at_burst` indexes the target shard's
+  // monotonic burst counter, not simulated time.
+  FaultPlan& worker_stall(std::size_t shard, std::uint64_t at_burst,
+                          TimeNs stall_ns);
+  FaultPlan& worker_crash(std::size_t shard, std::uint64_t at_burst);
+  FaultPlan& descriptor_corrupt(std::size_t port, std::uint64_t seq);
+  FaultPlan& ring_desync(std::size_t shard, std::uint64_t at_burst,
+                         std::size_t slots);
 };
 
 /// A randomized but fully seeded schedule: `seed` determines every link

@@ -7,6 +7,43 @@ namespace qv::qvisor {
 
 Preprocessor::Preprocessor(UnknownTenantAction unknown) : unknown_(unknown) {}
 
+Preprocessor::Preprocessor(const Preprocessor& other) { *this = other; }
+
+Preprocessor& Preprocessor::operator=(const Preprocessor& other) {
+  if (this == &other) return *this;
+  unknown_ = other.unknown_;
+  degraded_ = other.degraded_;
+  dense_ = other.dense_;
+  dense_counts_ = other.dense_counts_;
+  group_table_ = other.group_table_;
+  group_counts_ = other.group_counts_;
+  group_index_ = other.group_index_;  // shared, immutable once built
+  spill_ = other.spill_;
+  spill_counts_ = other.spill_counts_;
+  spill_lru_ = other.spill_lru_;
+  spill_cap_ = other.spill_cap_;
+  if (other.guard_) {
+    if (guard_) {
+      *guard_ = *other.guard_;  // reuse the allocation
+    } else {
+      guard_ = std::make_unique<AdmissionGuard>(*other.guard_);
+    }
+  } else {
+    guard_.reset();
+  }
+  installed_tenants_ = other.installed_tenants_;
+  rank_space_ = other.rank_space_;
+  best_effort_rank_ = other.best_effort_rank_;
+  counters_ = other.counters_;
+  // The copied spill tallies still hold iterators into the SOURCE's LRU
+  // list; re-point each at our own copy (element order is preserved by
+  // list copy-assignment).
+  for (auto it = spill_lru_.begin(); it != spill_lru_.end(); ++it) {
+    spill_counts_[*it].lru_it = it;
+  }
+  return *this;
+}
+
 void Preprocessor::install(const SynthesisPlan& plan) {
   TenantId dense_max = 0;
   bool any_dense = false;

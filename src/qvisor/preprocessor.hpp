@@ -79,6 +79,18 @@ class Preprocessor {
   explicit Preprocessor(
       UnknownTenantAction unknown = UnknownTenantAction::kBestEffort);
 
+  /// Deep copy: clones the installed plan, counters, spill tallies, and
+  /// the admission guard's full token/occupancy/window state, so a copy
+  /// is a faithful checkpoint of the data-plane state (dataplane
+  /// supervision snapshots one per port). Copy-assignment reuses the
+  /// destination's buffers where the standard containers allow it, so a
+  /// periodic checkpoint into a warm destination allocates rarely.
+  Preprocessor(const Preprocessor& other);
+  Preprocessor& operator=(const Preprocessor& other);
+  Preprocessor(Preprocessor&&) = default;
+  Preprocessor& operator=(Preprocessor&&) = default;
+  ~Preprocessor() = default;
+
   /// Install (replace) the active plan. O(#tenants); never observed
   /// mid-packet. Leaves group mode (the two modes are exclusive; the
   /// last install wins).

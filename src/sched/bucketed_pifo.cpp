@@ -1,5 +1,6 @@
 #include "sched/bucketed_pifo.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace qv::sched {
@@ -43,6 +44,59 @@ bool BucketedPifo::make_room(const Packet& p, Rank bucket) {
     return false;
   }
   return true;
+}
+
+void BucketedPifo::snapshot(std::vector<Packet>& out) const {
+  out.clear();
+  out.reserve(out.size() + packets_);
+  // Walk the occupancy bitmap exactly the way dequeue would: summary
+  // word -> bucket word -> bucket list, lowest bucket first, FIFO
+  // within a bucket — so the snapshot IS the dequeue order.
+  for (std::size_t s = 0; s < summary_.size(); ++s) {
+    std::uint64_t sword = summary_[s];
+    while (sword != 0) {
+      const std::size_t w =
+          s * kWordBits + static_cast<std::size_t>(std::countr_zero(sword));
+      sword &= sword - 1;
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const std::size_t bucket =
+            w * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        for (std::int32_t idx = buckets_[bucket].head; idx >= 0;
+             idx = links_[idx].next) {
+          out.push_back(slab_[idx]);
+        }
+      }
+    }
+  }
+  assert(out.size() == packets_);
+}
+
+void BucketedPifo::restore(std::span<const Packet> packets,
+                           const SchedulerCounters& counters) {
+  for (Bucket& b : buckets_) b = Bucket{};
+  std::fill(words_.begin(), words_.end(), 0);
+  std::fill(summary_.begin(), summary_.end(), 0);
+  // clear() keeps the slab's capacity, so a restore after warm-up
+  // performs no allocation (the re-insertions below refill it).
+  slab_.clear();
+  links_.clear();
+  free_head_ = -1;
+  best_ = -1;
+  packets_ = 0;
+  bytes_ = 0;
+  const Rank limit = static_cast<Rank>(buckets_.size() - 1);
+  for (const Packet& p : packets) {
+    const Rank bucket = p.rank < limit ? p.rank : limit;
+    push_back(bucket, acquire_node(p));
+    if (best_ < 0 || bucket < static_cast<Rank>(best_)) {
+      best_ = static_cast<std::int32_t>(bucket);
+    }
+    bytes_ += p.size_bytes;
+    ++packets_;
+  }
+  counters_ = counters;
 }
 
 Rank BucketedPifo::head_rank() const {

@@ -80,6 +80,24 @@ class BucketedPifo final : public Scheduler {
   /// Slab capacity in nodes (allocation high-water mark; test hook).
   std::size_t slab_capacity() const { return slab_.size(); }
 
+  /// Non-destructive checkpoint: append every buffered packet to `out`
+  /// in exact dequeue order (ascending bucket, FIFO within a bucket).
+  /// O(buffered + non-empty buckets); the queue is untouched. Content
+  /// snapshot, not object copy: the slab's allocation high-water mark
+  /// is NOT part of the logical state, so a checkpoint costs only the
+  /// packets actually buffered (dataplane supervision takes one per
+  /// port every few hundred packets).
+  void snapshot(std::vector<Packet>& out) const;
+
+  /// Restore to exactly the state a snapshot() captured: clears the
+  /// queue and re-inserts `packets` in order, then overwrites the
+  /// cumulative counters with `counters` (re-insertion must not count
+  /// as new enqueues — the restored counters already include these
+  /// packets' first enqueue). After restore, dequeue order and
+  /// head_rank() match the checkpointed queue exactly.
+  void restore(std::span<const Packet> packets,
+               const SchedulerCounters& counters);
+
  private:
   struct Link {
     std::int32_t prev;

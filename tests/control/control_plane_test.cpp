@@ -305,6 +305,50 @@ TEST_F(GroupControllerTest, ForgivesAfterACleanWindow) {
             qvisor::Verdict::kClean);
 }
 
+TEST_F(GroupControllerTest, RecidivistAtForgivenessBoundaryDoesNotFlap) {
+  // Jail tenant 3, let it violate AGAIN while jailed, then tick exactly
+  // at the forgiveness-window boundary. The buggy sequence would be
+  // release (structural recompile: jail tier removed) followed by
+  // re-jail a tick later (another structural recompile) — a plan flap
+  // with hostile traffic running at gold priority in between. The
+  // controller must instead re-quarantine in place: membership
+  // unchanged, zero plan pushes, jail clock restarted.
+  auto port = fleet_.make_port_scheduler(0);
+  for (int i = 0; i < 200; ++i) {
+    port->enqueue(labeled(3, 5000), milliseconds(1));
+  }
+  qvisor::RuntimeConfig cfg;
+  cfg.min_reconfig_interval = 0;
+  cfg.quarantine_clean_window = milliseconds(10);
+  GroupFleetController ctl(cp_, cfg);
+  ASSERT_TRUE(ctl.tick(milliseconds(2)));
+  ASSERT_EQ(ctl.quarantined(), (std::vector<TenantId>{3}));
+  ASSERT_EQ(cp_.deployed()->group_count(), 4u);  // jail tier live
+
+  // Recidivism while jailed: fresh violations at ms 5.
+  for (int i = 0; i < 200; ++i) {
+    port->enqueue(labeled(3, 5000), milliseconds(5));
+  }
+  // ms 15 is EXACTLY window past the last violation: the clean-window
+  // test alone would release. It must not — no plan change at all.
+  EXPECT_FALSE(ctl.tick(milliseconds(15)));
+  EXPECT_EQ(ctl.unquarantines(), 0u);
+  EXPECT_EQ(ctl.quarantined(), (std::vector<TenantId>{3}));
+  EXPECT_EQ(cp_.deployed()->group_count(), 4u);  // still jailed: no flap
+  EXPECT_EQ(ctl.adaptations(), 1u);              // only the original jail
+
+  // A tick shortly after must not release either (the jail clock
+  // restarted at ms 15: the tenant re-earns a FULL clean window).
+  EXPECT_FALSE(ctl.tick(milliseconds(20)));
+  EXPECT_EQ(ctl.quarantined(), (std::vector<TenantId>{3}));
+
+  // Clean since ms 5: a full window past the re-quarantine releases.
+  ASSERT_TRUE(ctl.tick(milliseconds(26)));
+  EXPECT_EQ(ctl.unquarantines(), 1u);
+  EXPECT_TRUE(ctl.quarantined().empty());
+  EXPECT_EQ(cp_.deployed()->group_count(), 3u);
+}
+
 TEST_F(GroupControllerTest, TickRunsAntiEntropyEvenWhenIdle) {
   fleet_.hypervisor(2).clear_plan();
   EXPECT_FALSE(fleet_.epochs_consistent());

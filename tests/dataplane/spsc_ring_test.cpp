@@ -129,6 +129,94 @@ TEST(SpscRingTest, ZeroCopySpansNeverWrap) {
   EXPECT_EQ(view[0], 102);
 }
 
+TEST(SpscRingTest, PartialCommitRepreparesTheUncommittedSlots) {
+  SpscRing<int> ring(8);
+  std::span<int> slots = ring.prepare_push(6);
+  ASSERT_EQ(slots.size(), 6u);
+  for (int i = 0; i < 6; ++i) slots[i] = i;
+  ring.commit_push(2);  // publish a strict prefix of the borrow
+  EXPECT_EQ(ring.size_approx(), 2u);
+  // The unpublished tail of the borrow was never handed to the
+  // consumer: the next prepare returns those same slab slots again
+  // (previous writes still visible — they are just storage).
+  slots = ring.prepare_push(6);
+  ASSERT_EQ(slots.size(), 6u);
+  EXPECT_EQ(slots[0], 2);
+  for (int i = 0; i < 6; ++i) slots[i] = 10 + i;
+  ring.commit_push(6);
+  std::vector<int> out(8);
+  ASSERT_EQ(ring.pop_batch(out), 8u);
+  const std::vector<int> expect = {0, 1, 10, 11, 12, 13, 14, 15};
+  for (std::size_t i = 0; i < expect.size(); ++i) EXPECT_EQ(out[i], expect[i]);
+}
+
+TEST(SpscRingTest, PeekAndCommitPopAtTheExactSlabSeam) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.push(i));
+  // Head at slab slot 0: the whole slab is one contiguous run.
+  std::span<int> view = ring.peek(16);
+  ASSERT_EQ(view.size(), 8u);
+  EXPECT_EQ(view[7], 7);
+  ring.commit_pop(8);  // head lands exactly on the seam (index 8)
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.peek(1).empty());
+  // Indices 8..11 map back to slab slots 0..3: a peek straddling
+  // nothing must start clean at the seam, not read stale slots 4..7.
+  for (int i = 100; i < 104; ++i) ASSERT_TRUE(ring.push(i));
+  view = ring.peek(16);
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[0], 100);
+  EXPECT_EQ(view[3], 103);
+  ring.commit_pop(4);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, PeekAtReadsPastAnUncommittedRegion) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ring.push(i));
+  // Deferred-commit consumption: adjacent windows of the published
+  // region, nothing released until the explicit commit.
+  std::span<int> a = ring.peek_at(0, 4);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], 0);
+  std::span<int> b = ring.peek_at(4, 4);
+  ASSERT_EQ(b.size(), 2u);  // only 2 published past the offset
+  EXPECT_EQ(b[0], 4);
+  EXPECT_EQ(b[1], 5);
+  EXPECT_TRUE(ring.peek_at(6, 4).empty());
+  EXPECT_EQ(ring.size_approx(), 6u);  // everything still held
+  ring.commit_pop(6);
+  EXPECT_TRUE(ring.empty());
+  // peek_at clips at the slab seam like every other borrow API.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.push(10 + i));
+  std::span<int> c = ring.peek_at(0, 8);
+  ASSERT_EQ(c.size(), 2u);  // head at slab slot 6: clipped at the seam
+  EXPECT_EQ(c[0], 10);
+  std::span<int> d = ring.peek_at(2, 8);
+  ASSERT_EQ(d.size(), 6u);  // continues from slab slot 0
+  EXPECT_EQ(d[0], 12);
+  EXPECT_EQ(d[5], 17);
+}
+
+TEST(SpscRingTest, CorruptAdvanceTailPublishesStaleSlots) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.push(i));
+  int v;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.pop(v));
+  // Fault injection: publish 3 slots the producer never wrote — the
+  // consumer observes whatever the slab holds there.
+  EXPECT_EQ(ring.corrupt_advance_tail(3), 3u);
+  EXPECT_EQ(ring.size_approx(), 3u);
+  std::span<int> view = ring.peek(8);
+  ASSERT_EQ(view.size(), 3u);  // stale slab slots 4..6
+  ring.commit_pop(3);
+  EXPECT_TRUE(ring.empty());
+  // Clamped at the available room.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ring.push(i));
+  EXPECT_EQ(ring.corrupt_advance_tail(99), 2u);
+  EXPECT_EQ(ring.size_approx(), 8u);
+}
+
 // Two-thread stress: producer pushes a strictly increasing sequence in
 // ragged batch sizes while the consumer pops in different ragged sizes;
 // the consumer must observe every value exactly once, in order. Run
