@@ -159,6 +159,27 @@ OBS_BINARIES = {
     "bench_preprocessor": "BM_PreprocessorProcess/8$",
 }
 
+# Per-child wall-clock budget (seconds), overridable with
+# --child-timeout. A wedged child (deadlocked ring, livelocked retry
+# loop) gets ONE retry — benchmarks share machines with noisy
+# neighbours and a single overrun is not evidence of a hang — and then
+# fails the whole run loudly instead of wedging CI forever.
+CHILD_TIMEOUT = 900.0
+
+
+def run_child(cmd):
+    """subprocess.run with the hang policy: timeout, one retry, then a
+    non-zero exit naming the stuck command."""
+    for attempt in (1, 2):
+        try:
+            return subprocess.run(cmd, capture_output=True, text=True,
+                                  check=True, timeout=CHILD_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            print(f"timeout after {CHILD_TIMEOUT:.0f}s "
+                  f"(attempt {attempt}/2): {' '.join(cmd)}",
+                  file=sys.stderr)
+    sys.exit(f"child hung twice, giving up: {' '.join(cmd)}")
+
 
 def run_binary(path, bench_filter, repetitions, min_time):
     cmd = [
@@ -169,7 +190,7 @@ def run_binary(path, bench_filter, repetitions, min_time):
         "--benchmark_report_aggregates_only=true",
         "--benchmark_format=json",
     ]
-    out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    out = run_child(cmd)
     return json.loads(out.stdout)
 
 
@@ -382,10 +403,8 @@ def run_parallel_mode(args):
                 shutil.rmtree(out_dir, ignore_errors=True)
                 os.makedirs(out_dir)
                 start = time.monotonic()
-                subprocess.run(
-                    [binary, "--seeds", seeds, "--jobs", str(jobs),
-                     "--out", out_dir],
-                    capture_output=True, text=True, check=True)
+                run_child([binary, "--seeds", seeds, "--jobs", str(jobs),
+                           "--out", out_dir])
                 elapsed = time.monotonic() - start
                 best = elapsed if best is None else min(best, elapsed)
             curve[jobs] = {
@@ -465,8 +484,7 @@ def run_dataplane_cell(binary, extra_args):
     """One bench_dataplane invocation -> parsed result JSON. The binary
     exits non-zero if any conservation book fails to balance, so every
     timing sample doubles as a correctness check."""
-    out = subprocess.run([binary] + extra_args, capture_output=True,
-                         text=True, check=True)
+    out = run_child([binary] + extra_args)
     result = json.loads(out.stdout)
     if not result["balanced"]:
         sys.exit(f"bench_dataplane reported unbalanced books: "
@@ -657,8 +675,7 @@ def run_control_cell(binary, extra_args):
     exits non-zero if a deploy fails, an incremental edit falls off the
     delta path, or the fleet's epochs diverge, so every timing sample
     doubles as a correctness check."""
-    out = subprocess.run([binary] + extra_args, capture_output=True,
-                         text=True, check=True)
+    out = run_child([binary] + extra_args)
     return json.loads(out.stdout)
 
 
@@ -771,6 +788,7 @@ def run_control_mode(args):
 
 
 def main():
+    global CHILD_TIMEOUT
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build-release-bench")
     ap.add_argument("--out", default=None)
@@ -815,7 +833,12 @@ def main():
                     help="timed deploys per path per --control run")
     ap.add_argument("--control-lookups", type=int, default=2_000_000,
                     help="GroupIndex probes per --control run")
+    ap.add_argument("--child-timeout", type=float, default=CHILD_TIMEOUT,
+                    help="wall-clock seconds per child process; a child "
+                         "that exceeds it gets one retry, then the run "
+                         "exits non-zero")
     args = ap.parse_args()
+    CHILD_TIMEOUT = args.child_timeout
 
     if args.obs:
         args.out = args.out or "BENCH_obs.json"

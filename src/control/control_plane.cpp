@@ -80,6 +80,12 @@ GroupedPolicy ControlPlane::effective_policy(const GroupedPolicy& base) const {
 ControlPlane::DeployResult ControlPlane::deploy_impl(
     const GroupedPolicy& policy, bool allow_incremental, TimeNs now) {
   DeployResult result;
+  if (staged_plan_ != nullptr) {
+    ++failed_deploys_;
+    result.error =
+        "rollout in progress; finalize or abort it before deploying";
+    return result;
+  }
   const std::uint64_t started = monotonic_ns();
   const GroupedPolicy effective = effective_policy(policy);
   // Only the incremental path may inherit the deployed index; the full
@@ -174,6 +180,96 @@ ControlPlane::DeployResult ControlPlane::quarantine(std::vector<TenantId> ids,
   result = deploy_impl(*policy_, /*allow_incremental=*/true, now);
   if (!result.ok) quarantined_ = std::move(saved);
   return result;
+}
+
+ControlPlane::StageResult ControlPlane::stage(const GroupedPolicy& policy,
+                                              TimeNs now) {
+  (void)now;  // staging touches no switch; kept for API symmetry
+  StageResult result;
+  if (staged_plan_ != nullptr) {
+    result.error = "a rollout is already staged";
+    return result;
+  }
+  const GroupedPolicy effective = effective_policy(policy);
+  auto compiled = compiler_.compile(
+      effective, deployed_ != nullptr ? deployed_->index : nullptr);
+  if (!compiled.ok()) {
+    ++failed_deploys_;
+    result.error = compiled.error;
+    return result;
+  }
+  auto plan = std::make_shared<const CompiledGroupPlan>(
+      std::move(*compiled.plan));
+
+  const bool diffable = deployed_ != nullptr;
+  if (diffable) result.delta = diff_group_plans(*deployed_, *plan);
+  if (diffable && result.delta.empty()) {
+    // Candidate is what the fleet already runs: record the intent,
+    // stage nothing (a zero-wave rollout).
+    policy_ = policy;
+    ++noop_deploys_;
+    result.ok = true;
+    result.noop = true;
+    return result;
+  }
+
+  const bool incremental = diffable && !result.delta.full;
+  if (!fleet_.stage_group_plan(plan, incremental ? &result.delta : nullptr,
+                               &result.error)) {
+    ++failed_deploys_;
+    return result;
+  }
+  staged_plan_ = std::move(plan);
+  staged_policy_ = policy;
+  result.ok = true;
+  result.incremental = incremental;
+  result.epoch = fleet_.staged_epoch();
+  return result;
+}
+
+ControlPlane::StageResult ControlPlane::stage_text(const std::string& text,
+                                                   TimeNs now) {
+  StageResult result;
+  auto parsed = parse_grouped_policy(text);
+  if (!parsed.ok()) {
+    ++failed_deploys_;
+    result.error = "parse: " + parsed.error + " (offset " +
+                   std::to_string(parsed.error_pos) + ")";
+    return result;
+  }
+  return stage(*parsed.value, now);
+}
+
+bool ControlPlane::commit_wave(const std::vector<std::size_t>& cohort,
+                               TimeNs now, std::string* error) {
+  if (staged_plan_ == nullptr) {
+    if (error != nullptr) *error = "no staged rollout";
+    return false;
+  }
+  return fleet_.commit_staged_to(cohort, now, error);
+}
+
+bool ControlPlane::finalize_staged(std::string* error) {
+  if (staged_plan_ == nullptr) {
+    if (error != nullptr) *error = "no staged rollout";
+    return false;
+  }
+  if (!fleet_.finalize_staged(error)) return false;
+  deployed_ = std::move(staged_plan_);
+  policy_ = std::move(*staged_policy_);
+  staged_plan_.reset();
+  staged_policy_.reset();
+  ++deploys_;
+  ++full_deploys_;  // a rollout is a full fleet transition
+  return true;
+}
+
+void ControlPlane::abort_staged(TimeNs now) {
+  if (staged_plan_ == nullptr) return;
+  fleet_.abort_staged(now);
+  staged_plan_.reset();
+  staged_policy_.reset();
+  ++failed_deploys_;
 }
 
 void ControlPlane::export_metrics(obs::Registry& reg,

@@ -68,6 +68,45 @@ class ControlPlane {
   DeployResult quarantine(std::vector<TenantId> ids, TimeNs now = -1);
   const std::vector<TenantId>& quarantined() const { return quarantined_; }
 
+  // --- staged rollouts (management plane) -------------------------------
+  //
+  // The canary-then-wave path: stage() compiles + diffs like deploy()
+  // but reserves a fleet epoch instead of committing fleet-wide;
+  // commit_wave() installs on one cohort at a time; finalize_staged()
+  // promotes the plan (and the control plane's deployed/policy state)
+  // only when the whole fleet converged; abort_staged() drops it and
+  // the fleet heals back to the still-committed last-known-good plan.
+  // deploy()/quarantine() refuse while a rollout is staged — a
+  // concurrent fleet-wide install would tear the epoch sequence the
+  // waves are converging on.
+
+  struct StageResult {
+    bool ok = false;
+    bool incremental = false;  ///< waves will use the delta patch path
+    bool noop = false;  ///< identical to deployed; nothing staged
+    std::string error;
+    std::uint64_t epoch = 0;  ///< the reserved fleet epoch (0 on noop)
+    GroupPlanDelta delta;     ///< vs the deployed plan
+  };
+
+  StageResult stage(const GroupedPolicy& policy, TimeNs now = -1);
+  StageResult stage_text(const std::string& text, TimeNs now = -1);
+
+  /// Install the staged plan on `cohort` (fleet switch indices);
+  /// idempotent for switches already at the staged epoch.
+  bool commit_wave(const std::vector<std::size_t>& cohort, TimeNs now = -1,
+                   std::string* error = nullptr);
+
+  /// Promote the staged plan once every switch runs the staged epoch.
+  bool finalize_staged(std::string* error = nullptr);
+
+  /// Abandon the staged rollout; the deployed (last-known-good) plan
+  /// stays the fleet's reconcile target.
+  void abort_staged(TimeNs now = -1);
+
+  bool staged() const { return staged_plan_ != nullptr; }
+  const CompiledGroupPlan* staged_plan() const { return staged_plan_.get(); }
+
   qvisor::Fleet& fleet() { return fleet_; }
   const GroupCompiler& compiler() const { return compiler_; }
 
@@ -105,6 +144,11 @@ class ControlPlane {
   GroupCompiler compiler_;
   std::optional<GroupedPolicy> policy_;  ///< operator intent, no jail
   std::shared_ptr<const CompiledGroupPlan> deployed_;
+  /// In-flight staged rollout: the candidate plan and the operator
+  /// intent it compiles; promoted into deployed_/policy_ by
+  /// finalize_staged(), dropped by abort_staged().
+  std::shared_ptr<const CompiledGroupPlan> staged_plan_;
+  std::optional<GroupedPolicy> staged_policy_;
   std::vector<TenantId> quarantined_;  ///< sorted, unique
 
   std::uint64_t deploys_ = 0;

@@ -1,0 +1,323 @@
+#include "mgmt/config_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+namespace qv::mgmt {
+namespace {
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  return !bad;
+}
+
+bool write_text_file(const std::string& path, std::string_view text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = text.empty() ||
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+JsonValue StoreVersion::parse() const {
+  auto r = parse_json(doc);
+  return r.ok() ? std::move(*r.value) : JsonValue();
+}
+
+std::string ConfigStore::snapshot_path(const std::string& dir) {
+  return dir + "/snapshot.json";
+}
+
+std::string ConfigStore::journal_path(const std::string& dir) {
+  return dir + "/journal.log";
+}
+
+ConfigStore::ConfigStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    error_ = "cannot create store directory " + dir_ + ": " + ec.message();
+    return;
+  }
+  const std::string snap = snapshot_path(dir_);
+  if (std::filesystem::exists(snap) && !load_snapshot(snap)) return;
+
+  journal_ = std::make_unique<Journal>(journal_path(dir_));
+  if (!journal_->ok()) {
+    error_ = journal_->error();
+    return;
+  }
+  for (const auto& rec : journal_->last_replay().records) {
+    auto parsed = parse_json(rec);
+    if (!parsed.ok()) {
+      // A frame with a valid checksum but unparseable payload means the
+      // writer was broken, not the disk; stop replay at the damage
+      // rather than skip over it (skipping could resurrect a child
+      // whose parent edit was lost).
+      error_ = "journal record is not valid JSON: " + parsed.error;
+      return;
+    }
+    std::string err;
+    if (!apply_record(*parsed.value, &err)) {
+      error_ = "journal replay failed: " + err;
+      return;
+    }
+  }
+}
+
+bool ConfigStore::load_snapshot(const std::string& path) {
+  std::string text;
+  if (!read_text_file(path, &text)) {
+    error_ = "cannot read snapshot " + path;
+    return false;
+  }
+  auto parsed = parse_json(text);
+  if (!parsed.ok()) {
+    error_ = "snapshot is not valid JSON: " + parsed.error;
+    return false;
+  }
+  const JsonValue& root = *parsed.value;
+  const JsonValue* next = root.find("next_id");
+  const JsonValue* versions = root.find("versions");
+  const JsonValue* lkg = root.find("lkg");
+  if (next == nullptr || !next->is_int() || versions == nullptr ||
+      !versions->is_array() || lkg == nullptr || !lkg->is_object()) {
+    error_ = "snapshot missing next_id/versions/lkg";
+    return false;
+  }
+  next_id_ = static_cast<std::uint64_t>(next->as_int());
+  for (const JsonValue& v : versions->as_array()) {
+    const JsonValue* id = v.find("id");
+    const JsonValue* parent = v.find("parent");
+    const JsonValue* kind = v.find("kind");
+    const JsonValue* doc = v.find("doc");
+    DocKind k{};
+    if (id == nullptr || !id->is_int() || parent == nullptr ||
+        !parent->is_int() || kind == nullptr || !kind->is_string() ||
+        !parse_doc_kind(kind->as_string(), &k) || doc == nullptr ||
+        !doc->is_string()) {
+      error_ = "snapshot version entry malformed";
+      return false;
+    }
+    StoreVersion sv;
+    sv.id = static_cast<std::uint64_t>(id->as_int());
+    sv.parent = static_cast<std::uint64_t>(parent->as_int());
+    sv.kind = k;
+    sv.doc = doc->as_string();
+    sv.checksum = fnv1a(sv.doc);
+    head_[static_cast<std::size_t>(k)] = sv.id;
+    versions_.emplace(sv.id, std::move(sv));
+  }
+  // Heads are the max id per kind, not the last array entry.
+  head_.fill(0);
+  for (const auto& [id, sv] : versions_) {
+    head_[static_cast<std::size_t>(sv.kind)] = id;
+  }
+  for (const auto& [name, id] : lkg->as_object()) {
+    DocKind k{};
+    if (!parse_doc_kind(name, &k) || !id.is_int()) {
+      error_ = "snapshot lkg entry malformed";
+      return false;
+    }
+    lkg_[static_cast<std::size_t>(k)] =
+        static_cast<std::uint64_t>(id.as_int());
+  }
+  return true;
+}
+
+bool ConfigStore::apply_record(const JsonValue& record, std::string* error) {
+  const JsonValue* op = record.find("op");
+  if (op == nullptr || !op->is_string()) {
+    *error = "record missing op";
+    return false;
+  }
+  if (op->as_string() == "put") {
+    const JsonValue* id = record.find("id");
+    const JsonValue* parent = record.find("parent");
+    const JsonValue* kind = record.find("kind");
+    const JsonValue* doc = record.find("doc");
+    DocKind k{};
+    if (id == nullptr || !id->is_int() || parent == nullptr ||
+        !parent->is_int() || kind == nullptr || !kind->is_string() ||
+        !parse_doc_kind(kind->as_string(), &k) || doc == nullptr) {
+      *error = "put record malformed";
+      return false;
+    }
+    StoreVersion sv;
+    sv.id = static_cast<std::uint64_t>(id->as_int());
+    sv.parent = static_cast<std::uint64_t>(parent->as_int());
+    sv.kind = k;
+    sv.doc = doc->dump();
+    sv.checksum = fnv1a(sv.doc);
+    if (versions_.count(sv.id) != 0) {
+      *error = "duplicate version id " + std::to_string(sv.id);
+      return false;
+    }
+    head_[static_cast<std::size_t>(k)] = sv.id;
+    if (sv.id >= next_id_) next_id_ = sv.id + 1;
+    versions_.emplace(sv.id, std::move(sv));
+    return true;
+  }
+  if (op->as_string() == "lkg") {
+    const JsonValue* id = record.find("id");
+    const JsonValue* kind = record.find("kind");
+    DocKind k{};
+    if (id == nullptr || !id->is_int() || kind == nullptr ||
+        !kind->is_string() || !parse_doc_kind(kind->as_string(), &k)) {
+      *error = "lkg record malformed";
+      return false;
+    }
+    const auto vid = static_cast<std::uint64_t>(id->as_int());
+    if (versions_.count(vid) == 0) {
+      *error = "lkg points at unknown version " + std::to_string(vid);
+      return false;
+    }
+    lkg_[static_cast<std::size_t>(k)] = vid;
+    return true;
+  }
+  *error = "unknown op \"" + op->as_string() + "\"";
+  return false;
+}
+
+bool ConfigStore::journal_and_apply(const JsonValue& record,
+                                    std::string* error) {
+  if (journal_ == nullptr || !journal_->ok()) {
+    *error = "journal unavailable";
+    return false;
+  }
+  // Durability before visibility: the frame must be on disk before the
+  // in-memory state (and therefore the caller's ack) reflects it.
+  if (!journal_->append(record.dump())) {
+    *error = journal_->error().empty() ? "journal append failed (unacked)"
+                                       : journal_->error();
+    return false;
+  }
+  return apply_record(record, error);
+}
+
+PutResult ConfigStore::put(DocKind kind, const JsonValue& doc) {
+  PutResult result;
+  if (!ok()) {
+    result.error = error_;
+    return result;
+  }
+  auto validation = validate_document(kind, doc);
+  if (!validation.ok) {
+    result.error = "invalid " + std::string(doc_kind_name(kind)) +
+                   " document at " +
+                   (validation.path.empty() ? "/" : validation.path) + ": " +
+                   validation.error;
+    return result;
+  }
+  JsonValue record = JsonValue::make_object();
+  record.set("op", JsonValue("put"));
+  record.set("id", JsonValue(next_id_));
+  record.set("parent", JsonValue(head_[static_cast<std::size_t>(kind)]));
+  record.set("kind", JsonValue(doc_kind_name(kind)));
+  record.set("doc", doc);
+  std::string err;
+  if (!journal_and_apply(record, &err)) {
+    result.error = err;
+    return result;
+  }
+  result.acked = true;
+  result.id = next_id_ - 1;
+  return result;
+}
+
+bool ConfigStore::mark_good(std::uint64_t id, std::string* error) {
+  if (!ok()) {
+    if (error) *error = error_;
+    return false;
+  }
+  const auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    if (error) *error = "unknown version " + std::to_string(id);
+    return false;
+  }
+  JsonValue record = JsonValue::make_object();
+  record.set("op", JsonValue("lkg"));
+  record.set("id", JsonValue(id));
+  record.set("kind", JsonValue(doc_kind_name(it->second.kind)));
+  std::string err;
+  if (!journal_and_apply(record, &err)) {
+    if (error) *error = err;
+    return false;
+  }
+  return true;
+}
+
+const StoreVersion* ConfigStore::get(std::uint64_t id) const {
+  const auto it = versions_.find(id);
+  return it == versions_.end() ? nullptr : &it->second;
+}
+
+const StoreVersion* ConfigStore::head(DocKind kind) const {
+  return get(head_[static_cast<std::size_t>(kind)]);
+}
+
+const StoreVersion* ConfigStore::last_known_good(DocKind kind) const {
+  return get(lkg_[static_cast<std::size_t>(kind)]);
+}
+
+std::string ConfigStore::serialize() const {
+  JsonValue root = JsonValue::make_object();
+  root.set("next_id", JsonValue(next_id_));
+  JsonValue lkg = JsonValue::make_object();
+  for (std::size_t k = 0; k < kDocKindCount; ++k) {
+    if (lkg_[k] != 0) {
+      lkg.set(doc_kind_name(static_cast<DocKind>(k)), JsonValue(lkg_[k]));
+    }
+  }
+  root.set("lkg", std::move(lkg));
+  JsonValue versions = JsonValue::make_array();
+  for (const auto& [id, sv] : versions_) {
+    (void)id;
+    JsonValue v = JsonValue::make_object();
+    v.set("id", JsonValue(sv.id));
+    v.set("parent", JsonValue(sv.parent));
+    v.set("kind", JsonValue(doc_kind_name(sv.kind)));
+    v.set("doc", JsonValue(sv.doc));
+    versions.as_array().push_back(std::move(v));
+  }
+  root.set("versions", std::move(versions));
+  return root.dump();
+}
+
+bool ConfigStore::compact(std::string* error) {
+  if (!ok()) {
+    if (error) *error = error_;
+    return false;
+  }
+  const std::string snap = snapshot_path(dir_);
+  const std::string tmp = snap + ".tmp";
+  if (!write_text_file(tmp, serialize())) {
+    if (error) *error = "cannot write " + tmp;
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, snap, ec);
+  if (ec) {
+    if (error) *error = "cannot rename snapshot: " + ec.message();
+    return false;
+  }
+  if (!journal_->rewrite({})) {
+    if (error) *error = journal_->error();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qv::mgmt

@@ -1,0 +1,133 @@
+// Crash-safe versioned config store (ISSUE 9 tentpole, pillar 1).
+//
+// Operator documents — tenant contracts, grouped policy, topology —
+// live here as an append-only version chain per kind. Every put():
+//
+//   1. validates the document (mgmt/schema.hpp, structural + semantic);
+//   2. assigns the next version id and records the current head of the
+//      same kind as its PARENT — so "last-known-good" is a pointer
+//      into an explicit chain, not a guess from timestamps;
+//   3. durably appends a journal record (mgmt/journal.hpp framing) and
+//      only then updates in-memory state and acks.
+//
+// Recovery = snapshot load + journal replay. Because the journal
+// discards a torn final record, a store reopened from ANY crash point
+// is byte-identical (serialize()) to a store that performed exactly
+// the operations whose frames survive — an acked operation's frame
+// always survives, so the store never loses an acked version. A write
+// that persisted fully but crashed before the ack may resurface as an
+// extra (unacked) version; that is the documented safe direction.
+//
+// compact() folds history into snapshot.json (write-temp + rename)
+// and truncates the journal; replay cost is then O(ops since last
+// compaction). No wall-clock enters the state — versions are ordered
+// by id, and serialize() is a pure function of the accepted history.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mgmt/journal.hpp"
+#include "mgmt/json.hpp"
+#include "mgmt/schema.hpp"
+
+namespace qv::mgmt {
+
+struct StoreVersion {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< previous version of the SAME kind; 0 = root
+  DocKind kind = DocKind::kContracts;
+  std::uint64_t checksum = 0;  ///< fnv1a(doc)
+  std::string doc;             ///< canonical JSON text
+
+  /// Parse the canonical text back into a value (always succeeds for
+  /// store-accepted versions).
+  JsonValue parse() const;
+};
+
+struct PutResult {
+  bool acked = false;
+  std::uint64_t id = 0;  ///< assigned version id; 0 when not acked
+  std::string error;     ///< why the put was rejected / unacked
+};
+
+class ConfigStore {
+ public:
+  /// Opens (creating if needed) the store rooted at directory `dir`:
+  /// loads `snapshot.json` if present, then replays `journal.log` on
+  /// top, truncating a torn tail.
+  explicit ConfigStore(std::string dir);
+
+  ConfigStore(const ConfigStore&) = delete;
+  ConfigStore& operator=(const ConfigStore&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Validate + journal + commit one document version.
+  PutResult put(DocKind kind, const JsonValue& doc);
+
+  /// Move the last-known-good pointer of `id`'s kind to `id`
+  /// (journaled like any other state change).
+  bool mark_good(std::uint64_t id, std::string* error);
+
+  const StoreVersion* get(std::uint64_t id) const;
+  /// Newest accepted version of `kind` (nullptr if none).
+  const StoreVersion* head(DocKind kind) const;
+  /// Version the LKG pointer of `kind` designates (nullptr if never
+  /// marked).
+  const StoreVersion* last_known_good(DocKind kind) const;
+  std::uint64_t lkg_id(DocKind kind) const {
+    return lkg_[static_cast<std::size_t>(kind)];
+  }
+
+  std::size_t version_count() const { return versions_.size(); }
+  std::uint64_t next_id() const { return next_id_; }
+  std::size_t journal_bytes() const {
+    return journal_ ? journal_->size_bytes() : 0;
+  }
+  bool journal_had_torn_tail() const {
+    return journal_ && journal_->last_replay().torn_tail;
+  }
+  std::size_t replayed_records() const {
+    return journal_ ? journal_->last_replay().records.size() : 0;
+  }
+
+  /// Fold history into snapshot.json and truncate the journal.
+  bool compact(std::string* error);
+
+  /// Canonical JSON of the full store state — the byte-identity
+  /// currency of the crash-recovery contract.
+  std::string serialize() const;
+  std::uint64_t state_digest() const { return fnv1a(serialize()); }
+
+  /// Crash injection (rollout chaos): the NEXT journal append persists
+  /// only its first `bytes` bytes and the put/mark_good reports
+  /// unacked. Reopening the store then exercises torn-tail recovery.
+  void set_torn_write(std::size_t bytes) {
+    if (journal_) journal_->set_torn_write(bytes);
+  }
+
+  static std::string snapshot_path(const std::string& dir);
+  static std::string journal_path(const std::string& dir);
+
+ private:
+  bool journal_and_apply(const JsonValue& record, std::string* error);
+  bool apply_record(const JsonValue& record, std::string* error);
+  bool load_snapshot(const std::string& path);
+
+  std::string dir_;
+  std::unique_ptr<Journal> journal_;
+  std::string error_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, StoreVersion> versions_;
+  std::array<std::uint64_t, kDocKindCount> head_{};
+  std::array<std::uint64_t, kDocKindCount> lkg_{};
+};
+
+}  // namespace qv::mgmt

@@ -1,0 +1,176 @@
+#include "mgmt/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "mgmt/json.hpp"
+
+namespace qv::mgmt {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::string_view in, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[at])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 3]))
+          << 24);
+}
+
+std::uint64_t get_u64(std::string_view in, std::size_t at) {
+  return static_cast<std::uint64_t>(get_u32(in, at)) |
+         (static_cast<std::uint64_t>(get_u32(in, at + 4)) << 32);
+}
+
+bool read_file(const std::string& path, std::string* out,
+               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path + " for read";
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    *error = "read error on " + path;
+    return false;
+  }
+  return true;
+}
+
+bool write_file_truncate(const std::string& path, std::string_view bytes,
+                         std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot open " + path + " for write";
+    return false;
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (!ok) *error = "write error on " + path;
+  return ok;
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::string_view payload) {
+  put_u32(out, kJournalMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, fnv1a(payload));
+  out.append(payload);
+}
+
+JournalReplay scan_frames(std::string_view image) {
+  JournalReplay r;
+  std::size_t at = 0;
+  while (at + kJournalHeaderBytes <= image.size()) {
+    if (get_u32(image, at) != kJournalMagic) break;
+    const std::uint32_t len = get_u32(image, at + 4);
+    if (len > kJournalMaxPayload) break;
+    const std::uint64_t want = get_u64(image, at + 8);
+    const std::size_t body = at + kJournalHeaderBytes;
+    if (body + len > image.size()) break;  // length runs past EOF: torn
+    const std::string_view payload = image.substr(body, len);
+    if (fnv1a(payload) != want) break;  // checksum mismatch: torn/corrupt
+    r.records.emplace_back(payload);
+    at = body + len;
+  }
+  r.valid_bytes = at;
+  r.torn_tail = at != image.size();
+  return r;
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  std::string image;
+  if (!std::filesystem::exists(path_)) {
+    std::string err;
+    if (!write_file_truncate(path_, "", &err)) error_ = err;
+    return;
+  }
+  std::string err;
+  if (!read_file(path_, &image, &err)) {
+    error_ = err;
+    return;
+  }
+  replay_ = scan_frames(image);
+  size_bytes_ = replay_.valid_bytes;
+  if (replay_.torn_tail) {
+    // Truncate back to the last complete frame so the next append
+    // starts on a clean boundary instead of extending garbage.
+    if (!write_file_truncate(path_, image.substr(0, replay_.valid_bytes),
+                             &err)) {
+      error_ = err;
+    }
+  }
+}
+
+bool Journal::write_bytes(std::string_view bytes) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    error_ = "cannot open " + path_ + " for append";
+    return false;
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (!ok) error_ = "append error on " + path_;
+  return ok;
+}
+
+bool Journal::append(std::string_view payload) {
+  if (!error_.empty()) return false;
+  std::string frame;
+  frame.reserve(kJournalHeaderBytes + payload.size());
+  append_frame(frame, payload);
+
+  if (torn_write_armed_) {
+    // Simulated crash: part of the frame reaches disk, then the
+    // process "dies" before the ack. The caller sees failure; the next
+    // open sees a torn tail.
+    torn_write_armed_ = false;
+    const std::size_t n = std::min(torn_write_bytes_, frame.size());
+    (void)write_bytes(std::string_view(frame).substr(0, n));
+    error_.clear();  // the file-level write itself succeeded
+    return false;
+  }
+
+  if (!write_bytes(frame)) return false;
+  size_bytes_ += frame.size();
+  return true;
+}
+
+bool Journal::rewrite(const std::vector<std::string>& records) {
+  std::string image;
+  for (const auto& rec : records) append_frame(image, rec);
+  std::string err;
+  if (!write_file_truncate(path_, image, &err)) {
+    error_ = err;
+    return false;
+  }
+  size_bytes_ = image.size();
+  return true;
+}
+
+}  // namespace qv::mgmt

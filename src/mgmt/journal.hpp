@@ -1,0 +1,101 @@
+// Append-only record journal with torn-tail recovery (ISSUE 9).
+//
+// The config store's durability contract — "never lose an acked
+// version, recover byte-identical from any crash point" — reduces to
+// one file-format property: a reader must be able to tell a complete
+// record from a torn one. Each record is framed as
+//
+//     [u32 magic][u32 payload_length][u64 fnv1a(payload)][payload]
+//
+// written little-endian and flushed as a unit. replay() walks frames
+// from the start; the FIRST frame that fails any check (bad magic,
+// length running past EOF, checksum mismatch) marks the torn tail —
+// that frame and everything after it is discarded, and recover()
+// truncates the file back to the last complete frame so the next
+// append starts on a clean boundary.
+//
+// Crash injection is built in rather than bolted on: set_torn_write(n)
+// makes the next append persist only its first n bytes (the
+// in-memory write "happened", the disk write was cut short), which is
+// exactly the crash-between-append-and-ack window the rollout chaos
+// harness drives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qv::mgmt {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4a51564du;  // "MVQJ"
+/// Frame header bytes preceding the payload: magic + length + checksum.
+inline constexpr std::size_t kJournalHeaderBytes = 4 + 4 + 8;
+/// Upper bound on one payload; a length field beyond this is corruption,
+/// not a huge record (keeps replay from trusting a torn length word).
+inline constexpr std::uint32_t kJournalMaxPayload = 64u * 1024u * 1024u;
+
+/// Result of scanning a journal file.
+struct JournalReplay {
+  std::vector<std::string> records;  ///< complete payloads, in order
+  std::size_t valid_bytes = 0;       ///< offset of the first torn byte
+  bool torn_tail = false;            ///< trailing partial frame discarded
+  std::string error;                 ///< non-empty only on I/O failure
+  bool ok() const { return error.empty(); }
+};
+
+/// Frame `payload` (header + body) into `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+/// Scan an in-memory journal image. Never fails: corruption just ends
+/// the valid prefix.
+JournalReplay scan_frames(std::string_view image);
+
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal at `path` and replays it.
+  /// Inspect last_replay() for the recovered records; if the tail was
+  /// torn the file is truncated to the valid prefix.
+  explicit Journal(std::string path);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const std::string& path() const { return path_; }
+  const JournalReplay& last_replay() const { return replay_; }
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Durably append one record. Returns false (with error()) on I/O
+  /// failure or when a torn write was injected — in both cases the
+  /// caller must treat the record as UNACKED.
+  bool append(std::string_view payload);
+
+  /// Byte size of the valid journal prefix on disk.
+  std::size_t size_bytes() const { return size_bytes_; }
+
+  /// Atomically replace the journal contents with `records` (used by
+  /// snapshot compaction: the snapshot owns history, the journal
+  /// restarts near-empty).
+  bool rewrite(const std::vector<std::string>& records);
+
+  /// Inject a crash into the NEXT append: only the first
+  /// `persisted_bytes` bytes of the frame reach the file, then the
+  /// append reports failure (unacked). One-shot.
+  void set_torn_write(std::size_t persisted_bytes) {
+    torn_write_bytes_ = persisted_bytes;
+    torn_write_armed_ = true;
+  }
+
+ private:
+  bool write_bytes(std::string_view bytes);
+
+  std::string path_;
+  JournalReplay replay_;
+  std::string error_;
+  std::size_t size_bytes_ = 0;
+  std::size_t torn_write_bytes_ = 0;
+  bool torn_write_armed_ = false;
+};
+
+}  // namespace qv::mgmt

@@ -1,0 +1,397 @@
+#include "mgmt/schema.hpp"
+
+#include <set>
+#include <utility>
+
+#include "control/group_policy.hpp"
+
+namespace qv::mgmt {
+namespace {
+
+const char* type_name(Schema::Type t) {
+  switch (t) {
+    case Schema::Type::kObject:
+      return "object";
+    case Schema::Type::kArray:
+      return "array";
+    case Schema::Type::kString:
+      return "string";
+    case Schema::Type::kInt:
+      return "integer";
+    case Schema::Type::kNumber:
+      return "number";
+    case Schema::Type::kBool:
+      return "bool";
+    case Schema::Type::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+const char* json_type_name(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return "bool";
+    case JsonValue::Type::kInt:
+      return "integer";
+    case JsonValue::Type::kDouble:
+      return "number";
+    case JsonValue::Type::kString:
+      return "string";
+    case JsonValue::Type::kArray:
+      return "array";
+    case JsonValue::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+ValidationResult fail(std::string path, std::string error) {
+  ValidationResult r;
+  r.ok = false;
+  r.path = std::move(path);
+  r.error = std::move(error);
+  return r;
+}
+
+ValidationResult pass() {
+  ValidationResult r;
+  r.ok = true;
+  return r;
+}
+
+bool type_matches(Schema::Type want, const JsonValue& v) {
+  switch (want) {
+    case Schema::Type::kObject:
+      return v.is_object();
+    case Schema::Type::kArray:
+      return v.is_array();
+    case Schema::Type::kString:
+      return v.is_string();
+    case Schema::Type::kInt:
+      return v.is_int();
+    case Schema::Type::kNumber:
+      return v.is_number();
+    case Schema::Type::kBool:
+      return v.is_bool();
+    case Schema::Type::kAny:
+      return true;
+  }
+  return false;
+}
+
+ValidationResult validate_at(const Schema& schema, const JsonValue& value,
+                             const std::string& path) {
+  if (!type_matches(schema.type, value)) {
+    return fail(path, std::string("expected ") + type_name(schema.type) +
+                          ", got " + json_type_name(value.type()));
+  }
+
+  switch (schema.type) {
+    case Schema::Type::kInt: {
+      const std::int64_t v = value.as_int();
+      if (v < schema.min_int || v > schema.max_int) {
+        return fail(path, "integer " + std::to_string(v) + " out of range [" +
+                              std::to_string(schema.min_int) + ", " +
+                              std::to_string(schema.max_int) + "]");
+      }
+      break;
+    }
+    case Schema::Type::kString: {
+      const std::string& s = value.as_string();
+      if (s.size() < schema.min_len || s.size() > schema.max_len) {
+        return fail(path, "string length " + std::to_string(s.size()) +
+                              " out of range [" +
+                              std::to_string(schema.min_len) + ", " +
+                              std::to_string(schema.max_len) + "]");
+      }
+      if (!schema.one_of.empty()) {
+        bool found = false;
+        for (const auto& allowed : schema.one_of) {
+          if (s == allowed) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          std::string opts;
+          for (const auto& allowed : schema.one_of) {
+            if (!opts.empty()) opts += ", ";
+            opts += "\"" + allowed + "\"";
+          }
+          return fail(path, "\"" + s + "\" not one of {" + opts + "}");
+        }
+      }
+      break;
+    }
+    case Schema::Type::kArray: {
+      const auto& arr = value.as_array();
+      if (arr.size() < schema.min_items || arr.size() > schema.max_items) {
+        return fail(path, "array size " + std::to_string(arr.size()) +
+                              " out of range [" +
+                              std::to_string(schema.min_items) + ", " +
+                              std::to_string(schema.max_items) + "]");
+      }
+      if (schema.items) {
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+          auto r = validate_at(*schema.items, arr[i],
+                               path + "/" + std::to_string(i));
+          if (!r.ok) return r;
+        }
+      }
+      break;
+    }
+    case Schema::Type::kObject: {
+      const auto& obj = value.as_object();
+      for (const auto& prop : schema.properties) {
+        const JsonValue* member = value.find(prop.name);
+        if (member == nullptr) {
+          if (prop.required) {
+            return fail(path, "missing required member \"" + prop.name + "\"");
+          }
+          continue;
+        }
+        auto r = validate_at(*prop.schema, *member, path + "/" + prop.name);
+        if (!r.ok) return r;
+      }
+      // Closed schema: reject members the schema does not name, so a
+      // typo'd field surfaces as an error instead of silently
+      // validating with the default applied.
+      for (const auto& [key, unused] : obj) {
+        (void)unused;
+        bool known = false;
+        for (const auto& prop : schema.properties) {
+          if (prop.name == key) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          return fail(path, "unknown member \"" + key + "\"");
+        }
+      }
+      break;
+    }
+    case Schema::Type::kNumber:
+    case Schema::Type::kBool:
+    case Schema::Type::kAny:
+      break;
+  }
+  return pass();
+}
+
+}  // namespace
+
+std::shared_ptr<const Schema> schema_int(std::int64_t min, std::int64_t max) {
+  auto s = std::make_shared<Schema>();
+  s->type = Schema::Type::kInt;
+  s->min_int = min;
+  s->max_int = max;
+  return s;
+}
+
+std::shared_ptr<const Schema> schema_string(std::size_t min_len,
+                                            std::size_t max_len) {
+  auto s = std::make_shared<Schema>();
+  s->type = Schema::Type::kString;
+  s->min_len = min_len;
+  s->max_len = max_len;
+  return s;
+}
+
+std::shared_ptr<const Schema> schema_enum(std::vector<std::string> values) {
+  auto s = std::make_shared<Schema>();
+  s->type = Schema::Type::kString;
+  s->one_of = std::move(values);
+  return s;
+}
+
+std::shared_ptr<const Schema> schema_bool() {
+  auto s = std::make_shared<Schema>();
+  s->type = Schema::Type::kBool;
+  return s;
+}
+
+std::shared_ptr<const Schema> schema_array(std::shared_ptr<const Schema> items,
+                                           std::size_t min_items,
+                                           std::size_t max_items) {
+  auto s = std::make_shared<Schema>();
+  s->type = Schema::Type::kArray;
+  s->items = std::move(items);
+  s->min_items = min_items;
+  s->max_items = max_items;
+  return s;
+}
+
+std::shared_ptr<const Schema> schema_object(
+    std::vector<Schema::Property> properties) {
+  auto s = std::make_shared<Schema>();
+  s->type = Schema::Type::kObject;
+  s->properties = std::move(properties);
+  return s;
+}
+
+ValidationResult validate(const Schema& schema, const JsonValue& value) {
+  return validate_at(schema, value, "");
+}
+
+const char* doc_kind_name(DocKind kind) {
+  switch (kind) {
+    case DocKind::kContracts:
+      return "contracts";
+    case DocKind::kPolicy:
+      return "policy";
+    case DocKind::kTopology:
+      return "topology";
+  }
+  return "?";
+}
+
+bool parse_doc_kind(const std::string& name, DocKind* out) {
+  if (name == "contracts") {
+    *out = DocKind::kContracts;
+    return true;
+  }
+  if (name == "policy") {
+    *out = DocKind::kPolicy;
+    return true;
+  }
+  if (name == "topology") {
+    *out = DocKind::kTopology;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// 0xfffffffe: kInvalidTenant (0xffffffff) is reserved as a sentinel.
+constexpr std::int64_t kMaxTenantId = 0xfffffffell;
+constexpr std::int64_t kMaxRankValue = 0xffffffffll;
+
+std::shared_ptr<const Schema> build_contracts_schema() {
+  auto contract = schema_object({
+      {"tenant", schema_int(0, kMaxTenantId), /*required=*/true},
+      {"rank_min", schema_int(0, kMaxRankValue), /*required=*/false},
+      {"rank_max", schema_int(0, kMaxRankValue), /*required=*/false},
+      {"max_rate", schema_int(0), /*required=*/false},
+      {"burst_bytes", schema_int(1), /*required=*/false},
+  });
+  return schema_object({
+      {"kind", schema_enum({"contracts"}), /*required=*/true},
+      {"contracts", schema_array(contract, 0, 1u << 20), /*required=*/true},
+  });
+}
+
+std::shared_ptr<const Schema> build_policy_schema() {
+  return schema_object({
+      {"kind", schema_enum({"policy"}), /*required=*/true},
+      {"policy", schema_string(1, 1u << 20), /*required=*/true},
+      {"description", schema_string(0, 1024), /*required=*/false},
+  });
+}
+
+std::shared_ptr<const Schema> build_topology_schema() {
+  auto sw = schema_object({
+      {"name", schema_string(1, 64), /*required=*/true},
+      {"ports", schema_int(1, 1024), /*required=*/false},
+  });
+  return schema_object({
+      {"kind", schema_enum({"topology"}), /*required=*/true},
+      {"switches", schema_array(sw, 1, 1u << 16), /*required=*/true},
+      {"canary", schema_int(1, 1 << 16), /*required=*/true},
+      {"wave_size", schema_int(1, 1 << 16), /*required=*/true},
+  });
+}
+
+ValidationResult semantic_contracts(const JsonValue& doc) {
+  const auto& contracts = doc.find("contracts")->as_array();
+  std::set<std::int64_t> seen;
+  for (std::size_t i = 0; i < contracts.size(); ++i) {
+    const std::string path = "/contracts/" + std::to_string(i);
+    const std::int64_t tenant = contracts[i].find("tenant")->as_int();
+    if (!seen.insert(tenant).second) {
+      return fail(path + "/tenant",
+                  "duplicate tenant id " + std::to_string(tenant));
+    }
+    const JsonValue* lo = contracts[i].find("rank_min");
+    const JsonValue* hi = contracts[i].find("rank_max");
+    const std::int64_t rank_min = lo ? lo->as_int() : 0;
+    const std::int64_t rank_max = hi ? hi->as_int() : kMaxRankValue;
+    if (rank_min > rank_max) {
+      return fail(path, "rank_min " + std::to_string(rank_min) +
+                            " > rank_max " + std::to_string(rank_max));
+    }
+  }
+  return pass();
+}
+
+ValidationResult semantic_policy(const JsonValue& doc) {
+  const std::string& text = doc.find("policy")->as_string();
+  auto parsed = control::parse_grouped_policy(text);
+  if (!parsed.ok()) {
+    return fail("/policy", "grouped policy rejected at offset " +
+                               std::to_string(parsed.error_pos) + ": " +
+                               parsed.error);
+  }
+  if (parsed.value->empty()) {
+    return fail("/policy", "grouped policy declares no groups");
+  }
+  return pass();
+}
+
+ValidationResult semantic_topology(const JsonValue& doc) {
+  const auto& switches = doc.find("switches")->as_array();
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    const std::string& name = switches[i].find("name")->as_string();
+    if (!names.insert(name).second) {
+      return fail("/switches/" + std::to_string(i) + "/name",
+                  "duplicate switch name \"" + name + "\"");
+    }
+  }
+  const std::int64_t canary = doc.find("canary")->as_int();
+  if (canary > static_cast<std::int64_t>(switches.size())) {
+    return fail("/canary", "canary cohort " + std::to_string(canary) +
+                               " exceeds fleet size " +
+                               std::to_string(switches.size()));
+  }
+  return pass();
+}
+
+}  // namespace
+
+const Schema& document_schema(DocKind kind) {
+  static const std::shared_ptr<const Schema> contracts =
+      build_contracts_schema();
+  static const std::shared_ptr<const Schema> policy = build_policy_schema();
+  static const std::shared_ptr<const Schema> topology =
+      build_topology_schema();
+  switch (kind) {
+    case DocKind::kContracts:
+      return *contracts;
+    case DocKind::kPolicy:
+      return *policy;
+    case DocKind::kTopology:
+      return *topology;
+  }
+  return *contracts;
+}
+
+ValidationResult validate_document(DocKind kind, const JsonValue& doc) {
+  auto structural = validate(document_schema(kind), doc);
+  if (!structural.ok) return structural;
+  switch (kind) {
+    case DocKind::kContracts:
+      return semantic_contracts(doc);
+    case DocKind::kPolicy:
+      return semantic_policy(doc);
+    case DocKind::kTopology:
+      return semantic_topology(doc);
+  }
+  return pass();
+}
+
+}  // namespace qv::mgmt

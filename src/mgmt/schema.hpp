@@ -1,0 +1,101 @@
+// JSON-schema-style validation for management-plane documents
+// (ISSUE 9 tentpole, pillar 1).
+//
+// The config store accepts three document kinds — tenant contracts,
+// grouped policy, topology — and every accepted version must be valid
+// BY CONSTRUCTION: a structurally broken document (wrong type, missing
+// field, out-of-range id) is rejected at put() time, never discovered
+// by a switch mid-rollout. Validation is two-layered:
+//
+//   1. structural — a small schema language (type, required object
+//      properties, array item schema, integer ranges, string enums)
+//      checked field by field with a JSON-pointer-ish error path;
+//   2. semantic — cross-field rules a schema cannot express: the policy
+//      text must pass parse_grouped_policy(), tenant ids must be
+//      unique, switch names must be unique, cohort sizes must fit the
+//      fleet.
+//
+// Both layers run under the config-document fuzz stage, so "validator
+// crashes before it can reject" is a tested-against bug class.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mgmt/json.hpp"
+
+namespace qv::mgmt {
+
+struct Schema {
+  enum class Type { kObject, kArray, kString, kInt, kNumber, kBool, kAny };
+
+  Type type = Type::kAny;
+
+  struct Property {
+    std::string name;
+    std::shared_ptr<const Schema> schema;
+    bool required = true;
+  };
+  /// Object members. Members not listed here are rejected (closed
+  /// schemas: a typo'd field name must not silently validate).
+  std::vector<Property> properties;
+
+  std::shared_ptr<const Schema> items;  ///< array element schema
+  std::size_t min_items = 0;
+  std::size_t max_items = std::numeric_limits<std::size_t>::max();
+
+  std::int64_t min_int = std::numeric_limits<std::int64_t>::min();
+  std::int64_t max_int = std::numeric_limits<std::int64_t>::max();
+
+  std::size_t min_len = 0;
+  std::size_t max_len = std::numeric_limits<std::size_t>::max();
+  std::vector<std::string> one_of;  ///< string enum (empty = any)
+};
+
+// Builders keep the document schemas below readable.
+std::shared_ptr<const Schema> schema_int(
+    std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t max = std::numeric_limits<std::int64_t>::max());
+std::shared_ptr<const Schema> schema_string(
+    std::size_t min_len = 0,
+    std::size_t max_len = std::numeric_limits<std::size_t>::max());
+std::shared_ptr<const Schema> schema_enum(std::vector<std::string> values);
+std::shared_ptr<const Schema> schema_bool();
+std::shared_ptr<const Schema> schema_array(
+    std::shared_ptr<const Schema> items, std::size_t min_items = 0,
+    std::size_t max_items = std::numeric_limits<std::size_t>::max());
+std::shared_ptr<const Schema> schema_object(
+    std::vector<Schema::Property> properties);
+
+struct ValidationResult {
+  bool ok = false;
+  std::string path;   ///< "/contracts/3/tenant"-style location
+  std::string error;  ///< empty when ok
+};
+
+/// Structural check of `value` against `schema`.
+ValidationResult validate(const Schema& schema, const JsonValue& value);
+
+// --- management-plane document kinds ---------------------------------------
+
+enum class DocKind : std::uint8_t {
+  kContracts = 0,  ///< per-tenant rate/burst/bounds contracts
+  kPolicy = 1,     ///< grouped policy text (control/group_policy.hpp)
+  kTopology = 2,   ///< fleet shape + rollout cohort sizing
+};
+inline constexpr std::size_t kDocKindCount = 3;
+
+const char* doc_kind_name(DocKind kind);
+bool parse_doc_kind(const std::string& name, DocKind* out);
+
+/// The structural schema of one document kind (shared, immutable).
+const Schema& document_schema(DocKind kind);
+
+/// Structural + semantic validation of a full document. On failure the
+/// result's `path`/`error` locate the offending field.
+ValidationResult validate_document(DocKind kind, const JsonValue& doc);
+
+}  // namespace qv::mgmt

@@ -17,6 +17,8 @@ const char* trace_category_name(TraceCategory c) {
       return "qvisor";
     case TraceCategory::kRuntime:
       return "runtime";
+    case TraceCategory::kMgmt:
+      return "mgmt";
   }
   return "?";
 }

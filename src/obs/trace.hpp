@@ -43,12 +43,13 @@ enum class TraceCategory : std::uint8_t {
   kSched = 1,    ///< scheduler enqueue/dequeue/drop, queue depth
   kQvisor = 2,   ///< preprocessor / synthesis / plan installs
   kRuntime = 3,  ///< runtime controller, monitor verdicts
+  kMgmt = 4,     ///< config store ops, rollout waves/probes/aborts
 };
 
 constexpr std::uint32_t trace_bit(TraceCategory c) {
   return 1u << static_cast<unsigned>(c);
 }
-inline constexpr std::uint32_t kTraceAll = 0xF;
+inline constexpr std::uint32_t kTraceAll = 0x1F;
 
 const char* trace_category_name(TraceCategory c);
 

@@ -69,6 +69,13 @@ Hypervisor::CompileResult Fleet::compile_for(
     const std::vector<std::string>& active_names, TimeNs now) {
   assert(!switches_.empty());
   const TimeNs ts = now < 0 ? 0 : now;
+  if (staged_group_ != nullptr) {
+    Hypervisor::CompileResult result;
+    result.error = "staged rollout in progress (epoch " +
+                   std::to_string(staged_epoch_) +
+                   "); finalize or abort it first";
+    return result;
+  }
   // Fleet-level validation: the shared policy must only name registered
   // tenants. (Hypervisor::compile_for restricts silently — correct for
   // the runtime path, but a misconfigured fleet policy must not deploy.)
@@ -139,6 +146,14 @@ bool Fleet::commit_group_plan(
     if (error != nullptr) *error = "empty group plan";
     return false;
   }
+  if (staged_group_ != nullptr) {
+    if (error != nullptr) {
+      *error = "staged rollout in progress (epoch " +
+               std::to_string(staged_epoch_) +
+               "); finalize or abort it first";
+    }
+    return false;
+  }
   // The group compiler already validated the band layout (phase 1);
   // this is the fleet-wide phase-2 commit at one epoch.
   const std::uint64_t epoch = ++epoch_counter_;
@@ -174,6 +189,144 @@ bool Fleet::commit_group_plan(
   committed_group_ = std::move(plan);
   committed_active_.clear();
   return true;
+}
+
+bool Fleet::stage_group_plan(
+    std::shared_ptr<const control::CompiledGroupPlan> plan,
+    const control::GroupPlanDelta* delta, std::string* error) {
+  if (plan == nullptr || plan->empty()) {
+    if (error != nullptr) *error = "empty group plan";
+    return false;
+  }
+  if (staged_group_ != nullptr) {
+    if (error != nullptr) {
+      *error = "a rollout is already staged at epoch " +
+               std::to_string(staged_epoch_);
+    }
+    return false;
+  }
+  staged_group_ = std::move(plan);
+  staged_delta_.reset();
+  if (delta != nullptr) staged_delta_ = *delta;
+  staged_epoch_ = ++epoch_counter_;
+  return true;
+}
+
+bool Fleet::commit_staged_to(const std::vector<std::size_t>& cohort,
+                             TimeNs now, std::string* error) {
+  const TimeNs ts = now < 0 ? 0 : now;
+  if (staged_group_ == nullptr) {
+    if (error != nullptr) *error = "no staged rollout";
+    return false;
+  }
+  for (std::size_t idx : cohort) {
+    if (idx >= switches_.size()) {
+      if (error != nullptr) {
+        *error = "cohort names unknown switch index " + std::to_string(idx);
+      }
+      return false;
+    }
+  }
+  const control::GroupPlanDelta* delta =
+      staged_delta_.has_value() ? &*staged_delta_ : nullptr;
+  std::vector<std::size_t> fresh;  // committed by THIS call
+  for (std::size_t idx : cohort) {
+    Member& member = switches_[idx];
+    // Already at the staged epoch (earlier wave, or the part of a
+    // failed wave a retry re-covers): skip, so retries are idempotent.
+    if (member.hv->plan_epoch() == staged_epoch_) continue;
+    if (member.hv->commit_group_plan(staged_group_, staged_epoch_, delta)) {
+      fresh.push_back(idx);
+      continue;
+    }
+    ++failed_installs_;
+    if (obs::Tracer* tr = runtime_tracer()) {
+      tr->instant(obs::TraceCategory::kRuntime, "wave:install_failed", ts,
+                  /*tid=*/0, "switch", idx);
+    }
+    // Per-wave two-phase: undo this wave's fresh commits; switches from
+    // earlier waves keep the staged epoch (the rollout engine decides
+    // whether to retry the wave or abort the whole rollout).
+    for (std::size_t j : fresh) {
+      if (switches_[j].hv->rollback()) {
+        ++rollbacks_;
+        if (obs::Tracer* tr = runtime_tracer()) {
+          tr->instant(obs::TraceCategory::kRuntime, "rollback", ts,
+                      /*tid=*/0, "switch", j);
+        }
+      }
+      // A rejected rollback push leaves the switch dirty at the staged
+      // epoch; abort_staged()/reconcile() heal it later.
+    }
+    if (error != nullptr) {
+      *error = "staged install failed on switch '" + member.name +
+               "' at epoch " + std::to_string(staged_epoch_) +
+               " (wave rolled back)";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Fleet::finalize_staged(std::string* error) {
+  if (staged_group_ == nullptr) {
+    if (error != nullptr) *error = "no staged rollout";
+    return false;
+  }
+  for (const auto& member : switches_) {
+    if (!member.hv->has_group_plan() ||
+        member.hv->plan_epoch() != staged_epoch_) {
+      if (error != nullptr) {
+        *error = "switch '" + member.name + "' is not at staged epoch " +
+                 std::to_string(staged_epoch_) + "; cannot finalize";
+      }
+      return false;
+    }
+  }
+  committed_epoch_ = staged_epoch_;
+  committed_group_ = std::move(staged_group_);
+  committed_active_.clear();
+  staged_group_.reset();
+  staged_delta_.reset();
+  staged_epoch_ = 0;
+  return true;
+}
+
+void Fleet::abort_staged(TimeNs now) {
+  if (staged_group_ == nullptr) return;
+  const TimeNs ts = now < 0 ? 0 : now;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    Member& member = switches_[i];
+    if (member.hv->plan_epoch() != staged_epoch_) continue;
+    // Each staged switch committed exactly once at the staged epoch, so
+    // its single-level undo slot holds last-known-good.
+    if (member.hv->rollback()) {
+      ++rollbacks_;
+      if (obs::Tracer* tr = runtime_tracer()) {
+        tr->instant(obs::TraceCategory::kRuntime, "abort:rollback", ts,
+                    /*tid=*/0, "switch", i);
+      }
+    } else if (committed_epoch_ == 0) {
+      // Nothing was ever committed fleet-wide: there is no LKG for
+      // reconcile() to converge on, so a stuck switch falls back to the
+      // safe empty-plan path instead of keeping the aborted plan.
+      member.hv->clear_plan();
+    }
+    // Otherwise the switch stays dirty at the aborted epoch and
+    // reconcile() (anti-entropy against LKG) heals it.
+  }
+  staged_group_.reset();
+  staged_delta_.reset();
+  staged_epoch_ = 0;
+}
+
+std::size_t Fleet::staged_switches() const {
+  if (staged_group_ == nullptr) return 0;
+  std::size_t n = 0;
+  for (const auto& member : switches_) {
+    if (member.hv->plan_epoch() == staged_epoch_) ++n;
+  }
+  return n;
 }
 
 std::size_t Fleet::reconcile(TimeNs now) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,45 @@ class Fleet {
   const control::CompiledGroupPlan* committed_group_plan() const {
     return committed_group_.get();
   }
+
+  // --- staged canary/wave commits (management-plane rollouts) -----------
+  //
+  // A staged rollout reserves ONE fleet epoch and installs it cohort by
+  // cohort: stage_group_plan() -> commit_staged_to(canary) ->
+  // commit_staged_to(wave) ... -> finalize_staged(). Until finalize,
+  // committed_group_/committed_epoch_ still hold the last-known-good
+  // plan — so abort_staged() needs no new state: switches that took a
+  // wave are rolled back immediately where reachable, and reconcile()
+  // (anti-entropy against LKG) is the backstop for the rest.
+
+  /// Reserve a fleet epoch for `plan`. Fails if a rollout is already
+  /// staged. When `delta` is given, wave installs use the incremental
+  /// patch path on compatible switches.
+  bool stage_group_plan(std::shared_ptr<const control::CompiledGroupPlan> plan,
+                        const control::GroupPlanDelta* delta = nullptr,
+                        std::string* error = nullptr);
+
+  /// Two-phase install of the staged plan on `cohort` (switch indices).
+  /// Switches already at the staged epoch are skipped, so retrying a
+  /// failed wave is idempotent. On a rejected install, THIS wave's
+  /// fresh commits are rolled back (earlier waves keep the staged
+  /// epoch) and false is returned.
+  bool commit_staged_to(const std::vector<std::size_t>& cohort,
+                        TimeNs now = -1, std::string* error = nullptr);
+
+  /// Promote the staged plan to the committed reconcile target. Fails
+  /// unless EVERY switch runs the staged epoch (no mixed-version fleet
+  /// can ever be finalized).
+  bool finalize_staged(std::string* error = nullptr);
+
+  /// Drop the staged rollout: roll reachable staged switches back to
+  /// last-known-good now; unreachable ones stay dirty for reconcile().
+  void abort_staged(TimeNs now = -1);
+
+  bool has_staged() const { return staged_group_ != nullptr; }
+  std::uint64_t staged_epoch() const { return staged_epoch_; }
+  /// Switches currently running the staged epoch.
+  std::size_t staged_switches() const;
 
   /// Anti-entropy: re-push the committed configuration to any switch
   /// whose epoch disagrees (failed rollback, agent reboot). Returns the
@@ -171,6 +211,11 @@ class Fleet {
   /// Group-mode reconcile target; exclusive with committed_active_
   /// (per-tenant mode). One shared compiled plan serves every switch.
   std::shared_ptr<const control::CompiledGroupPlan> committed_group_;
+  /// In-flight staged rollout (nullptr = none). Never the reconcile
+  /// target: only finalize_staged() moves it into committed_group_.
+  std::shared_ptr<const control::CompiledGroupPlan> staged_group_;
+  std::optional<control::GroupPlanDelta> staged_delta_;
+  std::uint64_t staged_epoch_ = 0;
   std::uint64_t rollbacks_ = 0;
   std::uint64_t reconciles_ = 0;
   std::uint64_t failed_installs_ = 0;

@@ -150,6 +150,92 @@ TEST_F(ControlPlaneTest, PartialInstallFailureRollsTheFleetBack) {
   EXPECT_EQ(fleet_.committed_epoch(), 3u);  // epoch 2 burned by the abort
 }
 
+TEST_F(ControlPlaneTest, StagedWaveRetriesWithTheSameSwitchUnreachable) {
+  // ISSUE 9 satellite: retry-after-partial-install when the SAME
+  // switch stays unreachable across consecutive wave attempts. The
+  // waves share one staged epoch, so each retry must be idempotent for
+  // switches that already took it and must re-install only the wave's
+  // rolled-back members.
+  ASSERT_TRUE(cp_.deploy_text(kBase).ok);
+  const std::uint64_t lkg_epoch = fleet_.committed_epoch();
+
+  const auto staged = cp_.stage_text(
+      "group gold   = 0..9 weight 2 bounds 0..99\n"
+      "group silver = 10..19 bounds 0..99\n"
+      "group bulk   = * bounds 0..99\n"
+      "policy gold >> silver + bulk\n");
+  ASSERT_TRUE(staged.ok) << staged.error;
+  ASSERT_TRUE(cp_.staged());
+
+  // Canary wave: switch 0 only.
+  std::string err;
+  ASSERT_TRUE(cp_.commit_wave({0}, /*now=*/-1, &err)) << err;
+  EXPECT_EQ(fleet_.staged_switches(), 1u);
+
+  // Wave 2 holds switches 1 and 2; switch 2 rejects every staged
+  // install across consecutive attempts.
+  std::uint64_t rejections = 0;
+  fleet_.set_install_fault(
+      [&rejections, staged_epoch = staged.epoch](std::size_t idx,
+                                                 std::uint64_t epoch) {
+        if (idx == 2 && epoch == staged_epoch) {
+          ++rejections;
+          return true;
+        }
+        return false;
+      });
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    EXPECT_FALSE(cp_.commit_wave({1, 2}, -1, &err));
+    // The failed attempt rolled switch 1 back: no partial wave lingers,
+    // and the canary keeps its staged install (idempotent skip).
+    EXPECT_EQ(fleet_.staged_switches(), 1u);
+    EXPECT_EQ(fleet_.hypervisor(1).plan_epoch(), lkg_epoch);
+    EXPECT_EQ(fleet_.hypervisor(2).plan_epoch(), lkg_epoch);
+  }
+  EXPECT_EQ(rejections, 2u);
+  // Finalize is impossible while a switch is missing the staged epoch.
+  EXPECT_FALSE(cp_.finalize_staged(&err));
+
+  // The switch heals; the SAME wave retried now converges, and only
+  // the members the rollbacks undid are re-installed.
+  fleet_.set_install_fault({});
+  ASSERT_TRUE(cp_.commit_wave({1, 2}, -1, &err)) << err;
+  EXPECT_EQ(fleet_.staged_switches(), 3u);
+  ASSERT_TRUE(cp_.finalize_staged(&err)) << err;
+  EXPECT_FALSE(cp_.staged());
+  EXPECT_TRUE(fleet_.epochs_consistent());
+  EXPECT_EQ(fleet_.committed_epoch(), staged.epoch);
+  EXPECT_EQ(cp_.deploys(), 2u);
+}
+
+TEST_F(ControlPlaneTest, AbortStagedRestoresLastKnownGoodFleetWide) {
+  ASSERT_TRUE(cp_.deploy_text(kBase).ok);
+  const std::uint64_t lkg_epoch = fleet_.committed_epoch();
+  const auto staged = cp_.stage_text(
+      "group gold   = 0..9 weight 3 bounds 0..99\n"
+      "group silver = 10..19 bounds 0..99\n"
+      "group bulk   = * bounds 0..99\n"
+      "policy gold >> silver + bulk\n");
+  ASSERT_TRUE(staged.ok) << staged.error;
+  std::string err;
+  ASSERT_TRUE(cp_.commit_wave({0, 1}, -1, &err)) << err;
+  EXPECT_EQ(fleet_.staged_switches(), 2u);
+
+  // Deploys are refused mid-rollout: a concurrent fleet-wide install
+  // would tear the epoch sequence the waves converge on.
+  EXPECT_FALSE(cp_.deploy_text(kBase).ok);
+
+  cp_.abort_staged();
+  EXPECT_FALSE(cp_.staged());
+  EXPECT_TRUE(fleet_.epochs_consistent());
+  EXPECT_EQ(fleet_.committed_epoch(), lkg_epoch);
+  for (std::size_t s = 0; s < fleet_.switch_count(); ++s) {
+    EXPECT_EQ(fleet_.hypervisor(s).plan_epoch(), lkg_epoch) << s;
+  }
+  // The staged plan never became the reconcile target.
+  EXPECT_EQ(fleet_.reconcile(), 0u);
+}
+
 TEST_F(ControlPlaneTest, ReconcileHealsARebootedSwitchToTheGroupPlan) {
   ASSERT_TRUE(cp_.deploy_text(kBase).ok);
   fleet_.hypervisor(1).clear_plan();

@@ -1,0 +1,182 @@
+// Fuzz harness for the management-plane config documents (ISSUE 9
+// satellite): the JSON parser and the schema/semantic validators are
+// the store's admission gate, so malformed operator input must die
+// here with a located error — never by crashing, hanging, or
+// validating something the store cannot replay. One input exercises:
+//
+//   parse_json                    (must never crash; errors located)
+//   canonical dump -> reparse     dump(parse(dump)) == dump, equal value
+//   validate_document x 3 kinds   ok or non-empty error with a path
+//   acceptance is stable          a valid doc revalidates after the
+//                                 dump/parse round-trip
+//
+// Two build modes, same as policy_parser_fuzz: -DQVISOR_LIBFUZZER for
+// clang's coverage-guided loop, default standalone corpus-replay +
+// deterministic seeded mutations for the CI smoke.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mgmt/json.hpp"
+#include "mgmt/schema.hpp"
+
+namespace {
+
+using namespace qv::mgmt;
+
+void dump_input(const char* label, const std::string& text) {
+  std::fprintf(stderr, "  %s (%zu bytes): ", label, text.size());
+  for (const unsigned char c : text) {
+    if (c >= 0x20 && c < 0x7f) {
+      std::fputc(c, stderr);
+    } else {
+      std::fprintf(stderr, "\\x%02x", c);
+    }
+  }
+  std::fputc('\n', stderr);
+}
+
+const std::string* g_current_input = nullptr;
+
+void check(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "config_doc_fuzz: invariant failed: %s\n", what);
+    if (g_current_input != nullptr) dump_input("input", *g_current_input);
+    __builtin_trap();
+  }
+}
+
+void fuzz_one(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  g_current_input = &text;
+
+  const JsonParseResult parsed = parse_json(text);
+  if (!parsed.ok()) {
+    check(!parsed.error.empty(), "json parse failed without an error");
+    check(parsed.error_pos <= text.size(), "json error_pos out of range");
+    return;
+  }
+
+  // Canonical round-trip: dump is a fixed point of parse-then-dump,
+  // and the reparsed value compares equal. This is what makes the
+  // store's serialized state a byte-identity currency.
+  const std::string canon = parsed.value->dump();
+  const JsonParseResult again = parse_json(canon);
+  check(again.ok(), "canonical dump failed to reparse");
+  check(*again.value == *parsed.value, "round-trip changed the value");
+  check(again.value->dump() == canon, "dump is not a fixed point");
+  check(fnv1a(canon) == fnv1a(again.value->dump()),
+        "checksum disagrees on identical bytes");
+
+  // Every document kind's validator must terminate with a verdict:
+  // either ok, or a non-empty error. Acceptance must be stable across
+  // the round-trip — a doc the store journals must revalidate on
+  // replay.
+  for (const DocKind kind :
+       {DocKind::kContracts, DocKind::kPolicy, DocKind::kTopology}) {
+    const ValidationResult v = validate_document(kind, *parsed.value);
+    if (!v.ok) {
+      check(!v.error.empty(), "validator rejected without an error");
+      continue;
+    }
+    const ValidationResult replay = validate_document(kind, *again.value);
+    check(replay.ok, "accepted document failed to revalidate after replay");
+  }
+}
+
+}  // namespace
+
+#ifdef QVISOR_LIBFUZZER
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(data, size);
+  return 0;
+}
+
+#else  // standalone corpus-replay + deterministic-mutation driver
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/random.hpp"
+
+namespace {
+
+std::string mutate(const std::string& seed, qv::Rng& rng) {
+  std::string out = seed;
+  const int edits = 1 + static_cast<int>(rng.next_below(4));
+  // JSON structure bytes, digits, escapes, and raw control characters.
+  static const char kAlphabet[] = "{}[]\",:.-+eE0159 \t\n\\u/tfnabgk\0\x7f";
+  for (int e = 0; e < edits; ++e) {
+    const std::uint64_t op = rng.next_below(3);
+    const char c = kAlphabet[rng.next_below(sizeof(kAlphabet))];
+    if (out.empty() || op == 0) {  // insert
+      out.insert(
+          out.begin() +
+              static_cast<std::ptrdiff_t>(rng.next_below(out.size() + 1)),
+          c);
+    } else if (op == 1) {  // overwrite
+      out[rng.next_below(out.size())] = c;
+    } else {  // delete
+      out.erase(out.begin() +
+                static_cast<std::ptrdiff_t>(rng.next_below(out.size())));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> corpus;
+  long iters = 20'000;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::ifstream in(argv[i], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "config_doc_fuzz: cannot open %s\n", argv[i]);
+        return 2;
+      }
+      corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+    }
+  }
+  if (corpus.empty()) {
+    // Built-in seeds so the smoke works with no corpus on disk.
+    corpus = {
+        "{\"kind\":\"policy\",\"policy\":\"group a = 0..9\\ngroup b = *\\n"
+        "policy a >> b\\n\"}",
+        "{\"kind\":\"contracts\",\"contracts\":[{\"tenant\":1,"
+        "\"rank_min\":0,\"rank_max\":99}]}",
+        "{\"kind\":\"topology\",\"switches\":[{\"name\":\"sw0\"}],"
+        "\"canary\":1,\"wave_size\":1}",
+        "[0,1.5,-2e3,\"\\u0041\\n\",true,false,null,{}]",
+        "",
+    };
+  }
+
+  for (const auto& input : corpus) {
+    fuzz_one(reinterpret_cast<const std::uint8_t*>(input.data()),
+             input.size());
+  }
+  qv::Rng rng(seed);
+  for (long i = 0; i < iters; ++i) {
+    const auto& base = corpus[rng.next_below(corpus.size())];
+    const std::string mutated = mutate(base, rng);
+    fuzz_one(reinterpret_cast<const std::uint8_t*>(mutated.data()),
+             mutated.size());
+  }
+  std::printf("config_doc_fuzz: %zu corpus inputs + %ld mutations OK\n",
+              corpus.size(), iters);
+  return 0;
+}
+
+#endif  // QVISOR_LIBFUZZER

@@ -1,0 +1,236 @@
+// Crash-safe versioned config store (ISSUE 9): schema-gated puts,
+// parent/LKG version chains, snapshot compaction, and the central
+// contract — recovery from EVERY injected crash point replays to a
+// state byte-identical to the uncrashed store, and an acked version is
+// never lost.
+#include "mgmt/config_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+namespace qv::mgmt {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("qv_store_test_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+JsonValue policy_doc(const std::string& text) {
+  JsonValue doc = JsonValue::make_object();
+  doc.set("kind", JsonValue("policy"));
+  doc.set("policy", JsonValue(text));
+  return doc;
+}
+
+JsonValue contracts_doc(std::int64_t tenant) {
+  JsonValue c = JsonValue::make_object();
+  c.set("tenant", JsonValue(tenant));
+  c.set("rank_min", JsonValue(std::int64_t{0}));
+  c.set("rank_max", JsonValue(std::int64_t{99}));
+  JsonValue::Array arr;
+  arr.push_back(std::move(c));
+  JsonValue doc = JsonValue::make_object();
+  doc.set("kind", JsonValue("contracts"));
+  doc.set("contracts", JsonValue(std::move(arr)));
+  return doc;
+}
+
+constexpr char kPolicyText[] =
+    "group gold = 0..9\ngroup bulk = 10..19\npolicy gold >> bulk\n";
+
+TEST(ConfigStore, PutAssignsParentChainPerKind) {
+  const std::string dir = temp_dir("chain");
+  ConfigStore store(dir);
+  ASSERT_TRUE(store.ok()) << store.error();
+
+  const PutResult p1 = store.put(DocKind::kPolicy, policy_doc(kPolicyText));
+  ASSERT_TRUE(p1.acked) << p1.error;
+  const PutResult c1 = store.put(DocKind::kContracts, contracts_doc(1));
+  ASSERT_TRUE(c1.acked) << c1.error;
+  const PutResult p2 = store.put(
+      DocKind::kPolicy,
+      policy_doc("group gold = 0..9\ngroup bulk = 10..29\n"
+                 "policy gold >> bulk\n"));
+  ASSERT_TRUE(p2.acked) << p2.error;
+
+  // Parents chain within a kind, not across kinds.
+  EXPECT_EQ(store.get(p1.id)->parent, 0u);
+  EXPECT_EQ(store.get(c1.id)->parent, 0u);
+  EXPECT_EQ(store.get(p2.id)->parent, p1.id);
+  EXPECT_EQ(store.head(DocKind::kPolicy)->id, p2.id);
+  EXPECT_EQ(store.head(DocKind::kContracts)->id, c1.id);
+
+  // LKG is an explicit pointer, not "newest".
+  EXPECT_EQ(store.last_known_good(DocKind::kPolicy), nullptr);
+  std::string err;
+  ASSERT_TRUE(store.mark_good(p1.id, &err)) << err;
+  EXPECT_EQ(store.last_known_good(DocKind::kPolicy)->id, p1.id);
+  EXPECT_EQ(store.head(DocKind::kPolicy)->id, p2.id);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, InvalidDocumentsAreRejectedAtPut) {
+  const std::string dir = temp_dir("reject");
+  ConfigStore store(dir);
+  // Wrong kind tag, unparseable policy text, duplicate tenant ids,
+  // unknown field: all rejected, store untouched.
+  JsonValue wrong_kind = policy_doc(kPolicyText);
+  wrong_kind.set("kind", JsonValue("topology"));
+  EXPECT_FALSE(store.put(DocKind::kPolicy, wrong_kind).acked);
+  EXPECT_FALSE(
+      store.put(DocKind::kPolicy, policy_doc("group ??? novalid")).acked);
+
+  JsonValue entry = JsonValue::make_object();
+  entry.set("tenant", JsonValue(std::int64_t{5}));
+  JsonValue dup = JsonValue::make_object();
+  dup.set("kind", JsonValue("contracts"));
+  dup.set("contracts", JsonValue(JsonValue::Array{entry, entry}));
+  EXPECT_FALSE(store.put(DocKind::kContracts, dup).acked);
+
+  JsonValue typo = policy_doc(kPolicyText);
+  typo.set("policyy", JsonValue("x"));
+  EXPECT_FALSE(store.put(DocKind::kPolicy, typo).acked);
+
+  EXPECT_EQ(store.version_count(), 0u);
+  std::string err;
+  EXPECT_FALSE(store.mark_good(1, &err));  // unknown id
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, ReopenReplaysToIdenticalState) {
+  const std::string dir = temp_dir("replay");
+  std::string before;
+  std::uint64_t id = 0;
+  {
+    ConfigStore store(dir);
+    const PutResult p = store.put(DocKind::kPolicy, policy_doc(kPolicyText));
+    ASSERT_TRUE(p.acked);
+    id = p.id;
+    std::string err;
+    ASSERT_TRUE(store.mark_good(p.id, &err));
+    ASSERT_TRUE(store.put(DocKind::kContracts, contracts_doc(2)).acked);
+    before = store.serialize();
+  }
+  ConfigStore store(dir);
+  ASSERT_TRUE(store.ok()) << store.error();
+  EXPECT_EQ(store.serialize(), before);
+  EXPECT_EQ(store.lkg_id(DocKind::kPolicy), id);
+  EXPECT_FALSE(store.journal_had_torn_tail());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, EveryCrashPointRecoversByteIdentical) {
+  // Rehearse to learn the exact frame size of the candidate put.
+  const std::string rehearsal = temp_dir("crash_rehearse");
+  std::size_t frame = 0;
+  std::string acked_state;
+  {
+    ConfigStore store(rehearsal);
+    ASSERT_TRUE(store.put(DocKind::kPolicy, policy_doc(kPolicyText)).acked);
+    acked_state = store.serialize();
+    const std::size_t at = store.journal_bytes();
+    ASSERT_TRUE(store.put(DocKind::kContracts, contracts_doc(3)).acked);
+    frame = store.journal_bytes() - at;
+  }
+  std::filesystem::remove_all(rehearsal);
+  ASSERT_GT(frame, 0u);
+
+  // Crash at every byte of the candidate frame: the reopened store must
+  // be byte-identical to the pre-crash acked state, with the put
+  // reported unacked.
+  const std::string dir = temp_dir("crash_points");
+  for (std::size_t cut = 0; cut < frame; ++cut) {
+    std::filesystem::remove_all(dir);
+    auto store = std::make_unique<ConfigStore>(dir);
+    ASSERT_TRUE(store->put(DocKind::kPolicy, policy_doc(kPolicyText)).acked);
+    ASSERT_EQ(store->serialize(), acked_state);
+    store->set_torn_write(cut);
+    const PutResult torn = store->put(DocKind::kContracts, contracts_doc(3));
+    EXPECT_FALSE(torn.acked) << "cut at " << cut;
+    // In-memory state never ran ahead of durability.
+    EXPECT_EQ(store->serialize(), acked_state) << "cut at " << cut;
+
+    store = std::make_unique<ConfigStore>(dir);
+    ASSERT_TRUE(store->ok()) << store->error();
+    EXPECT_EQ(store->serialize(), acked_state) << "cut at " << cut;
+    EXPECT_EQ(store->journal_had_torn_tail(), cut != 0) << "cut at " << cut;
+    // The store is fully usable after recovery.
+    EXPECT_TRUE(store->put(DocKind::kContracts, contracts_doc(3)).acked);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, FullyPersistedButUnackedWriteResurfaces) {
+  // The documented safe direction: a frame that reached disk in full
+  // before the crash is REPLAYED on recovery even though the client
+  // never saw the ack — the store may gain a version, never lose one.
+  const std::string dir = temp_dir("resurface");
+  std::string with_contract;
+  {
+    ConfigStore a(temp_dir("resurface_ref"));
+    ASSERT_TRUE(a.put(DocKind::kPolicy, policy_doc(kPolicyText)).acked);
+    ASSERT_TRUE(a.put(DocKind::kContracts, contracts_doc(3)).acked);
+    with_contract = a.serialize();
+  }
+  {
+    ConfigStore store(dir);
+    ASSERT_TRUE(store.put(DocKind::kPolicy, policy_doc(kPolicyText)).acked);
+    store.set_torn_write(1 << 20);  // larger than any frame: all persists
+    EXPECT_FALSE(store.put(DocKind::kContracts, contracts_doc(3)).acked);
+  }
+  ConfigStore store(dir);
+  EXPECT_EQ(store.serialize(), with_contract);
+  EXPECT_FALSE(store.journal_had_torn_tail());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, CompactionPreservesStateAndShrinksJournal) {
+  const std::string dir = temp_dir("compact");
+  std::string before;
+  {
+    ConfigStore store(dir);
+    ASSERT_TRUE(store.put(DocKind::kPolicy, policy_doc(kPolicyText)).acked);
+    std::string err;
+    ASSERT_TRUE(store.mark_good(1, &err));
+    ASSERT_TRUE(store.put(DocKind::kContracts, contracts_doc(4)).acked);
+    before = store.serialize();
+    ASSERT_GT(store.journal_bytes(), 0u);
+    ASSERT_TRUE(store.compact(&err)) << err;
+    EXPECT_EQ(store.journal_bytes(), 0u);
+    EXPECT_EQ(store.serialize(), before);
+  }
+  // Recovery now comes from the snapshot, and appends still work.
+  ConfigStore store(dir);
+  ASSERT_TRUE(store.ok()) << store.error();
+  EXPECT_EQ(store.serialize(), before);
+  EXPECT_EQ(store.replayed_records(), 0u);
+  EXPECT_TRUE(store.put(DocKind::kContracts, contracts_doc(5)).acked);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, CrashBetweenCompactionAndNextPutRecovers) {
+  const std::string dir = temp_dir("compact_crash");
+  std::string before;
+  {
+    ConfigStore store(dir);
+    ASSERT_TRUE(store.put(DocKind::kPolicy, policy_doc(kPolicyText)).acked);
+    std::string err;
+    ASSERT_TRUE(store.compact(&err)) << err;
+    before = store.serialize();
+    store.set_torn_write(3);  // torn first record after the snapshot
+    EXPECT_FALSE(store.put(DocKind::kContracts, contracts_doc(6)).acked);
+  }
+  ConfigStore store(dir);
+  ASSERT_TRUE(store.ok()) << store.error();
+  EXPECT_EQ(store.serialize(), before);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace qv::mgmt

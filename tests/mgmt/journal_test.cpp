@@ -1,0 +1,147 @@
+// Journal framing + torn-tail recovery (ISSUE 9): the crash-safety
+// primitive under the config store. The core property: for EVERY
+// prefix length of a valid journal image, scanning recovers exactly
+// the records whose frames survive in full, and flags the rest torn.
+#include "mgmt/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qv::mgmt {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("qv_journal_test_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(JournalFrames, EveryTruncationPointRecoversTheValidPrefix) {
+  const std::vector<std::string> records = {"first", "", "third record",
+                                            std::string(300, 'x')};
+  std::string image;
+  std::vector<std::size_t> ends;  // image offset after each frame
+  for (const auto& r : records) {
+    append_frame(image, r);
+    ends.push_back(image.size());
+  }
+
+  for (std::size_t cut = 0; cut <= image.size(); ++cut) {
+    const JournalReplay replay =
+        scan_frames(std::string_view(image).substr(0, cut));
+    ASSERT_TRUE(replay.ok());
+    // Number of complete frames within the cut.
+    std::size_t complete = 0;
+    while (complete < ends.size() && ends[complete] <= cut) ++complete;
+    ASSERT_EQ(replay.records.size(), complete) << "cut at " << cut;
+    for (std::size_t i = 0; i < complete; ++i) {
+      EXPECT_EQ(replay.records[i], records[i]);
+    }
+    EXPECT_EQ(replay.valid_bytes, complete == 0 ? 0 : ends[complete - 1]);
+    EXPECT_EQ(replay.torn_tail,
+              cut != (complete == 0 ? 0 : ends[complete - 1]))
+        << "cut at " << cut;
+  }
+}
+
+TEST(JournalFrames, CorruptionEndsTheValidPrefix) {
+  std::string image;
+  append_frame(image, "good");
+  const std::size_t first_end = image.size();
+  append_frame(image, "bad-to-be");
+  // Flip one payload byte of the second frame: checksum mismatch.
+  image[first_end + kJournalHeaderBytes] ^= 0x40;
+  const JournalReplay r = scan_frames(image);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "good");
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.valid_bytes, first_end);
+
+  // Absurd length word = corruption, not a 4GB record.
+  std::string huge;
+  append_frame(huge, "x");
+  huge.resize(4);  // keep only the magic
+  huge.push_back('\xff');
+  huge.push_back('\xff');
+  huge.push_back('\xff');
+  huge.push_back('\xff');
+  const JournalReplay r2 = scan_frames(huge);
+  EXPECT_TRUE(r2.records.empty());
+  EXPECT_TRUE(r2.torn_tail);
+}
+
+TEST(Journal, AppendPersistsAcrossReopen) {
+  const std::string dir = temp_dir("reopen");
+  const std::string path = dir + "/journal.log";
+  {
+    Journal j(path);
+    ASSERT_TRUE(j.ok()) << j.error();
+    EXPECT_TRUE(j.append("one"));
+    EXPECT_TRUE(j.append("two"));
+  }
+  Journal j(path);
+  ASSERT_TRUE(j.ok()) << j.error();
+  ASSERT_EQ(j.last_replay().records.size(), 2u);
+  EXPECT_EQ(j.last_replay().records[0], "one");
+  EXPECT_EQ(j.last_replay().records[1], "two");
+  EXPECT_FALSE(j.last_replay().torn_tail);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, TornWriteIsUnackedAndTruncatedOnReopen) {
+  const std::string dir = temp_dir("torn");
+  const std::string path = dir + "/journal.log";
+  std::size_t clean_size = 0;
+  {
+    Journal j(path);
+    ASSERT_TRUE(j.append("durable"));
+    clean_size = j.size_bytes();
+    j.set_torn_write(kJournalHeaderBytes + 2);
+    EXPECT_FALSE(j.append("lost-in-the-crash"));  // must report UNACKED
+  }
+  EXPECT_GT(read_file(path).size(), clean_size);  // torn bytes on disk
+  {
+    Journal j(path);
+    ASSERT_TRUE(j.ok()) << j.error();
+    ASSERT_EQ(j.last_replay().records.size(), 1u);
+    EXPECT_EQ(j.last_replay().records[0], "durable");
+    EXPECT_TRUE(j.last_replay().torn_tail);
+    // recover() truncated back to the last complete frame...
+    EXPECT_EQ(read_file(path).size(), clean_size);
+    // ...so the next append lands on a clean boundary.
+    EXPECT_TRUE(j.append("after-recovery"));
+  }
+  Journal j(path);
+  ASSERT_EQ(j.last_replay().records.size(), 2u);
+  EXPECT_EQ(j.last_replay().records[1], "after-recovery");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, RewriteReplacesContents) {
+  const std::string dir = temp_dir("rewrite");
+  const std::string path = dir + "/journal.log";
+  Journal j(path);
+  ASSERT_TRUE(j.append("a"));
+  ASSERT_TRUE(j.append("b"));
+  ASSERT_TRUE(j.rewrite({"only"}));
+  Journal again(path);
+  ASSERT_EQ(again.last_replay().records.size(), 1u);
+  EXPECT_EQ(again.last_replay().records[0], "only");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace qv::mgmt

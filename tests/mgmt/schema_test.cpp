@@ -1,0 +1,116 @@
+// Document schema validation (ISSUE 9): structural checks with
+// located errors, closed objects, and the semantic rules a schema
+// cannot express (policy text parses, unique ids, cohorts fit).
+#include "mgmt/schema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qv::mgmt {
+namespace {
+
+JsonValue parse(const std::string& text) {
+  const JsonParseResult r = parse_json(text);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return *r.value;
+}
+
+TEST(Schema, StructuralValidation) {
+  const auto schema = schema_object({
+      {"name", schema_string(1, 8), true},
+      {"count", schema_int(0, 100), true},
+      {"tag", schema_enum({"a", "b"}), false},
+  });
+  EXPECT_TRUE(validate(*schema, parse("{\"name\":\"x\",\"count\":3}")).ok);
+  EXPECT_TRUE(
+      validate(*schema, parse("{\"name\":\"x\",\"count\":3,\"tag\":\"b\"}"))
+          .ok);
+
+  // Each failure names the offending path.
+  const ValidationResult missing = validate(*schema, parse("{\"name\":\"x\"}"));
+  EXPECT_FALSE(missing.ok);
+  EXPECT_NE(missing.error.find("count"), std::string::npos);
+
+  const ValidationResult range =
+      validate(*schema, parse("{\"name\":\"x\",\"count\":101}"));
+  EXPECT_FALSE(range.ok);
+  EXPECT_EQ(range.path, "/count");
+
+  const ValidationResult bad_enum =
+      validate(*schema, parse("{\"name\":\"x\",\"count\":1,\"tag\":\"z\"}"));
+  EXPECT_FALSE(bad_enum.ok);
+  EXPECT_EQ(bad_enum.path, "/tag");
+
+  // Closed objects: a typo'd member must not silently validate.
+  const ValidationResult unknown =
+      validate(*schema, parse("{\"name\":\"x\",\"count\":1,\"namee\":\"y\"}"));
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("namee"), std::string::npos);
+}
+
+TEST(Schema, ArrayItemPathsAreIndexed) {
+  const auto schema = schema_array(schema_int(0, 9), 1, 3);
+  EXPECT_TRUE(validate(*schema, parse("[1,2,3]")).ok);
+  EXPECT_FALSE(validate(*schema, parse("[]")).ok);           // min_items
+  EXPECT_FALSE(validate(*schema, parse("[1,2,3,4]")).ok);    // max_items
+  const ValidationResult r = validate(*schema, parse("[1,42,3]"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.path, "/1");
+}
+
+TEST(Schema, DocKindNamesRoundTrip) {
+  for (const DocKind kind :
+       {DocKind::kContracts, DocKind::kPolicy, DocKind::kTopology}) {
+    DocKind parsed;
+    ASSERT_TRUE(parse_doc_kind(doc_kind_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  DocKind out;
+  EXPECT_FALSE(parse_doc_kind("unknown", &out));
+}
+
+TEST(Schema, PolicyDocumentSemanticRules) {
+  EXPECT_TRUE(validate_document(
+                  DocKind::kPolicy,
+                  parse("{\"kind\":\"policy\",\"policy\":\"group a = 0..9\\n"
+                        "group b = 10..19\\npolicy a >> b\\n\"}"))
+                  .ok);
+  // Structurally a string, semantically not a parseable policy.
+  const ValidationResult bad = validate_document(
+      DocKind::kPolicy, parse("{\"kind\":\"policy\",\"policy\":\"@@@\"}"));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("rejected"), std::string::npos) << bad.error;
+  EXPECT_EQ(bad.path, "/policy");
+}
+
+TEST(Schema, TopologyDocumentSemanticRules) {
+  // Canary larger than the fleet cannot validate.
+  const ValidationResult r = validate_document(
+      DocKind::kTopology,
+      parse("{\"kind\":\"topology\",\"switches\":[{\"name\":\"sw0\"}],"
+            "\"canary\":2,\"wave_size\":1}"));
+  EXPECT_FALSE(r.ok);
+  // Duplicate switch names cannot validate.
+  const ValidationResult dup = validate_document(
+      DocKind::kTopology,
+      parse("{\"kind\":\"topology\",\"switches\":[{\"name\":\"sw0\"},"
+            "{\"name\":\"sw0\"}],\"canary\":1,\"wave_size\":1}"));
+  EXPECT_FALSE(dup.ok);
+  EXPECT_TRUE(validate_document(
+                  DocKind::kTopology,
+                  parse("{\"kind\":\"topology\",\"switches\":[{\"name\":"
+                        "\"sw0\"},{\"name\":\"sw1\"}],\"canary\":1,"
+                        "\"wave_size\":1}"))
+                  .ok);
+}
+
+TEST(Schema, ContractsDocumentSemanticRules) {
+  // rank_min > rank_max cannot validate.
+  const ValidationResult r = validate_document(
+      DocKind::kContracts,
+      parse("{\"kind\":\"contracts\",\"contracts\":[{\"tenant\":1,"
+            "\"rank_min\":9,\"rank_max\":3}]}"));
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace qv::mgmt
