@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <utility>
 
+#include <unistd.h>
+
 namespace qv::mgmt {
 namespace {
 
@@ -24,7 +26,10 @@ bool write_text_file(const std::string& path, std::string_view text) {
   if (f == nullptr) return false;
   bool ok = text.empty() ||
             std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  ok = std::fflush(f) == 0 && ok;
+  // fsync before the caller renames this over the snapshot: rename
+  // atomicity is worthless if the new contents can evaporate in an OS
+  // crash after the rename.
+  ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0 && ok;
   std::fclose(f);
   return ok;
 }
@@ -161,8 +166,21 @@ bool ConfigStore::apply_record(const JsonValue& record, std::string* error) {
     sv.kind = k;
     sv.doc = doc->dump();
     sv.checksum = fnv1a(sv.doc);
-    if (versions_.count(sv.id) != 0) {
-      *error = "duplicate version id " + std::to_string(sv.id);
+    const auto existing = versions_.find(sv.id);
+    if (existing != versions_.end()) {
+      // compact() can crash after renaming the snapshot into place but
+      // before truncating the journal; on reopen, every pre-compaction
+      // put then replays over a snapshot that already contains it.
+      // Replay must be idempotent across that window: a record whose
+      // version is already present verbatim is a no-op. A record that
+      // DISAGREES with the stored version is writer corruption, and
+      // replay stops at the damage.
+      const StoreVersion& have = existing->second;
+      if (have.kind == sv.kind && have.parent == sv.parent &&
+          have.doc == sv.doc) {
+        return true;
+      }
+      *error = "conflicting duplicate version id " + std::to_string(sv.id);
       return false;
     }
     head_[static_cast<std::size_t>(k)] = sv.id;

@@ -18,10 +18,16 @@
 // that persisted fully but crashed before the ack may resurface as an
 // extra (unacked) version; that is the documented safe direction.
 //
-// compact() folds history into snapshot.json (write-temp + rename)
-// and truncates the journal; replay cost is then O(ops since last
-// compaction). No wall-clock enters the state — versions are ordered
-// by id, and serialize() is a pure function of the accepted history.
+// compact() folds history into snapshot.json (write-temp + fsync +
+// rename) and truncates the journal (also old-or-new atomically);
+// replay cost is then O(ops since last compaction). A crash BETWEEN
+// the snapshot rename and the journal truncation leaves both the full
+// snapshot and the pre-compaction journal on disk — replay is
+// idempotent over the snapshot (a put whose version is already present
+// verbatim is a no-op; one that disagrees is corruption and stops
+// replay), so that window recovers byte-identical too. No wall-clock
+// enters the state — versions are ordered by id, and serialize() is a
+// pure function of the accepted history.
 #pragma once
 
 #include <array>
@@ -98,7 +104,10 @@ class ConfigStore {
     return journal_ ? journal_->last_replay().records.size() : 0;
   }
 
-  /// Fold history into snapshot.json and truncate the journal.
+  /// Fold history into snapshot.json and truncate the journal. Both
+  /// steps replace files old-or-new atomically, and replay is
+  /// idempotent over the snapshot, so a crash anywhere inside compact
+  /// (including between the two steps) recovers byte-identical.
   bool compact(std::string* error);
 
   /// Canonical JSON of the full store state — the byte-identity

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include <unistd.h>
+
 #include "mgmt/json.hpp"
 
 namespace qv::mgmt {
@@ -57,6 +59,14 @@ bool read_file(const std::string& path, std::string* out,
   return true;
 }
 
+// fflush only drains stdio buffers into the kernel page cache; fsync
+// pushes the page cache to the device so the bytes survive an OS or
+// power crash, not just a process crash.
+bool flush_and_sync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+  return ::fsync(::fileno(f)) == 0;
+}
+
 bool write_file_truncate(const std::string& path, std::string_view bytes,
                          std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -66,10 +76,27 @@ bool write_file_truncate(const std::string& path, std::string_view bytes,
   }
   bool ok = bytes.empty() ||
             std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  ok = std::fflush(f) == 0 && ok;
+  ok = flush_and_sync(f) && ok;
   std::fclose(f);
   if (!ok) *error = "write error on " + path;
   return ok;
+}
+
+// Replace `path` with `bytes` old-or-new atomically: write + fsync a
+// temp file in the same directory, then rename over the target. A
+// crash at any point leaves either the previous contents or the new
+// ones, never a torn mix.
+bool replace_file_atomic(const std::string& path, std::string_view bytes,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  if (!write_file_truncate(tmp, bytes, error)) return false;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    *error = "cannot rename " + tmp + " over " + path + ": " + ec.message();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -117,8 +144,9 @@ Journal::Journal(std::string path) : path_(std::move(path)) {
   size_bytes_ = replay_.valid_bytes;
   if (replay_.torn_tail) {
     // Truncate back to the last complete frame so the next append
-    // starts on a clean boundary instead of extending garbage.
-    if (!write_file_truncate(path_, image.substr(0, replay_.valid_bytes),
+    // starts on a clean boundary instead of extending garbage. Done
+    // old-or-new so a crash mid-truncation cannot make things worse.
+    if (!replace_file_atomic(path_, image.substr(0, replay_.valid_bytes),
                              &err)) {
       error_ = err;
     }
@@ -133,7 +161,7 @@ bool Journal::write_bytes(std::string_view bytes) {
   }
   bool ok = bytes.empty() ||
             std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  ok = std::fflush(f) == 0 && ok;
+  ok = flush_and_sync(f) && ok;
   std::fclose(f);
   if (!ok) error_ = "append error on " + path_;
   return ok;
@@ -152,11 +180,17 @@ bool Journal::append(std::string_view payload) {
     torn_write_armed_ = false;
     const std::size_t n = std::min(torn_write_bytes_, frame.size());
     (void)write_bytes(std::string_view(frame).substr(0, n));
-    error_.clear();  // the file-level write itself succeeded
+    // Latch: replay stops at the first bad frame, so a valid frame
+    // appended past the torn tail would be unrecoverable. No append
+    // may land until recovery (reopen, or rewrite) restores a clean
+    // tail — the same rule the real-failure path below enforces via
+    // the error_ set by write_bytes.
+    error_ = "journal tail torn by failed append on " + path_ +
+             "; reopen to recover";
     return false;
   }
 
-  if (!write_bytes(frame)) return false;
+  if (!write_bytes(frame)) return false;  // error_ latched by write_bytes
   size_bytes_ += frame.size();
   return true;
 }
@@ -165,11 +199,14 @@ bool Journal::rewrite(const std::vector<std::string>& records) {
   std::string image;
   for (const auto& rec : records) append_frame(image, rec);
   std::string err;
-  if (!write_file_truncate(path_, image, &err)) {
-    error_ = err;
+  if (!replace_file_atomic(path_, image, &err)) {
+    if (error_.empty()) error_ = err;
     return false;
   }
   size_bytes_ = image.size();
+  // The file now holds exactly `records` with a clean tail, so a latch
+  // from an earlier failed append no longer describes the disk state.
+  error_.clear();
   return true;
 }
 

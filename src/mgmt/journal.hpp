@@ -7,7 +7,9 @@
 //
 //     [u32 magic][u32 payload_length][u64 fnv1a(payload)][payload]
 //
-// written little-endian and flushed as a unit. replay() walks frames
+// written little-endian and flushed + fsync'd as a unit (an acked
+// append survives OS and power crashes, not just process death).
+// replay() walks frames
 // from the start; the FIRST frame that fails any check (bad magic,
 // length running past EOF, checksum mismatch) marks the torn tail —
 // that frame and everything after it is discarded, and recover()
@@ -66,22 +68,30 @@ class Journal {
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
 
-  /// Durably append one record. Returns false (with error()) on I/O
-  /// failure or when a torn write was injected — in both cases the
-  /// caller must treat the record as UNACKED.
+  /// Durably (fsync) append one record. Returns false (with error())
+  /// on I/O failure or when a torn write was injected — in both cases
+  /// the caller must treat the record as UNACKED, and the journal
+  /// LATCHES failed: partial frame bytes may sit at the file tail, and
+  /// since replay stops at the first bad frame, any further frame
+  /// written past them would be silently unrecoverable. Reopening the
+  /// journal (which truncates the torn tail) or rewrite() clears the
+  /// latch.
   bool append(std::string_view payload);
 
   /// Byte size of the valid journal prefix on disk.
   std::size_t size_bytes() const { return size_bytes_; }
 
-  /// Atomically replace the journal contents with `records` (used by
-  /// snapshot compaction: the snapshot owns history, the journal
-  /// restarts near-empty).
+  /// Atomically (write-temp + rename: old-or-new, never torn) replace
+  /// the journal contents with `records` (used by snapshot compaction:
+  /// the snapshot owns history, the journal restarts near-empty). On
+  /// success also clears an append-failure latch — the rewritten file
+  /// has a clean tail by construction.
   bool rewrite(const std::vector<std::string>& records);
 
   /// Inject a crash into the NEXT append: only the first
   /// `persisted_bytes` bytes of the frame reach the file, then the
-  /// append reports failure (unacked). One-shot.
+  /// append reports failure (unacked) and the journal latches failed
+  /// like any other failed append. One-shot.
   void set_torn_write(std::size_t persisted_bytes) {
     torn_write_bytes_ = persisted_bytes;
     torn_write_armed_ = true;

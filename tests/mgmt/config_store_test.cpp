@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -19,6 +20,17 @@ std::string temp_dir(const char* tag) {
                    (std::string("qv_store_test_") + tag);
   std::filesystem::remove_all(dir);
   return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 JsonValue policy_doc(const std::string& text) {
@@ -211,6 +223,68 @@ TEST(ConfigStore, CompactionPreservesStateAndShrinksJournal) {
   EXPECT_EQ(store.serialize(), before);
   EXPECT_EQ(store.replayed_records(), 0u);
   EXPECT_TRUE(store.put(DocKind::kContracts, contracts_doc(5)).acked);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, CrashBetweenSnapshotRenameAndJournalTruncateRecovers) {
+  // compact() has two durable steps: rename the snapshot into place,
+  // then truncate the journal. A crash BETWEEN them leaves the full
+  // snapshot AND the pre-compaction journal — every journal record is
+  // then already reflected in the snapshot, and replay must treat it
+  // as a no-op, not a duplicate-id error that bricks the store.
+  const std::string dir = temp_dir("compact_window");
+  std::string before;
+  {
+    ConfigStore store(dir);
+    ASSERT_TRUE(store.put(DocKind::kPolicy, policy_doc(kPolicyText)).acked);
+    std::string err;
+    ASSERT_TRUE(store.mark_good(1, &err));  // lkg record replays too
+    ASSERT_TRUE(store.put(DocKind::kContracts, contracts_doc(7)).acked);
+    before = store.serialize();
+    // Recreate the crash point: save the journal bytes, compact, then
+    // restore them — exactly the on-disk state of a crash after the
+    // snapshot rename and before the journal truncation.
+    const std::string journal =
+        slurp(ConfigStore::journal_path(dir));
+    ASSERT_FALSE(journal.empty());
+    ASSERT_TRUE(store.compact(&err)) << err;
+    spew(ConfigStore::journal_path(dir), journal);
+  }
+  ConfigStore store(dir);
+  ASSERT_TRUE(store.ok()) << store.error();
+  EXPECT_EQ(store.serialize(), before);
+  EXPECT_EQ(store.lkg_id(DocKind::kPolicy), 1u);
+  // Fully usable: new puts chain off the recovered head.
+  const PutResult next = store.put(DocKind::kContracts, contracts_doc(8));
+  ASSERT_TRUE(next.acked) << next.error;
+  EXPECT_EQ(store.get(next.id)->parent, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConfigStore, ConflictingDuplicateVersionIdStopsReplay) {
+  // Idempotent replay must not become "last writer wins": a journal
+  // put that reuses an id with DIFFERENT contents is writer
+  // corruption, and the store must refuse to open rather than guess.
+  const std::string dir = temp_dir("conflict_dup");
+  std::filesystem::create_directories(dir);
+  JsonValue rec = JsonValue::make_object();
+  rec.set("op", JsonValue("put"));
+  rec.set("id", JsonValue(std::int64_t{1}));
+  rec.set("parent", JsonValue(std::int64_t{0}));
+  rec.set("kind", JsonValue("policy"));
+  rec.set("doc", policy_doc(kPolicyText));
+  std::string image;
+  append_frame(image, rec.dump());
+  rec.set("doc", policy_doc("group a = 0..9\ngroup b = 10..19\n"
+                            "policy a >> b\n"));
+  append_frame(image, rec.dump());
+  spew(ConfigStore::journal_path(dir), image);
+
+  ConfigStore store(dir);
+  EXPECT_FALSE(store.ok());
+  EXPECT_NE(store.error().find("conflicting duplicate version id"),
+            std::string::npos)
+      << store.error();
   std::filesystem::remove_all(dir);
 }
 

@@ -130,6 +130,55 @@ TEST(Journal, TornWriteIsUnackedAndTruncatedOnReopen) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Journal, FailedAppendLatchesUntilRecovery) {
+  // After a failed append, partial frame bytes may sit at the file
+  // tail. Replay stops at the first bad frame, so a valid frame
+  // written past them would be silently unrecoverable — the journal
+  // must refuse further appends until the tail is recovered.
+  const std::string dir = temp_dir("latch");
+  const std::string path = dir + "/journal.log";
+  std::size_t clean_size = 0;
+  {
+    Journal j(path);
+    ASSERT_TRUE(j.append("durable"));
+    clean_size = j.size_bytes();
+    j.set_torn_write(kJournalHeaderBytes + 1);
+    EXPECT_FALSE(j.append("torn"));
+    EXPECT_FALSE(j.ok());
+    EXPECT_FALSE(j.append("must-not-land"));
+  }
+  // Nothing landed past the torn bytes of the failed frame.
+  EXPECT_EQ(read_file(path).size(), clean_size + kJournalHeaderBytes + 1);
+  Journal j(path);
+  ASSERT_TRUE(j.ok()) << j.error();  // reopen truncates + clears
+  ASSERT_EQ(j.last_replay().records.size(), 1u);
+  EXPECT_EQ(j.last_replay().records[0], "durable");
+  EXPECT_TRUE(j.append("after-recovery"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, RewriteClearsLatchAndLeavesNoTemp) {
+  const std::string dir = temp_dir("rewrite_latch");
+  const std::string path = dir + "/journal.log";
+  Journal j(path);
+  ASSERT_TRUE(j.append("old"));
+  j.set_torn_write(3);
+  EXPECT_FALSE(j.append("torn"));
+  EXPECT_FALSE(j.ok());
+  // rewrite() rebuilds the file with a clean tail (write-temp +
+  // rename), which is itself a valid recovery from the latch.
+  ASSERT_TRUE(j.rewrite({"fresh"}));
+  EXPECT_TRUE(j.ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_TRUE(j.append("appended"));
+  Journal again(path);
+  ASSERT_EQ(again.last_replay().records.size(), 2u);
+  EXPECT_EQ(again.last_replay().records[0], "fresh");
+  EXPECT_EQ(again.last_replay().records[1], "appended");
+  EXPECT_FALSE(again.last_replay().torn_tail);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Journal, RewriteReplacesContents) {
   const std::string dir = temp_dir("rewrite");
   const std::string path = dir + "/journal.log";
