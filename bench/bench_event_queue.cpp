@@ -171,6 +171,157 @@ void BM_LegacyEventPacketCapture(benchmark::State& state) {
 }
 BENCHMARK(BM_LegacyEventPacketCapture);
 
+/// The per-event reference engine's queue layout: the CURRENT
+/// EventQueue with the timing wheel bypassed (everything routed
+/// through the overflow heap). Unlike LegacyHeapEventQueue above this
+/// shares slot storage, EventFn, and cancel semantics with the wheel
+/// path, so wheel-vs-heap-only pairs isolate the ORDERING structure —
+/// exactly the split run_benchmarks.py --simcore reports.
+struct HeapOnlyEventQueue : EventQueue {
+  HeapOnlyEventQueue() { set_heap_only(true); }
+};
+
+void BM_HeapOnlyEventScheduleRun(benchmark::State& state) {
+  run_schedule_run<HeapOnlyEventQueue>(state);
+}
+BENCHMARK(BM_HeapOnlyEventScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HeapOnlyEventScheduleCancel(benchmark::State& state) {
+  run_schedule_cancel<HeapOnlyEventQueue>(state);
+}
+BENCHMARK(BM_HeapOnlyEventScheduleCancel);
+
+// --- adversarial distributions --------------------------------------
+//
+// The steady-state churn above is the wheel's best case: every delay
+// lands in the level-0 window. These distributions attack its weak
+// spots — far-future overflow, cancel-heavy churn, and a pure drain
+// with no interleaved schedules (min-scan cost with nothing amortizing
+// it). Each runs on the wheel, the heap-only layout, and the legacy
+// seed queue under the identical harness.
+
+/// Bimodal horizons at depth `depth`: 7 of 8 events are near (within
+/// the level-0 window), 1 of 8 is far (~50 ms ahead — parks in the
+/// overflow heap or level 1 and must migrate down before firing).
+template <class Queue>
+void run_bimodal_horizon(benchmark::State& state) {
+  Queue q;
+  Rng rng(7);
+  const int depth = static_cast<int>(state.range(0));
+  std::uint64_t sink = 0;
+  auto delay = [&rng]() -> TimeNs {
+    return rng.next_below(8) == 0
+               ? 50'000'000 + static_cast<TimeNs>(rng.next_below(1'000'000))
+               : 1 + static_cast<TimeNs>(rng.next_below(100'000));
+  };
+  TimeNs now = 0;
+  for (int i = 0; i < depth; ++i) {
+    q.schedule(delay(), [&sink] { ++sink; });
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    now = q.run_next();
+    q.schedule(now + delay(), [&sink] { ++sink; });
+    ops += 2;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(ops);
+}
+
+void BM_EventBimodalHorizon(benchmark::State& state) {
+  run_bimodal_horizon<EventQueue>(state);
+}
+BENCHMARK(BM_EventBimodalHorizon)->Arg(1024)->Arg(16384);
+
+void BM_HeapOnlyEventBimodalHorizon(benchmark::State& state) {
+  run_bimodal_horizon<HeapOnlyEventQueue>(state);
+}
+BENCHMARK(BM_HeapOnlyEventBimodalHorizon)->Arg(1024)->Arg(16384);
+
+void BM_LegacyEventBimodalHorizon(benchmark::State& state) {
+  run_bimodal_horizon<LegacyHeapEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventBimodalHorizon)->Arg(1024)->Arg(16384);
+
+/// Cancel-heavy churn: schedule four timers, cancel three before they
+/// fire, run one — the retransmission pattern at its worst (75% of
+/// scheduled work is wasted and must be unlinked, not skimmed).
+template <class Queue>
+void run_cancel_heavy(benchmark::State& state) {
+  Queue q;
+  Rng rng(11);
+  TimeNs now = 1;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    EventId doomed[3];
+    for (auto& id : doomed) {
+      id = q.schedule(now + 500 + static_cast<TimeNs>(rng.next_below(2000)),
+                      [] {});
+    }
+    q.schedule(now + static_cast<TimeNs>(rng.next_below(200)), [] {});
+    now = q.run_next();
+    for (const auto id : doomed) q.cancel(id);
+    ops += 8;
+  }
+  state.SetItemsProcessed(ops);
+}
+
+void BM_EventCancelHeavy(benchmark::State& state) {
+  run_cancel_heavy<EventQueue>(state);
+}
+BENCHMARK(BM_EventCancelHeavy);
+
+void BM_HeapOnlyEventCancelHeavy(benchmark::State& state) {
+  run_cancel_heavy<HeapOnlyEventQueue>(state);
+}
+BENCHMARK(BM_HeapOnlyEventCancelHeavy);
+
+void BM_LegacyEventCancelHeavy(benchmark::State& state) {
+  run_cancel_heavy<LegacyHeapEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventCancelHeavy);
+
+/// Monotone drain: fill `n` events in random rank order, then drain
+/// the queue dry with no interleaved schedules. This is the coalesced
+/// link drain's access pattern (pop, pop, pop...) and the worst case
+/// for the wheel's earliest-bucket min-scan, since no insertion
+/// repopulates the bucket the scan just emptied.
+template <class Queue>
+void run_monotone_drain(benchmark::State& state) {
+  Rng rng(13);
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t sink = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Queue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule(static_cast<TimeNs>(rng.next_below(1'000'000)),
+                 [&sink] { ++sink; });
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) q.run_next();
+    ops += n;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(ops);
+}
+
+void BM_EventMonotoneDrain(benchmark::State& state) {
+  run_monotone_drain<EventQueue>(state);
+}
+BENCHMARK(BM_EventMonotoneDrain)->Arg(4096);
+
+void BM_HeapOnlyEventMonotoneDrain(benchmark::State& state) {
+  run_monotone_drain<HeapOnlyEventQueue>(state);
+}
+BENCHMARK(BM_HeapOnlyEventMonotoneDrain)->Arg(4096);
+
+void BM_LegacyEventMonotoneDrain(benchmark::State& state) {
+  run_monotone_drain<LegacyHeapEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventMonotoneDrain)->Arg(4096);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -95,6 +95,49 @@ BINARIES = {
     "bench_event_queue": "Event",
 }
 
+# --- simulation-core mode (--simcore -> BENCH_simcore.json) ----------------
+#
+# Two views of the simulation-core overhaul (timing wheel + coalesced
+# link drains), both measured against the runtime-selectable per-event
+# reference engine compiled into the same binaries:
+#   * microbench rows — the CURRENT EventQueue with the wheel active vs
+#     the same queue forced heap-only (the reference engine's layout;
+#     same slots, same EventFn, only the ordering structure differs);
+#   * end-to-end rows — bench_simcore fig4 cells, reference and
+#     overhauled run back to back per pair, median of per-pair
+#     events/sec ratios (machine-speed epochs cancel within a pair).
+# The acceptance bar lives on the headline end-to-end cell.
+SIMCORE_PAIRS = {
+    # metric -> (heap-only reference benchmark, wheel benchmark)
+    "event_queue_steady_depth1024": (
+        "BM_HeapOnlyEventScheduleRun/1024",
+        "BM_EventScheduleRun/1024",
+    ),
+    "event_queue_steady_depth16384": (
+        "BM_HeapOnlyEventScheduleRun/16384",
+        "BM_EventScheduleRun/16384",
+    ),
+    "event_queue_schedule_cancel": (
+        "BM_HeapOnlyEventScheduleCancel",
+        "BM_EventScheduleCancel",
+    ),
+    "event_queue_bimodal_horizon_depth16384": (
+        "BM_HeapOnlyEventBimodalHorizon/16384",
+        "BM_EventBimodalHorizon/16384",
+    ),
+    "event_queue_cancel_heavy": (
+        "BM_HeapOnlyEventCancelHeavy",
+        "BM_EventCancelHeavy",
+    ),
+    "event_queue_monotone_drain_4096": (
+        "BM_HeapOnlyEventMonotoneDrain/4096",
+        "BM_EventMonotoneDrain/4096",
+    ),
+}
+SIMCORE_BINARIES = {"bench_event_queue": "Event"}
+# Median per-pair end-to-end ratio the headline cell must reach.
+SIMCORE_E2E_BAR = 1.5
+
 # --- observability overhead mode (--obs -> BENCH_obs.json) -----------------
 #
 # bench_obs runs the SAME steady-state harnesses with the producer-side
@@ -548,7 +591,7 @@ def run_dataplane_mode(args):
         for _ in range(compare_runs):
             r = run_dataplane_cell(binary, [
                 "--shards", "1", "--packets", str(packets),
-                "--batch", str(batch), "--fused", "true"])
+                "--batch", str(batch), "--fused=true"])
             samples.append(r["pps"])
             books_balanced = books_balanced and r["balanced"]
         samples.sort()
@@ -573,9 +616,13 @@ def run_dataplane_mode(args):
     for _ in range(compare_runs):
         pair = {}
         for label, sup in (("off", "false"), ("on", "true")):
+            # --supervision=false MUST use the = form: the space form
+            # "--supervision false" parses as supervision ON plus a
+            # positional, which silently turned this off/on comparison
+            # into on/on.
             r = run_dataplane_cell(binary, [
                 "--shards", "1", "--packets", str(packets),
-                "--fused", "true", "--supervision", sup])
+                "--fused=true", f"--supervision={sup}"])
             pair[label] = r["pps"]
             sup_pairs[label].append(r["pps"])
             books_balanced = books_balanced and r["balanced"]
@@ -668,6 +715,192 @@ def run_dataplane_mode(args):
                  f"ratio {sup_ratio:.4f} < {sup_bar:.2f} "
                  f"(>{SUPERVISION_OVERHEAD_BUDGET:.0%} slowdown beyond "
                  f"the {OBS_NOISE_TOLERANCE:.0%} noise tolerance)")
+
+
+def run_simcore_cell(binary, scheme, load, per_event):
+    """One timed bench_simcore invocation -> parsed JSON."""
+    # NB: bool flags must use the --flag=value form — a space-separated
+    # "--flag false" parses as "--flag" (true) plus a positional.
+    out = run_child([binary, "--scheme", scheme, "--load", str(load),
+                     f"--per-event={'true' if per_event else 'false'}"])
+    return json.loads(out.stdout)
+
+
+def run_simcore_mode(args):
+    """--simcore: measure the simulation-core overhaul against the
+    per-event reference engine -> BENCH_simcore.json.
+
+    Every pair asserts the deterministic result fingerprint is
+    identical across engines, and a separate artifact run byte-compares
+    the real sweep outputs (flows.csv / metrics.json / summary JSON) —
+    an engine that got faster by diverging fails the benchmark, not
+    just the test suite. Exits non-zero if the headline cell's median
+    paired ratio falls below SIMCORE_E2E_BAR or any comparison differs.
+    """
+    binary = os.path.join(args.build_dir, "bench", "bench_simcore")
+    if not os.path.exists(binary):
+        sys.exit(f"missing benchmark binary: {binary} (build the "
+                 f"'release-bench' preset first)")
+
+    cells = []
+    for spec in args.simcore_cells.split(","):
+        scheme, _, load = spec.partition(":")
+        cells.append((scheme.strip(), float(load)))
+    pairs = max(args.simcore_pairs, 3)
+
+    # End-to-end rows: reference and overhauled back to back per pair.
+    e2e = {}
+    for scheme, load in cells:
+        ratios = []
+        ref_eps, over_eps = [], []
+        wheel = None
+        events = None
+        replayed = None
+        for _ in range(pairs):
+            ref = run_simcore_cell(binary, scheme, load, per_event=True)
+            over = run_simcore_cell(binary, scheme, load, per_event=False)
+            if ref["result"] != over["result"]:
+                sys.exit(f"simcore engines DIVERGED on {scheme}:{load}: "
+                         f"reference {ref['result']} vs overhauled "
+                         f"{over['result']}")
+            ref_eps.append(ref["events_per_sec"])
+            over_eps.append(over["events_per_sec"])
+            ratios.append(over["events_per_sec"] / ref["events_per_sec"])
+            wheel = over["wheel"]
+            events = over["events"]
+            replayed = over["events_replayed"]
+        ratios.sort()
+        e2e[f"{scheme}:{load}"] = {
+            "scheme": scheme,
+            "load": load,
+            "events": events,
+            "reference_events_per_sec": round(max(ref_eps)),
+            "overhauled_events_per_sec": round(max(over_eps)),
+            "paired_ratios": [round(r, 3) for r in ratios],
+            "median_paired_ratio": round(ratios[len(ratios) // 2], 3),
+            "fingerprints_identical": True,
+            # Diagnostics from the overhauled run: where events lived
+            # (wheel vs overflow heap), how many migrated down on
+            # rotation, and how many link sub-steps the coalesced drain
+            # replayed inline instead of dispatching.
+            "wheel": wheel,
+            "events_replayed": replayed,
+        }
+
+    # Microbench rows: wheel vs heap-only, paired within each run.
+    per_run = collect_per_run(args.build_dir, args.repetitions,
+                              args.min_time, args.runs,
+                              binaries=SIMCORE_BINARIES)
+    items = {}
+    for run_items in per_run:
+        for name, value in run_items.items():
+            items[name] = max(items.get(name, 0.0), value)
+    micro = {}
+    for metric, (heap_only, wheel_bench) in SIMCORE_PAIRS.items():
+        if heap_only not in items or wheel_bench not in items:
+            continue
+        ratios = sorted(r[wheel_bench] / r[heap_only] for r in per_run
+                        if wheel_bench in r and heap_only in r)
+        micro[metric] = {
+            "heap_only_benchmark": heap_only,
+            "wheel_benchmark": wheel_bench,
+            "heap_only_items_per_sec": round(items[heap_only]),
+            "wheel_items_per_sec": round(items[wheel_bench]),
+            "per_run_ratios": [round(x, 3) for x in ratios],
+            "median_paired_ratio": round(ratios[len(ratios) // 2], 3),
+        }
+
+    # Mandatory artifact equivalence: one sweep cell per engine, every
+    # non-trace artifact byte-compared.
+    headline_scheme, headline_load = cells[0]
+    work = tempfile.mkdtemp(prefix="bench_simcore_")
+    try:
+        dirs = {}
+        for engine, per_event in (("reference", "true"),
+                                  ("overhauled", "false")):
+            out_dir = os.path.join(work, engine)
+            os.makedirs(out_dir)
+            run_child([binary, "--scheme", headline_scheme,
+                       "--load", str(headline_load),
+                       f"--per-event={per_event}",
+                       "--artifacts", out_dir])
+            dirs[engine] = out_dir
+        names = sweep_artifacts(dirs["overhauled"])
+        if names != sweep_artifacts(dirs["reference"]):
+            sys.exit("simcore engines produced different artifact sets")
+        _, mismatch, errors = filecmp.cmpfiles(
+            dirs["reference"], dirs["overhauled"], names, shallow=False)
+        if mismatch or errors:
+            sys.exit(f"simcore artifacts differ across engines: "
+                     f"{mismatch or errors}")
+        artifact_equivalence = {
+            "cell": f"{headline_scheme}:{headline_load}",
+            "artifacts_compared": len(names),
+            "identical": True,
+        }
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+    headline = e2e[f"{headline_scheme}:{headline_load}"]
+    acceptance = {
+        "bar": f"headline end-to-end cell median paired ratio >= "
+               f"{SIMCORE_E2E_BAR}x, fingerprints and artifacts "
+               f"byte-identical across engines",
+        "cell": f"{headline_scheme}:{headline_load}",
+        "median_paired_ratio": headline["median_paired_ratio"],
+        "met": headline["median_paired_ratio"] >= SIMCORE_E2E_BAR,
+    }
+
+    result = {
+        "methodology": {
+            "build": "release-bench preset (-O3 -DNDEBUG)",
+            "binary": "bench/bench_simcore (one fig4 cell per "
+                      "invocation; exit code asserts the engine ran)",
+            "e2e_aggregate": f"median of {pairs} per-pair ratios, "
+                             f"reference and overhauled run back to "
+                             f"back within each pair so machine-speed "
+                             f"epochs cancel (single-core hosts see "
+                             f"±15% per-run noise; see EXPERIMENTS.md)",
+            "micro_aggregate": f"best of {args.runs} runs of the median "
+                               f"over {args.repetitions} repetitions; "
+                               f"ratios paired within each run",
+            "reference": "the SAME binaries with the per-event engine "
+                         "selected at runtime: heap-only event "
+                         "ordering, one event per link sub-step "
+                         "(Simulator::SimCore::kPerEventReference)",
+            "equivalence": "per-pair result fingerprints (%.17g "
+                           "doubles) plus a full sweep-artifact "
+                           "byte-compare; any divergence fails the run",
+        },
+        "end_to_end": e2e,
+        "microbench": micro,
+        "artifact_equivalence": artifact_equivalence,
+        "acceptance": acceptance,
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for key, c in e2e.items():
+        print(f"  e2e {key}: ref "
+              f"{c['reference_events_per_sec'] / 1e6:.2f}M ev/s -> "
+              f"overhauled {c['overhauled_events_per_sec'] / 1e6:.2f}M "
+              f"ev/s (median paired {c['median_paired_ratio']}x, "
+              f"replayed {c['events_replayed']})")
+    for metric, c in micro.items():
+        print(f"  micro {metric}: heap-only "
+              f"{c['heap_only_items_per_sec'] / 1e6:.1f}M -> wheel "
+              f"{c['wheel_items_per_sec'] / 1e6:.1f}M "
+              f"({c['median_paired_ratio']}x)")
+    print(f"  artifacts: {artifact_equivalence['artifacts_compared']} "
+          f"compared, identical")
+    print(f"  acceptance ({acceptance['bar']}): "
+          f"{'MET' if acceptance['met'] else 'NOT MET'} "
+          f"({acceptance['median_paired_ratio']}x)")
+    if not acceptance["met"]:
+        sys.exit(f"simcore end-to-end speedup below the "
+                 f"{SIMCORE_E2E_BAR}x bar")
 
 
 def run_control_cell(binary, extra_args):
@@ -821,6 +1054,17 @@ def main():
                     help="--shards values to time for --dataplane")
     ap.add_argument("--dataplane-packets", type=int, default=2_000_000,
                     help="packets per port per --dataplane run")
+    ap.add_argument("--simcore", action="store_true",
+                    help="measure the simulation-core overhaul "
+                         "(bench_simcore + bench_event_queue wheel "
+                         "pairs) and write BENCH_simcore.json instead")
+    ap.add_argument("--simcore-cells", default="qvisor-share:0.7,fifo:0.5",
+                    help="comma list of scheme:load fig4 cells for "
+                         "--simcore; the first is the headline cell "
+                         "the >= 1.5x bar applies to")
+    ap.add_argument("--simcore-pairs", type=int, default=5,
+                    help="back-to-back reference/overhauled pairs per "
+                         "--simcore cell (min 3)")
     ap.add_argument("--control", action="store_true",
                     help="measure the group-compiled control plane "
                          "(bench_control) and write BENCH_control.json "
@@ -851,6 +1095,10 @@ def main():
     if args.dataplane:
         args.out = args.out or "BENCH_dataplane.json"
         run_dataplane_mode(args)
+        return
+    if args.simcore:
+        args.out = args.out or "BENCH_simcore.json"
+        run_simcore_mode(args)
         return
     if args.control:
         args.out = args.out or "BENCH_control.json"

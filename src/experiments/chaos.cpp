@@ -53,6 +53,9 @@ std::string fingerprint(const qvisor::SynthesisPlan& plan) {
 
 ChaosResult run_chaos(const ChaosConfig& config) {
   netsim::Simulator sim;
+  sim.set_simcore(config.per_event_simcore
+                      ? netsim::Simulator::SimCore::kPerEventReference
+                      : netsim::Simulator::SimCore::kOverhauled);
 
   // --- fleet: one hypervisor per fabric switch --------------------------
   // Declared before the network: every QvisorPort owned by a link

@@ -83,6 +83,10 @@ struct ChaosConfig {
   TimeNs retry_backoff = milliseconds(1);
   TimeNs retry_backoff_cap = milliseconds(4);
 
+  /// Run on the pre-overhaul simulation core (heap event ordering +
+  /// per-packet link events) — the differential-testing reference.
+  bool per_event_simcore = false;
+
   /// Optional instrumentation (not owned); see Fig2Config::obs.
   obs::Observability* obs = nullptr;
 };

@@ -52,6 +52,9 @@ const char* fig2_scheme_name(Fig2Scheme scheme) {
 Fig2Result run_fig2(const Fig2Config& config) {
   assert(config.hosts >= 5);
   netsim::Simulator sim;
+  sim.set_simcore(config.per_event_simcore
+                      ? netsim::Simulator::SimCore::kPerEventReference
+                      : netsim::Simulator::SimCore::kOverhauled);
 
   // --- tenant rank functions -------------------------------------------
   const std::int64_t max_flow = 200'000;  // interactive flows <= 200 KB

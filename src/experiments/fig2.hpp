@@ -57,6 +57,10 @@ struct Fig2Config {
 
   std::uint64_t seed = 1;
 
+  /// Run on the pre-overhaul simulation core (heap event ordering +
+  /// per-packet link events) — the differential-testing reference.
+  bool per_event_simcore = false;
+
   /// Optional instrumentation (not owned): when set, the run attaches
   /// the tracer + periodic samplers and, at teardown, exports every
   /// port/hypervisor/runtime metric into the registry and freeze()s it

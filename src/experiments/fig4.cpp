@@ -150,6 +150,9 @@ namespace {
 Fig4Result run_fig4_impl(const Fig4Config& config,
                          qvisor::BackendPtr backend) {
   netsim::Simulator sim;
+  sim.set_simcore(config.per_event_simcore
+                      ? netsim::Simulator::SimCore::kPerEventReference
+                      : netsim::Simulator::SimCore::kOverhauled);
 
   const workload::Cdf cdf = workload::data_mining_cdf(config.max_flow_bytes);
 
@@ -352,6 +355,8 @@ Fig4Result run_fig4_impl(const Fig4Config& config,
   result.edf_deadline_met = deadlines.met_fraction();
   result.drops = net.total_drops();
   result.events = sim.events_processed();
+  result.wheel = sim.wheel_stats();
+  result.events_replayed = sim.events_replayed();
 
   if (result.drops > 0) {
     QV_WARN << "fig4 " << fig4_scheme_name(config.scheme) << " load "

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "netsim/event.hpp"
 #include "netsim/topology.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
@@ -71,6 +72,11 @@ struct Fig4Config {
   /// quantization ablation bench sweeps this.
   std::uint32_t qvisor_levels = 4096;
 
+  /// Run on the pre-overhaul simulation core (heap event ordering +
+  /// per-packet link events) — the differential-testing reference and
+  /// benchmark baseline. Artifacts are byte-identical either way.
+  bool per_event_simcore = false;
+
   /// Optional instrumentation (not owned): the run attaches the tracer
   /// + samplers and, at teardown, exports every metric and freeze()s
   /// the registry so the caller can write the artifacts afterwards.
@@ -113,6 +119,14 @@ struct Fig4Result {
   double edf_deadline_met = 1.0;  ///< EDF tenant's deadline-met fraction
   std::uint64_t drops = 0;        ///< total packet drops (should be ~0)
   std::uint64_t events = 0;       ///< simulator events processed
+
+  /// Timing-wheel diagnostics for the run (NOT exported into
+  /// metrics.json: the split differs between drain modes while the
+  /// artifacts must stay byte-identical).
+  netsim::EventQueue::WheelStats wheel;
+  /// Link sub-steps replayed inline by the coalesced drain (same
+  /// caveat: diagnostics only, 0 on the per-event reference).
+  std::uint64_t events_replayed = 0;
 };
 
 Fig4Result run_fig4(const Fig4Config& config);

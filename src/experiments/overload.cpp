@@ -52,6 +52,9 @@ OverloadRun run_once(const OverloadConfig& config, bool attack) {
       config.mode == trafficgen::AdversaryMode::kTenantChurn;
 
   netsim::Simulator sim;
+  sim.set_simcore(config.per_event_simcore
+                      ? netsim::Simulator::SimCore::kPerEventReference
+                      : netsim::Simulator::SimCore::kOverhauled);
 
   // Fleet before the network: ports detach from their hypervisors on
   // destruction, so the fleet must be torn down last.

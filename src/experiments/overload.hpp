@@ -85,6 +85,10 @@ struct OverloadConfig {
   double attacker_rate_factor = 1.3;    ///< of contract bytes + burst
 
   /// Optional instrumentation (not owned).
+  /// Run on the pre-overhaul simulation core (heap event ordering +
+  /// per-packet link events) — the differential-testing reference.
+  bool per_event_simcore = false;
+
   obs::Observability* obs = nullptr;
 };
 

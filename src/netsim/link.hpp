@@ -6,12 +6,32 @@
 // wire for its serialization delay, then arrives at the destination
 // after the propagation delay. This is the standard output-queued
 // switch model (same as Netbench's).
+//
+// Drain engines (selected per Simulator; see Simulator::SimCore):
+//
+//   * per-event reference: every packet costs two queue events — a
+//     serialization-finish continuation and a propagation (arrival)
+//     continuation — exactly the pre-overhaul implementation;
+//   * coalesced (default): the link keeps its pending sub-steps
+//     (serialization finishes, arrivals) in a small time-ordered
+//     vector, materializes ONE queue event for the earliest of them,
+//     and when that event fires replays as many subsequent sub-steps
+//     inline as fall strictly before every other queued event (and
+//     within the run deadline), advancing the clock to each sub-step's
+//     timestamp. Per-packet finish/arrival times are computed
+//     arithmetically; each replayed sub-step burns the schedule
+//     sequence number the reference would have used, so tie-break
+//     order against third-party events — and therefore every artifact
+//     — is byte-identical. When the whole backlog provably serializes
+//     before the next queued event, it is popped in one dequeue_batch
+//     call. See DESIGN.md (simulation core) for the exactness
+//     argument.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "netsim/packet.hpp"
 #include "netsim/simulator.hpp"
@@ -21,6 +41,102 @@
 #include "util/units.hpp"
 
 namespace qv::netsim {
+
+/// Move-only small-buffer-optimized delivery delegate: EventFn's
+/// idiom, but repeat-invocable and parameterized. Replaces
+/// std::function on the per-packet delivery hot path — the typical
+/// capture (one node pointer) lives inline, invocation is one indirect
+/// call, and construction never allocates for captures that fit.
+///
+/// The callee receives a SPAN of packets whose last bits arrived at
+/// the CURRENT simulated time, in order. Today's drain paths deliver
+/// singleton spans (distinct arrival instants each get their own
+/// call); the span shape is the contract for disciplines that emit
+/// simultaneous arrivals.
+class DeliverFn {
+ public:
+  static constexpr std::size_t kInlineSize = 32;
+
+  DeliverFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, DeliverFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&,
+                                      std::span<const Packet>>>>
+  DeliverFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in
+                      // for the old std::function at every call site
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (buf_) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (buf_) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  DeliverFn(DeliverFn&& other) noexcept { move_from(other); }
+  DeliverFn& operator=(DeliverFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  DeliverFn(const DeliverFn&) = delete;
+  DeliverFn& operator=(const DeliverFn&) = delete;
+  ~DeliverFn() { reset(); }
+
+  void operator()(std::span<const Packet> batch) {
+    ops_->invoke(buf_, batch);
+  }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*, std::span<const Packet>);
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* p, std::span<const Packet> b) { (*static_cast<D*>(p))(b); },
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* p, std::span<const Packet> b) { (**static_cast<D**>(p))(b); },
+      [](void* dst, void* src) { ::new (dst) D*(*static_cast<D**>(src)); },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void move_from(DeliverFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
 
 /// Packets the wire itself lost, split by cause. These are DISTINCT
 /// from the queue's drop counters: a fault drop happens after (or
@@ -47,11 +163,14 @@ struct LinkFaultCounters {
 
 class Link {
  public:
-  using Deliver = std::function<void(const Packet&)>;
+  using Deliver = DeliverFn;
 
   /// `deliver` is invoked when a packet's last bit reaches the far end.
   Link(Simulator& sim, BitsPerSec rate, TimeNs propagation_delay,
        std::unique_ptr<sched::Scheduler> queue, Deliver deliver);
+  ~Link();
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
 
   /// Offer a packet for transmission (may be dropped by the queue).
   void transmit(const Packet& p);
@@ -134,6 +253,45 @@ class Link {
   void start_next();
   void account_queue(TimeNs now);
 
+  // --- per-event reference drain --------------------------------------
+  void start_per_event();
+
+  // --- coalesced drain ------------------------------------------------
+  //
+  // Pending sub-steps for this link, ordered by (time, sequence). At
+  // most one of them — the front — is materialized on the event queue,
+  // via a persistent per-link timer (drain_timer_); firing it replays
+  // the rest inline while they stay strictly ahead of every other
+  // queued event.
+  struct SubStep {
+    enum Kind : std::uint8_t { kSerDone, kArrive };
+    Packet pkt;
+    TimeNs at = 0;           ///< when this sub-step happens
+    std::uint64_t seq = 0;   ///< reserved schedule sequence number
+    std::uint64_t epoch = 0; ///< down-epoch the chain started under
+    TimeNs ser = 0;          ///< wire time consumed (kSerDone only)
+    Kind kind = kSerDone;
+  };
+
+  /// Begin serializing the chain's next packet at `now` (already
+  /// dequeued / pre-popped): stages its kSerDone sub-step.
+  void begin_serialization(Packet&& pkt, TimeNs now);
+  /// Dequeue and serialize the next buffered packet, if any.
+  void start_coalesced();
+  /// Pop the whole backlog in one dequeue_batch when every pop moment
+  /// provably precedes the next queued event (see link.cpp).
+  void drain_batch(TimeNs now, std::int64_t backlog);
+  /// Replay pending sub-steps inline from a fired drain event.
+  void process_substeps();
+  void process_ser_done(SubStep& s);
+  void process_arrival(SubStep& s);
+  /// (Re)arm the drain timer for the earliest pending sub-step; disarm
+  /// it when none remain.
+  void refresh_drain_event();
+  void push_step(SubStep&& s);
+  /// Drain-timer fire path (EventQueue persistent-timer callback).
+  void on_drain();
+
   Simulator& sim_;
   BitsPerSec rate_;
   TimeNs prop_delay_;
@@ -148,6 +306,16 @@ class Link {
   double backlog_integral_ = 0;  ///< byte-nanoseconds
   std::string label_;
   std::uint32_t trace_tid_ = 0;
+
+  // Coalesced-drain state (empty in per-event mode).
+  std::vector<SubStep> steps_;  ///< pending sub-steps, (at, seq)-sorted
+  std::vector<Packet> popped_;  ///< batch-popped packets awaiting the wire
+  std::size_t popped_head_ = 0;
+  EventId drain_timer_ = 0;  ///< persistent timer slot (0 = not allocated)
+  bool drain_armed_ = false; ///< timer armed at (drain_at_, drain_seq_)
+  TimeNs drain_at_ = 0;
+  std::uint64_t drain_seq_ = 0;
+  bool in_drain_ = false;  ///< inside process_substeps()
 
   // Fault state. `down_epoch_` is bumped every time the wire goes down;
   // the serialization/propagation continuations capture the epoch they

@@ -32,7 +32,9 @@ Link& Network::connect(Node& from, Node& to, BitsPerSec rate,
   Node* to_ptr = &to;
   auto link = std::make_unique<Link>(
       sim_, rate, prop_delay, std::move(queue),
-      [to_ptr](const Packet& p) { to_ptr->receive(p); });
+      [to_ptr](std::span<const Packet> batch) {
+        to_ptr->receive_burst(batch);
+      });
   Link& ref = *link;
   ref.set_label(from.name() + "->" + to.name());
   links_from_[from.id()].emplace_back(links_.size(), to.id());

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,15 @@ class Node {
 
   /// A packet's last bit arrived at this node.
   virtual void receive(const Packet& p) = 0;
+
+  /// A span of packets whose last bits arrived at the CURRENT
+  /// simulated time, in order — the link drain's batch delivery seam.
+  /// Distinct arrival instants get distinct calls, so today's drains
+  /// deliver singleton spans; nodes that can exploit a whole burst at
+  /// once (switch forwarding) override this.
+  virtual void receive_burst(std::span<const Packet> batch) {
+    for (const Packet& p : batch) receive(p);
+  }
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }

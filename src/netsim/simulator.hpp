@@ -10,6 +10,7 @@
 // not per event.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 #include "netsim/event.hpp"
@@ -20,6 +21,26 @@ namespace qv::netsim {
 
 class Simulator {
  public:
+  /// Engine variant. kOverhauled (the default): timing-wheel ordering
+  /// plus coalesced link drains. kPerEventReference: the pre-overhaul
+  /// engine — heap ordering, one event per serialization / propagation
+  /// step — kept runtime-selectable as the differential-testing
+  /// reference and the benchmark baseline. Both variants produce
+  /// byte-identical artifacts; see DESIGN.md (simulation core).
+  enum class SimCore { kOverhauled, kPerEventReference };
+
+  /// Select the engine variant. Must be called before anything is
+  /// scheduled (the reference queue layout differs).
+  void set_simcore(SimCore mode) {
+    queue_.set_heap_only(mode == SimCore::kPerEventReference);
+    simcore_ = mode;
+  }
+  SimCore simcore() const { return simcore_; }
+  /// True when links should use the burst-coalesced drain path.
+  bool coalesced_drains() const {
+    return simcore_ == SimCore::kOverhauled;
+  }
+
   TimeNs now() const { return now_; }
 
   /// Schedule at an absolute time (must be >= now()).
@@ -39,7 +60,67 @@ class Simulator {
   void run();
 
   std::uint64_t events_processed() const { return processed_; }
-  bool idle() { return queue_.empty(); }
+  bool idle() const { return queue_.empty(); }
+
+  // --- coalesced-drain support (used by Link) -------------------------
+  //
+  // The coalesced drain replays link sub-steps inline, in exact
+  // (time, sequence) order, while the next sub-step falls strictly
+  // before every queued event and within the active run deadline.
+  // These hooks expose just enough of the run loop to make that replay
+  // observationally identical to dispatching real events.
+
+  /// Time of the earliest queued event; kTimeMax when idle.
+  TimeNs next_event_time() const { return queue_.next_time(); }
+
+  /// Deadline of the active run_until (kTimeMax inside run()).
+  TimeNs run_deadline() const { return run_deadline_; }
+
+  /// Burn the next schedule sequence number (see EventQueue).
+  std::uint64_t reserve_seq() { return queue_.reserve_seq(); }
+
+  /// Schedule with a reserved sequence number. `when` >= now().
+  EventId at_seq(TimeNs when, std::uint64_t seq, EventFn fn);
+
+  /// Persistent timer plumbing (see EventQueue): the link drain keeps
+  /// one timer per link and re-arms it instead of re-scheduling.
+  EventId make_timer(void (*cb)(void*), void* ctx) {
+    return queue_.make_timer(cb, ctx);
+  }
+  void arm_timer(EventId id, TimeNs when, std::uint64_t seq) {
+    assert(when >= now_);
+    queue_.arm_timer(id, when, seq);
+  }
+  void disarm_timer(EventId id) { queue_.disarm_timer(id); }
+  void destroy_timer(EventId id) { queue_.destroy_timer(id); }
+
+  /// Advance the clock to an inline-replayed sub-step's timestamp.
+  /// Monotone: `t` >= now().
+  void advance_inline(TimeNs t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  /// Count one inline-replayed sub-step so events_processed() matches
+  /// the per-event reference exactly (it is exported into metrics).
+  void note_replayed() {
+    ++processed_;
+    ++replayed_;
+  }
+
+  /// Sub-steps replayed inline instead of dispatched through the
+  /// queue — the coalescing-effectiveness counter (benchmark notes;
+  /// NOT exported into metrics.json, it differs between engines).
+  std::uint64_t events_replayed() const { return replayed_; }
+
+  /// Timing-wheel diagnostics (occupancy split, overflow migrations),
+  /// exported into benchmark artifacts.
+  const EventQueue::WheelStats& wheel_stats() const {
+    return queue_.wheel_stats();
+  }
+  std::size_t overflow_heap_size() const {
+    return queue_.overflow_heap_size();
+  }
 
   /// Attach (or detach with nullptr) a tracer. Not owned; must outlive
   /// any subsequent run. Links reach it through sim().tracer().
@@ -52,7 +133,10 @@ class Simulator {
 
   EventQueue queue_;
   TimeNs now_ = 0;
+  TimeNs run_deadline_ = kTimeMax;
   std::uint64_t processed_ = 0;
+  std::uint64_t replayed_ = 0;
+  SimCore simcore_ = SimCore::kOverhauled;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -22,10 +22,17 @@ void Monitor::set_contract(const TenantContract& contract) {
 }
 
 Monitor::State* Monitor::track(TenantId tenant) {
+  if (last_state_ != nullptr && last_tenant_ == tenant) return last_state_;
   const auto it = tenants_.find(tenant);
-  if (it != tenants_.end()) return &it->second;
+  if (it != tenants_.end()) {
+    last_tenant_ = tenant;
+    last_state_ = &it->second;
+    return last_state_;
+  }
   if (tenants_.size() >= max_tracked_) return nullptr;
-  return &tenants_[tenant];
+  last_tenant_ = tenant;
+  last_state_ = &tenants_[tenant];
+  return last_state_;
 }
 
 void Monitor::observe(TenantId tenant, Rank original_rank,

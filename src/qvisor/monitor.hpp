@@ -171,6 +171,12 @@ class Monitor {
   std::vector<std::uint64_t> group_untracked_;
   std::shared_ptr<const control::GroupIndex> group_index_;
   std::unordered_map<TenantId, State> tenants_;
+  /// One-entry MRU cache over tenants_: consecutive packets on a port
+  /// overwhelmingly share a tenant, and map nodes are pointer-stable
+  /// (states are never erased), so the common observe() skips the hash
+  /// probe entirely.
+  TenantId last_tenant_ = kInvalidTenant;
+  State* last_state_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

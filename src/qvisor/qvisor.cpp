@@ -497,15 +497,24 @@ void Hypervisor::observe(const Packet& p, TimeNs now) {
   // Always observe the tenant's own label, not a possibly-transformed
   // scheduling rank from an upstream QVISOR hop.
   monitor_.observe(p.tenant, p.original_rank, p.size_bytes, now);
+  if (last_obs_est_ != nullptr && last_obs_tenant_ == p.tenant) {
+    last_obs_est_->observe(p.original_rank, now);
+    return;
+  }
   // Estimators are bounded like the monitor's tenant states: an
   // id-churner must not allocate one per fabricated id. Existing
   // estimators (including every contracted tenant's, created lazily on
   // first packet, well under the cap) keep updating.
   const auto it = estimators_.find(p.tenant);
   if (it != estimators_.end()) {
+    last_obs_tenant_ = p.tenant;
+    last_obs_est_ = &it->second;
     it->second.observe(p.original_rank, now);
   } else if (estimators_.size() < kMaxEstimators) {
-    estimator(p.tenant).observe(p.original_rank, now);
+    RankDistEstimator& est = estimator(p.tenant);
+    last_obs_tenant_ = p.tenant;
+    last_obs_est_ = &est;
+    est.observe(p.original_rank, now);
   } else {
     ++estimator_overflow_;
   }

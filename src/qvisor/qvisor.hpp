@@ -334,6 +334,11 @@ class Hypervisor {
   std::vector<QvisorPort*> ports_;
   std::optional<control::RankDigestConfig> estimator_sketch_;
   std::unordered_map<TenantId, RankDistEstimator> estimators_;
+  /// One-entry MRU cache over estimators_ (pointer-stable nodes, never
+  /// erased): observe() runs per packet per hop and the tenant id
+  /// almost always repeats.
+  TenantId last_obs_tenant_ = kInvalidTenant;
+  RankDistEstimator* last_obs_est_ = nullptr;
   std::uint64_t estimator_overflow_ = 0;  ///< observations past the cap
   AdmissionSettings admission_;
   std::uint64_t compile_count_ = 0;

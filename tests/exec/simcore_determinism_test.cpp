@@ -1,0 +1,166 @@
+// The simulation-core overhaul's headline contract, asserted on real
+// experiment artifacts: running a sweep on the overhauled engine
+// (timing wheel + coalesced link drains) produces byte-identical
+// flows.csv / metrics.json / summary JSON to the per-event reference
+// engine (`base.per_event_simcore = true`). Covers the fig2 scheme
+// grid, one chaos seed, and one overload adversary mode, so engine
+// divergence anywhere in the full stack (traffic gen, scheduling,
+// faults, admission guard, metrics) fails ctest. trace.json is outside
+// the contract (wall-clock span durations; see experiments/sweeps.hpp).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiments/sweeps.hpp"
+
+namespace qv::experiments {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing artifact: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// The cell summary embeds the artifact stem (which contains the output
+// directory); drop that one line so summaries from two temp dirs can be
+// compared byte-for-byte on everything that matters.
+std::string without_artifact_line(const std::string& summary) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < summary.size()) {
+    const std::size_t eol = std::min(summary.find('\n', pos), summary.size());
+    const std::string line = summary.substr(pos, eol - pos);
+    if (line.find("artifacts:") == std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+// Compare every non-trace artifact of the two engines' output dirs.
+void expect_dirs_identical(const fs::path& overhauled,
+                           const fs::path& reference) {
+  std::size_t compared = 0;
+  for (const auto& entry : fs::directory_iterator(overhauled)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find("_trace.json") != std::string::npos) continue;
+    EXPECT_EQ(slurp(entry.path()), slurp(reference / name))
+        << "artifact differs across engines: " << name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u) << "sweep produced no artifacts to compare";
+}
+
+template <typename Cell>
+void expect_cells_identical(const std::vector<Cell>& overhauled,
+                            const std::vector<Cell>& reference) {
+  ASSERT_EQ(overhauled.size(), reference.size());
+  for (std::size_t i = 0; i < overhauled.size(); ++i) {
+    EXPECT_EQ(without_artifact_line(overhauled[i].summary),
+              without_artifact_line(reference[i].summary))
+        << "cell " << i;
+    EXPECT_EQ(overhauled[i].log, reference[i].log) << "cell " << i;
+    EXPECT_TRUE(overhauled[i].ok) << "cell " << i;
+    EXPECT_TRUE(reference[i].ok) << "cell " << i;
+  }
+}
+
+Fig2SweepConfig quick_fig2(const fs::path& out, bool per_event) {
+  Fig2SweepConfig sweep;
+  // Shortened run, same structure as the --jobs determinism test:
+  // crosses the t1 policy shift so the runtime controller runs on both
+  // engines.
+  sweep.base.warmup = milliseconds(2);
+  sweep.base.t1 = milliseconds(10);
+  sweep.base.end = milliseconds(20);
+  sweep.base.per_event_simcore = per_event;
+  sweep.schemes = {Fig2Scheme::kFifo, Fig2Scheme::kQvisorAdapt};
+  sweep.seeds = {1, 7};
+  sweep.out_dir = out.string();
+  return sweep;
+}
+
+TEST(SimCoreArtifacts, Fig2ByteIdenticalAcrossEngines) {
+  const fs::path over_dir = fresh_dir("simcore_fig2_over");
+  const fs::path ref_dir = fresh_dir("simcore_fig2_ref");
+  const auto over = run_fig2_sweep(quick_fig2(over_dir, false));
+  const auto ref = run_fig2_sweep(quick_fig2(ref_dir, true));
+  ASSERT_EQ(over.size(), 4u);
+  expect_cells_identical(over, ref);
+  expect_dirs_identical(over_dir, ref_dir);
+}
+
+ChaosSweepConfig quick_chaos(const fs::path& out, bool per_event) {
+  ChaosSweepConfig sweep;
+  // Mirrors the shortened config in tests/integration/chaos_test.cpp;
+  // one seed is enough — the point is engine equivalence under faults
+  // and mid-run policy installs, not seed coverage.
+  sweep.base.traffic_stop = milliseconds(40);
+  sweep.base.end = milliseconds(48);
+  sweep.base.bronze_off = milliseconds(12);
+  sweep.base.bronze_on = milliseconds(28);
+  sweep.base.fault_cfg.start = milliseconds(4);
+  sweep.base.fault_cfg.end = milliseconds(32);
+  sweep.base.install_fault_from = milliseconds(14);
+  sweep.base.install_fault_to = milliseconds(24);
+  sweep.base.reboot_at = milliseconds(34);
+  sweep.base.per_event_simcore = per_event;
+  sweep.seeds = {42};
+  sweep.out_dir = out.string();
+  return sweep;
+}
+
+TEST(SimCoreArtifacts, ChaosByteIdenticalAcrossEngines) {
+  const fs::path over_dir = fresh_dir("simcore_chaos_over");
+  const fs::path ref_dir = fresh_dir("simcore_chaos_ref");
+  const auto over = run_chaos_sweep(quick_chaos(over_dir, false));
+  const auto ref = run_chaos_sweep(quick_chaos(ref_dir, true));
+  ASSERT_EQ(over.size(), 1u);
+  expect_cells_identical(over, ref);
+  expect_dirs_identical(over_dir, ref_dir);
+}
+
+OverloadSweepConfig quick_overload(const fs::path& out, bool per_event) {
+  OverloadSweepConfig sweep;
+  // One adversary mode, shortened horizon: the attack starts, the
+  // guard throttles and quarantines, traffic drains.
+  sweep.base.traffic_stop = milliseconds(20);
+  sweep.base.end = milliseconds(26);
+  sweep.base.attack_start = milliseconds(2);
+  sweep.base.attack_stop = milliseconds(16);
+  sweep.base.per_event_simcore = per_event;
+  sweep.modes = {trafficgen::AdversaryMode::kFlooder};
+  sweep.seeds = {1};
+  sweep.out_dir = out.string();
+  return sweep;
+}
+
+TEST(SimCoreArtifacts, OverloadByteIdenticalAcrossEngines) {
+  const fs::path over_dir = fresh_dir("simcore_overload_over");
+  const fs::path ref_dir = fresh_dir("simcore_overload_ref");
+  const auto over = run_overload_sweep(quick_overload(over_dir, false));
+  const auto ref = run_overload_sweep(quick_overload(ref_dir, true));
+  ASSERT_EQ(over.size(), 1u);
+  expect_cells_identical(over, ref);
+  expect_dirs_identical(over_dir, ref_dir);
+}
+
+}  // namespace
+}  // namespace qv::experiments

@@ -33,9 +33,12 @@ class LinkFaultTest : public ::testing::Test {
 
   Link make_link(BitsPerSec rate, TimeNs prop,
                  std::unique_ptr<sched::Scheduler> q) {
-    return Link(sim, rate, prop, std::move(q), [this](const Packet& p) {
-      delivered.emplace_back(sim.now(), p);
-    });
+    return Link(sim, rate, prop, std::move(q),
+                [this](std::span<const Packet> batch) {
+                  for (const Packet& p : batch) {
+                    delivered.emplace_back(sim.now(), p);
+                  }
+                });
   }
 };
 
@@ -132,7 +135,11 @@ TEST_F(LinkFaultTest, LossIsDeterministicPerSeed) {
     Simulator local;
     std::vector<TimeNs> times;
     Link link(local, gbps(1), 0, std::make_unique<sched::FifoQueue>(),
-              [&](const Packet&) { times.push_back(local.now()); });
+              [&](std::span<const Packet> batch) {
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                  times.push_back(local.now());
+                }
+              });
     link.set_fault_seed(seed);
     link.set_loss(0.4);
     for (int i = 0; i < 200; ++i) link.transmit(make_packet(1500));

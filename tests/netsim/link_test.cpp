@@ -26,9 +26,12 @@ class LinkTest : public ::testing::Test {
 
   Link make_link(BitsPerSec rate, TimeNs prop,
                  std::unique_ptr<sched::Scheduler> q) {
-    return Link(sim, rate, prop, std::move(q), [this](const Packet& p) {
-      delivered.emplace_back(sim.now(), p);
-    });
+    return Link(sim, rate, prop, std::move(q),
+                [this](std::span<const Packet> batch) {
+                  for (const Packet& p : batch) {
+                    delivered.emplace_back(sim.now(), p);
+                  }
+                });
   }
 };
 
